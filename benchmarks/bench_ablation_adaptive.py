@@ -1,0 +1,73 @@
+"""Ablation: adaptive compression vs always-compress.
+
+The paper: compression CPU must be balanced against the space it saves.
+On incompressible payloads (ciphertext, media, random bytes) gzip burns
+full CPU for negative savings; the adaptive wrapper detects this and
+stores raw.  This bench runs both codecs over a 50/50 mix of compressible
+and incompressible 100KB payloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ROUNDS
+from repro.compression import AdaptiveCompressor, GzipCompressor
+from repro.udsm.workload import compressible_payload, random_payload
+
+PAYLOADS = [
+    compressible_payload(100_000, 0),
+    random_payload(100_000, 1),
+    compressible_payload(100_000, 2),
+    random_payload(100_000, 3),
+]
+
+
+def roundtrip_all(codec):
+    total = 0
+    for payload in PAYLOADS:
+        out = codec.compress(payload)
+        total += len(out)
+        codec.decompress(out)
+    return total
+
+
+def test_always_gzip(benchmark, collector):
+    codec = GzipCompressor()
+    benchmark.group = "ablation-adaptive"
+    stored = benchmark.pedantic(roundtrip_all, args=(codec,), rounds=ROUNDS, warmup_rounds=1)
+    collector.record("ablation_adaptive", "always_gzip", 1, benchmark.stats.stats.median)
+    collector.record_value("ablation_adaptive_size", "always_gzip", 1, stored / 1e3, unit="KB")
+    collector.note(
+        "ablation_adaptive",
+        "Compress+decompress of a 50/50 compressible/incompressible 400KB mix.",
+    )
+
+
+def test_adaptive_gzip(benchmark, collector):
+    codec = AdaptiveCompressor(GzipCompressor())
+    benchmark.group = "ablation-adaptive"
+    stored = benchmark.pedantic(roundtrip_all, args=(codec,), rounds=ROUNDS, warmup_rounds=1)
+    collector.record("ablation_adaptive", "adaptive", 1, benchmark.stats.stats.median)
+    collector.record_value("ablation_adaptive_size", "adaptive", 1, stored / 1e3, unit="KB")
+
+
+def test_adaptive_never_larger_and_not_slower_by_much(benchmark):
+    import time
+
+    always = GzipCompressor()
+    adaptive = AdaptiveCompressor(GzipCompressor())
+
+    start = time.perf_counter()
+    always_size = roundtrip_all(always)
+    always_time = time.perf_counter() - start
+    start = time.perf_counter()
+    adaptive_size = roundtrip_all(adaptive)
+    adaptive_time = time.perf_counter() - start
+
+    benchmark.group = "ablation-adaptive"
+    benchmark.pedantic(lambda: None, rounds=1)
+    # Marker bytes aside, adaptive output is never meaningfully larger...
+    assert adaptive_size <= always_size + 16
+    # ...and on the incompressible half it skips the decompress CPU.
+    assert adaptive_time < always_time * 1.2

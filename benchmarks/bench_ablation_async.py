@@ -1,0 +1,85 @@
+"""Ablation: synchronous vs asynchronous interface (paper Section II.A).
+
+The asynchronous interface "can often considerably reduce the completion
+time" for applications that issue independent data store operations.  This
+bench issues a batch of independent writes against a simulated cloud store
+synchronously and then through the UDSM thread pool, and reports batch
+completion time.  Expected: async completion approaches sync / pool_size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TIME_SCALE
+from repro.kv import CLOUD_STORE_2, SimulatedCloudStore
+from repro.udsm.async_api import AsyncKeyValue
+from repro.udsm.pool import ThreadPool
+from repro.udsm.workload import random_payload
+
+BATCH = 16
+POOL_SIZE = 8
+PAYLOAD = random_payload(1_000)
+
+
+def make_store():
+    return SimulatedCloudStore(CLOUD_STORE_2, time_scale=TIME_SCALE, seed=5)
+
+
+def sync_batch(store):
+    for i in range(BATCH):
+        store.put(f"k{i}", PAYLOAD)
+
+
+def async_batch(async_store):
+    futures = async_store.put_all({f"k{i}": PAYLOAD for i in range(BATCH)})
+    for future in futures:
+        future.result(timeout=30)
+
+
+def test_sync_batch_completion(benchmark, collector):
+    store = make_store()
+    benchmark.group = "ablation-async"
+    benchmark.pedantic(sync_batch, args=(store,), rounds=3, warmup_rounds=1)
+    collector.record("ablation_async", "sync", BATCH, benchmark.stats.stats.median)
+    collector.note(
+        "ablation_async",
+        f"Completion time for {BATCH} independent 1KB cloud writes; "
+        f"pool size {POOL_SIZE}; x = batch size.",
+    )
+    store.close()
+
+
+def test_async_batch_completion(benchmark, collector):
+    store = make_store()
+    pool = ThreadPool(POOL_SIZE)
+    async_store = AsyncKeyValue(store, pool)
+    benchmark.group = "ablation-async"
+    benchmark.pedantic(async_batch, args=(async_store,), rounds=3, warmup_rounds=1)
+    collector.record("ablation_async", "async", BATCH, benchmark.stats.stats.median)
+    pool.shutdown()
+    store.close()
+
+
+def test_async_speedup_shape(benchmark, collector):
+    """Async must beat sync by a wide margin on independent cloud writes."""
+    store_sync = make_store()
+    store_async = make_store()
+    pool = ThreadPool(POOL_SIZE)
+    async_store = AsyncKeyValue(store_async, pool)
+    import time
+
+    start = time.perf_counter()
+    sync_batch(store_sync)
+    sync_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    async_batch(async_store)
+    async_time = time.perf_counter() - start
+
+    benchmark.group = "ablation-async"
+    benchmark.pedantic(lambda: None, rounds=1)  # registers the check as a bench entry
+    pool.shutdown()
+    store_sync.close()
+    store_async.close()
+    assert async_time < sync_time / 2, (sync_time, async_time)

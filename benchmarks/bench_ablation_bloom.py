@@ -1,0 +1,85 @@
+"""Ablation: Bloom-fronted remote cache on miss-heavy lookups.
+
+A remote cache charges a round trip to learn "not here"; the Bloom front
+answers locally.  This bench issues lookups that mostly miss against the
+real remote cache server, with and without the filter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ROUNDS
+from repro.caching import BloomFrontedCache, RemoteProcessCache
+
+N_LOOKUPS = 200
+HIT_FRACTION = 0.1  # 10% of lookups are for cached keys
+
+
+def run_lookups(cache) -> int:
+    hits = 0
+    for i in range(N_LOOKUPS):
+        if i % 10 == 0:
+            key = f"cached-{i % 20}"
+        else:
+            key = f"never-{i}"
+        from repro.caching import MISS
+
+        if cache.get(key) is not MISS:
+            hits += 1
+    return hits
+
+
+@pytest.fixture(scope="module")
+def caches(bench_server):
+    plain = RemoteProcessCache(bench_server.host, bench_server.port, namespace="bloomoff")
+    fronted = BloomFrontedCache(
+        RemoteProcessCache(bench_server.host, bench_server.port, namespace="bloomon"),
+        expected_items=1_000,
+    )
+    for i in range(20):
+        plain.put(f"cached-{i}", i)
+        fronted.put(f"cached-{i}", i)
+    yield plain, fronted
+    plain.clear()
+    fronted.clear()
+    plain.close()
+    fronted.close()
+
+
+def test_plain_remote_cache(benchmark, caches, collector):
+    plain, _fronted = caches
+    benchmark.group = "ablation-bloom"
+    hits = benchmark.pedantic(run_lookups, args=(plain,), rounds=ROUNDS, warmup_rounds=1)
+    assert hits == N_LOOKUPS * HIT_FRACTION
+    collector.record("ablation_bloom", "plain_remote", N_LOOKUPS, benchmark.stats.stats.median)
+    collector.note(
+        "ablation_bloom",
+        f"{N_LOOKUPS} lookups at {HIT_FRACTION:.0%} hit rate against the "
+        "remote cache server, with and without a local Bloom front.",
+    )
+
+
+def test_bloom_fronted_remote_cache(benchmark, caches, collector):
+    _plain, fronted = caches
+    benchmark.group = "ablation-bloom"
+    hits = benchmark.pedantic(run_lookups, args=(fronted,), rounds=ROUNDS, warmup_rounds=1)
+    assert hits == N_LOOKUPS * HIT_FRACTION
+    collector.record("ablation_bloom", "bloom_fronted", N_LOOKUPS, benchmark.stats.stats.median)
+    assert fronted.short_circuits > 0
+
+
+def test_bloom_saves_miss_roundtrips(benchmark, caches):
+    import time
+
+    plain, fronted = caches
+    start = time.perf_counter()
+    run_lookups(plain)
+    plain_time = time.perf_counter() - start
+    start = time.perf_counter()
+    run_lookups(fronted)
+    fronted_time = time.perf_counter() - start
+    benchmark.group = "ablation-bloom"
+    benchmark.pedantic(lambda: None, rounds=1)
+    # 90% of lookups skip the network entirely.
+    assert fronted_time < plain_time / 2

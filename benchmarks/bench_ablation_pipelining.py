@@ -1,0 +1,81 @@
+"""Ablation: round-trip amortisation on the remote cache path.
+
+Three ways to move N small values to/from the cache server:
+sequential commands (N round trips), a pipeline (1 flush, N replies), and
+the multi-key commands MGET/MSET (1 command).  The gap is pure round-trip
+cost -- the same force behind the paper's in-process vs remote cache
+ranking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ROUNDS
+from repro.net.client import CacheClient
+
+N_KEYS = 100
+ITEMS = {f"pipe{i}".encode(): str(i).encode() * 4 for i in range(N_KEYS)}
+KEYS = list(ITEMS)
+
+
+@pytest.fixture(scope="module")
+def pipeline_client(bench_server):
+    client = CacheClient(bench_server.host, bench_server.port)
+    client.mset(ITEMS)
+    yield client
+    client.flushall()
+    client.close()
+
+
+def test_sequential_gets(benchmark, pipeline_client, collector):
+    def run():
+        for key in KEYS:
+            pipeline_client.get(key)
+
+    benchmark.group = "ablation-pipelining"
+    benchmark.pedantic(run, rounds=ROUNDS, warmup_rounds=1)
+    collector.record("ablation_pipelining", "sequential", N_KEYS, benchmark.stats.stats.median)
+    collector.note(
+        "ablation_pipelining",
+        f"Fetching {N_KEYS} small values from the cache server, three ways.",
+    )
+
+
+def test_pipelined_gets(benchmark, pipeline_client, collector):
+    def run():
+        pipe = pipeline_client.pipeline()
+        for key in KEYS:
+            pipe.get(key)
+        return pipe.execute()
+
+    benchmark.group = "ablation-pipelining"
+    replies = benchmark.pedantic(run, rounds=ROUNDS, warmup_rounds=1)
+    assert len(replies) == N_KEYS
+    collector.record("ablation_pipelining", "pipelined", N_KEYS, benchmark.stats.stats.median)
+
+
+def test_mget(benchmark, pipeline_client, collector):
+    benchmark.group = "ablation-pipelining"
+    values = benchmark.pedantic(
+        pipeline_client.mget, args=(KEYS,), rounds=ROUNDS, warmup_rounds=1
+    )
+    assert len(values) == N_KEYS
+    collector.record("ablation_pipelining", "mget", N_KEYS, benchmark.stats.stats.median)
+
+
+def test_batching_beats_sequential(benchmark, pipeline_client):
+    import time
+
+    start = time.perf_counter()
+    for key in KEYS:
+        pipeline_client.get(key)
+    sequential = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pipeline_client.mget(KEYS)
+    batched = time.perf_counter() - start
+
+    benchmark.group = "ablation-pipelining"
+    benchmark.pedantic(lambda: None, rounds=1)
+    assert batched < sequential / 3

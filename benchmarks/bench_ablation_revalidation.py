@@ -1,0 +1,78 @@
+"""Ablation: revalidating expired entries vs refetching them.
+
+Section III's central expiration-management claim: keeping expired entries
+and revalidating them with a conditional get ("If-Modified-Since") saves
+"considerable bandwidth" when the object hasn't changed, because only a
+version token crosses the network.  This bench measures an expired-entry
+read against a simulated cloud store, with revalidation on and off, across
+object sizes.  Expected: the refetch cost grows with size, the revalidation
+cost stays flat at ~one RTT.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ROUNDS, TIME_SCALE, size_id
+from repro.core import EnhancedDataStoreClient
+from repro.kv import CLOUD_STORE_2, SimulatedCloudStore
+from repro.udsm.workload import random_payload
+
+SIZES = (1_000, 100_000, 1_000_000)
+
+
+def expired_read_cost(size: int, *, revalidate: bool, rounds: int) -> list[float]:
+    """Simulated seconds per read of an always-expired, unchanged entry."""
+    store = SimulatedCloudStore(CLOUD_STORE_2, time_scale=TIME_SCALE, seed=size)
+    client = EnhancedDataStoreClient(
+        store, default_ttl=1e-9, revalidate_expired=revalidate
+    )
+    client.put("obj", random_payload(size))
+    client.get("obj")  # prime the (instantly expired) entry
+    costs = []
+    for _ in range(rounds):
+        before = store.simulated_seconds
+        client.get("obj")
+        costs.append(store.simulated_seconds - before)
+    store.close()
+    return costs
+
+
+@pytest.mark.parametrize("size", SIZES, ids=size_id)
+def test_refetch_cost(benchmark, collector, size):
+    benchmark.group = "ablation-revalidation"
+    costs = benchmark.pedantic(
+        expired_read_cost, args=(size,), kwargs={"revalidate": False, "rounds": ROUNDS},
+        rounds=1,
+    )
+    mean = sum(costs) / len(costs)
+    collector.record("ablation_revalidation", "refetch", size, mean)
+    collector.note(
+        "ablation_revalidation",
+        "Cost (simulated WAN seconds, as ms) of reading an expired-but-"
+        "unchanged cloud object: full refetch vs conditional revalidation.",
+    )
+
+
+@pytest.mark.parametrize("size", SIZES, ids=size_id)
+def test_revalidation_cost(benchmark, collector, size):
+    benchmark.group = "ablation-revalidation"
+    costs = benchmark.pedantic(
+        expired_read_cost, args=(size,), kwargs={"revalidate": True, "rounds": ROUNDS},
+        rounds=1,
+    )
+    mean = sum(costs) / len(costs)
+    collector.record("ablation_revalidation", "revalidate", size, mean)
+
+
+def test_revalidation_is_flat_and_cheap(benchmark, collector):
+    """Shape: refetch grows with size; revalidation doesn't."""
+    benchmark.group = "ablation-revalidation"
+    benchmark.pedantic(lambda: None, rounds=1)
+    refetch_small = sum(expired_read_cost(1_000, revalidate=False, rounds=3)) / 3
+    refetch_large = sum(expired_read_cost(1_000_000, revalidate=False, rounds=3)) / 3
+    reval_small = sum(expired_read_cost(1_000, revalidate=True, rounds=3)) / 3
+    reval_large = sum(expired_read_cost(1_000_000, revalidate=True, rounds=3)) / 3
+    assert refetch_large > refetch_small * 2      # size-dependent
+    assert reval_large < reval_small * 3          # ~flat (jitter allowance)
+    assert reval_large < refetch_large / 3        # the §III saving

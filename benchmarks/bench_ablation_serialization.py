@@ -1,0 +1,50 @@
+"""Ablation: serializer cost on the remote-cache path (Section III).
+
+Remote-process caches pay serialization on every operation -- one of the two
+costs (with IPC) that make them slower than in-process caches.  This bench
+isolates the serializer's share by pushing the same logical value through
+the remote cache with pickle, JSON, and raw-bytes codecs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import ROUNDS
+from repro.caching import RemoteProcessCache
+from repro.serialization import BytesSerializer, JsonSerializer, PickleSerializer
+
+VALUE = {"rows": [{"id": i, "name": f"row-{i}", "score": i * 1.5} for i in range(500)]}
+
+SERIALIZERS = {
+    "pickle": (PickleSerializer(), lambda: VALUE),
+    "json": (JsonSerializer(), lambda: VALUE),
+    # The bytes codec needs bytes in, so pre-encode the same value once.
+    "raw-bytes": (BytesSerializer(), lambda: json.dumps(VALUE).encode()),
+}
+
+
+@pytest.mark.parametrize("name", list(SERIALIZERS))
+def test_remote_cache_serializer_roundtrip(benchmark, bench_server, collector, name):
+    serializer, value_factory = SERIALIZERS[name]
+    cache = RemoteProcessCache(
+        bench_server.host, bench_server.port,
+        serializer=serializer, namespace=f"ser-{name}",
+    )
+    value = value_factory()
+
+    def roundtrip():
+        cache.put("k", value)
+        return cache.get("k")
+
+    benchmark.group = "ablation-serialization"
+    benchmark.pedantic(roundtrip, rounds=ROUNDS, warmup_rounds=1)
+    collector.record("ablation_serialization", name, 1, benchmark.stats.stats.median)
+    collector.note(
+        "ablation_serialization",
+        "Remote-cache put+get latency by serializer for one structured value.",
+    )
+    cache.clear()
+    cache.close()

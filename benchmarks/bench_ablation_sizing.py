@@ -1,0 +1,95 @@
+"""Ablation: cache sizing from stack-distance profiles, and sharding.
+
+Two questions:
+
+1. How well does the Mattson profile predict the hit rate an LRU cache of
+   each size would achieve?  (It is exact; this demonstrates it on a Zipf
+   trace at benchmark scale, and records the curve for EXPERIMENTS.md.)
+2. What does consistent-hash sharding cost per operation, and how evenly
+   does it spread load?
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import ROUNDS
+from repro.caching import (
+    MISS,
+    InProcessCache,
+    ShardedCache,
+    StackDistanceProfiler,
+)
+
+KEY_SPACE = 1_000
+TRACE_LEN = 20_000
+SIZES = (10, 50, 100, 250, 500, 1_000)
+
+
+def make_trace() -> list[str]:
+    rng = random.Random(42)
+    weights = [1.0 / (rank**1.1) for rank in range(1, KEY_SPACE + 1)]
+    return [f"k{i}" for i in rng.choices(range(KEY_SPACE), weights, k=TRACE_LEN)]
+
+
+TRACE = make_trace()
+
+
+def test_profile_one_pass_cost(benchmark, collector):
+    """One profiling pass predicts every cache size at once."""
+    def run():
+        profiler = StackDistanceProfiler()
+        profiler.record_trace(TRACE)
+        return profiler
+
+    benchmark.group = "ablation-sizing"
+    profiler = benchmark.pedantic(run, rounds=1)
+    for size, rate in profiler.curve(SIZES):
+        collector.record_value("ablation_sizing", "predicted", size, rate, unit="hit_rate")
+    collector.note(
+        "ablation_sizing",
+        f"Predicted (Mattson) vs measured LRU hit rate; Zipf(1.1) trace of "
+        f"{TRACE_LEN} accesses over {KEY_SPACE} keys.",
+    )
+
+
+@pytest.mark.parametrize("capacity", SIZES)
+def test_measured_lru_hit_rate(benchmark, collector, capacity):
+    def run():
+        cache = InProcessCache(max_entries=capacity, policy="lru")
+        for key in TRACE:
+            if cache.get(key) is MISS:
+                cache.put(key, key)
+        return cache.stats.snapshot().hit_rate
+
+    benchmark.group = "ablation-sizing"
+    hit_rate = benchmark.pedantic(run, rounds=1)
+    collector.record_value("ablation_sizing", "measured", capacity, hit_rate, unit="hit_rate")
+
+
+def test_sharded_overhead_and_balance(benchmark, collector):
+    """Per-op cost of the hash ring, and shard balance on real keys."""
+    sharded = ShardedCache({f"s{i}": InProcessCache() for i in range(4)})
+    plain = InProcessCache()
+    for i in range(1_000):
+        sharded.put(f"k{i}", i)
+        plain.put(f"k{i}", i)
+
+    def run():
+        for i in range(0, 1_000, 10):
+            sharded.get(f"k{i}")
+
+    benchmark.group = "ablation-sizing"
+    benchmark.pedantic(run, rounds=ROUNDS, warmup_rounds=1)
+    distribution = sharded.distribution()
+    assert min(distribution.values()) > 0
+    assert max(distribution.values()) / (1_000 / 4) < 1.6
+    collector.record(
+        "ablation_sharding", "sharded_100gets", 100, benchmark.stats.stats.median
+    )
+    collector.note(
+        "ablation_sharding",
+        f"100 gets through a 4-shard consistent-hash cache; balance {distribution}.",
+    )

@@ -1,0 +1,96 @@
+"""Ablation: the cost of atomicity (two-phase commit vs direct writes).
+
+2PC doubles the writes (stage + flip) and adds log records; this bench
+quantifies the multiplier on a local SQL store and on a simulated cloud
+store, plus the coherence bus's invalidation propagation latency.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import ROUNDS, TIME_SCALE
+from repro.caching import InProcessCache
+from repro.consistency import CoherentClient, InvalidationBus
+from repro.kv import CLOUD_STORE_2, InMemoryStore, SimulatedCloudStore
+from repro.txn import TwoPhaseCommitCoordinator
+
+N_KEYS = 4
+ITEMS = {f"k{i}": {"value": i} for i in range(N_KEYS)}
+
+
+def test_direct_writes_baseline(benchmark, collector):
+    store = InMemoryStore()
+
+    def run():
+        for key, value in ITEMS.items():
+            store.put(key, value)
+
+    benchmark.group = "ablation-transactions"
+    benchmark.pedantic(run, rounds=ROUNDS, warmup_rounds=1)
+    collector.record("ablation_transactions", "direct", N_KEYS, benchmark.stats.stats.median)
+    collector.note(
+        "ablation_transactions",
+        f"Writing {N_KEYS} keys: direct puts vs atomic two-phase commit.",
+    )
+
+
+def test_two_phase_commit_overhead(benchmark, collector):
+    store = InMemoryStore()
+    log = InMemoryStore()
+    coordinator = TwoPhaseCommitCoordinator(log, {"s": store})
+
+    def run():
+        coordinator.execute({"s": dict(ITEMS)})
+
+    benchmark.group = "ablation-transactions"
+    benchmark.pedantic(run, rounds=ROUNDS, warmup_rounds=1)
+    collector.record("ablation_transactions", "2pc", N_KEYS, benchmark.stats.stats.median)
+
+
+def test_two_phase_commit_on_cloud(benchmark, collector):
+    """On a WAN store the 2x write amplification dominates (2 RTTs/key)."""
+    store = SimulatedCloudStore(CLOUD_STORE_2, time_scale=TIME_SCALE, seed=9)
+    log = InMemoryStore()
+    coordinator = TwoPhaseCommitCoordinator(log, {"cloud": store})
+
+    def run():
+        coordinator.execute({"cloud": dict(ITEMS)})
+
+    benchmark.group = "ablation-transactions"
+    benchmark.pedantic(run, rounds=2, warmup_rounds=1)
+    collector.record(
+        "ablation_transactions", "2pc_cloud", N_KEYS, benchmark.stats.stats.median
+    )
+    store.close()
+
+
+def test_invalidation_propagation_latency(benchmark, bench_server, collector):
+    """Write-to-peer-invalidation latency through the coherence bus."""
+    shared = InMemoryStore()
+    bus_a = InvalidationBus(bench_server.host, bench_server.port, channel="bench", origin_id="A")
+    bus_b = InvalidationBus(bench_server.host, bench_server.port, channel="bench", origin_id="B")
+    writer = CoherentClient(shared, bus_a, cache=InProcessCache())
+    reader = CoherentClient(shared, bus_b, cache=InProcessCache())
+
+    writer.put("k", 0)
+    reader.get("k")
+
+    def write_and_wait():
+        reader.get("k")  # ensure the reader holds a cached copy to drop
+        target = reader.peer_invalidations + 1
+        writer.put("k", time.monotonic())
+        deadline = time.monotonic() + 5
+        while reader.peer_invalidations < target and time.monotonic() < deadline:
+            time.sleep(0.0002)
+        assert reader.peer_invalidations >= target
+
+    benchmark.group = "ablation-transactions"
+    benchmark.pedantic(write_and_wait, rounds=ROUNDS, warmup_rounds=1)
+    collector.record(
+        "ablation_transactions", "invalidation_latency", 1, benchmark.stats.stats.median
+    )
+    bus_a.close()
+    bus_b.close()

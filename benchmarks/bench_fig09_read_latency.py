@@ -1,0 +1,29 @@
+"""Figure 9: average read latency vs object size for the five data stores.
+
+Paper shape: cloud1 > cloud2 >> local stores at every size; redis beats the
+file system for small objects but loses above ~50 KB; redis >> MySQL for
+small objects with convergence as objects grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ROUNDS, SIZES, STORE_NAMES, size_id
+from repro.udsm.workload import random_payload
+
+
+@pytest.mark.parametrize("size", SIZES, ids=size_id)
+@pytest.mark.parametrize("store_name", STORE_NAMES)
+def test_fig09_read(benchmark, bench_stores, collector, store_name, size):
+    store = bench_stores[store_name]
+    key = f"fig09:{size}"
+    store.put(key, random_payload(size))
+    benchmark.group = f"fig09-read-{size_id(size)}"
+    benchmark.pedantic(store.get, args=(key,), rounds=ROUNDS, warmup_rounds=1)
+    store.delete(key)
+    collector.record("fig09_read_latency", store_name, size, benchmark.stats.stats.median)
+    collector.note(
+        "fig09_read_latency",
+        "Read latency vs size; cloud stores simulated at 1/10 WAN scale.",
+    )

@@ -1,0 +1,29 @@
+"""Figure 10: average write latency vs object size for the five data stores.
+
+Paper shape: cloud1 highest, then cloud2; MySQL has the highest *local*
+write latency (commit cost); redis beats the file system below ~10 KB,
+ties at 20-100 KB, loses above ~100 KB; writes exceed reads everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ROUNDS, SIZES, STORE_NAMES, size_id
+from repro.udsm.workload import random_payload
+
+
+@pytest.mark.parametrize("size", SIZES, ids=size_id)
+@pytest.mark.parametrize("store_name", STORE_NAMES)
+def test_fig10_write(benchmark, bench_stores, collector, store_name, size):
+    store = bench_stores[store_name]
+    key = f"fig10:{size}"
+    payload = random_payload(size)
+    benchmark.group = f"fig10-write-{size_id(size)}"
+    benchmark.pedantic(store.put, args=(key, payload), rounds=ROUNDS, warmup_rounds=1)
+    store.delete(key)
+    collector.record("fig10_write_latency", store_name, size, benchmark.stats.stats.median)
+    collector.note(
+        "fig10_write_latency",
+        "Write latency vs size; cloud stores simulated at 1/10 WAN scale.",
+    )

@@ -1,0 +1,89 @@
+"""Figures 11-19: read latency vs size at cache hit rates 0/25/50/75/100%.
+
+One figure per (data store, cache type) pair, exactly as in the paper:
+
+====== =========== ================
+figure data store  cache
+====== =========== ================
+  11   cloud1      in-process
+  12   cloud1      remote process
+  13   cloud2      in-process
+  14   cloud2      remote process
+  15   sql         in-process
+  16   sql         remote process
+  17   file        in-process
+  18   file        remote process
+  19   redis       in-process
+====== =========== ================
+
+Methodology is the paper's: measure the no-cache latency and the 100%-hit
+latency per size, extrapolate the intermediate hit rates linearly.
+
+Paper shapes to look for in the results: the in-process 100%-hit curves are
+flat and far below everything; remote caching helps the cloud stores at all
+sizes, helps SQL modestly for large objects, and for the *file* store is
+only worthwhile for small objects (the cache itself is slower than the
+store for large ones).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ROUNDS, SIZES, TIME_SCALE
+from repro.caching import InProcessCache, RemoteProcessCache
+from repro.udsm.workload import CachedReadSpec, WorkloadGenerator
+
+#: (figure number, store name, cache kind)
+COMBOS = [
+    (11, "cloud1", "inproc"),
+    (12, "cloud1", "remote"),
+    (13, "cloud2", "inproc"),
+    (14, "cloud2", "remote"),
+    (15, "sql", "inproc"),
+    (16, "sql", "remote"),
+    (17, "file", "inproc"),
+    (18, "file", "remote"),
+    (19, "redis", "inproc"),
+]
+
+HIT_RATES = (0.0, 0.25, 0.50, 0.75, 1.0)
+
+
+def make_cache(kind: str, server, tag: str):
+    if kind == "inproc":
+        return InProcessCache(name="inprocess")
+    return RemoteProcessCache(server.host, server.port, namespace=f"figcache-{tag}")
+
+
+@pytest.mark.parametrize(
+    "figure,store_name,cache_kind",
+    COMBOS,
+    ids=[f"fig{figure}-{store}-{kind}" for figure, store, kind in COMBOS],
+)
+def test_caching_figure(
+    benchmark, bench_stores, bench_server, collector, figure, store_name, cache_kind
+):
+    store = bench_stores[store_name]
+    cache = make_cache(cache_kind, bench_server, f"{figure}")
+    generator = WorkloadGenerator(sizes=SIZES, repeats=ROUNDS, key_prefix=f"fig{figure}")
+    benchmark.group = "fig11-19-caching"
+
+    curve = benchmark.pedantic(
+        generator.measure_cached_reads,
+        args=(store, cache),
+        kwargs={"spec": CachedReadSpec(hit_rates=HIT_RATES)},
+        rounds=1,
+        iterations=1,
+    )
+
+    figure_name = f"fig{figure}_{store_name}_{cache_kind}"
+    for rate, series in curve.curves.items():
+        collector.record_series(figure_name, f"hit{int(rate * 100):03d}", series)
+    collector.note(
+        figure_name,
+        f"{store_name} reads with {cache_kind} cache at hit rates "
+        f"{[int(r * 100) for r in HIT_RATES]}%; extrapolated from measured "
+        f"0%%/100%% endpoints (paper methodology); cloud time scale {TIME_SCALE}.",
+    )
+    cache.close()

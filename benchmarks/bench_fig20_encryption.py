@@ -1,0 +1,39 @@
+"""Figure 20: AES-128 encryption and decryption time vs data size.
+
+Paper shape: AES is symmetric, so encryption and decryption times are
+similar, and both grow roughly linearly with size.  We benchmark AES-GCM
+(the recommended mode) and AES-CBC (the paper-era mode) with 128-bit keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ROUNDS, SIZES, size_id
+from repro.security import AesCbcEncryptor, AesGcmEncryptor
+from repro.udsm.workload import random_payload
+
+KEY = bytes(range(16))  # fixed 128-bit key for reproducibility
+
+ENCRYPTORS = {"aes-gcm": AesGcmEncryptor(KEY), "aes-cbc": AesCbcEncryptor(KEY)}
+
+
+@pytest.mark.parametrize("size", SIZES, ids=size_id)
+@pytest.mark.parametrize("mode", list(ENCRYPTORS))
+def test_fig20_encrypt(benchmark, collector, mode, size):
+    encryptor = ENCRYPTORS[mode]
+    payload = random_payload(size)
+    benchmark.group = f"fig20-encrypt-{size_id(size)}"
+    benchmark.pedantic(encryptor.encrypt, args=(payload,), rounds=ROUNDS, warmup_rounds=1)
+    collector.record("fig20_encryption", f"{mode}-encrypt", size, benchmark.stats.stats.median)
+    collector.note("fig20_encryption", "AES-128 encrypt/decrypt time vs size.")
+
+
+@pytest.mark.parametrize("size", SIZES, ids=size_id)
+@pytest.mark.parametrize("mode", list(ENCRYPTORS))
+def test_fig20_decrypt(benchmark, collector, mode, size):
+    encryptor = ENCRYPTORS[mode]
+    ciphertext = encryptor.encrypt(random_payload(size))
+    benchmark.group = f"fig20-decrypt-{size_id(size)}"
+    benchmark.pedantic(encryptor.decrypt, args=(ciphertext,), rounds=ROUNDS, warmup_rounds=1)
+    collector.record("fig20_encryption", f"{mode}-decrypt", size, benchmark.stats.stats.median)

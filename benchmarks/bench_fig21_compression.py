@@ -1,0 +1,37 @@
+"""Figure 21: gzip compression and decompression time vs data size.
+
+Paper shape: decompression times are roughly comparable to AES
+encryption/decryption, while compression costs several times more than
+decompression.  Payloads are compressible (text-like), as the paper's
+file-derived objects were; gzip on random bytes measures its worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ROUNDS, SIZES, size_id
+from repro.compression import GzipCompressor
+from repro.udsm.workload import compressible_payload
+
+CODEC = GzipCompressor()
+
+
+@pytest.mark.parametrize("size", SIZES, ids=size_id)
+def test_fig21_compress(benchmark, collector, size):
+    payload = compressible_payload(size)
+    benchmark.group = f"fig21-compress-{size_id(size)}"
+    benchmark.pedantic(CODEC.compress, args=(payload,), rounds=ROUNDS, warmup_rounds=1)
+    collector.record("fig21_compression", "gzip-compress", size, benchmark.stats.stats.median)
+    collector.note(
+        "fig21_compression",
+        "gzip compress/decompress time vs size on compressible payloads.",
+    )
+
+
+@pytest.mark.parametrize("size", SIZES, ids=size_id)
+def test_fig21_decompress(benchmark, collector, size):
+    compressed = CODEC.compress(compressible_payload(size))
+    benchmark.group = f"fig21-decompress-{size_id(size)}"
+    benchmark.pedantic(CODEC.decompress, args=(compressed,), rounds=ROUNDS, warmup_rounds=1)
+    collector.record("fig21_compression", "gzip-decompress", size, benchmark.stats.stats.median)

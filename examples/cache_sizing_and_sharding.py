@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Sizing a cache before buying it, then scaling it out.
+
+Two operational questions every caching deployment faces, answered with
+library tools:
+
+1. *How big must the cache be?*  One profiling pass over a real access
+   trace (Mattson stack distances) predicts the LRU hit rate of every
+   cache size at once -- no trial-and-error deployments.
+2. *What if one cache node isn't enough?*  Consistent-hash sharding
+   spreads the keyspace over several cache servers; adding a node remaps
+   only ~1/N of the keys.
+
+Run:  python examples/cache_sizing_and_sharding.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.caching import (
+    MISS,
+    InProcessCache,
+    RemoteProcessCache,
+    ShardedCache,
+    StackDistanceProfiler,
+)
+from repro.net import ServerHandle
+from repro.udsm.report import format_table
+
+
+def make_trace(accesses: int = 30_000, key_space: int = 2_000) -> list[str]:
+    """A Zipf-skewed key stream, the shape of real cache workloads."""
+    rng = random.Random(2024)
+    weights = [1.0 / (rank**1.08) for rank in range(1, key_space + 1)]
+    return [f"item:{i}" for i in rng.choices(range(key_space), weights, k=accesses)]
+
+
+def sizing_demo(trace: list[str]) -> None:
+    profiler = StackDistanceProfiler()
+    profiler.record_trace(trace)
+
+    sizes = (50, 100, 250, 500, 1_000, 2_000)
+    rows = []
+    for size, predicted in profiler.curve(sizes):
+        # Validate the prediction by actually running an LRU cache.
+        cache = InProcessCache(max_entries=size)
+        for key in trace:
+            if cache.get(key) is MISS:
+                cache.put(key, key)
+        measured = cache.stats.snapshot().hit_rate
+        rows.append((size, f"{predicted:.3f}", f"{measured:.3f}"))
+    print("LRU hit rate by cache size (one profiling pass vs simulation):")
+    print(format_table(("entries", "predicted", "measured"), rows))
+
+    for target in (0.5, 0.8, 0.95):
+        size = profiler.optimal_size(target)
+        print(f"  smallest cache reaching {target:.0%} hits: {size} entries")
+
+
+def sharding_demo(trace: list[str]) -> None:
+    print("\nsharding the cache over three real cache-server processes:")
+    handles = [ServerHandle.start_in_thread() for _ in range(3)]
+    shards = {
+        f"node{i}": RemoteProcessCache(handle.host, handle.port, namespace="shard")
+        for i, handle in enumerate(handles)
+    }
+    cache = ShardedCache(shards)
+
+    for key in trace[:5_000]:
+        if cache.get(key) is MISS:
+            cache.put(key, f"value-of-{key}")
+    print(f"  entries per node: {cache.distribution()}")
+    print(f"  composite hit rate so far: {cache.stats.hit_rate:.0%}")
+
+    # Scale out: a fourth node joins; only ~1/4 of keys remap.
+    extra = ServerHandle.start_in_thread()
+    cache.add_shard("node3", RemoteProcessCache(extra.host, extra.port, namespace="shard"))
+    still_resident = sum(
+        1 for key in set(trace[:5_000]) if cache.get_quiet(key) is not MISS
+    )
+    total = len(set(trace[:5_000]))
+    print(f"  after adding node3: {still_resident}/{total} keys still resident "
+          f"({still_resident / total:.0%}; modulo hashing would keep ~25%)")
+
+    cache.close()
+    for handle in handles:
+        handle.stop()
+    extra.stop()
+
+
+if __name__ == "__main__":
+    trace = make_trace()
+    sizing_demo(trace)
+    sharding_demo(trace)

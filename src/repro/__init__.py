@@ -1,0 +1,189 @@
+"""repro -- enhanced data store clients and a Universal Data Store Manager.
+
+A from-scratch Python reproduction of "Providing Enhanced Functionality for
+Data Store Clients" (Arun Iyengar, ICDE 2017): a Data Store Client Library
+(DSCL) adding integrated caching, encryption, compression, and delta
+encoding to any key-value data store, plus a Universal Data Store Manager
+(UDSM) giving applications a common synchronous *and* asynchronous interface
+to many heterogeneous stores, with performance monitoring and a workload
+generator.
+
+Quickstart::
+
+    from repro import UniversalDataStoreManager, InMemoryStore
+
+    with UniversalDataStoreManager() as udsm:
+        udsm.register("mem", InMemoryStore())
+        store = udsm.store("mem")
+        store.put("greeting", "hello")
+        future = udsm.async_store("mem").get("greeting")
+        print(future.result())
+
+See README.md for the architecture overview and DESIGN.md for the paper
+mapping.
+"""
+
+from .errors import (
+    CacheError,
+    CompressionError,
+    ConfigurationError,
+    DataStoreError,
+    DeltaEncodingError,
+    EncryptionError,
+    KeyNotFoundError,
+    SerializationError,
+    StoreConnectionError,
+)
+from .serialization import (
+    BytesSerializer,
+    JsonSerializer,
+    PickleSerializer,
+    Serializer,
+    StringSerializer,
+)
+from .kv import (
+    CLOUD_STORE_1,
+    CLOUD_STORE_2,
+    NOT_MODIFIED,
+    CloudStoreProfile,
+    FileSystemStore,
+    InMemoryStore,
+    KeyValueStore,
+    NamespacedStore,
+    ReadOnlyStore,
+    RemoteKeyValueStore,
+    SimulatedCloudStore,
+    SQLStore,
+    TransformingStore,
+)
+from .net import CacheClient, CacheServer, LatencyModel, RealClock, ServerHandle, VirtualClock
+from .caching import (
+    MISS,
+    Cache,
+    CacheEntry,
+    ExpiringCache,
+    Freshness,
+    InProcessCache,
+    KeyValueStoreCache,
+    RemoteProcessCache,
+    TieredCache,
+    make_policy,
+)
+from .security import (
+    AesCbcEncryptor,
+    AesGcmEncryptor,
+    Encryptor,
+    RotatingEncryptor,
+    derive_key,
+    generate_key,
+)
+from .compression import (
+    AdaptiveCompressor,
+    Compressor,
+    GzipCompressor,
+    LzmaCompressor,
+    ZlibCompressor,
+)
+from .tools import copy_store, verify_stores
+from .delta import DeltaCodec, DeltaStoreManager, apply_delta, encode_delta
+from .core import DSCL, EnhancedDataStoreClient, ValuePipeline, WritePolicy
+from .txn import TwoPhaseCommitCoordinator, atomic_put_many
+from .consistency import CoherentClient, InvalidationBus
+from .udsm import (
+    AsyncKeyValue,
+    ListenableFuture,
+    MonitoredStore,
+    PerformanceMonitor,
+    ThreadPool,
+    UniversalDataStoreManager,
+    WorkloadGenerator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "DataStoreError",
+    "KeyNotFoundError",
+    "StoreConnectionError",
+    "SerializationError",
+    "EncryptionError",
+    "CompressionError",
+    "DeltaEncodingError",
+    "CacheError",
+    "ConfigurationError",
+    # serialization
+    "Serializer",
+    "PickleSerializer",
+    "JsonSerializer",
+    "BytesSerializer",
+    "StringSerializer",
+    # stores
+    "KeyValueStore",
+    "InMemoryStore",
+    "FileSystemStore",
+    "SQLStore",
+    "SimulatedCloudStore",
+    "CloudStoreProfile",
+    "CLOUD_STORE_1",
+    "CLOUD_STORE_2",
+    "RemoteKeyValueStore",
+    "NamespacedStore",
+    "ReadOnlyStore",
+    "TransformingStore",
+    "NOT_MODIFIED",
+    # networking
+    "LatencyModel",
+    "RealClock",
+    "VirtualClock",
+    "CacheServer",
+    "CacheClient",
+    "ServerHandle",
+    # caching
+    "Cache",
+    "MISS",
+    "CacheEntry",
+    "InProcessCache",
+    "RemoteProcessCache",
+    "TieredCache",
+    "KeyValueStoreCache",
+    "ExpiringCache",
+    "Freshness",
+    "make_policy",
+    # security / compression / delta
+    "Encryptor",
+    "AesGcmEncryptor",
+    "AesCbcEncryptor",
+    "generate_key",
+    "derive_key",
+    "RotatingEncryptor",
+    "Compressor",
+    "GzipCompressor",
+    "ZlibCompressor",
+    "LzmaCompressor",
+    "AdaptiveCompressor",
+    "copy_store",
+    "verify_stores",
+    "DeltaCodec",
+    "DeltaStoreManager",
+    "encode_delta",
+    "apply_delta",
+    # core
+    "DSCL",
+    "ValuePipeline",
+    "EnhancedDataStoreClient",
+    "WritePolicy",
+    # transactions and coherence (paper future work)
+    "TwoPhaseCommitCoordinator",
+    "atomic_put_many",
+    "InvalidationBus",
+    "CoherentClient",
+    # udsm
+    "UniversalDataStoreManager",
+    "AsyncKeyValue",
+    "ListenableFuture",
+    "ThreadPool",
+    "PerformanceMonitor",
+    "MonitoredStore",
+    "WorkloadGenerator",
+]

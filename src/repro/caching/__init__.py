@@ -1,0 +1,72 @@
+"""Client-side caching (paper Section III).
+
+The DSCL supports multiple cache implementations behind one small
+:class:`~repro.caching.interface.Cache` interface:
+
+* :class:`~repro.caching.inprocess.InProcessCache` -- data lives inside the
+  application process (the paper's Guava-cache analogue).  No IPC, no
+  serialization; optionally stores references directly (fast, aliasing
+  caveat) or defensive copies.
+* :class:`~repro.caching.remote.RemoteProcessCache` -- data lives in a
+  separate cache server process (the Redis/memcached analogue), shared
+  across clients, paying real serialization + IPC costs.
+* :class:`~repro.caching.tiered.TieredCache` -- an L1 in-process cache over
+  an L2 remote cache.
+
+Expiration times are managed *above* the cache by
+:class:`~repro.caching.expiration.ExpiringCache`, exactly as the paper
+prescribes: not every cache supports TTLs, and expired entries must be
+*retained* so they can be revalidated against the origin store instead of
+re-fetched in full.
+"""
+
+from .interface import MISS, Cache, Miss
+from .entry import CacheEntry
+from .stats import CacheStats
+from .policies import (
+    ClockPolicy,
+    EvictionPolicy,
+    FIFOPolicy,
+    GreedyDualSizePolicy,
+    LFUPolicy,
+    LRUPolicy,
+    make_policy,
+)
+from .inprocess import InProcessCache
+from .remote import RemoteProcessCache
+from .expiration import ExpiringCache, Freshness, LookupResult
+from .tiered import TieredCache
+from .kvadapter import KeyValueStoreCache
+from .warmup import load_cache, save_cache
+from .sharded import HashRing, ShardedCache
+from .profiling import StackDistanceProfiler
+from .bloom import BloomFilter, BloomFrontedCache
+
+__all__ = [
+    "Cache",
+    "Miss",
+    "MISS",
+    "CacheEntry",
+    "CacheStats",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "ClockPolicy",
+    "GreedyDualSizePolicy",
+    "make_policy",
+    "InProcessCache",
+    "RemoteProcessCache",
+    "ExpiringCache",
+    "Freshness",
+    "LookupResult",
+    "TieredCache",
+    "KeyValueStoreCache",
+    "save_cache",
+    "load_cache",
+    "HashRing",
+    "ShardedCache",
+    "StackDistanceProfiler",
+    "BloomFilter",
+    "BloomFrontedCache",
+]

@@ -1,0 +1,178 @@
+"""Bloom-filter front for remote caches.
+
+A remote-process cache charges a full network round trip to discover a
+*miss* -- the worst deal in caching: pay latency, receive nothing.  A local
+Bloom filter over the cache's keys answers "definitely not cached" in
+nanoseconds, so miss-heavy workloads skip most of those wasted trips.
+
+Properties of the classic Bloom filter apply:
+
+* **no false negatives** -- if the filter says "absent", the key was never
+  inserted, so short-circuiting the lookup is always safe;
+* **tunable false positives** -- a "maybe present" still goes to the
+  remote cache and may miss there; the configured ``fp_rate`` bounds how
+  often (for up to ``expected_items`` inserted keys);
+* **no deletion** -- deleted keys stay in the filter as false positives
+  until :meth:`BloomFrontedCache.rebuild` resynchronises it from the
+  cache's actual keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterator
+
+from ..errors import ConfigurationError
+from .interface import MISS, Cache
+
+__all__ = ["BloomFilter", "BloomFrontedCache"]
+
+
+class BloomFilter:
+    """Plain Bloom filter over strings (bit array packed into an int)."""
+
+    def __init__(self, expected_items: int = 10_000, fp_rate: float = 0.01) -> None:
+        """Size the filter for *expected_items* at *fp_rate* false positives.
+
+        Standard sizing: ``m = -n ln(p) / (ln 2)^2`` bits and
+        ``k = (m/n) ln 2`` hash functions.
+        """
+        if expected_items < 1:
+            raise ConfigurationError("expected_items must be positive")
+        if not 0.0 < fp_rate < 1.0:
+            raise ConfigurationError("fp_rate must be in (0, 1)")
+        self.size_bits = max(8, int(-expected_items * math.log(fp_rate) / math.log(2) ** 2))
+        self.hash_count = max(1, round(self.size_bits / expected_items * math.log(2)))
+        self._bits = 0
+        self._items = 0
+
+    def _positions(self, key: str) -> Iterator[int]:
+        # Double hashing: two independent 64-bit values combine into k
+        # positions (Kirsch-Mitzenmacher).
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        for i in range(self.hash_count):
+            yield (h1 + i * h2) % self.size_bits
+
+    def add(self, key: str) -> None:
+        for position in self._positions(key):
+            self._bits |= 1 << position
+        self._items += 1
+
+    def might_contain(self, key: str) -> bool:
+        """False = definitely absent; True = possibly present."""
+        return all(self._bits >> position & 1 for position in self._positions(key))
+
+    def clear(self) -> None:
+        self._bits = 0
+        self._items = 0
+
+    @property
+    def approximate_items(self) -> int:
+        """Keys added since the last clear (including duplicates)."""
+        return self._items
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of bits set; above ~0.5 the FP rate degrades."""
+        return self._bits.bit_count() / self.size_bits
+
+
+class BloomFrontedCache(Cache):
+    """A cache (typically remote) fronted by a local Bloom filter.
+
+    ``get`` consults the filter first and returns :data:`MISS` locally when
+    the key was never cached here; ``put`` inserts into both.  Deletions
+    leave stale filter bits (safe -- only costs an occasional wasted trip);
+    call :meth:`rebuild` periodically or after bulk deletions.
+
+    Note the filter tracks keys cached *through this instance* (plus
+    rebuilds).  Keys inserted by other clients of a shared server are
+    invisible until a rebuild -- acceptable for the private-working-set
+    pattern, wrong for a shared read-mostly cache; rebuild accordingly.
+    """
+
+    def __init__(
+        self,
+        inner: Cache,
+        *,
+        expected_items: int = 10_000,
+        fp_rate: float = 0.01,
+        name: str | None = None,
+    ) -> None:
+        super().__init__()
+        self.name = name if name is not None else f"bloom({inner.name})"
+        self._inner = inner
+        self._filter = BloomFilter(expected_items, fp_rate)
+        self._expected_items = expected_items
+        self._fp_rate = fp_rate
+        #: lookups answered locally (network trip avoided)
+        self.short_circuits = 0
+
+    @property
+    def inner(self) -> Cache:
+        return self._inner
+
+    @property
+    def bloom(self) -> BloomFilter:
+        return self._filter
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        if not self._filter.might_contain(key):
+            self.short_circuits += 1
+            self.stats.record_miss()
+            return MISS
+        value = self._inner.get(key)
+        if value is MISS:
+            self.stats.record_miss()
+        else:
+            self.stats.record_hit()
+        return value
+
+    def get_quiet(self, key: str) -> Any:
+        if not self._filter.might_contain(key):
+            return MISS
+        return self._inner.get_quiet(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self._inner.put(key, value)
+        self._filter.add(key)
+        self.stats.record_put()
+
+    def delete(self, key: str) -> bool:
+        # The filter can't forget; the stale bit only costs a future trip.
+        removed = self._inner.delete(key)
+        if removed:
+            self.stats.record_delete()
+        return removed
+
+    def clear(self) -> int:
+        self._filter.clear()
+        return self._inner.clear()
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    def keys(self) -> Iterator[str]:
+        return self._inner.keys()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    # ------------------------------------------------------------------
+    def rebuild(self) -> int:
+        """Resynchronise the filter from the inner cache's actual keys.
+
+        Returns the number of keys indexed.  Run after bulk deletions, on
+        a timer, or when :attr:`BloomFilter.saturation` climbs.
+        """
+        fresh = BloomFilter(self._expected_items, self._fp_rate)
+        count = 0
+        for key in self._inner.keys():
+            fresh.add(key)
+            count += 1
+        self._filter = fresh
+        return count

@@ -1,0 +1,61 @@
+"""Cache entry metadata.
+
+:class:`CacheEntry` is what :class:`~repro.caching.expiration.ExpiringCache`
+stores inside the underlying cache: the value plus the expiration and
+versioning metadata that the DSCL manages above the cache (paper Section III).
+Entries are plain picklable objects so they can live in a remote-process
+cache as easily as an in-process one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["CacheEntry"]
+
+
+@dataclass
+class CacheEntry:
+    """A cached value plus DSCL-managed metadata.
+
+    :param value: the cached object.
+    :param expires_at: absolute expiry (``time.time()`` scale) or ``None``
+        for no expiration.  An entry past its expiry is *not* discarded; it
+        becomes a revalidation candidate.
+    :param version: the origin store's version token at caching time, used
+        for If-Modified-Since-style revalidation.
+    :param cached_at: when the entry was created.
+    """
+
+    value: Any
+    expires_at: float | None = None
+    version: str | None = None
+    cached_at: float = field(default_factory=time.time)
+
+    def is_expired(self, now: float | None = None) -> bool:
+        """True if the expiration time has elapsed (never for ``None``)."""
+        if self.expires_at is None:
+            return False
+        return (time.time() if now is None else now) >= self.expires_at
+
+    def remaining_ttl(self, now: float | None = None) -> float | None:
+        """Seconds until expiry (may be negative); ``None`` if no expiry."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - (time.time() if now is None else now)
+
+    def refreshed(self, *, ttl: float | None, version: str | None, now: float | None = None) -> "CacheEntry":
+        """Return a copy revalidated at *now* with a new TTL and version.
+
+        Used when the origin confirms an expired entry is still current:
+        the value is kept, the clock restarts.
+        """
+        current = time.time() if now is None else now
+        return CacheEntry(
+            value=self.value,
+            expires_at=None if ttl is None else current + ttl,
+            version=version if version is not None else self.version,
+            cached_at=current,
+        )

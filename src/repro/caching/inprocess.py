@@ -1,0 +1,190 @@
+"""In-process cache (the paper's Guava-cache analogue).
+
+Data is held inside the application process, so a hit costs a dict probe --
+no IPC, no serialization.  Section III discusses the central design choice
+this creates: storing the object (or a reference to it) *directly* is
+fastest but means the application mutating the object mutates the cached
+copy too; storing a *defensive copy* isolates the cache at the price of a
+copy per operation.  Both modes are supported (``copy_on_put`` /
+``copy_on_get``), and the ablation benchmark quantifies the difference.
+
+Capacity can be bounded by entry count, by charged bytes, or both; the
+eviction policy (default LRU) picks victims when either bound is exceeded.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import sys
+import threading
+from typing import Any, Callable, Iterator
+
+from ..errors import CapacityError, ConfigurationError
+from .interface import MISS, Cache
+from .policies import EvictionPolicy, make_policy
+
+__all__ = ["InProcessCache", "default_sizer"]
+
+
+def default_sizer(value: Any) -> int:
+    """Charge bytes-like objects their length; everything else its pickled size.
+
+    Only used when a byte capacity is configured, so the pickling cost is
+    opt-in.
+    """
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, memoryview):
+        return value.nbytes
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return sys.getsizeof(value)
+
+
+class InProcessCache(Cache):
+    """Thread-safe bounded in-process cache with pluggable eviction."""
+
+    def __init__(
+        self,
+        max_entries: int | None = 10_000,
+        *,
+        max_bytes: int | None = None,
+        policy: EvictionPolicy | str = "lru",
+        copy_on_put: bool = False,
+        copy_on_get: bool = False,
+        sizer: Callable[[Any], int] | None = None,
+        name: str = "inprocess",
+    ) -> None:
+        """Create a cache.
+
+        :param max_entries: entry-count bound (``None`` = unbounded).
+        :param max_bytes: charged-size bound (``None`` = unbounded).  Sizes
+            come from *sizer* (default: :func:`default_sizer`).
+        :param policy: an :class:`EvictionPolicy` instance or registry name.
+        :param copy_on_put: store ``copy.deepcopy(value)`` instead of the
+            caller's reference (isolates the cache from later mutation).
+        :param copy_on_get: return a deep copy on hits (isolates callers
+            from each other).
+        """
+        super().__init__()
+        if max_entries is not None and max_entries <= 0:
+            raise ConfigurationError("max_entries must be positive or None")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigurationError("max_bytes must be positive or None")
+        self.name = name
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._policy = policy if isinstance(policy, EvictionPolicy) else make_policy(policy)
+        self._copy_on_put = copy_on_put
+        self._copy_on_get = copy_on_get
+        self._sizer = sizer if sizer is not None else default_sizer
+        self._data: dict[str, Any] = {}
+        self._sizes: dict[str, int] = {}
+        self._total_bytes = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> EvictionPolicy:
+        """The eviction policy in use (e.g. to feed GDS refetch costs)."""
+        return self._policy
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of charged sizes currently held (0 if no byte bound is set
+        and nothing has been charged)."""
+        with self._lock:
+            return self._total_bytes
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        with self._lock:
+            if key not in self._data:
+                self.stats.record_miss()
+                return MISS
+            self._policy.on_access(key)
+            self.stats.record_hit()
+            value = self._data[key]
+        return copy.deepcopy(value) if self._copy_on_get else value
+
+    def get_quiet(self, key: str) -> Any:
+        with self._lock:
+            if key not in self._data:
+                return MISS
+            value = self._data[key]
+        return copy.deepcopy(value) if self._copy_on_get else value
+
+    def put(self, key: str, value: Any) -> None:
+        stored = copy.deepcopy(value) if self._copy_on_put else value
+        size = self._sizer(stored) if self._max_bytes is not None else 1
+        if self._max_bytes is not None and size > self._max_bytes:
+            raise CapacityError(
+                f"value of {size} bytes can never fit in cache bound of {self._max_bytes}"
+            )
+        with self._lock:
+            if key in self._data:
+                self._total_bytes -= self._sizes[key]
+                self._data[key] = stored
+                self._sizes[key] = size
+                self._total_bytes += size
+                self._policy.on_update(key, size)
+            else:
+                self._data[key] = stored
+                self._sizes[key] = size
+                self._total_bytes += size
+                self._policy.on_insert(key, size)
+            self.stats.record_put()
+            self._evict_to_capacity()
+
+    def _evict_to_capacity(self) -> None:
+        """Evict until both bounds hold.  Caller holds the lock.
+
+        The policy may select the just-inserted key (e.g. Greedy-Dual-Size
+        deciding a large, cheap object is not worth caching); that is
+        legitimate cache behaviour, and the recency-based policies never do
+        it while older candidates remain.
+        """
+        while self._data and self._over_capacity():
+            victim = self._policy.choose_victim()
+            self._remove_entry(victim)
+            self.stats.record_eviction()
+
+    def _over_capacity(self) -> bool:
+        if self._max_entries is not None and len(self._data) > self._max_entries:
+            return True
+        if self._max_bytes is not None and self._total_bytes > self._max_bytes:
+            return True
+        return False
+
+    def _remove_entry(self, key: str) -> None:
+        self._data.pop(key, None)
+        self._total_bytes -= self._sizes.pop(key, 0)
+        self._policy.on_remove(key)
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            if key not in self._data:
+                return False
+            self._remove_entry(key)
+            self.stats.record_delete()
+            return True
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._data)
+            for key in list(self._data):
+                self._remove_entry(key)
+            return count
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            snapshot = list(self._data.keys())
+        return iter(snapshot)

@@ -1,0 +1,112 @@
+"""The DSCL ``Cache`` interface.
+
+Mirrors the paper's modular cache architecture (Figure 4): applications and
+the DSCL interact with every cache -- in-process, remote-process, tiered --
+through this one interface, and implementations can be swapped freely.
+
+Lookups return the sentinel :data:`MISS` on absence rather than raising,
+because a miss is the *expected* path on a cold cache and exceptions are the
+wrong cost model for it.  ``None`` cannot signal a miss since ``None`` is a
+perfectly good cached value.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+from .stats import CacheStats
+
+__all__ = ["Cache", "Miss", "MISS"]
+
+
+class Miss:
+    """Singleton sentinel for "not in the cache"."""
+
+    _instance: "Miss | None" = None
+
+    def __new__(cls) -> "Miss":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<MISS>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The cache-miss sentinel.
+MISS = Miss()
+
+
+class Cache(ABC):
+    """Abstract cache: a bounded key-value map with eviction and stats.
+
+    Unlike a :class:`~repro.kv.interface.KeyValueStore`, a cache may drop
+    entries at any time (eviction), never raises on missing keys, and keeps
+    hit/miss statistics.
+    """
+
+    #: Human-readable cache name for reports.
+    name: str = "cache"
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def get(self, key: str) -> Any:
+        """Return the cached value, or :data:`MISS`."""
+
+    @abstractmethod
+    def put(self, key: str, value: Any) -> None:
+        """Insert or replace *key*; may trigger evictions."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove *key*; returns ``True`` if present."""
+
+    @abstractmethod
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+
+    @abstractmethod
+    def size(self) -> int:
+        """Current number of entries."""
+
+    @abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Iterate current keys (no order promised; may race with eviction)."""
+
+    def close(self) -> None:
+        """Release resources (network caches).  Default: nothing to do."""
+
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """Membership test that does not count as a hit or miss."""
+        return self.get_quiet(key) is not MISS
+
+    def get_quiet(self, key: str) -> Any:
+        """Like :meth:`get` but without touching statistics or recency.
+
+        Default implementation falls back to :meth:`get`; caches that track
+        recency should override so probes don't perturb eviction order.
+        """
+        return self.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __enter__(self) -> "Cache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} size={self.size()}>"

@@ -1,0 +1,97 @@
+"""Any key-value store as a cache (the paper's third caching approach).
+
+"The key point is that via the key-value interface, any data store can serve
+as a cache or secondary repository for one of the other data stores
+functioning as the main data store."  This adapter implements the DSCL
+:class:`~repro.caching.interface.Cache` interface over any
+:class:`~repro.kv.interface.KeyValueStore`, so e.g. a local file system (or
+even a second cloud store) can cache a primary cloud store.
+
+A store never evicts, so this cache is unbounded unless ``max_entries`` is
+given, in which case a simple FIFO of inserted keys bounds it (stores don't
+report access recency, so LRU is not implementable at this layer).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator
+
+from ..errors import ConfigurationError, KeyNotFoundError
+from ..kv.interface import KeyValueStore
+from .interface import MISS, Cache
+
+__all__ = ["KeyValueStoreCache"]
+
+
+class KeyValueStoreCache(Cache):
+    """Adapter: a :class:`KeyValueStore` behind the :class:`Cache` interface."""
+
+    def __init__(
+        self,
+        store: KeyValueStore,
+        *,
+        max_entries: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__()
+        if max_entries is not None and max_entries <= 0:
+            raise ConfigurationError("max_entries must be positive or None")
+        self.name = name if name is not None else f"kvcache({store.name})"
+        self._store = store
+        self._max_entries = max_entries
+        self._insertion_order: OrderedDict[str, None] = OrderedDict()
+
+    @property
+    def store(self) -> KeyValueStore:
+        return self._store
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        try:
+            value = self._store.get(key)
+        except KeyNotFoundError:
+            self.stats.record_miss()
+            return MISS
+        self.stats.record_hit()
+        return value
+
+    def get_quiet(self, key: str) -> Any:
+        try:
+            return self._store.get(key)
+        except KeyNotFoundError:
+            return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        self._store.put(key, value)
+        self.stats.record_put()
+        if self._max_entries is None:
+            return
+        self._insertion_order.pop(key, None)
+        self._insertion_order[key] = None
+        while len(self._insertion_order) > self._max_entries:
+            victim, _ = self._insertion_order.popitem(last=False)
+            if self._store.delete(victim):
+                self.stats.record_eviction()
+
+    def delete(self, key: str) -> bool:
+        self._insertion_order.pop(key, None)
+        removed = self._store.delete(key)
+        if removed:
+            self.stats.record_delete()
+        return removed
+
+    def clear(self) -> int:
+        self._insertion_order.clear()
+        return self._store.clear()
+
+    def size(self) -> int:
+        return self._store.size()
+
+    def keys(self) -> Iterator[str]:
+        return self._store.keys()
+
+    def close(self) -> None:
+        # The store is registered (and closed) by its owner, typically the
+        # UDSM; adapters never own their backing store.
+        pass

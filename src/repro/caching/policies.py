@@ -1,0 +1,362 @@
+"""Cache replacement policies.
+
+Section III of the paper names least-recently-used and greedy-dual-size as
+replacement algorithms a cache can apply when full.  The in-process cache
+takes its policy as a pluggable strategy object; this module implements the
+two named policies plus the classics the related-work section discusses
+(FIFO, LFU, and the CLOCK one-bit approximation of LRU used by optimized
+memcached variants).
+
+A policy tracks key metadata only -- the cache owns the values -- through
+four notifications (``on_insert``, ``on_access``, ``on_update``,
+``on_remove``) and answers ``choose_victim()`` when the cache must shed an
+entry.  All policies here are O(1) or amortised O(log n) per operation.
+
+Policies are not thread-safe on their own; the owning cache serialises calls
+under its lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+
+from ..errors import CacheError, ConfigurationError
+
+__all__ = [
+    "EvictionPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "ClockPolicy",
+    "GreedyDualSizePolicy",
+    "make_policy",
+]
+
+
+class EvictionPolicy(ABC):
+    """Strategy interface for choosing eviction victims."""
+
+    #: Registry identifier (see :func:`make_policy`).
+    name: str = "abstract"
+
+    @abstractmethod
+    def on_insert(self, key: str, size: int) -> None:
+        """A new key entered the cache with the given charged size."""
+
+    @abstractmethod
+    def on_access(self, key: str) -> None:
+        """An existing key was read."""
+
+    def on_update(self, key: str, size: int) -> None:
+        """An existing key was overwritten (size may have changed)."""
+        self.on_access(key)
+
+    @abstractmethod
+    def on_remove(self, key: str) -> None:
+        """A key left the cache (deletion or eviction)."""
+
+    @abstractmethod
+    def choose_victim(self) -> str:
+        """Pick the key to evict next.  Raises ``CacheError`` when empty."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of tracked keys."""
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least recently used key (ordered dict, O(1))."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[str, None] = OrderedDict()
+
+    def on_insert(self, key: str, size: int) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: str) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def on_remove(self, key: str) -> None:
+        self._order.pop(key, None)
+
+    def choose_victim(self) -> str:
+        if not self._order:
+            raise CacheError("LRU policy has no keys to evict")
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class FIFOPolicy(EvictionPolicy):
+    """Evict in insertion order; accesses do not refresh position."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[str, None] = OrderedDict()
+
+    def on_insert(self, key: str, size: int) -> None:
+        # Re-inserting an evicted-then-refetched key restarts its clock.
+        self._order.pop(key, None)
+        self._order[key] = None
+
+    def on_access(self, key: str) -> None:
+        pass  # FIFO ignores recency
+
+    def on_update(self, key: str, size: int) -> None:
+        pass  # overwrite keeps the original queue position
+
+    def on_remove(self, key: str) -> None:
+        self._order.pop(key, None)
+
+    def choose_victim(self) -> str:
+        if not self._order:
+            raise CacheError("FIFO policy has no keys to evict")
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class LFUPolicy(EvictionPolicy):
+    """Evict the least frequently used key; LRU tie-break within a frequency.
+
+    Constant-time implementation with frequency buckets (the classic O(1)
+    LFU structure): a map key->frequency plus an ordered bucket per
+    frequency, and a floating minimum-frequency pointer.
+    """
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._freq: dict[str, int] = {}
+        self._buckets: dict[int, OrderedDict[str, None]] = {}
+        self._min_freq = 0
+
+    def _bump(self, key: str) -> None:
+        freq = self._freq[key]
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq[key] = freq + 1
+        self._buckets.setdefault(freq + 1, OrderedDict())[key] = None
+
+    def on_insert(self, key: str, size: int) -> None:
+        if key in self._freq:
+            self._bump(key)
+            return
+        self._freq[key] = 1
+        self._buckets.setdefault(1, OrderedDict())[key] = None
+        self._min_freq = 1
+
+    def on_access(self, key: str) -> None:
+        if key in self._freq:
+            self._bump(key)
+
+    def on_remove(self, key: str) -> None:
+        freq = self._freq.pop(key, None)
+        if freq is None:
+            return
+        bucket = self._buckets.get(freq)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._buckets[freq]
+        if self._freq and self._min_freq not in self._buckets:
+            self._min_freq = min(self._buckets)
+
+    def choose_victim(self) -> str:
+        if not self._freq:
+            raise CacheError("LFU policy has no keys to evict")
+        if self._min_freq not in self._buckets:
+            self._min_freq = min(self._buckets)
+        return next(iter(self._buckets[self._min_freq]))
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+
+class _ClockNode:
+    __slots__ = ("key", "referenced", "prev", "next")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.referenced = False
+        self.prev: "_ClockNode | None" = None
+        self.next: "_ClockNode | None" = None
+
+
+class ClockPolicy(EvictionPolicy):
+    """One-bit CLOCK approximation of LRU (one extra bit per entry).
+
+    Keys sit on a circular list; a hand sweeps, clearing reference bits and
+    evicting the first key whose bit is already clear.  This is the
+    low-overhead scheme the paper's related work credits to optimized
+    memcached implementations.
+    """
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, _ClockNode] = {}
+        self._hand: _ClockNode | None = None
+
+    def _link_before_hand(self, node: _ClockNode) -> None:
+        if self._hand is None:
+            node.prev = node.next = node
+            self._hand = node
+            return
+        tail = self._hand.prev
+        assert tail is not None
+        tail.next = node
+        node.prev = tail
+        node.next = self._hand
+        self._hand.prev = node
+
+    def on_insert(self, key: str, size: int) -> None:
+        if key in self._nodes:
+            self._nodes[key].referenced = True
+            return
+        node = _ClockNode(key)
+        self._nodes[key] = node
+        self._link_before_hand(node)
+
+    def on_access(self, key: str) -> None:
+        node = self._nodes.get(key)
+        if node is not None:
+            node.referenced = True
+
+    def on_remove(self, key: str) -> None:
+        node = self._nodes.pop(key, None)
+        if node is None:
+            return
+        if node.next is node:
+            self._hand = None
+            return
+        assert node.prev is not None and node.next is not None
+        node.prev.next = node.next
+        node.next.prev = node.prev
+        if self._hand is node:
+            self._hand = node.next
+
+    def choose_victim(self) -> str:
+        if self._hand is None:
+            raise CacheError("CLOCK policy has no keys to evict")
+        # Sweep: clear set bits; evict the first clear one.  Bounded by two
+        # full revolutions (all bits set, then all clear).
+        for _ in range(2 * len(self._nodes) + 1):
+            node = self._hand
+            assert node is not None and node.next is not None
+            if node.referenced:
+                node.referenced = False
+                self._hand = node.next
+            else:
+                self._hand = node.next
+                return node.key
+        raise CacheError("CLOCK sweep failed to find a victim")  # pragma: no cover
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+class GreedyDualSizePolicy(EvictionPolicy):
+    """Greedy-Dual-Size (Cao & Irani): evict the entry with the lowest
+    ``H = L + cost / size``.
+
+    Large, cheap-to-refetch objects go first; small or expensive ones are
+    retained.  ``L`` is the inflation value: it rises to each victim's ``H``
+    so long-idle entries age out.  Implemented as a lazy heap -- stale heap
+    records are skipped at pop time.
+
+    Costs default to 1.0 (which degenerates to size-aware LRU-like
+    behaviour); callers that know per-key refetch cost (e.g. origin-store
+    latency) can supply it via :meth:`set_cost`.
+    """
+
+    name = "gds"
+
+    def __init__(self, default_cost: float = 1.0) -> None:
+        if default_cost <= 0:
+            raise ConfigurationError("default_cost must be positive")
+        self._default_cost = default_cost
+        self._heap: list[tuple[float, int, str]] = []
+        self._h_values: dict[str, float] = {}
+        self._sizes: dict[str, int] = {}
+        self._costs: dict[str, float] = {}
+        self._inflation = 0.0
+        self._counter = itertools.count()
+
+    def set_cost(self, key: str, cost: float) -> None:
+        """Record the refetch cost of *key* before (or after) inserting it."""
+        if cost <= 0:
+            raise ConfigurationError("cost must be positive")
+        self._costs[key] = cost
+        if key in self._h_values:
+            self._push(key)
+
+    def _push(self, key: str) -> None:
+        size = max(1, self._sizes.get(key, 1))
+        cost = self._costs.get(key, self._default_cost)
+        h_value = self._inflation + cost / size
+        self._h_values[key] = h_value
+        heapq.heappush(self._heap, (h_value, next(self._counter), key))
+
+    def on_insert(self, key: str, size: int) -> None:
+        self._sizes[key] = size
+        self._push(key)
+
+    def on_access(self, key: str) -> None:
+        if key in self._h_values:
+            self._push(key)  # restore full H at the current inflation
+
+    def on_update(self, key: str, size: int) -> None:
+        if key in self._h_values:
+            self._sizes[key] = size
+            self._push(key)
+
+    def on_remove(self, key: str) -> None:
+        self._h_values.pop(key, None)
+        self._sizes.pop(key, None)
+        self._costs.pop(key, None)
+
+    def choose_victim(self) -> str:
+        while self._heap:
+            h_value, _tie, key = self._heap[0]
+            current = self._h_values.get(key)
+            if current is None or current != h_value:
+                heapq.heappop(self._heap)  # stale record
+                continue
+            self._inflation = h_value
+            return key
+        raise CacheError("GDS policy has no keys to evict")
+
+    def __len__(self) -> int:
+        return len(self._h_values)
+
+
+_POLICIES: dict[str, type[EvictionPolicy]] = {
+    cls.name: cls
+    for cls in (LRUPolicy, FIFOPolicy, LFUPolicy, ClockPolicy, GreedyDualSizePolicy)
+}
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate a policy by registry name (``lru``, ``fifo``, ``lfu``,
+    ``clock``, ``gds``)."""
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown eviction policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

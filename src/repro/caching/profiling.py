@@ -1,0 +1,116 @@
+"""Hit-rate curve estimation from access traces (Mattson stack distances).
+
+The paper's related work highlights systems that reason about *hit-rate
+curves* -- MIMIR estimates them for live LRU servers, Cliffhanger allocates
+memory across caches using their gradients.  The underlying classic is
+Mattson's stack algorithm: for an LRU cache, an access hits iff its *reuse
+(stack) distance* -- the number of distinct keys touched since the previous
+access to the same key -- is smaller than the cache capacity.  One pass
+over a trace therefore yields the hit rate of *every* cache size at once.
+
+:class:`StackDistanceProfiler` records accesses (feed it your key stream,
+or attach it to a cache via :meth:`wrap`) and answers
+``hit_rate(cache_size)`` and whole curves, which is exactly what you need
+to size a cache before paying for the memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["StackDistanceProfiler"]
+
+
+class StackDistanceProfiler:
+    """One-pass LRU stack-distance histogram over an access trace."""
+
+    def __init__(self) -> None:
+        # LRU stack: most recent last.  OrderedDict gives O(n) distance
+        # computation per access (index scan), fine for profiling runs;
+        # the histogram is what we keep.
+        self._stack: OrderedDict[str, None] = OrderedDict()
+        self._histogram: dict[int, int] = {}
+        self._cold_misses = 0
+        self._accesses = 0
+
+    # ------------------------------------------------------------------
+    def record(self, key: str) -> None:
+        """Record one access to *key*."""
+        self._accesses += 1
+        if key in self._stack:
+            # Distance = how many keys are more recent than `key`.
+            distance = 0
+            for stacked in reversed(self._stack):
+                if stacked == key:
+                    break
+                distance += 1
+            self._histogram[distance] = self._histogram.get(distance, 0) + 1
+            self._stack.move_to_end(key)
+        else:
+            self._cold_misses += 1
+            self._stack[key] = None
+
+    def record_trace(self, keys: Iterable[str]) -> None:
+        """Record a whole key stream."""
+        for key in keys:
+            self.record(key)
+
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self._accesses
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._stack)
+
+    def hit_rate(self, cache_size: int) -> float:
+        """Predicted LRU hit rate for a cache of *cache_size* entries.
+
+        An access hits iff its stack distance is strictly below the
+        capacity; cold (first-touch) misses can never hit.
+        """
+        if cache_size < 0:
+            raise ConfigurationError("cache_size must be non-negative")
+        if not self._accesses:
+            return 0.0
+        hits = sum(
+            count for distance, count in self._histogram.items() if distance < cache_size
+        )
+        return hits / self._accesses
+
+    def curve(self, sizes: Sequence[int]) -> list[tuple[int, float]]:
+        """``(size, predicted_hit_rate)`` for each requested cache size."""
+        return [(size, self.hit_rate(size)) for size in sizes]
+
+    def optimal_size(self, target_hit_rate: float) -> int | None:
+        """Smallest LRU capacity achieving *target_hit_rate* on this trace,
+        or ``None`` if no finite cache can (cold misses bound the maximum)."""
+        if not 0.0 <= target_hit_rate <= 1.0:
+            raise ConfigurationError("target_hit_rate must be within [0, 1]")
+        if not self._histogram:
+            return None
+        max_distance = max(self._histogram)
+        for size in range(0, max_distance + 2):
+            if self.hit_rate(size) >= target_hit_rate:
+                return size
+        return None
+
+    # ------------------------------------------------------------------
+    def wrap(self, cache: "object") -> "object":
+        """Return a proxy of *cache* that records every ``get`` into this
+        profiler while delegating everything else unchanged."""
+        profiler = self
+
+        class _ProfiledCache:
+            def get(self, key: str):
+                profiler.record(key)
+                return cache.get(key)
+
+            def __getattr__(self, attribute: str):
+                return getattr(cache, attribute)
+
+        return _ProfiledCache()

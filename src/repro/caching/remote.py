@@ -1,0 +1,119 @@
+"""Remote-process cache (the paper's Redis/memcached role).
+
+Adapts a :class:`~repro.net.client.CacheClient` to the DSCL
+:class:`~repro.caching.interface.Cache` interface.  Values cross a
+serializer on every operation and a TCP round trip carries them to a cache
+server running in another process (possibly another machine) -- the two
+costs the paper identifies as the price of sharing a cache across clients
+(Section III, Figures 12/14/16/18).
+
+TTLs passed by :class:`~repro.caching.expiration.ExpiringCache` are *not*
+forwarded to the server: the paper is explicit that expiration must be
+managed above the cache so that expired-but-maybe-still-valid entries stay
+revalidatable instead of being purged.  Server-side TTLs remain available to
+direct users of the protocol client.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import StoreConnectionError
+from ..net.client import CacheClient
+from ..serialization import Serializer, default_serializer
+from .interface import MISS, Cache
+
+__all__ = ["RemoteProcessCache"]
+
+
+class RemoteProcessCache(Cache):
+    """DSCL cache backed by the remote cache server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        serializer: Serializer | None = None,
+        namespace: str = "",
+        client: CacheClient | None = None,
+        name: str = "remote",
+    ) -> None:
+        """Connect to a cache server.
+
+        :param namespace: optional key prefix so several logical caches can
+            share one server (the paper's "shared by multiple clients").
+        :param client: reuse an existing connection instead of opening one;
+            the cache then does not own (and will not close) it.
+        """
+        super().__init__()
+        self.name = name
+        self._serializer = serializer if serializer is not None else default_serializer()
+        self._prefix = (namespace + ":").encode("utf-8") if namespace else b""
+        self._owns_client = client is None
+        self._client = client if client is not None else CacheClient(host, port)
+
+    # ------------------------------------------------------------------
+    def _wire_key(self, key: str) -> bytes:
+        return self._prefix + key.encode("utf-8")
+
+    def get(self, key: str) -> Any:
+        payload = self._client.get(self._wire_key(key))
+        if payload is None:
+            self.stats.record_miss()
+            return MISS
+        self.stats.record_hit()
+        return self._serializer.loads(payload)
+
+    def get_quiet(self, key: str) -> Any:
+        payload = self._client.get(self._wire_key(key))
+        if payload is None:
+            return MISS
+        return self._serializer.loads(payload)
+
+    def put(self, key: str, value: Any) -> None:
+        self._client.set(self._wire_key(key), self._serializer.dumps(value))
+        self.stats.record_put()
+
+    def delete(self, key: str) -> bool:
+        removed = self._client.delete(self._wire_key(key)) > 0
+        if removed:
+            self.stats.record_delete()
+        return removed
+
+    def clear(self) -> int:
+        """Drop this cache's namespace (or the whole server if unprefixed)."""
+        if not self._prefix:
+            count = self._client.dbsize()
+            self._client.flushall()
+            return count
+        mine = [k for k in self._client.keys() if k.startswith(self._prefix)]
+        if not mine:
+            return 0
+        return self._client.delete(*mine)
+
+    def size(self) -> int:
+        if not self._prefix:
+            return self._client.dbsize()
+        return sum(1 for k in self._client.keys() if k.startswith(self._prefix))
+
+    def keys(self) -> Iterator[str]:
+        for raw in self._client.keys():
+            if raw.startswith(self._prefix):
+                yield raw[len(self._prefix):].decode("utf-8")
+
+    def close(self) -> None:
+        if self._owns_client:
+            self._client.close()
+
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Ask the server to snapshot its keyspace (warm-restart support)."""
+        self._client.save()
+
+    def ping(self) -> bool:
+        """Health check; ``False`` if the server is unreachable."""
+        try:
+            return self._client.ping()
+        except StoreConnectionError:
+            return False

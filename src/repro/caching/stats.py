@@ -1,0 +1,100 @@
+"""Thread-safe cache statistics.
+
+Every cache keeps a :class:`CacheStats`; the UDSM's monitoring layer and the
+workload generator read them to report hit rates and eviction behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "StatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable copy of a cache's counters at one instant."""
+
+    hits: int
+    misses: int
+    puts: int
+    deletes: int
+    evictions: int
+    expired_hits: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit; 0.0 when there were no lookups."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class CacheStats:
+    """Mutable, thread-safe counter set."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._deletes = 0
+        self._evictions = 0
+        self._expired_hits = 0
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self._hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self._misses += 1
+
+    def record_put(self) -> None:
+        with self._lock:
+            self._puts += 1
+
+    def record_delete(self) -> None:
+        with self._lock:
+            self._deletes += 1
+
+    def record_eviction(self, count: int = 1) -> None:
+        with self._lock:
+            self._evictions += count
+
+    def record_expired_hit(self) -> None:
+        """A lookup found an entry whose expiration time had passed."""
+        with self._lock:
+            self._expired_hits += 1
+
+    def snapshot(self) -> StatsSnapshot:
+        with self._lock:
+            return StatsSnapshot(
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                deletes=self._deletes,
+                evictions=self._evictions,
+                expired_hits=self._expired_hits,
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._hits = self._misses = self._puts = 0
+            self._deletes = self._evictions = self._expired_hits = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.snapshot().hit_rate
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"CacheStats(hits={snap.hits}, misses={snap.misses}, "
+            f"puts={snap.puts}, evictions={snap.evictions}, "
+            f"hit_rate={snap.hit_rate:.3f})"
+        )

@@ -1,0 +1,105 @@
+"""Two-level cache: in-process L1 over remote-process L2.
+
+The paper presents in-process and remote-process caches as complementary --
+the former is far faster, the latter is shareable and scalable -- and its
+third caching approach lets *any* store act as a secondary repository for
+another.  :class:`TieredCache` composes the two: lookups try L1 first, fall
+back to L2 (promoting hits into L1), and writes go to both.  The composite
+implements the plain :class:`~repro.caching.interface.Cache` interface so it
+can slot into the DSCL anywhere a single cache can, including under
+:class:`~repro.caching.expiration.ExpiringCache`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .interface import MISS, Cache
+
+__all__ = ["TieredCache"]
+
+
+class TieredCache(Cache):
+    """L1/L2 composite cache with promote-on-hit."""
+
+    def __init__(
+        self,
+        l1: Cache,
+        l2: Cache,
+        *,
+        promote: bool = True,
+        write_through: bool = True,
+        name: str = "tiered",
+    ) -> None:
+        """Compose two caches.
+
+        :param promote: copy L2 hits into L1 (on by default).
+        :param write_through: ``put`` writes both levels; when off, writes
+            go to L1 only and reach L2 lazily via promotion's inverse
+            (never), so leave it on unless L2 is being fed elsewhere.
+        """
+        super().__init__()
+        self.name = name
+        self.l1 = l1
+        self.l2 = l2
+        self._promote = promote
+        self._write_through = write_through
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        value = self.l1.get(key)
+        if value is not MISS:
+            self.stats.record_hit()
+            return value
+        value = self.l2.get(key)
+        if value is not MISS:
+            if self._promote:
+                self.l1.put(key, value)
+            self.stats.record_hit()
+            return value
+        self.stats.record_miss()
+        return MISS
+
+    def get_quiet(self, key: str) -> Any:
+        value = self.l1.get_quiet(key)
+        if value is not MISS:
+            return value
+        return self.l2.get_quiet(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self.l1.put(key, value)
+        if self._write_through:
+            self.l2.put(key, value)
+        self.stats.record_put()
+
+    def delete(self, key: str) -> bool:
+        removed_l1 = self.l1.delete(key)
+        removed_l2 = self.l2.delete(key)
+        removed = removed_l1 or removed_l2
+        if removed:
+            self.stats.record_delete()
+        return removed
+
+    def clear(self) -> int:
+        distinct = self.size()
+        self.l1.clear()
+        self.l2.clear()
+        return distinct
+
+    def size(self) -> int:
+        """Number of distinct keys across both levels."""
+        keys = set(self.l1.keys())
+        keys.update(self.l2.keys())
+        return len(keys)
+
+    def keys(self) -> Iterator[str]:
+        seen: set[str] = set()
+        for level in (self.l1, self.l2):
+            for key in level.keys():
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def close(self) -> None:
+        self.l1.close()
+        self.l2.close()

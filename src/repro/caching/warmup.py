@@ -1,0 +1,107 @@
+"""Cache warm-up: persist cache contents across restarts (paper Section III).
+
+"It is also often desirable to store some data from a cache persistently
+before shutting down a cache process.  That way, when the cache is
+restarted, it can quickly be brought to a warm state by reading in the data
+previously stored persistently."
+
+Our remote cache server already snapshots its own keyspace (``SAVE``); these
+helpers do the same for *any* DSCL cache, persisting entries into any
+key-value store.  Entries are stored as one snapshot object, and
+:class:`~repro.caching.entry.CacheEntry` metadata (TTL remaining, version
+tokens) survives the round trip: an entry that had 60 seconds to live when
+saved has 60 seconds to live when restored, and revalidation tokens keep
+working.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..errors import CacheError
+from ..kv.interface import KeyValueStore
+from .entry import CacheEntry
+from .interface import MISS, Cache
+
+__all__ = ["save_cache", "load_cache"]
+
+_FORMAT_VERSION = 1
+
+
+def save_cache(
+    cache: Cache,
+    store: KeyValueStore,
+    key: str = "cache-snapshot",
+    *,
+    now: float | None = None,
+) -> int:
+    """Persist every cache entry into *store* under *key*.
+
+    TTLs are converted to *remaining* seconds so wall-clock restarts don't
+    spuriously expire (or resurrect) entries.  Returns the number of
+    entries saved.
+    """
+    current = time.time() if now is None else now
+    entries: dict[str, dict[str, Any]] = {}
+    for cache_key in list(cache.keys()):
+        value = cache.get_quiet(cache_key)
+        if value is MISS:
+            continue  # evicted while we iterated
+        if isinstance(value, CacheEntry):
+            entries[cache_key] = {
+                "value": value.value,
+                "remaining_ttl": value.remaining_ttl(current),
+                "version": value.version,
+                "entry": True,
+            }
+        else:
+            entries[cache_key] = {
+                "value": value,
+                "remaining_ttl": None,
+                "version": None,
+                "entry": False,
+            }
+    store.put(key, {"format": _FORMAT_VERSION, "saved_at": current, "entries": entries})
+    return len(entries)
+
+
+def load_cache(
+    cache: Cache,
+    store: KeyValueStore,
+    key: str = "cache-snapshot",
+    *,
+    now: float | None = None,
+    skip_expired: bool = True,
+) -> int:
+    """Warm *cache* from a snapshot previously written by :func:`save_cache`.
+
+    Entries whose TTL ran out while the cache was down are skipped by
+    default (they could be restored for revalidation by passing
+    ``skip_expired=False``).  Returns the number of entries loaded.
+    """
+    snapshot = store.get(key)
+    if not isinstance(snapshot, dict) or snapshot.get("format") != _FORMAT_VERSION:
+        raise CacheError(f"no valid cache snapshot under {key!r}")
+    current = time.time() if now is None else now
+    loaded = 0
+    for cache_key, data in snapshot["entries"].items():
+        remaining = data["remaining_ttl"]
+        if remaining is None:
+            expires_at = None
+        else:
+            if remaining <= 0 and skip_expired:
+                continue
+            expires_at = current + remaining
+        if data.get("entry", True):
+            restored: Any = CacheEntry(
+                value=data["value"],
+                expires_at=expires_at,
+                version=data["version"],
+                cached_at=current,
+            )
+        else:
+            restored = data["value"]  # bare values restore as bare values
+        cache.put(cache_key, restored)
+        loaded += 1
+    return loaded

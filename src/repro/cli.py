@@ -1,0 +1,382 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper positions the workload generator as a tool users run to "easily
+determine and compare the performance of different data stores"; this CLI
+makes that a shell command, and also starts the bundled servers.
+
+Commands
+--------
+``serve``
+    Run a cache server (or serve a sqlite store) in the foreground.
+``bench``
+    Sweep read/write latency over object sizes for one store; prints a
+    table and optionally writes gnuplot ``.dat`` files.
+``cached-bench``
+    The paper's cached-read experiment (hit-rate curves) for one store.
+``codec-bench``
+    Encryption/compression overhead sweeps (Figures 20/21).
+
+Examples::
+
+    python -m repro serve --port 7379
+    python -m repro bench --store file --path /tmp/kv --sizes 100,10000
+    python -m repro bench --store cloud1 --time-scale 0.1
+    python -m repro cached-bench --store cloud2 --cache inprocess
+    python -m repro codec-bench --codec gzip
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any
+
+from .caching import InProcessCache, RemoteProcessCache
+from .compression import GzipCompressor, LzmaCompressor, ZlibCompressor
+from .core import EnhancedDataStoreClient
+from .errors import DataStoreError
+from .kv import (
+    CLOUD_STORE_1,
+    CLOUD_STORE_2,
+    FileSystemStore,
+    InMemoryStore,
+    KeyValueStore,
+    RemoteKeyValueStore,
+    SimulatedCloudStore,
+    SQLStore,
+)
+from .security import AesCbcEncryptor, AesGcmEncryptor, generate_key
+from .udsm.report import format_table
+from .udsm.workload import CachedReadSpec, WorkloadGenerator
+
+__all__ = ["main"]
+
+DEFAULT_SIZES = "1,100,10000,1000000"
+
+
+# ----------------------------------------------------------------------
+# Store construction from CLI options
+# ----------------------------------------------------------------------
+def build_store(options: argparse.Namespace) -> KeyValueStore:
+    """Instantiate the store selected by ``--store`` and its options."""
+    kind = options.store
+    if kind == "memory":
+        return InMemoryStore()
+    if kind == "file":
+        if not options.path:
+            raise DataStoreError("--store file requires --path")
+        return FileSystemStore(options.path)
+    if kind == "sql":
+        return SQLStore(options.path or ":memory:")
+    if kind in ("cloud1", "cloud2"):
+        profile = CLOUD_STORE_1 if kind == "cloud1" else CLOUD_STORE_2
+        return SimulatedCloudStore(profile, time_scale=options.time_scale)
+    if kind == "redis":
+        if not options.port:
+            raise DataStoreError("--store redis requires --port")
+        return RemoteKeyValueStore(options.host, options.port)
+    raise DataStoreError(f"unknown store kind {kind!r}")
+
+
+def parse_store_spec(spec: str) -> KeyValueStore:
+    """Build a store from a compact spec: ``kind[,option=value...]``.
+
+    Examples: ``memory`` -- ``sql,path=app.db`` -- ``file,path=/var/data``
+    -- ``redis,host=127.0.0.1,port=7379`` -- ``cloud1,time_scale=0.1``.
+    """
+    kind, _sep, rest = spec.partition(",")
+    options: dict[str, str] = {}
+    for part in filter(None, rest.split(",")):
+        name, sep, value = part.partition("=")
+        if not sep:
+            raise DataStoreError(f"bad store option {part!r} (expected name=value)")
+        options[name] = value
+    namespace = argparse.Namespace(
+        store=kind,
+        path=options.get("path"),
+        host=options.get("host", "127.0.0.1"),
+        port=int(options.get("port", 0)),
+        time_scale=float(options.get("time_scale", 0.1)),
+    )
+    return build_store(namespace)
+
+
+def parse_sizes(text: str) -> tuple[int, ...]:
+    try:
+        sizes = tuple(int(part) for part in text.split(",") if part)
+    except ValueError as exc:
+        raise DataStoreError(f"invalid --sizes {text!r}: {exc}") from exc
+    if not sizes:
+        raise DataStoreError("--sizes must name at least one size")
+    return sizes
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        choices=("memory", "file", "sql", "cloud1", "cloud2", "redis"),
+        default="memory",
+        help="data store to benchmark",
+    )
+    parser.add_argument("--path", default=None, help="directory (file) / db path (sql)")
+    parser.add_argument("--host", default="127.0.0.1", help="redis-store host")
+    parser.add_argument("--port", type=int, default=0, help="redis-store port")
+    parser.add_argument(
+        "--time-scale", type=float, default=0.1,
+        help="WAN scale for cloud stores (default 0.1 = one tenth latency)",
+    )
+    parser.add_argument("--sizes", default=DEFAULT_SIZES, help="comma-separated bytes")
+    parser.add_argument("--repeats", type=int, default=4, help="runs per data point")
+    parser.add_argument("--output", default=None, help="directory for .dat files")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_serve(options: argparse.Namespace) -> int:
+    from .net import server as server_module
+
+    argv = ["--host", options.host, "--port", str(options.port)]
+    if options.max_entries is not None:
+        argv += ["--max-entries", str(options.max_entries)]
+    if options.snapshot:
+        argv += ["--snapshot", options.snapshot]
+    if options.backend != "cache":
+        argv += ["--backend", options.backend, "--database", options.database]
+    server_module.main(argv)
+    return 0
+
+
+def cmd_bench(options: argparse.Namespace) -> int:
+    store = build_store(options)
+    generator = WorkloadGenerator(sizes=parse_sizes(options.sizes), repeats=options.repeats)
+    print(f"benchmarking store {store.name!r} "
+          f"(sizes {options.sizes}, {options.repeats} repeats)...")
+    results = generator.compare_stores([store])[store.name]
+    rows = []
+    for point_write, point_read in zip(results["write"].points, results["read"].points):
+        rows.append(
+            (
+                point_write.size,
+                f"{point_read.mean * 1e3:.4g}",
+                f"{point_read.stdev * 1e3:.3g}",
+                f"{point_write.mean * 1e3:.4g}",
+                f"{point_write.stdev * 1e3:.3g}",
+            )
+        )
+    print(format_table(
+        ("size B", "read ms", "±", "write ms", "±"), rows
+    ))
+    if options.output:
+        out = Path(options.output)
+        out.mkdir(parents=True, exist_ok=True)
+        results["read"].write_dat(out / f"{store.name}_read.dat")
+        results["write"].write_dat(out / f"{store.name}_write.dat")
+        print(f"wrote {out}/{store.name}_read.dat and _write.dat")
+    store.close()
+    return 0
+
+
+def cmd_cached_bench(options: argparse.Namespace) -> int:
+    store = build_store(options)
+    if options.cache == "remote":
+        if not options.cache_port:
+            raise DataStoreError("--cache remote requires --cache-port")
+        cache = RemoteProcessCache(options.cache_host, options.cache_port, namespace="cli")
+    else:
+        cache = InProcessCache()
+    generator = WorkloadGenerator(sizes=parse_sizes(options.sizes), repeats=options.repeats)
+    hit_rates = tuple(float(r) / 100 for r in options.hit_rates.split(","))
+    print(f"cached-read curve for {store.name!r} with {options.cache} cache...")
+    curve = generator.measure_cached_reads(store, cache, CachedReadSpec(hit_rates=hit_rates))
+    curves = curve.curves
+    rows = []
+    for index, point in enumerate(curve.no_cache.points):
+        rows.append(
+            [point.size] + [f"{curves[rate][index][1] * 1e3:.4g}" for rate in hit_rates]
+        )
+    print(format_table(
+        ["size B"] + [f"{int(rate * 100)}% ms" for rate in hit_rates], rows
+    ))
+    if options.output:
+        out = Path(options.output)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{store.name}_{options.cache}_curve.dat"
+        curve.write_dat(path)
+        print(f"wrote {path}")
+    cache.close()
+    store.close()
+    return 0
+
+
+_CODECS = {
+    "gzip": lambda: GzipCompressor(),
+    "zlib": lambda: ZlibCompressor(),
+    "lzma": lambda: LzmaCompressor(),
+    "aes-gcm": lambda: AesGcmEncryptor(generate_key()),
+    "aes-cbc": lambda: AesCbcEncryptor(generate_key()),
+}
+
+
+def cmd_codec_bench(options: argparse.Namespace) -> int:
+    codec = _CODECS[options.codec]()
+    generator = WorkloadGenerator(sizes=parse_sizes(options.sizes), repeats=options.repeats)
+    if options.codec.startswith("aes"):
+        timing = generator.measure_encryptor(codec)
+        forward, backward = "encrypt", "decrypt"
+    else:
+        timing = generator.measure_compressor(codec)
+        forward, backward = "compress", "decompress"
+    rows = []
+    for enc_point, dec_point, (in_size, out_size) in zip(
+        timing.encode.points, timing.decode.points, timing.output_sizes
+    ):
+        rows.append(
+            (
+                enc_point.size,
+                f"{enc_point.mean * 1e3:.4g}",
+                f"{dec_point.mean * 1e3:.4g}",
+                f"{out_size / in_size:.3f}" if in_size else "-",
+            )
+        )
+    print(format_table(
+        ("size B", f"{forward} ms", f"{backward} ms", "out/in"), rows
+    ))
+    if options.output:
+        out = Path(options.output)
+        out.mkdir(parents=True, exist_ok=True)
+        timing.encode.write_dat(out / f"{options.codec}_{forward}.dat")
+        timing.decode.write_dat(out / f"{options.codec}_{backward}.dat")
+        print(f"wrote {out}/{options.codec}_{forward}.dat and _{backward}.dat")
+    return 0
+
+
+def cmd_mixed_bench(options: argparse.Namespace) -> int:
+    store = build_store(options)
+    generator = WorkloadGenerator(sizes=(options.value_size,))
+    target: Any = store
+    if options.cached:
+        target = EnhancedDataStoreClient(store, cache=InProcessCache())
+    print(
+        f"mixed workload on {store.name!r}: {options.operations} ops, "
+        f"{options.read_fraction:.0%} reads, Zipf over {options.key_space} keys..."
+    )
+    result = generator.run_mixed_workload(
+        target,
+        operations=options.operations,
+        read_fraction=options.read_fraction,
+        key_space=options.key_space,
+        value_size=options.value_size,
+    )
+    rows = [
+        ("throughput (ops/s)", f"{result.throughput:.0f}"),
+        ("mean read (ms)", f"{result.mean_read_latency * 1e3:.4g}"),
+        ("mean write (ms)", f"{result.mean_write_latency * 1e3:.4g}"),
+        ("achieved read fraction", f"{result.read_fraction:.2f}"),
+    ]
+    if options.cached:
+        rows.append(("cache hit rate", f"{target.counters.hit_rate:.2f}"))
+    print(format_table(("metric", "value"), rows))
+    store.close()
+    return 0
+
+
+def cmd_migrate(options: argparse.Namespace) -> int:
+    from .tools import copy_store, verify_stores
+
+    source = parse_store_spec(options.source)
+    destination = parse_store_spec(options.dest)
+    print(f"migrating {source.name!r} -> {destination.name!r}...")
+    report = copy_store(
+        source,
+        destination,
+        batch_size=options.batch_size,
+        overwrite=not options.no_overwrite,
+    )
+    print(report)
+    if options.verify:
+        differing = verify_stores(source, destination)
+        if differing:
+            print(f"VERIFY FAILED: {len(differing)} keys differ "
+                  f"(first: {differing[:5]})")
+            return 1
+        print("verify: stores agree")
+    source.close()
+    destination.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="enhanced data store clients / UDSM tooling"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run a cache or store server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--max-entries", type=int, default=None)
+    serve.add_argument("--snapshot", default=None)
+    serve.add_argument("--backend", choices=("cache", "sql"), default="cache")
+    serve.add_argument("--database", default=":memory:")
+    serve.set_defaults(handler=cmd_serve)
+
+    bench = commands.add_parser("bench", help="read/write latency sweep")
+    _add_store_options(bench)
+    bench.set_defaults(handler=cmd_bench)
+
+    cached = commands.add_parser("cached-bench", help="hit-rate curve sweep")
+    _add_store_options(cached)
+    cached.add_argument("--cache", choices=("inprocess", "remote"), default="inprocess")
+    cached.add_argument("--cache-host", default="127.0.0.1")
+    cached.add_argument("--cache-port", type=int, default=0)
+    cached.add_argument("--hit-rates", default="0,25,50,75,100",
+                        help="comma-separated percentages")
+    cached.set_defaults(handler=cmd_cached_bench)
+
+    codec = commands.add_parser("codec-bench", help="encryption/compression sweep")
+    codec.add_argument("--codec", choices=sorted(_CODECS), default="gzip")
+    codec.add_argument("--sizes", default=DEFAULT_SIZES)
+    codec.add_argument("--repeats", type=int, default=4)
+    codec.add_argument("--output", default=None)
+    codec.set_defaults(handler=cmd_codec_bench)
+
+    mixed = commands.add_parser("mixed-bench", help="Zipf read/write throughput")
+    _add_store_options(mixed)
+    mixed.add_argument("--operations", type=int, default=2_000)
+    mixed.add_argument("--read-fraction", type=float, default=0.9)
+    mixed.add_argument("--key-space", type=int, default=500)
+    mixed.add_argument("--value-size", type=int, default=1_024)
+    mixed.add_argument("--cached", action="store_true",
+                       help="drive an enhanced (in-process cached) client")
+    mixed.set_defaults(handler=cmd_mixed_bench)
+
+    migrate = commands.add_parser("migrate", help="copy one store into another")
+    migrate.add_argument("--source", required=True,
+                         help="store spec, e.g. 'sql,path=a.db'")
+    migrate.add_argument("--dest", required=True,
+                         help="store spec, e.g. 'file,path=/var/data'")
+    migrate.add_argument("--batch-size", type=int, default=100)
+    migrate.add_argument("--no-overwrite", action="store_true",
+                         help="skip keys already present at the destination")
+    migrate.add_argument("--verify", action="store_true",
+                         help="compare stores after copying")
+    migrate.set_defaults(handler=cmd_migrate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    options = build_parser().parse_args(argv)
+    try:
+        return options.handler(options)
+    except DataStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

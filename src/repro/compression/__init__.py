@@ -1,0 +1,21 @@
+"""Client-side compression (paper Sections I-III, Figure 21).
+
+Compression at the client shrinks what crosses the network, what the server
+stores (and bills for), and what the cache holds.  The paper benchmarks gzip
+(Figure 21); this package provides a pluggable
+:class:`~repro.compression.interface.Compressor` interface with gzip, zlib,
+and LZMA codecs from the standard library.
+"""
+
+from .interface import Compressor, NullCompressor
+from .codecs import GzipCompressor, LzmaCompressor, ZlibCompressor
+from .adaptive import AdaptiveCompressor
+
+__all__ = [
+    "Compressor",
+    "NullCompressor",
+    "GzipCompressor",
+    "ZlibCompressor",
+    "LzmaCompressor",
+    "AdaptiveCompressor",
+]

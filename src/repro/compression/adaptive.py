@@ -1,0 +1,74 @@
+"""Adaptive compression: skip the codec when it cannot pay for itself.
+
+The paper (Section III): "since compression entails CPU overhead, the space
+saved by compression needs to be balanced against the increase in CPU
+cycles".  Two cases where compression is pure loss:
+
+* tiny payloads -- framing overhead exceeds any saving;
+* incompressible payloads (already-compressed media, ciphertext, random
+  data) -- full CPU cost, output *larger* than input.
+
+:class:`AdaptiveCompressor` wraps any codec and handles both: payloads
+below ``min_size`` are stored raw, and compressed output is kept only when
+it beats ``min_ratio``.  A one-byte header marks each payload raw (0x00) or
+compressed (0x01), so decompression is self-describing.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompressionError, ConfigurationError
+from .interface import Compressor
+
+__all__ = ["AdaptiveCompressor"]
+
+_RAW = b"\x00"
+_COMPRESSED = b"\x01"
+
+
+class AdaptiveCompressor(Compressor):
+    """Only-when-it-helps wrapper around another compressor."""
+
+    def __init__(
+        self,
+        inner: Compressor,
+        *,
+        min_size: int = 64,
+        min_ratio: float = 0.9,
+    ) -> None:
+        """Wrap *inner*.
+
+        :param min_size: payloads smaller than this skip compression.
+        :param min_ratio: compressed output is kept only when
+            ``len(out) <= min_ratio * len(in)``.
+        """
+        if min_size < 0:
+            raise ConfigurationError("min_size must be non-negative")
+        if not 0.0 < min_ratio <= 1.0:
+            raise ConfigurationError("min_ratio must be in (0, 1]")
+        self._inner = inner
+        self._min_size = min_size
+        self._min_ratio = min_ratio
+        self.name = f"adaptive({inner.name})"
+        #: payloads stored raw / compressed (diagnostics)
+        self.raw_count = 0
+        self.compressed_count = 0
+
+    # ------------------------------------------------------------------
+    def compress(self, data: bytes) -> bytes:
+        if len(data) >= self._min_size:
+            compressed = self._inner.compress(data)
+            if len(compressed) <= self._min_ratio * len(data):
+                self.compressed_count += 1
+                return _COMPRESSED + compressed
+        self.raw_count += 1
+        return _RAW + data
+
+    def decompress(self, data: bytes) -> bytes:
+        if not data:
+            raise CompressionError("empty adaptive-compression payload")
+        marker, body = data[:1], data[1:]
+        if marker == _RAW:
+            return body
+        if marker == _COMPRESSED:
+            return self._inner.decompress(body)
+        raise CompressionError(f"unknown adaptive marker 0x{data[0]:02x}")

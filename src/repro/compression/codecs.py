@@ -1,0 +1,80 @@
+"""Standard-library compression codecs behind the Compressor interface."""
+
+from __future__ import annotations
+
+import gzip
+import lzma
+import zlib
+
+from ..errors import CompressionError, ConfigurationError
+from .interface import Compressor
+
+__all__ = ["GzipCompressor", "ZlibCompressor", "LzmaCompressor"]
+
+
+class GzipCompressor(Compressor):
+    """gzip, the codec evaluated in the paper (Figure 21).
+
+    ``mtime=0`` keeps outputs deterministic, so equal plaintexts compress to
+    equal payloads and content-derived version tokens stay stable.
+    """
+
+    name = "gzip"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ConfigurationError("gzip level must be in 0..9")
+        self._level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return gzip.compress(data, compresslevel=self._level, mtime=0)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return gzip.decompress(data)
+        except (OSError, EOFError, zlib.error) as exc:
+            raise CompressionError(f"invalid gzip stream: {exc}") from exc
+
+
+class ZlibCompressor(Compressor):
+    """Raw zlib: same DEFLATE engine as gzip, lower framing overhead."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ConfigurationError("zlib level must be in 0..9")
+        self._level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, level=self._level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CompressionError(f"invalid zlib stream: {exc}") from exc
+
+
+class LzmaCompressor(Compressor):
+    """LZMA/XZ: much higher ratios, much higher CPU cost.
+
+    Useful in the compression-tradeoff ablation as the opposite corner of
+    the speed/ratio space from gzip.
+    """
+
+    name = "lzma"
+
+    def __init__(self, preset: int = 6) -> None:
+        if not 0 <= preset <= 9:
+            raise ConfigurationError("lzma preset must be in 0..9")
+        self._preset = preset
+
+    def compress(self, data: bytes) -> bytes:
+        return lzma.compress(data, preset=self._preset)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return lzma.decompress(data)
+        except lzma.LZMAError as exc:
+            raise CompressionError(f"invalid lzma stream: {exc}") from exc

@@ -1,0 +1,45 @@
+"""Compressor interface: byte-level, lossless, self-describing outputs."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["Compressor", "NullCompressor"]
+
+
+class Compressor(ABC):
+    """Lossless byte compression.
+
+    ``decompress(compress(d)) == d`` must hold for all byte strings, and
+    corrupt inputs to ``decompress`` must raise
+    :class:`~repro.errors.CompressionError`.
+    """
+
+    #: Stable identifier used in reports and pipeline descriptions.
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress *data* (output may be larger for incompressible input)."""
+
+    @abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+
+    def ratio(self, data: bytes) -> float:
+        """Convenience: compressed/original size for *data* (1.0 for empty)."""
+        if not data:
+            return 1.0
+        return len(self.compress(data)) / len(data)
+
+
+class NullCompressor(Compressor):
+    """Identity transform; the "compression disabled" pipeline element."""
+
+    name = "null"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        return data

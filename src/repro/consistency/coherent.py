@@ -1,0 +1,73 @@
+"""Coherent enhanced client: invalidate-on-write across processes.
+
+A :class:`CoherentClient` is an
+:class:`~repro.core.enhanced.EnhancedDataStoreClient` wired to an
+:class:`~repro.consistency.bus.InvalidationBus`:
+
+* every ``put``/``delete`` it performs is announced on the bus *after* the
+  origin store write succeeds;
+* every announcement from a *peer* drops the local cached entry for that
+  key, so the next read refetches (or revalidates) from the origin.
+
+The guarantee is bounded staleness equal to the bus propagation delay (one
+server push), instead of the unbounded staleness of independent caches or
+the fixed TTL bound of expiration alone.  TTLs still apply underneath and
+cover clients that crash between writing and publishing.
+
+Shared-cache caveat: when clients ALSO share a cache level (e.g. a tiered
+cache whose L2 is one remote server), a receiver's invalidation drops the
+key from the shared level too -- possibly removing the very copy the
+writer just pushed there.  That is safe (the next read repopulates from
+the origin) but costs one extra miss; it is the price of using key-grain
+invalidation without version vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.enhanced import EnhancedDataStoreClient
+from ..kv.interface import KeyValueStore
+from .bus import InvalidationBus
+
+__all__ = ["CoherentClient"]
+
+
+class CoherentClient(EnhancedDataStoreClient):
+    """Enhanced client whose cache is kept coherent with its peers."""
+
+    def __init__(
+        self,
+        store: KeyValueStore,
+        bus: InvalidationBus,
+        **client_options: Any,
+    ) -> None:
+        """Wrap *store* with caching plus bus-driven coherence.
+
+        :param bus: the invalidation bus shared by all clients of *store*.
+            The client starts it and registers itself; the caller still
+            owns (and closes) the bus.
+        :param client_options: forwarded to
+            :class:`~repro.core.enhanced.EnhancedDataStoreClient`.
+        """
+        super().__init__(store, **client_options)
+        self.bus = bus
+        #: peer invalidations applied to the local cache
+        self.peer_invalidations = 0
+        bus.add_listener(self._on_peer_invalidation)
+        bus.start()
+
+    # ------------------------------------------------------------------
+    def _on_peer_invalidation(self, key: str, _origin: str) -> None:
+        if self.dscl.cache_delete(key):
+            self.peer_invalidations += 1
+
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any, *, ttl: float | None | type(...) = ...) -> None:
+        super().put(key, value, ttl=ttl)
+        self.bus.publish(key)
+
+    def delete(self, key: str) -> bool:
+        removed = super().delete(key)
+        self.bus.publish(key)
+        return removed

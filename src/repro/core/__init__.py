@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the Data Store Client Library (DSCL)
+and enhanced data store clients.
+
+* :class:`~repro.core.pipeline.ValuePipeline` -- the serialize / compress /
+  encrypt value transformation shared by every enhanced feature.
+* :class:`~repro.core.dscl.DSCL` -- the explicit-API library (the paper's
+  *loose coupling*): applications call caching / encryption / compression /
+  delta operations themselves, independently of any data store.
+* :class:`~repro.core.enhanced.EnhancedDataStoreClient` -- the *tight
+  coupling*: a data store client whose ``get``/``put``/``delete`` transparently
+  consult and maintain a cache, revalidate expired entries against the
+  origin, and run values through the pipeline.
+"""
+
+from .pipeline import ValuePipeline
+from .dscl import DSCL
+from .enhanced import CacheConsistency, EnhancedDataStoreClient, WritePolicy
+
+__all__ = [
+    "ValuePipeline",
+    "DSCL",
+    "EnhancedDataStoreClient",
+    "WritePolicy",
+    "CacheConsistency",
+]

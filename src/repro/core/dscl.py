@@ -1,0 +1,177 @@
+"""The Data Store Client Library (DSCL) -- explicit API.
+
+The paper's second integration approach (Section III): hand applications the
+library itself and let them drive caching, encryption, compression, and
+delta encoding with explicit calls, independent of any particular data
+store.  The DSCL is therefore a facade over the lower-level subsystems:
+
+* a cache (any :class:`~repro.caching.interface.Cache`) under DSCL-managed
+  expiration times (:class:`~repro.caching.expiration.ExpiringCache`);
+* a :class:`~repro.core.pipeline.ValuePipeline` for confidentiality and
+  size reduction;
+* a :class:`~repro.delta.encoder.DeltaCodec` for delta-encoded updates.
+
+Even when the tightly integrated
+:class:`~repro.core.enhanced.EnhancedDataStoreClient` is in use, the paper
+recommends also exposing this API for fine-grained control; the enhanced
+client exposes its internal DSCL for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..caching.expiration import ExpiringCache, LookupResult
+from ..caching.inprocess import InProcessCache
+from ..caching.interface import Cache
+from ..compression.interface import Compressor
+from ..delta.encoder import DEFAULT_WINDOW_SIZE, DeltaCodec
+from ..kv.interface import KeyValueStore
+from ..kv.wrappers import TransformingStore
+from ..security.interface import Encryptor
+from ..serialization import Serializer
+from .pipeline import ValuePipeline
+
+__all__ = ["DSCL"]
+
+
+class DSCL:
+    """Facade bundling the enhanced-client building blocks."""
+
+    def __init__(
+        self,
+        *,
+        cache: Cache | None = None,
+        default_ttl: float | None = None,
+        serializer: Serializer | None = None,
+        compressor: Compressor | None = None,
+        encryptor: Encryptor | None = None,
+        delta_window: int = DEFAULT_WINDOW_SIZE,
+    ) -> None:
+        """Assemble a DSCL instance.
+
+        :param cache: cache implementation (default: a fresh
+            :class:`~repro.caching.inprocess.InProcessCache`).
+        :param default_ttl: expiration applied to cached objects unless a
+            ``put`` overrides it (``None`` = no expiry).
+        :param serializer/compressor/encryptor: value pipeline stages.
+        :param delta_window: minimum match length for delta encoding.
+        """
+        self.pipeline = ValuePipeline(
+            serializer=serializer, compressor=compressor, encryptor=encryptor
+        )
+        self.cache = cache if cache is not None else InProcessCache()
+        self.expiring = ExpiringCache(self.cache, default_ttl=default_ttl)
+        self.delta_codec = DeltaCodec(delta_window)
+
+    # ------------------------------------------------------------------
+    # Caching API (explicit, paper approach 2)
+    # ------------------------------------------------------------------
+    def cache_put(
+        self,
+        key: str,
+        value: Any,
+        *,
+        ttl: float | None | type(...) = ...,
+        version: str | None = None,
+    ) -> None:
+        """Cache *value* under DSCL-managed expiration."""
+        self.expiring.put(key, value, ttl=ttl, version=version)
+
+    def cache_get(self, key: str) -> Any:
+        """Fresh cached value, or :data:`~repro.caching.interface.MISS`."""
+        return self.expiring.get(key)
+
+    def cache_lookup(self, key: str) -> LookupResult:
+        """Full-fidelity lookup distinguishing fresh / expired / miss."""
+        return self.expiring.lookup(key)
+
+    def cache_refresh(
+        self,
+        key: str,
+        *,
+        ttl: float | None | type(...) = ...,
+        version: str | None = None,
+    ) -> bool:
+        """Re-arm an expired entry after revalidation; True if it existed."""
+        return self.expiring.refresh(key, ttl=ttl, version=version) is not None
+
+    def cache_delete(self, key: str) -> bool:
+        return self.expiring.delete(key)
+
+    def cache_clear(self) -> int:
+        return self.expiring.clear()
+
+    # ------------------------------------------------------------------
+    # Encryption / compression API
+    # ------------------------------------------------------------------
+    def encode_value(self, value: Any) -> bytes:
+        """Serialize + compress + encrypt *value* for storage or transport."""
+        return self.pipeline.encode(value)
+
+    def decode_value(self, payload: bytes) -> Any:
+        """Invert :meth:`encode_value`."""
+        return self.pipeline.decode(payload)
+
+    def encrypt(self, data: bytes) -> bytes:
+        """Encrypt raw bytes (no-op without an encryptor)."""
+        encryptor = self.pipeline.encryptor
+        return data if encryptor is None else encryptor.encrypt(data)
+
+    def decrypt(self, data: bytes) -> bytes:
+        encryptor = self.pipeline.encryptor
+        return data if encryptor is None else encryptor.decrypt(data)
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress raw bytes (no-op without a compressor)."""
+        compressor = self.pipeline.compressor
+        return data if compressor is None else compressor.compress(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        compressor = self.pipeline.compressor
+        return data if compressor is None else compressor.decompress(data)
+
+    # ------------------------------------------------------------------
+    # Delta encoding API
+    # ------------------------------------------------------------------
+    def make_delta(
+        self, old_value: Any, new_value: Any, *, max_ratio: float = 0.9
+    ) -> bytes | None:
+        """Delta between two values, or ``None`` when not worth using.
+
+        Values are compared in *serialized* (pre-compression) form, where
+        similar objects still have similar bytes.  *max_ratio* demands a
+        real saving before a delta replaces a full write (marginal savings
+        never justify managing a delta).
+        """
+        serializer = self.pipeline.serializer
+        return self.delta_codec.encode_if_profitable(
+            serializer.dumps(old_value), serializer.dumps(new_value), max_ratio=max_ratio
+        )
+
+    def apply_value_delta(self, old_value: Any, delta: bytes) -> Any:
+        """Reconstruct the new value from the old one plus a delta."""
+        serializer = self.pipeline.serializer
+        return serializer.loads(
+            self.delta_codec.apply(serializer.dumps(old_value), delta)
+        )
+
+    # ------------------------------------------------------------------
+    # Store integration helper
+    # ------------------------------------------------------------------
+    def wrap_store(self, store: KeyValueStore) -> KeyValueStore:
+        """Attach this DSCL's pipeline to an unmodified store.
+
+        Returns the store itself when the pipeline is an identity; otherwise
+        a :class:`~repro.kv.wrappers.TransformingStore` whose values are
+        pipeline-encoded bytes -- the loosely coupled integration that needs
+        no changes to the store's client code.
+        """
+        if self.pipeline.is_identity:
+            return store
+        return TransformingStore(
+            store,
+            encode=self.pipeline.encode,
+            decode=self.pipeline.decode,
+            name=f"{store.name}+{self.pipeline.describe()}",
+        )

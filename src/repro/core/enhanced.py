@@ -1,0 +1,363 @@
+"""The enhanced data store client -- tight cache integration.
+
+The paper's first integration approach (Section III): the data store
+client's own ``get``/``put``/``delete`` transparently consult and maintain a
+cache, so applications get caching (plus encryption and compression via the
+value pipeline) without making a single explicit DSCL call.  Concretely:
+
+* **read path** -- a fresh cached entry is returned immediately; an
+  *expired* entry is revalidated against the origin with a conditional get
+  (If-Modified-Since style): on NOT_MODIFIED the entry is re-armed and
+  returned without transferring the value, otherwise the fresh value
+  replaces it; a miss fetches from the origin and populates the cache.
+* **write path** -- configurable consistency action
+  (:class:`WritePolicy`): update the cached entry (write-through),
+  invalidate it, or leave the cache alone (for applications managing it
+  explicitly through the exposed :attr:`EnhancedDataStoreClient.dscl`).
+
+Per-client counters (:class:`ClientCounters`) record how each request was
+satisfied, which the caching benchmarks (Figures 11-19) use to verify their
+achieved hit rates.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from ..caching.expiration import Freshness
+from ..caching.interface import Cache
+from ..compression.interface import Compressor
+from ..delta.encoder import DEFAULT_WINDOW_SIZE
+from ..errors import KeyNotFoundError
+from ..kv.interface import NOT_MODIFIED, KeyValueStore
+from ..security.interface import Encryptor
+from ..serialization import Serializer
+from .dscl import DSCL
+
+__all__ = ["WritePolicy", "CacheConsistency", "ClientCounters", "EnhancedDataStoreClient"]
+
+
+class WritePolicy(enum.Enum):
+    """What a write does to the cache (paper: "update (or invalidate)")."""
+
+    #: Store the written value in the cache too (reads hit immediately).
+    WRITE_THROUGH = "write-through"
+    #: Drop any cached entry; the next read refetches from the origin.
+    INVALIDATE = "invalidate"
+    #: Touch the origin only; the application manages the cache itself.
+    NONE = "none"
+
+
+#: Backwards-friendly alias: the knob is really a cache-consistency choice.
+CacheConsistency = WritePolicy
+
+
+@dataclass
+class ClientCounters:
+    """How the client satisfied its requests (monotonic counters)."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    store_reads: int = 0
+    store_writes: int = 0
+    revalidations: int = 0
+    revalidated_not_modified: int = 0
+    revalidated_modified: int = 0
+    #: misses satisfied by another thread's in-flight fetch (single-flight)
+    coalesced_misses: int = 0
+
+    @property
+    def reads(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        reads = self.reads
+        return self.cache_hits / reads if reads else 0.0
+
+
+class _NegativeEntry:
+    """Singleton marker cached for keys the origin reported absent."""
+
+    _instance: "_NegativeEntry | None" = None
+
+    def __new__(cls) -> "_NegativeEntry":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<NEGATIVE>"
+
+
+_NEGATIVE = _NegativeEntry()
+
+
+class EnhancedDataStoreClient:
+    """A data store client with integrated caching, encryption, compression.
+
+    Wraps any :class:`~repro.kv.interface.KeyValueStore`; itself usable as a
+    drop-in store for application code (it exposes the same core methods).
+    """
+
+    def __init__(
+        self,
+        store: KeyValueStore,
+        *,
+        cache: Cache | None = None,
+        default_ttl: float | None = None,
+        write_policy: WritePolicy = WritePolicy.WRITE_THROUGH,
+        revalidate_expired: bool = True,
+        negative_ttl: float | None = None,
+        coalesce_misses: bool = False,
+        serializer: Serializer | None = None,
+        compressor: Compressor | None = None,
+        encryptor: Encryptor | None = None,
+        delta_window: int = DEFAULT_WINDOW_SIZE,
+    ) -> None:
+        """Enhance *store*.
+
+        :param cache: the cache to integrate (default: a fresh in-process
+            cache).  Pass a :class:`~repro.caching.remote.RemoteProcessCache`
+            for the shared / remote configuration.
+        :param default_ttl: expiration for cached entries (``None`` = no
+            expiry; entries stay until evicted or invalidated).
+        :param write_policy: cache action on writes.
+        :param revalidate_expired: revalidate expired entries with a
+            conditional get instead of refetching (paper Section III).
+        :param negative_ttl: when set, "key not found" results are cached
+            for this many seconds, so repeated lookups of absent keys don't
+            each pay an origin round trip.  Writes clear the negative entry.
+        :param coalesce_misses: single-flight protection -- when many
+            threads miss the same key at once (a "cache stampede" after an
+            expiry or a cold start), only one fetches from the origin; the
+            rest wait and reuse its result.  Costs one lock acquisition per
+            miss; leave off for single-threaded clients.
+        :param serializer/compressor/encryptor: value pipeline; when a
+            compressor or encryptor is set, everything persisted to the
+            origin store is pipeline-encoded bytes.
+        """
+        self.dscl = DSCL(
+            cache=cache,
+            default_ttl=default_ttl,
+            serializer=serializer,
+            compressor=compressor,
+            encryptor=encryptor,
+            delta_window=delta_window,
+        )
+        self._origin = store
+        self._store = self.dscl.wrap_store(store)
+        self._write_policy = write_policy
+        self._revalidate = revalidate_expired
+        self._negative_ttl = negative_ttl
+        self._coalesce = coalesce_misses
+        self._inflight: dict[str, threading.Lock] = {}
+        self._inflight_lock = threading.Lock()
+        self.counters = ClientCounters()
+        self._counters_lock = threading.Lock()
+        self.name = f"enhanced({store.name})"
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> KeyValueStore:
+        """The origin store as the client sees it (pipeline applied)."""
+        return self._store
+
+    @property
+    def origin(self) -> KeyValueStore:
+        """The unwrapped origin store."""
+        return self._origin
+
+    @property
+    def cache(self) -> Cache:
+        """The integrated cache (for stats or direct manipulation)."""
+        return self.dscl.cache
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        """Cached read-through get; raises ``KeyNotFoundError`` if absent."""
+        lookup = self.dscl.cache_lookup(key)
+        if lookup.freshness is Freshness.FRESH:
+            assert lookup.entry is not None
+            if lookup.entry.value is _NEGATIVE:
+                # A fresh negative entry: the origin said "absent" recently.
+                with self._counters_lock:
+                    self.counters.cache_hits += 1
+                raise KeyNotFoundError(key, self.name)
+            with self._counters_lock:
+                self.counters.cache_hits += 1
+            return lookup.entry.value
+
+        if (
+            lookup.freshness is Freshness.EXPIRED
+            and self._revalidate
+            and lookup.entry is not None
+            and lookup.entry.version is not None
+        ):
+            return self._revalidate_entry(key, lookup.entry.value, lookup.entry.version)
+
+        with self._counters_lock:
+            self.counters.cache_misses += 1
+        if self._coalesce:
+            return self._fetch_coalesced(key)
+        return self._fetch_and_cache(key)
+
+    def _fetch_coalesced(self, key: str) -> Any:
+        """Single-flight fetch: one origin call per key per stampede."""
+        with self._inflight_lock:
+            lock = self._inflight.setdefault(key, threading.Lock())
+        try:
+            with lock:
+                # Whoever got the lock first has already filled the cache.
+                lookup = self.dscl.cache_lookup(key)
+                if lookup.freshness is Freshness.FRESH and lookup.entry is not None:
+                    if lookup.entry.value is _NEGATIVE:
+                        raise KeyNotFoundError(key, self.name)
+                    with self._counters_lock:
+                        self.counters.coalesced_misses += 1
+                    return lookup.entry.value
+                return self._fetch_and_cache(key)
+        finally:
+            with self._inflight_lock:
+                if self._inflight.get(key) is lock and not lock.locked():
+                    del self._inflight[key]
+
+    def _revalidate_entry(self, key: str, cached_value: Any, version: str) -> Any:
+        """Conditional fetch for an expired entry (If-Modified-Since)."""
+        with self._counters_lock:
+            self.counters.revalidations += 1
+            self.counters.store_reads += 1
+        try:
+            result = self._store.get_if_modified(key, version)
+        except KeyNotFoundError:
+            # The origin dropped the key; the cached copy is dead too.
+            self.dscl.cache_delete(key)
+            raise
+        if result is NOT_MODIFIED:
+            with self._counters_lock:
+                self.counters.revalidated_not_modified += 1
+            self.dscl.cache_refresh(key, version=version)
+            return cached_value
+        with self._counters_lock:
+            self.counters.revalidated_modified += 1
+        value, new_version = result
+        self.dscl.cache_put(key, value, version=new_version)
+        return value
+
+    def _fetch_and_cache(self, key: str) -> Any:
+        with self._counters_lock:
+            self.counters.store_reads += 1
+        try:
+            value, version = self._store.get_with_version(key)
+        except KeyNotFoundError:
+            if self._negative_ttl is not None:
+                self.dscl.cache_put(key, _NEGATIVE, ttl=self._negative_ttl)
+            raise
+        self.dscl.cache_put(key, value, version=version)
+        return value
+
+    def get_or_default(self, key: str, default: Any = None) -> Any:
+        try:
+            return self.get(key)
+        except KeyNotFoundError:
+            return default
+
+    def get_many(self, keys: "Iterable[str]") -> dict[str, Any]:
+        """Batched read-through: cached keys answer locally, the misses are
+        fetched from the origin in ONE ``get_many`` call (one MGET round
+        trip on remote stores) and cached.  Absent keys are omitted.
+        """
+        result: dict[str, Any] = {}
+        misses: list[str] = []
+        for key in keys:
+            lookup = self.dscl.cache_lookup(key)
+            if lookup.freshness is Freshness.FRESH and lookup.entry is not None:
+                if lookup.entry.value is _NEGATIVE:
+                    with self._counters_lock:
+                        self.counters.cache_hits += 1
+                    continue  # known-absent
+                with self._counters_lock:
+                    self.counters.cache_hits += 1
+                result[key] = lookup.entry.value
+            else:
+                misses.append(key)
+        if misses:
+            with self._counters_lock:
+                self.counters.cache_misses += len(misses)
+                self.counters.store_reads += 1
+            fetched = self._store.get_many(misses)
+            for key, value in fetched.items():
+                self.dscl.cache_put(key, value)
+                result[key] = value
+            if self._negative_ttl is not None:
+                for key in misses:
+                    if key not in fetched:
+                        self.dscl.cache_put(key, _NEGATIVE, ttl=self._negative_ttl)
+        return result
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any, *, ttl: float | None | type(...) = ...) -> None:
+        """Write to the origin, then apply the configured cache action.
+
+        :param ttl: cache lifetime for this entry under write-through;
+            omitted = the client's ``default_ttl``, ``None`` = never expire.
+        """
+        with self._counters_lock:
+            self.counters.store_writes += 1
+        version = self._store.put_with_version(key, value)
+        if self._write_policy is WritePolicy.WRITE_THROUGH:
+            self.dscl.cache_put(key, value, ttl=ttl, version=version)
+        elif self._write_policy is WritePolicy.INVALIDATE:
+            self.dscl.cache_delete(key)
+        # WritePolicy.NONE: cache untouched by design.
+
+    def delete(self, key: str) -> bool:
+        """Delete from the origin and drop any cached copy."""
+        with self._counters_lock:
+            self.counters.store_writes += 1
+        self.dscl.cache_delete(key)
+        return self._store.delete(key)
+
+    # ------------------------------------------------------------------
+    # Pass-throughs
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """Membership; a fresh cached entry answers without an origin call."""
+        lookup = self.dscl.cache_lookup(key)
+        if lookup.freshness is Freshness.FRESH:
+            assert lookup.entry is not None
+            return lookup.entry.value is not _NEGATIVE
+        return self._store.contains(key)
+
+    def keys(self) -> Iterator[str]:
+        return self._store.keys()
+
+    def invalidate(self, key: str) -> bool:
+        """Drop the cached entry only (the origin is untouched)."""
+        return self.dscl.cache_delete(key)
+
+    def invalidate_all(self) -> int:
+        return self.dscl.cache_clear()
+
+    def close(self) -> None:
+        self.dscl.cache.close()
+        self._store.close()
+
+    def __enter__(self) -> "EnhancedDataStoreClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<EnhancedDataStoreClient store={self._origin.name!r} "
+            f"cache={self.dscl.cache.name!r} policy={self._write_policy.value}>"
+        )

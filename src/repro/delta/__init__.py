@@ -1,0 +1,34 @@
+"""Delta encoding (paper Section IV).
+
+When a client updates an object, it can often send just the *difference*
+from the version the server already has instead of the whole object.  The
+paper's algorithm serializes objects to byte arrays, indexes every
+``WINDOW_SIZE``-byte substring of the base version with a Rabin-Karp rolling
+hash, and encodes the new version as a sequence of COPY (offset, length into
+the base) and LITERAL (raw bytes) operations, expanding each match to its
+maximal length.
+
+Because most servers know nothing about deltas, Section IV also describes a
+purely client-side protocol: updates are stored *as deltas under derived
+keys*; after a configurable number of deltas the client writes a full object
+and deletes the chain; reads fetch the base plus every delta and reconstruct.
+:class:`~repro.delta.manager.DeltaStoreManager` implements that protocol
+over any :class:`~repro.kv.interface.KeyValueStore`.
+"""
+
+from .rolling_hash import RollingHash
+from .ops import CopyOp, LiteralOp, parse_delta, serialize_delta
+from .encoder import DeltaCodec, apply_delta, encode_delta
+from .manager import DeltaStoreManager
+
+__all__ = [
+    "RollingHash",
+    "CopyOp",
+    "LiteralOp",
+    "serialize_delta",
+    "parse_delta",
+    "encode_delta",
+    "apply_delta",
+    "DeltaCodec",
+    "DeltaStoreManager",
+]

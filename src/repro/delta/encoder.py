@@ -1,0 +1,167 @@
+"""Delta encoder/decoder (the paper's Rabin-Karp scheme, Section IV).
+
+Encoding indexes every ``window_size``-byte substring of the *base* by its
+rolling hash, then slides a window over the *target*: when the window's hash
+hits the index and the bytes verify, the match is expanded to its maximal
+extent (forwards, and backwards into the pending literal) and emitted as a
+COPY; unmatched bytes accumulate into LITERALs.  Matches shorter than
+``window_size`` are never produced -- the paper notes that encoding very
+short matches costs more than sending the bytes raw.
+
+The encoder is O(len(base) + len(target)) expected time.  Hash-bucket depth
+is capped so adversarial inputs (e.g. megabytes of one repeated byte) stay
+linear; capping only costs opportunity, never correctness.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, DeltaEncodingError
+from .ops import CopyOp, DeltaOp, LiteralOp, parse_delta, serialize_delta
+from .rolling_hash import RollingHash
+
+__all__ = ["encode_delta", "apply_delta", "encode_delta_ops", "DeltaCodec"]
+
+#: Paper's example minimum-match window ("e.g. 5"); 16 is a better default
+#: for the pickled payloads this library moves, and benchmarks sweep it.
+DEFAULT_WINDOW_SIZE = 16
+
+_MAX_BUCKET_DEPTH = 8
+
+
+def _index_base(base: bytes, window_size: int) -> dict[int, list[int]]:
+    """Hash every window of *base*; bucket positions by hash (depth-capped)."""
+    index: dict[int, list[int]] = {}
+    for pos, digest in RollingHash.all_windows(base, window_size):
+        bucket = index.setdefault(digest, [])
+        if len(bucket) < _MAX_BUCKET_DEPTH:
+            bucket.append(pos)
+    return index
+
+
+def encode_delta_ops(base: bytes, target: bytes, *, window_size: int = DEFAULT_WINDOW_SIZE) -> list[DeltaOp]:
+    """Compute the operation list transforming *base* into *target*."""
+    if window_size < 1:
+        raise ConfigurationError("window_size must be at least 1")
+    ops: list[DeltaOp] = []
+    if not target:
+        return ops
+    if len(base) < window_size or len(target) < window_size:
+        return [LiteralOp(target)]
+
+    index = _index_base(base, window_size)
+    roller = RollingHash(window_size)
+    pos = 0
+    literal_start = 0
+    digest = roller.prime(target[:window_size])
+    limit = len(target) - window_size
+
+    while pos <= limit:
+        match_base = -1
+        match_len = 0
+        for candidate in index.get(digest, ()):
+            if base[candidate : candidate + window_size] != target[pos : pos + window_size]:
+                continue  # hash collision
+            # Expand forwards to the maximal match.
+            length = window_size
+            while (
+                candidate + length < len(base)
+                and pos + length < len(target)
+                and base[candidate + length] == target[pos + length]
+            ):
+                length += 1
+            if length > match_len:
+                match_base, match_len = candidate, length
+        if match_len:
+            # Expand backwards into the pending literal.
+            while (
+                pos > literal_start
+                and match_base > 0
+                and base[match_base - 1] == target[pos - 1]
+            ):
+                pos -= 1
+                match_base -= 1
+                match_len += 1
+            if pos > literal_start:
+                ops.append(LiteralOp(target[literal_start:pos]))
+            ops.append(CopyOp(match_base, match_len))
+            pos += match_len
+            literal_start = pos
+            if pos <= limit:
+                digest = roller.prime(target[pos : pos + window_size])
+            continue
+        if pos < limit:
+            digest = roller.roll(target[pos], target[pos + window_size])
+        pos += 1
+
+    if literal_start < len(target):
+        ops.append(LiteralOp(target[literal_start:]))
+    return ops
+
+
+def encode_delta(base: bytes, target: bytes, *, window_size: int = DEFAULT_WINDOW_SIZE) -> bytes:
+    """Encode *target* as a delta against *base* (wire format)."""
+    ops = encode_delta_ops(base, target, window_size=window_size)
+    return serialize_delta(ops, base_len=len(base), target_len=len(target))
+
+
+def apply_delta(base: bytes, delta: bytes) -> bytes:
+    """Reconstruct the target from *base* and a wire-format *delta*.
+
+    Validates that the delta was produced against a base of this length and
+    that the reconstruction has the promised size, so chain corruption is
+    caught here rather than surfacing as silent data damage.
+    """
+    ops, base_len, target_len = parse_delta(delta)
+    if base_len != len(base):
+        raise DeltaEncodingError(
+            f"delta expects a base of {base_len} bytes, got {len(base)}"
+        )
+    out = bytearray()
+    for op in ops:
+        if isinstance(op, CopyOp):
+            end = op.offset + op.length
+            if end > len(base):
+                raise DeltaEncodingError(
+                    f"copy op [{op.offset}:{end}) exceeds base length {len(base)}"
+                )
+            out.extend(base[op.offset : end])
+        else:
+            out.extend(op.data)
+    if len(out) != target_len:
+        raise DeltaEncodingError(
+            f"reconstruction produced {len(out)} bytes, delta promised {target_len}"
+        )
+    return bytes(out)
+
+
+class DeltaCodec:
+    """Bundles a window size and exposes encode/apply plus a profit test."""
+
+    def __init__(self, window_size: int = DEFAULT_WINDOW_SIZE) -> None:
+        if window_size < 1:
+            raise ConfigurationError("window_size must be at least 1")
+        self.window_size = window_size
+
+    def encode(self, base: bytes, target: bytes) -> bytes:
+        return encode_delta(base, target, window_size=self.window_size)
+
+    def apply(self, base: bytes, delta: bytes) -> bytes:
+        return apply_delta(base, delta)
+
+    def encode_if_profitable(
+        self, base: bytes, target: bytes, *, max_ratio: float = 1.0
+    ) -> bytes | None:
+        """Return the delta only when it is worth using.
+
+        "Worth using" means ``len(delta) < max_ratio * len(target)``.  The
+        default (1.0) accepts any saving at all; callers that pay extra for
+        delta chains (like the server-less
+        :class:`~repro.delta.manager.DeltaStoreManager`) should demand a
+        real saving, e.g. ``max_ratio=0.9``.  Unrelated versions and
+        incompressible changes fall back to a full write, as the paper
+        intends.
+        """
+        if not 0.0 < max_ratio <= 1.0:
+            raise ConfigurationError("max_ratio must be in (0, 1]")
+        delta = self.encode(base, target)
+        return delta if len(delta) < max_ratio * len(target) else None

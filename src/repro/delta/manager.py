@@ -1,0 +1,179 @@
+"""Client-side delta management without server support (paper Section IV).
+
+Most servers do not understand deltas.  The paper's fallback protocol runs
+entirely in the client against a plain key-value server:
+
+* **update**: store the delta under a derived key (``<key>##delta.<n>``);
+  after ``consolidate_after`` deltas, write the full object back to the main
+  key and delete the chain.
+* **read**: fetch the base object plus every outstanding delta and
+  reconstruct.
+
+The chain state (how many deltas are outstanding) lives in a small metadata
+record under ``<key>##meta``, so any client sharing the store can read the
+chain.  The paper cautions that this mode "will often not be of much
+benefit" because of the extra reads and writes -- the
+``bench_ablation_delta`` benchmark quantifies exactly that trade-off, and
+:attr:`DeltaStoreManager.bytes_written` / :attr:`bytes_read` expose the
+transfer accounting it needs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import DeltaChainBrokenError, KeyNotFoundError
+from ..kv.interface import KeyValueStore
+from ..serialization import Serializer, default_serializer
+from .encoder import DEFAULT_WINDOW_SIZE, DeltaCodec
+
+__all__ = ["DeltaStoreManager"]
+
+_META_SUFFIX = "##meta"
+_DELTA_SUFFIX = "##delta."
+
+
+class DeltaStoreManager:
+    """Delta-encoded updates over any plain key-value store."""
+
+    def __init__(
+        self,
+        store: KeyValueStore,
+        *,
+        consolidate_after: int = 4,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        serializer: Serializer | None = None,
+        max_delta_ratio: float = 0.9,
+    ) -> None:
+        """Manage delta chains in *store*.
+
+        :param consolidate_after: outstanding-delta limit; the next update
+            past it writes a full object and clears the chain.
+        :param window_size: minimum match length for the encoder.
+        :param max_delta_ratio: a delta is used only if it is smaller than
+            this fraction of the full payload -- marginal savings are not
+            worth the chain's read amplification.
+        """
+        if consolidate_after < 1:
+            raise ValueError("consolidate_after must be at least 1")
+        self._max_delta_ratio = max_delta_ratio
+        self._store = store
+        self._consolidate_after = consolidate_after
+        self._codec = DeltaCodec(window_size)
+        self._serializer = serializer if serializer is not None else default_serializer()
+        #: payload bytes pushed to / pulled from the store (delta accounting)
+        self.bytes_written = 0
+        self.bytes_read = 0
+        #: update counters for reports
+        self.delta_writes = 0
+        self.full_writes = 0
+
+    # ------------------------------------------------------------------
+    # Chain metadata
+    # ------------------------------------------------------------------
+    def _meta_key(self, key: str) -> str:
+        return key + _META_SUFFIX
+
+    def _delta_key(self, key: str, index: int) -> str:
+        return f"{key}{_DELTA_SUFFIX}{index}"
+
+    def _load_meta(self, key: str) -> dict[str, Any]:
+        raw = self._store.get_or_default(self._meta_key(key))
+        if raw is None:
+            return {"deltas": 0}
+        try:
+            return json.loads(raw)
+        except (TypeError, ValueError) as exc:
+            raise DeltaChainBrokenError(f"corrupt chain metadata for {key!r}") from exc
+
+    def _save_meta(self, key: str, meta: dict[str, Any]) -> None:
+        self._store.put(self._meta_key(key), json.dumps(meta))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _read_chain_bytes(self, key: str) -> bytes:
+        """Fetch base + outstanding deltas and reconstruct current bytes."""
+        try:
+            base = self._store.get(key)
+        except KeyNotFoundError:
+            raise
+        if not isinstance(base, (bytes, bytearray)):
+            raise DeltaChainBrokenError(
+                f"base object for {key!r} is not bytes (managed keys hold serialized payloads)"
+            )
+        current = bytes(base)
+        self.bytes_read += len(current)
+        meta = self._load_meta(key)
+        for index in range(meta.get("deltas", 0)):
+            try:
+                delta = self._store.get(self._delta_key(key, index))
+            except KeyNotFoundError:
+                raise DeltaChainBrokenError(
+                    f"delta {index} of {key!r} is missing from the store"
+                ) from None
+            self.bytes_read += len(delta)
+            current = self._codec.apply(current, delta)
+        return current
+
+    def get(self, key: str) -> Any:
+        """Read the current value of *key*, reconstructing through the chain."""
+        return self._serializer.loads(self._read_chain_bytes(key))
+
+    def contains(self, key: str) -> bool:
+        return self._store.contains(key)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> bool:
+        """Update *key*; returns ``True`` if the update went out as a delta.
+
+        A delta is used when a previous version exists, the chain has room,
+        and the delta is actually smaller than the full payload; otherwise a
+        full object is written and the chain is reset.
+        """
+        payload = self._serializer.dumps(value)
+        meta = self._load_meta(key)
+        outstanding = meta.get("deltas", 0)
+        if self._store.contains(key) and outstanding < self._consolidate_after:
+            previous = self._read_chain_bytes(key)
+            delta = self._codec.encode_if_profitable(
+                previous, payload, max_ratio=self._max_delta_ratio
+            )
+            if delta is not None:
+                self._store.put(self._delta_key(key, outstanding), delta)
+                self.bytes_written += len(delta)
+                self._save_meta(key, {"deltas": outstanding + 1})
+                self.delta_writes += 1
+                return True
+        self._write_full(key, payload, outstanding)
+        return False
+
+    def _write_full(self, key: str, payload: bytes, outstanding: int) -> None:
+        """Store a complete object and delete any superseded delta chain."""
+        self._store.put(key, payload)
+        self.bytes_written += len(payload)
+        for index in range(outstanding):
+            self._store.delete(self._delta_key(key, index))
+        self._save_meta(key, {"deltas": 0})
+        self.full_writes += 1
+
+    def consolidate(self, key: str) -> None:
+        """Force-collapse the chain for *key* into a single full object."""
+        payload = self._read_chain_bytes(key)
+        meta = self._load_meta(key)
+        self._write_full(key, payload, meta.get("deltas", 0))
+
+    def delete(self, key: str) -> bool:
+        """Remove *key*, its chain, and its metadata."""
+        meta = self._load_meta(key)
+        for index in range(meta.get("deltas", 0)):
+            self._store.delete(self._delta_key(key, index))
+        self._store.delete(self._meta_key(key))
+        return self._store.delete(key)
+
+    def outstanding_deltas(self, key: str) -> int:
+        """How many deltas are currently stacked on *key*."""
+        return self._load_meta(key).get("deltas", 0)

@@ -1,0 +1,156 @@
+"""Delta operations and their compact wire format.
+
+A delta is a sequence of two operation kinds (paper Figure 8):
+
+* :class:`CopyOp` -- "the next *length* bytes equal base[*offset* :
+  *offset*+*length*]"; costs a few bytes regardless of length.
+* :class:`LiteralOp` -- raw bytes with no match in the base.
+
+Wire format (all integers are LEB128 varints)::
+
+    magic "RD1"  | varint base_len | varint target_len | ops...
+    copy op:     0x01 | varint offset | varint length
+    literal op:  0x02 | varint length | <length raw bytes>
+
+``base_len`` and ``target_len`` let :func:`~repro.delta.encoder.apply_delta`
+validate that a delta is being applied to the right base and produced the
+expected output size, catching chain corruption early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..errors import DeltaEncodingError
+
+__all__ = ["CopyOp", "LiteralOp", "DeltaOp", "serialize_delta", "parse_delta"]
+
+MAGIC = b"RD1"
+_COPY = 0x01
+_LITERAL = 0x02
+
+
+@dataclass(frozen=True)
+class CopyOp:
+    """Copy ``length`` bytes from ``base[offset:]``."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length <= 0:
+            raise DeltaEncodingError(
+                f"invalid copy op (offset={self.offset}, length={self.length})"
+            )
+
+    @property
+    def encoded_size(self) -> int:
+        """Bytes this op occupies on the wire."""
+        return 1 + _varint_size(self.offset) + _varint_size(self.length)
+
+
+@dataclass(frozen=True)
+class LiteralOp:
+    """Emit raw bytes verbatim."""
+
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            raise DeltaEncodingError("literal op must carry at least one byte")
+
+    @property
+    def encoded_size(self) -> int:
+        return 1 + _varint_size(len(self.data)) + len(self.data)
+
+
+DeltaOp = Union[CopyOp, LiteralOp]
+
+
+# ----------------------------------------------------------------------
+# LEB128 varints
+# ----------------------------------------------------------------------
+def _write_varint(value: int, out: bytearray) -> None:
+    if value < 0:
+        raise DeltaEncodingError(f"cannot encode negative varint {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise DeltaEncodingError("truncated varint in delta")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise DeltaEncodingError("varint too long in delta")
+
+
+def _varint_size(value: int) -> int:
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size
+
+
+# ----------------------------------------------------------------------
+# Delta (de)serialization
+# ----------------------------------------------------------------------
+def serialize_delta(ops: Iterable[DeltaOp], *, base_len: int, target_len: int) -> bytes:
+    """Encode *ops* into the compact wire format."""
+    out = bytearray(MAGIC)
+    _write_varint(base_len, out)
+    _write_varint(target_len, out)
+    for op in ops:
+        if isinstance(op, CopyOp):
+            out.append(_COPY)
+            _write_varint(op.offset, out)
+            _write_varint(op.length, out)
+        elif isinstance(op, LiteralOp):
+            out.append(_LITERAL)
+            _write_varint(len(op.data), out)
+            out.extend(op.data)
+        else:
+            raise DeltaEncodingError(f"unknown delta op {type(op).__name__}")
+    return bytes(out)
+
+
+def parse_delta(payload: bytes) -> tuple[list[DeltaOp], int, int]:
+    """Decode the wire format; returns ``(ops, base_len, target_len)``."""
+    if not payload.startswith(MAGIC):
+        raise DeltaEncodingError("payload is not a delta (bad magic)")
+    pos = len(MAGIC)
+    base_len, pos = _read_varint(payload, pos)
+    target_len, pos = _read_varint(payload, pos)
+    ops: list[DeltaOp] = []
+    while pos < len(payload):
+        kind = payload[pos]
+        pos += 1
+        if kind == _COPY:
+            offset, pos = _read_varint(payload, pos)
+            length, pos = _read_varint(payload, pos)
+            ops.append(CopyOp(offset, length))
+        elif kind == _LITERAL:
+            length, pos = _read_varint(payload, pos)
+            if pos + length > len(payload):
+                raise DeltaEncodingError("truncated literal in delta")
+            ops.append(LiteralOp(payload[pos : pos + length]))
+            pos += length
+        else:
+            raise DeltaEncodingError(f"unknown delta op byte 0x{kind:02x}")
+    return ops, base_len, target_len

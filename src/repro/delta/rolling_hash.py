@@ -1,0 +1,116 @@
+"""Rabin-Karp rolling hash.
+
+The delta encoder needs the hash of every ``window_size``-byte substring of
+a byte array.  Computing each from scratch would be O(n * w); a polynomial
+rolling hash updates the previous window's value in O(1) as the window
+slides one byte to the right -- exactly the technique the paper cites from
+the Rabin-Karp string matching algorithm.
+
+The hash of window ``b[i..i+w)`` is::
+
+    H(i) = sum(b[i+j] * base^(w-1-j) for j in range(w))  mod  modulus
+
+and sliding gives ``H(i+1) = (H(i) - b[i]*base^(w-1)) * base + b[i+w]``.
+
+The defaults (base 257, Mersenne prime modulus 2^61-1) give a negligible
+collision rate; collisions are harmless anyway because the encoder verifies
+every candidate match byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import ConfigurationError
+
+__all__ = ["RollingHash"]
+
+_DEFAULT_BASE = 257
+_DEFAULT_MODULUS = (1 << 61) - 1  # Mersenne prime
+
+
+class RollingHash:
+    """Sliding-window polynomial hash over bytes."""
+
+    def __init__(
+        self,
+        window_size: int,
+        *,
+        base: int = _DEFAULT_BASE,
+        modulus: int = _DEFAULT_MODULUS,
+    ) -> None:
+        if window_size < 1:
+            raise ConfigurationError("window_size must be at least 1")
+        if base < 2 or modulus < 2:
+            raise ConfigurationError("base and modulus must be at least 2")
+        self.window_size = window_size
+        self._base = base
+        self._modulus = modulus
+        # base^(window_size-1) mod modulus: the weight of the byte leaving
+        # the window on each roll.
+        self._out_weight = pow(base, window_size - 1, modulus)
+        self._value = 0
+        self._primed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """Hash of the current window (only meaningful once primed)."""
+        return self._value
+
+    def prime(self, window: bytes) -> int:
+        """Initialise with a full window; returns its hash."""
+        if len(window) != self.window_size:
+            raise ConfigurationError(
+                f"prime() needs exactly {self.window_size} bytes, got {len(window)}"
+            )
+        value = 0
+        for byte in window:
+            value = (value * self._base + byte) % self._modulus
+        self._value = value
+        self._primed = True
+        return value
+
+    def roll(self, out_byte: int, in_byte: int) -> int:
+        """Slide one byte: *out_byte* leaves the left edge, *in_byte* enters
+        the right.  Returns the new hash."""
+        if not self._primed:
+            raise ConfigurationError("roll() before prime()")
+        value = (self._value - out_byte * self._out_weight) % self._modulus
+        self._value = (value * self._base + in_byte) % self._modulus
+        return self._value
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def hash_window(
+        cls,
+        data: bytes,
+        *,
+        base: int = _DEFAULT_BASE,
+        modulus: int = _DEFAULT_MODULUS,
+    ) -> int:
+        """Direct (non-rolling) hash of *data* as one window.
+
+        Used by tests to validate that rolling and direct computation agree.
+        """
+        value = 0
+        for byte in data:
+            value = (value * base + byte) % modulus
+        return value
+
+    @classmethod
+    def all_windows(
+        cls,
+        data: bytes,
+        window_size: int,
+        *,
+        base: int = _DEFAULT_BASE,
+        modulus: int = _DEFAULT_MODULUS,
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(position, hash)`` for every window of *data* in O(n)."""
+        if len(data) < window_size:
+            return
+        roller = cls(window_size, base=base, modulus=modulus)
+        yield 0, roller.prime(data[:window_size])
+        for pos in range(1, len(data) - window_size + 1):
+            yield pos, roller.roll(data[pos - 1], data[pos + window_size - 1])

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by this library derive from :class:`DataStoreError`,
+so callers can catch a single base class at an integration boundary while
+still being able to discriminate on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class DataStoreError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class KeyNotFoundError(DataStoreError, KeyError):
+    """A requested key does not exist in the data store.
+
+    Also derives from :class:`KeyError` so code written against plain
+    mapping semantics keeps working.
+    """
+
+    def __init__(self, key: object, store: str | None = None) -> None:
+        self.key = key
+        self.store = store
+        location = f" in store {store!r}" if store else ""
+        super().__init__(f"key {key!r} not found{location}")
+
+
+class StoreClosedError(DataStoreError):
+    """An operation was attempted on a store that has been closed."""
+
+
+class StoreConnectionError(DataStoreError):
+    """The client could not reach, or lost its connection to, a server."""
+
+
+class ProtocolError(DataStoreError):
+    """The remote peer sent data that violates the wire protocol."""
+
+
+class SerializationError(DataStoreError):
+    """A value could not be serialized or deserialized."""
+
+
+class EncryptionError(DataStoreError):
+    """Encryption or decryption failed (bad key, corrupt ciphertext...)."""
+
+
+class CompressionError(DataStoreError):
+    """Compression or decompression failed (corrupt payload...)."""
+
+
+class DeltaEncodingError(DataStoreError):
+    """A delta could not be produced or applied."""
+
+
+class DeltaChainBrokenError(DeltaEncodingError):
+    """A stored delta chain is missing its base object or a delta link."""
+
+
+class CacheError(DataStoreError):
+    """Base class for cache-specific failures."""
+
+
+class CapacityError(CacheError):
+    """An object is too large to ever fit in the cache."""
+
+
+class ConfigurationError(DataStoreError):
+    """A component was configured with invalid or inconsistent options."""
+
+
+class MonitoringError(DataStoreError):
+    """Performance-monitoring bookkeeping failed."""
+
+
+class WorkloadError(DataStoreError):
+    """The workload generator was asked to do something impossible."""
+
+
+class TransactionError(DataStoreError):
+    """Base class for multi-store transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back; no participant kept any write."""
+
+
+class RecoveryError(TransactionError):
+    """Crash recovery could not bring the stores to a consistent state."""
+
+
+class AsyncOperationError(DataStoreError):
+    """An asynchronous operation failed; the cause is chained."""
+
+
+class FutureCancelledError(AsyncOperationError):
+    """The result of a cancelled future was requested."""
+
+
+class FutureTimeoutError(AsyncOperationError):
+    """Waiting for a future's result timed out."""

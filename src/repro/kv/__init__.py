@@ -1,0 +1,40 @@
+"""Key-value data store substrates.
+
+Every data store in this library -- local, SQL-backed, simulated-cloud, or
+remote-process -- implements the common :class:`~repro.kv.interface.KeyValueStore`
+contract, which is the Python analogue of the paper's ``KeyValue<K,V>``
+interface.  Higher layers (the DSCL, the UDSM, the workload generator) are
+written against the interface only, so any store can be substituted for any
+other, and features implemented once against the interface (asynchronous
+access, monitoring, workload generation) apply to all stores automatically.
+"""
+
+from .interface import NOT_MODIFIED, KeyValueStore, NotModified
+from .memory import InMemoryStore
+from .filesystem import FileSystemStore
+from .sqlstore import SQLStore
+from .cloudsim import CLOUD_STORE_1, CLOUD_STORE_2, CloudStoreProfile, SimulatedCloudStore
+from .remote import RemoteKeyValueStore
+from .wrappers import NamespacedStore, ReadOnlyStore, TransformingStore
+from .chaos import FlakyStore
+from .resilience import ReplicatedStore, RetryingStore
+
+__all__ = [
+    "KeyValueStore",
+    "NotModified",
+    "NOT_MODIFIED",
+    "InMemoryStore",
+    "FileSystemStore",
+    "SQLStore",
+    "SimulatedCloudStore",
+    "CloudStoreProfile",
+    "CLOUD_STORE_1",
+    "CLOUD_STORE_2",
+    "RemoteKeyValueStore",
+    "NamespacedStore",
+    "ReadOnlyStore",
+    "TransformingStore",
+    "FlakyStore",
+    "RetryingStore",
+    "ReplicatedStore",
+]

@@ -1,0 +1,98 @@
+"""Failure-injection store for resilience testing.
+
+Wraps any store and makes a deterministic, seeded fraction of operations
+fail with a configurable error -- the tool the test suite (and downstream
+users) need to exercise retry logic, transaction recovery, and cache
+behaviour under a misbehaving backend without a real flaky network.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable, Iterator
+
+from ..errors import ConfigurationError, StoreConnectionError
+from .interface import KeyValueStore, NotModified
+from .wrappers import _DelegatingStore
+
+__all__ = ["FlakyStore"]
+
+
+class FlakyStore(_DelegatingStore):
+    """A store whose operations fail with probability ``failure_rate``.
+
+    Failures happen *before* the inner operation runs (the common network
+    failure mode); set ``fail_after=True`` to fail after it instead
+    (the nastier "did my write land?" mode used by idempotency tests).
+    """
+
+    def __init__(
+        self,
+        inner: KeyValueStore,
+        *,
+        failure_rate: float = 0.5,
+        seed: int = 0,
+        error_factory: Callable[[], Exception] | None = None,
+        fail_after: bool = False,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(inner, name=name if name is not None else f"flaky({inner.name})")
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ConfigurationError("failure_rate must be within [0, 1]")
+        self._failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self._error_factory = error_factory if error_factory is not None else (
+            lambda: StoreConnectionError(f"injected failure in {self.name}")
+        )
+        self._fail_after = fail_after
+        self._lock = threading.Lock()
+        #: operations that were failed by injection
+        self.injected_failures = 0
+        #: operations that went through
+        self.successes = 0
+
+    # ------------------------------------------------------------------
+    def _roll(self) -> bool:
+        with self._lock:
+            return self._rng.random() < self._failure_rate
+
+    def _run(self, thunk: Callable[[], Any]) -> Any:
+        should_fail = self._roll()
+        if should_fail and not self._fail_after:
+            with self._lock:
+                self.injected_failures += 1
+            raise self._error_factory()
+        result = thunk()
+        if should_fail and self._fail_after:
+            with self._lock:
+                self.injected_failures += 1
+            raise self._error_factory()
+        with self._lock:
+            self.successes += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        return self._run(lambda: self._inner.get(key))
+
+    def put(self, key: str, value: Any) -> None:
+        self._run(lambda: self._inner.put(key, value))
+
+    def put_with_version(self, key: str, value: Any) -> str | None:
+        return self._run(lambda: self._inner.put_with_version(key, value))
+
+    def delete(self, key: str) -> bool:
+        return self._run(lambda: self._inner.delete(key))
+
+    def contains(self, key: str) -> bool:
+        return self._run(lambda: self._inner.contains(key))
+
+    def get_with_version(self, key: str) -> tuple[Any, str]:
+        return self._run(lambda: self._inner.get_with_version(key))
+
+    def get_if_modified(self, key: str, version: str) -> tuple[Any, str] | NotModified:
+        return self._run(lambda: self._inner.get_if_modified(key, version))
+
+    def keys(self) -> Iterator[str]:
+        return self._run(lambda: self._inner.keys())

@@ -1,0 +1,172 @@
+"""Simulated cloud object stores (the paper's Cloud Store 1 and 2).
+
+The paper evaluates two commercial cloud data stores whose identities are not
+disclosed and which are reached over a WAN.  This module substitutes a
+*simulated* cloud store: a durable in-memory object store behind a
+:class:`~repro.net.latency.LatencyModel`.  The substitution preserves the
+property the evaluation exercises -- high, variable, size-dependent request
+latency that dwarfs local-store latency -- while running entirely offline.
+
+Two bundled profiles mirror the paper's observations (Section V):
+
+* :data:`CLOUD_STORE_1` -- slowest and by far the most variable (the paper
+  attributes this to resource contention at the provider).
+* :data:`CLOUD_STORE_2` -- faster and steadier, but still WAN-bound.
+
+Conditional gets (:meth:`SimulatedCloudStore.get_if_modified`) transfer only
+a version token when the value is unchanged, so revalidation is cheap -- the
+behaviour the paper's If-Modified-Since discussion relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..net.latency import Clock, LatencyModel, RealClock
+from ..serialization import Serializer, default_serializer
+from .interface import NOT_MODIFIED, KeyValueStore, NotModified, content_version
+from .memory import InMemoryStore
+
+__all__ = ["CloudStoreProfile", "SimulatedCloudStore", "CLOUD_STORE_1", "CLOUD_STORE_2"]
+
+
+@dataclass(frozen=True)
+class CloudStoreProfile:
+    """Latency characteristics of a simulated cloud store.
+
+    Reads and writes get separate RTTs because the paper measures writes as
+    consistently slower (cloud writes must be acknowledged durably).
+    """
+
+    name: str
+    read_rtt_ms: float
+    write_rtt_ms: float
+    bandwidth_mbps: float
+    jitter_sigma: float
+
+    def models(self, *, seed: int | None = 0, time_scale: float = 1.0) -> tuple[LatencyModel, LatencyModel]:
+        """Build (read, write) latency models for this profile."""
+        read = LatencyModel(
+            self.read_rtt_ms,
+            self.bandwidth_mbps,
+            jitter_sigma=self.jitter_sigma,
+            seed=seed,
+            time_scale=time_scale,
+        )
+        write = LatencyModel(
+            self.write_rtt_ms,
+            self.bandwidth_mbps,
+            jitter_sigma=self.jitter_sigma,
+            seed=None if seed is None else seed + 1,
+            time_scale=time_scale,
+        )
+        return read, write
+
+
+#: Paper's Cloud Store 1: highest latency, pronounced run-to-run variability.
+CLOUD_STORE_1 = CloudStoreProfile(
+    name="cloud1", read_rtt_ms=80.0, write_rtt_ms=140.0, bandwidth_mbps=20.0, jitter_sigma=0.45
+)
+
+#: Paper's Cloud Store 2: faster and steadier than Cloud Store 1, still remote.
+CLOUD_STORE_2 = CloudStoreProfile(
+    name="cloud2", read_rtt_ms=40.0, write_rtt_ms=70.0, bandwidth_mbps=40.0, jitter_sigma=0.15
+)
+
+
+class SimulatedCloudStore(KeyValueStore):
+    """A :class:`KeyValueStore` that behaves like a distant cloud service.
+
+    Values are serialized on ``put`` (their wire size drives the simulated
+    transfer time), held in an inner in-memory object store, and deserialized
+    on ``get``.  Every operation sleeps the model-generated delay on the
+    configured clock; pass a :class:`~repro.net.latency.VirtualClock` in unit
+    tests to avoid real sleeping while still accounting simulated time.
+    """
+
+    def __init__(
+        self,
+        profile: CloudStoreProfile = CLOUD_STORE_2,
+        *,
+        name: str | None = None,
+        clock: Clock | None = None,
+        serializer: Serializer | None = None,
+        seed: int | None = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        self.profile = profile
+        self.name = name if name is not None else profile.name
+        self.clock = clock if clock is not None else RealClock()
+        self.time_scale = time_scale
+        self._serializer = serializer if serializer is not None else default_serializer()
+        self._read_model, self._write_model = profile.models(seed=seed, time_scale=time_scale)
+        # The backing store holds raw serialized payloads (BytesSerializer
+        # semantics) so size accounting is exact.
+        self._backing = InMemoryStore(name=f"{self.name}-backing", serializer=None)
+        #: simulated seconds consumed by this store's operations.
+        self.simulated_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def _charge_read(self, payload_bytes: int) -> None:
+        self.simulated_seconds += self._read_model.apply(self.clock, payload_bytes)
+
+    def _charge_write(self, payload_bytes: int) -> None:
+        self.simulated_seconds += self._write_model.apply(self.clock, payload_bytes)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        payload: bytes = self._backing.get(key)
+        self._charge_read(len(payload))
+        return self._serializer.loads(payload)
+
+    def get_with_version(self, key: str) -> tuple[Any, str]:
+        payload: bytes = self._backing.get(key)
+        self._charge_read(len(payload))
+        return self._serializer.loads(payload), content_version(payload)
+
+    def get_if_modified(self, key: str, version: str) -> tuple[Any, str] | NotModified:
+        """Conditional get: a match costs one RTT but transfers no payload."""
+        payload: bytes = self._backing.get(key)
+        current = content_version(payload)
+        if current == version:
+            self._charge_read(0)
+            return NOT_MODIFIED
+        self._charge_read(len(payload))
+        return self._serializer.loads(payload), current
+
+    def put(self, key: str, value: Any) -> None:
+        self.put_with_version(key, value)
+
+    def put_with_version(self, key: str, value: Any) -> str:
+        payload = self._serializer.dumps(value)
+        self._charge_write(len(payload))
+        self._backing.put(key, payload)
+        return content_version(payload)
+
+    def delete(self, key: str) -> bool:
+        self._charge_write(0)
+        return self._backing.delete(key)
+
+    def contains(self, key: str) -> bool:
+        self._charge_read(0)
+        return self._backing.contains(key)
+
+    def keys(self) -> Iterator[str]:
+        self._charge_read(0)
+        return self._backing.keys()
+
+    def size(self) -> int:
+        self._charge_read(0)
+        return self._backing.size()
+
+    def clear(self) -> int:
+        self._charge_write(0)
+        return self._backing.clear()
+
+    def close(self) -> None:
+        self._backing.close()
+
+    def native(self) -> InMemoryStore:
+        """The backing object store (diagnostics / test inspection)."""
+        return self._backing

@@ -1,0 +1,155 @@
+"""In-memory key-value store.
+
+The simplest :class:`~repro.kv.interface.KeyValueStore`: a thread-safe dict.
+It is the reference implementation for the contract tests, the storage engine
+behind :class:`~repro.kv.cloudsim.SimulatedCloudStore`, and a convenient
+fixture for examples.
+
+Values are stored serialized by default so that the store has by-value
+semantics like every other backend (mutating an object after ``put`` must not
+mutate the stored copy), and so that content-derived version tokens are
+available.  Pass ``serializer=None`` to store raw object references instead,
+which is faster but shares the aliasing caveat the paper discusses for
+in-process caches.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Any, Iterator
+
+from ..errors import KeyNotFoundError, StoreClosedError
+from ..serialization import Serializer, default_serializer
+from .interface import KeyValueStore, content_version
+
+__all__ = ["InMemoryStore"]
+
+
+class InMemoryStore(KeyValueStore):
+    """Thread-safe dictionary-backed store with by-value semantics."""
+
+    def __init__(
+        self,
+        name: str = "memory",
+        *,
+        serializer: Serializer | None | type(...) = ...,
+    ) -> None:
+        """Create an empty store.
+
+        :param name: store name used in monitoring output.
+        :param serializer: how values are kept internally.  The default
+            (ellipsis) means "use the library default (pickle)"; pass an
+            explicit ``None`` to store raw references with no copying.
+        """
+        self.name = name
+        self._serializer: Serializer | None
+        if serializer is ...:
+            self._serializer = default_serializer()
+        else:
+            self._serializer = serializer
+        self._data: dict[str, Any] = {}
+        self._versions: dict[str, str] = {}
+        self._ref_revision = 0
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"store {self.name!r} is closed")
+
+    def get(self, key: str) -> Any:
+        with self._lock:
+            self._check_open()
+            try:
+                stored = self._data[key]
+            except KeyError:
+                raise KeyNotFoundError(key, self.name) from None
+        if self._serializer is None:
+            return stored
+        return self._serializer.loads(stored)
+
+    def put(self, key: str, value: Any) -> None:
+        self.put_with_version(key, value)
+
+    def put_with_version(self, key: str, value: Any) -> str:
+        if self._serializer is None:
+            payload = value
+        else:
+            payload = self._serializer.dumps(value)
+        with self._lock:
+            self._check_open()
+            self._data[key] = payload
+            if self._serializer is None:
+                # No bytes to hash: fall back to a store-wide revision counter.
+                self._ref_revision += 1
+                version = f"rev-{self._ref_revision}"
+            else:
+                version = content_version(payload)
+            self._versions[key] = version
+            return version
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            self._check_open()
+            existed = key in self._data
+            self._data.pop(key, None)
+            self._versions.pop(key, None)
+            return existed
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            self._check_open()
+            snapshot = list(self._data.keys())
+        return iter(snapshot)
+
+    def get_with_version(self, key: str) -> tuple[Any, str]:
+        with self._lock:
+            self._check_open()
+            try:
+                stored = self._data[key]
+                version = self._versions[key]
+            except KeyError:
+                raise KeyNotFoundError(key, self.name) from None
+        if self._serializer is None:
+            return stored, version
+        return self._serializer.loads(stored), version
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            self._check_open()
+            return key in self._data
+
+    def size(self) -> int:
+        with self._lock:
+            self._check_open()
+            return len(self._data)
+
+    def clear(self) -> int:
+        with self._lock:
+            self._check_open()
+            count = len(self._data)
+            self._data.clear()
+            self._versions.clear()
+            return count
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    def stored_bytes(self, key: str) -> bytes:
+        """Return the raw serialized payload for *key* (testing/diagnostics).
+
+        Only available when a serializer is in use.
+        """
+        with self._lock:
+            self._check_open()
+            try:
+                stored = self._data[key]
+            except KeyError:
+                raise KeyNotFoundError(key, self.name) from None
+        if self._serializer is None:
+            return pickle.dumps(stored)
+        return stored

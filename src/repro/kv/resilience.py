@@ -1,0 +1,273 @@
+"""Resilient store wrappers: retries and primary/replica replication.
+
+Two production-grade behaviours data store clients are expected to have:
+
+* :class:`RetryingStore` -- transparent retry with exponential backoff and
+  full jitter for *transient* failures (connection drops, timeouts).
+  Semantic errors (key not found, serialization problems) are never
+  retried.
+* :class:`ReplicatedStore` -- the paper's "secondary repository" idea taken
+  to its conclusion: writes go to a primary and every replica; reads come
+  from the primary, failing over to replicas, with version-based
+  read-repair pushing stale replicas forward.  This provides availability
+  under store outages, with last-writer-wins convergence.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Iterator, Sequence
+
+from ..errors import ConfigurationError, DataStoreError, KeyNotFoundError, StoreConnectionError
+from .interface import KeyValueStore, NotModified
+from .wrappers import _DelegatingStore
+
+__all__ = ["RetryingStore", "ReplicatedStore"]
+
+#: unique "absent" marker for repair comparisons (None is a legal value)
+_SENTINEL = object()
+
+
+class RetryingStore(_DelegatingStore):
+    """Retries transient failures with exponential backoff + full jitter."""
+
+    def __init__(
+        self,
+        inner: KeyValueStore,
+        *,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        retry_on: tuple[type[Exception], ...] = (StoreConnectionError,),
+        sleep: Callable[[float], None] = time.sleep,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        """Wrap *inner*.
+
+        :param max_attempts: total tries per operation (1 = no retries).
+        :param base_delay: first backoff ceiling, doubling per attempt,
+            capped at *max_delay*; actual sleeps are uniform in
+            ``[0, ceiling]`` (full jitter, so clients don't stampede).
+        :param retry_on: exception types considered transient.
+        :param sleep: injectable for tests.
+        """
+        super().__init__(inner, name=name if name is not None else f"retry({inner.name})")
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ConfigurationError("delays must be non-negative")
+        self._max_attempts = max_attempts
+        self._base_delay = base_delay
+        self._max_delay = max_delay
+        self._retry_on = retry_on
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        #: number of retries performed (attempts beyond the first)
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    def _attempt(self, thunk: Callable[[], Any]) -> Any:
+        last_error: Exception | None = None
+        for attempt in range(self._max_attempts):
+            try:
+                return thunk()
+            except self._retry_on as exc:
+                last_error = exc
+                if attempt == self._max_attempts - 1:
+                    break
+                self.retries += 1
+                ceiling = min(self._max_delay, self._base_delay * (2**attempt))
+                self._sleep(self._rng.uniform(0, ceiling))
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        return self._attempt(lambda: self._inner.get(key))
+
+    def put(self, key: str, value: Any) -> None:
+        self._attempt(lambda: self._inner.put(key, value))
+
+    def put_with_version(self, key: str, value: Any) -> str | None:
+        return self._attempt(lambda: self._inner.put_with_version(key, value))
+
+    def delete(self, key: str) -> bool:
+        return self._attempt(lambda: self._inner.delete(key))
+
+    def contains(self, key: str) -> bool:
+        return self._attempt(lambda: self._inner.contains(key))
+
+    def get_with_version(self, key: str) -> tuple[Any, str]:
+        return self._attempt(lambda: self._inner.get_with_version(key))
+
+    def get_if_modified(self, key: str, version: str) -> tuple[Any, str] | NotModified:
+        return self._attempt(lambda: self._inner.get_if_modified(key, version))
+
+    def keys(self) -> Iterator[str]:
+        return self._attempt(lambda: self._inner.keys())
+
+
+class ReplicatedStore(KeyValueStore):
+    """Primary/replica store with failover reads and read-repair.
+
+    Semantics:
+
+    * **writes** land on the primary first (its failure fails the write),
+      then on every replica; replica failures are tolerated and counted.
+    * **reads** try the primary, then each replica in order.  When a read
+      is served by a fallback, the value is *repaired* onto the stores
+      that were tried first and missed it (best effort).  Members that were
+      never consulted are synced by the explicit :meth:`repair` /
+      :meth:`repair_all` anti-entropy pass instead.
+    * **deletes** are applied everywhere; success if anyone had the key.
+
+    This is availability-oriented, last-writer-wins replication -- the
+    right fit for the paper's cache/secondary-repository use cases, not a
+    consensus protocol.  For atomic cross-store updates use
+    :mod:`repro.txn` instead.
+    """
+
+    def __init__(
+        self,
+        primary: KeyValueStore,
+        replicas: Sequence[KeyValueStore],
+        *,
+        name: str = "replicated",
+        read_repair: bool = True,
+        owns_members: bool = True,
+    ) -> None:
+        """Compose the group.
+
+        :param owns_members: when true (default), closing the composite
+            closes the member stores; pass false when members are owned
+            elsewhere (e.g. individually registered in a UDSM).
+        """
+        if not replicas:
+            raise ConfigurationError("ReplicatedStore needs at least one replica")
+        self.name = name
+        self._primary = primary
+        self._replicas = list(replicas)
+        self._read_repair = read_repair
+        self._owns_members = owns_members
+        #: replica write failures tolerated so far
+        self.replica_write_failures = 0
+        #: reads served by a fallback store
+        self.failover_reads = 0
+        #: repair writes performed
+        self.repairs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> list[KeyValueStore]:
+        return [self._primary, *self._replicas]
+
+    def put(self, key: str, value: Any) -> None:
+        self._primary.put(key, value)
+        for replica in self._replicas:
+            try:
+                replica.put(key, value)
+            except DataStoreError:
+                self.replica_write_failures += 1
+
+    def get(self, key: str) -> Any:
+        missed: list[KeyValueStore] = []
+        last_error: Exception | None = None
+        for index, member in enumerate(self.members):
+            try:
+                value = member.get(key)
+            except KeyNotFoundError as exc:
+                missed.append(member)
+                last_error = exc
+                continue
+            except DataStoreError as exc:
+                last_error = exc
+                continue
+            if index > 0:
+                self.failover_reads += 1
+            if self._read_repair and missed:
+                for stale in missed:
+                    try:
+                        stale.put(key, value)
+                        self.repairs += 1
+                    except DataStoreError:
+                        pass
+            return value
+        if isinstance(last_error, KeyNotFoundError):
+            raise KeyNotFoundError(key, self.name)
+        raise last_error if last_error else KeyNotFoundError(key, self.name)
+
+    def get_with_version(self, key: str) -> tuple[Any, str]:
+        last_error: Exception | None = None
+        for member in self.members:
+            try:
+                return member.get_with_version(key)
+            except DataStoreError as exc:
+                last_error = exc
+        if isinstance(last_error, KeyNotFoundError):
+            raise KeyNotFoundError(key, self.name)
+        raise last_error if last_error else KeyNotFoundError(key, self.name)
+
+    def delete(self, key: str) -> bool:
+        removed = False
+        for member in self.members:
+            try:
+                removed = member.delete(key) or removed
+            except DataStoreError:
+                pass
+        return removed
+
+    def contains(self, key: str) -> bool:
+        for member in self.members:
+            try:
+                if member.contains(key):
+                    return True
+            except DataStoreError:
+                continue
+        return False
+
+    def repair(self, key: str) -> int:
+        """Anti-entropy for one key: copy the primary-preferred value onto
+        every member missing or differing from it.  Returns members fixed.
+
+        Read-repair only fixes members consulted *before* the one that
+        served a read; this explicit form syncs everyone (e.g. after a
+        replica rejoins).
+        """
+        value = self.get(key)  # primary-preferred, with read repair
+        fixed = 0
+        for member in self.members:
+            try:
+                if member.get_or_default(key, _SENTINEL) != value:
+                    member.put(key, value)
+                    fixed += 1
+            except DataStoreError:
+                continue
+        self.repairs += fixed
+        return fixed
+
+    def repair_all(self) -> int:
+        """Run :meth:`repair` for every key any member knows."""
+        return sum(self.repair(key) for key in list(self.keys()))
+
+    def keys(self) -> Iterator[str]:
+        """Union of keys across members (first reachable wins per key)."""
+        seen: set[str] = set()
+        for member in self.members:
+            try:
+                member_keys = list(member.keys())
+            except DataStoreError:
+                continue
+            for key in member_keys:
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def close(self) -> None:
+        if self._owns_members:
+            for member in self.members:
+                member.close()
+
+    def native(self) -> Any:
+        return self._primary.native()

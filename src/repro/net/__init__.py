@@ -1,0 +1,27 @@
+"""Networking substrate.
+
+Two things live here:
+
+* a parameterised WAN latency model (:mod:`repro.net.latency`) used by the
+  simulated cloud stores to reproduce the client-observable behaviour of the
+  paper's geographically distant commercial cloud stores, and
+* a from-scratch remote-process cache server and client
+  (:mod:`repro.net.server`, :mod:`repro.net.client`) speaking a small
+  RESP-like protocol over real TCP sockets -- the stand-in for the Redis
+  instance used in the paper's evaluation.
+"""
+
+from .latency import Clock, LatencyModel, RealClock, VirtualClock
+from .client import CacheClient
+from .server import CacheServer, ServerHandle, StoreServer
+
+__all__ = [
+    "Clock",
+    "RealClock",
+    "VirtualClock",
+    "LatencyModel",
+    "CacheClient",
+    "CacheServer",
+    "StoreServer",
+    "ServerHandle",
+]

@@ -1,0 +1,421 @@
+"""Client for the remote-process cache server.
+
+The Python analogue of the Jedis client used in the paper's evaluation: a
+thin, thread-safe TCP client speaking the protocol in
+:mod:`repro.net.protocol`.  Values are raw ``bytes`` at this layer --
+serialization happens above, in :class:`repro.caching.remote.RemoteProcessCache`
+or :class:`repro.kv.wrappers.TransformingStore` -- so the per-byte IPC cost the
+paper measures is visible and attributable.
+
+The client transparently reconnects once after a dropped connection (servers
+restart; long-lived applications should not fall over because of it), then
+surfaces :class:`~repro.errors.StoreConnectionError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from ..errors import ProtocolError, StoreConnectionError
+from . import protocol
+from .protocol import NIL, SimpleString, WireError
+
+__all__ = ["CacheClient", "Pipeline", "SubscriberClient"]
+
+
+class CacheClient:
+    """Synchronous, thread-safe client for :class:`~repro.net.server.CacheServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 5.0,
+        operation_timeout: float = 30.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        self._operation_timeout = operation_timeout
+        self._lock = threading.RLock()
+        self._sock: socket.socket | None = None
+        self._stream: Any = None
+        self._reader: protocol.FrameReader | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            raise StoreConnectionError(
+                f"cannot connect to cache server {self._host}:{self._port}: {exc}"
+            ) from exc
+        sock.settimeout(self._operation_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._stream = sock.makefile("rwb")
+        self._reader = protocol.FrameReader(self._stream)
+
+    def _drop_connection(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._stream = None
+        self._reader = None
+
+    def _roundtrip(self, args: list[bytes | str]) -> protocol.Frame:
+        """Send one command and read one reply, reconnecting once on failure."""
+        with self._lock:
+            if self._closed:
+                raise StoreConnectionError("client is closed")
+            last_error: Exception | None = None
+            for attempt in range(2):
+                if self._sock is None:
+                    self._connect()
+                try:
+                    assert self._stream is not None and self._reader is not None
+                    self._stream.write(protocol.encode_command(args))
+                    self._stream.flush()
+                    frame = self._reader.read_frame(allow_eof=True)
+                    if frame is None:
+                        raise StoreConnectionError("server closed the connection")
+                    return frame
+                except (OSError, StoreConnectionError, ProtocolError) as exc:
+                    last_error = exc
+                    self._drop_connection()
+                    if attempt == 1:
+                        break
+            raise StoreConnectionError(
+                f"cache operation failed against {self._host}:{self._port}: {last_error}"
+            ) from last_error
+
+    @staticmethod
+    def _raise_on_error(frame: protocol.Frame) -> protocol.Frame:
+        if isinstance(frame, WireError):
+            raise frame
+        return frame
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Round-trip health check."""
+        reply = self._raise_on_error(self._roundtrip(["PING"]))
+        return reply == SimpleString("PONG")
+
+    def get(self, key: bytes) -> bytes | None:
+        """Fetch *key*; ``None`` if absent (or expired)."""
+        reply = self._raise_on_error(self._roundtrip(["GET", key]))
+        if reply is NIL:
+            return None
+        if not isinstance(reply, bytes):
+            raise ProtocolError(f"GET returned unexpected frame {type(reply).__name__}")
+        return reply
+
+    def set(self, key: bytes, value: bytes, *, ttl: float | None = None) -> None:
+        """Store *value* under *key*, optionally expiring after *ttl* seconds."""
+        if ttl is None:
+            self._raise_on_error(self._roundtrip(["SET", key, value]))
+        else:
+            self._raise_on_error(self._roundtrip(["SETEX", key, f"{ttl:.6f}", value]))
+
+    def delete(self, *keys: bytes) -> int:
+        """Delete keys; returns how many existed."""
+        if not keys:
+            return 0
+        reply = self._raise_on_error(self._roundtrip(["DEL", *keys]))
+        return int(reply)  # type: ignore[arg-type]
+
+    def exists(self, key: bytes) -> bool:
+        reply = self._raise_on_error(self._roundtrip(["EXISTS", key]))
+        return bool(reply)
+
+    def keys(self) -> list[bytes]:
+        reply = self._raise_on_error(self._roundtrip(["KEYS"]))
+        if not isinstance(reply, list):
+            raise ProtocolError("KEYS returned a non-array frame")
+        return [member for member in reply if isinstance(member, bytes)]
+
+    def dbsize(self) -> int:
+        reply = self._raise_on_error(self._roundtrip(["DBSIZE"]))
+        return int(reply)  # type: ignore[arg-type]
+
+    def flushall(self) -> None:
+        self._raise_on_error(self._roundtrip(["FLUSHALL"]))
+
+    def ttl(self, key: bytes) -> int:
+        """Remaining TTL in whole seconds; -1 = no TTL, -2 = no such key."""
+        reply = self._raise_on_error(self._roundtrip(["TTL", key]))
+        return int(reply)  # type: ignore[arg-type]
+
+    def getver(self, key: bytes) -> str | None:
+        """Server-side version token for *key* (content hash), or ``None``."""
+        reply = self._raise_on_error(self._roundtrip(["GETVER", key]))
+        if reply is NIL:
+            return None
+        assert isinstance(reply, bytes)
+        return reply.decode("ascii")
+
+    def save(self) -> None:
+        """Ask the server to snapshot its keyspace to disk."""
+        self._raise_on_error(self._roundtrip(["SAVE"]))
+
+    def publish(self, channel: bytes, payload: bytes) -> int:
+        """Broadcast *payload* on *channel*; returns the subscriber count
+        it reached (see :class:`SubscriberClient`)."""
+        reply = self._raise_on_error(self._roundtrip(["PUBLISH", channel, payload]))
+        return int(reply)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Batching: multi-key commands and pipelining
+    # ------------------------------------------------------------------
+    def mget(self, keys: list[bytes]) -> list[bytes | None]:
+        """Fetch many keys in ONE round trip (``None`` for absent keys)."""
+        if not keys:
+            return []
+        reply = self._raise_on_error(self._roundtrip(["MGET", *keys]))
+        if not isinstance(reply, list):
+            raise ProtocolError("MGET returned a non-array frame")
+        return [member if isinstance(member, bytes) else None for member in reply]
+
+    def mset(self, items: dict[bytes, bytes]) -> None:
+        """Store many (key, value) pairs in ONE round trip."""
+        if not items:
+            return
+        flat: list[bytes | str] = ["MSET"]
+        for key, value in items.items():
+            flat.append(key)
+            flat.append(value)
+        self._raise_on_error(self._roundtrip(flat))
+
+    def execute_pipeline(
+        self, commands: "list[list[bytes | str]]"
+    ) -> list[protocol.Frame]:
+        """Send *commands* back-to-back, then read all replies.
+
+        Pipelining removes the per-command round trip: N commands cost one
+        network flush plus N server dispatches instead of N round trips.
+        Error replies come back as :class:`~repro.net.protocol.WireError`
+        *values* in the result list (other commands still succeed), exactly
+        like Redis pipelines.
+        """
+        if not commands:
+            return []
+        with self._lock:
+            if self._closed:
+                raise StoreConnectionError("client is closed")
+            if self._sock is None:
+                self._connect()
+            assert self._stream is not None and self._reader is not None
+            try:
+                payload = b"".join(protocol.encode_command(args) for args in commands)
+                self._stream.write(payload)
+                self._stream.flush()
+                replies: list[protocol.Frame] = []
+                for _ in commands:
+                    frame = self._reader.read_frame(allow_eof=True)
+                    if frame is None:
+                        raise StoreConnectionError("server closed mid-pipeline")
+                    replies.append(frame)
+                return replies
+            except (OSError, ProtocolError) as exc:
+                # A pipeline is not transparently retryable: some commands
+                # may already have executed server-side.
+                self._drop_connection()
+                raise StoreConnectionError(f"pipeline failed: {exc}") from exc
+
+    def pipeline(self) -> "Pipeline":
+        """Start collecting commands for one batched flush."""
+        return Pipeline(self)
+
+    def shutdown_server(self) -> None:
+        """Ask the server to shut down (used by tests and tooling)."""
+        try:
+            self._roundtrip(["SHUTDOWN"])
+        except StoreConnectionError:
+            pass  # server may close before replying
+        self._drop_connection()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._drop_connection()
+
+    def __enter__(self) -> "CacheClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Pipeline:
+    """Builder for a batched command flush (see
+    :meth:`CacheClient.execute_pipeline`).
+
+    Usage::
+
+        pipe = client.pipeline()
+        pipe.set(b"a", b"1")
+        pipe.get(b"b")
+        pipe.delete(b"c")
+        replies = pipe.execute()    # one round trip for everything
+    """
+
+    def __init__(self, client: CacheClient) -> None:
+        self._client = client
+        self._commands: list[list[bytes | str]] = []
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def get(self, key: bytes) -> "Pipeline":
+        self._commands.append(["GET", key])
+        return self
+
+    def set(self, key: bytes, value: bytes, *, ttl: float | None = None) -> "Pipeline":
+        if ttl is None:
+            self._commands.append(["SET", key, value])
+        else:
+            self._commands.append(["SETEX", key, f"{ttl:.6f}", value])
+        return self
+
+    def delete(self, *keys: bytes) -> "Pipeline":
+        self._commands.append(["DEL", *keys])
+        return self
+
+    def exists(self, key: bytes) -> "Pipeline":
+        self._commands.append(["EXISTS", key])
+        return self
+
+    def execute(self) -> list[protocol.Frame]:
+        """Flush the batch; returns one decoded frame per queued command.
+
+        GET replies are ``bytes`` or :data:`~repro.net.protocol.NIL`; SET
+        replies are ``SimpleString('OK')``; errors are ``WireError`` values.
+        The builder resets afterwards and can be reused.
+        """
+        commands, self._commands = self._commands, []
+        return self._client.execute_pipeline(commands)
+
+
+class SubscriberClient:
+    """Dedicated pub/sub connection: subscribes to channels and dispatches
+    pushed messages to callbacks on a background thread.
+
+    Pub/sub needs its own connection because the server pushes frames at
+    any time, which cannot share a socket with request/reply traffic.
+    Callbacks run on the subscriber's reader thread; keep them short, and
+    never call back into this client from one.
+    """
+
+    def __init__(self, host: str, port: int, *, connect_timeout: float = 5.0) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise StoreConnectionError(
+                f"cannot connect subscriber to {host}:{port}: {exc}"
+            ) from exc
+        self._sock.settimeout(None)  # the reader blocks for pushes
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._stream = self._sock.makefile("rwb")
+        self._reader = protocol.FrameReader(self._stream)
+        self._callbacks: dict[bytes, Any] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._subscribed = threading.Event()
+        self._thread = threading.Thread(
+            target=self._listen, name="cache-subscriber", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def subscribe(self, channel: bytes, callback) -> None:
+        """Register *callback(channel, payload)* for *channel*.
+
+        Blocks until the server confirms the subscription, so a
+        ``publish`` issued afterwards is guaranteed to reach it.
+        """
+        with self._lock:
+            if self._closed:
+                raise StoreConnectionError("subscriber is closed")
+            self._callbacks[channel] = callback
+            self._subscribed.clear()
+            self._stream.write(protocol.encode_command([b"SUBSCRIBE", channel]))
+            self._stream.flush()
+        if not self._subscribed.wait(timeout=10):
+            raise StoreConnectionError("subscription was not confirmed")
+
+    def unsubscribe(self, channel: bytes) -> None:
+        with self._lock:
+            self._callbacks.pop(channel, None)
+            if not self._closed:
+                self._stream.write(protocol.encode_command([b"UNSUBSCRIBE", channel]))
+                self._stream.flush()
+
+    def _listen(self) -> None:
+        while True:
+            try:
+                frame = self._reader.read_frame(allow_eof=True)
+            except Exception:  # noqa: BLE001 - socket torn down
+                return
+            if frame is None:
+                return
+            if not isinstance(frame, list) or len(frame) != 3:
+                continue  # confirmation frames and noise
+            kind, channel, payload = frame
+            if kind == b"subscribe":
+                self._subscribed.set()
+                continue
+            if kind != b"message":
+                continue
+            callback = self._callbacks.get(channel)
+            if callback is not None:
+                try:
+                    callback(channel, payload)
+                except Exception:  # noqa: BLE001 - callbacks must not kill the reader
+                    pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Unblock the reader thread first: closing the buffered stream
+            # while another thread is mid-read would contend on its lock.
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self._thread.join(timeout=2)
+        try:
+            self._stream.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SubscriberClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,165 @@
+"""WAN latency model and clock abstraction.
+
+The paper's Cloud Store 1 and 2 are commercial services reached over a wide
+area network; their defining client-observable property is high, variable
+request latency that grows with object size.  :class:`LatencyModel`
+reproduces that: each simulated request costs
+
+    ``delay = (rtt + payload_bytes / bandwidth) * jitter``
+
+where ``jitter`` is a lognormal multiplier (median 1.0) drawn from a seeded
+RNG, so runs are reproducible.  A ``time_scale`` factor uniformly shrinks
+delays so that benchmark sweeps finish quickly without changing orderings or
+crossovers; every report records the scale used.
+
+Delays are realised through a :class:`Clock`, which is either
+:class:`RealClock` (actually sleeps -- used by benchmarks, where wall-clock
+measurements must include the delay) or :class:`VirtualClock` (advances a
+counter -- used by unit tests, which must not sleep).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError
+
+__all__ = ["Clock", "RealClock", "VirtualClock", "LatencyModel"]
+
+
+class Clock(ABC):
+    """Minimal clock interface: read time, spend time."""
+
+    @abstractmethod
+    def time(self) -> float:
+        """Current time in seconds (monotonic within one clock instance)."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Spend *seconds* of this clock's time."""
+
+
+class RealClock(Clock):
+    """Wall-clock implementation backed by :func:`time.perf_counter`."""
+
+    def time(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Simulated clock: ``sleep`` advances a counter instantly.
+
+    Thread-safe.  Unit tests use this so simulated-WAN operations complete
+    immediately while still recording how much simulated time they consumed.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._slept = 0.0
+        self._lock = threading.Lock()
+
+    def time(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            return
+        with self._lock:
+            self._now += seconds
+            self._slept += seconds
+
+    @property
+    def total_slept(self) -> float:
+        """Total simulated seconds spent in :meth:`sleep`."""
+        with self._lock:
+            return self._slept
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without counting it as sleep."""
+        with self._lock:
+            self._now += seconds
+
+
+class LatencyModel:
+    """Seeded, size-aware request latency generator.
+
+    :param rtt_ms: fixed round-trip cost per request, in milliseconds.
+    :param bandwidth_mbps: transfer rate for the payload, in megabits/s.
+        ``None`` or ``inf`` disables the size-dependent term.
+    :param jitter_sigma: sigma of the lognormal jitter multiplier.  0 makes
+        the model deterministic; the paper observed cloud stores with very
+        different variability, which this knob reproduces.
+    :param seed: RNG seed for reproducible jitter sequences.
+    :param time_scale: multiplies every produced delay.  Benchmarks run
+        cloud profiles at e.g. 0.1 to keep sweeps fast.
+    """
+
+    def __init__(
+        self,
+        rtt_ms: float,
+        bandwidth_mbps: float | None = None,
+        *,
+        jitter_sigma: float = 0.0,
+        seed: int | None = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        if rtt_ms < 0:
+            raise ConfigurationError("rtt_ms must be non-negative")
+        if bandwidth_mbps is not None and bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth_mbps must be positive")
+        if jitter_sigma < 0:
+            raise ConfigurationError("jitter_sigma must be non-negative")
+        if time_scale <= 0:
+            raise ConfigurationError("time_scale must be positive")
+        self.rtt_ms = rtt_ms
+        self.bandwidth_mbps = bandwidth_mbps
+        self.jitter_sigma = jitter_sigma
+        self.time_scale = time_scale
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def _jitter(self) -> float:
+        if self.jitter_sigma == 0:
+            return 1.0
+        with self._lock:
+            gauss = self._rng.gauss(0.0, self.jitter_sigma)
+        return math.exp(gauss)
+
+    def delay_seconds(self, payload_bytes: int = 0) -> float:
+        """Compute (and consume one jitter sample for) one request's delay."""
+        delay_ms = self.rtt_ms
+        if self.bandwidth_mbps not in (None, math.inf):
+            bytes_per_ms = self.bandwidth_mbps * 1e6 / 8 / 1e3
+            delay_ms += payload_bytes / bytes_per_ms
+        return delay_ms * self._jitter() * self.time_scale / 1e3
+
+    def apply(self, clock: Clock, payload_bytes: int = 0) -> float:
+        """Sleep one request's delay on *clock*; returns the delay in seconds."""
+        delay = self.delay_seconds(payload_bytes)
+        clock.sleep(delay)
+        return delay
+
+    def scaled(self, time_scale: float) -> "LatencyModel":
+        """Return a copy of this model with a different time scale."""
+        return LatencyModel(
+            self.rtt_ms,
+            self.bandwidth_mbps,
+            jitter_sigma=self.jitter_sigma,
+            seed=None,
+            time_scale=time_scale,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyModel(rtt_ms={self.rtt_ms}, bandwidth_mbps={self.bandwidth_mbps}, "
+            f"jitter_sigma={self.jitter_sigma}, time_scale={self.time_scale})"
+        )

@@ -1,0 +1,201 @@
+"""Wire protocol for the remote-process cache.
+
+A small REdis-Serialization-Protocol (RESP) dialect, chosen because it is
+trivially parseable, self-delimiting, and binary-safe:
+
+* A **request** is an array of bulk strings::
+
+      *<argc>\\r\\n  then per argument:  $<len>\\r\\n<bytes>\\r\\n
+
+* A **response** is one of:
+
+  - simple string  ``+OK\\r\\n``
+  - error          ``-ERR message\\r\\n``
+  - integer        ``:42\\r\\n``
+  - bulk string    ``$<len>\\r\\n<bytes>\\r\\n``
+  - nil bulk       ``$-1\\r\\n``
+  - array          ``*<n>\\r\\n`` followed by *n* responses
+
+Both the server and the client use :class:`FrameReader` to parse frames off
+a buffered socket file, and the ``encode_*`` helpers to produce them.
+Violations raise :class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Sequence, Union
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "NIL",
+    "SimpleString",
+    "WireError",
+    "encode_command",
+    "encode_simple",
+    "encode_error",
+    "encode_integer",
+    "encode_bulk",
+    "encode_nil",
+    "encode_array",
+    "FrameReader",
+]
+
+_CRLF = b"\r\n"
+_MAX_BULK = 512 * 1024 * 1024  # sanity bound: 512 MiB per frame
+
+
+class _Nil:
+    """Singleton decoded form of the nil bulk string."""
+
+    _instance: "_Nil | None" = None
+
+    def __new__(cls) -> "_Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<NIL>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Decoded form of ``$-1\r\n``.
+NIL = _Nil()
+
+
+class SimpleString(str):
+    """Decoded form of a ``+...`` simple string (distinct from bulk data)."""
+
+
+class WireError(Exception):
+    """Decoded form of a ``-...`` error response.
+
+    Raised by clients when the server reports a command failure; *not* a
+    :class:`ProtocolError`, which signals malformed framing.
+    """
+
+
+Frame = Union[SimpleString, bytes, int, _Nil, list, WireError]
+
+
+def encode_command(args: Sequence[bytes | str]) -> bytes:
+    """Encode a request: an array of bulk strings."""
+    if not args:
+        raise ProtocolError("cannot encode an empty command")
+    parts = [b"*%d\r\n" % len(args)]
+    for arg in args:
+        data = arg.encode("utf-8") if isinstance(arg, str) else arg
+        parts.append(b"$%d\r\n" % len(data))
+        parts.append(data)
+        parts.append(_CRLF)
+    return b"".join(parts)
+
+
+def encode_simple(text: str) -> bytes:
+    return b"+" + text.encode("utf-8") + _CRLF
+
+
+def encode_error(message: str) -> bytes:
+    return b"-" + message.replace("\r", " ").replace("\n", " ").encode("utf-8") + _CRLF
+
+
+def encode_integer(value: int) -> bytes:
+    return b":%d\r\n" % value
+
+
+def encode_bulk(data: bytes) -> bytes:
+    return b"$%d\r\n" % len(data) + data + _CRLF
+
+
+def encode_nil() -> bytes:
+    return b"$-1\r\n"
+
+
+def encode_array(frames: Sequence[bytes]) -> bytes:
+    """Encode an array response from already-encoded member frames."""
+    return b"*%d\r\n" % len(frames) + b"".join(frames)
+
+
+class FrameReader:
+    """Parses protocol frames from a binary file-like object.
+
+    The file is expected to be buffered (e.g. ``socket.makefile("rb")``).
+    ``read_frame`` returns a decoded frame or ``None`` on clean EOF at a
+    frame boundary; EOF mid-frame raises :class:`ProtocolError`.
+    """
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+
+    # ------------------------------------------------------------------
+    def _read_line(self, *, allow_eof: bool) -> bytes | None:
+        line = self._stream.readline()
+        if not line:
+            if allow_eof:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        if not line.endswith(_CRLF):
+            raise ProtocolError(f"line not CRLF-terminated: {line[:40]!r}")
+        return line[:-2]
+
+    def _read_exact(self, count: int) -> bytes:
+        data = self._stream.read(count)
+        if data is None or len(data) != count:
+            raise ProtocolError("connection closed mid-bulk-string")
+        return data
+
+    @staticmethod
+    def _parse_int(raw: bytes, what: str) -> int:
+        try:
+            return int(raw)
+        except ValueError:
+            raise ProtocolError(f"invalid {what}: {raw[:40]!r}") from None
+
+    # ------------------------------------------------------------------
+    def read_frame(self, *, allow_eof: bool = True) -> Frame | None:
+        """Read one frame; ``None`` on clean EOF (if *allow_eof*)."""
+        line = self._read_line(allow_eof=allow_eof)
+        if line is None:
+            return None
+        if not line:
+            raise ProtocolError("empty frame header")
+        marker, body = line[:1], line[1:]
+        if marker == b"+":
+            return SimpleString(body.decode("utf-8", errors="replace"))
+        if marker == b"-":
+            return WireError(body.decode("utf-8", errors="replace"))
+        if marker == b":":
+            return self._parse_int(body, "integer")
+        if marker == b"$":
+            length = self._parse_int(body, "bulk length")
+            if length == -1:
+                return NIL
+            if length < 0 or length > _MAX_BULK:
+                raise ProtocolError(f"unreasonable bulk length {length}")
+            data = self._read_exact(length)
+            if self._read_exact(2) != _CRLF:
+                raise ProtocolError("bulk string not CRLF-terminated")
+            return data
+        if marker == b"*":
+            count = self._parse_int(body, "array length")
+            if count < 0 or count > 1_000_000:
+                raise ProtocolError(f"unreasonable array length {count}")
+            return [self.read_frame(allow_eof=False) for _ in range(count)]
+        raise ProtocolError(f"unknown frame marker {marker!r}")
+
+    def read_command(self) -> list[bytes] | None:
+        """Read a request frame: an array whose members are all bulk strings."""
+        frame = self.read_frame(allow_eof=True)
+        if frame is None:
+            return None
+        if not isinstance(frame, list) or not frame:
+            raise ProtocolError("request must be a non-empty array")
+        args: list[bytes] = []
+        for member in frame:
+            if not isinstance(member, bytes):
+                raise ProtocolError("request array members must be bulk strings")
+            args.append(member)
+        return args

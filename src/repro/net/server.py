@@ -1,0 +1,720 @@
+"""Remote-process cache server (the evaluation's Redis stand-in).
+
+A standalone TCP key-value cache server built from scratch: threaded
+connection handling, a bounded LRU keyspace, optional TTLs, and optional
+snapshot persistence -- the feature set Section III of the paper relies on
+when it discusses remote-process caches (shared by multiple clients, data
+serialized over IPC, optional persistence for warm restarts).
+
+The server can run three ways:
+
+* in a daemon thread inside the current process
+  (:meth:`ServerHandle.start_in_thread`) -- convenient for tests;
+* as a separate OS process (:meth:`ServerHandle.spawn_process`) -- a true
+  *remote-process* cache, used by the benchmarks so that IPC costs are real;
+* from the command line: ``python -m repro.net.server --port 7379``.
+
+Supported commands (case-insensitive): PING, GET, SET, SETEX, DEL, EXISTS,
+KEYS, DBSIZE, FLUSHALL, TTL, GETVER, SAVE, QUIT, SHUTDOWN, plus a small
+pub/sub facility (SUBSCRIBE, UNSUBSCRIBE, PUBLISH) used by the cache
+coherence layer (:mod:`repro.consistency`) to broadcast invalidations to
+every client sharing the server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import pickle
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError, StoreConnectionError
+from . import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kv.interface import KeyValueStore
+
+__all__ = ["CacheServer", "StoreServer", "ServerHandle"]
+
+
+class _Entry:
+    """One stored value plus its absolute expiry (``None`` = no TTL)."""
+
+    __slots__ = ("value", "expires_at")
+
+    def __init__(self, value: bytes, expires_at: float | None) -> None:
+        self.value = value
+        self.expires_at = expires_at
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+class CacheServer:
+    """Threaded TCP cache server with LRU eviction and snapshotting."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_entries: int | None = None,
+        snapshot_path: str | Path | None = None,
+    ) -> None:
+        """Create a server (not yet listening; call :meth:`start`).
+
+        :param port: TCP port; 0 picks a free port (see :attr:`address`).
+        :param max_entries: LRU-evict beyond this many keys (``None`` =
+            unbounded, like a default Redis instance).
+        :param snapshot_path: if set, ``SAVE`` persists the keyspace here
+            and :meth:`start` warm-loads from it when it exists.
+        """
+        if max_entries is not None and max_entries <= 0:
+            raise ConfigurationError("max_entries must be positive")
+        self._host = host
+        self._requested_port = port
+        self._max_entries = max_entries
+        self._snapshot_path = Path(snapshot_path) if snapshot_path else None
+        self._data: OrderedDict[bytes, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+        # Pub/sub: channel -> set of connection contexts; contexts carry a
+        # write lock because publishers push frames concurrently with the
+        # connection's own reply stream.
+        self._subscribers: dict[bytes, set["_ConnectionContext"]] = {}
+        self._subscribers_lock = threading.Lock()
+        self._conn_local = threading.local()
+        self._shutdown = threading.Event()
+        self.address: tuple[str, int] | None = None
+        #: total commands served (diagnostics)
+        self.commands_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Bind, warm-load any snapshot, and begin accepting connections."""
+        if self._snapshot_path and self._snapshot_path.exists():
+            self._load_snapshot()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._requested_port))
+        listener.listen(64)
+        self._listener = listener
+        self.address = listener.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="cache-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Stop accepting, close the listener and every live connection.
+        Idempotent."""
+        self._shutdown.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._connections_lock:
+            live = list(self._connections)
+            self._connections.clear()
+        for conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def serve_forever(self) -> None:
+        """Block until the server is shut down (CLI entry point)."""
+        self._shutdown.wait()
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._shutdown.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                break  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Per-connection protocol loop
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._connections_lock:
+            self._connections.add(conn)
+        stream = conn.makefile("rwb")
+        context = _ConnectionContext(stream)
+        self._conn_local.context = context
+        reader = protocol.FrameReader(stream)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    command = reader.read_command()
+                except Exception:
+                    # Malformed framing: report once, then drop the peer.
+                    try:
+                        context.send(protocol.encode_error("ERR protocol error"))
+                    except OSError:
+                        pass
+                    return
+                if command is None:
+                    return  # clean disconnect
+                reply, keep_open = self._dispatch(command)
+                try:
+                    context.send(reply)
+                except OSError:
+                    return
+                if not keep_open:
+                    return
+        finally:
+            self._drop_subscriber(context)
+            with self._connections_lock:
+                self._connections.discard(conn)
+            try:
+                stream.close()
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Command dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, command: list[bytes]) -> tuple[bytes, bool]:
+        """Execute one command; returns ``(encoded_reply, keep_connection)``."""
+        self.commands_served += 1
+        name = command[0].upper().decode("ascii", errors="replace")
+        args = command[1:]
+        handler = getattr(self, f"_cmd_{name.lower()}", None)
+        if handler is None:
+            return protocol.encode_error(f"ERR unknown command '{name}'"), True
+        try:
+            return handler(args)
+        except _Arity as exc:
+            return protocol.encode_error(f"ERR wrong number of arguments for '{name}': {exc}"), True
+
+    # Each handler returns (encoded_reply, keep_connection).
+
+    def _cmd_ping(self, args: list[bytes]) -> tuple[bytes, bool]:
+        if args:
+            return protocol.encode_bulk(args[0]), True
+        return protocol.encode_simple("PONG"), True
+
+    def _cmd_get(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 1)
+        with self._lock:
+            entry = self._live_entry(args[0])
+            if entry is None:
+                return protocol.encode_nil(), True
+            self._data.move_to_end(args[0])
+            return protocol.encode_bulk(entry.value), True
+
+    def _cmd_set(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 2)
+        self._store(args[0], args[1], ttl=None)
+        return protocol.encode_simple("OK"), True
+
+    def _cmd_setex(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 3)
+        try:
+            ttl = float(args[1])
+        except ValueError:
+            return protocol.encode_error("ERR invalid TTL"), True
+        if ttl <= 0:
+            return protocol.encode_error("ERR invalid TTL"), True
+        self._store(args[0], args[2], ttl=ttl)
+        return protocol.encode_simple("OK"), True
+
+    def _cmd_del(self, args: list[bytes]) -> tuple[bytes, bool]:
+        if not args:
+            raise _Arity("expected at least 1")
+        removed = 0
+        with self._lock:
+            for key in args:
+                if self._data.pop(key, None) is not None:
+                    removed += 1
+        return protocol.encode_integer(removed), True
+
+    def _cmd_mget(self, args: list[bytes]) -> tuple[bytes, bool]:
+        """Fetch many keys in one round trip; absent keys come back nil."""
+        if not args:
+            raise _Arity("expected at least 1")
+        frames = []
+        with self._lock:
+            for key in args:
+                entry = self._live_entry(key)
+                if entry is None:
+                    frames.append(protocol.encode_nil())
+                else:
+                    self._data.move_to_end(key)
+                    frames.append(protocol.encode_bulk(entry.value))
+        return protocol.encode_array(frames), True
+
+    def _cmd_mset(self, args: list[bytes]) -> tuple[bytes, bool]:
+        """Store many (key, value) pairs in one round trip."""
+        if not args or len(args) % 2:
+            raise _Arity("expected an even, non-zero number")
+        for index in range(0, len(args), 2):
+            self._store(args[index], args[index + 1], ttl=None)
+        return protocol.encode_simple("OK"), True
+
+    def _cmd_exists(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 1)
+        with self._lock:
+            return protocol.encode_integer(1 if self._live_entry(args[0]) else 0), True
+
+    def _cmd_keys(self, args: list[bytes]) -> tuple[bytes, bool]:
+        now = time.monotonic()
+        with self._lock:
+            live = [k for k, e in self._data.items() if not e.expired(now)]
+        return protocol.encode_array([protocol.encode_bulk(k) for k in live]), True
+
+    def _cmd_dbsize(self, args: list[bytes]) -> tuple[bytes, bool]:
+        now = time.monotonic()
+        with self._lock:
+            count = sum(1 for e in self._data.values() if not e.expired(now))
+        return protocol.encode_integer(count), True
+
+    def _cmd_flushall(self, args: list[bytes]) -> tuple[bytes, bool]:
+        with self._lock:
+            self._data.clear()
+        return protocol.encode_simple("OK"), True
+
+    def _cmd_ttl(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 1)
+        now = time.monotonic()
+        with self._lock:
+            entry = self._live_entry(args[0])
+            if entry is None:
+                return protocol.encode_integer(-2), True
+            if entry.expires_at is None:
+                return protocol.encode_integer(-1), True
+            return protocol.encode_integer(max(0, int(entry.expires_at - now))), True
+
+    def _cmd_getver(self, args: list[bytes]) -> tuple[bytes, bool]:
+        """Version token for a key (content hash) -- used for revalidation."""
+        _require(args, 1)
+        with self._lock:
+            entry = self._live_entry(args[0])
+            if entry is None:
+                return protocol.encode_nil(), True
+            digest = hashlib.sha1(entry.value).hexdigest().encode("ascii")
+            return protocol.encode_bulk(digest), True
+
+    def _cmd_save(self, args: list[bytes]) -> tuple[bytes, bool]:
+        if self._snapshot_path is None:
+            return protocol.encode_error("ERR no snapshot path configured"), True
+        self._save_snapshot()
+        return protocol.encode_simple("OK"), True
+
+    # ------------------------------------------------------------------
+    # Pub/sub (cache-coherence transport)
+    # ------------------------------------------------------------------
+    def _cmd_subscribe(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 1)
+        context: _ConnectionContext = self._conn_local.context
+        with self._subscribers_lock:
+            self._subscribers.setdefault(args[0], set()).add(context)
+            count = sum(1 for members in self._subscribers.values() if context in members)
+        return (
+            protocol.encode_array(
+                [
+                    protocol.encode_bulk(b"subscribe"),
+                    protocol.encode_bulk(args[0]),
+                    protocol.encode_integer(count),
+                ]
+            ),
+            True,
+        )
+
+    def _cmd_unsubscribe(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 1)
+        context: _ConnectionContext = self._conn_local.context
+        with self._subscribers_lock:
+            members = self._subscribers.get(args[0])
+            if members is not None:
+                members.discard(context)
+                if not members:
+                    del self._subscribers[args[0]]
+        return protocol.encode_simple("OK"), True
+
+    def _cmd_publish(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 2)
+        channel, payload = args
+        message = protocol.encode_array(
+            [
+                protocol.encode_bulk(b"message"),
+                protocol.encode_bulk(channel),
+                protocol.encode_bulk(payload),
+            ]
+        )
+        with self._subscribers_lock:
+            targets = list(self._subscribers.get(channel, ()))
+        delivered = 0
+        for context in targets:
+            try:
+                context.send(message)
+                delivered += 1
+            except OSError:
+                self._drop_subscriber(context)
+        return protocol.encode_integer(delivered), True
+
+    def _drop_subscriber(self, context: "_ConnectionContext") -> None:
+        with self._subscribers_lock:
+            for channel in list(self._subscribers):
+                self._subscribers[channel].discard(context)
+                if not self._subscribers[channel]:
+                    del self._subscribers[channel]
+
+    def _cmd_quit(self, args: list[bytes]) -> tuple[bytes, bool]:
+        return protocol.encode_simple("OK"), False
+
+    def _cmd_shutdown(self, args: list[bytes]) -> tuple[bytes, bool]:
+        self._shutdown.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        return protocol.encode_simple("OK"), False
+
+    # ------------------------------------------------------------------
+    # Keyspace internals (callers hold no lock unless noted)
+    # ------------------------------------------------------------------
+    def _live_entry(self, key: bytes) -> _Entry | None:
+        """Return the unexpired entry for *key*, lazily purging an expired one.
+
+        Caller must hold ``self._lock``.
+        """
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        if entry.expired(time.monotonic()):
+            del self._data[key]
+            return None
+        return entry
+
+    def _store(self, key: bytes, value: bytes, *, ttl: float | None) -> None:
+        expires_at = None if ttl is None else time.monotonic() + ttl
+        with self._lock:
+            self._data[key] = _Entry(value, expires_at)
+            self._data.move_to_end(key)
+            if self._max_entries is not None:
+                while len(self._data) > self._max_entries:
+                    self._data.popitem(last=False)  # LRU victim
+
+    def _save_snapshot(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            # Persist remaining TTL (monotonic clocks don't survive restarts).
+            snapshot = {
+                key: (entry.value, None if entry.expires_at is None else max(0.0, entry.expires_at - now))
+                for key, entry in self._data.items()
+                if not entry.expired(now)
+            }
+        assert self._snapshot_path is not None
+        tmp = self._snapshot_path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(self._snapshot_path)
+
+    def _load_snapshot(self) -> None:
+        assert self._snapshot_path is not None
+        with open(self._snapshot_path, "rb") as handle:
+            snapshot = pickle.load(handle)
+        now = time.monotonic()
+        with self._lock:
+            for key, (value, remaining_ttl) in snapshot.items():
+                expires_at = None if remaining_ttl is None else now + remaining_ttl
+                self._data[key] = _Entry(value, expires_at)
+
+
+class StoreServer(CacheServer):
+    """Host any :class:`~repro.kv.interface.KeyValueStore` over the wire protocol.
+
+    The paper's MySQL data store is client-server: every operation crosses a
+    socket to the database process.  Our sqlite substrate is in-process, so
+    benchmarks wrap it in a ``StoreServer`` to restore the client-server
+    shape -- the same protocol the cache server speaks, but the keyspace
+    commands are executed against a real store instead of an in-memory dict.
+
+    Values must be bytes on the wire (the remote client serializes before
+    sending); TTL and snapshot commands are not supported -- data stores own
+    their durability.
+    """
+
+    def __init__(
+        self,
+        store: "KeyValueStore",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__(host, port)
+        self._store = store
+
+    # -- keyspace commands re-routed to the hosted store -----------------
+    @staticmethod
+    def _store_key(raw: bytes) -> str:
+        return raw.decode("utf-8", errors="surrogateescape")
+
+    def _cmd_get(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 1)
+        value = self._store.get_or_default(self._store_key(args[0]))
+        if value is None:
+            return protocol.encode_nil(), True
+        if not isinstance(value, (bytes, bytearray)):
+            return protocol.encode_error("ERR stored value is not bytes"), True
+        return protocol.encode_bulk(bytes(value)), True
+
+    def _cmd_set(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 2)
+        self._store.put(self._store_key(args[0]), args[1])
+        return protocol.encode_simple("OK"), True
+
+    def _cmd_setex(self, args: list[bytes]) -> tuple[bytes, bool]:
+        return protocol.encode_error("ERR TTLs are not supported by a store server"), True
+
+    def _cmd_del(self, args: list[bytes]) -> tuple[bytes, bool]:
+        if not args:
+            raise _Arity("expected at least 1")
+        removed = sum(1 for key in args if self._store.delete(self._store_key(key)))
+        return protocol.encode_integer(removed), True
+
+    def _cmd_exists(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 1)
+        present = self._store.contains(self._store_key(args[0]))
+        return protocol.encode_integer(1 if present else 0), True
+
+    def _cmd_mget(self, args: list[bytes]) -> tuple[bytes, bool]:
+        if not args:
+            raise _Arity("expected at least 1")
+        frames = []
+        for key in args:
+            value = self._store.get_or_default(self._store_key(key))
+            if isinstance(value, (bytes, bytearray)):
+                frames.append(protocol.encode_bulk(bytes(value)))
+            else:
+                frames.append(protocol.encode_nil())
+        return protocol.encode_array(frames), True
+
+    def _cmd_mset(self, args: list[bytes]) -> tuple[bytes, bool]:
+        if not args or len(args) % 2:
+            raise _Arity("expected an even, non-zero number")
+        items = {
+            self._store_key(args[index]): args[index + 1]
+            for index in range(0, len(args), 2)
+        }
+        self._store.put_many(items)
+        return protocol.encode_simple("OK"), True
+
+    def _cmd_keys(self, args: list[bytes]) -> tuple[bytes, bool]:
+        frames = [
+            protocol.encode_bulk(key.encode("utf-8", errors="surrogateescape"))
+            for key in self._store.keys()
+        ]
+        return protocol.encode_array(frames), True
+
+    def _cmd_dbsize(self, args: list[bytes]) -> tuple[bytes, bool]:
+        return protocol.encode_integer(self._store.size()), True
+
+    def _cmd_flushall(self, args: list[bytes]) -> tuple[bytes, bool]:
+        self._store.clear()
+        return protocol.encode_simple("OK"), True
+
+    def _cmd_ttl(self, args: list[bytes]) -> tuple[bytes, bool]:
+        return protocol.encode_error("ERR TTLs are not supported by a store server"), True
+
+    def _cmd_getver(self, args: list[bytes]) -> tuple[bytes, bool]:
+        _require(args, 1)
+        value = self._store.get_or_default(self._store_key(args[0]))
+        if value is None:
+            return protocol.encode_nil(), True
+        if not isinstance(value, (bytes, bytearray)):
+            return protocol.encode_error("ERR stored value is not bytes"), True
+        digest = hashlib.sha1(bytes(value)).hexdigest().encode("ascii")
+        return protocol.encode_bulk(digest), True
+
+    def _cmd_save(self, args: list[bytes]) -> tuple[bytes, bool]:
+        return protocol.encode_error("ERR the hosted store owns its durability"), True
+
+
+class _ConnectionContext:
+    """A connection's write side, guarded against concurrent pushers."""
+
+    __slots__ = ("_stream", "_lock")
+
+    def __init__(self, stream) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def send(self, frame: bytes) -> None:
+        with self._lock:
+            self._stream.write(frame)
+            self._stream.flush()
+
+
+class _Arity(Exception):
+    """Internal: wrong number of arguments for a command."""
+
+
+def _require(args: list[bytes], count: int) -> None:
+    if len(args) != count:
+        raise _Arity(f"expected {count}, got {len(args)}")
+
+
+class ServerHandle:
+    """Manages a running cache server (thread or child process) for clients."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        server: CacheServer | None = None,
+        process: "subprocess.Popen[bytes] | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._server = server
+        self._process = process
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def start_in_thread(
+        cls,
+        *,
+        max_entries: int | None = None,
+        snapshot_path: str | Path | None = None,
+    ) -> "ServerHandle":
+        """Run a server on a daemon thread in this process (tests)."""
+        server = CacheServer(max_entries=max_entries, snapshot_path=snapshot_path)
+        host, port = server.start()
+        return cls(host, port, server=server)
+
+    @classmethod
+    def spawn_process(
+        cls,
+        *,
+        port: int = 0,
+        max_entries: int | None = None,
+        snapshot_path: str | Path | None = None,
+        backend: str = "cache",
+        database: str | None = None,
+        startup_timeout: float = 10.0,
+    ) -> "ServerHandle":
+        """Run a server in a separate OS process (true remote-process cache).
+
+        The child prints ``LISTENING <host> <port>`` on stdout once bound;
+        we wait for that line before returning.
+
+        :param backend: ``"cache"`` (default, in-memory cache keyspace) or
+            ``"sql"`` (a :class:`StoreServer` over a sqlite store at
+            *database* -- the client-server SQL configuration used by the
+            benchmarks to mimic MySQL).
+        """
+        cmd = [sys.executable, "-m", "repro.net.server", "--port", str(port)]
+        if max_entries is not None:
+            cmd += ["--max-entries", str(max_entries)]
+        if snapshot_path is not None:
+            cmd += ["--snapshot", str(snapshot_path)]
+        if backend != "cache":
+            cmd += ["--backend", backend]
+            if database is not None:
+                cmd += ["--database", database]
+        process = subprocess.Popen(cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+        assert process.stdout is not None
+        deadline = time.monotonic() + startup_timeout
+        line = b""
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if line.startswith(b"LISTENING"):
+                break
+            if not line and process.poll() is not None:
+                raise StoreConnectionError("cache server process exited during startup")
+        if not line.startswith(b"LISTENING"):
+            process.kill()
+            raise StoreConnectionError("cache server process did not report readiness")
+        _token, host, port_str = line.decode("ascii").split()
+        return cls(host, int(port_str), process=process)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Shut the server down.  Idempotent."""
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        if self._process is not None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait(timeout=5)
+            self._process = None
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: run a cache server in the foreground."""
+    parser = argparse.ArgumentParser(description="repro remote-process cache server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = pick a free port")
+    parser.add_argument("--max-entries", type=int, default=None)
+    parser.add_argument("--snapshot", default=None, help="snapshot file for SAVE/warm start")
+    parser.add_argument(
+        "--backend", choices=("cache", "sql"), default="cache",
+        help="'cache' = in-memory cache keyspace; 'sql' = serve a sqlite store",
+    )
+    parser.add_argument("--database", default=":memory:", help="sqlite path for --backend sql")
+    options = parser.parse_args(argv)
+    server: CacheServer
+    if options.backend == "sql":
+        from ..kv.sqlstore import SQLStore
+
+        server = StoreServer(SQLStore(options.database), options.host, options.port)
+    else:
+        server = CacheServer(
+            options.host,
+            options.port,
+            max_entries=options.max_entries,
+            snapshot_path=options.snapshot,
+        )
+    host, port = server.start()
+    print(f"LISTENING {host} {port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        server.stop()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    main()

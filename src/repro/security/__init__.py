@@ -1,0 +1,25 @@
+"""Client-side encryption (paper Sections I-III).
+
+The paper argues encryption belongs in the *client* because servers may lack
+it, channels may be insecure, and providers may simply not be trustworthy --
+and it evaluates AES with 128-bit keys (Figure 20).  This package provides a
+pluggable :class:`~repro.security.interface.Encryptor` interface with
+AES-128-GCM (authenticated, the recommended default) and AES-128-CBC
+(closest to the paper's configuration) implementations, plus key generation
+and password-based key derivation helpers.
+"""
+
+from .interface import Encryptor, NullEncryptor
+from .aes import AesCbcEncryptor, AesGcmEncryptor
+from .keys import derive_key, generate_key
+from .rotation import RotatingEncryptor
+
+__all__ = [
+    "Encryptor",
+    "NullEncryptor",
+    "AesGcmEncryptor",
+    "AesCbcEncryptor",
+    "RotatingEncryptor",
+    "generate_key",
+    "derive_key",
+]

@@ -1,0 +1,100 @@
+"""AES encryptors (the paper's Figure 20 configuration: AES, 128-bit keys).
+
+Two modes are provided:
+
+* :class:`AesGcmEncryptor` -- AES-GCM, authenticated encryption.  The right
+  default: tampering with cached or stored ciphertext is detected at
+  decryption time.
+* :class:`AesCbcEncryptor` -- AES-CBC with PKCS#7 padding, the classic mode
+  contemporaneous with the paper.  Unauthenticated; provided for fidelity
+  and for benchmarking mode overheads.
+
+Both prepend their random IV/nonce to the ciphertext so each output is
+self-contained, and both accept 128-, 192-, or 256-bit keys (the paper uses
+128-bit).
+"""
+
+from __future__ import annotations
+
+import os
+
+from cryptography.exceptions import InvalidTag
+from cryptography.hazmat.primitives import padding
+from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+from cryptography.hazmat.primitives.ciphers.aead import AESGCM
+
+from ..errors import EncryptionError
+from .interface import Encryptor
+
+__all__ = ["AesGcmEncryptor", "AesCbcEncryptor"]
+
+_VALID_KEY_BYTES = (16, 24, 32)
+
+
+def _check_key(key: bytes) -> bytes:
+    if not isinstance(key, (bytes, bytearray)):
+        raise EncryptionError(f"key must be bytes, got {type(key).__name__}")
+    if len(key) not in _VALID_KEY_BYTES:
+        raise EncryptionError(
+            f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
+        )
+    return bytes(key)
+
+
+class AesGcmEncryptor(Encryptor):
+    """AES-GCM with a random 96-bit nonce per message.
+
+    Wire format: ``nonce (12 bytes) || ciphertext+tag``.
+    """
+
+    name = "aes-gcm"
+    _NONCE_BYTES = 12
+
+    def __init__(self, key: bytes) -> None:
+        self._key = _check_key(key)
+        self._aead = AESGCM(self._key)
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        nonce = os.urandom(self._NONCE_BYTES)
+        return nonce + self._aead.encrypt(nonce, plaintext, None)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < self._NONCE_BYTES + 16:
+            raise EncryptionError("ciphertext too short to contain nonce and tag")
+        nonce, body = ciphertext[: self._NONCE_BYTES], ciphertext[self._NONCE_BYTES:]
+        try:
+            return self._aead.decrypt(nonce, body, None)
+        except InvalidTag as exc:
+            raise EncryptionError("authentication failed: wrong key or corrupt data") from exc
+
+
+class AesCbcEncryptor(Encryptor):
+    """AES-CBC + PKCS#7, the paper-era mode.  Unauthenticated.
+
+    Wire format: ``iv (16 bytes) || ciphertext``.
+    """
+
+    name = "aes-cbc"
+    _IV_BYTES = 16
+
+    def __init__(self, key: bytes) -> None:
+        self._key = _check_key(key)
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        iv = os.urandom(self._IV_BYTES)
+        padder = padding.PKCS7(128).padder()
+        padded = padder.update(plaintext) + padder.finalize()
+        encryptor = Cipher(algorithms.AES(self._key), modes.CBC(iv)).encryptor()
+        return iv + encryptor.update(padded) + encryptor.finalize()
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < 2 * self._IV_BYTES or len(ciphertext) % 16:
+            raise EncryptionError("ciphertext length is not a valid CBC stream")
+        iv, body = ciphertext[: self._IV_BYTES], ciphertext[self._IV_BYTES:]
+        decryptor = Cipher(algorithms.AES(self._key), modes.CBC(iv)).decryptor()
+        padded = decryptor.update(body) + decryptor.finalize()
+        unpadder = padding.PKCS7(128).unpadder()
+        try:
+            return unpadder.update(padded) + unpadder.finalize()
+        except ValueError as exc:
+            raise EncryptionError("bad padding: wrong key or corrupt data") from exc

@@ -1,0 +1,44 @@
+"""Encryptor interface.
+
+Encryptors transform ``bytes`` to ``bytes``; they sit in the DSCL's value
+pipeline between serialization and the store (or cache), so any store and
+any cache can hold ciphertext without knowing it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["Encryptor", "NullEncryptor"]
+
+
+class Encryptor(ABC):
+    """Symmetric byte-level encryption.
+
+    Implementations must satisfy ``decrypt(encrypt(p)) == p`` and raise
+    :class:`~repro.errors.EncryptionError` on bad keys or corrupt
+    ciphertext (never a provider-specific exception).
+    """
+
+    #: Stable identifier used in reports and pipeline descriptions.
+    name: str = "abstract"
+
+    @abstractmethod
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt *plaintext*; output includes any IV/nonce/tag needed."""
+
+    @abstractmethod
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Invert :meth:`encrypt`."""
+
+
+class NullEncryptor(Encryptor):
+    """Identity transform; the "encryption disabled" pipeline element."""
+
+    name = "null"
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return plaintext
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        return ciphertext

@@ -1,0 +1,41 @@
+"""Key material helpers."""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from ..errors import EncryptionError
+
+__all__ = ["generate_key", "derive_key"]
+
+_VALID_KEY_BITS = (128, 192, 256)
+
+
+def generate_key(bits: int = 128) -> bytes:
+    """Generate a random AES key (default 128-bit, matching the paper)."""
+    if bits not in _VALID_KEY_BITS:
+        raise EncryptionError(f"key size must be one of {_VALID_KEY_BITS}, got {bits}")
+    return os.urandom(bits // 8)
+
+
+def derive_key(
+    password: str,
+    salt: bytes,
+    *,
+    bits: int = 128,
+    iterations: int = 600_000,
+) -> bytes:
+    """Derive an AES key from a password with PBKDF2-HMAC-SHA256.
+
+    :param salt: at least 16 random bytes, stored alongside the data.
+    :param iterations: PBKDF2 work factor (default per current OWASP
+        guidance; lower it only in tests).
+    """
+    if bits not in _VALID_KEY_BITS:
+        raise EncryptionError(f"key size must be one of {_VALID_KEY_BITS}, got {bits}")
+    if len(salt) < 8:
+        raise EncryptionError("salt must be at least 8 bytes")
+    if iterations < 1:
+        raise EncryptionError("iterations must be positive")
+    return hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"), salt, iterations, bits // 8)

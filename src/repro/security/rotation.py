@@ -1,0 +1,112 @@
+"""Key rotation for long-lived encrypted data.
+
+Client-side encryption (paper Section I) makes the *client* responsible for
+key management, and real deployments must rotate keys without re-encrypting
+every stored object at once.  :class:`RotatingEncryptor` implements the
+standard envelope: every ciphertext is prefixed with the id of the key that
+produced it; encryption always uses the *current* key, decryption accepts
+any still-registered key.  Rotation is then:
+
+1. register the new key and make it current (old data stays readable);
+2. lazily re-encrypt on write, or sweep with
+   :func:`repro.tools.migration.copy_store` and a re-encrypting transform;
+3. retire the old key once nothing references it.
+
+Wire format: ``magic 'RK1' | key-id length (1 byte) | key-id utf-8 |
+ciphertext``.
+"""
+
+from __future__ import annotations
+
+from ..errors import EncryptionError
+from .interface import Encryptor
+
+__all__ = ["RotatingEncryptor"]
+
+_MAGIC = b"RK1"
+
+
+class RotatingEncryptor(Encryptor):
+    """Envelope encryptor delegating to per-key-id encryptors."""
+
+    name = "rotating"
+
+    def __init__(self, keys: dict[str, Encryptor], current: str) -> None:
+        """Create the envelope.
+
+        :param keys: key id -> encryptor for every key still in service.
+        :param current: id of the key used for new encryptions.
+        """
+        if not keys:
+            raise EncryptionError("RotatingEncryptor needs at least one key")
+        for key_id in keys:
+            self._check_key_id(key_id)
+        if current not in keys:
+            raise EncryptionError(f"current key {current!r} is not registered")
+        self._keys = dict(keys)
+        self._current = current
+
+    @staticmethod
+    def _check_key_id(key_id: str) -> None:
+        encoded = key_id.encode("utf-8")
+        if not 1 <= len(encoded) <= 255:
+            raise EncryptionError("key ids must be 1-255 encoded bytes")
+
+    # ------------------------------------------------------------------
+    @property
+    def current_key_id(self) -> str:
+        return self._current
+
+    @property
+    def key_ids(self) -> list[str]:
+        return sorted(self._keys)
+
+    def rotate(self, key_id: str, encryptor: Encryptor | None = None) -> None:
+        """Make *key_id* the current key (registering it if supplied)."""
+        if encryptor is not None:
+            self._check_key_id(key_id)
+            self._keys[key_id] = encryptor
+        if key_id not in self._keys:
+            raise EncryptionError(f"unknown key id {key_id!r}")
+        self._current = key_id
+
+    def retire(self, key_id: str) -> None:
+        """Remove a key; data encrypted under it becomes unreadable."""
+        if key_id == self._current:
+            raise EncryptionError("cannot retire the current key")
+        if self._keys.pop(key_id, None) is None:
+            raise EncryptionError(f"unknown key id {key_id!r}")
+
+    def key_id_of(self, ciphertext: bytes) -> str:
+        """The key id a ciphertext was produced under (for sweep tooling)."""
+        key_id, _body = self._parse(ciphertext)
+        return key_id
+
+    # ------------------------------------------------------------------
+    def encrypt(self, plaintext: bytes) -> bytes:
+        encoded_id = self._current.encode("utf-8")
+        body = self._keys[self._current].encrypt(plaintext)
+        return _MAGIC + bytes([len(encoded_id)]) + encoded_id + body
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        key_id, body = self._parse(ciphertext)
+        encryptor = self._keys.get(key_id)
+        if encryptor is None:
+            raise EncryptionError(
+                f"data was encrypted under retired/unknown key {key_id!r}"
+            )
+        return encryptor.decrypt(body)
+
+    @staticmethod
+    def _parse(ciphertext: bytes) -> tuple[str, bytes]:
+        if len(ciphertext) < len(_MAGIC) + 2 or not ciphertext.startswith(_MAGIC):
+            raise EncryptionError("not a rotating-encryptor envelope")
+        id_length = ciphertext[len(_MAGIC)]
+        header_end = len(_MAGIC) + 1 + id_length
+        if len(ciphertext) < header_end:
+            raise EncryptionError("truncated key-id header")
+        try:
+            key_id = ciphertext[len(_MAGIC) + 1 : header_end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise EncryptionError("corrupt key-id header") from exc
+        return key_id, ciphertext[header_end:]

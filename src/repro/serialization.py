@@ -1,0 +1,149 @@
+"""Pluggable value serializers.
+
+Remote data stores and remote-process caches can only move bytes, so every
+value has to cross a serialization boundary before it leaves the client
+process.  The paper (Section III) calls this out as one of the fundamental
+costs of a remote-process cache relative to an in-process cache, which can
+store object references directly.  Keeping the serializer pluggable lets the
+benchmarks quantify that cost for different formats.
+
+The :class:`Serializer` interface is deliberately tiny: ``dumps`` and
+``loads`` over arbitrary Python values.  Implementations included here:
+
+* :class:`PickleSerializer` -- handles arbitrary Python objects; the default.
+* :class:`JsonSerializer`   -- interoperable, but restricted to JSON types.
+* :class:`BytesSerializer`  -- zero-copy passthrough for ``bytes`` payloads.
+* :class:`StringSerializer` -- UTF-8 text.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from abc import ABC, abstractmethod
+from typing import Any
+
+from .errors import SerializationError
+
+__all__ = [
+    "Serializer",
+    "PickleSerializer",
+    "JsonSerializer",
+    "BytesSerializer",
+    "StringSerializer",
+    "default_serializer",
+]
+
+
+class Serializer(ABC):
+    """Converts values to ``bytes`` and back.
+
+    Implementations must guarantee ``loads(dumps(v)) == v`` for every value
+    ``v`` in their supported domain, and must raise
+    :class:`~repro.errors.SerializationError` (never a bare builtin
+    exception) when a value is outside that domain or a payload is corrupt.
+    """
+
+    #: Short stable identifier, used in reports and wire metadata.
+    name: str = "abstract"
+
+    @abstractmethod
+    def dumps(self, value: Any) -> bytes:
+        """Serialize *value* to bytes."""
+
+    @abstractmethod
+    def loads(self, payload: bytes) -> Any:
+        """Reconstruct a value previously produced by :meth:`dumps`."""
+
+
+class PickleSerializer(Serializer):
+    """Serialize arbitrary Python objects with :mod:`pickle`.
+
+    This mirrors Java serialization in the original system: general but not
+    interoperable across languages.  The protocol version is configurable so
+    benchmarks can compare protocol costs.
+    """
+
+    name = "pickle"
+
+    def __init__(self, protocol: int = pickle.HIGHEST_PROTOCOL) -> None:
+        self._protocol = protocol
+
+    def dumps(self, value: Any) -> bytes:
+        try:
+            return pickle.dumps(value, protocol=self._protocol)
+        except Exception as exc:
+            raise SerializationError(f"cannot pickle {type(value).__name__}: {exc}") from exc
+
+    def loads(self, payload: bytes) -> Any:
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:
+            raise SerializationError(f"cannot unpickle payload: {exc}") from exc
+
+
+class JsonSerializer(Serializer):
+    """Serialize JSON-compatible values as UTF-8 JSON text."""
+
+    name = "json"
+
+    def __init__(self, *, sort_keys: bool = True) -> None:
+        self._sort_keys = sort_keys
+
+    def dumps(self, value: Any) -> bytes:
+        try:
+            return json.dumps(value, sort_keys=self._sort_keys).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(f"value is not JSON-serializable: {exc}") from exc
+
+    def loads(self, payload: bytes) -> Any:
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"payload is not valid JSON: {exc}") from exc
+
+
+class BytesSerializer(Serializer):
+    """Passthrough serializer for values that are already ``bytes``.
+
+    The cheapest possible serializer; used by benchmarks as the
+    serialization-cost floor.
+    """
+
+    name = "bytes"
+
+    def dumps(self, value: Any) -> bytes:
+        if isinstance(value, bytes):
+            return value
+        if isinstance(value, (bytearray, memoryview)):
+            return bytes(value)
+        raise SerializationError(
+            f"BytesSerializer only accepts bytes-like values, got {type(value).__name__}"
+        )
+
+    def loads(self, payload: bytes) -> Any:
+        return payload
+
+
+class StringSerializer(Serializer):
+    """UTF-8 text serializer."""
+
+    name = "utf8"
+
+    def dumps(self, value: Any) -> bytes:
+        if not isinstance(value, str):
+            raise SerializationError(
+                f"StringSerializer only accepts str values, got {type(value).__name__}"
+            )
+        return value.encode("utf-8")
+
+    def loads(self, payload: bytes) -> Any:
+        try:
+            return payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SerializationError(f"payload is not valid UTF-8: {exc}") from exc
+
+
+def default_serializer() -> Serializer:
+    """Return the library-wide default serializer (pickle)."""
+    return PickleSerializer()

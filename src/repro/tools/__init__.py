@@ -1,0 +1,11 @@
+"""Operational tooling built on the common key-value interface.
+
+Because every store implements the same contract, operational jobs --
+migrating data between stores, verifying two stores agree -- are written
+once and work across any pair of backends (the substitutability argument
+of paper Section II.A, applied to operations).
+"""
+
+from .migration import MigrationReport, copy_store, verify_stores
+
+__all__ = ["copy_store", "verify_stores", "MigrationReport"]

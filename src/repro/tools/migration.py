@@ -1,0 +1,142 @@
+"""Store-to-store migration and verification.
+
+The UDSM's pitch is that "different data stores can be substituted ... as
+needed" -- which, in practice, requires moving the data.  :func:`copy_store`
+streams every key from a source store to a destination in batches (using
+``put_many`` so SQL-backed destinations commit per batch, not per key) with
+optional filtering and value transformation; :func:`verify_stores` checks
+that two stores agree afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..errors import DataStoreError, KeyNotFoundError
+from ..kv.interface import KeyValueStore
+
+__all__ = ["MigrationReport", "copy_store", "verify_stores"]
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of a :func:`copy_store` run."""
+
+    copied: int = 0
+    skipped: int = 0
+    missing: int = 0          # keys that vanished mid-migration
+    elapsed_seconds: float = 0.0
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def keys_per_second(self) -> float:
+        return self.copied / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"copied {self.copied} keys in {self.elapsed_seconds:.2f}s "
+            f"({self.keys_per_second:.0f} keys/s), skipped {self.skipped}, "
+            f"missing {self.missing}, errors {len(self.errors)}"
+        )
+
+
+def copy_store(
+    source: KeyValueStore,
+    destination: KeyValueStore,
+    *,
+    batch_size: int = 100,
+    key_filter: Callable[[str], bool] | None = None,
+    transform: Callable[[str, Any], Any] | None = None,
+    overwrite: bool = True,
+    on_progress: Callable[[MigrationReport], None] | None = None,
+    max_errors: int = 0,
+) -> MigrationReport:
+    """Copy every key from *source* to *destination*.
+
+    :param batch_size: keys per ``put_many`` batch (one transaction on SQL
+        destinations).
+    :param key_filter: copy only keys for which this returns true.
+    :param transform: ``(key, value) -> new_value`` applied in flight
+        (e.g. re-encrypting under a new key, stripping fields).
+    :param overwrite: when false, keys already present at the destination
+        are skipped rather than replaced.
+    :param on_progress: called after each batch with the running report.
+    :param max_errors: per-key failures tolerated before aborting
+        (0 = fail fast).  Failures are recorded in ``report.errors``.
+    """
+    if batch_size < 1:
+        raise DataStoreError("batch_size must be at least 1")
+    report = MigrationReport()
+    start = time.perf_counter()
+    batch: dict[str, Any] = {}
+
+    def flush() -> None:
+        if not batch:
+            return
+        destination.put_many(dict(batch))
+        report.copied += len(batch)
+        batch.clear()
+        report.elapsed_seconds = time.perf_counter() - start
+        if on_progress is not None:
+            on_progress(report)
+
+    for key in list(source.keys()):
+        if key_filter is not None and not key_filter(key):
+            report.skipped += 1
+            continue
+        if not overwrite and destination.contains(key):
+            report.skipped += 1
+            continue
+        try:
+            value = source.get(key)
+            if transform is not None:
+                value = transform(key, value)
+        except KeyNotFoundError:
+            report.missing += 1
+            continue
+        except Exception as exc:  # noqa: BLE001 - per-key fault isolation
+            report.errors.append((key, str(exc)))
+            if len(report.errors) > max_errors:
+                flush()
+                raise DataStoreError(
+                    f"migration aborted after {len(report.errors)} errors "
+                    f"(last: {key!r}: {exc})"
+                ) from exc
+            continue
+        batch[key] = value
+        if len(batch) >= batch_size:
+            flush()
+    flush()
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def verify_stores(
+    first: KeyValueStore,
+    second: KeyValueStore,
+    *,
+    sample: Iterable[str] | None = None,
+) -> list[str]:
+    """Return the keys on which the two stores disagree.
+
+    Checks keys present in either store (or just *sample* when given):
+    a key is reported when it is missing from one side or its values
+    differ.  An empty result means the stores agree.
+    """
+    if sample is not None:
+        keys = set(sample)
+    else:
+        keys = set(first.keys()) | set(second.keys())
+    sentinel = object()
+    differing = []
+    for key in sorted(keys):
+        left = first.get_or_default(key, sentinel)
+        right = second.get_or_default(key, sentinel)
+        if left is sentinel or right is sentinel:
+            if left is not right:
+                differing.append(key)
+        elif left != right:
+            differing.append(key)
+    return differing

@@ -1,0 +1,123 @@
+"""Write-ahead transaction log over a key-value store.
+
+The coordinator records every transaction's state transitions here *before*
+acting on the participants, so a crash at any point leaves enough
+information to finish or undo the transaction.  Any
+:class:`~repro.kv.interface.KeyValueStore` can hold the log; in production
+it should be a durable one (file system, SQL), and it must not be one of
+the transaction's participants' staging areas.
+
+Log records are stored as JSON strings so they remain inspectable from
+outside the library.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import TransactionError
+from ..kv.interface import KeyValueStore
+
+__all__ = ["TransactionState", "TransactionRecord", "TransactionLog"]
+
+_LOG_PREFIX = "__txnlog__:"
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle of a coordinated transaction.
+
+    The commit point is the transition to ``COMMITTING``: before it, a
+    recovering coordinator rolls the transaction *back*; from it onward,
+    it rolls the transaction *forward*.
+    """
+
+    PREPARING = "preparing"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TransactionRecord:
+    """One transaction's durable state."""
+
+    txn_id: str
+    state: TransactionState
+    #: (store name, key) pairs touched by the transaction
+    operations: list[tuple[str, str]]
+    started_at: float = field(default_factory=time.time)
+    updated_at: float = field(default_factory=time.time)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "txn_id": self.txn_id,
+                "state": self.state.value,
+                "operations": [[store, key] for store, key in self.operations],
+                "started_at": self.started_at,
+                "updated_at": self.updated_at,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TransactionRecord":
+        try:
+            data = json.loads(payload)
+            return cls(
+                txn_id=data["txn_id"],
+                state=TransactionState(data["state"]),
+                operations=[(store, key) for store, key in data["operations"]],
+                started_at=float(data["started_at"]),
+                updated_at=float(data["updated_at"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TransactionError(f"corrupt transaction log record: {exc}") from exc
+
+
+class TransactionLog:
+    """Durable registry of in-flight transactions."""
+
+    def __init__(self, store: KeyValueStore) -> None:
+        self._store = store
+
+    def _key(self, txn_id: str) -> str:
+        return _LOG_PREFIX + txn_id
+
+    # ------------------------------------------------------------------
+    def new_transaction(self, operations: list[tuple[str, str]]) -> TransactionRecord:
+        """Create (and persist) a fresh PREPARING record."""
+        record = TransactionRecord(
+            txn_id=uuid.uuid4().hex,
+            state=TransactionState.PREPARING,
+            operations=operations,
+        )
+        self._store.put(self._key(record.txn_id), record.to_json())
+        return record
+
+    def advance(self, record: TransactionRecord, state: TransactionState) -> None:
+        """Persist a state transition (the durability point of each phase)."""
+        record.state = state
+        record.updated_at = time.time()
+        self._store.put(self._key(record.txn_id), record.to_json())
+
+    def read(self, txn_id: str) -> TransactionRecord:
+        return TransactionRecord.from_json(self._store.get(self._key(txn_id)))
+
+    def forget(self, record: TransactionRecord) -> None:
+        """Remove a finished transaction's record."""
+        self._store.delete(self._key(record.txn_id))
+
+    def incomplete(self) -> Iterator[TransactionRecord]:
+        """All transactions that never reached a terminal cleanup.
+
+        Yields PREPARING/COMMITTING records (work for recovery) as well as
+        COMMITTED/ABORTED ones whose cleanup was interrupted.
+        """
+        for key in list(self._store.keys()):
+            if key.startswith(_LOG_PREFIX):
+                yield TransactionRecord.from_json(self._store.get(key))

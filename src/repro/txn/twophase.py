@@ -1,0 +1,240 @@
+"""Two-phase commit over key-value stores.
+
+Protocol (client-side only; participants are plain stores):
+
+* **Phase 1 (prepare)** -- every write is *staged* on its participant under
+  a transaction-private key (``__txnstage__:<txn>:<key>``).  Staging proves
+  the store is reachable and writable and makes the value durable there
+  without exposing it.  Any failure rolls the whole transaction back.
+* **Commit point** -- the coordinator logs ``COMMITTING`` in the write-ahead
+  :class:`~repro.txn.log.TransactionLog`.  Everything before this line is
+  undone on recovery; everything after is redone.
+* **Phase 2 (commit)** -- each staged value is copied to its real key and
+  the stage is deleted.  The step is idempotent (a missing stage means the
+  op already committed), so recovery can simply re-run it.
+
+Crash recovery (:meth:`TwoPhaseCommitCoordinator.recover`) scans the log:
+``PREPARING`` transactions are rolled back, ``COMMITTING`` ones are rolled
+forward, terminal ones get their leftovers cleaned.
+
+Guarantees and limits: this provides *atomicity across stores under
+crashes* -- after recovery, either every write of a transaction is visible
+or none is.  Like classic 2PC without locks it does **not** provide
+isolation: a concurrent reader may observe some participants updated before
+others during phase 2.
+
+Tests inject crashes through :attr:`TwoPhaseCommitCoordinator.failpoints`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..errors import KeyNotFoundError, RecoveryError, TransactionAborted, TransactionError
+from ..kv.interface import KeyValueStore
+from .log import TransactionLog, TransactionRecord, TransactionState
+
+__all__ = ["TwoPhaseCommitCoordinator", "atomic_put_many", "InjectedCrash"]
+
+_STAGE_PREFIX = "__txnstage__:"
+
+#: staged-op markers
+_OP_PUT = "put"
+_OP_DELETE = "delete"
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by a triggered failpoint; simulates the process dying."""
+
+
+class TwoPhaseCommitCoordinator:
+    """Coordinates atomic updates across any set of named stores."""
+
+    def __init__(
+        self,
+        log_store: KeyValueStore,
+        participants: Mapping[str, KeyValueStore],
+    ) -> None:
+        """Create a coordinator.
+
+        :param log_store: durable store holding the write-ahead log.  Must
+            survive crashes for recovery to work; must not be used as a
+            participant's staging area by another coordinator.
+        :param participants: name -> store for every store transactions may
+            touch.  Recovery resolves logged operations against this map,
+            so it must be stable across restarts.
+        """
+        if not participants:
+            raise TransactionError("a coordinator needs at least one participant")
+        self.log = TransactionLog(log_store)
+        self._participants = dict(participants)
+        #: crash-injection points (testing): e.g. {"after-prepare"}
+        self.failpoints: set[str] = set()
+        #: counters for observability
+        self.committed = 0
+        self.aborted = 0
+        self.recovered_forward = 0
+        self.recovered_back = 0
+
+    # ------------------------------------------------------------------
+    def _maybe_crash(self, point: str) -> None:
+        if point in self.failpoints:
+            raise InjectedCrash(point)
+
+    def _participant(self, name: str) -> KeyValueStore:
+        try:
+            return self._participants[name]
+        except KeyError:
+            raise RecoveryError(
+                f"transaction references unknown participant {name!r}"
+            ) from None
+
+    @staticmethod
+    def _stage_key(txn_id: str, key: str) -> str:
+        return f"{_STAGE_PREFIX}{txn_id}:{key}"
+
+    # ------------------------------------------------------------------
+    # The transaction
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        writes: Mapping[str, Mapping[str, Any]],
+        deletes: Mapping[str, Iterable[str]] | None = None,
+    ) -> str:
+        """Atomically apply *writes* (and *deletes*) across participants.
+
+        :param writes: ``{store_name: {key: value}}``.
+        :param deletes: ``{store_name: [key, ...]}``.
+        :returns: the transaction id.
+        :raises TransactionAborted: phase 1 failed; nothing was applied.
+        """
+        operations: list[tuple[str, str, Any, str]] = []
+        for store_name, items in writes.items():
+            self._participant(store_name)  # validate early
+            for key, value in items.items():
+                operations.append((store_name, key, value, _OP_PUT))
+        for store_name, keys in (deletes or {}).items():
+            self._participant(store_name)
+            for key in keys:
+                operations.append((store_name, key, None, _OP_DELETE))
+        if not operations:
+            raise TransactionError("transaction has no operations")
+
+        record = self.log.new_transaction(
+            [(store_name, key) for store_name, key, _value, _op in operations]
+        )
+
+        # ---- Phase 1: stage everywhere --------------------------------
+        staged: list[tuple[str, str]] = []
+        try:
+            for store_name, key, value, op in operations:
+                store = self._participant(store_name)
+                store.put(self._stage_key(record.txn_id, key), {"op": op, "value": value})
+                staged.append((store_name, key))
+                self._maybe_crash("mid-prepare")
+            self._maybe_crash("after-prepare")
+        except InjectedCrash:
+            raise  # a "crash" leaves everything for recover()
+        except Exception as exc:
+            self._rollback(record, staged)
+            raise TransactionAborted(
+                f"prepare failed on {staged and staged[-1] or operations[0][:2]}: {exc}"
+            ) from exc
+
+        # ---- Commit point ----------------------------------------------
+        self.log.advance(record, TransactionState.COMMITTING)
+        self._maybe_crash("after-commit-point")
+
+        # ---- Phase 2: flip staged values live --------------------------
+        self._apply_staged(record)
+        self.log.advance(record, TransactionState.COMMITTED)
+        self.log.forget(record)
+        self.committed += 1
+        return record.txn_id
+
+    # ------------------------------------------------------------------
+    def _apply_staged(self, record: TransactionRecord) -> None:
+        """Phase 2, idempotent: commit every still-staged operation."""
+        for index, (store_name, key) in enumerate(record.operations):
+            store = self._participant(store_name)
+            stage_key = self._stage_key(record.txn_id, key)
+            try:
+                staged = store.get(stage_key)
+            except KeyNotFoundError:
+                continue  # already applied (recovery re-run)
+            if not isinstance(staged, dict) or "op" not in staged:
+                raise RecoveryError(
+                    f"staged record for {store_name}:{key} is corrupt"
+                )
+            if staged["op"] == _OP_DELETE:
+                store.delete(key)
+            else:
+                store.put(key, staged["value"])
+            store.delete(stage_key)
+            if index == 0:
+                self._maybe_crash("mid-commit")
+
+    def _rollback(self, record: TransactionRecord, staged: list[tuple[str, str]]) -> None:
+        """Undo phase 1: drop every staged value, mark the txn aborted."""
+        for store_name, key in staged:
+            try:
+                self._participant(store_name).delete(self._stage_key(record.txn_id, key))
+            except Exception:  # noqa: BLE001 - best effort; recovery sweeps later
+                pass
+        self.log.advance(record, TransactionState.ABORTED)
+        self.log.forget(record)
+        self.aborted += 1
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> tuple[int, int]:
+        """Finish or undo every transaction the log says is incomplete.
+
+        Returns ``(rolled_forward, rolled_back)``.  Safe to call at every
+        startup; idempotent.
+        """
+        forward = back = 0
+        for record in list(self.log.incomplete()):
+            if record.state is TransactionState.COMMITTING:
+                # Past the commit point: the transaction MUST happen.
+                self._apply_staged(record)
+                self.log.advance(record, TransactionState.COMMITTED)
+                self.log.forget(record)
+                forward += 1
+            elif record.state is TransactionState.PREPARING:
+                # Never reached the commit point: it must NOT happen.
+                self._rollback(record, list(record.operations))
+                self.aborted -= 1  # _rollback counted it; recovery reports it
+                back += 1
+            else:
+                # Terminal state whose cleanup was interrupted.
+                for store_name, key in record.operations:
+                    try:
+                        self._participant(store_name).delete(
+                            self._stage_key(record.txn_id, key)
+                        )
+                    except Exception:  # noqa: BLE001
+                        pass
+                self.log.forget(record)
+        self.recovered_forward += forward
+        self.recovered_back += back
+        return forward, back
+
+
+def atomic_put_many(
+    store: KeyValueStore,
+    items: Mapping[str, Any],
+    *,
+    log_store: KeyValueStore | None = None,
+) -> str:
+    """Atomically write several keys to one store (all-or-nothing).
+
+    Convenience wrapper: a single-participant two-phase commit.  The log
+    defaults to living in the store itself, which is sufficient for
+    atomicity on that store.
+    """
+    coordinator = TwoPhaseCommitCoordinator(
+        log_store if log_store is not None else store, {"store": store}
+    )
+    return coordinator.execute({"store": dict(items)})

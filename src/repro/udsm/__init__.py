@@ -1,0 +1,51 @@
+"""The Universal Data Store Manager (UDSM), paper Section II.A.
+
+One registry of heterogeneous data stores, all behind the common key-value
+interface, each automatically gaining:
+
+* a **synchronous** interface (the store itself);
+* an **asynchronous** interface -- every operation returns a
+  :class:`~repro.udsm.futures.ListenableFuture` executed on a shared,
+  configurable thread pool (the paper's ListenableFuture + thread-pool
+  design), even for stores whose own clients are synchronous-only;
+* **performance monitoring** -- per-store, per-operation latency summaries
+  plus a bounded window of recent detailed measurements, persistable to any
+  registered store;
+* the **workload generator** -- size sweeps, hit-rate extrapolation, and
+  codec overhead measurement for comparing stores (Section V's tooling).
+"""
+
+from .futures import FutureState, ListenableFuture
+from .pool import ThreadPool
+from .async_api import AsyncKeyValue
+from .monitoring import MonitoredStore, OperationStats, PerformanceMonitor
+from .manager import UniversalDataStoreManager
+from .workload import (
+    CachedReadSpec,
+    CodecTiming,
+    HitRateCurve,
+    SweepPoint,
+    SweepResult,
+    WorkloadGenerator,
+    compressible_payload,
+    random_payload,
+)
+
+__all__ = [
+    "ListenableFuture",
+    "FutureState",
+    "ThreadPool",
+    "AsyncKeyValue",
+    "PerformanceMonitor",
+    "MonitoredStore",
+    "OperationStats",
+    "UniversalDataStoreManager",
+    "WorkloadGenerator",
+    "SweepPoint",
+    "SweepResult",
+    "HitRateCurve",
+    "CachedReadSpec",
+    "CodecTiming",
+    "random_payload",
+    "compressible_payload",
+]

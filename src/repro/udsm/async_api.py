@@ -1,0 +1,91 @@
+"""Asynchronous (nonblocking) interface to any data store.
+
+"A key advantage to our UDSM is that it provides an asynchronous interface
+to all data stores it supports, even if a data store does not provide a
+client with asynchronous operations on the data store."  The trick is the
+common key-value interface: :class:`AsyncKeyValue` is written once against
+:class:`~repro.kv.interface.KeyValueStore` and therefore asynchronises
+*every* backend -- each method dispatches the corresponding synchronous call
+onto the UDSM thread pool and returns a
+:class:`~repro.udsm.futures.ListenableFuture` at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..kv.interface import KeyValueStore, NotModified
+from .futures import ListenableFuture
+from .pool import ThreadPool
+
+__all__ = ["AsyncKeyValue"]
+
+
+class AsyncKeyValue:
+    """Nonblocking facade over a synchronous store."""
+
+    def __init__(self, store: KeyValueStore, pool: ThreadPool) -> None:
+        """Wrap *store*; operations run on *pool* (shared, not owned)."""
+        self._store = store
+        self._pool = pool
+        self.name = f"async({store.name})"
+
+    @property
+    def store(self) -> KeyValueStore:
+        """The underlying synchronous store."""
+        return self._store
+
+    # ------------------------------------------------------------------
+    # Core operations, asynchronised
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> ListenableFuture[Any]:
+        """Future of the value (fails with ``KeyNotFoundError`` if absent)."""
+        return self._pool.submit(self._store.get, key)
+
+    def get_or_default(self, key: str, default: Any = None) -> ListenableFuture[Any]:
+        return self._pool.submit(self._store.get_or_default, key, default)
+
+    def put(self, key: str, value: Any) -> ListenableFuture[None]:
+        """Future completing when the write is durable at the store."""
+        return self._pool.submit(self._store.put, key, value)
+
+    def delete(self, key: str) -> ListenableFuture[bool]:
+        return self._pool.submit(self._store.delete, key)
+
+    def contains(self, key: str) -> ListenableFuture[bool]:
+        return self._pool.submit(self._store.contains, key)
+
+    def size(self) -> ListenableFuture[int]:
+        return self._pool.submit(self._store.size)
+
+    def clear(self) -> ListenableFuture[int]:
+        return self._pool.submit(self._store.clear)
+
+    def get_many(self, keys: Iterable[str]) -> ListenableFuture[dict[str, Any]]:
+        return self._pool.submit(self._store.get_many, list(keys))
+
+    def put_many(self, items: Mapping[str, Any]) -> ListenableFuture[None]:
+        return self._pool.submit(self._store.put_many, dict(items))
+
+    def get_with_version(self, key: str) -> ListenableFuture[tuple[Any, str]]:
+        return self._pool.submit(self._store.get_with_version, key)
+
+    def get_if_modified(
+        self, key: str, version: str
+    ) -> "ListenableFuture[tuple[Any, str] | NotModified]":
+        return self._pool.submit(self._store.get_if_modified, key, version)
+
+    # ------------------------------------------------------------------
+    # Bulk helper
+    # ------------------------------------------------------------------
+    def put_all(self, items: Mapping[str, Any]) -> list[ListenableFuture[None]]:
+        """One independent future per write -- maximum overlap.
+
+        Unlike :meth:`put_many` (one future for one batched call), each
+        write is its own pool task, so they proceed in parallel up to the
+        pool size.  This is the pattern behind the async-vs-sync ablation.
+        """
+        return [self.put(key, value) for key, value in items.items()]
+
+    def __repr__(self) -> str:
+        return f"<AsyncKeyValue store={self._store.name!r}>"

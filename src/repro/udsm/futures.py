@@ -1,0 +1,249 @@
+"""ListenableFuture: a future with completion callbacks.
+
+The paper's Java UDSM uses Guava's ``ListenableFuture`` rather than the
+plain JDK ``Future`` for one reason: callers can *register callbacks* to run
+when the asynchronous computation completes, instead of having to block.
+This module is the from-scratch Python analogue:
+
+* :meth:`ListenableFuture.result` / :meth:`exception` -- blocking retrieval
+  with optional timeout (the plain ``Future`` contract);
+* :meth:`ListenableFuture.add_listener` -- register a callback; callbacks
+  added after completion run immediately on the caller's thread, callbacks
+  added before run on the completing thread, in registration order;
+* :meth:`ListenableFuture.transform` / :meth:`ListenableFuture.catching` --
+  derived futures (Guava's ``Futures.transform`` idiom), used to chain
+  data-store operations without blocking;
+* :meth:`ListenableFuture.cancel` -- best-effort cancellation of not-yet-
+  started work.
+
+Listener exceptions are swallowed after being recorded on
+:attr:`ListenableFuture.listener_errors`; a broken callback must not poison
+the future's value for other consumers.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+from ..errors import FutureCancelledError, FutureTimeoutError
+
+__all__ = ["FutureState", "ListenableFuture", "completed_future", "failed_future", "gather"]
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class FutureState(enum.Enum):
+    """Lifecycle of a future."""
+
+    PENDING = "pending"      # queued, not yet picked up by a worker
+    RUNNING = "running"      # a worker is executing it
+    COMPLETED = "completed"  # finished with a value
+    FAILED = "failed"        # finished with an exception
+    CANCELLED = "cancelled"  # cancelled before it started
+
+
+class ListenableFuture(Generic[T]):
+    """Result of an asynchronous computation, with listener support."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._done_event = threading.Event()
+        self._state = FutureState.PENDING
+        self._result: T | None = None
+        self._exception: BaseException | None = None
+        self._listeners: list[Callable[["ListenableFuture[T]"], None]] = []
+        #: exceptions raised by listeners (diagnostics; never re-raised)
+        self.listener_errors: list[BaseException] = []
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> FutureState:
+        with self._lock:
+            return self._state
+
+    def done(self) -> bool:
+        """True once completed, failed, or cancelled."""
+        return self._done_event.is_set()
+
+    def cancelled(self) -> bool:
+        return self.state is FutureState.CANCELLED
+
+    # ------------------------------------------------------------------
+    # Producer side (used by the thread pool)
+    # ------------------------------------------------------------------
+    def _try_start(self) -> bool:
+        """Transition PENDING -> RUNNING; False if cancelled already."""
+        with self._lock:
+            if self._state is not FutureState.PENDING:
+                return False
+            self._state = FutureState.RUNNING
+            return True
+
+    def set_result(self, value: T) -> None:
+        """Complete the future with *value*."""
+        with self._lock:
+            if self._done_event.is_set():
+                return  # lost the race with cancel(); keep the first outcome
+            self._result = value
+            self._state = FutureState.COMPLETED
+            listeners = self._drain_listeners()
+            self._done_event.set()
+        self._fire(listeners)
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Fail the future with *exc*."""
+        with self._lock:
+            if self._done_event.is_set():
+                return
+            self._exception = exc
+            self._state = FutureState.FAILED
+            listeners = self._drain_listeners()
+            self._done_event.set()
+        self._fire(listeners)
+
+    def cancel(self) -> bool:
+        """Cancel if not yet started.  Returns True on success."""
+        with self._lock:
+            if self._state is not FutureState.PENDING:
+                return False
+            self._state = FutureState.CANCELLED
+            listeners = self._drain_listeners()
+            self._done_event.set()
+        self._fire(listeners)
+        return True
+
+    def _drain_listeners(self) -> list[Callable[["ListenableFuture[T]"], None]]:
+        listeners, self._listeners = self._listeners, []
+        return listeners
+
+    def _fire(self, listeners: list[Callable[["ListenableFuture[T]"], None]]) -> None:
+        for listener in listeners:
+            try:
+                listener(self)
+            except BaseException as exc:  # noqa: BLE001 - diagnostic capture
+                self.listener_errors.append(exc)
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def result(self, timeout: float | None = None) -> T:
+        """Block until done and return the value (or raise its exception).
+
+        :raises FutureTimeoutError: not done within *timeout* seconds.
+        :raises FutureCancelledError: the future was cancelled.
+        """
+        if not self._done_event.wait(timeout):
+            raise FutureTimeoutError(f"future not done within {timeout} s")
+        with self._lock:
+            if self._state is FutureState.CANCELLED:
+                raise FutureCancelledError("future was cancelled")
+            if self._exception is not None:
+                raise self._exception
+            return self._result  # type: ignore[return-value]
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until done; return the exception (``None`` on success)."""
+        if not self._done_event.wait(timeout):
+            raise FutureTimeoutError(f"future not done within {timeout} s")
+        with self._lock:
+            if self._state is FutureState.CANCELLED:
+                return FutureCancelledError("future was cancelled")
+            return self._exception
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until done; True if it finished, False on timeout."""
+        return self._done_event.wait(timeout)
+
+    def add_listener(self, listener: Callable[["ListenableFuture[T]"], None]) -> None:
+        """Run *listener(self)* when done (immediately if already done)."""
+        with self._lock:
+            if not self._done_event.is_set():
+                self._listeners.append(listener)
+                return
+        self._fire([listener])
+
+    # ------------------------------------------------------------------
+    # Derived futures
+    # ------------------------------------------------------------------
+    def transform(self, fn: Callable[[T], U]) -> "ListenableFuture[U]":
+        """A future holding ``fn(result)``; failures and cancellation
+        propagate unchanged."""
+        derived: ListenableFuture[U] = ListenableFuture()
+
+        def on_done(parent: "ListenableFuture[T]") -> None:
+            if parent.cancelled():
+                derived.cancel()
+                # cancel() only works from PENDING; force if needed
+                if not derived.done():
+                    derived.set_exception(FutureCancelledError("parent cancelled"))
+                return
+            exc = parent.exception()
+            if exc is not None:
+                derived.set_exception(exc)
+                return
+            try:
+                derived.set_result(fn(parent.result()))
+            except BaseException as transform_exc:  # noqa: BLE001
+                derived.set_exception(transform_exc)
+
+        self.add_listener(on_done)
+        return derived
+
+    def catching(self, fn: Callable[[BaseException], T]) -> "ListenableFuture[T]":
+        """A future that recovers from failure with ``fn(exception)``."""
+        derived: ListenableFuture[T] = ListenableFuture()
+
+        def on_done(parent: "ListenableFuture[T]") -> None:
+            exc = parent.exception() if not parent.cancelled() else FutureCancelledError()
+            if exc is None:
+                derived.set_result(parent.result())
+                return
+            try:
+                derived.set_result(fn(exc))
+            except BaseException as recover_exc:  # noqa: BLE001
+                derived.set_exception(recover_exc)
+
+        self.add_listener(on_done)
+        return derived
+
+    def __repr__(self) -> str:
+        return f"<ListenableFuture state={self.state.value}>"
+
+
+def completed_future(value: T) -> ListenableFuture[T]:
+    """An already-completed future (Guava's ``immediateFuture``)."""
+    future: ListenableFuture[T] = ListenableFuture()
+    future.set_result(value)
+    return future
+
+
+def failed_future(exc: BaseException) -> ListenableFuture[Any]:
+    """An already-failed future (Guava's ``immediateFailedFuture``)."""
+    future: ListenableFuture[Any] = ListenableFuture()
+    future.set_exception(exc)
+    return future
+
+
+def gather(
+    futures: "list[ListenableFuture[T]]", timeout: float | None = None
+) -> list[T]:
+    """Wait for every future and return their results in order.
+
+    The Guava ``Futures.allAsList`` idiom for batch operations: the caller
+    dispatches N asynchronous requests, keeps working, then gathers.  The
+    first failure (or cancellation) is raised; *timeout* bounds the total
+    wait, not each future.
+    """
+    import time as _time
+
+    deadline = None if timeout is None else _time.monotonic() + timeout
+    results: list[T] = []
+    for future in futures:
+        remaining = None if deadline is None else max(0.0, deadline - _time.monotonic())
+        results.append(future.result(remaining))
+    return results

@@ -1,0 +1,227 @@
+"""The Universal Data Store Manager itself.
+
+The UDSM is a registry: applications register any number of
+heterogeneous data stores under names, and get back, per store:
+
+* the synchronous common key-value interface (monitored transparently);
+* the asynchronous interface on the shared thread pool;
+* enhanced-client construction (integrated caching / encryption /
+  compression) with one call;
+* the "any store as a cache for any other store" composition (approach 3
+  of Section III);
+* performance monitoring with persistence to any registered store;
+* the workload generator, pre-wired to registered stores.
+
+The native escape hatch is preserved: :meth:`UniversalDataStoreManager.native`
+returns whatever backend-specific handle the store exposes (e.g. the DB-API
+connection of the SQL store).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..caching.interface import Cache
+from ..caching.kvadapter import KeyValueStoreCache
+from ..core.enhanced import EnhancedDataStoreClient, WritePolicy
+from ..errors import ConfigurationError, DataStoreError
+from ..kv.interface import KeyValueStore
+from .async_api import AsyncKeyValue
+from .monitoring import MonitoredStore, PerformanceMonitor
+from .pool import ThreadPool
+
+__all__ = ["UniversalDataStoreManager"]
+
+
+class UniversalDataStoreManager:
+    """Registry of data stores with common sync/async/monitoring features."""
+
+    def __init__(
+        self,
+        *,
+        pool_size: int = 8,
+        recent_window: int = 1024,
+    ) -> None:
+        """Create an empty manager.
+
+        :param pool_size: threads in the shared async pool (the paper's
+            configurable thread-pool size).
+        :param recent_window: detailed measurements retained per
+            (store, operation) by the monitor.
+        """
+        self.monitor = PerformanceMonitor(recent_window=recent_window)
+        self.pool = ThreadPool(pool_size)
+        self._raw: dict[str, KeyValueStore] = {}
+        self._monitored: dict[str, MonitoredStore] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, name: str, store: KeyValueStore) -> MonitoredStore:
+        """Register *store* under *name*; returns its monitored view.
+
+        The UDSM takes ownership: :meth:`close` closes registered stores.
+        New clients for the same logical store can replace old ones by
+        re-registering the name (the paper: clients evolve; the UDSM allows
+        newer clients to replace older ones).
+        """
+        self._check_open()
+        if not name:
+            raise ConfigurationError("store name must be non-empty")
+        previous = self._raw.get(name)
+        if previous is not None and previous is not store:
+            previous.close()
+        self._raw[name] = store
+        monitored = MonitoredStore(store, self.monitor, name=name)
+        self._monitored[name] = monitored
+        return monitored
+
+    def unregister(self, name: str, *, close: bool = True) -> None:
+        """Remove *name*; closes the store unless told otherwise."""
+        store = self._raw.pop(name, None)
+        self._monitored.pop(name, None)
+        if store is not None and close:
+            store.close()
+
+    def store(self, name: str) -> MonitoredStore:
+        """The monitored synchronous interface for *name*."""
+        try:
+            return self._monitored[name]
+        except KeyError:
+            raise DataStoreError(f"no data store registered as {name!r}") from None
+
+    def raw_store(self, name: str) -> KeyValueStore:
+        """The unmonitored backend registered under *name*."""
+        try:
+            return self._raw[name]
+        except KeyError:
+            raise DataStoreError(f"no data store registered as {name!r}") from None
+
+    def store_names(self) -> list[str]:
+        return sorted(self._raw)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._raw
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.store_names())
+
+    def native(self, name: str) -> Any:
+        """The backend-specific handle for *name* (``None`` if there isn't one)."""
+        return self.raw_store(name).native()
+
+    # ------------------------------------------------------------------
+    # Interface factories
+    # ------------------------------------------------------------------
+    def async_store(self, name: str) -> AsyncKeyValue:
+        """Nonblocking interface for *name* on the shared pool."""
+        return AsyncKeyValue(self.store(name), self.pool)
+
+    def enhanced_client(
+        self,
+        name: str,
+        *,
+        cache: Cache | None = None,
+        monitored: bool = True,
+        **client_options: Any,
+    ) -> EnhancedDataStoreClient:
+        """Enhanced (cached) client over the store registered as *name*.
+
+        Keyword options are forwarded to
+        :class:`~repro.core.enhanced.EnhancedDataStoreClient` (``default_ttl``,
+        ``write_policy``, ``encryptor``, ``compressor``...).
+        """
+        base: KeyValueStore = self.store(name) if monitored else self.raw_store(name)
+        return EnhancedDataStoreClient(base, cache=cache, **client_options)
+
+    def store_as_cache(
+        self,
+        primary: str,
+        cache_store: str,
+        *,
+        default_ttl: float | None = None,
+        write_policy: WritePolicy = WritePolicy.WRITE_THROUGH,
+        max_entries: int | None = None,
+    ) -> EnhancedDataStoreClient:
+        """Approach 3: use registered store *cache_store* as a cache for
+        *primary* (e.g. the local file system caching a cloud store)."""
+        if primary == cache_store:
+            raise ConfigurationError("a store cannot cache itself")
+        adapter = KeyValueStoreCache(self.raw_store(cache_store), max_entries=max_entries)
+        return EnhancedDataStoreClient(
+            self.store(primary),
+            cache=adapter,
+            default_ttl=default_ttl,
+            write_policy=write_policy,
+        )
+
+    def replicated(
+        self,
+        primary: str,
+        replicas: "list[str]",
+        *,
+        name: str = "replicated",
+        read_repair: bool = True,
+    ) -> "MonitoredStore":
+        """Compose registered stores into a primary/replica group and
+        register the composite under *name* (monitored like any store)."""
+        from ..kv.resilience import ReplicatedStore
+
+        composite = ReplicatedStore(
+            self.raw_store(primary),
+            [self.raw_store(replica) for replica in replicas],
+            name=name,
+            read_repair=read_repair,
+            owns_members=False,  # the registry owns (and closes) the members
+        )
+        return self.register(name, composite)
+
+    def migrate(self, source: str, destination: str, **options: Any) -> Any:
+        """Copy every key from one registered store to another.
+
+        Options are forwarded to :func:`repro.tools.migration.copy_store`;
+        returns its report.
+        """
+        from ..tools.migration import copy_store
+
+        return copy_store(self.raw_store(source), self.raw_store(destination), **options)
+
+    # ------------------------------------------------------------------
+    # Monitoring conveniences
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """The monitor's latency table."""
+        return self.monitor.report()
+
+    def persist_metrics(self, store_name: str, key: str = "udsm-performance") -> None:
+        """Persist monitoring summaries into a registered store."""
+        self.monitor.persist(self.raw_store(store_name), key)
+
+    def restore_metrics(self, store_name: str, key: str = "udsm-performance") -> None:
+        self.monitor.restore(self.raw_store(store_name), key)
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DataStoreError("UDSM has been closed")
+
+    def close(self) -> None:
+        """Shut the pool down and close every registered store. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.shutdown()
+        for store in self._raw.values():
+            store.close()
+        self._raw.clear()
+        self._monitored.clear()
+
+    def __enter__(self) -> "UniversalDataStoreManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<UniversalDataStoreManager stores={self.store_names()}>"

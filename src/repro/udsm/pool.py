@@ -1,0 +1,99 @@
+"""Fixed-size thread pool feeding ListenableFutures.
+
+The paper: "Since creating a new thread is expensive, the UDSM uses thread
+pools in which a given number of threads are started up when the UDSM is
+initiated and maintained throughout the lifetime of the UDSM. ... Users can
+specify the thread pool size via a configuration parameter."
+
+This is that pool, built from scratch on a queue of work items.  Workers
+are daemon threads; :meth:`ThreadPool.shutdown` drains or discards the queue
+and joins them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, TypeVar
+
+from ..errors import AsyncOperationError, ConfigurationError
+from .futures import ListenableFuture
+
+__all__ = ["ThreadPool"]
+
+T = TypeVar("T")
+
+
+class ThreadPool:
+    """Bounded pool of long-lived worker threads."""
+
+    def __init__(self, size: int = 8, *, name: str = "udsm-pool") -> None:
+        """Start *size* workers immediately (they live until shutdown)."""
+        if size < 1:
+            raise ConfigurationError("thread pool size must be at least 1")
+        self.size = size
+        self._queue: "queue.SimpleQueue[tuple[ListenableFuture[Any], Callable[[], Any]] | None]" = (
+            queue.SimpleQueue()
+        )
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
+            for i in range(size)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return  # poison pill
+            future, thunk = item
+            if not future._try_start():
+                continue  # cancelled while queued
+            try:
+                future.set_result(thunk())
+            except BaseException as exc:  # noqa: BLE001 - must not kill worker
+                future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., T], *args: Any, **kwargs: Any) -> ListenableFuture[T]:
+        """Queue ``fn(*args, **kwargs)``; returns its future immediately."""
+        with self._lock:
+            if self._shutdown:
+                raise AsyncOperationError("thread pool has been shut down")
+            future: ListenableFuture[T] = ListenableFuture()
+            self._queue.put((future, lambda: fn(*args, **kwargs)))
+            return future
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting work; optionally join the workers.
+
+        Queued work that has not started is still executed before workers
+        exit (each worker drains until it meets its poison pill).
+        """
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            for _ in self._workers:
+                self._queue.put(None)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    @property
+    def active(self) -> bool:
+        with self._lock:
+            return not self._shutdown
+
+    def __enter__(self) -> "ThreadPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"<ThreadPool size={self.size} active={self.active}>"

@@ -1,0 +1,93 @@
+"""Text output for performance data.
+
+The paper: "Data from performance testing is stored in text files which can
+be easily imported into graph plotting tools such as gnuplot, spreadsheets
+... and data analysis tools".  These helpers write exactly that: whitespace-
+separated ``.dat`` columns with a ``#`` header line, plus fixed-width tables
+for the console and a small log-log ASCII chart so benchmark output is
+readable without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Iterable, Sequence
+
+__all__ = ["write_dat", "format_table", "ascii_loglog_chart"]
+
+
+def write_dat(
+    path: str | os.PathLike[str],
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Write a gnuplot-friendly data file: ``# header`` then one row per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# " + "\t".join(str(column) for column in header) + "\n")
+        for row in rows:
+            handle.write("\t".join(_format_cell(cell) for cell in row) + "\n")
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.9g}"
+    return str(cell)
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width console table."""
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    all_rows = [list(header)] + text_rows
+    widths = [max(len(row[col]) for row in all_rows) for col in range(len(header))]
+    lines = ["  ".join(cell.rjust(width) for cell, width in zip(row, widths)) for row in all_rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def ascii_loglog_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "size (bytes)",
+    y_label: str = "latency (ms)",
+) -> str:
+    """Tiny log-log scatter chart (the paper's plots are log-log).
+
+    :param series: name -> list of (x, y) points; each series gets one
+        marker character.
+    """
+    points = [
+        (x, y) for pts in series.values() for x, y in pts if x > 0 and y > 0
+    ]
+    if not points:
+        return "(no data)"
+    log_x = [math.log10(x) for x, _ in points]
+    log_y = [math.log10(y) for _, y in points]
+    x_min, x_max = min(log_x), max(log_x)
+    y_min, y_max = min(log_y), max(log_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend: list[str] = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"  {marker} {name}")
+        for x, y in pts:
+            if x <= 0 or y <= 0:
+                continue
+            col = round((math.log10(x) - x_min) / x_span * (width - 1))
+            row = round((math.log10(y) - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    top = f"{10 ** y_max:.3g} {y_label}"
+    bottom = f"{10 ** y_min:.3g}"
+    x_left = f"{10 ** x_min:.3g}"
+    x_right = f"{10 ** x_max:.3g} {x_label}"
+    body = "\n".join("|" + "".join(row) for row in grid)
+    footer = "+" + "-" * width
+    x_axis = x_left + " " * max(1, width - len(x_left) - len(x_right) + 1) + x_right
+    return "\n".join([top, body, footer, x_axis, bottom, *legend])

@@ -1,0 +1,95 @@
+"""Shared fixtures.
+
+The expensive fixtures (TCP cache server) are session-scoped; tests that
+need isolation flush the server keyspace themselves.  Simulated cloud
+stores always use a :class:`~repro.net.latency.VirtualClock` in tests so
+nothing actually sleeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kv import (
+    CLOUD_STORE_1,
+    CLOUD_STORE_2,
+    FileSystemStore,
+    InMemoryStore,
+    RemoteKeyValueStore,
+    SimulatedCloudStore,
+    SQLStore,
+)
+from repro.net import ServerHandle, VirtualClock
+from repro.net.client import CacheClient
+
+
+@pytest.fixture(scope="session")
+def cache_server():
+    """One in-thread cache server for the whole test session."""
+    handle = ServerHandle.start_in_thread()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def cache_client(cache_server):
+    """A fresh client against the shared server; flushes on teardown."""
+    client = CacheClient(cache_server.host, cache_server.port)
+    yield client
+    try:
+        client.flushall()
+    finally:
+        client.close()
+
+
+@pytest.fixture()
+def virtual_clock():
+    return VirtualClock()
+
+
+# ----------------------------------------------------------------------
+# One fixture per store kind, plus an "any store" parametrised fixture
+# used by the contract suite.
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def memory_store():
+    with InMemoryStore() as store:
+        yield store
+
+
+@pytest.fixture()
+def file_store(tmp_path):
+    with FileSystemStore(tmp_path / "kv", name="file") as store:
+        yield store
+
+
+@pytest.fixture()
+def sql_store():
+    with SQLStore(synchronous="OFF") as store:
+        yield store
+
+
+@pytest.fixture()
+def cloud_store(virtual_clock):
+    with SimulatedCloudStore(CLOUD_STORE_2, clock=virtual_clock) as store:
+        yield store
+
+
+@pytest.fixture()
+def cloud1_store(virtual_clock):
+    with SimulatedCloudStore(CLOUD_STORE_1, clock=virtual_clock) as store:
+        yield store
+
+
+@pytest.fixture()
+def remote_store(cache_server):
+    store = RemoteKeyValueStore(cache_server.host, cache_server.port)
+    yield store
+    store.clear()
+    store.close()
+
+
+@pytest.fixture(params=["memory", "file", "sql", "cloud", "remote"])
+def any_store(request):
+    """Every backend, one at a time -- drives the KV contract suite."""
+    return request.getfixturevalue(f"{request.param}_store")

@@ -1,0 +1,143 @@
+"""Bloom filter and Bloom-fronted cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching import BloomFilter, BloomFrontedCache, InProcessCache, MISS
+from repro.errors import ConfigurationError
+
+
+class TestBloomFilter:
+    def test_added_keys_always_found(self):
+        bloom = BloomFilter(1_000, 0.01)
+        keys = [f"k{i}" for i in range(1_000)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    @given(st.sets(st.text(min_size=1, max_size=20), max_size=100))
+    @settings(max_examples=40)
+    def test_property_no_false_negatives(self, keys):
+        bloom = BloomFilter(max(1, len(keys)), 0.05)
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_within_bounds(self):
+        bloom = BloomFilter(2_000, 0.01)
+        for i in range(2_000):
+            bloom.add(f"present-{i}")
+        false_positives = sum(
+            1 for i in range(10_000) if bloom.might_contain(f"absent-{i}")
+        )
+        # Configured 1%; allow 3x slack for hash variance.
+        assert false_positives / 10_000 < 0.03
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(100, 0.01)
+        assert not bloom.might_contain("anything")
+        assert bloom.saturation == 0.0
+
+    def test_clear(self):
+        bloom = BloomFilter(100, 0.01)
+        bloom.add("k")
+        bloom.clear()
+        assert not bloom.might_contain("k")
+        assert bloom.approximate_items == 0
+
+    def test_sizing_math(self):
+        bloom = BloomFilter(10_000, 0.01)
+        # Textbook: ~9.59 bits/item and ~7 hashes at 1%.
+        assert 9 <= bloom.size_bits / 10_000 <= 10.5
+        assert 6 <= bloom.hash_count <= 8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"expected_items": 0},
+        {"fp_rate": 0.0},
+        {"fp_rate": 1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(**{"expected_items": 100, "fp_rate": 0.01, **kwargs})
+
+
+class TestBloomFrontedCache:
+    def make(self):
+        inner = InProcessCache()
+        return BloomFrontedCache(inner, expected_items=1_000), inner
+
+    def test_basic_cache_contract(self):
+        cache, _inner = self.make()
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.get("ghost") is MISS
+        assert cache.delete("k")
+        assert cache.size() == 0
+
+    def test_never_seen_keys_short_circuit(self):
+        cache, inner = self.make()
+        cache.put("present", 1)
+        inner.stats.reset()
+        for i in range(100):
+            assert cache.get(f"never-{i}") is MISS
+        # The inner cache (the "network") was consulted for at most the
+        # bloom false positives -- near zero at this load.
+        assert inner.stats.snapshot().lookups <= 3
+        assert cache.short_circuits >= 97
+
+    def test_no_false_negatives_through_the_cache(self):
+        cache, _inner = self.make()
+        for i in range(500):
+            cache.put(f"k{i}", i)
+        for i in range(500):
+            assert cache.get(f"k{i}") == i
+
+    def test_deleted_key_still_resolves_correctly(self):
+        cache, _inner = self.make()
+        cache.put("k", 1)
+        cache.delete("k")
+        # Stale filter bit: the lookup goes through and misses correctly.
+        assert cache.get("k") is MISS
+
+    def test_rebuild_flushes_stale_bits(self):
+        cache, _inner = self.make()
+        for i in range(100):
+            cache.put(f"k{i}", i)
+        for i in range(100):
+            cache.delete(f"k{i}")
+        assert cache.rebuild() == 0
+        before = cache.short_circuits
+        assert cache.get("k5") is MISS
+        assert cache.short_circuits == before + 1  # short-circuited again
+
+    def test_clear_resets_filter(self):
+        cache, _inner = self.make()
+        cache.put("k", 1)
+        cache.clear()
+        before = cache.short_circuits
+        assert cache.get("k") is MISS
+        assert cache.short_circuits == before + 1
+
+    def test_stats_track_both_paths(self):
+        cache, _inner = self.make()
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("never")
+        snap = cache.stats.snapshot()
+        assert snap.hits == 1 and snap.misses == 1
+
+    def test_over_remote_cache(self, cache_server, cache_client):
+        from repro.caching import RemoteProcessCache
+
+        remote = RemoteProcessCache(
+            cache_server.host, cache_server.port, client=cache_client, namespace="bloom"
+        )
+        cache = BloomFrontedCache(remote, expected_items=100)
+        cache.put("k", "remote-value")
+        assert cache.get("k") == "remote-value"
+        assert cache.get("never-cached") is MISS
+        assert cache.short_circuits == 1
+        remote.clear()

@@ -1,0 +1,112 @@
+"""Cache contract suite, run against every cache implementation.
+
+Like the KV contract suite, this is the executable form of the DSCL
+``Cache`` interface: the in-process cache, the remote-process cache, the
+tiered composite, and the any-store-as-cache adapter must all behave
+identically at the interface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import (
+    MISS,
+    InProcessCache,
+    KeyValueStoreCache,
+    RemoteProcessCache,
+    TieredCache,
+)
+from repro.kv import InMemoryStore
+
+
+@pytest.fixture()
+def inprocess_cache():
+    return InProcessCache()
+
+
+@pytest.fixture()
+def remote_cache(cache_server, cache_client):
+    cache = RemoteProcessCache(
+        cache_server.host, cache_server.port, client=cache_client, namespace="contract"
+    )
+    yield cache
+    cache.clear()
+
+
+@pytest.fixture()
+def tiered_cache():
+    return TieredCache(InProcessCache(name="l1"), InProcessCache(name="l2"))
+
+
+@pytest.fixture()
+def kvadapter_cache():
+    return KeyValueStoreCache(InMemoryStore())
+
+
+@pytest.fixture(params=["inprocess", "remote", "tiered", "kvadapter"])
+def any_cache(request):
+    return request.getfixturevalue(f"{request.param}_cache")
+
+
+class TestCacheContract:
+    def test_put_get(self, any_cache):
+        any_cache.put("k", {"v": [1, 2]})
+        assert any_cache.get("k") == {"v": [1, 2]}
+
+    def test_miss_is_sentinel_not_exception(self, any_cache):
+        assert any_cache.get("absent") is MISS
+
+    def test_none_is_cacheable_and_distinct_from_miss(self, any_cache):
+        any_cache.put("k", None)
+        assert any_cache.get("k") is None
+        assert any_cache.get("k") is not MISS
+
+    def test_overwrite(self, any_cache):
+        any_cache.put("k", 1)
+        any_cache.put("k", 2)
+        assert any_cache.get("k") == 2
+
+    def test_delete(self, any_cache):
+        any_cache.put("k", 1)
+        assert any_cache.delete("k") is True
+        assert any_cache.delete("k") is False
+        assert any_cache.get("k") is MISS
+
+    def test_clear_and_size(self, any_cache):
+        for i in range(4):
+            any_cache.put(f"k{i}", i)
+        assert any_cache.size() == 4
+        assert any_cache.clear() == 4
+        assert any_cache.size() == 0
+
+    def test_keys(self, any_cache):
+        expected = {f"key{i}" for i in range(5)}
+        for key in expected:
+            any_cache.put(key, key)
+        assert set(any_cache.keys()) == expected
+
+    def test_contains_without_stats_noise(self, any_cache):
+        any_cache.put("k", 1)
+        before = any_cache.stats.snapshot()
+        assert "k" in any_cache
+        assert "ghost" not in any_cache
+        after = any_cache.stats.snapshot()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+    def test_hit_miss_statistics(self, any_cache):
+        any_cache.put("k", 1)
+        any_cache.get("k")
+        any_cache.get("ghost")
+        snap = any_cache.stats.snapshot()
+        assert snap.hits >= 1
+        assert snap.misses >= 1
+
+    def test_get_quiet_returns_same_values(self, any_cache):
+        any_cache.put("k", "value")
+        assert any_cache.get_quiet("k") == "value"
+        assert any_cache.get_quiet("ghost") is MISS
+
+    def test_unicode_keys(self, any_cache):
+        any_cache.put("clé-日本語", "ok")
+        assert any_cache.get("clé-日本語") == "ok"

@@ -1,0 +1,217 @@
+"""InProcessCache: bounds, copy semantics, statistics, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching import MISS, InProcessCache
+from repro.errors import CapacityError, ConfigurationError
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = InProcessCache()
+        cache.put("k", {"a": 1})
+        assert cache.get("k") == {"a": 1}
+
+    def test_miss_returns_sentinel(self):
+        cache = InProcessCache()
+        assert cache.get("absent") is MISS
+        assert not MISS  # falsy
+
+    def test_none_is_cacheable(self):
+        cache = InProcessCache()
+        cache.put("k", None)
+        assert cache.get("k") is None
+        assert cache.get("k") is not MISS
+
+    def test_delete(self):
+        cache = InProcessCache()
+        cache.put("k", 1)
+        assert cache.delete("k")
+        assert not cache.delete("k")
+        assert cache.get("k") is MISS
+
+    def test_clear_and_len(self):
+        cache = InProcessCache()
+        for i in range(4):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 4
+        assert cache.clear() == 4
+        assert len(cache) == 0
+
+    def test_contains_does_not_affect_stats(self):
+        cache = InProcessCache()
+        cache.put("k", 1)
+        _ = "k" in cache
+        _ = "nope" in cache
+        snap = cache.stats.snapshot()
+        assert snap.hits == 0 and snap.misses == 0
+
+
+class TestReferenceSemantics:
+    def test_default_stores_reference(self):
+        """The paper's fast path: the cached object IS the caller's object."""
+        cache = InProcessCache()
+        value = {"list": [1]}
+        cache.put("k", value)
+        value["list"].append(2)
+        assert cache.get("k") == {"list": [1, 2]}
+        assert cache.get("k") is value
+
+    def test_copy_on_put_isolates_cache(self):
+        cache = InProcessCache(copy_on_put=True)
+        value = {"list": [1]}
+        cache.put("k", value)
+        value["list"].append(2)
+        assert cache.get("k") == {"list": [1]}
+
+    def test_copy_on_get_isolates_readers(self):
+        cache = InProcessCache(copy_on_get=True)
+        cache.put("k", {"list": [1]})
+        first = cache.get("k")
+        first["list"].append(2)
+        assert cache.get("k") == {"list": [1]}
+
+
+class TestEntryBound:
+    def test_max_entries_enforced(self):
+        cache = InProcessCache(max_entries=3)
+        for i in range(10):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 3
+        assert cache.stats.snapshot().evictions == 7
+
+    def test_lru_is_default_policy(self):
+        cache = InProcessCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)
+        assert cache.get_quiet("a") == 1
+        assert cache.get_quiet("b") is MISS
+
+    def test_overwrite_does_not_evict(self):
+        cache = InProcessCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.stats.snapshot().evictions == 0
+
+
+class TestByteBound:
+    def test_max_bytes_enforced(self):
+        cache = InProcessCache(max_entries=None, max_bytes=100)
+        cache.put("a", b"x" * 60)
+        cache.put("b", b"y" * 60)  # evicts a
+        assert cache.total_bytes <= 100
+        assert cache.get_quiet("a") is MISS
+        assert cache.get_quiet("b") == b"y" * 60
+
+    def test_oversized_value_rejected(self):
+        cache = InProcessCache(max_bytes=10)
+        with pytest.raises(CapacityError):
+            cache.put("huge", b"x" * 100)
+
+    def test_total_bytes_tracks_overwrites(self):
+        cache = InProcessCache(max_bytes=1000)
+        cache.put("k", b"x" * 100)
+        cache.put("k", b"x" * 50)
+        assert cache.total_bytes == 50
+
+    def test_custom_sizer(self):
+        cache = InProcessCache(max_bytes=10, sizer=lambda value: 1)
+        for i in range(10):
+            cache.put(f"k{i}", b"x" * 1000)  # each charged 1
+        assert len(cache) == 10
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize("kwargs", [{"max_entries": 0}, {"max_bytes": 0}])
+    def test_invalid_bounds_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            InProcessCache(**kwargs)
+
+    def test_policy_by_name(self):
+        cache = InProcessCache(max_entries=2, policy="fifo")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # FIFO ignores this
+        cache.put("c", 3)
+        assert cache.get_quiet("a") is MISS
+
+
+class TestStatistics:
+    def test_hit_miss_accounting(self):
+        cache = InProcessCache()
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("k")
+        cache.get("absent")
+        snap = cache.stats.snapshot()
+        assert (snap.hits, snap.misses, snap.puts) == (2, 1, 1)
+        assert snap.hit_rate == pytest.approx(2 / 3)
+
+    def test_get_quiet_skips_stats_and_recency(self):
+        cache = InProcessCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get_quiet("a")  # must NOT refresh a's recency
+        cache.put("c", 3)
+        assert cache.get_quiet("a") is MISS  # a was still LRU
+        assert cache.stats.snapshot().hits == 0
+
+    def test_stats_reset(self):
+        cache = InProcessCache()
+        cache.put("k", 1)
+        cache.get("k")
+        cache.stats.reset()
+        snap = cache.stats.snapshot()
+        assert snap.hits == snap.puts == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        cache = InProcessCache(max_entries=64)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(300):
+                    key = f"k{(worker_id * 7 + i) % 100}"
+                    if i % 3 == 0:
+                        cache.put(key, i)
+                    elif i % 3 == 1:
+                        cache.get(key)
+                    else:
+                        cache.delete(key)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 64
+
+
+@pytest.mark.parametrize("policy", ["lru", "fifo", "lfu", "clock", "gds"])
+class TestPropertyCapacity:
+    @given(ops=st.lists(st.tuples(st.integers(0, 30), st.booleans()), max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_never_exceeded(self, policy, ops):
+        cache = InProcessCache(max_entries=8, policy=policy)
+        for key_index, is_read in ops:
+            key = f"k{key_index}"
+            if is_read:
+                cache.get(key)
+            else:
+                cache.put(key, key_index)
+            assert len(cache) <= 8

@@ -1,0 +1,214 @@
+"""Eviction policies: behaviour and invariants (incl. property tests)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching.policies import (
+    ClockPolicy,
+    EvictionPolicy,
+    FIFOPolicy,
+    GreedyDualSizePolicy,
+    LFUPolicy,
+    LRUPolicy,
+    make_policy,
+)
+from repro.errors import CacheError, ConfigurationError
+
+ALL_POLICIES = ["lru", "fifo", "lfu", "clock", "gds"]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ALL_POLICIES)
+    def test_make_policy_by_name(self, name):
+        policy = make_policy(name)
+        assert isinstance(policy, EvictionPolicy)
+        assert policy.name == name
+
+    def test_make_policy_case_insensitive(self):
+        assert isinstance(make_policy("LRU"), LRUPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("magic")
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        policy = LRUPolicy()
+        for key in "abc":
+            policy.on_insert(key, 1)
+        policy.on_access("a")
+        assert policy.choose_victim() == "b"
+
+    def test_update_refreshes_recency(self):
+        policy = LRUPolicy()
+        for key in "abc":
+            policy.on_insert(key, 1)
+        policy.on_update("a", 1)
+        assert policy.choose_victim() == "b"
+
+
+class TestFIFO:
+    def test_access_does_not_refresh(self):
+        policy = FIFOPolicy()
+        for key in "abc":
+            policy.on_insert(key, 1)
+        policy.on_access("a")
+        assert policy.choose_victim() == "a"
+
+    def test_update_keeps_queue_position(self):
+        policy = FIFOPolicy()
+        for key in "abc":
+            policy.on_insert(key, 1)
+        policy.on_update("a", 5)
+        assert policy.choose_victim() == "a"
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        policy = LFUPolicy()
+        for key in "abc":
+            policy.on_insert(key, 1)
+        policy.on_access("a")
+        policy.on_access("a")
+        policy.on_access("b")
+        assert policy.choose_victim() == "c"
+
+    def test_lru_tiebreak_within_frequency(self):
+        policy = LFUPolicy()
+        policy.on_insert("first", 1)
+        policy.on_insert("second", 1)
+        assert policy.choose_victim() == "first"
+
+    def test_remove_mid_bucket_keeps_consistency(self):
+        policy = LFUPolicy()
+        for key in "abc":
+            policy.on_insert(key, 1)
+        policy.on_access("a")
+        policy.on_remove("b")
+        policy.on_remove("c")
+        assert policy.choose_victim() == "a"
+
+
+class TestClock:
+    def test_second_chance(self):
+        policy = ClockPolicy()
+        for key in "abc":
+            policy.on_insert(key, 1)
+        policy.on_access("a")  # a gets its reference bit set
+        victim = policy.choose_victim()
+        assert victim == "b"  # hand clears a's bit, evicts b
+
+    def test_all_referenced_still_terminates(self):
+        policy = ClockPolicy()
+        for key in "abcd":
+            policy.on_insert(key, 1)
+            policy.on_access(key)
+        assert policy.choose_victim() in "abcd"
+
+    def test_remove_hand_node(self):
+        policy = ClockPolicy()
+        for key in "ab":
+            policy.on_insert(key, 1)
+        policy.on_remove("a")
+        assert policy.choose_victim() == "b"
+
+    def test_single_node_cycle(self):
+        policy = ClockPolicy()
+        policy.on_insert("only", 1)
+        assert policy.choose_victim() == "only"
+        policy.on_remove("only")
+        assert len(policy) == 0
+
+
+class TestGreedyDualSize:
+    def test_prefers_evicting_large_objects(self):
+        policy = GreedyDualSizePolicy()
+        policy.on_insert("large", 1000)
+        policy.on_insert("small", 10)
+        assert policy.choose_victim() == "large"
+
+    def test_cost_protects_expensive_objects(self):
+        policy = GreedyDualSizePolicy()
+        policy.on_insert("expensive", 1000)
+        policy.set_cost("expensive", 1000.0)
+        policy.on_insert("cheap", 1000)
+        assert policy.choose_victim() == "cheap"
+
+    def test_recently_accessed_survives_inflation(self):
+        # After inflation rises, an accessed key is re-pushed at the current
+        # inflation and outlives an idle same-size key inserted earlier.
+        policy = GreedyDualSizePolicy()
+        policy.on_insert("idle", 100)
+        policy.on_insert("hot", 100)
+        policy.on_access("hot")
+        assert policy.choose_victim() == "idle"
+
+    def test_update_recharges_with_new_size(self):
+        policy = GreedyDualSizePolicy()
+        policy.on_insert("a", 10)
+        policy.on_insert("b", 10)
+        policy.on_update("a", 10_000)  # a became huge -> lowest H
+        assert policy.choose_victim() == "a"
+
+    def test_invalid_cost_rejected(self):
+        policy = GreedyDualSizePolicy()
+        with pytest.raises(ConfigurationError):
+            policy.set_cost("k", 0)
+        with pytest.raises(ConfigurationError):
+            GreedyDualSizePolicy(default_cost=-1)
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+class TestCommonInvariants:
+    def test_empty_policy_raises_on_victim(self, name):
+        with pytest.raises(CacheError):
+            make_policy(name).choose_victim()
+
+    def test_remove_unknown_key_is_noop(self, name):
+        policy = make_policy(name)
+        policy.on_remove("ghost")
+        assert len(policy) == 0
+
+    def test_access_unknown_key_is_noop(self, name):
+        policy = make_policy(name)
+        policy.on_access("ghost")
+        assert len(policy) == 0
+
+    def test_len_tracks_inserts_and_removes(self, name):
+        policy = make_policy(name)
+        for i in range(5):
+            policy.on_insert(f"k{i}", 1)
+        assert len(policy) == 5
+        policy.on_remove("k0")
+        assert len(policy) == 4
+
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "access", "remove", "evict"]),
+                  st.integers(min_value=0, max_value=9)),
+        max_size=80,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_random_operation_sequences_stay_consistent(self, name, ops):
+        """Property: victim is always a tracked key; count never drifts."""
+        policy = make_policy(name)
+        tracked: set[str] = set()
+        for action, key_index in ops:
+            key = f"k{key_index}"
+            if action == "insert":
+                policy.on_insert(key, key_index + 1)
+                tracked.add(key)
+            elif action == "access":
+                policy.on_access(key)
+            elif action == "remove":
+                policy.on_remove(key)
+                tracked.discard(key)
+            elif action == "evict" and tracked:
+                victim = policy.choose_victim()
+                assert victim in tracked
+                policy.on_remove(victim)
+                tracked.discard(victim)
+            assert len(policy) == len(tracked)

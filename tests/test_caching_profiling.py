@@ -1,0 +1,110 @@
+"""Stack-distance profiling: predictions must match real LRU behaviour."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching import MISS, InProcessCache, StackDistanceProfiler
+from repro.errors import ConfigurationError
+
+
+def lru_hit_rate(trace: list[str], capacity: int) -> float:
+    """Ground truth: actually run the trace through an LRU cache."""
+    if capacity == 0:
+        return 0.0
+    cache = InProcessCache(max_entries=capacity, policy="lru")
+    hits = 0
+    for key in trace:
+        if cache.get(key) is MISS:
+            cache.put(key, key)
+        else:
+            hits += 1
+    return hits / len(trace) if trace else 0.0
+
+
+class TestPredictionsMatchReality:
+    def test_simple_cyclic_trace(self):
+        # A cycle of 3 keys: hit rate is 0 below capacity 3, perfect at 3+.
+        trace = ["a", "b", "c"] * 50
+        profiler = StackDistanceProfiler()
+        profiler.record_trace(trace)
+        assert profiler.hit_rate(2) == 0.0
+        assert profiler.hit_rate(3) == pytest.approx(lru_hit_rate(trace, 3))
+        assert profiler.hit_rate(3) > 0.9
+
+    def test_zipf_trace_matches_real_lru_at_every_size(self):
+        rng = random.Random(13)
+        weights = [1.0 / (rank**1.1) for rank in range(1, 201)]
+        trace = [f"k{i}" for i in rng.choices(range(200), weights, k=5_000)]
+        profiler = StackDistanceProfiler()
+        profiler.record_trace(trace)
+        for capacity in (5, 20, 80, 200):
+            predicted = profiler.hit_rate(capacity)
+            actual = lru_hit_rate(trace, capacity)
+            assert predicted == pytest.approx(actual, abs=0.01), capacity
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_property_prediction_equals_simulation(self, key_indices):
+        """Mattson's algorithm is exact for LRU: prediction == simulation."""
+        trace = [f"k{i}" for i in key_indices]
+        profiler = StackDistanceProfiler()
+        profiler.record_trace(trace)
+        for capacity in (1, 4, 16):
+            assert profiler.hit_rate(capacity) == pytest.approx(
+                lru_hit_rate(trace, capacity)
+            )
+
+    def test_curve_is_monotonic_in_size(self):
+        rng = random.Random(7)
+        trace = [f"k{rng.randrange(50)}" for _ in range(2_000)]
+        profiler = StackDistanceProfiler()
+        profiler.record_trace(trace)
+        curve = profiler.curve([1, 2, 5, 10, 25, 50, 100])
+        rates = [rate for _size, rate in curve]
+        assert rates == sorted(rates)
+
+
+class TestProfilerAPI:
+    def test_counters(self):
+        profiler = StackDistanceProfiler()
+        profiler.record_trace(["a", "b", "a", "a"])
+        assert profiler.accesses == 4
+        assert profiler.distinct_keys == 2
+
+    def test_empty_profiler(self):
+        profiler = StackDistanceProfiler()
+        assert profiler.hit_rate(100) == 0.0
+        assert profiler.optimal_size(0.5) is None
+
+    def test_optimal_size(self):
+        trace = ["a", "b", "c"] * 100
+        profiler = StackDistanceProfiler()
+        profiler.record_trace(trace)
+        assert profiler.optimal_size(0.9) == 3
+
+    def test_unreachable_target_returns_none(self):
+        profiler = StackDistanceProfiler()
+        profiler.record_trace([f"unique-{i}" for i in range(100)])  # all cold
+        assert profiler.optimal_size(0.5) is None
+
+    def test_validation(self):
+        profiler = StackDistanceProfiler()
+        with pytest.raises(ConfigurationError):
+            profiler.hit_rate(-1)
+        with pytest.raises(ConfigurationError):
+            profiler.optimal_size(1.5)
+
+    def test_wrap_records_cache_gets(self):
+        cache = InProcessCache()
+        cache.put("k", 1)
+        profiler = StackDistanceProfiler()
+        profiled = profiler.wrap(cache)
+        assert profiled.get("k") == 1       # delegates
+        profiled.get("k")
+        assert profiler.accesses == 2
+        assert profiled.size() == 1          # other attrs pass through

@@ -1,0 +1,97 @@
+"""RemoteProcessCache over the TCP server: semantics, namespaces, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import MISS, RemoteProcessCache
+from repro.serialization import JsonSerializer
+
+
+@pytest.fixture()
+def remote_cache(cache_server, cache_client):
+    cache = RemoteProcessCache(
+        cache_server.host, cache_server.port, client=cache_client, namespace="test"
+    )
+    yield cache
+    cache.clear()
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self, remote_cache):
+        remote_cache.put("k", {"nested": [1, 2]})
+        assert remote_cache.get("k") == {"nested": [1, 2]}
+
+    def test_miss(self, remote_cache):
+        assert remote_cache.get("absent") is MISS
+
+    def test_none_value(self, remote_cache):
+        remote_cache.put("k", None)
+        assert remote_cache.get("k") is None
+
+    def test_delete(self, remote_cache):
+        remote_cache.put("k", 1)
+        assert remote_cache.delete("k")
+        assert not remote_cache.delete("k")
+
+    def test_size_keys_clear(self, remote_cache):
+        for i in range(3):
+            remote_cache.put(f"k{i}", i)
+        assert remote_cache.size() == 3
+        assert sorted(remote_cache.keys()) == ["k0", "k1", "k2"]
+        assert remote_cache.clear() == 3
+        assert remote_cache.size() == 0
+
+    def test_values_are_serialized_copies(self, remote_cache):
+        value = {"list": [1]}
+        remote_cache.put("k", value)
+        value["list"].append(2)
+        assert remote_cache.get("k") == {"list": [1]}  # remote copy isolated
+
+
+class TestNamespaces:
+    def test_namespaces_isolated_on_shared_server(self, cache_server, cache_client):
+        a = RemoteProcessCache(cache_server.host, cache_server.port, client=cache_client, namespace="a")
+        b = RemoteProcessCache(cache_server.host, cache_server.port, client=cache_client, namespace="b")
+        a.put("k", "from-a")
+        b.put("k", "from-b")
+        assert a.get("k") == "from-a"
+        assert b.get("k") == "from-b"
+        assert a.size() == 1
+        a.clear()
+        assert b.get("k") == "from-b"
+        b.clear()
+
+    def test_unprefixed_clear_flushes_server(self, cache_server):
+        cache = RemoteProcessCache(cache_server.host, cache_server.port)
+        cache.put("k1", 1)
+        cache.put("k2", 2)
+        assert cache.clear() == 2
+        assert cache.size() == 0
+        cache.close()
+
+
+class TestStatsAndHealth:
+    def test_stats_count_hits_and_misses(self, remote_cache):
+        remote_cache.put("k", 1)
+        remote_cache.get("k")
+        remote_cache.get("nope")
+        snap = remote_cache.stats.snapshot()
+        assert snap.hits == 1 and snap.misses == 1
+
+    def test_get_quiet_skips_stats(self, remote_cache):
+        remote_cache.put("k", 1)
+        assert remote_cache.get_quiet("k") == 1
+        assert remote_cache.stats.snapshot().hits == 0
+
+    def test_ping(self, remote_cache):
+        assert remote_cache.ping()
+
+    def test_custom_serializer(self, cache_server, cache_client):
+        cache = RemoteProcessCache(
+            cache_server.host, cache_server.port, client=cache_client,
+            namespace="json", serializer=JsonSerializer(),
+        )
+        cache.put("k", {"plain": "json"})
+        assert cache.get("k") == {"plain": "json"}
+        cache.clear()

@@ -1,0 +1,101 @@
+"""TieredCache (L1 in-process over L2) and KeyValueStoreCache adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import MISS, InProcessCache, KeyValueStoreCache, TieredCache
+from repro.errors import ConfigurationError
+from repro.kv import InMemoryStore
+
+
+def make_tiered(**kwargs):
+    return TieredCache(InProcessCache(name="l1"), InProcessCache(name="l2"), **kwargs)
+
+
+class TestTieredCache:
+    def test_l1_hit_never_touches_l2(self):
+        tiered = make_tiered()
+        tiered.put("k", "v")
+        tiered.l2.stats.reset()
+        assert tiered.get("k") == "v"
+        assert tiered.l2.stats.snapshot().lookups == 0
+
+    def test_l2_hit_promotes_to_l1(self):
+        tiered = make_tiered()
+        tiered.put("k", "v")
+        tiered.l1.clear()
+        assert tiered.get("k") == "v"
+        assert tiered.l1.get_quiet("k") == "v"
+
+    def test_promotion_can_be_disabled(self):
+        tiered = make_tiered(promote=False)
+        tiered.put("k", "v")
+        tiered.l1.clear()
+        assert tiered.get("k") == "v"
+        assert tiered.l1.get_quiet("k") is MISS
+
+    def test_write_through_fills_both(self):
+        tiered = make_tiered()
+        tiered.put("k", "v")
+        assert tiered.l1.get_quiet("k") == "v"
+        assert tiered.l2.get_quiet("k") == "v"
+
+    def test_l1_only_writes(self):
+        tiered = make_tiered(write_through=False)
+        tiered.put("k", "v")
+        assert tiered.l2.get_quiet("k") is MISS
+
+    def test_total_miss(self):
+        tiered = make_tiered()
+        assert tiered.get("nope") is MISS
+        assert tiered.stats.snapshot().misses == 1
+
+    def test_delete_hits_both_levels(self):
+        tiered = make_tiered()
+        tiered.put("k", "v")
+        assert tiered.delete("k")
+        assert tiered.get("k") is MISS
+
+    def test_size_and_keys_deduplicate(self):
+        tiered = make_tiered()
+        tiered.put("shared", 1)
+        tiered.l1.put("only-l1", 2)
+        tiered.l2.put("only-l2", 3)
+        assert tiered.size() == 3
+        assert set(tiered.keys()) == {"shared", "only-l1", "only-l2"}
+
+
+class TestKeyValueStoreCache:
+    def test_any_store_can_act_as_cache(self):
+        store = InMemoryStore()
+        cache = KeyValueStoreCache(store)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert store.get("k") == "v"  # it really lives in the store
+
+    def test_miss_and_stats(self):
+        cache = KeyValueStoreCache(InMemoryStore())
+        assert cache.get("absent") is MISS
+        cache.put("k", 1)
+        cache.get("k")
+        snap = cache.stats.snapshot()
+        assert snap.hits == 1 and snap.misses == 1
+
+    def test_fifo_bound(self):
+        cache = KeyValueStoreCache(InMemoryStore(), max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is MISS
+        assert cache.get("c") == 3
+        assert cache.stats.snapshot().evictions == 1
+
+    def test_invalid_bound(self):
+        with pytest.raises(ConfigurationError):
+            KeyValueStoreCache(InMemoryStore(), max_entries=0)
+
+    def test_close_leaves_store_open(self):
+        store = InMemoryStore()
+        KeyValueStoreCache(store).close()
+        store.put("still", "alive")

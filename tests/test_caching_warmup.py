@@ -1,0 +1,95 @@
+"""Cache warm-up persistence (save/load across 'restarts')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import (
+    MISS,
+    ExpiringCache,
+    Freshness,
+    InProcessCache,
+    load_cache,
+    save_cache,
+)
+from repro.errors import CacheError
+from repro.kv import InMemoryStore
+
+
+class TestSaveLoad:
+    def test_roundtrip_plain_values(self):
+        cache = InProcessCache()
+        cache.put("a", 1)
+        cache.put("b", {"x": [2]})
+        store = InMemoryStore()
+        assert save_cache(cache, store) == 2
+
+        fresh = InProcessCache()
+        assert load_cache(fresh, store) == 2
+        assert fresh.get("a") == 1
+        assert fresh.get("b") == {"x": [2]}
+
+    def test_ttl_survives_as_remaining_time(self):
+        expiring = ExpiringCache(InProcessCache())
+        expiring.put("k", "v", ttl=100, version="v1", now=1000.0)
+        store = InMemoryStore()
+        save_cache(expiring.cache, store, now=1040.0)  # 60s of TTL left
+
+        restored = ExpiringCache(InProcessCache())
+        load_cache(restored.cache, store, now=5000.0)  # restart much later
+        result = restored.lookup("k", now=5050.0)      # 50s after restore
+        assert result.freshness is Freshness.FRESH
+        assert result.entry.version == "v1"
+        assert restored.lookup("k", now=5070.0).freshness is Freshness.EXPIRED
+
+    def test_entries_expired_during_downtime_skipped(self):
+        expiring = ExpiringCache(InProcessCache())
+        expiring.put("dead", "v", ttl=1, now=1000.0)
+        expiring.put("alive", "v", ttl=10_000, now=1000.0)
+        store = InMemoryStore()
+        save_cache(expiring.cache, store, now=1005.0)
+
+        fresh = InProcessCache()
+        assert load_cache(fresh, store, now=2000.0) == 1
+        restored = ExpiringCache(fresh)
+        assert restored.lookup("dead", now=2000.0).freshness is Freshness.MISS
+        assert restored.lookup("alive", now=2000.0).freshness is Freshness.FRESH
+
+    def test_expired_entries_restorable_for_revalidation(self):
+        expiring = ExpiringCache(InProcessCache())
+        expiring.put("k", "stale-but-useful", ttl=1, version="v1", now=1000.0)
+        store = InMemoryStore()
+        save_cache(expiring.cache, store, now=1005.0)
+
+        fresh = InProcessCache()
+        assert load_cache(fresh, store, now=2000.0, skip_expired=False) == 1
+        restored = ExpiringCache(fresh)
+        result = restored.lookup("k", now=2000.0)
+        assert result.freshness is Freshness.EXPIRED
+        assert result.entry.version == "v1"  # still revalidatable
+
+    def test_empty_cache_snapshot(self):
+        store = InMemoryStore()
+        assert save_cache(InProcessCache(), store) == 0
+        assert load_cache(InProcessCache(), store) == 0
+
+    def test_missing_snapshot_raises(self):
+        with pytest.raises(KeyError):
+            load_cache(InProcessCache(), InMemoryStore(), "never-saved")
+
+    def test_corrupt_snapshot_raises(self):
+        store = InMemoryStore()
+        store.put("cache-snapshot", "not a snapshot")
+        with pytest.raises(CacheError):
+            load_cache(InProcessCache(), store)
+
+    def test_snapshot_into_namespaced_shared_store(self):
+        from repro.kv import NamespacedStore
+
+        backend = InMemoryStore()
+        cache = InProcessCache()
+        cache.put("k", "v")
+        save_cache(cache, NamespacedStore(backend, "snapshots"))
+        fresh = InProcessCache()
+        load_cache(fresh, NamespacedStore(backend, "snapshots"))
+        assert fresh.get("k") == "v"

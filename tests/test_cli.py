@@ -1,0 +1,186 @@
+"""CLI: store construction, bench commands, output files, error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, build_store, main, parse_sizes
+from repro.errors import DataStoreError
+from repro.kv import FileSystemStore, InMemoryStore, SimulatedCloudStore, SQLStore
+
+FAST = ["--sizes", "16,256", "--repeats", "2"]
+
+
+class TestParsing:
+    def test_parse_sizes(self):
+        assert parse_sizes("1,10,100") == (1, 10, 100)
+
+    def test_parse_sizes_rejects_garbage(self):
+        with pytest.raises(DataStoreError):
+            parse_sizes("1,banana")
+        with pytest.raises(DataStoreError):
+            parse_sizes("")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestBuildStore:
+    def parse(self, *argv):
+        return build_parser().parse_args(["bench", *argv])
+
+    def test_memory(self):
+        assert isinstance(build_store(self.parse("--store", "memory")), InMemoryStore)
+
+    def test_file_requires_path(self, tmp_path):
+        store = build_store(self.parse("--store", "file", "--path", str(tmp_path)))
+        assert isinstance(store, FileSystemStore)
+        with pytest.raises(DataStoreError):
+            build_store(self.parse("--store", "file"))
+
+    def test_sql(self, tmp_path):
+        store = build_store(
+            self.parse("--store", "sql", "--path", str(tmp_path / "cli.db"))
+        )
+        assert isinstance(store, SQLStore)
+
+    def test_cloud_with_scale(self):
+        store = build_store(self.parse("--store", "cloud1", "--time-scale", "0.01"))
+        assert isinstance(store, SimulatedCloudStore)
+        assert store.time_scale == 0.01
+
+    def test_redis_requires_port(self):
+        with pytest.raises(DataStoreError):
+            build_store(self.parse("--store", "redis"))
+
+
+class TestBenchCommand:
+    def test_bench_memory_prints_table(self, capsys):
+        assert main(["bench", "--store", "memory", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "read ms" in out
+        assert "256" in out
+
+    def test_bench_writes_dat_files(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--store", "memory", *FAST, "--output", str(tmp_path / "out")]
+        )
+        assert code == 0
+        assert (tmp_path / "out" / "memory_read.dat").exists()
+        assert (tmp_path / "out" / "memory_write.dat").exists()
+
+    def test_bench_cloud_scaled(self, capsys):
+        assert main(
+            ["bench", "--store", "cloud2", "--time-scale", "0.001", *FAST]
+        ) == 0
+        assert "cloud2" in capsys.readouterr().out
+
+    def test_bench_redis_against_live_server(self, cache_server, capsys):
+        code = main(
+            [
+                "bench", "--store", "redis",
+                "--host", cache_server.host, "--port", str(cache_server.port),
+                *FAST,
+            ]
+        )
+        assert code == 0
+        assert "redis" in capsys.readouterr().out
+
+    def test_error_returns_exit_code_2(self, capsys):
+        assert main(["bench", "--store", "file", *FAST]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCachedBenchCommand:
+    def test_inprocess_curve(self, capsys):
+        code = main(
+            ["cached-bench", "--store", "memory", "--cache", "inprocess",
+             "--hit-rates", "0,100", *FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0% ms" in out and "100% ms" in out
+
+    def test_remote_curve(self, cache_server, tmp_path, capsys):
+        code = main(
+            [
+                "cached-bench", "--store", "memory", "--cache", "remote",
+                "--cache-host", cache_server.host,
+                "--cache-port", str(cache_server.port),
+                "--output", str(tmp_path), *FAST,
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "memory_remote_curve.dat").exists()
+
+    def test_remote_requires_port(self, capsys):
+        assert main(
+            ["cached-bench", "--store", "memory", "--cache", "remote", *FAST]
+        ) == 2
+
+
+class TestServeCommand:
+    def test_serve_subprocess_round_trip(self):
+        """`python -m repro serve` starts a usable server process."""
+        import subprocess
+        import sys
+
+        from repro.net.client import CacheClient
+
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            line = process.stdout.readline()
+            assert line.startswith(b"LISTENING")
+            _token, host, port = line.decode().split()
+            client = CacheClient(host, int(port))
+            client.set(b"k", b"via-cli-server")
+            assert client.get(b"k") == b"via-cli-server"
+            client.close()
+        finally:
+            process.terminate()
+            process.wait(timeout=5)
+
+    def test_serve_parser_defaults(self):
+        options = build_parser().parse_args(["serve"])
+        assert options.backend == "cache"
+        assert options.port == 0
+
+
+class TestMixedBenchCommand:
+    def test_plain_store(self, capsys):
+        code = main(
+            ["mixed-bench", "--store", "memory", "--operations", "200",
+             "--key-space", "20", "--value-size", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_cached_reports_hit_rate(self, capsys):
+        code = main(
+            ["mixed-bench", "--store", "memory", "--cached",
+             "--operations", "200", "--key-space", "20", "--value-size", "64"]
+        )
+        assert code == 0
+        assert "cache hit rate" in capsys.readouterr().out
+
+
+class TestCodecBenchCommand:
+    @pytest.mark.parametrize("codec", ["gzip", "zlib", "lzma", "aes-gcm", "aes-cbc"])
+    def test_each_codec_runs(self, codec, capsys):
+        assert main(["codec-bench", "--codec", codec, *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "out/in" in out
+
+    def test_codec_output_files(self, tmp_path, capsys):
+        code = main(
+            ["codec-bench", "--codec", "gzip", "--output", str(tmp_path), *FAST]
+        )
+        assert code == 0
+        assert (tmp_path / "gzip_compress.dat").exists()
+        assert (tmp_path / "gzip_decompress.dat").exists()

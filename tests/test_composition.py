@@ -1,0 +1,128 @@
+"""Deep composition: the modular pieces must stack arbitrarily.
+
+The paper's architecture claim is modularity -- caches, stores, codecs, and
+wrappers compose behind small interfaces.  These tests build deliberately
+deep stacks and assert the whole tower still honours the basic contracts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import (
+    InProcessCache,
+    KeyValueStoreCache,
+    ShardedCache,
+    TieredCache,
+)
+from repro.compression import AdaptiveCompressor, GzipCompressor
+from repro.core import EnhancedDataStoreClient
+from repro.delta import DeltaStoreManager
+from repro.errors import KeyNotFoundError
+from repro.kv import (
+    FlakyStore,
+    InMemoryStore,
+    NamespacedStore,
+    ReplicatedStore,
+    RetryingStore,
+    SQLStore,
+)
+from repro.security import AesGcmEncryptor, RotatingEncryptor
+from repro.txn import TwoPhaseCommitCoordinator
+
+KEY = bytes(range(16))
+
+
+class TestStoreStacks:
+    def test_retry_over_flaky_over_namespaced_sql(self):
+        """A realistic resilient stack: retry(flaky(namespace(sql)))."""
+        backend = SQLStore(synchronous="OFF")
+        namespaced = NamespacedStore(backend, "app")
+        flaky = FlakyStore(namespaced, failure_rate=0.3, seed=11)
+        store = RetryingStore(flaky, max_attempts=12, sleep=lambda s: None)
+        for i in range(30):
+            store.put(f"k{i}", {"i": i})
+            assert store.get(f"k{i}") == {"i": i}
+        # Keys landed namespaced in the real backend.
+        assert backend.contains("app:k0")
+        assert store.retries > 0
+
+    def test_replicated_group_of_wrapped_stores(self):
+        primary = NamespacedStore(InMemoryStore(), "p")
+        replica = NamespacedStore(InMemoryStore(), "r")
+        group = ReplicatedStore(primary, [replica], owns_members=False)
+        group.put("k", "v")
+        assert replica.get("k") == "v"
+
+    def test_transactions_over_replicated_participants(self):
+        """2PC where one participant is itself a replicated group."""
+        group = ReplicatedStore(InMemoryStore("p"), [InMemoryStore("r")])
+        solo = InMemoryStore("solo")
+        coordinator = TwoPhaseCommitCoordinator(
+            InMemoryStore("log"), {"group": group, "solo": solo}
+        )
+        coordinator.execute({"group": {"g": 1}, "solo": {"s": 2}})
+        assert group.get("g") == 1
+        assert solo.get("s") == 2
+
+    def test_delta_chains_over_namespaced_store(self):
+        backend = InMemoryStore()
+        manager = DeltaStoreManager(NamespacedStore(backend, "docs"))
+        doc = {"body": "text " * 1000}
+        manager.put("d", doc)
+        manager.put("d", {**doc, "rev": 1})
+        assert manager.get("d")["rev"] == 1
+        # Chain keys stayed inside the namespace.
+        assert all(key.startswith("docs:") for key in backend.keys())
+
+
+class TestCacheStacks:
+    def test_enhanced_client_over_sharded_tiered_cache(self):
+        shards = {
+            f"s{i}": TieredCache(InProcessCache(), InProcessCache(name="l2"))
+            for i in range(3)
+        }
+        cache = ShardedCache(shards)
+        client = EnhancedDataStoreClient(InMemoryStore(), cache=cache, default_ttl=300)
+        for i in range(60):
+            client.put(f"k{i}", i)
+        for i in range(60):
+            assert client.get(f"k{i}") == i
+        assert client.counters.cache_hits == 60
+
+    def test_store_as_cache_with_pipeline_store(self):
+        """A SQL store (itself wrapped in a namespace) acting as the cache
+        for an encrypted primary."""
+        primary = InMemoryStore("primary")
+        cache_backend = NamespacedStore(SQLStore(synchronous="OFF"), "cache")
+        client = EnhancedDataStoreClient(
+            primary,
+            cache=KeyValueStoreCache(cache_backend),
+            encryptor=RotatingEncryptor({"k1": AesGcmEncryptor(KEY)}, "k1"),
+            compressor=AdaptiveCompressor(GzipCompressor()),
+            default_ttl=300,
+        )
+        client.put("doc", {"secret": "contents " * 50})
+        assert client.get("doc") == {"secret": "contents " * 50}
+        # At rest in the primary: rotating-encryptor envelope bytes.
+        at_rest = primary.get("doc")
+        assert isinstance(at_rest, bytes) and at_rest[:3] == b"RK1"
+
+    def test_full_tower_survives_key_rotation(self):
+        encryptor = RotatingEncryptor({"old": AesGcmEncryptor(KEY)}, "old")
+        store = InMemoryStore()
+        client = EnhancedDataStoreClient(store, encryptor=encryptor)
+        client.put("k", "before rotation")
+        encryptor.rotate("new", AesGcmEncryptor(bytes(range(16, 32))))
+        client.put("k2", "after rotation")
+        client.invalidate_all()  # force both reads through decryption
+        assert client.get("k") == "before rotation"
+        assert client.get("k2") == "after rotation"
+
+    def test_missing_key_error_travels_through_the_stack(self):
+        client = EnhancedDataStoreClient(
+            RetryingStore(NamespacedStore(InMemoryStore(), "ns"), sleep=lambda s: None),
+            cache=TieredCache(InProcessCache(), InProcessCache()),
+        )
+        with pytest.raises(KeyNotFoundError):
+            client.get("nowhere")

@@ -1,0 +1,101 @@
+"""Compression codecs: roundtrips, ratios, error handling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    GzipCompressor,
+    LzmaCompressor,
+    NullCompressor,
+    ZlibCompressor,
+)
+from repro.errors import CompressionError, ConfigurationError
+from repro.udsm.workload import compressible_payload, random_payload
+
+ALL = [GzipCompressor, ZlibCompressor, LzmaCompressor]
+
+
+@pytest.fixture(params=ALL)
+def compressor(request):
+    return request.param()
+
+
+class TestRoundtrips:
+    def test_basic(self, compressor):
+        data = b"hello world " * 100
+        assert compressor.decompress(compressor.compress(data)) == data
+
+    def test_empty(self, compressor):
+        assert compressor.decompress(compressor.compress(b"")) == b""
+
+    def test_binary(self, compressor):
+        data = bytes(range(256)) * 100
+        assert compressor.decompress(compressor.compress(data)) == data
+
+    @given(st.binary(max_size=8192))
+    @settings(max_examples=40, deadline=None)
+    def test_any_bytes_gzip(self, data):
+        codec = GzipCompressor()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(st.binary(max_size=8192))
+    @settings(max_examples=40, deadline=None)
+    def test_any_bytes_zlib(self, data):
+        codec = ZlibCompressor()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestRatios:
+    def test_compressible_data_shrinks(self, compressor):
+        data = compressible_payload(50_000)
+        assert compressor.ratio(data) < 0.5
+
+    def test_random_data_does_not_shrink(self, compressor):
+        data = random_payload(50_000)
+        assert compressor.ratio(data) >= 0.95
+
+    def test_ratio_of_empty_is_one(self, compressor):
+        assert compressor.ratio(b"") == 1.0
+
+    def test_levels_trade_size(self):
+        data = compressible_payload(100_000)
+        fast = len(GzipCompressor(level=1).compress(data))
+        best = len(GzipCompressor(level=9).compress(data))
+        assert best <= fast
+
+    def test_gzip_output_is_deterministic(self):
+        # mtime=0 keeps version tokens stable for equal plaintexts.
+        codec = GzipCompressor()
+        data = compressible_payload(10_000)
+        assert codec.compress(data) == codec.compress(data)
+
+
+class TestErrors:
+    def test_corrupt_input_raises(self, compressor):
+        with pytest.raises(CompressionError):
+            compressor.decompress(b"this was never compressed")
+
+    def test_truncated_stream_raises(self, compressor):
+        payload = compressor.compress(b"x" * 10_000)
+        with pytest.raises(CompressionError):
+            compressor.decompress(payload[: len(payload) // 2])
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_invalid_level_rejected(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(99)
+
+
+class TestCrossCodec:
+    def test_codecs_are_not_interchangeable(self):
+        gz = GzipCompressor().compress(b"data" * 100)
+        with pytest.raises(CompressionError):
+            LzmaCompressor().decompress(gz)
+
+    def test_null_compressor_is_identity(self):
+        null = NullCompressor()
+        assert null.compress(b"abc") == b"abc"
+        assert null.decompress(b"abc") == b"abc"

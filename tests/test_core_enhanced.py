@@ -1,0 +1,290 @@
+"""EnhancedDataStoreClient: read-through, write policies, revalidation,
+and transparent encryption/compression -- the tight integration of §III."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.caching import InProcessCache, MISS, RemoteProcessCache
+from repro.compression import GzipCompressor
+from repro.core import EnhancedDataStoreClient, WritePolicy
+from repro.errors import KeyNotFoundError
+from repro.kv import CLOUD_STORE_2, InMemoryStore, SimulatedCloudStore
+from repro.net import VirtualClock
+from repro.security import AesGcmEncryptor, generate_key
+
+
+def cloud_client(**kwargs):
+    clock = VirtualClock()
+    store = SimulatedCloudStore(CLOUD_STORE_2, clock=clock)
+    return EnhancedDataStoreClient(store, **kwargs), store, clock
+
+
+class TestReadThrough:
+    def test_miss_fetches_from_store_and_caches(self):
+        client, _store, clock = cloud_client()
+        client.origin.put("k", "origin-value")
+        assert client.get("k") == "origin-value"
+        assert client.counters.cache_misses == 1
+        cost_after_first = clock.total_slept
+        assert client.get("k") == "origin-value"
+        assert client.counters.cache_hits == 1
+        assert clock.total_slept == cost_after_first  # hit was free
+
+    def test_missing_key_raises(self):
+        client, _store, _clock = cloud_client()
+        with pytest.raises(KeyNotFoundError):
+            client.get("absent")
+
+    def test_get_or_default(self):
+        client, _store, _clock = cloud_client()
+        assert client.get_or_default("absent", "dflt") == "dflt"
+
+    def test_hit_rate_counter(self):
+        client, _store, _clock = cloud_client()
+        client.put("k", 1)
+        for _ in range(3):
+            client.get("k")
+        assert client.counters.hit_rate == pytest.approx(1.0)
+
+
+class TestWritePolicies:
+    def test_write_through_populates_cache(self):
+        client, _store, clock = cloud_client(write_policy=WritePolicy.WRITE_THROUGH)
+        client.put("k", "value")
+        cost = clock.total_slept
+        assert client.get("k") == "value"
+        assert clock.total_slept == cost  # served from cache
+        assert client.counters.cache_hits == 1
+
+    def test_write_through_entry_is_revalidatable(self):
+        client, _store, _clock = cloud_client(default_ttl=100)
+        client.put("k", "value")
+        entry = client.dscl.cache_lookup("k").entry
+        assert entry is not None and entry.version is not None
+
+    def test_invalidate_policy_drops_entry(self):
+        client, _store, _clock = cloud_client(write_policy=WritePolicy.INVALIDATE)
+        client.put("k", "v1")
+        client.get("k")  # cached now
+        client.put("k", "v2")  # invalidates
+        assert client.dscl.cache_get("k") is MISS
+        assert client.get("k") == "v2"
+
+    def test_none_policy_leaves_cache_alone(self):
+        client, _store, _clock = cloud_client(write_policy=WritePolicy.NONE)
+        client.put("k", "v1")
+        assert client.dscl.cache_get("k") is MISS
+
+    def test_stale_read_impossible_with_write_through(self):
+        client, _store, _clock = cloud_client()
+        client.put("k", "v1")
+        client.get("k")
+        client.put("k", "v2")
+        assert client.get("k") == "v2"
+
+    def test_delete_cleans_cache(self):
+        client, _store, _clock = cloud_client()
+        client.put("k", "v")
+        client.get("k")
+        assert client.delete("k")
+        assert client.dscl.cache_get("k") is MISS
+        with pytest.raises(KeyNotFoundError):
+            client.get("k")
+
+
+class TestRevalidation:
+    def test_unchanged_entry_revalidates_cheaply(self):
+        client, store, clock = cloud_client(default_ttl=0.005)
+        client.put("big", "x" * 500_000)
+        time.sleep(0.01)  # let the entry expire (wall clock, not virtual)
+        before = clock.total_slept
+        assert client.get("big") == "x" * 500_000
+        revalidation_cost = clock.total_slept - before
+        assert client.counters.revalidated_not_modified == 1
+        # Cost is one RTT, far below a 500 KB transfer.
+        full_fetch = store._read_model.delay_seconds(500_000)
+        assert revalidation_cost < full_fetch
+
+    def test_revalidation_rearms_ttl(self):
+        client, _store, _clock = cloud_client(default_ttl=0.01)
+        client.put("k", "v")
+        time.sleep(0.02)
+        client.get("k")  # revalidates
+        assert client.dscl.cache_lookup("k").freshness.value == "fresh"
+
+    def test_changed_entry_fetches_new_value(self):
+        client, _store, _clock = cloud_client(default_ttl=0.005)
+        client.put("k", "old")
+        client.origin.put("k", "new-from-elsewhere")
+        time.sleep(0.01)
+        assert client.get("k") == "new-from-elsewhere"
+        assert client.counters.revalidated_modified == 1
+
+    def test_origin_delete_detected_during_revalidation(self):
+        client, _store, _clock = cloud_client(default_ttl=0.005)
+        client.put("k", "v")
+        client.origin.delete("k")
+        time.sleep(0.01)
+        with pytest.raises(KeyNotFoundError):
+            client.get("k")
+        assert client.dscl.cache_get("k") is MISS
+
+    def test_revalidation_disabled_refetches(self):
+        client, _store, _clock = cloud_client(
+            default_ttl=0.005, revalidate_expired=False
+        )
+        client.put("k", "v")
+        time.sleep(0.01)
+        assert client.get("k") == "v"
+        assert client.counters.revalidations == 0
+        assert client.counters.cache_misses == 1
+
+
+class TestTransparentPipeline:
+    def test_encrypted_at_rest_transparent_to_app(self):
+        backend = InMemoryStore()
+        client = EnhancedDataStoreClient(
+            backend, encryptor=AesGcmEncryptor(generate_key()),
+            compressor=GzipCompressor(),
+        )
+        client.put("doc", {"secret": "payload " * 100})
+        assert client.get("doc") == {"secret": "payload " * 100}
+        at_rest = backend.get("doc")
+        assert isinstance(at_rest, bytes)
+        assert b"payload" not in at_rest
+
+    def test_cache_holds_plaintext_for_fast_hits(self):
+        client = EnhancedDataStoreClient(
+            InMemoryStore(), encryptor=AesGcmEncryptor(generate_key())
+        )
+        client.put("k", "plain")
+        cached = client.dscl.cache_lookup("k").entry
+        assert cached is not None and cached.value == "plain"
+
+
+class TestBatchedGetMany:
+    def test_mixed_hits_and_misses(self):
+        client, _store, _clock = cloud_client()
+        client.origin.put_many({f"k{i}": i for i in range(6)})
+        client.get("k0")  # cached (counts one miss + one store read)
+        misses_before = client.counters.cache_misses
+        result = client.get_many(["k0", "k1", "k2", "ghost"])
+        assert result == {"k0": 0, "k1": 1, "k2": 2}
+        assert client.counters.cache_hits == 1
+        assert client.counters.cache_misses - misses_before == 3
+
+    def test_misses_fetched_in_one_store_call(self):
+        client, _store, _clock = cloud_client()
+        client.origin.put_many({f"k{i}": i for i in range(5)})
+        client.get_many([f"k{i}" for i in range(5)])
+        assert client.counters.store_reads == 1  # one batched fetch
+
+    def test_fetched_values_are_cached(self):
+        client, _store, clock = cloud_client()
+        client.origin.put_many({"a": 1, "b": 2})
+        client.get_many(["a", "b"])
+        cost = clock.total_slept
+        assert client.get("a") == 1
+        assert clock.total_slept == cost
+
+    def test_negative_entries_from_batch(self):
+        client, _store, _clock = cloud_client(negative_ttl=60)
+        client.get_many(["ghost1", "ghost2"])
+        reads_after_batch = client.counters.store_reads
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost1")
+        assert client.counters.store_reads == reads_after_batch
+
+    def test_empty_batch(self):
+        client, _store, _clock = cloud_client()
+        assert client.get_many([]) == {}
+
+
+class TestPerPutTTL:
+    def test_put_ttl_overrides_default(self):
+        client, _store, _clock = cloud_client(default_ttl=1000)
+        client.put("short", "v", ttl=0.005)
+        client.put("long", "v")
+        time.sleep(0.01)
+        from repro.caching import Freshness
+
+        assert client.dscl.cache_lookup("short").freshness is Freshness.EXPIRED
+        assert client.dscl.cache_lookup("long").freshness is Freshness.FRESH
+
+    def test_put_ttl_none_never_expires(self):
+        client, _store, _clock = cloud_client(default_ttl=0.005)
+        client.put("forever", "v", ttl=None)
+        time.sleep(0.01)
+        from repro.caching import Freshness
+
+        assert client.dscl.cache_lookup("forever").freshness is Freshness.FRESH
+
+
+class TestNegativeCaching:
+    def test_absent_key_cached_as_negative(self):
+        client, _store, clock = cloud_client(negative_ttl=60)
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost")
+        cost = clock.total_slept
+        for _ in range(5):
+            with pytest.raises(KeyNotFoundError):
+                client.get("ghost")
+        assert clock.total_slept == cost  # no further origin round trips
+        assert client.counters.store_reads == 1
+
+    def test_negative_entry_expires(self):
+        client, _store, _clock = cloud_client(negative_ttl=0.005)
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost")
+        client.origin.put("ghost", "appeared")
+        time.sleep(0.01)
+        assert client.get("ghost") == "appeared"
+
+    def test_write_clears_negative_entry(self):
+        client, _store, _clock = cloud_client(negative_ttl=60)
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost")
+        client.put("ghost", "now exists")
+        assert client.get("ghost") == "now exists"
+
+    def test_contains_respects_negative_entry(self):
+        client, _store, clock = cloud_client(negative_ttl=60)
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost")
+        cost = clock.total_slept
+        assert not client.contains("ghost")
+        assert clock.total_slept == cost  # answered from the negative entry
+
+    def test_disabled_by_default(self):
+        client, _store, _clock = cloud_client()
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost")
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost")
+        assert client.counters.store_reads == 2
+
+
+class TestWithRemoteCache:
+    def test_remote_cache_integration(self, cache_server, cache_client):
+        cache = RemoteProcessCache(
+            cache_server.host, cache_server.port, client=cache_client, namespace="enh"
+        )
+        clock = VirtualClock()
+        store = SimulatedCloudStore(CLOUD_STORE_2, clock=clock)
+        client = EnhancedDataStoreClient(store, cache=cache)
+        client.put("k", {"via": "remote-cache"})
+        cost = clock.total_slept
+        assert client.get("k") == {"via": "remote-cache"}
+        assert clock.total_slept == cost  # no simulated WAN cost on hit
+        assert client.counters.cache_hits == 1
+        cache.clear()
+
+    def test_contains_uses_cache(self):
+        client, _store, clock = cloud_client()
+        client.put("k", "v")
+        cost = clock.total_slept
+        assert client.contains("k")
+        assert clock.total_slept == cost

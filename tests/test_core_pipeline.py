@@ -1,0 +1,127 @@
+"""ValuePipeline: stage composition, ordering, and the DSCL facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import MISS, Freshness, InProcessCache
+from repro.compression import GzipCompressor
+from repro.core import DSCL, ValuePipeline
+from repro.kv import InMemoryStore
+from repro.security import AesGcmEncryptor, generate_key
+from repro.serialization import JsonSerializer
+from repro.udsm.workload import compressible_payload
+
+KEY = generate_key()
+
+
+class TestValuePipeline:
+    def test_identity_pipeline(self):
+        pipeline = ValuePipeline()
+        assert pipeline.is_identity
+        assert pipeline.decode(pipeline.encode({"v": 1})) == {"v": 1}
+
+    def test_compress_only(self):
+        pipeline = ValuePipeline(compressor=GzipCompressor())
+        text = "repeat me " * 1000
+        encoded = pipeline.encode(text)
+        assert len(encoded) < len(text)
+        assert pipeline.decode(encoded) == text
+
+    def test_encrypt_only(self):
+        pipeline = ValuePipeline(encryptor=AesGcmEncryptor(KEY))
+        encoded = pipeline.encode("secret")
+        assert b"secret" not in encoded
+        assert pipeline.decode(encoded) == "secret"
+
+    def test_compress_before_encrypt(self):
+        """Order matters: ciphertext is incompressible, so the compressed+
+        encrypted output must be much smaller than encrypting alone."""
+        data = compressible_payload(100_000)
+        both = ValuePipeline(compressor=GzipCompressor(), encryptor=AesGcmEncryptor(KEY))
+        enc_only = ValuePipeline(encryptor=AesGcmEncryptor(KEY))
+        assert len(both.encode(data)) < len(enc_only.encode(data)) / 5
+
+    def test_full_stack_roundtrip(self):
+        pipeline = ValuePipeline(
+            serializer=JsonSerializer(),
+            compressor=GzipCompressor(),
+            encryptor=AesGcmEncryptor(KEY),
+        )
+        value = {"numbers": list(range(100)), "flag": True}
+        assert pipeline.decode(pipeline.encode(value)) == value
+
+    def test_describe_lists_stages(self):
+        pipeline = ValuePipeline(compressor=GzipCompressor(), encryptor=AesGcmEncryptor(KEY))
+        assert pipeline.describe() == "pickle|gzip|aes-gcm"
+
+    def test_encode_bytes_skips_serialization(self):
+        pipeline = ValuePipeline(compressor=GzipCompressor())
+        raw = b"raw payload " * 100
+        assert pipeline.decode_bytes(pipeline.encode_bytes(raw)) == raw
+
+
+class TestDSCLFacade:
+    def test_cache_api(self):
+        dscl = DSCL(default_ttl=100)
+        dscl.cache_put("k", "v", version="v1")
+        assert dscl.cache_get("k") == "v"
+        assert dscl.cache_lookup("k").freshness is Freshness.FRESH
+        assert dscl.cache_delete("k")
+        assert dscl.cache_get("k") is MISS
+
+    def test_refresh_after_expiry(self):
+        dscl = DSCL(cache=InProcessCache())
+        dscl.cache_put("k", "v", ttl=0.0001, version="v1")
+        import time
+
+        time.sleep(0.001)
+        assert dscl.cache_lookup("k").freshness is Freshness.EXPIRED
+        assert dscl.cache_refresh("k", ttl=100, version="v2")
+        assert dscl.cache_lookup("k").freshness is Freshness.FRESH
+
+    def test_encode_decode_value(self):
+        dscl = DSCL(compressor=GzipCompressor(), encryptor=AesGcmEncryptor(KEY))
+        payload = dscl.encode_value([1, 2, 3])
+        assert dscl.decode_value(payload) == [1, 2, 3]
+
+    def test_raw_byte_helpers(self):
+        dscl = DSCL(compressor=GzipCompressor())
+        data = b"abc" * 1000
+        assert dscl.decompress(dscl.compress(data)) == data
+        # Without an encryptor these are identity:
+        assert dscl.encrypt(data) == data
+
+    def test_byte_helpers_with_encryptor(self):
+        dscl = DSCL(encryptor=AesGcmEncryptor(KEY))
+        data = b"secret"
+        assert dscl.decrypt(dscl.encrypt(data)) == data
+        assert dscl.encrypt(data) != data
+
+    def test_value_delta_roundtrip(self):
+        dscl = DSCL()
+        old = {"text": "hello " * 500, "rev": 1}
+        new = {"text": "hello " * 500, "rev": 2}
+        delta = dscl.make_delta(old, new)
+        assert delta is not None
+        assert dscl.apply_value_delta(old, delta) == new
+
+    def test_delta_unprofitable_returns_none(self):
+        import os
+
+        dscl = DSCL()
+        assert dscl.make_delta(os.urandom(2000), os.urandom(2000)) is None
+
+    def test_wrap_store_identity_passthrough(self):
+        dscl = DSCL()
+        store = InMemoryStore()
+        assert dscl.wrap_store(store) is store
+
+    def test_wrap_store_applies_pipeline(self):
+        dscl = DSCL(encryptor=AesGcmEncryptor(KEY))
+        backend = InMemoryStore()
+        wrapped = dscl.wrap_store(backend)
+        wrapped.put("k", "plaintext")
+        assert wrapped.get("k") == "plaintext"
+        stored = backend.get("k")
+        assert isinstance(stored, bytes) and b"plaintext" not in stored

@@ -1,0 +1,284 @@
+"""Delta encoding: rolling hash, wire format, encoder, and the
+client-side chain manager."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta import (
+    CopyOp,
+    DeltaCodec,
+    DeltaStoreManager,
+    LiteralOp,
+    RollingHash,
+    apply_delta,
+    encode_delta,
+    parse_delta,
+    serialize_delta,
+)
+from repro.delta.encoder import encode_delta_ops
+from repro.errors import (
+    ConfigurationError,
+    DeltaChainBrokenError,
+    DeltaEncodingError,
+    KeyNotFoundError,
+)
+from repro.kv import InMemoryStore
+
+
+class TestRollingHash:
+    @given(st.binary(min_size=8, max_size=300))
+    @settings(max_examples=100)
+    def test_rolling_matches_direct(self, data):
+        """Property: O(1) rolling equals from-scratch hashing at every shift."""
+        window = 8
+        rolled = dict(RollingHash.all_windows(data, window))
+        for pos in range(len(data) - window + 1):
+            assert rolled[pos] == RollingHash.hash_window(data[pos : pos + window])
+
+    def test_short_input_yields_nothing(self):
+        assert list(RollingHash.all_windows(b"abc", 8)) == []
+
+    def test_prime_requires_exact_window(self):
+        with pytest.raises(ConfigurationError):
+            RollingHash(8).prime(b"short")
+
+    def test_roll_before_prime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RollingHash(4).roll(0, 1)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            RollingHash(0)
+
+    def test_distinct_windows_usually_distinct_hashes(self):
+        values = [h for _, h in RollingHash.all_windows(bytes(range(200)), 8)]
+        assert len(set(values)) == len(values)
+
+
+class TestWireFormat:
+    def test_roundtrip_mixed_ops(self):
+        ops = [CopyOp(0, 5), LiteralOp(b"xy"), CopyOp(7, 6)]
+        payload = serialize_delta(ops, base_len=13, target_len=13)
+        parsed, base_len, target_len = parse_delta(payload)
+        assert parsed == ops
+        assert (base_len, target_len) == (13, 13)
+
+    def test_large_varints(self):
+        ops = [CopyOp(2**40, 2**33)]
+        parsed, _, _ = parse_delta(serialize_delta(ops, base_len=2**50, target_len=1))
+        assert parsed == ops
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(DeltaEncodingError):
+            parse_delta(b"NOPE rest")
+
+    def test_truncated_literal_rejected(self):
+        payload = serialize_delta([LiteralOp(b"abcdef")], base_len=0, target_len=6)
+        with pytest.raises(DeltaEncodingError):
+            parse_delta(payload[:-3])
+
+    def test_unknown_op_byte_rejected(self):
+        payload = serialize_delta([], base_len=0, target_len=0) + b"\xff"
+        with pytest.raises(DeltaEncodingError):
+            parse_delta(payload)
+
+    def test_invalid_ops_rejected_at_construction(self):
+        with pytest.raises(DeltaEncodingError):
+            CopyOp(-1, 5)
+        with pytest.raises(DeltaEncodingError):
+            CopyOp(0, 0)
+        with pytest.raises(DeltaEncodingError):
+            LiteralOp(b"")
+
+    def test_encoded_size_matches_reality(self):
+        op = CopyOp(300, 1000)
+        payload = serialize_delta([op], base_len=2000, target_len=1000)
+        header = serialize_delta([], base_len=2000, target_len=1000)
+        assert len(payload) - len(header) == op.encoded_size
+
+
+class TestEncoder:
+    @given(st.binary(max_size=2000), st.binary(max_size=2000))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_any_pair(self, base, target):
+        """Property: apply(base, encode(base, target)) == target, always."""
+        delta = encode_delta(base, target, window_size=8)
+        assert apply_delta(base, delta) == target
+
+    @given(st.binary(min_size=100, max_size=2000), st.integers(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_identical_versions_give_tiny_delta(self, data, window):
+        delta = encode_delta(data, data, window_size=max(2, window))
+        assert apply_delta(data, delta) == data
+        assert len(delta) < 40  # one copy op + header
+
+    def test_sparse_change_gives_small_delta(self):
+        base = os.urandom(100_000)
+        target = bytearray(base)
+        target[50_000] ^= 0xFF
+        delta = encode_delta(base, bytes(target))
+        assert len(delta) < 200
+        assert apply_delta(base, delta) == bytes(target)
+
+    def test_paper_figure8_array_example(self):
+        """Figure 8: an array with two changed elements -> tiny delta."""
+        base = b"".join(i.to_bytes(4, "big") for i in range(1000))
+        changed = bytearray(base)
+        changed[20:28] = b"\xde\xad\xbe\xef\xca\xfe\xba\xbe"
+        delta = encode_delta(base, bytes(changed))
+        assert apply_delta(base, delta) == bytes(changed)
+        assert len(delta) < 64
+
+    def test_unrelated_data_falls_back_to_literal(self):
+        base, target = os.urandom(1000), os.urandom(1000)
+        ops = encode_delta_ops(base, target, window_size=16)
+        assert all(isinstance(op, LiteralOp) for op in ops)
+
+    def test_short_inputs_are_pure_literal(self):
+        ops = encode_delta_ops(b"abc", b"abcd", window_size=16)
+        assert ops == [LiteralOp(b"abcd")]
+
+    def test_empty_target(self):
+        assert apply_delta(b"base", encode_delta(b"base", b"")) == b""
+
+    def test_empty_base(self):
+        assert apply_delta(b"", encode_delta(b"", b"target")) == b"target"
+
+    def test_no_match_shorter_than_window(self):
+        """The paper's WINDOW_SIZE rule: short matches are not encoded."""
+        base = b"0123456789"
+        target = b"ABC0123DEF"  # shares a 4-byte run only
+        ops = encode_delta_ops(base, target, window_size=5)
+        assert all(isinstance(op, LiteralOp) for op in ops)
+
+    def test_match_extends_backwards_into_literal(self):
+        base = b"A" * 64
+        target = b"xyz" + b"A" * 64
+        ops = encode_delta_ops(base, target, window_size=16)
+        copies = [op for op in ops if isinstance(op, CopyOp)]
+        assert copies and max(op.length for op in copies) == 64
+
+    def test_wrong_base_rejected(self):
+        delta = encode_delta(b"base-one", b"target")
+        with pytest.raises(DeltaEncodingError):
+            apply_delta(b"a different base!", delta)
+
+    def test_copy_out_of_range_rejected(self):
+        payload = serialize_delta([CopyOp(10, 100)], base_len=4, target_len=100)
+        with pytest.raises(DeltaEncodingError):
+            apply_delta(b"base", payload)
+
+
+class TestDeltaCodec:
+    def test_profitability_check(self):
+        codec = DeltaCodec()
+        base = os.urandom(5000)
+        similar = base[:-10] + os.urandom(10)
+        assert codec.encode_if_profitable(base, similar) is not None
+        assert codec.encode_if_profitable(base, os.urandom(5000)) is None
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeltaCodec(0)
+
+
+class TestDeltaStoreManager:
+    def make(self, **kwargs):
+        store = InMemoryStore()
+        return store, DeltaStoreManager(store, **kwargs)
+
+    def test_first_put_is_full_write(self):
+        _store, mgr = self.make()
+        assert mgr.put("doc", {"rev": 0}) is False
+        assert mgr.get("doc") == {"rev": 0}
+
+    def test_similar_update_goes_as_delta(self):
+        _store, mgr = self.make()
+        doc = {"body": "text " * 500, "rev": 0}
+        mgr.put("doc", doc)
+        assert mgr.put("doc", {**doc, "rev": 1}) is True
+        assert mgr.get("doc")["rev"] == 1
+        assert mgr.outstanding_deltas("doc") == 1
+
+    def test_consolidation_after_limit(self):
+        _store, mgr = self.make(consolidate_after=2)
+        doc = {"body": "text " * 500}
+        mgr.put("doc", doc)
+        assert mgr.put("doc", {**doc, "rev": 1}) is True
+        assert mgr.put("doc", {**doc, "rev": 2}) is True
+        assert mgr.put("doc", {**doc, "rev": 3}) is False  # chain full -> full write
+        assert mgr.outstanding_deltas("doc") == 0
+        assert mgr.get("doc")["rev"] == 3
+
+    def test_consolidation_deletes_chain_keys(self):
+        store, mgr = self.make(consolidate_after=1)
+        doc = {"body": "x" * 3000}
+        mgr.put("doc", doc)
+        mgr.put("doc", {**doc, "rev": 1})
+        mgr.put("doc", {**doc, "rev": 2})
+        chain_keys = [k for k in store.keys() if "##delta." in k]
+        assert chain_keys == []
+
+    def test_explicit_consolidate(self):
+        _store, mgr = self.make()
+        doc = {"body": "y" * 3000}
+        mgr.put("doc", doc)
+        mgr.put("doc", {**doc, "rev": 1})
+        mgr.consolidate("doc")
+        assert mgr.outstanding_deltas("doc") == 0
+        assert mgr.get("doc")["rev"] == 1
+
+    def test_unrelated_update_falls_back_to_full(self):
+        _store, mgr = self.make()
+        mgr.put("doc", os.urandom(4000))
+        assert mgr.put("doc", os.urandom(4000)) is False
+
+    def test_delta_writes_save_bytes(self):
+        _store, mgr = self.make(consolidate_after=10)
+        doc = {"body": "word " * 2000}
+        mgr.put("doc", doc)
+        baseline = mgr.bytes_written
+        mgr.put("doc", {**doc, "tag": 1})
+        assert mgr.bytes_written - baseline < baseline / 5
+
+    def test_reads_pay_chain_amplification(self):
+        """The paper's caveat: server-less deltas make reads heavier."""
+        _store, mgr = self.make(consolidate_after=10)
+        doc = {"body": "word " * 2000}
+        mgr.put("doc", doc)
+        mgr.get("doc")
+        single_read = mgr.bytes_read
+        mgr.put("doc", {**doc, "tag": 1})
+        mgr.bytes_read = 0
+        mgr.get("doc")
+        assert mgr.bytes_read > single_read  # base + delta + recon reads
+
+    def test_broken_chain_detected(self):
+        store, mgr = self.make()
+        doc = {"body": "z" * 3000}
+        mgr.put("doc", doc)
+        mgr.put("doc", {**doc, "rev": 1})
+        for key in list(store.keys()):
+            if "##delta." in key:
+                store.delete(key)
+        with pytest.raises(DeltaChainBrokenError):
+            mgr.get("doc")
+
+    def test_delete_cleans_everything(self):
+        store, mgr = self.make()
+        doc = {"body": "q" * 3000}
+        mgr.put("doc", doc)
+        mgr.put("doc", {**doc, "rev": 1})
+        assert mgr.delete("doc")
+        assert list(store.keys()) == []
+        with pytest.raises(KeyNotFoundError):
+            mgr.get("doc")
+
+    def test_invalid_consolidate_after(self):
+        with pytest.raises(ValueError):
+            DeltaStoreManager(InMemoryStore(), consolidate_after=0)

@@ -1,0 +1,96 @@
+"""Enhanced client correctness over EVERY (store, cache) combination.
+
+Figures 11-19 of the paper are exactly this matrix; these tests assert the
+behavioural contract (not performance) holds on every cell: read-through,
+write-through visibility, invalidation, deletion, and revalidation must be
+indistinguishable across backends and cache types.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import InProcessCache, KeyValueStoreCache, RemoteProcessCache, TieredCache
+from repro.core import EnhancedDataStoreClient
+from repro.errors import KeyNotFoundError
+from repro.kv import InMemoryStore
+
+STORES = ["memory", "file", "sql", "cloud", "remote"]
+CACHES = ["inprocess", "remote", "tiered", "kvadapter"]
+
+
+@pytest.fixture(params=STORES)
+def matrix_store(request):
+    return request.getfixturevalue(f"{request.param}_store")
+
+
+@pytest.fixture(params=CACHES)
+def matrix_cache(request, cache_server, cache_client):
+    if request.param == "inprocess":
+        yield InProcessCache()
+    elif request.param == "remote":
+        cache = RemoteProcessCache(
+            cache_server.host, cache_server.port, client=cache_client,
+            namespace=f"matrix-{id(request)}",
+        )
+        yield cache
+        cache.clear()
+    elif request.param == "tiered":
+        yield TieredCache(InProcessCache(), InProcessCache(name="l2"))
+    else:
+        yield KeyValueStoreCache(InMemoryStore())
+
+
+@pytest.fixture()
+def client(matrix_store, matrix_cache):
+    return EnhancedDataStoreClient(matrix_store, cache=matrix_cache, default_ttl=300)
+
+
+class TestMatrix:
+    def test_write_then_read(self, client):
+        client.put("k", {"payload": [1, 2, 3]})
+        assert client.get("k") == {"payload": [1, 2, 3]}
+
+    def test_second_read_is_a_hit(self, client):
+        client.origin.put("k", "from-origin")
+        client.get("k")
+        client.get("k")
+        assert client.counters.cache_hits >= 1
+
+    def test_overwrite_visible_immediately(self, client):
+        client.put("k", "v1")
+        client.get("k")
+        client.put("k", "v2")
+        assert client.get("k") == "v2"
+
+    def test_delete_removes_everywhere(self, client):
+        client.put("k", "v")
+        client.get("k")
+        assert client.delete("k")
+        with pytest.raises(KeyNotFoundError):
+            client.get("k")
+        assert not client.origin.contains("k")
+
+    def test_invalidate_forces_refetch(self, client):
+        client.put("k", "v1")
+        client.origin.put("k", "v2-behind-the-caches-back")
+        client.invalidate("k")
+        assert client.get("k") == "v2-behind-the-caches-back"
+
+    def test_get_many_mixed(self, client):
+        client.put("a", 1)
+        client.origin.put("b", 2)
+        result = client.get_many(["a", "b", "ghost"])
+        assert result == {"a": 1, "b": 2}
+        # Batch-fetched values are cached for subsequent single gets.
+        hits_before = client.counters.cache_hits
+        assert client.get("b") == 2
+        assert client.counters.cache_hits == hits_before + 1
+
+    def test_counters_consistent(self, client):
+        client.put("a", 1)
+        client.get("a")
+        client.get_or_default("ghost")
+        counters = client.counters
+        assert counters.reads == counters.cache_hits + counters.cache_misses
+        assert counters.store_writes == 1

@@ -1,0 +1,191 @@
+"""End-to-end scenarios exercising several subsystems together."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.caching import InProcessCache, RemoteProcessCache, TieredCache
+from repro.compression import GzipCompressor
+from repro.core import EnhancedDataStoreClient, WritePolicy
+from repro.delta import DeltaStoreManager
+from repro.errors import KeyNotFoundError, StoreConnectionError
+from repro.kv import (
+    CLOUD_STORE_1,
+    CLOUD_STORE_2,
+    FileSystemStore,
+    InMemoryStore,
+    RemoteKeyValueStore,
+    SimulatedCloudStore,
+    SQLStore,
+)
+from repro.net import ServerHandle, VirtualClock
+from repro.security import AesGcmEncryptor, generate_key
+from repro.udsm import UniversalDataStoreManager, WorkloadGenerator
+
+
+class TestPaperScenario:
+    """The paper's full configuration: a UDSM with five heterogeneous stores
+    plus caching, encryption, compression, async access, and monitoring."""
+
+    def test_five_store_udsm(self, tmp_path, cache_server):
+        clock = VirtualClock()
+        with UniversalDataStoreManager(pool_size=4) as udsm:
+            udsm.register("file", FileSystemStore(tmp_path / "fs"))
+            udsm.register("sql", SQLStore(synchronous="OFF"))
+            udsm.register("cloud1", SimulatedCloudStore(CLOUD_STORE_1, clock=clock))
+            udsm.register("cloud2", SimulatedCloudStore(CLOUD_STORE_2, clock=clock))
+            udsm.register(
+                "redis", RemoteKeyValueStore(cache_server.host, cache_server.port)
+            )
+
+            # One piece of code works against every store.
+            for name in udsm.store_names():
+                store = udsm.store(name)
+                store.put("shared-key", {"store": name})
+                assert store.get("shared-key")["store"] == name
+
+            # Monitoring saw every store.
+            report = udsm.report()
+            for name in ("file", "sql", "cloud1", "cloud2", "redis"):
+                assert name in report
+
+            # Async works against every store.
+            futures = [udsm.async_store(name).get("shared-key") for name in udsm]
+            values = [f.result(timeout=5) for f in futures]
+            assert len(values) == 5
+
+            udsm.raw_store("redis").clear()
+
+    def test_monitoring_persisted_to_another_store(self, tmp_path):
+        with UniversalDataStoreManager(pool_size=2) as udsm:
+            udsm.register("data", InMemoryStore())
+            udsm.register("metrics", FileSystemStore(tmp_path / "metrics"))
+            udsm.store("data").put("k", 1)
+            udsm.store("data").get("k")
+            udsm.persist_metrics("metrics")
+
+            # A later session restores history from disk.
+            with UniversalDataStoreManager(pool_size=1) as later:
+                later.register("metrics", FileSystemStore(tmp_path / "metrics"))
+                later.restore_metrics("metrics")
+                assert later.monitor.stats_for("data", "get").count == 1
+
+
+class TestSecureCachedCloudClient:
+    """Encryption + compression + two-level caching over a slow cloud store."""
+
+    def test_full_stack(self, cache_server, cache_client):
+        clock = VirtualClock()
+        cloud = SimulatedCloudStore(CLOUD_STORE_1, clock=clock)
+        remote = RemoteProcessCache(
+            cache_server.host, cache_server.port, client=cache_client, namespace="fullstack"
+        )
+        tiered = TieredCache(InProcessCache(max_entries=128), remote)
+        client = EnhancedDataStoreClient(
+            cloud,
+            cache=tiered,
+            default_ttl=300,
+            encryptor=AesGcmEncryptor(generate_key()),
+            compressor=GzipCompressor(),
+        )
+        document = {"body": "confidential " * 200, "id": 7}
+        client.put("doc", document)
+
+        # At rest in the cloud: encrypted, compressed bytes.
+        at_rest = cloud.native().get("doc")
+        assert isinstance(at_rest, bytes)
+        assert b"confidential" not in at_rest
+        assert len(at_rest) < len("confidential " * 200)
+
+        # Reads come from L1 with zero simulated WAN time.
+        cost = clock.total_slept
+        assert client.get("doc") == document
+        assert clock.total_slept == cost
+
+        # After the process "restarts" (L1 gone), L2 still serves it.
+        tiered.l1.clear()
+        assert client.get("doc") == document
+        assert clock.total_slept == cost
+        remote.clear()
+
+
+class TestDeltaOverCloud:
+    def test_delta_updates_cut_simulated_transfer(self):
+        clock = VirtualClock()
+        cloud = SimulatedCloudStore(CLOUD_STORE_2, clock=clock)
+        manager = DeltaStoreManager(cloud, consolidate_after=8)
+        document = {"text": "paragraph " * 2000}
+        manager.put("doc", document)
+        baseline_bytes = manager.bytes_written
+
+        manager.put("doc", {**document, "edit": 1})
+        delta_bytes = manager.bytes_written - baseline_bytes
+        assert delta_bytes < baseline_bytes / 10
+        assert manager.get("doc")["edit"] == 1
+
+
+class TestConcurrentClients:
+    def test_shared_remote_cache_across_threads(self, cache_server):
+        """The paper's remote-cache selling point: shared by many clients."""
+        errors = []
+
+        def client_thread(thread_id):
+            try:
+                cache = RemoteProcessCache(
+                    cache_server.host, cache_server.port, namespace="shared"
+                )
+                store = InMemoryStore()
+                client = EnhancedDataStoreClient(store, cache=cache)
+                for i in range(20):
+                    client.put(f"t{thread_id}-k{i}", i)
+                    assert client.get(f"t{thread_id}-k{i}") == i
+                cache.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client_thread, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_async_writes_complete_under_contention(self):
+        with UniversalDataStoreManager(pool_size=8) as udsm:
+            udsm.register("sql", SQLStore(synchronous="OFF"))
+            async_store = udsm.async_store("sql")
+            futures = async_store.put_all({f"k{i}": i for i in range(200)})
+            for f in futures:
+                f.result(timeout=10)
+            assert udsm.store("sql").size() == 200
+
+
+class TestFailureRecovery:
+    def test_cache_server_death_and_recovery(self):
+        handle = ServerHandle.spawn_process()
+        store = RemoteKeyValueStore(handle.host, handle.port)
+        store.put("k", "v")
+        assert store.get("k") == "v"
+        handle.stop()
+        with pytest.raises(StoreConnectionError):
+            store.get("k")
+        store.close()
+
+    def test_workload_generator_on_live_udsm(self):
+        with UniversalDataStoreManager(pool_size=2) as udsm:
+            udsm.register("mem", InMemoryStore("mem"))
+            generator = WorkloadGenerator(sizes=(32, 512), repeats=2)
+            results = generator.compare_stores([udsm.raw_store("mem")])
+            assert "mem" in results
+
+    def test_expired_cache_with_dead_origin_raises_cleanly(self):
+        store = InMemoryStore()
+        client = EnhancedDataStoreClient(store, default_ttl=0.005)
+        client.put("k", "v")
+        store.delete("k")  # origin loses the key behind the cache's back
+        time.sleep(0.01)
+        with pytest.raises(KeyNotFoundError):
+            client.get("k")

@@ -1,0 +1,118 @@
+"""SimulatedCloudStore: latency accounting, profiles, cheap revalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kv import (
+    CLOUD_STORE_1,
+    CLOUD_STORE_2,
+    NOT_MODIFIED,
+    CloudStoreProfile,
+    SimulatedCloudStore,
+)
+from repro.net import VirtualClock
+
+
+def make_store(profile=CLOUD_STORE_2, **kwargs):
+    clock = VirtualClock()
+    store = SimulatedCloudStore(profile, clock=clock, **kwargs)
+    return store, clock
+
+
+class TestLatencyAccounting:
+    def test_reads_charge_simulated_time(self):
+        store, clock = make_store()
+        store.put("k", b"x" * 1000)
+        after_put = clock.total_slept
+        assert after_put > 0
+        store.get("k")
+        assert clock.total_slept > after_put
+
+    def test_larger_objects_take_longer(self):
+        deterministic = CloudStoreProfile("det", 10.0, 10.0, 10.0, jitter_sigma=0.0)
+        store, clock = make_store(deterministic)
+        store.put("small", b"x")
+        small_cost = clock.total_slept
+        store2, clock2 = make_store(deterministic)
+        store2.put("large", b"x" * 1_000_000)
+        assert clock2.total_slept > small_cost * 5
+
+    def test_writes_slower_than_reads(self):
+        deterministic = CloudStoreProfile("det", 10.0, 30.0, 100.0, jitter_sigma=0.0)
+        store, clock = make_store(deterministic)
+        store.put("k", b"payload")
+        write_cost = clock.total_slept
+        store.get("k")
+        read_cost = clock.total_slept - write_cost
+        assert write_cost > read_cost
+
+    def test_cloud1_slower_and_more_variable_than_cloud2(self):
+        # The paper's headline observation about the two cloud stores.
+        assert CLOUD_STORE_1.read_rtt_ms > CLOUD_STORE_2.read_rtt_ms
+        assert CLOUD_STORE_1.jitter_sigma > CLOUD_STORE_2.jitter_sigma
+
+    def test_time_scale_shrinks_delays(self):
+        deterministic = CloudStoreProfile("det", 100.0, 100.0, 100.0, jitter_sigma=0.0)
+        full, full_clock = make_store(deterministic, time_scale=1.0)
+        scaled, scaled_clock = make_store(deterministic, time_scale=0.1)
+        full.put("k", b"x" * 1000)
+        scaled.put("k", b"x" * 1000)
+        assert scaled_clock.total_slept == pytest.approx(full_clock.total_slept * 0.1)
+
+    def test_simulated_seconds_counter_matches_clock(self):
+        store, clock = make_store()
+        store.put("k", b"data")
+        store.get("k")
+        assert store.simulated_seconds == pytest.approx(clock.total_slept)
+
+
+class TestConditionalGet:
+    def test_not_modified_transfers_no_payload(self):
+        deterministic = CloudStoreProfile("det", 10.0, 10.0, 1.0, jitter_sigma=0.0)
+        store, clock = make_store(deterministic)
+        store.put("k", b"x" * 1_000_000)
+        _, version = store.get_with_version("k")
+        before = clock.total_slept
+        full_get_cost = None
+        store.get("k")
+        full_get_cost = clock.total_slept - before
+        before = clock.total_slept
+        assert store.get_if_modified("k", version) is NOT_MODIFIED
+        revalidate_cost = clock.total_slept - before
+        # Revalidation costs one RTT; a full get also pays the transfer.
+        assert revalidate_cost < full_get_cost / 10
+
+    def test_modified_returns_fresh_value(self):
+        store, _clock = make_store()
+        store.put("k", b"old")
+        _, version = store.get_with_version("k")
+        store.put("k", b"new")
+        value, new_version = store.get_if_modified("k", version)
+        assert value == b"new"
+        assert new_version != version
+
+
+class TestDeterminism:
+    def test_same_seed_same_delays(self):
+        a, clock_a = make_store(CLOUD_STORE_1)
+        b, clock_b = make_store(CLOUD_STORE_1)
+        for store in (a, b):
+            store.put("k", b"x" * 100)
+            store.get("k")
+        assert clock_a.total_slept == pytest.approx(clock_b.total_slept)
+
+    def test_jitter_produces_variability(self):
+        store, _clock = make_store(CLOUD_STORE_1)
+        store.put("k", b"x" * 100)
+        costs = []
+        for _ in range(10):
+            before = store.simulated_seconds
+            store.get("k")
+            costs.append(store.simulated_seconds - before)
+        assert len(set(round(c, 9) for c in costs)) > 1
+
+    def test_native_exposes_backing_store(self):
+        store, _clock = make_store()
+        store.put("k", b"v")
+        assert store.native().contains("k")

@@ -1,0 +1,72 @@
+"""InMemoryStore specifics: serializer modes, closing, raw payload access."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KeyNotFoundError, SerializationError, StoreClosedError
+from repro.kv import InMemoryStore
+from repro.serialization import JsonSerializer
+
+
+class TestSerializerModes:
+    def test_reference_mode_shares_objects(self):
+        store = InMemoryStore(serializer=None)
+        value = {"a": [1]}
+        store.put("k", value)
+        value["a"].append(2)
+        # Reference mode deliberately aliases (documented trade-off).
+        assert store.get("k") == {"a": [1, 2]}
+
+    def test_reference_mode_versions_bump_per_put(self):
+        store = InMemoryStore(serializer=None)
+        store.put("k", 1)
+        _, v1 = store.get_with_version("k")
+        store.put("k", 1)
+        _, v2 = store.get_with_version("k")
+        # No content to hash; every write is a new revision.
+        assert v1 != v2
+
+    def test_custom_serializer_restricts_domain(self):
+        store = InMemoryStore(serializer=JsonSerializer())
+        store.put("k", {"x": 1})
+        assert store.get("k") == {"x": 1}
+        with pytest.raises(SerializationError):
+            store.put("bad", object())
+
+    def test_stored_bytes_exposes_payload(self):
+        store = InMemoryStore()
+        store.put("k", b"raw")
+        assert isinstance(store.stored_bytes("k"), bytes)
+        with pytest.raises(KeyNotFoundError):
+            store.stored_bytes("absent")
+
+
+class TestLifecycle:
+    def test_operations_after_close_raise(self):
+        store = InMemoryStore()
+        store.put("k", 1)
+        store.close()
+        for operation in (
+            lambda: store.get("k"),
+            lambda: store.put("k", 2),
+            lambda: store.delete("k"),
+            lambda: store.size(),
+            lambda: list(store.keys()),
+        ):
+            with pytest.raises(StoreClosedError):
+                operation()
+
+    def test_close_is_idempotent(self):
+        store = InMemoryStore()
+        store.close()
+        store.close()
+
+    def test_context_manager_closes(self):
+        with InMemoryStore() as store:
+            store.put("k", 1)
+        with pytest.raises(StoreClosedError):
+            store.get("k")
+
+    def test_repr_mentions_name(self):
+        assert "memory" in repr(InMemoryStore())

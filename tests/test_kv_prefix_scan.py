@@ -1,0 +1,57 @@
+"""Prefix key scans across backends (incl. the indexed SQL override)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kv import InMemoryStore, NamespacedStore, SQLStore
+
+
+@pytest.fixture(params=["memory", "file", "sql", "cloud", "remote"])
+def scan_store(request):
+    return request.getfixturevalue(f"{request.param}_store")
+
+
+class TestPrefixScanContract:
+    def test_prefix_filters_keys(self, scan_store):
+        for key in ("user:1", "user:2", "order:1", "u", "users"):
+            scan_store.put(key, key)
+        assert set(scan_store.keys_with_prefix("user:")) == {"user:1", "user:2"}
+        assert set(scan_store.keys_with_prefix("u")) == {"user:1", "user:2", "u", "users"}
+        assert set(scan_store.keys_with_prefix("ghost")) == set()
+
+    def test_empty_prefix_lists_everything(self, scan_store):
+        scan_store.put_many({"a": 1, "b": 2})
+        assert set(scan_store.keys_with_prefix("")) == {"a", "b"}
+
+
+class TestSQLPrefixScan:
+    def test_like_wildcards_are_escaped(self, sql_store):
+        sql_store.put_many({"a%b": 1, "axb": 2, "a_b": 3, "aXb": 4, "a\\b": 5})
+        assert set(sql_store.keys_with_prefix("a%")) == {"a%b"}
+        assert set(sql_store.keys_with_prefix("a_")) == {"a_b"}
+        assert set(sql_store.keys_with_prefix("a\\")) == {"a\\b"}
+
+    def test_matches_default_implementation(self, sql_store):
+        keys = [f"ns{i % 3}:item{i}" for i in range(30)]
+        sql_store.put_many({key: key for key in keys})
+        indexed = set(sql_store.keys_with_prefix("ns1:"))
+        filtered = {key for key in sql_store.keys() if key.startswith("ns1:")}
+        assert indexed == filtered
+
+
+class TestNamespacedPrefixScan:
+    def test_namespace_composes_with_prefix(self):
+        backend = SQLStore(synchronous="OFF")
+        ns = NamespacedStore(backend, "app")
+        other = NamespacedStore(backend, "other")
+        ns.put_many({"user:1": 1, "user:2": 2, "order:1": 3})
+        other.put("user:9", 9)
+        assert set(ns.keys_with_prefix("user:")) == {"user:1", "user:2"}
+
+    def test_namespace_keys_use_prefix_scan(self):
+        backend = InMemoryStore()
+        ns = NamespacedStore(backend, "ns")
+        ns.put("k", 1)
+        backend.put("unrelated", 2)
+        assert list(ns.keys()) == ["k"]

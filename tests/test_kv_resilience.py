@@ -1,0 +1,305 @@
+"""Failure injection, retries with backoff, and replicated stores."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    KeyNotFoundError,
+    StoreConnectionError,
+)
+from repro.kv import FlakyStore, InMemoryStore, ReplicatedStore, RetryingStore
+
+
+class TestFlakyStore:
+    def test_injects_failures_at_configured_rate(self):
+        flaky = FlakyStore(InMemoryStore(), failure_rate=0.5, seed=1)
+        failures = 0
+        for i in range(200):
+            try:
+                flaky.put(f"k{i}", i)
+            except StoreConnectionError:
+                failures += 1
+        assert 60 < failures < 140
+        assert flaky.injected_failures == failures
+
+    def test_zero_rate_never_fails(self):
+        flaky = FlakyStore(InMemoryStore(), failure_rate=0.0)
+        for i in range(50):
+            flaky.put(f"k{i}", i)
+        assert flaky.injected_failures == 0
+
+    def test_rate_one_always_fails(self):
+        flaky = FlakyStore(InMemoryStore(), failure_rate=1.0)
+        with pytest.raises(StoreConnectionError):
+            flaky.get("k")
+
+    def test_fail_before_leaves_store_untouched(self):
+        inner = InMemoryStore()
+        flaky = FlakyStore(inner, failure_rate=1.0)
+        with pytest.raises(StoreConnectionError):
+            flaky.put("k", 1)
+        assert not inner.contains("k")
+
+    def test_fail_after_applies_then_raises(self):
+        """The 'did my write land?' failure mode."""
+        inner = InMemoryStore()
+        flaky = FlakyStore(inner, failure_rate=1.0, fail_after=True)
+        with pytest.raises(StoreConnectionError):
+            flaky.put("k", 1)
+        assert inner.get("k") == 1  # it DID land
+
+    def test_custom_error_factory(self):
+        flaky = FlakyStore(
+            InMemoryStore(), failure_rate=1.0, error_factory=lambda: TimeoutError("slow")
+        )
+        with pytest.raises(TimeoutError):
+            flaky.get("k")
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            flaky = FlakyStore(InMemoryStore(), failure_rate=0.3, seed=seed)
+            outcomes = []
+            for i in range(50):
+                try:
+                    flaky.put(f"k{i}", i)
+                    outcomes.append(True)
+                except StoreConnectionError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            FlakyStore(InMemoryStore(), failure_rate=1.5)
+
+
+class TestRetryingStore:
+    def test_retries_until_success(self):
+        sleeps = []
+        flaky = FlakyStore(InMemoryStore(), failure_rate=0.4, seed=3)
+        store = RetryingStore(flaky, max_attempts=15, sleep=sleeps.append, seed=0)
+        for i in range(50):
+            store.put(f"k{i}", i)
+            assert store.get(f"k{i}") == i
+        assert store.retries > 0
+        assert len(sleeps) == store.retries
+
+    def test_gives_up_after_max_attempts(self):
+        flaky = FlakyStore(InMemoryStore(), failure_rate=1.0)
+        store = RetryingStore(flaky, max_attempts=3, sleep=lambda s: None)
+        with pytest.raises(StoreConnectionError):
+            store.get("k")
+        assert store.retries == 2  # 3 attempts = 2 retries
+
+    def test_semantic_errors_not_retried(self):
+        store = RetryingStore(InMemoryStore(), max_attempts=5, sleep=lambda s: None)
+        with pytest.raises(KeyNotFoundError):
+            store.get("absent")
+        assert store.retries == 0
+
+    def test_backoff_grows_and_is_capped(self):
+        sleeps: list[float] = []
+        flaky = FlakyStore(InMemoryStore(), failure_rate=1.0)
+        store = RetryingStore(
+            flaky, max_attempts=6, base_delay=0.1, max_delay=0.4,
+            sleep=sleeps.append, seed=1,
+        )
+        with pytest.raises(StoreConnectionError):
+            store.get("k")
+        assert len(sleeps) == 5
+        # Full jitter: each sleep within [0, min(max_delay, base*2^n)]
+        ceilings = [0.1, 0.2, 0.4, 0.4, 0.4]
+        for actual, ceiling in zip(sleeps, ceilings):
+            assert 0 <= actual <= ceiling
+
+    def test_custom_retry_on(self):
+        class Transient(Exception):
+            pass
+
+        attempts = []
+
+        class Erratic(InMemoryStore):
+            def get(self, key):
+                attempts.append(1)
+                if len(attempts) < 3:
+                    raise Transient()
+                return super().get(key)
+
+        inner = Erratic()
+        inner.put("k", "v")
+        store = RetryingStore(
+            inner, max_attempts=5, retry_on=(Transient,), sleep=lambda s: None
+        )
+        assert store.get("k") == "v"
+        assert len(attempts) == 3
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            RetryingStore(InMemoryStore(), max_attempts=0)
+
+
+class TestReplicatedStore:
+    def make(self, replica_count=2, **kwargs):
+        primary = InMemoryStore("primary")
+        replicas = [InMemoryStore(f"replica{i}") for i in range(replica_count)]
+        return ReplicatedStore(primary, replicas, **kwargs), primary, replicas
+
+    def test_writes_reach_everyone(self):
+        store, primary, replicas = self.make()
+        store.put("k", "v")
+        assert primary.get("k") == "v"
+        for replica in replicas:
+            assert replica.get("k") == "v"
+
+    def test_read_fails_over_to_replica(self):
+        store, primary, replicas = self.make()
+        store.put("k", "v")
+        primary.close()  # primary outage
+        assert store.get("k") == "v"
+        assert store.failover_reads == 1
+
+    def test_replica_write_failure_tolerated(self):
+        primary = InMemoryStore("primary")
+        dead = InMemoryStore("dead")
+        dead.close()
+        store = ReplicatedStore(primary, [dead])
+        store.put("k", "v")  # no exception
+        assert store.replica_write_failures == 1
+        assert store.get("k") == "v"
+
+    def test_read_repair_fixes_members_tried_before_the_server(self):
+        store, primary, replicas = self.make(1)
+        # The replica has the value; the primary missed the write.
+        replicas[0].put("k", "v")
+        assert store.get("k") == "v"
+        assert primary.get("k") == "v"  # read-repaired
+        assert store.repairs == 1
+
+    def test_read_repair_can_be_disabled(self):
+        store, primary, replicas = self.make(1, read_repair=False)
+        replicas[0].put("k", "v")
+        assert store.get("k") == "v"
+        assert not primary.contains("k")
+
+    def test_explicit_repair_syncs_lagging_replica(self):
+        """A replica that rejoined after missing writes catches up."""
+        store, primary, replicas = self.make(1)
+        primary.put("k", "v")            # replica never saw this write
+        assert store.get("k") == "v"
+        assert not replicas[0].contains("k")   # primary hit: no repair yet
+        assert store.repair("k") == 1
+        assert replicas[0].get("k") == "v"
+
+    def test_repair_all(self):
+        store, primary, replicas = self.make(2)
+        primary.put("a", 1)
+        replicas[0].put("b", 2)
+        fixed = store.repair_all()
+        assert fixed >= 2
+        for member in store.members:
+            assert member.get("a") == 1
+            assert member.get("b") == 2
+
+    def test_failover_value_repaired_onto_reachable_missers(self):
+        store, primary, replicas = self.make(2)
+        replicas[1].put("k", "only-here")
+        assert store.get("k") == "only-here"
+        assert primary.get("k") == "only-here"
+        assert replicas[0].get("k") == "only-here"
+
+    def test_missing_everywhere_raises(self):
+        store, _primary, _replicas = self.make()
+        with pytest.raises(KeyNotFoundError):
+            store.get("ghost")
+
+    def test_delete_everywhere(self):
+        store, primary, replicas = self.make()
+        store.put("k", "v")
+        assert store.delete("k")
+        assert not primary.contains("k")
+        assert all(not replica.contains("k") for replica in replicas)
+
+    def test_contains_any_member(self):
+        store, _primary, replicas = self.make()
+        replicas[-1].put("stray", 1)
+        assert store.contains("stray")
+
+    def test_keys_union(self):
+        store, primary, replicas = self.make(1)
+        primary.put("a", 1)
+        replicas[0].put("b", 2)
+        assert set(store.keys()) == {"a", "b"}
+
+    def test_requires_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedStore(InMemoryStore(), [])
+
+    def test_total_outage_surfaces_error(self):
+        store, primary, replicas = self.make(1)
+        store.put("k", "v")
+        primary.close()
+        replicas[0].close()
+        with pytest.raises(Exception):
+            store.get("k")
+
+
+class TestSingleFlight:
+    def test_stampede_coalesced_to_one_fetch(self):
+        from repro.core import EnhancedDataStoreClient
+
+        fetches = []
+        gate = threading.Event()
+
+        class SlowStore(InMemoryStore):
+            def get_with_version(self, key):
+                fetches.append(key)
+                gate.wait(timeout=5)
+                return super().get_with_version(key)
+
+        origin = SlowStore()
+        origin.put("hot", "value")
+        client = EnhancedDataStoreClient(origin, coalesce_misses=True)
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(client.get("hot")))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)  # let everyone reach the miss path
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5)
+
+        assert results == ["value"] * 8
+        assert len(fetches) == 1                      # exactly one origin fetch
+        assert client.counters.coalesced_misses == 7  # the rest reused it
+
+    def test_coalesced_negative_result(self):
+        from repro.core import EnhancedDataStoreClient
+
+        client = EnhancedDataStoreClient(
+            InMemoryStore(), coalesce_misses=True, negative_ttl=60
+        )
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost")
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost")
+        assert client.counters.store_reads == 1
+
+    def test_inflight_registry_does_not_leak(self):
+        from repro.core import EnhancedDataStoreClient
+
+        origin = InMemoryStore()
+        origin.put("k", 1)
+        client = EnhancedDataStoreClient(origin, coalesce_misses=True)
+        client.get("k")
+        assert client._inflight == {}  # noqa: SLF001 - leak check

@@ -1,0 +1,126 @@
+"""Latency model and clocks."""
+
+from __future__ import annotations
+
+import math
+import statistics
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import LatencyModel, RealClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_sleep_advances_time(self):
+        clock = VirtualClock()
+        clock.sleep(1.5)
+        assert clock.time() == pytest.approx(1.5)
+        assert clock.total_slept == pytest.approx(1.5)
+
+    def test_negative_sleep_ignored(self):
+        clock = VirtualClock()
+        clock.sleep(-1)
+        assert clock.time() == 0.0
+
+    def test_advance_does_not_count_as_sleep(self):
+        clock = VirtualClock()
+        clock.advance(10)
+        assert clock.time() == 10.0
+        assert clock.total_slept == 0.0
+
+    def test_thread_safety(self):
+        clock = VirtualClock()
+
+        def spin():
+            for _ in range(1000):
+                clock.sleep(0.001)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.total_slept == pytest.approx(4.0)
+
+
+class TestRealClock:
+    def test_time_monotonic_nondecreasing(self):
+        clock = RealClock()
+        a = clock.time()
+        b = clock.time()
+        assert b >= a
+
+    def test_sleep_actually_sleeps(self):
+        clock = RealClock()
+        start = clock.time()
+        clock.sleep(0.01)
+        assert clock.time() - start >= 0.009
+
+
+class TestLatencyModel:
+    def test_deterministic_without_jitter(self):
+        model = LatencyModel(10.0, 100.0, jitter_sigma=0.0)
+        first = model.delay_seconds(1000)
+        assert first == model.delay_seconds(1000)
+
+    def test_rtt_only_when_no_bandwidth(self):
+        model = LatencyModel(10.0, None, jitter_sigma=0.0)
+        assert model.delay_seconds(10**9) == pytest.approx(0.010)
+
+    def test_size_term_scales_with_bytes(self):
+        model = LatencyModel(0.0, 8.0, jitter_sigma=0.0)  # 8 Mbit/s = 1 MB/s
+        assert model.delay_seconds(1_000_000) == pytest.approx(1.0)
+
+    def test_time_scale_multiplies(self):
+        base = LatencyModel(100.0, None, jitter_sigma=0.0)
+        scaled = LatencyModel(100.0, None, jitter_sigma=0.0, time_scale=0.25)
+        assert scaled.delay_seconds() == pytest.approx(base.delay_seconds() * 0.25)
+
+    def test_scaled_copy(self):
+        model = LatencyModel(50.0, 10.0, jitter_sigma=0.3)
+        copy = model.scaled(0.1)
+        assert copy.time_scale == 0.1
+        assert copy.rtt_ms == model.rtt_ms
+
+    def test_jitter_has_median_one(self):
+        model = LatencyModel(10.0, None, jitter_sigma=0.5, seed=7)
+        delays = [model.delay_seconds() for _ in range(2000)]
+        median = statistics.median(delays)
+        assert median == pytest.approx(0.010, rel=0.15)
+
+    def test_seeded_sequences_reproduce(self):
+        a = LatencyModel(10.0, None, jitter_sigma=0.5, seed=42)
+        b = LatencyModel(10.0, None, jitter_sigma=0.5, seed=42)
+        assert [a.delay_seconds() for _ in range(10)] == [b.delay_seconds() for _ in range(10)]
+
+    def test_apply_charges_clock(self):
+        clock = VirtualClock()
+        model = LatencyModel(10.0, None, jitter_sigma=0.0)
+        spent = model.apply(clock, 0)
+        assert clock.total_slept == pytest.approx(spent) == pytest.approx(0.010)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rtt_ms": -1.0},
+            {"rtt_ms": 1.0, "bandwidth_mbps": 0.0},
+            {"rtt_ms": 1.0, "jitter_sigma": -0.1},
+            {"rtt_ms": 1.0, "time_scale": 0.0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(**kwargs)
+
+    def test_delays_never_negative(self):
+        model = LatencyModel(1.0, 1.0, jitter_sigma=2.0, seed=3)
+        assert all(model.delay_seconds(10) >= 0 for _ in range(500))
+
+    def test_jitter_is_lognormal_not_clipped(self):
+        # A high-sigma model must produce delays both above and below RTT.
+        model = LatencyModel(10.0, None, jitter_sigma=1.0, seed=1)
+        delays = [model.delay_seconds() for _ in range(200)]
+        assert min(delays) < 0.010 < max(delays)
+        assert not math.isclose(min(delays), max(delays))

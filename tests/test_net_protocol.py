@@ -1,0 +1,151 @@
+"""Wire protocol framing: roundtrips, property tests, malformed input."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net import protocol
+from repro.net.protocol import NIL, FrameReader, SimpleString, WireError
+
+
+def read_one(payload: bytes):
+    return FrameReader(io.BytesIO(payload)).read_frame()
+
+
+class TestEncodingRoundtrips:
+    def test_simple_string(self):
+        assert read_one(protocol.encode_simple("OK")) == SimpleString("OK")
+
+    def test_error(self):
+        frame = read_one(protocol.encode_error("ERR boom"))
+        assert isinstance(frame, WireError)
+        assert "boom" in str(frame)
+
+    def test_error_strips_crlf_injection(self):
+        frame = read_one(protocol.encode_error("bad\r\nmessage"))
+        assert isinstance(frame, WireError)
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 42, 10**15, -(10**15)])
+    def test_integer(self, value):
+        assert read_one(protocol.encode_integer(value)) == value
+
+    def test_bulk_binary_safe(self):
+        data = bytes(range(256)) + b"\r\n$*+-:" + bytes(range(256))
+        assert read_one(protocol.encode_bulk(data)) == data
+
+    def test_nil(self):
+        assert read_one(protocol.encode_nil()) is NIL
+        assert not NIL
+
+    def test_empty_bulk_is_not_nil(self):
+        frame = read_one(protocol.encode_bulk(b""))
+        assert frame == b"" and frame is not NIL
+
+    def test_array(self):
+        payload = protocol.encode_array(
+            [protocol.encode_bulk(b"a"), protocol.encode_integer(7), protocol.encode_nil()]
+        )
+        assert read_one(payload) == [b"a", 7, NIL]
+
+    @given(st.lists(st.binary(max_size=200), min_size=1, max_size=10))
+    @settings(max_examples=100)
+    def test_command_roundtrip(self, args):
+        reader = FrameReader(io.BytesIO(protocol.encode_command(args)))
+        assert reader.read_command() == args
+
+    @given(st.binary(max_size=5000))
+    @settings(max_examples=100)
+    def test_any_bulk_roundtrips(self, data):
+        assert read_one(protocol.encode_bulk(data)) == data
+
+
+class TestMalformedInput:
+    def test_clean_eof_returns_none(self):
+        assert read_one(b"") is None
+
+    def test_eof_mid_bulk_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"$100\r\nshort")
+
+    def test_eof_mid_array_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"*3\r\n:1\r\n")
+
+    def test_unknown_marker_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"?what\r\n")
+
+    def test_non_integer_length_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"$abc\r\n")
+
+    def test_unreasonable_bulk_length_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"$999999999999\r\n")
+
+    def test_negative_array_length_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"*-5\r\n")
+
+    def test_missing_crlf_after_bulk_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"$2\r\nabXX")
+
+    def test_empty_header_line_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"\r\n")
+
+    def test_command_must_be_array(self):
+        with pytest.raises(ProtocolError):
+            FrameReader(io.BytesIO(b":5\r\n")).read_command()
+
+    def test_command_members_must_be_bulk(self):
+        payload = protocol.encode_array([protocol.encode_integer(1)])
+        with pytest.raises(ProtocolError):
+            FrameReader(io.BytesIO(payload)).read_command()
+
+    def test_empty_command_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_command([])
+
+
+class TestFuzzing:
+    @given(st.binary(max_size=400))
+    @settings(max_examples=200)
+    def test_random_bytes_never_crash_the_reader(self, junk):
+        """Property: arbitrary input either parses, hits clean EOF, or
+        raises ProtocolError -- never any other exception, never a hang."""
+        reader = FrameReader(io.BytesIO(junk))
+        try:
+            while reader.read_frame() is not None:
+                pass
+        except ProtocolError:
+            pass
+
+    @given(st.binary(max_size=200), st.integers(0, 199))
+    @settings(max_examples=100)
+    def test_truncated_valid_frames_raise_cleanly(self, data, cut):
+        payload = protocol.encode_bulk(data)
+        truncated = payload[: min(cut, len(payload) - 1)]
+        reader = FrameReader(io.BytesIO(truncated))
+        try:
+            reader.read_frame()
+        except ProtocolError:
+            pass
+
+    @given(st.lists(st.binary(max_size=60), min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_frames_survive_trailing_garbage(self, args):
+        """A valid frame followed by junk: the frame parses, the junk
+        fails cleanly."""
+        stream = io.BytesIO(protocol.encode_command(args) + b"\x00garbage")
+        reader = FrameReader(stream)
+        assert reader.read_command() == args
+        with pytest.raises(ProtocolError):
+            while reader.read_frame() is not None:
+                pass

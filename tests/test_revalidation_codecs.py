@@ -1,0 +1,121 @@
+"""Revalidation x codec interactions (subtle, worth pinning down).
+
+Version tokens are content-derived over what the *store* holds.  With a
+deterministic codec (gzip, or no codec) equal plaintexts produce equal
+stored bytes, so revalidation answers NOT_MODIFIED.  With a randomised
+codec (AES-GCM: fresh nonce per write) every write changes the stored
+bytes, so tokens change even for identical plaintexts -- revalidation then
+degrades to a full fetch but must never return stale data.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.compression import GzipCompressor
+from repro.core import EnhancedDataStoreClient
+from repro.kv import CLOUD_STORE_2, NOT_MODIFIED, InMemoryStore, SimulatedCloudStore, TransformingStore
+from repro.net import VirtualClock
+from repro.security import AesGcmEncryptor, generate_key
+
+
+class TestDeterministicCodecRevalidation:
+    def test_gzip_pipeline_revalidates_cheaply(self):
+        """Compressed values with stable bytes -> NOT_MODIFIED round trips."""
+        from repro.udsm.workload import random_payload
+
+        clock = VirtualClock()
+        store = SimulatedCloudStore(CLOUD_STORE_2, clock=clock)
+        client = EnhancedDataStoreClient(
+            store, default_ttl=0.005, compressor=GzipCompressor()
+        )
+        payload = random_payload(500_000)  # incompressible: transfers stay big
+        client.put("doc", payload)
+        client.invalidate("doc")
+        before = clock.total_slept
+        assert client.get("doc") == payload  # full fetch (big transfer)
+        full_fetch = clock.total_slept - before
+
+        time.sleep(0.01)  # expire the cache entry
+        before = clock.total_slept
+        assert client.get("doc") == payload
+        revalidation = clock.total_slept - before
+        assert client.counters.revalidated_not_modified == 1
+        assert revalidation < full_fetch / 2  # token-only round trip
+
+    def test_unchanged_compressed_value_not_modified_at_store_level(self):
+        backend = InMemoryStore()
+        codec = GzipCompressor()
+        wrapped = TransformingStore(
+            backend,
+            encode=lambda v: codec.compress(v),
+            decode=lambda v: codec.decompress(v),
+        )
+        wrapped.put("k", b"payload " * 100)
+        _, version = wrapped.get_with_version("k")
+        wrapped.put("k", b"payload " * 100)  # identical rewrite
+        assert wrapped.get_if_modified("k", version) is NOT_MODIFIED
+
+
+class TestRandomisedCodecRevalidation:
+    def test_gcm_rewrite_changes_version(self):
+        """Same plaintext, fresh nonce: the token must change."""
+        backend = InMemoryStore()
+        encryptor = AesGcmEncryptor(generate_key())
+        wrapped = TransformingStore(
+            backend,
+            encode=encryptor.encrypt,
+            decode=encryptor.decrypt,
+        )
+        wrapped.put("k", b"same plaintext")
+        _, version = wrapped.get_with_version("k")
+        wrapped.put("k", b"same plaintext")
+        result = wrapped.get_if_modified("k", version)
+        assert result is not NOT_MODIFIED
+        value, new_version = result
+        assert value == b"same plaintext"  # correct data either way
+        assert new_version != version
+
+    def test_encrypted_client_never_serves_stale_after_expiry(self):
+        client = EnhancedDataStoreClient(
+            InMemoryStore(),
+            default_ttl=0.005,
+            encryptor=AesGcmEncryptor(generate_key()),
+        )
+        client.put("k", "v1")
+        # Another writer replaces the value behind the cache's back.
+        client.store.put("k", "v2")
+        time.sleep(0.01)
+        assert client.get("k") == "v2"
+
+    def test_own_rewrites_keep_tokens_consistent(self):
+        """Write-through tracks the latest write's token, so even with a
+        randomised codec a client's OWN rewrites revalidate as unchanged."""
+        client = EnhancedDataStoreClient(
+            InMemoryStore(),
+            default_ttl=0.005,
+            encryptor=AesGcmEncryptor(generate_key()),
+        )
+        client.put("k", "v")
+        client.put("k", "v")  # new nonce, but the cache learns the new token
+        time.sleep(0.01)
+        assert client.get("k") == "v"
+        assert client.counters.revalidated_not_modified == 1
+
+    def test_peer_rewrite_of_identical_plaintext_looks_modified(self):
+        """A DIFFERENT writer re-encrypting the same plaintext produces a
+        new token, so revalidation refetches -- wasteful but never stale."""
+        key = generate_key()
+        shared = InMemoryStore()
+        client = EnhancedDataStoreClient(
+            shared, default_ttl=0.005, encryptor=AesGcmEncryptor(key)
+        )
+        writer = EnhancedDataStoreClient(shared, encryptor=AesGcmEncryptor(key))
+        client.put("k", "same plaintext")
+        writer.put("k", "same plaintext")  # same bytes in, new nonce out
+        time.sleep(0.01)
+        assert client.get("k") == "same plaintext"
+        assert client.counters.revalidated_modified == 1
+        assert client.counters.revalidated_not_modified == 0

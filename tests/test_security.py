@@ -1,0 +1,133 @@
+"""Encryption: roundtrips, tamper detection, key handling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncryptionError
+from repro.security import (
+    AesCbcEncryptor,
+    AesGcmEncryptor,
+    NullEncryptor,
+    derive_key,
+    generate_key,
+)
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture(params=[AesGcmEncryptor, AesCbcEncryptor])
+def encryptor(request):
+    return request.param(KEY)
+
+
+class TestRoundtrips:
+    def test_basic_roundtrip(self, encryptor):
+        assert encryptor.decrypt(encryptor.encrypt(b"hello")) == b"hello"
+
+    def test_empty_plaintext(self, encryptor):
+        assert encryptor.decrypt(encryptor.encrypt(b"")) == b""
+
+    def test_large_plaintext(self, encryptor):
+        data = bytes(range(256)) * 4096  # 1 MiB
+        assert encryptor.decrypt(encryptor.encrypt(data)) == data
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=50)
+    def test_any_bytes_roundtrip_gcm(self, data):
+        enc = AesGcmEncryptor(KEY)
+        assert enc.decrypt(enc.encrypt(data)) == data
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=50)
+    def test_any_bytes_roundtrip_cbc(self, data):
+        enc = AesCbcEncryptor(KEY)
+        assert enc.decrypt(enc.encrypt(data)) == data
+
+
+class TestConfidentiality:
+    def test_ciphertext_differs_from_plaintext(self, encryptor):
+        plaintext = b"top secret payload" * 10
+        assert plaintext not in encryptor.encrypt(plaintext)
+
+    def test_encryption_is_randomised(self, encryptor):
+        # Fresh IV/nonce every call: identical plaintexts differ on the wire.
+        plaintext = b"same input"
+        assert encryptor.encrypt(plaintext) != encryptor.encrypt(plaintext)
+
+    def test_wrong_key_fails(self, encryptor):
+        other = type(encryptor)(bytes(range(16, 32)))
+        ciphertext = encryptor.encrypt(b"data protected by key one")
+        with pytest.raises(EncryptionError):
+            other.decrypt(ciphertext)
+
+
+class TestTamperDetection:
+    def test_gcm_detects_any_flip(self):
+        enc = AesGcmEncryptor(KEY)
+        ciphertext = bytearray(enc.encrypt(b"integrity matters"))
+        ciphertext[-1] ^= 0x01
+        with pytest.raises(EncryptionError):
+            enc.decrypt(bytes(ciphertext))
+
+    def test_gcm_rejects_truncated(self):
+        enc = AesGcmEncryptor(KEY)
+        with pytest.raises(EncryptionError):
+            enc.decrypt(b"short")
+
+    def test_cbc_rejects_bad_length(self):
+        enc = AesCbcEncryptor(KEY)
+        with pytest.raises(EncryptionError):
+            enc.decrypt(b"x" * 33)  # not a multiple of the block size
+
+
+class TestKeys:
+    @pytest.mark.parametrize("bits", [128, 192, 256])
+    def test_generate_key_sizes(self, bits):
+        assert len(generate_key(bits)) == bits // 8
+
+    def test_generate_key_invalid_size(self):
+        with pytest.raises(EncryptionError):
+            generate_key(100)
+
+    def test_keys_are_random(self):
+        assert generate_key() != generate_key()
+
+    def test_derive_key_deterministic(self):
+        a = derive_key("password", b"salt-salt", iterations=100)
+        b = derive_key("password", b"salt-salt", iterations=100)
+        assert a == b and len(a) == 16
+
+    def test_derive_key_sensitive_to_inputs(self):
+        base = derive_key("password", b"salt-salt", iterations=100)
+        assert derive_key("Password", b"salt-salt", iterations=100) != base
+        assert derive_key("password", b"salt-SALT", iterations=100) != base
+
+    def test_derive_key_validation(self):
+        with pytest.raises(EncryptionError):
+            derive_key("pw", b"short", bits=999)
+        with pytest.raises(EncryptionError):
+            derive_key("pw", b"x", iterations=100)  # salt too short
+        with pytest.raises(EncryptionError):
+            derive_key("pw", b"salt-salt", iterations=0)
+
+    @pytest.mark.parametrize("cls", [AesGcmEncryptor, AesCbcEncryptor])
+    def test_bad_key_sizes_rejected(self, cls):
+        with pytest.raises(EncryptionError):
+            cls(b"too-short")
+        with pytest.raises(EncryptionError):
+            cls("not-bytes")  # type: ignore[arg-type]
+
+    def test_derived_key_works_with_aes(self):
+        key = derive_key("correct horse", b"battery staple", iterations=100)
+        enc = AesGcmEncryptor(key)
+        assert enc.decrypt(enc.encrypt(b"ok")) == b"ok"
+
+
+class TestNullEncryptor:
+    def test_identity(self):
+        null = NullEncryptor()
+        assert null.encrypt(b"data") == b"data"
+        assert null.decrypt(b"data") == b"data"

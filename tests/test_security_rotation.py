@@ -1,0 +1,155 @@
+"""Key rotation envelope and adaptive compression."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import AdaptiveCompressor, GzipCompressor
+from repro.errors import CompressionError, ConfigurationError, EncryptionError
+from repro.kv import InMemoryStore
+from repro.security import AesGcmEncryptor, RotatingEncryptor, generate_key
+from repro.tools import copy_store
+from repro.udsm.workload import compressible_payload, random_payload
+
+KEY_A = bytes(range(16))
+KEY_B = bytes(range(16, 32))
+KEY_C = bytes(range(32, 48))
+
+
+def make_rotating():
+    return RotatingEncryptor(
+        {"2025": AesGcmEncryptor(KEY_A), "2026": AesGcmEncryptor(KEY_B)},
+        current="2026",
+    )
+
+
+class TestRotatingEncryptor:
+    def test_roundtrip_with_current_key(self):
+        enc = make_rotating()
+        assert enc.decrypt(enc.encrypt(b"data")) == b"data"
+
+    def test_old_ciphertexts_stay_readable_after_rotation(self):
+        enc = make_rotating()
+        old_ciphertext = enc.encrypt(b"written under 2026")
+        enc.rotate("2027", AesGcmEncryptor(KEY_C))
+        assert enc.current_key_id == "2027"
+        assert enc.decrypt(old_ciphertext) == b"written under 2026"
+        new_ciphertext = enc.encrypt(b"written under 2027")
+        assert enc.key_id_of(new_ciphertext) == "2027"
+        assert enc.key_id_of(old_ciphertext) == "2026"
+
+    def test_retired_key_data_unreadable(self):
+        enc = make_rotating()
+        enc.rotate("2025")
+        old = RotatingEncryptor({"2026": AesGcmEncryptor(KEY_B)}, "2026").encrypt(b"x")
+        enc.retire("2026")
+        with pytest.raises(EncryptionError):
+            enc.decrypt(old)
+
+    def test_cannot_retire_current(self):
+        enc = make_rotating()
+        with pytest.raises(EncryptionError):
+            enc.retire("2026")
+
+    def test_rotate_to_unknown_without_encryptor(self):
+        enc = make_rotating()
+        with pytest.raises(EncryptionError):
+            enc.rotate("ghost")
+
+    def test_validation(self):
+        with pytest.raises(EncryptionError):
+            RotatingEncryptor({}, "x")
+        with pytest.raises(EncryptionError):
+            RotatingEncryptor({"a": AesGcmEncryptor(KEY_A)}, "other")
+        with pytest.raises(EncryptionError):
+            RotatingEncryptor({"": AesGcmEncryptor(KEY_A)}, "")
+
+    def test_bad_envelopes_rejected(self):
+        enc = make_rotating()
+        with pytest.raises(EncryptionError):
+            enc.decrypt(b"junk")
+        with pytest.raises(EncryptionError):
+            enc.decrypt(b"RK1\xff")  # id length beyond payload
+
+    @given(st.binary(max_size=500))
+    @settings(max_examples=40)
+    def test_property_roundtrip(self, data):
+        enc = make_rotating()
+        assert enc.decrypt(enc.encrypt(data)) == data
+
+    def test_sweep_reencryption_via_migration(self):
+        """The operational pattern: rotate, then sweep-re-encrypt a store."""
+        enc = make_rotating()
+        old_store = InMemoryStore()
+        for i in range(10):
+            old_store.put(f"k{i}", enc.encrypt(f"secret-{i}".encode()))
+        enc.rotate("2027", AesGcmEncryptor(KEY_C))
+
+        new_store = InMemoryStore()
+        copy_store(
+            old_store, new_store,
+            transform=lambda key, blob: enc.encrypt(enc.decrypt(blob)),
+        )
+        for i in range(10):
+            blob = new_store.get(f"k{i}")
+            assert enc.key_id_of(blob) == "2027"
+            assert enc.decrypt(blob) == f"secret-{i}".encode()
+
+
+class TestAdaptiveCompressor:
+    def test_compressible_payload_gets_compressed(self):
+        codec = AdaptiveCompressor(GzipCompressor())
+        data = compressible_payload(10_000)
+        out = codec.compress(data)
+        assert len(out) < len(data) / 2
+        assert codec.decompress(out) == data
+        assert codec.compressed_count == 1
+
+    def test_incompressible_payload_stored_raw(self):
+        codec = AdaptiveCompressor(GzipCompressor())
+        data = random_payload(10_000)
+        out = codec.compress(data)
+        assert len(out) == len(data) + 1  # marker byte only
+        assert codec.decompress(out) == data
+        assert codec.raw_count == 1
+
+    def test_tiny_payload_skips_codec_entirely(self):
+        codec = AdaptiveCompressor(GzipCompressor(), min_size=64)
+        out = codec.compress(b"small")
+        assert out == b"\x00small"
+        assert codec.decompress(out) == b"small"
+
+    def test_empty_payload(self):
+        codec = AdaptiveCompressor(GzipCompressor())
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, data):
+        codec = AdaptiveCompressor(GzipCompressor())
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_corrupt_marker_rejected(self):
+        codec = AdaptiveCompressor(GzipCompressor())
+        with pytest.raises(CompressionError):
+            codec.decompress(b"\x07whatever")
+        with pytest.raises(CompressionError):
+            codec.decompress(b"")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveCompressor(GzipCompressor(), min_size=-1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveCompressor(GzipCompressor(), min_ratio=0.0)
+
+    def test_works_in_value_pipeline(self):
+        from repro.core import ValuePipeline
+
+        pipeline = ValuePipeline(
+            compressor=AdaptiveCompressor(GzipCompressor()),
+            encryptor=AesGcmEncryptor(KEY_A),
+        )
+        value = {"text": "hello " * 500}
+        assert pipeline.decode(pipeline.encode(value)) == value

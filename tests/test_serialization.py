@@ -1,0 +1,99 @@
+"""Serializers: domains, roundtrips, error discipline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.serialization import (
+    BytesSerializer,
+    JsonSerializer,
+    PickleSerializer,
+    StringSerializer,
+    default_serializer,
+)
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-(10**9), 10**9) | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=10), children, max_size=5),
+    max_leaves=20,
+)
+
+
+class TestPickle:
+    @given(json_values)
+    @settings(max_examples=50)
+    def test_roundtrip_json_like(self, value):
+        codec = PickleSerializer()
+        assert codec.loads(codec.dumps(value)) == value
+
+    def test_arbitrary_objects(self):
+        codec = PickleSerializer()
+        value = {(1, 2): {3, 4}, "bytes": b"\x00\xff"}
+        assert codec.loads(codec.dumps(value)) == value
+
+    def test_unpicklable_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            PickleSerializer().dumps(lambda: None)
+
+    def test_corrupt_payload_raises(self):
+        with pytest.raises(SerializationError):
+            PickleSerializer().loads(b"not a pickle")
+
+    def test_default_serializer_is_pickle(self):
+        assert isinstance(default_serializer(), PickleSerializer)
+
+
+class TestJson:
+    @given(json_values)
+    @settings(max_examples=50)
+    def test_roundtrip(self, value):
+        codec = JsonSerializer()
+        assert codec.loads(codec.dumps(value)) == value
+
+    def test_non_json_value_rejected(self):
+        with pytest.raises(SerializationError):
+            JsonSerializer().dumps(b"bytes are not json")
+
+    def test_corrupt_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            JsonSerializer().loads(b"{not json")
+
+    def test_sorted_keys_give_stable_bytes(self):
+        codec = JsonSerializer()
+        assert codec.dumps({"b": 1, "a": 2}) == codec.dumps({"a": 2, "b": 1})
+
+
+class TestBytes:
+    def test_passthrough(self):
+        codec = BytesSerializer()
+        assert codec.dumps(b"raw") == b"raw"
+        assert codec.loads(b"raw") == b"raw"
+
+    def test_bytearray_and_memoryview_accepted(self):
+        codec = BytesSerializer()
+        assert codec.dumps(bytearray(b"ab")) == b"ab"
+        assert codec.dumps(memoryview(b"cd")) == b"cd"
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(SerializationError):
+            BytesSerializer().dumps("a string")
+
+
+class TestString:
+    @given(st.text(max_size=500))
+    @settings(max_examples=50)
+    def test_roundtrip(self, text):
+        codec = StringSerializer()
+        assert codec.loads(codec.dumps(text)) == text
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SerializationError):
+            StringSerializer().dumps(42)
+
+    def test_invalid_utf8_rejected(self):
+        with pytest.raises(SerializationError):
+            StringSerializer().loads(b"\xff\xfe\xfd")

@@ -1,0 +1,245 @@
+"""Two-phase commit: atomicity, abort paths, crash recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DataStoreError,
+    RecoveryError,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.kv import InMemoryStore, ReadOnlyStore
+from repro.txn import (
+    TransactionLog,
+    TransactionState,
+    TwoPhaseCommitCoordinator,
+    atomic_put_many,
+)
+from repro.txn.twophase import InjectedCrash
+
+
+@pytest.fixture()
+def stores():
+    return {"a": InMemoryStore("a"), "b": InMemoryStore("b")}
+
+
+@pytest.fixture()
+def log_store():
+    return InMemoryStore("log")
+
+
+@pytest.fixture()
+def coordinator(stores, log_store):
+    return TwoPhaseCommitCoordinator(log_store, stores)
+
+
+def user_keys(store):
+    """Application-visible keys (transaction machinery filtered out)."""
+    return {k for k in store.keys() if not k.startswith("__txn")}
+
+
+class TestHappyPath:
+    def test_writes_land_on_all_participants(self, coordinator, stores):
+        txn_id = coordinator.execute({"a": {"x": 1}, "b": {"y": 2, "z": 3}})
+        assert txn_id
+        assert stores["a"].get("x") == 1
+        assert stores["b"].get("y") == 2
+        assert stores["b"].get("z") == 3
+        assert coordinator.committed == 1
+
+    def test_deletes_supported(self, coordinator, stores):
+        stores["a"].put("old", "gone soon")
+        coordinator.execute({"b": {"new": 1}}, deletes={"a": ["old"]})
+        assert not stores["a"].contains("old")
+        assert stores["b"].get("new") == 1
+
+    def test_no_staging_residue(self, coordinator, stores, log_store):
+        coordinator.execute({"a": {"x": 1}, "b": {"y": 2}})
+        for store in stores.values():
+            assert all(not key.startswith("__txnstage__") for key in store.keys())
+        assert list(log_store.keys()) == []  # log record cleaned up
+
+    def test_sequential_transactions(self, coordinator, stores):
+        for i in range(5):
+            coordinator.execute({"a": {f"k{i}": i}})
+        assert stores["a"].size() == 5
+
+    def test_atomic_put_many_single_store(self):
+        store = InMemoryStore()
+        atomic_put_many(store, {"a": 1, "b": 2, "c": 3})
+        assert user_keys(store) == {"a", "b", "c"}
+
+
+class TestValidation:
+    def test_empty_transaction_rejected(self, coordinator):
+        with pytest.raises(TransactionError):
+            coordinator.execute({})
+
+    def test_unknown_participant_rejected_before_any_write(self, coordinator, stores):
+        with pytest.raises(RecoveryError):
+            coordinator.execute({"a": {"x": 1}, "ghost": {"y": 2}})
+        assert not stores["a"].contains("x")
+
+    def test_coordinator_needs_participants(self, log_store):
+        with pytest.raises(TransactionError):
+            TwoPhaseCommitCoordinator(log_store, {})
+
+
+class TestAbort:
+    def test_prepare_failure_rolls_everything_back(self, log_store):
+        good = InMemoryStore("good")
+        bad = ReadOnlyStore(InMemoryStore("bad"))
+        coordinator = TwoPhaseCommitCoordinator(log_store, {"good": good, "bad": bad})
+        with pytest.raises(TransactionAborted):
+            coordinator.execute({"good": {"x": 1}, "bad": {"y": 2}})
+        assert user_keys(good) == set()           # nothing visible
+        assert list(good.keys()) == []            # staging cleaned
+        assert list(log_store.keys()) == []       # log cleaned
+        assert coordinator.aborted == 1
+
+    def test_abort_leaves_prior_state_intact(self, log_store):
+        good = InMemoryStore("good")
+        good.put("existing", "untouched")
+        bad = ReadOnlyStore(InMemoryStore("bad"))
+        coordinator = TwoPhaseCommitCoordinator(log_store, {"good": good, "bad": bad})
+        with pytest.raises(TransactionAborted):
+            coordinator.execute({"good": {"existing": "clobbered"}, "bad": {"y": 2}})
+        assert good.get("existing") == "untouched"
+
+
+class TestCrashRecovery:
+    def crash_then_recover(self, stores, log_store, failpoint, writes):
+        coordinator = TwoPhaseCommitCoordinator(log_store, stores)
+        coordinator.failpoints = {failpoint}
+        with pytest.raises(InjectedCrash):
+            coordinator.execute(writes)
+        # "Restart": a fresh coordinator over the same stores and log.
+        recovered = TwoPhaseCommitCoordinator(log_store, stores)
+        return recovered, recovered.recover()
+
+    def test_crash_mid_prepare_rolls_back(self, stores, log_store):
+        _c, (forward, back) = self.crash_then_recover(
+            stores, log_store, "mid-prepare", {"a": {"x": 1}, "b": {"y": 2}}
+        )
+        assert (forward, back) == (0, 1)
+        assert user_keys(stores["a"]) == set()
+        assert user_keys(stores["b"]) == set()
+        assert list(log_store.keys()) == []
+
+    def test_crash_after_prepare_rolls_back(self, stores, log_store):
+        _c, (forward, back) = self.crash_then_recover(
+            stores, log_store, "after-prepare", {"a": {"x": 1}, "b": {"y": 2}}
+        )
+        assert (forward, back) == (0, 1)
+        assert user_keys(stores["a"]) == set()
+
+    def test_crash_after_commit_point_rolls_forward(self, stores, log_store):
+        _c, (forward, back) = self.crash_then_recover(
+            stores, log_store, "after-commit-point", {"a": {"x": 1}, "b": {"y": 2}}
+        )
+        assert (forward, back) == (1, 0)
+        assert stores["a"].get("x") == 1
+        assert stores["b"].get("y") == 2
+
+    def test_crash_mid_commit_completes_remaining(self, stores, log_store):
+        """Some participants already flipped; recovery must finish the rest
+        without double-applying the finished ones."""
+        _c, (forward, back) = self.crash_then_recover(
+            stores, log_store, "mid-commit", {"a": {"x": 1}, "b": {"y": 2}}
+        )
+        assert (forward, back) == (1, 0)
+        assert stores["a"].get("x") == 1
+        assert stores["b"].get("y") == 2
+        for store in stores.values():
+            assert all(not key.startswith("__txnstage__") for key in store.keys())
+
+    def test_recover_is_idempotent(self, stores, log_store):
+        recovered, _counts = self.crash_then_recover(
+            stores, log_store, "after-commit-point", {"a": {"x": 1}}
+        )
+        assert recovered.recover() == (0, 0)
+        assert stores["a"].get("x") == 1
+
+    def test_recover_with_nothing_to_do(self, coordinator):
+        assert coordinator.recover() == (0, 0)
+
+    def test_committed_values_survive_crashed_overwrite(self, stores, log_store):
+        """A rolled-back transaction must not clobber committed data."""
+        committed = TwoPhaseCommitCoordinator(log_store, stores)
+        committed.execute({"a": {"x": "committed"}})
+        recovered, (forward, back) = self.crash_then_recover(
+            stores, log_store, "mid-prepare", {"a": {"x": "doomed"}}
+        )
+        assert back == 1
+        assert stores["a"].get("x") == "committed"
+
+
+class TestConcurrency:
+    def test_concurrent_transactions_on_disjoint_keys(self, stores, log_store):
+        import threading
+
+        coordinator = TwoPhaseCommitCoordinator(log_store, stores)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(10):
+                    coordinator.execute(
+                        {
+                            "a": {f"w{worker_id}-a{i}": i},
+                            "b": {f"w{worker_id}-b{i}": i},
+                        }
+                    )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert coordinator.committed == 60
+        assert len(user_keys(stores["a"])) == 60
+        assert len(user_keys(stores["b"])) == 60
+        assert list(log_store.keys()) == []  # every log record cleaned
+
+    def test_two_coordinators_share_one_log(self, stores, log_store):
+        first = TwoPhaseCommitCoordinator(log_store, stores)
+        second = TwoPhaseCommitCoordinator(log_store, stores)
+        first.execute({"a": {"x": 1}})
+        second.execute({"b": {"y": 2}})
+        assert stores["a"].get("x") == 1
+        assert stores["b"].get("y") == 2
+
+
+class TestLog:
+    def test_record_roundtrip(self, log_store):
+        log = TransactionLog(log_store)
+        record = log.new_transaction([("a", "k1"), ("b", "k2")])
+        fetched = log.read(record.txn_id)
+        assert fetched.state is TransactionState.PREPARING
+        assert fetched.operations == [("a", "k1"), ("b", "k2")]
+
+    def test_advance_persists(self, log_store):
+        log = TransactionLog(log_store)
+        record = log.new_transaction([("a", "k")])
+        log.advance(record, TransactionState.COMMITTING)
+        assert log.read(record.txn_id).state is TransactionState.COMMITTING
+
+    def test_incomplete_listing(self, log_store):
+        log = TransactionLog(log_store)
+        first = log.new_transaction([("a", "k")])
+        second = log.new_transaction([("b", "k")])
+        log.forget(first)
+        remaining = list(log.incomplete())
+        assert [r.txn_id for r in remaining] == [second.txn_id]
+
+    def test_corrupt_record_raises(self, log_store):
+        log = TransactionLog(log_store)
+        record = log.new_transaction([("a", "k")])
+        log_store.put(f"__txnlog__:{record.txn_id}", "{not json")
+        with pytest.raises(TransactionError):
+            log.read(record.txn_id)

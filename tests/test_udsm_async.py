@@ -1,0 +1,98 @@
+"""AsyncKeyValue: the nonblocking interface every store gains for free."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.kv import CLOUD_STORE_2, NOT_MODIFIED, InMemoryStore, SimulatedCloudStore
+from repro.net import VirtualClock
+from repro.udsm.async_api import AsyncKeyValue
+from repro.udsm.pool import ThreadPool
+
+
+@pytest.fixture()
+def pool():
+    with ThreadPool(4) as p:
+        yield p
+
+
+@pytest.fixture()
+def async_store(pool):
+    return AsyncKeyValue(InMemoryStore(), pool)
+
+
+class TestOperations:
+    def test_put_then_get(self, async_store):
+        async_store.put("k", {"v": 1}).result(timeout=2)
+        assert async_store.get("k").result(timeout=2) == {"v": 1}
+
+    def test_get_missing_fails_future(self, async_store):
+        future = async_store.get("absent")
+        with pytest.raises(KeyNotFoundError):
+            future.result(timeout=2)
+
+    def test_get_or_default(self, async_store):
+        assert async_store.get_or_default("absent", 9).result(timeout=2) == 9
+
+    def test_delete_contains_size(self, async_store):
+        async_store.put("k", 1).result(timeout=2)
+        assert async_store.contains("k").result(timeout=2)
+        assert async_store.delete("k").result(timeout=2)
+        assert async_store.size().result(timeout=2) == 0
+
+    def test_batch_operations(self, async_store):
+        async_store.put_many({"a": 1, "b": 2}).result(timeout=2)
+        assert async_store.get_many(["a", "b"]).result(timeout=2) == {"a": 1, "b": 2}
+        assert async_store.clear().result(timeout=2) == 2
+
+    def test_versioned_operations(self, async_store):
+        async_store.put("k", b"v1").result(timeout=2)
+        _value, version = async_store.get_with_version("k").result(timeout=2)
+        assert async_store.get_if_modified("k", version).result(timeout=2) is NOT_MODIFIED
+
+
+class TestNonBlocking:
+    def test_call_returns_before_operation_completes(self, pool):
+        """The headline property: the caller keeps executing."""
+        release = threading.Event()
+
+        class SlowStore(InMemoryStore):
+            def put(self, key, value):
+                release.wait(timeout=5)
+                super().put(key, value)
+
+        async_store = AsyncKeyValue(SlowStore(), pool)
+        start = time.perf_counter()
+        future = async_store.put("k", "v")
+        returned_in = time.perf_counter() - start
+        assert returned_in < 0.05          # returned immediately
+        assert not future.done()           # work still pending
+        release.set()
+        future.result(timeout=2)
+        assert async_store.store.get("k") == "v"
+
+    def test_callback_runs_without_blocking_caller(self, async_store):
+        done = threading.Event()
+        results = []
+        future = async_store.put("k", "v")
+        future.add_listener(lambda f: (results.append(f.exception()), done.set()))
+        assert done.wait(timeout=2)
+        assert results == [None]
+
+    def test_put_all_overlaps_independent_writes(self, pool):
+        clock = VirtualClock()
+        store = SimulatedCloudStore(CLOUD_STORE_2, clock=clock)
+        async_store = AsyncKeyValue(store, pool)
+        futures = async_store.put_all({f"k{i}": b"x" * 100 for i in range(8)})
+        assert len(futures) == 8
+        for f in futures:
+            f.result(timeout=5)
+        assert store.size() == 8
+
+    def test_chained_transform(self, async_store):
+        async_store.put("k", [1, 2, 3]).result(timeout=2)
+        assert async_store.get("k").transform(len).result(timeout=2) == 3

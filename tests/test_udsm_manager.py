@@ -1,0 +1,184 @@
+"""UniversalDataStoreManager: registry, feature factories, lifecycle."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.caching import InProcessCache
+from repro.errors import ConfigurationError, DataStoreError, StoreClosedError
+from repro.kv import CLOUD_STORE_2, InMemoryStore, SimulatedCloudStore, SQLStore
+from repro.net import VirtualClock
+from repro.udsm import UniversalDataStoreManager
+
+
+@pytest.fixture()
+def udsm():
+    with UniversalDataStoreManager(pool_size=2) as manager:
+        yield manager
+
+
+class TestRegistry:
+    def test_register_and_access(self, udsm):
+        udsm.register("mem", InMemoryStore())
+        store = udsm.store("mem")
+        store.put("k", 1)
+        assert store.get("k") == 1
+        assert udsm.store_names() == ["mem"]
+        assert "mem" in udsm
+
+    def test_unknown_store_rejected(self, udsm):
+        with pytest.raises(DataStoreError):
+            udsm.store("ghost")
+        with pytest.raises(DataStoreError):
+            udsm.raw_store("ghost")
+
+    def test_empty_name_rejected(self, udsm):
+        with pytest.raises(ConfigurationError):
+            udsm.register("", InMemoryStore())
+
+    def test_reregistering_replaces_and_closes_old_client(self, udsm):
+        old = InMemoryStore()
+        udsm.register("s", old)
+        new = InMemoryStore()
+        udsm.register("s", new)
+        with pytest.raises(StoreClosedError):
+            old.put("k", 1)  # old client was closed
+        udsm.store("s").put("k", 1)
+
+    def test_unregister(self, udsm):
+        store = InMemoryStore()
+        udsm.register("s", store)
+        udsm.unregister("s")
+        assert "s" not in udsm
+        with pytest.raises(StoreClosedError):
+            store.put("k", 1)
+
+    def test_iteration_is_sorted(self, udsm):
+        for name in ("zeta", "alpha", "mid"):
+            udsm.register(name, InMemoryStore())
+        assert list(udsm) == ["alpha", "mid", "zeta"]
+
+    def test_native_escape_hatch(self, udsm):
+        udsm.register("sql", SQLStore())
+        assert isinstance(udsm.native("sql"), sqlite3.Connection)
+        udsm.register("mem", InMemoryStore())
+        assert udsm.native("mem") is None
+
+
+class TestSwappability:
+    def test_same_code_runs_on_any_registered_store(self, udsm):
+        """The key-value interface makes stores substitutable."""
+        udsm.register("a", InMemoryStore())
+        udsm.register("b", SQLStore())
+
+        def application_logic(store):
+            store.put("user:1", {"name": "alice"})
+            return store.get("user:1")["name"]
+
+        assert application_logic(udsm.store("a")) == "alice"
+        assert application_logic(udsm.store("b")) == "alice"
+
+
+class TestFeatureFactories:
+    def test_operations_via_manager_are_monitored(self, udsm):
+        udsm.register("mem", InMemoryStore())
+        store = udsm.store("mem")
+        store.put("k", 1)
+        store.get("k")
+        assert udsm.monitor.stats_for("mem", "get").count == 1
+        assert "mem" in udsm.report()
+
+    def test_async_store(self, udsm):
+        udsm.register("mem", InMemoryStore())
+        async_kv = udsm.async_store("mem")
+        async_kv.put("k", "async").result(timeout=2)
+        assert async_kv.get("k").result(timeout=2) == "async"
+        # Async operations also hit the monitor (the store is monitored).
+        assert udsm.monitor.stats_for("mem", "put").count == 1
+
+    def test_enhanced_client(self, udsm):
+        clock = VirtualClock()
+        udsm.register("cloud", SimulatedCloudStore(CLOUD_STORE_2, clock=clock))
+        client = udsm.enhanced_client("cloud", cache=InProcessCache(), default_ttl=100)
+        client.put("k", "v")
+        cost = clock.total_slept
+        assert client.get("k") == "v"
+        assert clock.total_slept == cost  # cache hit
+
+    def test_store_as_cache(self, udsm):
+        clock = VirtualClock()
+        udsm.register("cloud", SimulatedCloudStore(CLOUD_STORE_2, clock=clock))
+        udsm.register("local", InMemoryStore())
+        client = udsm.store_as_cache("cloud", "local")
+        client.put("k", "cached-in-local-store")
+        assert udsm.raw_store("local").contains("k")  # really lives there
+        cost = clock.total_slept
+        assert client.get("k") == "cached-in-local-store"
+        assert clock.total_slept == cost
+
+    def test_store_cannot_cache_itself(self, udsm):
+        udsm.register("mem", InMemoryStore())
+        with pytest.raises(ConfigurationError):
+            udsm.store_as_cache("mem", "mem")
+
+    def test_metrics_persist_into_registered_store(self, udsm):
+        udsm.register("mem", InMemoryStore())
+        udsm.store("mem").put("k", 1)
+        udsm.persist_metrics("mem")
+        fresh = UniversalDataStoreManager(pool_size=1)
+        fresh.register("mem2", udsm.raw_store("mem"))
+        # restore from the same physical store via the other manager
+        fresh.restore_metrics("mem2")
+        assert fresh.monitor.stats_for("mem", "put").count >= 1
+        fresh.unregister("mem2", close=False)
+        fresh.close()
+
+
+class TestCompositionHelpers:
+    def test_replicated_group_from_registered_stores(self, udsm):
+        udsm.register("p", InMemoryStore("p"))
+        udsm.register("r1", InMemoryStore("r1"))
+        udsm.register("r2", InMemoryStore("r2"))
+        group = udsm.replicated("p", ["r1", "r2"], name="grp")
+        group.put("k", "v")
+        assert udsm.raw_store("p").get("k") == "v"
+        assert udsm.raw_store("r1").get("k") == "v"
+        assert udsm.raw_store("r2").get("k") == "v"
+        # The composite is itself registered and monitored.
+        assert "grp" in udsm
+        assert udsm.monitor.stats_for("grp", "put").count == 1
+
+    def test_replicated_composite_does_not_double_close_members(self, udsm):
+        udsm.register("p", InMemoryStore("p"))
+        udsm.register("r", InMemoryStore("r"))
+        udsm.replicated("p", ["r"], name="grp")
+        udsm.unregister("grp")  # closes the composite only
+        udsm.store("p").put("still", "open")
+
+    def test_migrate_between_registered_stores(self, udsm):
+        udsm.register("src", InMemoryStore("src"))
+        udsm.register("dst", SQLStore(name="dst"))
+        for i in range(12):
+            udsm.store("src").put(f"k{i}", i)
+        report = udsm.migrate("src", "dst", batch_size=5)
+        assert report.copied == 12
+        assert udsm.store("dst").get("k7") == 7
+
+
+class TestLifecycle:
+    def test_close_shuts_everything(self):
+        manager = UniversalDataStoreManager(pool_size=1)
+        store = InMemoryStore()
+        manager.register("mem", store)
+        manager.close()
+        with pytest.raises(StoreClosedError):
+            store.put("k", 1)
+        with pytest.raises(DataStoreError):
+            manager.register("again", InMemoryStore())
+
+    def test_close_idempotent(self):
+        manager = UniversalDataStoreManager(pool_size=1)
+        manager.close()
+        manager.close()

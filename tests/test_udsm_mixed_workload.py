@@ -1,0 +1,97 @@
+"""Mixed Zipf workload driver and the futures gather helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import InProcessCache
+from repro.core import EnhancedDataStoreClient
+from repro.errors import FutureTimeoutError, WorkloadError
+from repro.kv import InMemoryStore
+from repro.udsm.futures import ListenableFuture, completed_future, gather
+from repro.udsm.pool import ThreadPool
+from repro.udsm.workload import WorkloadGenerator
+
+
+class TestMixedWorkload:
+    def test_reports_throughput_and_latencies(self):
+        generator = WorkloadGenerator(sizes=(64,))
+        result = generator.run_mixed_workload(
+            InMemoryStore(), operations=500, read_fraction=0.8, key_space=50
+        )
+        assert result.operations == 500
+        assert result.throughput > 0
+        assert result.mean_read_latency > 0
+        assert result.mean_write_latency > 0
+        assert len(result.read_latencies) + len(result.write_latencies) == 500
+
+    def test_read_fraction_respected(self):
+        generator = WorkloadGenerator(sizes=(64,))
+        result = generator.run_mixed_workload(
+            InMemoryStore(), operations=2_000, read_fraction=0.9, key_space=20
+        )
+        assert result.read_fraction == pytest.approx(0.9, abs=0.05)
+
+    def test_pure_read_and_pure_write_mixes(self):
+        generator = WorkloadGenerator(sizes=(64,))
+        reads_only = generator.run_mixed_workload(
+            InMemoryStore(), operations=100, read_fraction=1.0, key_space=10
+        )
+        assert reads_only.write_latencies == []
+        writes_only = generator.run_mixed_workload(
+            InMemoryStore(), operations=100, read_fraction=0.0, key_space=10
+        )
+        assert writes_only.read_latencies == []
+
+    def test_drives_cached_clients_and_zipf_skew_hits(self):
+        """Zipf skew means a small cache still catches most reads."""
+        generator = WorkloadGenerator(sizes=(64,))
+        client = EnhancedDataStoreClient(
+            InMemoryStore(), cache=InProcessCache(max_entries=20)
+        )
+        generator.run_mixed_workload(
+            client, operations=2_000, read_fraction=1.0, key_space=400, zipf_s=1.2
+        )
+        assert client.counters.hit_rate > 0.5
+
+    def test_deterministic_given_seed(self):
+        generator = WorkloadGenerator(sizes=(64,), seed=7)
+        a = generator.run_mixed_workload(InMemoryStore(), operations=200, key_space=10)
+        b = generator.run_mixed_workload(InMemoryStore(), operations=200, key_space=10)
+        assert len(a.read_latencies) == len(b.read_latencies)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"read_fraction": 1.5},
+            {"operations": 0},
+            {"key_space": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        generator = WorkloadGenerator(sizes=(64,))
+        with pytest.raises(WorkloadError):
+            generator.run_mixed_workload(InMemoryStore(), **kwargs)
+
+
+class TestGather:
+    def test_collects_in_order(self):
+        with ThreadPool(4) as pool:
+            futures = [pool.submit(lambda i=i: i * 10) for i in range(10)]
+            assert gather(futures, timeout=5) == [i * 10 for i in range(10)]
+
+    def test_first_failure_raises(self):
+        futures = [completed_future(1)]
+        failing: ListenableFuture = ListenableFuture()
+        failing.set_exception(ValueError("boom"))
+        futures.append(failing)
+        with pytest.raises(ValueError):
+            gather(futures, timeout=1)
+
+    def test_timeout_is_total(self):
+        never: ListenableFuture = ListenableFuture()
+        with pytest.raises(FutureTimeoutError):
+            gather([completed_future(1), never], timeout=0.05)
+
+    def test_empty(self):
+        assert gather([], timeout=1) == []

@@ -1,0 +1,103 @@
+"""ThreadPool: reuse, concurrency, shutdown semantics, error isolation."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AsyncOperationError, ConfigurationError
+from repro.udsm.pool import ThreadPool
+
+
+class TestSubmission:
+    def test_submit_returns_future_with_result(self):
+        with ThreadPool(2) as pool:
+            assert pool.submit(lambda: 1 + 1).result(timeout=2) == 2
+
+    def test_submit_with_arguments(self):
+        with ThreadPool(2) as pool:
+            future = pool.submit(lambda a, b=0: a + b, 40, b=2)
+            assert future.result(timeout=2) == 42
+
+    def test_exceptions_delivered_not_raised_in_worker(self):
+        with ThreadPool(2) as pool:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=2)
+            # Pool still alive after a failing task:
+            assert pool.submit(lambda: "ok").result(timeout=2) == "ok"
+
+    def test_many_tasks_complete(self):
+        with ThreadPool(4) as pool:
+            futures = [pool.submit(lambda i=i: i * i) for i in range(100)]
+            assert [f.result(timeout=5) for f in futures] == [i * i for i in range(100)]
+
+
+class TestConcurrency:
+    def test_workers_are_reused(self):
+        """The paper's point: no thread creation per request."""
+        with ThreadPool(3) as pool:
+            thread_ids = set()
+            futures = [
+                pool.submit(lambda: thread_ids.add(threading.get_ident()))
+                for _ in range(50)
+            ]
+            for f in futures:
+                f.result(timeout=5)
+            assert len(thread_ids) <= 3
+
+    def test_tasks_actually_overlap(self):
+        with ThreadPool(4) as pool:
+            barrier = threading.Barrier(4, timeout=5)
+            futures = [pool.submit(barrier.wait) for _ in range(4)]
+            for f in futures:
+                f.result(timeout=5)  # deadlocks unless 4 ran concurrently
+
+    def test_pool_size_bounds_parallelism(self):
+        with ThreadPool(1) as pool:
+            running = []
+
+            def task():
+                running.append(1)
+                time.sleep(0.02)
+                count = len(running)
+                running.pop()
+                return count
+
+            futures = [pool.submit(task) for _ in range(5)]
+            assert all(f.result(timeout=5) == 1 for f in futures)
+
+
+class TestShutdown:
+    def test_shutdown_rejects_new_work(self):
+        pool = ThreadPool(1)
+        pool.shutdown()
+        with pytest.raises(AsyncOperationError):
+            pool.submit(lambda: 1)
+
+    def test_shutdown_completes_queued_work(self):
+        pool = ThreadPool(1)
+        futures = [pool.submit(time.sleep, 0.005) for _ in range(5)]
+        pool.shutdown(wait=True)
+        assert all(f.done() for f in futures)
+
+    def test_shutdown_idempotent(self):
+        pool = ThreadPool(1)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_cancelled_task_never_runs(self):
+        with ThreadPool(1) as pool:
+            ran = []
+            blocker = pool.submit(time.sleep, 0.05)
+            victim = pool.submit(lambda: ran.append(True))
+            assert victim.cancel()
+            blocker.result(timeout=2)
+            time.sleep(0.02)
+            assert ran == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            ThreadPool(0)

@@ -1,0 +1,49 @@
+"""Report helpers: .dat output, tables, ASCII charts."""
+
+from __future__ import annotations
+
+from repro.udsm.report import ascii_loglog_chart, format_table, write_dat
+
+
+class TestWriteDat:
+    def test_header_and_rows(self, tmp_path):
+        path = tmp_path / "out.dat"
+        write_dat(path, ("size", "mean"), [(1, 0.5), (10, 1.25)])
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# size\tmean"
+        assert lines[1] == "1\t0.5"
+        assert lines[2] == "10\t1.25"
+
+    def test_floats_compact(self, tmp_path):
+        path = tmp_path / "out.dat"
+        write_dat(path, ("v",), [(0.000012345678912,)])
+        assert "1.23456789e-05" in path.read_text()
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        table = format_table(("name", "value"), [("a", 1), ("longer-name", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line) for line in lines if line.strip()}) == 1
+
+    def test_contains_all_cells(self):
+        table = format_table(("x",), [("hello",), ("world",)])
+        assert "hello" in table and "world" in table
+
+
+class TestAsciiChart:
+    def test_chart_renders_markers_and_legend(self):
+        chart = ascii_loglog_chart(
+            {"fast": [(1, 0.1), (100, 0.2)], "slow": [(1, 10.0), (100, 50.0)]}
+        )
+        assert "o fast" in chart
+        assert "x slow" in chart
+        assert "latency" in chart
+
+    def test_empty_series(self):
+        assert ascii_loglog_chart({}) == "(no data)"
+
+    def test_nonpositive_points_skipped(self):
+        chart = ascii_loglog_chart({"s": [(0, 1.0), (10, 0.0), (10, 1.0)]})
+        assert "o s" in chart

@@ -1,0 +1,193 @@
+"""WorkloadGenerator: sweeps, hit-rate extrapolation, codec timing, output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import InProcessCache
+from repro.compression import GzipCompressor
+from repro.errors import WorkloadError
+from repro.kv import CLOUD_STORE_2, InMemoryStore, SimulatedCloudStore
+from repro.net import VirtualClock
+from repro.security import AesGcmEncryptor, generate_key
+from repro.udsm.workload import (
+    CachedReadSpec,
+    WorkloadGenerator,
+    compressible_payload,
+    payloads_from_files,
+    random_payload,
+)
+
+SIZES = (16, 256)
+
+
+@pytest.fixture()
+def generator():
+    return WorkloadGenerator(sizes=SIZES, repeats=3)
+
+
+class TestPayloads:
+    def test_random_payload_deterministic(self):
+        assert random_payload(100, 2) == random_payload(100, 2)
+        assert random_payload(100, 2) != random_payload(100, 3)
+
+    def test_payload_sizes_exact(self):
+        for size in (0, 1, 17, 1000):
+            assert len(random_payload(size)) == size
+            assert len(compressible_payload(size)) == size
+
+    def test_compressible_payload_compresses(self):
+        data = compressible_payload(20_000)
+        assert GzipCompressor().ratio(data) < 0.3
+
+    def test_payloads_from_files(self, tmp_path):
+        for i in range(3):
+            (tmp_path / f"obj{i}.bin").write_bytes(bytes([i]) * (i + 1) * 10)
+        payloads = payloads_from_files(sorted(tmp_path.iterdir()))
+        assert [len(p) for p in payloads] == [10, 20, 30]
+
+    def test_payloads_from_no_files_rejected(self):
+        with pytest.raises(WorkloadError):
+            payloads_from_files([])
+
+
+class TestSweeps:
+    def test_write_sweep_shape(self, generator):
+        result = generator.measure_writes(InMemoryStore())
+        assert result.operation == "write"
+        assert [p.size for p in result.points] == list(SIZES)
+        assert all(len(p.samples) == 3 for p in result.points)
+        assert all(s >= 0 for p in result.points for s in p.samples)
+
+    def test_read_sweep_cleans_up(self, generator):
+        store = InMemoryStore()
+        generator.measure_reads(store)
+        assert store.size() == 0
+
+    def test_cleanup_can_be_skipped(self, generator):
+        store = InMemoryStore()
+        generator.measure_reads(store, cleanup=False)
+        assert store.size() == len(SIZES) * 3
+
+    def test_sweep_reflects_store_latency(self):
+        """Simulated cloud store must measure slower than memory."""
+        clock = VirtualClock()
+        # The workload generator measures wall time, so give the cloud store
+        # a real clock but tiny scale to keep the test fast.
+        from repro.net import RealClock
+
+        cloud = SimulatedCloudStore(CLOUD_STORE_2, clock=RealClock(), time_scale=0.01)
+        generator = WorkloadGenerator(sizes=(64,), repeats=2)
+        mem_mean = generator.measure_reads(InMemoryStore()).points[0].mean
+        cloud_mean = generator.measure_reads(cloud).points[0].mean
+        assert cloud_mean > mem_mean * 5
+
+    def test_compare_stores(self, generator):
+        results = generator.compare_stores([InMemoryStore("a"), InMemoryStore("b")])
+        assert set(results) == {"a", "b"}
+        assert set(results["a"]) == {"read", "write"}
+
+    def test_point_for_unknown_size(self, generator):
+        result = generator.measure_writes(InMemoryStore())
+        with pytest.raises(WorkloadError):
+            result.point_for(12345)
+
+
+class TestHitRateCurves:
+    def test_curve_structure(self, generator):
+        from repro.net import RealClock
+
+        store = SimulatedCloudStore(CLOUD_STORE_2, clock=RealClock(), time_scale=0.01)
+        curve = generator.measure_cached_reads(store, InProcessCache())
+        curves = curve.curves
+        assert set(curves) == {0.0, 0.25, 0.5, 0.75, 1.0}
+        for series in curves.values():
+            assert [size for size, _ in series] == list(SIZES)
+
+    def test_extrapolation_is_linear_between_endpoints(self, generator):
+        from repro.net import RealClock
+
+        store = SimulatedCloudStore(CLOUD_STORE_2, clock=RealClock(), time_scale=0.01)
+        curve = generator.measure_cached_reads(store, InProcessCache())
+        curves = curve.curves
+        for index in range(len(SIZES)):
+            l0 = curves[0.0][index][1]
+            l100 = curves[1.0][index][1]
+            l50 = curves[0.5][index][1]
+            assert l50 == pytest.approx((l0 + l100) / 2)
+
+    def test_higher_hit_rate_is_faster_on_slow_store(self, generator):
+        from repro.net import RealClock
+
+        store = SimulatedCloudStore(CLOUD_STORE_2, clock=RealClock(), time_scale=0.01)
+        curve = generator.measure_cached_reads(store, InProcessCache())
+        curves = curve.curves
+        assert curves[1.0][1][1] < curves[0.0][1][1]
+
+    def test_mixed_measured_hit_rate(self):
+        generator = WorkloadGenerator(sizes=(64,), repeats=2)
+        mean, achieved = generator.measure_mixed_reads(
+            InMemoryStore(), InProcessCache(), hit_rate=0.75, size=64, operations=100
+        )
+        assert mean > 0
+        assert 0.4 < achieved <= 1.0
+
+    def test_invalid_hit_rate(self, generator):
+        with pytest.raises(WorkloadError):
+            generator.measure_mixed_reads(
+                InMemoryStore(), InProcessCache(), hit_rate=1.5, size=64
+            )
+
+    def test_custom_spec(self, generator):
+        curve = generator.measure_cached_reads(
+            InMemoryStore(), InProcessCache(), CachedReadSpec(hit_rates=(0.0, 1.0))
+        )
+        assert set(curve.curves) == {0.0, 1.0}
+
+
+class TestCodecTiming:
+    def test_encryptor_timing(self, generator):
+        timing = generator.measure_encryptor(AesGcmEncryptor(generate_key()))
+        assert timing.codec == "aes-gcm"
+        assert [p.size for p in timing.encode.points] == list(SIZES)
+        assert all(p.mean > 0 for p in timing.encode.points)
+        assert all(p.mean > 0 for p in timing.decode.points)
+
+    def test_compressor_timing_reports_output_sizes(self, generator):
+        timing = generator.measure_compressor(GzipCompressor())
+        assert len(timing.output_sizes) == len(SIZES)
+        big_in, big_out = timing.output_sizes[-1]
+        assert big_out < big_in  # compressible default payload
+
+
+class TestTextOutput:
+    def test_sweep_dat_file(self, generator, tmp_path):
+        result = generator.measure_writes(InMemoryStore())
+        path = tmp_path / "writes.dat"
+        result.write_dat(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("# size_bytes")
+        assert len(lines) == 1 + len(SIZES)
+        assert lines[1].split("\t")[0] == str(SIZES[0])
+
+    def test_curve_dat_file(self, generator, tmp_path):
+        curve = generator.measure_cached_reads(InMemoryStore(), InProcessCache())
+        path = tmp_path / "curve.dat"
+        curve.write_dat(path)
+        header = path.read_text().splitlines()[0]
+        for rate in (0, 25, 50, 75, 100):
+            assert f"hit_{rate}pct_ms" in header
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sizes": ()},
+            {"sizes": (-1,)},
+            {"sizes": (10,), "repeats": 0},
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(**kwargs)
