@@ -1,0 +1,14 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test check-docs all
+
+all: test check-docs
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Extract and smoke-execute every ```python block in docs/*.md
+# (blocks tagged ```python no-run are syntax-checked only).
+check-docs:
+	$(PYTHON) scripts/check_docs.py

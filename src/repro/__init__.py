@@ -84,6 +84,15 @@ from .compression import (
     LzmaCompressor,
     ZlibCompressor,
 )
+from .obs import (
+    NULL_OBS,
+    MetricsRegistry,
+    Observability,
+    Span,
+    TraceCollector,
+    Tracer,
+    resolve_obs,
+)
 from .tools import copy_store, verify_stores
 from .delta import DeltaCodec, DeltaStoreManager, apply_delta, encode_delta
 from .core import DSCL, EnhancedDataStoreClient, ValuePipeline, WritePolicy
@@ -178,6 +187,14 @@ __all__ = [
     "atomic_put_many",
     "InvalidationBus",
     "CoherentClient",
+    # observability
+    "Observability",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "TraceCollector",
+    "NULL_OBS",
+    "resolve_obs",
     # udsm
     "UniversalDataStoreManager",
     "AsyncKeyValue",

@@ -21,6 +21,7 @@ import threading
 from typing import Any, Callable, Iterator
 
 from ..errors import CapacityError, ConfigurationError
+from ..obs import Observability, resolve_obs
 from .interface import MISS, Cache
 from .policies import EvictionPolicy, make_policy
 
@@ -58,6 +59,7 @@ class InProcessCache(Cache):
         copy_on_get: bool = False,
         sizer: Callable[[Any], int] | None = None,
         name: str = "inprocess",
+        obs: Observability | None = None,
     ) -> None:
         """Create a cache.
 
@@ -69,8 +71,16 @@ class InProcessCache(Cache):
             caller's reference (isolates the cache from later mutation).
         :param copy_on_get: return a deep copy on hits (isolates callers
             from each other).
+        :param obs: observability bundle; routes hit/miss/eviction counters
+            into the shared registry (``cache.<name>.*``) and wraps
+            ``get``/``put`` in ``cache.get`` / ``cache.put`` spans.
         """
         super().__init__()
+        self._obs = resolve_obs(obs)
+        if self._obs.enabled:
+            self.stats.bind(self._obs.registry, f"cache.{name}")
+        self._m_get = f"cache.{name}.get"
+        self._m_put = f"cache.{name}.put"
         if max_entries is not None and max_entries <= 0:
             raise ConfigurationError("max_entries must be positive or None")
         if max_bytes is not None and max_bytes <= 0:
@@ -102,14 +112,15 @@ class InProcessCache(Cache):
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Any:
-        with self._lock:
-            if key not in self._data:
-                self.stats.record_miss()
-                return MISS
-            self._policy.on_access(key)
-            self.stats.record_hit()
-            value = self._data[key]
-        return copy.deepcopy(value) if self._copy_on_get else value
+        with self._obs.stage("cache.get", metric=self._m_get):
+            with self._lock:
+                if key not in self._data:
+                    self.stats.record_miss()
+                    return MISS
+                self._policy.on_access(key)
+                self.stats.record_hit()
+                value = self._data[key]
+            return copy.deepcopy(value) if self._copy_on_get else value
 
     def get_quiet(self, key: str) -> Any:
         with self._lock:
@@ -119,6 +130,10 @@ class InProcessCache(Cache):
         return copy.deepcopy(value) if self._copy_on_get else value
 
     def put(self, key: str, value: Any) -> None:
+        with self._obs.stage("cache.put", metric=self._m_put):
+            self._put(key, value)
+
+    def _put(self, key: str, value: Any) -> None:
         stored = copy.deepcopy(value) if self._copy_on_put else value
         size = self._sizer(stored) if self._max_bytes is not None else 1
         if self._max_bytes is not None and size > self._max_bytes:

@@ -20,26 +20,42 @@ from collections import OrderedDict
 from typing import Iterable, Sequence
 
 from ..errors import ConfigurationError
+from ..obs.metrics import Counter, MetricsRegistry
 
 __all__ = ["StackDistanceProfiler"]
 
 
 class StackDistanceProfiler:
-    """One-pass LRU stack-distance histogram over an access trace."""
+    """One-pass LRU stack-distance histogram over an access trace.
 
-    def __init__(self) -> None:
+    Pass a shared :class:`~repro.obs.metrics.MetricsRegistry` to publish the
+    running access / cold-miss totals as ``profiler.<name>.accesses`` and
+    ``profiler.<name>.cold_misses`` counters (the registry counters *are*
+    the profiler's counters, so there is one set of numbers).
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        name: str = "stack",
+    ) -> None:
         # LRU stack: most recent last.  OrderedDict gives O(n) distance
         # computation per access (index scan), fine for profiling runs;
         # the histogram is what we keep.
         self._stack: OrderedDict[str, None] = OrderedDict()
         self._histogram: dict[int, int] = {}
-        self._cold_misses = 0
-        self._accesses = 0
+        if registry is not None:
+            self._cold_misses = registry.counter(f"profiler.{name}.cold_misses")
+            self._accesses = registry.counter(f"profiler.{name}.accesses")
+        else:
+            self._cold_misses = Counter()
+            self._accesses = Counter()
 
     # ------------------------------------------------------------------
     def record(self, key: str) -> None:
         """Record one access to *key*."""
-        self._accesses += 1
+        self._accesses.inc()
         if key in self._stack:
             # Distance = how many keys are more recent than `key`.
             distance = 0
@@ -50,7 +66,7 @@ class StackDistanceProfiler:
             self._histogram[distance] = self._histogram.get(distance, 0) + 1
             self._stack.move_to_end(key)
         else:
-            self._cold_misses += 1
+            self._cold_misses.inc()
             self._stack[key] = None
 
     def record_trace(self, keys: Iterable[str]) -> None:
@@ -61,7 +77,11 @@ class StackDistanceProfiler:
     # ------------------------------------------------------------------
     @property
     def accesses(self) -> int:
-        return self._accesses
+        return self._accesses.value
+
+    @property
+    def cold_misses(self) -> int:
+        return self._cold_misses.value
 
     @property
     def distinct_keys(self) -> int:
@@ -75,12 +95,13 @@ class StackDistanceProfiler:
         """
         if cache_size < 0:
             raise ConfigurationError("cache_size must be non-negative")
-        if not self._accesses:
+        total = self._accesses.value
+        if not total:
             return 0.0
         hits = sum(
             count for distance, count in self._histogram.items() if distance < cache_size
         )
-        return hits / self._accesses
+        return hits / total
 
     def curve(self, sizes: Sequence[int]) -> list[tuple[int, float]]:
         """``(size, predicted_hit_rate)`` for each requested cache size."""

@@ -20,6 +20,7 @@ from typing import Any, Iterator
 
 from ..errors import StoreConnectionError
 from ..net.client import CacheClient
+from ..obs import Observability, resolve_obs
 from ..serialization import Serializer, default_serializer
 from .interface import MISS, Cache
 
@@ -38,6 +39,7 @@ class RemoteProcessCache(Cache):
         namespace: str = "",
         client: CacheClient | None = None,
         name: str = "remote",
+        obs: Observability | None = None,
     ) -> None:
         """Connect to a cache server.
 
@@ -45,13 +47,22 @@ class RemoteProcessCache(Cache):
             share one server (the paper's "shared by multiple clients").
         :param client: reuse an existing connection instead of opening one;
             the cache then does not own (and will not close) it.
+        :param obs: observability bundle; routes hit/miss counters into the
+            shared registry, wraps operations in ``cache.*`` spans, and --
+            when this cache opens its own connection -- times every TCP
+            round trip as a nested ``net.roundtrip`` span.
         """
         super().__init__()
         self.name = name
+        self._obs = resolve_obs(obs)
+        if self._obs.enabled:
+            self.stats.bind(self._obs.registry, f"cache.{name}")
+        self._m_get = f"cache.{name}.get"
+        self._m_put = f"cache.{name}.put"
         self._serializer = serializer if serializer is not None else default_serializer()
         self._prefix = (namespace + ":").encode("utf-8") if namespace else b""
         self._owns_client = client is None
-        self._client = client if client is not None else CacheClient(host, port)
+        self._client = client if client is not None else CacheClient(host, port, obs=obs)
 
     # ------------------------------------------------------------------
     def _wire_key(self, key: str) -> bytes:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from ..obs import Observability, resolve_obs
 from .interface import MISS, Cache
 
 __all__ = ["TieredCache"]
@@ -30,6 +31,7 @@ class TieredCache(Cache):
         promote: bool = True,
         write_through: bool = True,
         name: str = "tiered",
+        obs: Observability | None = None,
     ) -> None:
         """Compose two caches.
 
@@ -37,9 +39,18 @@ class TieredCache(Cache):
         :param write_through: ``put`` writes both levels; when off, writes
             go to L1 only and reach L2 lazily via promotion's inverse
             (never), so leave it on unless L2 is being fed elsewhere.
+        :param obs: observability bundle; composite hit/miss counters go to
+            ``cache.<name>.*`` and lookups get a ``cache.get`` span whose
+            ``level`` attribute says which tier served the hit.  Pass the
+            same bundle to the member caches to see per-tier detail too.
         """
         super().__init__()
         self.name = name
+        self._obs = resolve_obs(obs)
+        if self._obs.enabled:
+            self.stats.bind(self._obs.registry, f"cache.{name}")
+        self._m_get = f"cache.{name}.get"
+        self._m_put = f"cache.{name}.put"
         self.l1 = l1
         self.l2 = l2
         self._promote = promote
@@ -47,18 +58,23 @@ class TieredCache(Cache):
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Any:
-        value = self.l1.get(key)
-        if value is not MISS:
-            self.stats.record_hit()
-            return value
-        value = self.l2.get(key)
-        if value is not MISS:
-            if self._promote:
-                self.l1.put(key, value)
-            self.stats.record_hit()
-            return value
-        self.stats.record_miss()
-        return MISS
+        with self._obs.stage("cache.get", metric=self._m_get) as span:
+            value = self.l1.get(key)
+            if value is not MISS:
+                if span is not None:
+                    span.set_attribute("level", "l1")
+                self.stats.record_hit()
+                return value
+            value = self.l2.get(key)
+            if value is not MISS:
+                if span is not None:
+                    span.set_attribute("level", "l2")
+                if self._promote:
+                    self.l1.put(key, value)
+                self.stats.record_hit()
+                return value
+            self.stats.record_miss()
+            return MISS
 
     def get_quiet(self, key: str) -> Any:
         value = self.l1.get_quiet(key)
@@ -67,10 +83,11 @@ class TieredCache(Cache):
         return self.l2.get_quiet(key)
 
     def put(self, key: str, value: Any) -> None:
-        self.l1.put(key, value)
-        if self._write_through:
-            self.l2.put(key, value)
-        self.stats.record_put()
+        with self._obs.stage("cache.put", metric=self._m_put):
+            self.l1.put(key, value)
+            if self._write_through:
+                self.l2.put(key, value)
+            self.stats.record_put()
 
     def delete(self, key: str) -> bool:
         removed_l1 = self.l1.delete(key)

@@ -15,6 +15,12 @@ Commands
     The paper's cached-read experiment (hit-rate curves) for one store.
 ``codec-bench``
     Encryption/compression overhead sweeps (Figures 20/21).
+``stats``
+    Run a short enhanced-client workload with observability enabled and
+    print the metrics registry (counters + latency histograms).
+``trace``
+    Run one put / cached get / invalidate / uncached get against an
+    enhanced client and print the span tree each operation produced.
 
 Examples::
 
@@ -23,6 +29,8 @@ Examples::
     python -m repro bench --store cloud1 --time-scale 0.1
     python -m repro cached-bench --store cloud2 --cache inprocess
     python -m repro codec-bench --codec gzip
+    python -m repro stats --store memory --compress gzip --json
+    python -m repro trace --store cloud1 --encrypt aes-gcm
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from typing import Any
 from .caching import InProcessCache, RemoteProcessCache
 from .compression import GzipCompressor, LzmaCompressor, ZlibCompressor
 from .core import EnhancedDataStoreClient
-from .errors import DataStoreError
+from .errors import ConfigurationError, DataStoreError
 from .kv import (
     CLOUD_STORE_1,
     CLOUD_STORE_2,
@@ -282,6 +290,66 @@ def cmd_mixed_bench(options: argparse.Namespace) -> int:
     return 0
 
 
+def _build_observed_client(
+    options: argparse.Namespace,
+) -> "tuple[Any, EnhancedDataStoreClient]":
+    """Store + observability-enabled enhanced client for stats/trace."""
+    from .obs import Observability
+
+    store = build_store(options)
+    obs = Observability()
+    compressor = _CODECS[options.compress]() if options.compress else None
+    encryptor = _CODECS[options.encrypt]() if options.encrypt else None
+    client = EnhancedDataStoreClient(
+        store,
+        cache=InProcessCache(),
+        compressor=compressor,
+        encryptor=encryptor,
+        obs=obs,
+    )
+    return store, client
+
+
+def cmd_stats(options: argparse.Namespace) -> int:
+    if options.keys < 1:
+        raise ConfigurationError("--keys must be at least 1")
+    store, client = _build_observed_client(options)
+    obs = client.obs
+    payload = {"value": list(range(64)), "text": "x" * options.value_size}
+    for index in range(options.keys):
+        client.put(f"stats-key-{index}", payload)
+    for _ in range(options.reads):
+        for index in range(options.keys):
+            client.get(f"stats-key-{index}")
+    client.invalidate("stats-key-0")
+    client.get("stats-key-0")  # one cache miss + store read
+    if options.json:
+        print(obs.registry.to_json())
+    else:
+        print(obs.registry.render_text())
+    client.close()
+    return 0
+
+
+def cmd_trace(options: argparse.Namespace) -> int:
+    store, client = _build_observed_client(options)
+    obs = client.obs
+    operations = (
+        ("put", lambda: client.put("trace-key", {"payload": "y" * options.value_size})),
+        ("get (cache hit)", lambda: client.get("trace-key")),
+        ("invalidate", lambda: client.invalidate("trace-key")),
+        ("get (cache miss)", lambda: client.get("trace-key")),
+    )
+    for title, operation in operations:
+        obs.collector.clear()
+        operation()
+        print(f"--- {title} ---")
+        print(obs.collector.render())
+        print()
+    client.close()
+    return 0
+
+
 def cmd_migrate(options: argparse.Namespace) -> int:
     from .tools import copy_store, verify_stores
 
@@ -352,6 +420,31 @@ def build_parser() -> argparse.ArgumentParser:
     mixed.add_argument("--cached", action="store_true",
                        help="drive an enhanced (in-process cached) client")
     mixed.set_defaults(handler=cmd_mixed_bench)
+
+    def _add_obs_options(sub: argparse.ArgumentParser) -> None:
+        _add_store_options(sub)
+        sub.add_argument("--compress", choices=("gzip", "zlib", "lzma"), default=None,
+                         help="add a compression stage to the pipeline")
+        sub.add_argument("--encrypt", choices=("aes-gcm", "aes-cbc"), default=None,
+                         help="add an encryption stage to the pipeline")
+        sub.add_argument("--value-size", type=int, default=1_024,
+                         help="bytes of payload per value")
+
+    stats = commands.add_parser(
+        "stats", help="run a short workload and print the metrics registry"
+    )
+    _add_obs_options(stats)
+    stats.add_argument("--keys", type=int, default=8, help="distinct keys to touch")
+    stats.add_argument("--reads", type=int, default=4, help="read passes over the keys")
+    stats.add_argument("--json", action="store_true",
+                       help="print the registry snapshot as JSON")
+    stats.set_defaults(handler=cmd_stats)
+
+    trace = commands.add_parser(
+        "trace", help="print the span tree of put / cached get / uncached get"
+    )
+    _add_obs_options(trace)
+    trace.set_defaults(handler=cmd_trace)
 
     migrate = commands.add_parser("migrate", help="copy one store into another")
     migrate.add_argument("--source", required=True,

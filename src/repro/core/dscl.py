@@ -28,6 +28,7 @@ from ..compression.interface import Compressor
 from ..delta.encoder import DEFAULT_WINDOW_SIZE, DeltaCodec
 from ..kv.interface import KeyValueStore
 from ..kv.wrappers import TransformingStore
+from ..obs import Observability, resolve_obs
 from ..security.interface import Encryptor
 from ..serialization import Serializer
 from .pipeline import ValuePipeline
@@ -47,6 +48,7 @@ class DSCL:
         compressor: Compressor | None = None,
         encryptor: Encryptor | None = None,
         delta_window: int = DEFAULT_WINDOW_SIZE,
+        obs: Observability | None = None,
     ) -> None:
         """Assemble a DSCL instance.
 
@@ -56,13 +58,22 @@ class DSCL:
             ``put`` overrides it (``None`` = no expiry).
         :param serializer/compressor/encryptor: value pipeline stages.
         :param delta_window: minimum match length for delta encoding.
+        :param obs: observability bundle shared with the pipeline; cache
+            operations become ``cache.*`` spans and the cache's hit/miss
+            counters are re-homed into the shared metrics registry.
         """
+        self.obs = resolve_obs(obs)
         self.pipeline = ValuePipeline(
-            serializer=serializer, compressor=compressor, encryptor=encryptor
+            serializer=serializer, compressor=compressor, encryptor=encryptor, obs=obs
         )
         self.cache = cache if cache is not None else InProcessCache()
         self.expiring = ExpiringCache(self.cache, default_ttl=default_ttl)
         self.delta_codec = DeltaCodec(delta_window)
+        self._m_cache = f"cache.{self.cache.name}"
+        self._m_cache_put = self._m_cache + ".put"
+        self._m_cache_lookup = self._m_cache + ".lookup"
+        if self.obs.enabled:
+            self.cache.stats.bind(self.obs.registry, self._m_cache)
 
     # ------------------------------------------------------------------
     # Caching API (explicit, paper approach 2)
@@ -76,15 +87,21 @@ class DSCL:
         version: str | None = None,
     ) -> None:
         """Cache *value* under DSCL-managed expiration."""
-        self.expiring.put(key, value, ttl=ttl, version=version)
+        with self.obs.stage("cache.put", metric=self._m_cache_put):
+            self.expiring.put(key, value, ttl=ttl, version=version)
 
     def cache_get(self, key: str) -> Any:
         """Fresh cached value, or :data:`~repro.caching.interface.MISS`."""
-        return self.expiring.get(key)
+        with self.obs.stage("cache.lookup", metric=self._m_cache_lookup):
+            return self.expiring.get(key)
 
     def cache_lookup(self, key: str) -> LookupResult:
         """Full-fidelity lookup distinguishing fresh / expired / miss."""
-        return self.expiring.lookup(key)
+        with self.obs.stage("cache.lookup", metric=self._m_cache_lookup) as span:
+            result = self.expiring.lookup(key)
+            if span is not None:
+                span.set_attribute("freshness", result.freshness.value)
+            return result
 
     def cache_refresh(
         self,
@@ -145,16 +162,18 @@ class DSCL:
         never justify managing a delta).
         """
         serializer = self.pipeline.serializer
-        return self.delta_codec.encode_if_profitable(
-            serializer.dumps(old_value), serializer.dumps(new_value), max_ratio=max_ratio
-        )
+        with self.obs.stage("delta.encode"):
+            return self.delta_codec.encode_if_profitable(
+                serializer.dumps(old_value), serializer.dumps(new_value), max_ratio=max_ratio
+            )
 
     def apply_value_delta(self, old_value: Any, delta: bytes) -> Any:
         """Reconstruct the new value from the old one plus a delta."""
         serializer = self.pipeline.serializer
-        return serializer.loads(
-            self.delta_codec.apply(serializer.dumps(old_value), delta)
-        )
+        with self.obs.stage("delta.apply"):
+            return serializer.loads(
+                self.delta_codec.apply(serializer.dumps(old_value), delta)
+            )
 
     # ------------------------------------------------------------------
     # Store integration helper

@@ -33,6 +33,7 @@ from ..compression.interface import Compressor
 from ..delta.encoder import DEFAULT_WINDOW_SIZE
 from ..errors import KeyNotFoundError
 from ..kv.interface import NOT_MODIFIED, KeyValueStore
+from ..obs import Observability
 from ..security.interface import Encryptor
 from ..serialization import Serializer
 from .dscl import DSCL
@@ -95,6 +96,22 @@ class _NegativeEntry:
 
 _NEGATIVE = _NegativeEntry()
 
+#: Registry metric name for each :class:`ClientCounters` field (precomputed
+#: so the disabled-observability path never builds strings).
+_COUNTER_METRICS = {
+    field: f"client.{field}"
+    for field in (
+        "cache_hits",
+        "cache_misses",
+        "store_reads",
+        "store_writes",
+        "revalidations",
+        "revalidated_not_modified",
+        "revalidated_modified",
+        "coalesced_misses",
+    )
+}
+
 
 class EnhancedDataStoreClient:
     """A data store client with integrated caching, encryption, compression.
@@ -117,6 +134,7 @@ class EnhancedDataStoreClient:
         compressor: Compressor | None = None,
         encryptor: Encryptor | None = None,
         delta_window: int = DEFAULT_WINDOW_SIZE,
+        obs: Observability | None = None,
     ) -> None:
         """Enhance *store*.
 
@@ -139,6 +157,10 @@ class EnhancedDataStoreClient:
         :param serializer/compressor/encryptor: value pipeline; when a
             compressor or encryptor is set, everything persisted to the
             origin store is pipeline-encoded bytes.
+        :param obs: observability bundle.  When set, every ``get``/``put``
+            becomes a ``dscl.*`` root span with nested cache / store /
+            pipeline stages, and the :class:`ClientCounters` are mirrored
+            as ``client.*`` registry counters (see ``docs/observability.md``).
         """
         self.dscl = DSCL(
             cache=cache,
@@ -147,7 +169,9 @@ class EnhancedDataStoreClient:
             compressor=compressor,
             encryptor=encryptor,
             delta_window=delta_window,
+            obs=obs,
         )
+        self._obs = self.dscl.obs
         self._origin = store
         self._store = self.dscl.wrap_store(store)
         self._write_policy = write_policy
@@ -159,6 +183,10 @@ class EnhancedDataStoreClient:
         self.counters = ClientCounters()
         self._counters_lock = threading.Lock()
         self.name = f"enhanced({store.name})"
+        self._m_store = f"store.{store.name}"
+        self._m_store_get = self._m_store + ".get"
+        self._m_store_put = self._m_store + ".put"
+        self._m_store_revalidate = self._m_store + ".revalidate"
 
     # ------------------------------------------------------------------
     @property
@@ -176,21 +204,36 @@ class EnhancedDataStoreClient:
         """The integrated cache (for stats or direct manipulation)."""
         return self.dscl.cache
 
+    @property
+    def obs(self) -> "Observability":
+        """The observability bundle (``NULL_OBS`` when not enabled)."""
+        return self._obs
+
+    # ------------------------------------------------------------------
+    # Counter recording (client counters + the shared metrics registry)
+    # ------------------------------------------------------------------
+    def _count(self, field: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            setattr(self.counters, field, getattr(self.counters, field) + amount)
+        self._obs.inc(_COUNTER_METRICS[field], amount)
+
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def get(self, key: str) -> Any:
         """Cached read-through get; raises ``KeyNotFoundError`` if absent."""
+        with self._obs.stage("dscl.get", metric="client.get", key=key):
+            return self._get(key)
+
+    def _get(self, key: str) -> Any:
         lookup = self.dscl.cache_lookup(key)
         if lookup.freshness is Freshness.FRESH:
             assert lookup.entry is not None
             if lookup.entry.value is _NEGATIVE:
                 # A fresh negative entry: the origin said "absent" recently.
-                with self._counters_lock:
-                    self.counters.cache_hits += 1
+                self._count("cache_hits")
                 raise KeyNotFoundError(key, self.name)
-            with self._counters_lock:
-                self.counters.cache_hits += 1
+            self._count("cache_hits")
             return lookup.entry.value
 
         if (
@@ -201,8 +244,7 @@ class EnhancedDataStoreClient:
         ):
             return self._revalidate_entry(key, lookup.entry.value, lookup.entry.version)
 
-        with self._counters_lock:
-            self.counters.cache_misses += 1
+        self._count("cache_misses")
         if self._coalesce:
             return self._fetch_coalesced(key)
         return self._fetch_and_cache(key)
@@ -218,8 +260,7 @@ class EnhancedDataStoreClient:
                 if lookup.freshness is Freshness.FRESH and lookup.entry is not None:
                     if lookup.entry.value is _NEGATIVE:
                         raise KeyNotFoundError(key, self.name)
-                    with self._counters_lock:
-                        self.counters.coalesced_misses += 1
+                    self._count("coalesced_misses")
                     return lookup.entry.value
                 return self._fetch_and_cache(key)
         finally:
@@ -229,31 +270,29 @@ class EnhancedDataStoreClient:
 
     def _revalidate_entry(self, key: str, cached_value: Any, version: str) -> Any:
         """Conditional fetch for an expired entry (If-Modified-Since)."""
-        with self._counters_lock:
-            self.counters.revalidations += 1
-            self.counters.store_reads += 1
+        self._count("revalidations")
+        self._count("store_reads")
         try:
-            result = self._store.get_if_modified(key, version)
+            with self._obs.stage("store.revalidate", metric=self._m_store_revalidate):
+                result = self._store.get_if_modified(key, version)
         except KeyNotFoundError:
             # The origin dropped the key; the cached copy is dead too.
             self.dscl.cache_delete(key)
             raise
         if result is NOT_MODIFIED:
-            with self._counters_lock:
-                self.counters.revalidated_not_modified += 1
+            self._count("revalidated_not_modified")
             self.dscl.cache_refresh(key, version=version)
             return cached_value
-        with self._counters_lock:
-            self.counters.revalidated_modified += 1
+        self._count("revalidated_modified")
         value, new_version = result
         self.dscl.cache_put(key, value, version=new_version)
         return value
 
     def _fetch_and_cache(self, key: str) -> Any:
-        with self._counters_lock:
-            self.counters.store_reads += 1
+        self._count("store_reads")
         try:
-            value, version = self._store.get_with_version(key)
+            with self._obs.stage("store.get", metric=self._m_store_get):
+                value, version = self._store.get_with_version(key)
         except KeyNotFoundError:
             if self._negative_ttl is not None:
                 self.dscl.cache_put(key, _NEGATIVE, ttl=self._negative_ttl)
@@ -272,33 +311,32 @@ class EnhancedDataStoreClient:
         fetched from the origin in ONE ``get_many`` call (one MGET round
         trip on remote stores) and cached.  Absent keys are omitted.
         """
-        result: dict[str, Any] = {}
-        misses: list[str] = []
-        for key in keys:
-            lookup = self.dscl.cache_lookup(key)
-            if lookup.freshness is Freshness.FRESH and lookup.entry is not None:
-                if lookup.entry.value is _NEGATIVE:
-                    with self._counters_lock:
-                        self.counters.cache_hits += 1
-                    continue  # known-absent
-                with self._counters_lock:
-                    self.counters.cache_hits += 1
-                result[key] = lookup.entry.value
-            else:
-                misses.append(key)
-        if misses:
-            with self._counters_lock:
-                self.counters.cache_misses += len(misses)
-                self.counters.store_reads += 1
-            fetched = self._store.get_many(misses)
-            for key, value in fetched.items():
-                self.dscl.cache_put(key, value)
-                result[key] = value
-            if self._negative_ttl is not None:
-                for key in misses:
-                    if key not in fetched:
-                        self.dscl.cache_put(key, _NEGATIVE, ttl=self._negative_ttl)
-        return result
+        with self._obs.stage("dscl.get_many", metric="client.get_many"):
+            result: dict[str, Any] = {}
+            misses: list[str] = []
+            for key in keys:
+                lookup = self.dscl.cache_lookup(key)
+                if lookup.freshness is Freshness.FRESH and lookup.entry is not None:
+                    if lookup.entry.value is _NEGATIVE:
+                        self._count("cache_hits")
+                        continue  # known-absent
+                    self._count("cache_hits")
+                    result[key] = lookup.entry.value
+                else:
+                    misses.append(key)
+            if misses:
+                self._count("cache_misses", len(misses))
+                self._count("store_reads")
+                with self._obs.stage("store.get_many", metric=self._m_store_get):
+                    fetched = self._store.get_many(misses)
+                for key, value in fetched.items():
+                    self.dscl.cache_put(key, value)
+                    result[key] = value
+                if self._negative_ttl is not None:
+                    for key in misses:
+                        if key not in fetched:
+                            self.dscl.cache_put(key, _NEGATIVE, ttl=self._negative_ttl)
+            return result
 
     # ------------------------------------------------------------------
     # Write path
@@ -309,21 +347,22 @@ class EnhancedDataStoreClient:
         :param ttl: cache lifetime for this entry under write-through;
             omitted = the client's ``default_ttl``, ``None`` = never expire.
         """
-        with self._counters_lock:
-            self.counters.store_writes += 1
-        version = self._store.put_with_version(key, value)
-        if self._write_policy is WritePolicy.WRITE_THROUGH:
-            self.dscl.cache_put(key, value, ttl=ttl, version=version)
-        elif self._write_policy is WritePolicy.INVALIDATE:
-            self.dscl.cache_delete(key)
-        # WritePolicy.NONE: cache untouched by design.
+        with self._obs.stage("dscl.put", metric="client.put", key=key):
+            self._count("store_writes")
+            with self._obs.stage("store.put", metric=self._m_store_put):
+                version = self._store.put_with_version(key, value)
+            if self._write_policy is WritePolicy.WRITE_THROUGH:
+                self.dscl.cache_put(key, value, ttl=ttl, version=version)
+            elif self._write_policy is WritePolicy.INVALIDATE:
+                self.dscl.cache_delete(key)
+            # WritePolicy.NONE: cache untouched by design.
 
     def delete(self, key: str) -> bool:
         """Delete from the origin and drop any cached copy."""
-        with self._counters_lock:
-            self.counters.store_writes += 1
-        self.dscl.cache_delete(key)
-        return self._store.delete(key)
+        with self._obs.stage("dscl.delete", metric="client.delete", key=key):
+            self._count("store_writes")
+            self.dscl.cache_delete(key)
+            return self._store.delete(key)
 
     # ------------------------------------------------------------------
     # Pass-throughs
@@ -341,7 +380,8 @@ class EnhancedDataStoreClient:
 
     def invalidate(self, key: str) -> bool:
         """Drop the cached entry only (the origin is untouched)."""
-        return self.dscl.cache_delete(key)
+        with self._obs.stage("dscl.invalidate", metric="client.invalidate", key=key):
+            return self.dscl.cache_delete(key)
 
     def invalidate_all(self) -> int:
         return self.dscl.cache_clear()

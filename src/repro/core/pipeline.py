@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..compression.interface import Compressor
+from ..obs import Observability, resolve_obs
 from ..security.interface import Encryptor
 from ..serialization import Serializer, default_serializer
 
@@ -34,16 +35,27 @@ class ValuePipeline:
         serializer: Serializer | None = None,
         compressor: Compressor | None = None,
         encryptor: Encryptor | None = None,
+        obs: Observability | None = None,
     ) -> None:
         """Build a pipeline; omitted stages are skipped.
 
         :param serializer: value <-> bytes codec (default pickle).
         :param compressor: optional compression stage.
         :param encryptor: optional encryption stage (runs last on encode).
+        :param obs: observability bundle; when set, every stage runs inside
+            a ``pipeline.*`` span and records a per-codec latency histogram
+            (see ``docs/observability.md``).
         """
         self._serializer = serializer if serializer is not None else default_serializer()
         self._compressor = compressor
         self._encryptor = encryptor
+        self._obs = resolve_obs(obs)
+        # Per-codec metric prefixes, precomputed off the hot path.
+        self._m_serializer = f"pipeline.{self._serializer.name}"
+        self._m_compressor = (
+            f"pipeline.{compressor.name}" if compressor is not None else ""
+        )
+        self._m_encryptor = f"pipeline.{encryptor.name}" if encryptor is not None else ""
 
     # ------------------------------------------------------------------
     @property
@@ -75,24 +87,55 @@ class ValuePipeline:
     # ------------------------------------------------------------------
     def encode(self, value: Any) -> bytes:
         """Value -> wire bytes (serialize, then compress, then encrypt)."""
-        return self.encode_bytes(self._serializer.dumps(value))
+        if not self._obs.enabled:
+            return self.encode_bytes(self._serializer.dumps(value))
+        with self._obs.stage("pipeline.serialize", metric=f"{self._m_serializer}.serialize"):
+            data = self._serializer.dumps(value)
+        return self.encode_bytes(data)
 
     def decode(self, payload: bytes) -> Any:
         """Wire bytes -> value (decrypt, then decompress, then deserialize)."""
-        return self._serializer.loads(self.decode_bytes(payload))
+        data = self.decode_bytes(payload)
+        if not self._obs.enabled:
+            return self._serializer.loads(data)
+        with self._obs.stage("pipeline.deserialize", metric=f"{self._m_serializer}.deserialize"):
+            return self._serializer.loads(data)
 
     def encode_bytes(self, data: bytes) -> bytes:
         """Byte-level encode for already-serialized payloads."""
+        obs = self._obs
+        if not obs.enabled:
+            if self._compressor is not None:
+                data = self._compressor.compress(data)
+            if self._encryptor is not None:
+                data = self._encryptor.encrypt(data)
+            return data
         if self._compressor is not None:
-            data = self._compressor.compress(data)
+            with obs.stage("pipeline.compress", metric=f"{self._m_compressor}.compress") as span:
+                before = len(data)
+                data = self._compressor.compress(data)
+                span.set_attribute("bytes_in", before)
+                span.set_attribute("bytes_out", len(data))
+            obs.inc(f"{self._m_compressor}.bytes_in", before)
+            obs.inc(f"{self._m_compressor}.bytes_out", len(data))
         if self._encryptor is not None:
-            data = self._encryptor.encrypt(data)
+            with obs.stage("pipeline.encrypt", metric=f"{self._m_encryptor}.encrypt"):
+                data = self._encryptor.encrypt(data)
         return data
 
     def decode_bytes(self, payload: bytes) -> bytes:
         """Invert :meth:`encode_bytes`."""
+        obs = self._obs
+        if not obs.enabled:
+            if self._encryptor is not None:
+                payload = self._encryptor.decrypt(payload)
+            if self._compressor is not None:
+                payload = self._compressor.decompress(payload)
+            return payload
         if self._encryptor is not None:
-            payload = self._encryptor.decrypt(payload)
+            with obs.stage("pipeline.decrypt", metric=f"{self._m_encryptor}.decrypt"):
+                payload = self._encryptor.decrypt(payload)
         if self._compressor is not None:
-            payload = self._compressor.decompress(payload)
+            with obs.stage("pipeline.decompress", metric=f"{self._m_compressor}.decompress"):
+                payload = self._compressor.decompress(payload)
         return payload

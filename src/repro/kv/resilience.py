@@ -20,6 +20,7 @@ import time
 from typing import Any, Callable, Iterator, Sequence
 
 from ..errors import ConfigurationError, DataStoreError, KeyNotFoundError, StoreConnectionError
+from ..obs import Observability, resolve_obs
 from .interface import KeyValueStore, NotModified
 from .wrappers import _DelegatingStore
 
@@ -43,6 +44,7 @@ class RetryingStore(_DelegatingStore):
         sleep: Callable[[float], None] = time.sleep,
         seed: int | None = None,
         name: str | None = None,
+        obs: Observability | None = None,
     ) -> None:
         """Wrap *inner*.
 
@@ -52,6 +54,10 @@ class RetryingStore(_DelegatingStore):
             ``[0, ceiling]`` (full jitter, so clients don't stampede).
         :param retry_on: exception types considered transient.
         :param sleep: injectable for tests.
+        :param obs: observability bundle; each retry increments the
+            ``kv.retry.retries`` counter and annotates the enclosing span
+            with a ``retry`` event (attempt number, backoff delay, error
+            type); exhausting all attempts counts ``kv.retry.exhausted``.
         """
         super().__init__(inner, name=name if name is not None else f"retry({inner.name})")
         if max_attempts < 1:
@@ -64,6 +70,7 @@ class RetryingStore(_DelegatingStore):
         self._retry_on = retry_on
         self._sleep = sleep
         self._rng = random.Random(seed)
+        self._obs = resolve_obs(obs)
         #: number of retries performed (attempts beyond the first)
         self.retries = 0
 
@@ -79,8 +86,24 @@ class RetryingStore(_DelegatingStore):
                     break
                 self.retries += 1
                 ceiling = min(self._max_delay, self._base_delay * (2**attempt))
-                self._sleep(self._rng.uniform(0, ceiling))
+                delay = self._rng.uniform(0, ceiling)
+                if self._obs.enabled:
+                    self._obs.inc("kv.retry.retries")
+                    self._obs.event(
+                        "retry",
+                        attempt=attempt + 1,
+                        delay=round(delay, 6),
+                        error=type(exc).__name__,
+                    )
+                self._sleep(delay)
         assert last_error is not None
+        if self._obs.enabled:
+            self._obs.inc("kv.retry.exhausted")
+            self._obs.event(
+                "retry_exhausted",
+                attempts=self._max_attempts,
+                error=type(last_error).__name__,
+            )
         raise last_error
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ import threading
 from typing import Any
 
 from ..errors import ProtocolError, StoreConnectionError
+from ..obs import Observability, resolve_obs
 from . import protocol
 from .protocol import NIL, SimpleString, WireError
 
@@ -26,7 +27,12 @@ __all__ = ["CacheClient", "Pipeline", "SubscriberClient"]
 
 
 class CacheClient:
-    """Synchronous, thread-safe client for :class:`~repro.net.server.CacheServer`."""
+    """Synchronous, thread-safe client for :class:`~repro.net.server.CacheServer`.
+
+    Pass an :class:`~repro.obs.Observability` bundle to time every TCP
+    round trip (``net.roundtrip`` span + ``net.roundtrip.seconds``
+    histogram) and count reconnects (``net.client.reconnects``).
+    """
 
     def __init__(
         self,
@@ -35,11 +41,13 @@ class CacheClient:
         *,
         connect_timeout: float = 5.0,
         operation_timeout: float = 30.0,
+        obs: Observability | None = None,
     ) -> None:
         self._host = host
         self._port = port
         self._connect_timeout = connect_timeout
         self._operation_timeout = operation_timeout
+        self._obs = resolve_obs(obs)
         self._lock = threading.RLock()
         self._sock: socket.socket | None = None
         self._stream: Any = None
@@ -81,6 +89,15 @@ class CacheClient:
 
     def _roundtrip(self, args: list[bytes | str]) -> protocol.Frame:
         """Send one command and read one reply, reconnecting once on failure."""
+        if not self._obs.enabled:
+            return self._roundtrip_impl(args)
+        command = args[0]
+        if isinstance(command, bytes):
+            command = command.decode("ascii", "replace")
+        with self._obs.stage("net.roundtrip", metric="net.roundtrip", command=command):
+            return self._roundtrip_impl(args)
+
+    def _roundtrip_impl(self, args: list[bytes | str]) -> protocol.Frame:
         with self._lock:
             if self._closed:
                 raise StoreConnectionError("client is closed")
@@ -101,6 +118,9 @@ class CacheClient:
                     self._drop_connection()
                     if attempt == 1:
                         break
+                    if self._obs.enabled:
+                        self._obs.inc("net.client.reconnects")
+                        self._obs.event("reconnect", error=type(exc).__name__)
             raise StoreConnectionError(
                 f"cache operation failed against {self._host}:{self._port}: {last_error}"
             ) from last_error

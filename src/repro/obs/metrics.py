@@ -1,0 +1,382 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+The paper's UDSM monitor (:mod:`repro.udsm.monitoring`) sees whole
+operations at the store boundary.  The metrics registry is the substrate
+*underneath* it: one thread-safe, zero-dependency home for every number the
+stack produces -- cache hit/miss counters, per-stage pipeline latencies,
+network round trips, retry counts -- named by one scheme
+(``layer.component.op``, see ``docs/observability.md``) so that the cache
+layer, the value pipeline, and the UDSM report one consistent set of
+figures instead of three private ones.
+
+Design notes:
+
+* **Counters are objects, not registry methods.**  Hot paths capture the
+  :class:`Counter` once and call ``inc()`` on it; the name -> metric lookup
+  is paid at setup time, not per operation.  This also lets
+  :class:`repro.caching.stats.CacheStats` use registry counters as its
+  *backing storage* (``bind``), so the same event is never counted in two
+  uncoordinated places.
+* **Histograms use fixed buckets** (Prometheus-style cumulative ``le``
+  bounds).  Recording is O(log buckets) with no allocation; percentiles are
+  bucket-resolution estimates, which is the right trade for an always-on
+  registry.  The UDSM monitor keeps its exact recent-window percentiles on
+  top of this.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds, in seconds: 1 microsecond to 10
+#: seconds, roughly logarithmic.  Chosen to resolve both an in-process dict
+#: probe (~1 us) and a WAN store round trip (~100 ms) on one scale.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonic counter.  Thread-safe; usable standalone or via a registry."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative; counters never go down)."""
+        if amount < 0:
+            raise ConfigurationError("counters cannot be decremented")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (for test isolation and explicit stat resets)."""
+        with self._lock:
+            self._value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (pool occupancy, cache bytes...)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max.
+
+    Bucket semantics are cumulative upper bounds: an observation lands in
+    the first bucket whose bound is >= the value (``le`` inclusive, like
+    Prometheus); values above the last bound go to the overflow bucket.
+    """
+
+    __slots__ = ("name", "_lock", "_bounds", "_buckets", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ConfigurationError("a histogram needs at least one bucket bound")
+        self.name = name
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._buckets = [0] * (len(bounds) + 1)  # +1: overflow (> last bound)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._buckets[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        with self._lock:
+            return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        with self._lock:
+            return self._max if self._count else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs; the final bound is
+        ``inf`` (the overflow bucket)."""
+        with self._lock:
+            counts = list(self._buckets)
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip((*self._bounds, math.inf), counts):
+            running += count
+            pairs.append((bound, running))
+        return pairs
+
+    def percentile(self, fraction: float) -> float:
+        """Bucket-resolution percentile estimate (the bucket's upper bound,
+        clamped to the observed maximum)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("percentile fraction must be within [0, 1]")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            rank = max(1, math.ceil(fraction * self._count))
+            running = 0
+            for bound, count in zip((*self._bounds, math.inf), self._buckets):
+                running += count
+                if running >= rank:
+                    return min(bound, self._max)
+            return self._max  # pragma: no cover - unreachable
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data copy (for JSON export and assertions)."""
+        with self._lock:
+            count, total = self._count, self._sum
+            minimum = self._min if count else 0.0
+            maximum = self._max if count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": minimum,
+            "max": maximum,
+            "buckets": self.bucket_counts(),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buckets = [0] * (len(self._bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.6g})"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    One registry is meant to serve a whole process (the UDSM shares its
+    registry with every cache and pipeline it wires up); ``counter`` /
+    ``gauge`` / ``histogram`` are cheap enough to call at setup time and
+    return live objects for the hot path.  A name identifies exactly one
+    metric of exactly one kind; re-requesting it returns the same object,
+    and requesting it as a different kind raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _check_name(self, name: str, want: dict[str, Any]) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not want and name in table:
+                raise ConfigurationError(f"metric {name!r} already registered as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._check_name(name, self._counters)
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._check_name(name, self._gauges)
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self, name: str, *, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                self._check_name(name, self._histograms)
+                metric = self._histograms[name] = Histogram(name, buckets=buckets)
+            return metric
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as plain data: ``{"counters": {...}, "gauges": {...},
+        "histograms": {name: {count, sum, mean, min, max, buckets}}}``."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {name: h.snapshot() for name, h in sorted(histograms.items())},
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """JSON export of :meth:`snapshot` (bucket bounds as finite floats;
+        the overflow bucket is labelled ``"+inf"``)."""
+        snap = self.snapshot()
+        for data in snap["histograms"].values():
+            data["buckets"] = [
+                ["+inf" if math.isinf(bound) else bound, count]
+                for bound, count in data["buckets"]
+            ]
+        return json.dumps(snap, indent=indent)
+
+    def render_text(self) -> str:
+        """Human-readable dump: counters and gauges as ``name = value``
+        lines, histograms as a latency-style table (milliseconds)."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(name) for name in snap["counters"])
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name.ljust(width)}  {value}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(name) for name in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name.ljust(width)}  {value:g}")
+        if snap["histograms"]:
+            lines.append("histograms (ms):")
+            with self._lock:
+                histograms = dict(self._histograms)
+            rows = [("", "count", "mean", "p50", "p95", "p99", "max")]
+            for name in sorted(histograms):
+                hist = histograms[name]
+                rows.append(
+                    (
+                        name,
+                        str(hist.count),
+                        f"{hist.mean * 1e3:.3f}",
+                        f"{hist.percentile(0.50) * 1e3:.3f}",
+                        f"{hist.percentile(0.95) * 1e3:.3f}",
+                        f"{hist.percentile(0.99) * 1e3:.3f}",
+                        f"{hist.maximum * 1e3:.3f}",
+                    )
+                )
+            widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+            for row in rows:
+                lines.append(
+                    "  " + "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        """Zero every metric (objects stay live; hot-path handles survive)."""
+        with self._lock:
+            metrics = [*self._counters.values(), *self._histograms.values()]
+            gauges = list(self._gauges.values())
+        for metric in metrics:
+            metric.reset()
+        for gauge in gauges:
+            gauge.set(0.0)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry metrics={len(self.names())}>"

@@ -1,0 +1,237 @@
+"""Lightweight tracing: nested spans over one request.
+
+Where metrics aggregate (how slow are gets *on average*), spans attribute
+(where did *this* get spend its time).  A DSCL read through a cache,
+compression, and encryption produces a tree like::
+
+    dscl.get  1.900 ms  [key='user:42']
+      cache.lookup  0.011 ms
+      store.get  1.780 ms
+        pipeline.decrypt  0.190 ms
+        pipeline.decompress  0.240 ms
+        pipeline.deserialize  0.031 ms
+
+which is exactly the per-stage breakdown the paper's Figures 11-21 reason
+about, produced per request instead of per benchmark run.
+
+Propagation uses a :mod:`contextvars` context variable: a span opened while
+another span of the *same tracer* is active becomes its child, with no
+explicit parent passing through the call stack.  This follows async tasks
+but (like most tracers) does **not** cross thread-pool boundaries -- a span
+opened inside a :class:`~repro.udsm.pool.ThreadPool` job starts a new trace.
+
+Finished *root* spans land in a bounded :class:`TraceCollector`; nothing is
+kept per-span beyond what the application opened, so tracing is safe to
+leave on in long-lived processes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+__all__ = ["Span", "SpanEvent", "Tracer", "TraceCollector"]
+
+#: The active span of the *current* logical context (shared by all tracers;
+#: each tracer only adopts parents it created itself).
+_CURRENT: ContextVar["Span | None"] = ContextVar("repro_obs_current_span", default=None)
+
+DEFAULT_MAX_TRACES = 64
+
+
+class SpanEvent:
+    """A point-in-time annotation on a span (a retry, an eviction...)."""
+
+    __slots__ = ("name", "at", "attributes")
+
+    def __init__(self, name: str, at: float, attributes: dict[str, Any]) -> None:
+        self.name = name
+        self.at = at  # perf_counter timestamp, comparable to span start/end
+        self.attributes = attributes
+
+    def __repr__(self) -> str:
+        return f"SpanEvent({self.name!r}, {self.attributes!r})"
+
+
+class Span:
+    """One timed stage of a request; also its own context manager.
+
+    Entering the span makes it the current span (child spans nest under
+    it); exiting records the end time, captures any exception as an
+    ``exception`` event, and -- for root spans -- hands the finished tree to
+    the tracer's collector.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "events",
+        "children",
+        "parent",
+        "start_time",
+        "end_time",
+        "error",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        tracer: "Tracer | None" = None,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.attributes = attributes if attributes is not None else {}
+        self.events: list[SpanEvent] = []
+        self.children: list[Span] = []
+        self.parent: Span | None = None
+        self.start_time = 0.0
+        self.end_time = 0.0
+        self.error: str | None = None
+        self._tracer = tracer
+        self._token = None
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Seconds from enter to exit (0.0 while still open)."""
+        return self.end_time - self.start_time if self.end_time else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end_time != 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: Any) -> SpanEvent:
+        event = SpanEvent(name, time.perf_counter(), attributes)
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        current = _CURRENT.get()
+        if current is not None and self._tracer is not None and current._tracer is self._tracer:
+            self.parent = current
+            current.children.append(self)
+        self._token = _CURRENT.set(self)
+        self.start_time = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_time = time.perf_counter()
+        if exc_type is not None:
+            self.error = exc_type.__name__
+            self.add_event("exception", type=exc_type.__name__, message=str(exc))
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        if self.parent is None and self._tracer is not None:
+            self._tracer.collector.add(self)
+        return False  # never swallow exceptions
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named *name* in this subtree, or ``None``."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def render(self) -> str:
+        """Indented one-line-per-span tree with per-stage latency."""
+        lines: list[str] = []
+        self._render_into(lines, 0)
+        return "\n".join(lines)
+
+    def _render_into(self, lines: list[str], depth: int) -> None:
+        pad = "  " * depth
+        line = f"{pad}{self.name}  {self.duration * 1e3:.3f} ms"
+        if self.attributes:
+            attrs = " ".join(f"{k}={v!r}" for k, v in self.attributes.items())
+            line += f"  [{attrs}]"
+        if self.error is not None:
+            line += f"  !{self.error}"
+        lines.append(line)
+        for event in self.events:
+            offset = (event.at - self.start_time) * 1e3
+            attrs = " ".join(f"{k}={v!r}" for k, v in event.attributes.items())
+            lines.append(f"{pad}  @ {event.name} +{offset:.3f} ms" + (f"  [{attrs}]" if attrs else ""))
+        for child in self.children:
+            child._render_into(lines, depth + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, duration={self.duration * 1e3:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class TraceCollector:
+    """Bounded in-memory sink for finished root spans (newest kept)."""
+
+    def __init__(self, max_traces: int = DEFAULT_MAX_TRACES) -> None:
+        self._roots: deque[Span] = deque(maxlen=max_traces)
+
+    def add(self, span: Span) -> None:
+        self._roots.append(span)
+
+    def roots(self) -> list[Span]:
+        """Finished root spans, oldest first."""
+        return list(self._roots)
+
+    def last(self) -> Span | None:
+        """The most recently finished trace, or ``None``."""
+        return self._roots[-1] if self._roots else None
+
+    def clear(self) -> None:
+        self._roots.clear()
+
+    def render(self) -> str:
+        """Every retained trace, rendered as indented trees."""
+        roots = self.roots()
+        if not roots:
+            return "(no traces recorded)"
+        return "\n\n".join(root.render() for root in roots)
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    def __repr__(self) -> str:
+        return f"<TraceCollector traces={len(self)}>"
+
+
+class Tracer:
+    """Span factory bound to one collector.
+
+    ``tracer.span("store.get", key=key)`` returns a context manager; spans
+    opened while another of this tracer's spans is active nest under it.
+    Two tracers coexisting in one process never adopt each other's spans.
+    """
+
+    def __init__(self, collector: TraceCollector | None = None) -> None:
+        self.collector = collector if collector is not None else TraceCollector()
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        return Span(name, tracer=self, attributes=attributes)
+
+    def current(self) -> Span | None:
+        """This tracer's active span in the current context, if any."""
+        span = _CURRENT.get()
+        if span is not None and span._tracer is self:
+            return span
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Tracer collector={self.collector!r}>"

@@ -26,6 +26,7 @@ from ..caching.kvadapter import KeyValueStoreCache
 from ..core.enhanced import EnhancedDataStoreClient, WritePolicy
 from ..errors import ConfigurationError, DataStoreError
 from ..kv.interface import KeyValueStore
+from ..obs import Observability, resolve_obs
 from .async_api import AsyncKeyValue
 from .monitoring import MonitoredStore, PerformanceMonitor
 from .pool import ThreadPool
@@ -41,6 +42,7 @@ class UniversalDataStoreManager:
         *,
         pool_size: int = 8,
         recent_window: int = 1024,
+        obs: Observability | None = None,
     ) -> None:
         """Create an empty manager.
 
@@ -48,8 +50,16 @@ class UniversalDataStoreManager:
             configurable thread-pool size).
         :param recent_window: detailed measurements retained per
             (store, operation) by the monitor.
+        :param obs: observability bundle; when set, the performance monitor
+            mirrors every measurement into the shared metrics registry
+            (``store.<name>.<op>.seconds`` / ``.bytes``) and enhanced
+            clients built by :meth:`enhanced_client` inherit the bundle.
         """
-        self.monitor = PerformanceMonitor(recent_window=recent_window)
+        self.obs = resolve_obs(obs)
+        self.monitor = PerformanceMonitor(
+            recent_window=recent_window,
+            registry=self.obs.registry if self.obs.enabled else None,
+        )
         self.pool = ThreadPool(pool_size)
         self._raw: dict[str, KeyValueStore] = {}
         self._monitored: dict[str, MonitoredStore] = {}
@@ -130,9 +140,13 @@ class UniversalDataStoreManager:
 
         Keyword options are forwarded to
         :class:`~repro.core.enhanced.EnhancedDataStoreClient` (``default_ttl``,
-        ``write_policy``, ``encryptor``, ``compressor``...).
+        ``write_policy``, ``encryptor``, ``compressor``...).  When the UDSM
+        has observability enabled the client inherits it (pass ``obs=None``
+        explicitly to opt a client out).
         """
         base: KeyValueStore = self.store(name) if monitored else self.raw_store(name)
+        if self.obs.enabled:
+            client_options.setdefault("obs", self.obs)
         return EnhancedDataStoreClient(base, cache=cache, **client_options)
 
     def store_as_cache(

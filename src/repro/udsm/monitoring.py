@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterator
 from ..errors import MonitoringError
 from ..kv.interface import KeyValueStore, NotModified
 from ..kv.wrappers import _DelegatingStore
+from ..obs.metrics import Counter, Histogram, MetricsRegistry
 
 __all__ = ["OperationStats", "PerformanceMonitor", "MonitoredStore"]
 
@@ -177,17 +178,51 @@ class OperationStats:
 
 
 class PerformanceMonitor:
-    """Registry of per-(store, operation) statistics."""
+    """Registry of per-(store, operation) statistics.
 
-    def __init__(self, *, recent_window: int = DEFAULT_RECENT_WINDOW) -> None:
+    When constructed with a shared :class:`~repro.obs.metrics.MetricsRegistry`
+    (the UDSM passes its observability registry automatically), every
+    measurement is *also* forwarded into ``store.<name>.<op>.seconds``
+    latency histograms and ``store.<name>.<op>.bytes`` counters, so the
+    monitor's tables and the registry's exports describe one set of numbers.
+    """
+
+    def __init__(
+        self,
+        *,
+        recent_window: int = DEFAULT_RECENT_WINDOW,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._recent_window = recent_window
         self._stats: dict[tuple[str, str], OperationStats] = {}
         self._lock = threading.Lock()
+        self._registry = registry
+        self._handles: dict[tuple[str, str], tuple[Histogram, Counter]] = {}
 
     # ------------------------------------------------------------------
     def record(self, store: str, operation: str, latency: float, *, size: int = 0) -> None:
         """Record one measurement for ``store.operation``."""
         self.stats_for(store, operation).record(latency, size=size)
+        if self._registry is not None:
+            histogram, bytes_counter = self._handles_for(store, operation)
+            histogram.observe(latency)
+            if size:
+                bytes_counter.inc(size)
+
+    def _handles_for(self, store: str, operation: str) -> tuple[Histogram, Counter]:
+        key = (store, operation)
+        handles = self._handles.get(key)
+        if handles is None:
+            with self._lock:
+                handles = self._handles.get(key)
+                if handles is None:
+                    prefix = f"store.{store}.{operation}"
+                    handles = (
+                        self._registry.histogram(prefix + ".seconds"),
+                        self._registry.counter(prefix + ".bytes"),
+                    )
+                    self._handles[key] = handles
+        return handles
 
     def stats_for(self, store: str, operation: str) -> OperationStats:
         """Get (creating if needed) the stats bucket for a pair."""

@@ -184,3 +184,43 @@ class TestCodecBenchCommand:
         assert code == 0
         assert (tmp_path / "gzip_compress.dat").exists()
         assert (tmp_path / "gzip_decompress.dat").exists()
+
+
+class TestStatsCommand:
+    def test_stats_prints_registry_table(self, capsys):
+        code = main(["stats", "--store", "memory", "--keys", "4", "--reads", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "client.cache_hits" in out
+        assert "histograms (ms):" in out
+        assert "client.get.seconds" in out
+
+    def test_stats_json_is_parseable(self, capsys):
+        import json
+
+        code = main(["stats", "--store", "memory", "--keys", "3", "--reads", "1",
+                     "--compress", "gzip", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        # 3 keys x 1 pass + the post-invalidate read = 4 gets
+        assert data["histograms"]["client.get.seconds"]["count"] == 4
+        assert data["counters"]["client.cache_misses"] == 1
+        assert data["counters"]["pipeline.gzip.bytes_in"] > 0
+
+
+class TestTraceCommand:
+    def test_trace_prints_span_trees(self, capsys):
+        assert main(["trace", "--store", "memory"]) == 0
+        out = capsys.readouterr().out
+        assert "--- put ---" in out and "--- get (cache miss) ---" in out
+        assert "dscl.put" in out
+        assert "dscl.invalidate" in out
+        assert "cache.lookup" in out and "store.get" in out
+
+    def test_trace_shows_pipeline_stages(self, capsys):
+        assert main(["trace", "--store", "memory",
+                     "--compress", "zlib", "--encrypt", "aes-gcm"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.compress" in out and "pipeline.encrypt" in out
+        assert "pipeline.decrypt" in out and "pipeline.decompress" in out

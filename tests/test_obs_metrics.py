@@ -1,0 +1,312 @@
+"""The metrics half of repro.obs: counters, gauges, histograms, registry.
+
+Covers the semantics docs/observability.md promises: le-inclusive bucket
+boundaries, bucket-resolution percentiles clamped to the observed max,
+get-or-create identity with cross-kind name conflicts, and the
+"one set of numbers" integrations (CacheStats.bind, the stack-distance
+profiler, the UDSM performance monitor).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter()
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_reset(self):
+        counter = Counter()
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        assert gauge.value == 0.0
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == pytest.approx(11.5)
+
+
+class TestHistogram:
+    def test_requires_at_least_one_bucket(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=())
+
+    def test_bounds_are_sorted(self):
+        assert Histogram(buckets=(2.0, 0.5, 1.0)).bounds == (0.5, 1.0, 2.0)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        """`le` semantics: an observation equal to a bound counts in that
+        bucket, not the next one."""
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(1.0)            # == first bound
+        hist.observe(1.0000001)      # just above it
+        hist.observe(5.0)            # above every bound -> overflow
+        assert hist.bucket_counts() == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram(buckets=(0.1, 0.2, 0.3))
+        for value in (0.05, 0.15, 0.15, 0.25):
+            hist.observe(value)
+        assert hist.bucket_counts() == [(0.1, 1), (0.2, 3), (0.3, 4), (math.inf, 4)]
+
+    def test_summary_statistics(self):
+        hist = Histogram(buckets=(1.0,))
+        for value in (0.2, 0.4, 0.6):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(1.2)
+        assert hist.mean == pytest.approx(0.4)
+        assert hist.minimum == pytest.approx(0.2)
+        assert hist.maximum == pytest.approx(0.6)
+
+    def test_empty_histogram_summaries(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.minimum == 0.0
+        assert hist.maximum == 0.0
+        assert hist.percentile(0.99) == 0.0
+
+    def test_percentile_fraction_validated(self):
+        hist = Histogram()
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ConfigurationError):
+                hist.percentile(bad)
+
+    def test_percentile_returns_bucket_bound(self):
+        hist = Histogram(buckets=(1.0, 3.0))
+        for _ in range(9):
+            hist.observe(0.5)
+        hist.observe(2.5)
+        assert hist.percentile(0.5) == 1.0      # rank 5 falls in the le=1.0 bucket
+        assert hist.percentile(1.0) == 2.5      # le=3.0 bound clamped to observed max
+
+    def test_percentile_clamped_to_observed_max(self):
+        """A coarse bucket must not report a percentile above anything that
+        was actually observed."""
+        hist = Histogram(buckets=(10.0,))
+        hist.observe(0.002)
+        assert hist.percentile(0.99) == pytest.approx(0.002)
+
+    def test_reset_clears_everything(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.bucket_counts() == [(1.0, 0), (math.inf, 0)]
+
+    def test_default_buckets_span_microseconds_to_seconds(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1e-6
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_name_identifies_exactly_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+        registry.histogram("y")
+        with pytest.raises(ConfigurationError):
+            registry.counter("y")
+
+    def test_names_sorted_across_kinds(self):
+        registry = MetricsRegistry()
+        registry.histogram("b")
+        registry.counter("c")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b", "c"]
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("occupancy").set(0.5)
+        registry.histogram("get.seconds").observe(0.001)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"hits": 3}
+        assert snap["gauges"] == {"occupancy": 0.5}
+        assert snap["histograms"]["get.seconds"]["count"] == 1
+
+    def test_to_json_round_trips_with_inf_label(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(2.0)
+        data = json.loads(registry.to_json())
+        buckets = data["histograms"]["h"]["buckets"]
+        assert buckets[-1] == ["+inf", 1]
+        assert buckets[0] == [1.0, 0]
+
+    def test_render_text(self):
+        registry = MetricsRegistry()
+        assert registry.render_text() == "(no metrics recorded)"
+        registry.counter("client.cache_hits").inc(2)
+        registry.histogram("client.get.seconds").observe(0.002)
+        text = registry.render_text()
+        assert "counters:" in text
+        assert "client.cache_hits" in text and "2" in text
+        assert "histograms (ms):" in text
+        assert "p99" in text
+
+    def test_reset_keeps_objects_live(self):
+        """Hot-path handles captured before reset() must keep feeding the
+        registry afterwards."""
+        registry = MetricsRegistry()
+        handle = registry.counter("ops")
+        handle.inc(5)
+        registry.gauge("depth").set(3.0)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["counters"]["ops"] == 0
+        assert snap["gauges"]["depth"] == 0.0
+        assert snap["histograms"]["h"]["count"] == 0
+        handle.inc()
+        assert registry.counter("ops").value == 1
+
+    def test_concurrent_updates_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("shared")
+        histogram = registry.histogram("latency")
+        threads_n, per_thread = 8, 500
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == threads_n * per_thread
+        assert histogram.count == threads_n * per_thread
+
+
+class TestCacheStatsBinding:
+    def test_bind_carries_values_and_shares_storage(self):
+        from repro.caching.stats import CacheStats
+
+        stats = CacheStats()
+        stats.record_hit()
+        stats.record_miss()
+        registry = MetricsRegistry()
+        stats.bind(registry, "cache.l1")
+
+        # Pre-bind traffic carried over into the registry counters.
+        assert registry.counter("cache.l1.hits").value == 1
+        assert registry.counter("cache.l1.misses").value == 1
+
+        # Post-bind traffic: one counter object, two views.
+        stats.record_hit()
+        assert registry.counter("cache.l1.hits").value == 2
+        assert stats.snapshot().hits == 2
+
+    def test_bind_is_idempotent(self):
+        from repro.caching.stats import CacheStats
+
+        stats = CacheStats()
+        stats.record_put()
+        registry = MetricsRegistry()
+        stats.bind(registry, "cache.x")
+        stats.bind(registry, "cache.x")  # must not double-count
+        assert registry.counter("cache.x.puts").value == 1
+
+    def test_inprocess_cache_binds_through_obs(self):
+        from repro import InProcessCache, Observability
+
+        obs = Observability()
+        cache = InProcessCache(max_entries=4, obs=obs)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("absent")
+        counters = obs.registry.snapshot()["counters"]
+        assert counters["cache.inprocess.puts"] == 1
+        assert counters["cache.inprocess.hits"] == 1
+        assert counters["cache.inprocess.misses"] == 1
+        # The cache's own stats and the registry are the same storage.
+        assert cache.stats.snapshot().hits == 1
+
+
+class TestProfilerRegistryRouting:
+    def test_profiler_publishes_counters(self):
+        from repro.caching.profiling import StackDistanceProfiler
+
+        registry = MetricsRegistry()
+        profiler = StackDistanceProfiler(registry=registry, name="trace1")
+        profiler.record_trace(["a", "b", "a", "c", "a"])
+        assert profiler.accesses == 5
+        assert profiler.cold_misses == 3
+        assert registry.counter("profiler.trace1.accesses").value == 5
+        assert registry.counter("profiler.trace1.cold_misses").value == 3
+
+    def test_profiler_standalone_without_registry(self):
+        from repro.caching.profiling import StackDistanceProfiler
+
+        profiler = StackDistanceProfiler()
+        profiler.record_trace(["a", "a"])
+        assert profiler.accesses == 2
+        assert profiler.cold_misses == 1
+        assert profiler.hit_rate(1) == pytest.approx(0.5)
+
+
+class TestMonitorRegistryForwarding:
+    def test_record_forwards_latency_and_bytes(self):
+        from repro.udsm.monitoring import PerformanceMonitor
+
+        registry = MetricsRegistry()
+        monitor = PerformanceMonitor(registry=registry)
+        monitor.record("cloud", "get", 0.002, size=128)
+        monitor.record("cloud", "get", 0.004)  # size 0: no bytes counted
+
+        hist = registry.histogram("store.cloud.get.seconds")
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(0.006)
+        assert registry.counter("store.cloud.get.bytes").value == 128
+        # The monitor's own exact stats still work on top.
+        assert monitor.stats_for("cloud", "get").count == 2
+
+    def test_without_registry_nothing_is_forwarded(self):
+        from repro.udsm.monitoring import PerformanceMonitor
+
+        monitor = PerformanceMonitor()
+        monitor.record("mem", "put", 0.001)
+        assert monitor.stats_for("mem", "put").count == 1

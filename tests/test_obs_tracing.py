@@ -1,0 +1,360 @@
+"""The tracing half of repro.obs: spans, collectors, the Observability bundle.
+
+Covers span nesting and propagation (same-tracer adoption, thread-pool
+boundary, tracer isolation), the bounded collector, error capture, the
+stage/time/event helpers that keep traces and metrics in agreement, and
+the disabled-mode (NULL_OBS) guarantees the instrumented hot paths rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_OBS,
+    Observability,
+    Span,
+    TraceCollector,
+    Tracer,
+    resolve_obs,
+)
+
+
+class TestSpanNesting:
+    def test_child_adopts_active_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                pass
+        assert child.parent is parent
+        assert parent.children == [child]
+        assert parent.parent is None
+
+    def test_only_roots_reach_the_collector(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("inner"):
+                pass
+        roots = tracer.collector.roots()
+        assert [span.name for span in roots] == ["root"]
+        assert [child.name for child in roots[0].children] == ["inner"]
+
+    def test_sibling_order_preserved(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        assert [child.name for child in root.children] == ["first", "second"]
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        assert [span.name for span in a.walk()] == ["a", "b", "c", "d"]
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("store.get"):
+                pass
+        assert root.find("store.get").name == "store.get"
+        assert root.find("nope") is None
+
+    def test_two_tracers_do_not_adopt_each_other(self):
+        a, b = Tracer(), Tracer()
+        with a.span("a.root"):
+            with b.span("b.root") as b_span:
+                pass
+        assert b_span.parent is None
+        assert [s.name for s in a.collector.roots()] == ["a.root"]
+        assert [s.name for s in b.collector.roots()] == ["b.root"]
+
+    def test_tracerless_span_never_nests_or_collects(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with Span("bare") as bare:
+                pass
+        assert bare.parent is None
+        assert root.children == []
+
+    def test_spans_do_not_cross_thread_boundaries(self):
+        """A span opened in a worker thread starts its own trace (contextvars
+        do not flow into manually started threads)."""
+        tracer = Tracer()
+        seen: list[Span] = []
+
+        def worker():
+            with tracer.span("in-thread") as span:
+                seen.append(span)
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen[0].parent is None
+        assert {s.name for s in tracer.collector.roots()} == {"main", "in-thread"}
+
+    def test_current_span(self):
+        tracer, other = Tracer(), Tracer()
+        assert tracer.current() is None
+        with tracer.span("x") as span:
+            assert tracer.current() is span
+            assert other.current() is None  # not its span
+        assert tracer.current() is None
+
+
+class TestSpanLifecycle:
+    def test_duration_and_finished(self):
+        tracer = Tracer()
+        span = tracer.span("op")
+        assert not span.finished and span.duration == 0.0
+        with span:
+            pass
+        assert span.finished
+        assert span.duration >= 0.0
+
+    def test_attributes_and_events(self):
+        tracer = Tracer()
+        with tracer.span("op", key="user:42") as span:
+            span.set_attribute("level", "l1")
+            span.add_event("retry", attempt=1)
+        assert span.attributes == {"key": "user:42", "level": "l1"}
+        assert span.events[0].name == "retry"
+        assert span.events[0].attributes == {"attempt": 1}
+        assert span.events[0].at >= span.start_time
+
+    def test_exception_captured_not_swallowed(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("op") as span:
+                raise ValueError("boom")
+        assert span.error == "ValueError"
+        event = span.events[-1]
+        assert event.name == "exception"
+        assert event.attributes == {"type": "ValueError", "message": "boom"}
+        # A failed root still lands in the collector (that's when you want it).
+        assert tracer.collector.last() is span
+
+    def test_render(self):
+        tracer = Tracer()
+        with tracer.span("dscl.get", key="k") as root:
+            with tracer.span("store.get") as child:
+                child.add_event("retry", attempt=1)
+        text = root.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("dscl.get") and "[key='k']" in lines[0]
+        assert lines[1].startswith("  store.get")
+        assert "@ retry" in lines[2] and "[attempt=1]" in lines[2]
+        assert "ms" in lines[0]
+
+    def test_render_marks_errors(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("op") as span:
+                raise RuntimeError("x")
+        assert "!RuntimeError" in span.render()
+
+
+class TestTraceCollector:
+    def test_bounded_newest_kept(self):
+        collector = TraceCollector(max_traces=3)
+        tracer = Tracer(collector)
+        for index in range(5):
+            with tracer.span(f"op{index}"):
+                pass
+        assert len(collector) == 3
+        assert [s.name for s in collector.roots()] == ["op2", "op3", "op4"]
+        assert collector.last().name == "op4"
+
+    def test_empty_and_clear(self):
+        collector = TraceCollector()
+        assert collector.last() is None
+        assert collector.render() == "(no traces recorded)"
+        tracer = Tracer(collector)
+        with tracer.span("op"):
+            pass
+        collector.clear()
+        assert len(collector) == 0
+
+    def test_render_joins_traces(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        text = tracer.collector.render()
+        assert "first" in text and "second" in text
+        assert "\n\n" in text
+
+
+class TestObservabilityBundle:
+    def test_stage_records_span_and_histogram(self):
+        obs = Observability()
+        with obs.stage("cache.get", metric="cache.l1.get", level="l1") as span:
+            pass
+        assert span.name == "cache.get"
+        assert span.attributes == {"level": "l1"}
+        assert obs.collector.last() is span
+        hist = obs.registry.histogram("cache.l1.get.seconds")
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(span.duration)
+
+    def test_stage_metric_defaults_to_span_name(self):
+        obs = Observability()
+        with obs.stage("net.roundtrip"):
+            pass
+        assert obs.registry.histogram("net.roundtrip.seconds").count == 1
+
+    def test_stage_nests_like_spans(self):
+        obs = Observability()
+        with obs.span("dscl.get") as root:
+            with obs.stage("store.get") as inner:
+                pass
+        assert inner.parent is root
+
+    def test_stage_observes_even_on_error(self):
+        obs = Observability()
+        with pytest.raises(KeyError):
+            with obs.stage("op"):
+                raise KeyError("k")
+        assert obs.registry.histogram("op.seconds").count == 1
+
+    def test_event_attaches_to_current_span(self):
+        obs = Observability()
+        obs.event("orphan")  # no open span: silently dropped
+        with obs.span("op") as span:
+            obs.event("retry", attempt=2)
+        assert [e.name for e in span.events] == ["retry"]
+
+    def test_time_records_histogram_without_span(self):
+        obs = Observability()
+        with obs.time("encode"):
+            pass
+        assert obs.registry.histogram("encode.seconds").count == 1
+        assert obs.collector.last() is None
+
+    def test_inc_and_observe_shortcuts(self):
+        obs = Observability()
+        obs.inc("hits")
+        obs.inc("hits", 2)
+        obs.observe("sizes", 10.0)
+        assert obs.counter("hits").value == 3
+        assert obs.histogram("sizes").count == 1
+
+    def test_shared_registry_and_collector(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        collector = TraceCollector(max_traces=2)
+        obs = Observability(registry=registry, collector=collector)
+        assert obs.registry is registry
+        assert obs.collector is collector
+        assert obs.tracer.collector is collector
+
+
+class TestDisabledMode:
+    def test_resolve_obs(self):
+        obs = Observability()
+        assert resolve_obs(None) is NULL_OBS
+        assert resolve_obs(obs) is obs
+        assert resolve_obs(NULL_OBS) is NULL_OBS
+
+    def test_null_obs_is_inert(self):
+        assert NULL_OBS.enabled is False
+        assert NULL_OBS.registry is None and NULL_OBS.collector is None
+        with NULL_OBS.span("x") as span:
+            assert span is None
+        with NULL_OBS.stage("x", metric="y") as span:
+            assert span is None
+        with NULL_OBS.time("x"):
+            pass
+        NULL_OBS.event("e", a=1)
+        NULL_OBS.inc("c")
+        NULL_OBS.observe("h", 1.0)
+        for factory in (NULL_OBS.counter, NULL_OBS.gauge, NULL_OBS.histogram):
+            with pytest.raises(TypeError):
+                factory("x")
+
+    def test_disabled_client_records_zero_spans(self):
+        """The acceptance check: with observability disabled, a full
+        pipeline client records nothing anywhere."""
+        from repro import EnhancedDataStoreClient, InMemoryStore
+        from repro.compression import GzipCompressor
+
+        observed = Observability()
+        dark = EnhancedDataStoreClient(
+            InMemoryStore(), compressor=GzipCompressor()
+        )
+        assert dark.obs is NULL_OBS
+        dark.put("k", {"v": 1})
+        dark.invalidate("k")
+        assert dark.get("k") == {"v": 1}
+        # Nothing leaked into an unrelated enabled bundle either.
+        assert len(observed.collector) == 0
+        assert observed.registry.names() == []
+
+
+class TestRetryInstrumentation:
+    def _flaky_store(self, failures: int):
+        from repro.errors import StoreConnectionError
+        from repro.kv.memory import InMemoryStore
+
+        class Flaky(InMemoryStore):
+            def __init__(self):
+                super().__init__(name="flaky")
+                self.calls = 0
+
+            def get(self, key):
+                self.calls += 1
+                if self.calls <= failures:
+                    raise StoreConnectionError("transient")
+                return super().get(key)
+
+        return Flaky()
+
+    def test_retries_count_and_annotate_enclosing_span(self):
+        from repro.kv.resilience import RetryingStore
+
+        obs = Observability()
+        inner = self._flaky_store(failures=2)
+        inner.put("k", "v")
+        store = RetryingStore(
+            inner, max_attempts=3, sleep=lambda _: None, seed=1, obs=obs
+        )
+        with obs.span("test.op") as span:
+            assert store.get("k") == "v"
+        assert obs.registry.counter("kv.retry.retries").value == 2
+        retry_events = [e for e in span.events if e.name == "retry"]
+        assert [e.attributes["attempt"] for e in retry_events] == [1, 2]
+        assert all(e.attributes["error"] == "StoreConnectionError" for e in retry_events)
+
+    def test_exhaustion_counted(self):
+        from repro.errors import StoreConnectionError
+        from repro.kv.resilience import RetryingStore
+
+        obs = Observability()
+        inner = self._flaky_store(failures=99)
+        store = RetryingStore(
+            inner, max_attempts=2, sleep=lambda _: None, seed=1, obs=obs
+        )
+        with pytest.raises(StoreConnectionError):
+            store.get("k")
+        assert obs.registry.counter("kv.retry.retries").value == 1
+        assert obs.registry.counter("kv.retry.exhausted").value == 1
+
+    def test_disabled_retry_path_untouched(self):
+        from repro.kv.resilience import RetryingStore
+
+        inner = self._flaky_store(failures=1)
+        inner.put("k", "v")
+        store = RetryingStore(inner, max_attempts=3, sleep=lambda _: None, seed=1)
+        assert store.get("k") == "v"
+        assert store.retries == 1
