@@ -1,14 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test check-docs all
+.PHONY: test unit check-docs check-obs all
 
-all: test check-docs
+all: test
 
-test:
+# The default gate: unit suite + doc snippets + instrumentation coverage.
+test: unit check-docs check-obs
+
+unit:
 	$(PYTHON) -m pytest -x -q
 
 # Extract and smoke-execute every ```python block in docs/*.md
 # (blocks tagged ```python no-run are syntax-checked only).
 check-docs:
 	$(PYTHON) scripts/check_docs.py
+
+# Assert every public KeyValueStore op on the instrumented wrappers
+# records a metric (see scripts/check_instrumentation.py).
+check-obs:
+	$(PYTHON) scripts/check_instrumentation.py

@@ -18,6 +18,8 @@ this.
 
 from __future__ import annotations
 
+import json
+import math
 import shutil
 import tempfile
 from collections import defaultdict
@@ -48,6 +50,13 @@ ROUNDS = 4
 STORE_NAMES = ("file", "sql", "cloud1", "cloud2", "redis")
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of raw samples (matches the metrics layer)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
 
 
 def size_id(size: int) -> str:
@@ -214,6 +223,58 @@ class FigureCollector:
             format_table([first_column] + [f"{n} ({unit})" for n in names], table_rows)
         )
         (self.results_dir / f"{figure}.txt").write_text("\n".join(text) + "\n")
+        self._write_json(figure, series_map, unit=unit, x_is_size=x_is_size)
+
+    def _write_json(
+        self,
+        figure: str,
+        series_map: dict[str, list[tuple[float, float]]],
+        *,
+        unit: str,
+        x_is_size: bool,
+    ) -> None:
+        """Machine-readable summary: ``BENCH_<figure>.json`` beside the
+        ``.dat``/``.txt``, so dashboards and regression checks can consume
+        benchmark output without re-parsing gnuplot columns.
+
+        Per series and x: sample count, mean/min/max and p50/p95/p99 over
+        the raw repeats, plus derived throughput (ops/s) for latency
+        figures.
+        """
+        series_out: dict[str, list[dict[str, object]]] = {}
+        for name in sorted(series_map):
+            by_x: dict[float, list[float]] = defaultdict(list)
+            for x, y in series_map[name]:
+                by_x[x].append(y)
+            points = []
+            for x in sorted(by_x):
+                samples = by_x[x]
+                mean = sum(samples) / len(samples)
+                point: dict[str, object] = {
+                    "x": int(x) if float(x).is_integer() else x,
+                    "count": len(samples),
+                    "mean": mean,
+                    "min": min(samples),
+                    "max": max(samples),
+                    "p50": percentile(samples, 0.50),
+                    "p95": percentile(samples, 0.95),
+                    "p99": percentile(samples, 0.99),
+                }
+                if unit == "ms" and mean > 0:
+                    point["throughput_ops_per_s"] = 1e3 / mean
+                points.append(point)
+            series_out[name] = points
+        document = {
+            "figure": figure,
+            "unit": unit,
+            "x_is_size": x_is_size,
+            "note": self.notes.get(figure),
+            "config": {"time_scale": TIME_SCALE, "sizes": list(SIZES), "rounds": ROUNDS},
+            "series": series_out,
+        }
+        (self.results_dir / f"BENCH_{figure}.json").write_text(
+            json.dumps(document, indent=2) + "\n"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Instrumentation-coverage check (``make check-obs``).
+
+Guards the observability contract of ``docs/observability.md``: every public
+:class:`repro.kv.interface.KeyValueStore` operation, when performed through
+an instrumented wrapper, must record at least one metric.  Two failure
+modes are caught:
+
+1. **A silent gap** -- an operation driven through
+   :class:`~repro.udsm.monitoring.MonitoredStore` (with a
+   :class:`~repro.udsm.monitoring.PerformanceMonitor` bound to a
+   :class:`~repro.obs.metrics.MetricsRegistry`) leaves the registry
+   untouched.
+2. **An unreviewed addition** -- a new public method appears on the
+   interface without either a driver in the contract table below or an
+   explicit exemption.  Adding an operation then forces a decision about
+   its instrumentation instead of silently skipping it.
+
+The check actually *runs* every operation against a real store, so it
+cannot drift from the implementation the way a static list would.
+
+Exit status 0 when every operation is covered; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.caching import InProcessCache  # noqa: E402
+from repro.core import EnhancedDataStoreClient  # noqa: E402
+from repro.kv import InMemoryStore  # noqa: E402
+from repro.kv.interface import KeyValueStore  # noqa: E402
+from repro.obs import Observability  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.udsm.monitoring import MonitoredStore, PerformanceMonitor  # noqa: E402
+
+#: Public interface operations with no data-plane latency to record:
+#: resource lifecycle and raw-handle escape hatches.
+EXEMPT = {
+    "close": "resource lifecycle, not a data operation",
+    "native": "raw backend handle escape hatch; nothing to time",
+}
+
+#: op name -> callable(store) driving that op on a pre-seeded store
+#: (keys ``seed-1``/``seed-2`` exist; ``seed-1`` holds ``b"value-1"``).
+DRIVERS = {
+    "get": lambda s: s.get("seed-1"),
+    "put": lambda s: s.put("new-key", b"new-value"),
+    "delete": lambda s: s.delete("seed-1"),
+    "keys": lambda s: list(s.keys()),
+    "keys_with_prefix": lambda s: list(s.keys_with_prefix("seed-")),
+    "contains": lambda s: s.contains("seed-1"),
+    "size": lambda s: s.size(),
+    "clear": lambda s: s.clear(),
+    "get_with_version": lambda s: s.get_with_version("seed-1"),
+    "get_if_modified": lambda s: s.get_if_modified(
+        "seed-1", s.get_with_version("seed-1")[1]
+    ),
+    "put_with_version": lambda s: s.put_with_version("seed-1", b"value-2"),
+    "check_version": lambda s: s.check_version(
+        "seed-1", s.get_with_version("seed-1")[1]
+    ),
+    "get_or_default": lambda s: s.get_or_default("absent", None),
+    "get_many": lambda s: s.get_many(["seed-1", "seed-2"]),
+    "put_many": lambda s: s.put_many({"many-1": b"a", "many-2": b"b"}),
+    "delete_many": lambda s: s.delete_many(["seed-1", "seed-2"]),
+}
+
+#: EnhancedDataStoreClient public ops with a ``client.<op>.seconds`` stage.
+CLIENT_DRIVERS = {
+    "get": lambda c: c.get("seed-1"),
+    "get_many": lambda c: c.get_many(["seed-1", "seed-2"]),
+    "put": lambda c: c.put("new-key", {"v": 1}),
+    "delete": lambda c: c.delete("seed-1"),
+    "invalidate": lambda c: c.invalidate("seed-1"),
+}
+
+
+def public_interface_ops() -> set[str]:
+    return {
+        name
+        for name in dir(KeyValueStore)
+        if not name.startswith("_") and callable(getattr(KeyValueStore, name))
+    }
+
+
+def registry_observations(registry: MetricsRegistry) -> int:
+    """Total recorded activity: histogram samples + counter increments."""
+    snapshot = registry.snapshot()
+    return sum(data["count"] for data in snapshot["histograms"].values()) + sum(
+        int(value) for value in snapshot["counters"].values()
+    )
+
+
+def check_monitored_store() -> list[str]:
+    """Drive every public op through MonitoredStore; return failures."""
+    failures: list[str] = []
+    ops = public_interface_ops()
+    uncovered = ops - set(DRIVERS) - set(EXEMPT)
+    if uncovered:
+        failures.append(
+            "public KeyValueStore operations with no driver and no exemption: "
+            + ", ".join(sorted(uncovered))
+            + " (add a DRIVERS entry or an EXEMPT reason in "
+            "scripts/check_instrumentation.py)"
+        )
+    stale = (set(DRIVERS) | set(EXEMPT)) - ops
+    if stale:
+        failures.append(
+            "contract entries for operations no longer on the interface: "
+            + ", ".join(sorted(stale))
+        )
+    for op in sorted(set(DRIVERS) & ops):
+        registry = MetricsRegistry()
+        monitor = PerformanceMonitor(registry=registry)
+        store = MonitoredStore(InMemoryStore(), monitor, name="checked")
+        store.inner.put("seed-1", b"value-1")
+        store.inner.put("seed-2", b"value-2")
+        before = registry_observations(registry)
+        try:
+            DRIVERS[op](store)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the check
+            failures.append(f"MonitoredStore.{op} raised {type(exc).__name__}: {exc}")
+            continue
+        if registry_observations(registry) <= before:
+            failures.append(
+                f"MonitoredStore.{op} recorded no metric (registry unchanged)"
+            )
+    return failures
+
+
+def check_enhanced_client() -> list[str]:
+    """Drive the enhanced client's instrumented ops; return failures."""
+    failures: list[str] = []
+    for op in sorted(CLIENT_DRIVERS):
+        obs = Observability()
+        client = EnhancedDataStoreClient(
+            InMemoryStore(), cache=InProcessCache(), obs=obs
+        )
+        client.put("seed-1", {"v": 1})
+        client.put("seed-2", {"v": 2})
+        metric = f"client.{op}.seconds"
+        before = obs.registry.snapshot()["histograms"].get(metric, {}).get("count", 0)
+        try:
+            CLIENT_DRIVERS[op](client)
+        except Exception as exc:  # noqa: BLE001
+            failures.append(
+                f"EnhancedDataStoreClient.{op} raised {type(exc).__name__}: {exc}"
+            )
+            continue
+        after = obs.registry.snapshot()["histograms"].get(metric, {}).get("count", 0)
+        if after <= before:
+            failures.append(
+                f"EnhancedDataStoreClient.{op} did not record {metric}"
+            )
+        client.close()
+    return failures
+
+
+def main() -> int:
+    failures = check_monitored_store() + check_enhanced_client()
+    covered = sorted(set(DRIVERS) & public_interface_ops())
+    print(
+        f"instrumentation check: {len(covered)} interface ops driven through "
+        f"MonitoredStore, {len(EXEMPT)} exempt "
+        f"({', '.join(sorted(EXEMPT))}), "
+        f"{len(CLIENT_DRIVERS)} enhanced-client ops"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("instrumentation check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

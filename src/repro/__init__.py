@@ -86,6 +86,7 @@ from .compression import (
 )
 from .obs import (
     NULL_OBS,
+    EventLog,
     MetricsRegistry,
     Observability,
     Span,
@@ -188,6 +189,7 @@ __all__ = [
     "InvalidationBus",
     "CoherentClient",
     # observability
+    "EventLog",
     "Observability",
     "MetricsRegistry",
     "Span",

@@ -21,6 +21,15 @@ Commands
 ``trace``
     Run one put / cached get / invalidate / uncached get against an
     enhanced client and print the span tree each operation produced.
+``serve-metrics``
+    Drive a continuous enhanced-client workload and serve its telemetry
+    over HTTP (``/metrics`` Prometheus text, ``/metrics.json``,
+    ``/traces``, ``/events.json``) until interrupted.
+``top``
+    Live terminal dashboard: per-operation rates and p50/p99 latency,
+    cache hit ratios, gauges, and the slow-operation tail -- either
+    scraping a running exporter (``--url``) or self-driving a demo
+    workload in-process (``--demo``).
 
 Examples::
 
@@ -31,6 +40,9 @@ Examples::
     python -m repro codec-bench --codec gzip
     python -m repro stats --store memory --compress gzip --json
     python -m repro trace --store cloud1 --encrypt aes-gcm
+    python -m repro serve-metrics --metrics-port 9100 --store cloud1
+    python -m repro top --url http://127.0.0.1:9100
+    python -m repro top --demo --iterations 3
 """
 
 from __future__ import annotations
@@ -294,10 +306,17 @@ def _build_observed_client(
     options: argparse.Namespace,
 ) -> "tuple[Any, EnhancedDataStoreClient]":
     """Store + observability-enabled enhanced client for stats/trace."""
-    from .obs import Observability
+    from .obs import EventLog, Observability
 
     store = build_store(options)
-    obs = Observability()
+    slow_ms = getattr(options, "slow_ms", None)
+    if slow_ms is not None:
+        obs = Observability(
+            events=EventLog(path=getattr(options, "event_log", None)),
+            slow_op_threshold=slow_ms / 1e3,
+        )
+    else:
+        obs = Observability()
     compressor = _CODECS[options.compress]() if options.compress else None
     encryptor = _CODECS[options.encrypt]() if options.encrypt else None
     client = EnhancedDataStoreClient(
@@ -347,6 +366,100 @@ def cmd_trace(options: argparse.Namespace) -> int:
         print(obs.collector.render())
         print()
     client.close()
+    return 0
+
+
+def _drive_workload_step(client: EnhancedDataStoreClient, step: int, *, keys: int,
+                         value_size: int) -> None:
+    """One slice of a steady mixed workload (puts, hits, misses)."""
+    key = f"metrics-key-{step % keys}"
+    if step < keys or step % (keys * 4) == step % keys:
+        client.put(key, {"step": step, "payload": "x" * value_size})
+    client.get(key)
+    if step % (keys * 2) == step % keys:
+        client.invalidate(key)
+        client.get(key)  # forced cache miss -> store read
+
+
+def cmd_serve_metrics(options: argparse.Namespace) -> int:
+    import time as time_module
+
+    from .obs.export import start_http_exporter
+
+    store, client = _build_observed_client(options)
+    obs = client.obs
+    handle = start_http_exporter(obs, host=options.metrics_host, port=options.metrics_port)
+    print(f"METRICS {handle.host} {handle.port}", flush=True)
+    print(f"serving telemetry at {handle.url} "
+          f"(/metrics /metrics.json /traces /events.json); ctrl-c to stop", flush=True)
+    deadline = None if options.duration is None else time_module.monotonic() + options.duration
+    step = 0
+    try:
+        while deadline is None or time_module.monotonic() < deadline:
+            _drive_workload_step(client, step, keys=options.keys,
+                                 value_size=options.value_size)
+            step += 1
+            if options.op_interval:
+                time_module.sleep(options.op_interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        handle.stop()
+        client.close()
+    return 0
+
+
+def cmd_top(options: argparse.Namespace) -> int:
+    import time as time_module
+
+    from .obs.top import CLEAR_SCREEN, Dashboard, scrape_events_json, scrape_metrics_json
+
+    if not options.url and not options.demo:
+        raise ConfigurationError("repro top needs --url <exporter> or --demo")
+
+    client = None
+    obs = None
+    if options.demo:
+        if options.slow_ms is None:
+            options.slow_ms = 0.0  # demo: journal every op as an exemplar source
+        _store, client = _build_observed_client(options)
+        obs = client.obs
+
+    dashboard = Dashboard()
+    iteration = 0
+    try:
+        while options.iterations <= 0 or iteration < options.iterations:
+            if client is not None:
+                for step in range(options.demo_ops):
+                    _drive_workload_step(
+                        client, iteration * options.demo_ops + step,
+                        keys=options.keys, value_size=options.value_size,
+                    )
+            if options.url:
+                snapshot = scrape_metrics_json(options.url)
+                slow_ops = scrape_events_json(options.url, count=options.slow_tail)
+            else:
+                snapshot = obs.registry.snapshot()
+                slow_ops = obs.events.slow_ops(options.slow_tail) if obs.events else []
+            frame = dashboard.render(snapshot, slow_ops)
+            if options.no_clear:
+                print(frame, flush=True)
+            else:  # pragma: no cover - interactive only
+                print(CLEAR_SCREEN + frame, flush=True)
+            iteration += 1
+            if (options.iterations <= 0 or iteration < options.iterations) and options.interval:
+                time_module.sleep(options.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    except BrokenPipeError:
+        # Reader went away (e.g. `repro top | head`): silence the final
+        # interpreter-exit flush of the dead stdout and leave quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    finally:
+        if client is not None:
+            client.close()
     return 0
 
 
@@ -445,6 +558,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_options(trace)
     trace.set_defaults(handler=cmd_trace)
+
+    serve_metrics = commands.add_parser(
+        "serve-metrics",
+        help="drive a workload and serve its telemetry over HTTP",
+    )
+    _add_obs_options(serve_metrics)
+    serve_metrics.add_argument("--metrics-host", default="127.0.0.1")
+    serve_metrics.add_argument("--metrics-port", type=int, default=0,
+                               help="exporter port (0 picks a free one)")
+    serve_metrics.add_argument("--duration", type=float, default=None,
+                               help="seconds to run (default: until ctrl-c)")
+    serve_metrics.add_argument("--keys", type=int, default=16,
+                               help="distinct keys in the driven workload")
+    serve_metrics.add_argument("--op-interval", type=float, default=0.01,
+                               help="pause between workload operations")
+    serve_metrics.add_argument("--slow-ms", type=float, default=50.0,
+                               help="slow-operation threshold in milliseconds")
+    serve_metrics.add_argument("--event-log", default=None,
+                               help="also journal events to this JSONL file")
+    serve_metrics.set_defaults(handler=cmd_serve_metrics)
+
+    top = commands.add_parser(
+        "top", help="live dashboard: op rates, p50/p99, hit ratios, slow ops"
+    )
+    _add_obs_options(top)
+    top.add_argument("--url", default=None,
+                     help="scrape a running exporter (e.g. http://127.0.0.1:9100)")
+    top.add_argument("--demo", action="store_true",
+                     help="drive an in-process demo workload instead of scraping")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="frames to render (0 = until ctrl-c)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
+    top.add_argument("--demo-ops", type=int, default=64,
+                     help="workload operations per frame in --demo mode")
+    top.add_argument("--keys", type=int, default=16,
+                     help="distinct keys in the demo workload")
+    top.add_argument("--slow-ms", type=float, default=None,
+                     help="slow-operation threshold in milliseconds (demo mode)")
+    top.add_argument("--event-log", default=None,
+                     help="journal demo events to this JSONL file")
+    top.add_argument("--slow-tail", type=int, default=5,
+                     help="slow operations to show")
+    top.set_defaults(handler=cmd_top)
 
     migrate = commands.add_parser("migrate", help="copy one store into another")
     migrate.add_argument("--source", required=True,

@@ -104,6 +104,14 @@ class RetryingStore(_DelegatingStore):
                 attempts=self._max_attempts,
                 error=type(last_error).__name__,
             )
+            # Also journal to the structured event log (if one is attached):
+            # exhaustion is an operator-facing incident, not just a span note.
+            self._obs.emit(
+                "retry_exhausted",
+                store=self.name,
+                attempts=self._max_attempts,
+                error=type(last_error).__name__,
+            )
         raise last_error
 
     # ------------------------------------------------------------------

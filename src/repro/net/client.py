@@ -196,6 +196,25 @@ class CacheClient:
         """Ask the server to snapshot its keyspace to disk."""
         self._raise_on_error(self._roundtrip(["SAVE"]))
 
+    def stats(self) -> dict[str, str]:
+        """Live server statistics (the ``STATS`` command).
+
+        Returns the server's key/value pairs -- uptime, live connection and
+        key counts, and per-command call counts and latency figures (see
+        ``docs/protocol.md``).  Values are decimal strings; parse what you
+        need.
+        """
+        reply = self._raise_on_error(self._roundtrip(["STATS"]))
+        if not isinstance(reply, list) or len(reply) % 2:
+            raise ProtocolError("STATS returned a malformed reply")
+        pairs: dict[str, str] = {}
+        for index in range(0, len(reply), 2):
+            key, value = reply[index], reply[index + 1]
+            if not isinstance(key, bytes) or not isinstance(value, bytes):
+                raise ProtocolError("STATS returned non-bulk members")
+            pairs[key.decode("ascii")] = value.decode("ascii")
+        return pairs
+
     def publish(self, channel: bytes, payload: bytes) -> int:
         """Broadcast *payload* on *channel*; returns the subscriber count
         it reached (see :class:`SubscriberClient`)."""

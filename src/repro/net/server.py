@@ -15,10 +15,17 @@ The server can run three ways:
 * from the command line: ``python -m repro.net.server --port 7379``.
 
 Supported commands (case-insensitive): PING, GET, SET, SETEX, DEL, EXISTS,
-KEYS, DBSIZE, FLUSHALL, TTL, GETVER, SAVE, QUIT, SHUTDOWN, plus a small
-pub/sub facility (SUBSCRIBE, UNSUBSCRIBE, PUBLISH) used by the cache
+KEYS, DBSIZE, FLUSHALL, TTL, GETVER, SAVE, STATS, QUIT, SHUTDOWN, plus a
+small pub/sub facility (SUBSCRIBE, UNSUBSCRIBE, PUBLISH) used by the cache
 coherence layer (:mod:`repro.consistency`) to broadcast invalidations to
 every client sharing the server.
+
+The server is itself observable: every dispatched command is counted and
+timed into a per-server :class:`~repro.obs.Observability` bundle
+(``server.cmd.<name>.calls`` / ``server.cmd.<name>.seconds``), the ``STATS``
+command exposes those numbers over the wire, and ``--metrics-port`` serves
+the same registry over HTTP in Prometheus text format -- so the remote
+cache is no longer a black box (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError, StoreConnectionError
+from ..obs import Observability
 from . import protocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,6 +75,7 @@ class CacheServer:
         *,
         max_entries: int | None = None,
         snapshot_path: str | Path | None = None,
+        obs: Observability | None = None,
     ) -> None:
         """Create a server (not yet listening; call :meth:`start`).
 
@@ -75,9 +84,18 @@ class CacheServer:
             unbounded, like a default Redis instance).
         :param snapshot_path: if set, ``SAVE`` persists the keyspace here
             and :meth:`start` warm-loads from it when it exists.
+        :param obs: observability bundle for per-command counters and
+            latency histograms.  Unlike client-side constructors the server
+            defaults to a *fresh enabled* bundle (it is the thing being
+            observed; ``STATS`` must always have numbers to report) -- pass
+            a shared bundle to merge its registry with other components.
         """
         if max_entries is not None and max_entries <= 0:
             raise ConfigurationError("max_entries must be positive")
+        self.obs = obs if obs is not None else Observability()
+        self._cmd_handles: dict[str, tuple] = {}
+        self._cmd_handles_lock = threading.Lock()
+        self._started_at: float | None = None
         self._host = host
         self._requested_port = port
         self._max_entries = max_entries
@@ -104,6 +122,7 @@ class CacheServer:
     # ------------------------------------------------------------------
     def start(self) -> tuple[str, int]:
         """Bind, warm-load any snapshot, and begin accepting connections."""
+        self._started_at = time.monotonic()
         if self._snapshot_path and self._snapshot_path.exists():
             self._load_snapshot()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -164,6 +183,9 @@ class CacheServer:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         with self._connections_lock:
             self._connections.add(conn)
+        if self.obs.enabled:
+            self.obs.inc("server.connections_total")
+            self.obs.gauge("server.connections").inc()
         stream = conn.makefile("rwb")
         context = _ConnectionContext(stream)
         self._conn_local.context = context
@@ -190,6 +212,8 @@ class CacheServer:
                     return
         finally:
             self._drop_subscriber(context)
+            if self.obs.enabled:
+                self.obs.gauge("server.connections").dec()
             with self._connections_lock:
                 self._connections.discard(conn)
             try:
@@ -205,17 +229,59 @@ class CacheServer:
     # Command dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, command: list[bytes]) -> tuple[bytes, bool]:
-        """Execute one command; returns ``(encoded_reply, keep_connection)``."""
+        """Execute one command; returns ``(encoded_reply, keep_connection)``.
+
+        Every dispatch is counted and timed into the server's registry
+        (``server.cmd.<name>.calls`` / ``.seconds``; error replies also
+        count ``server.errors``), which is what ``STATS`` and the HTTP
+        exporter report.
+        """
         self.commands_served += 1
         name = command[0].upper().decode("ascii", errors="replace")
         args = command[1:]
         handler = getattr(self, f"_cmd_{name.lower()}", None)
         if handler is None:
+            if self.obs.enabled:
+                self.obs.inc("server.cmd.unknown.calls")
+                self.obs.inc("server.errors")
             return protocol.encode_error(f"ERR unknown command '{name}'"), True
+        if not self.obs.enabled:
+            try:
+                return handler(args)
+            except _Arity as exc:
+                return protocol.encode_error(
+                    f"ERR wrong number of arguments for '{name}': {exc}"
+                ), True
+        calls, seconds = self._handles_for(name.lower())
+        calls.inc()
+        start = time.perf_counter()
         try:
-            return handler(args)
+            reply, keep_open = handler(args)
         except _Arity as exc:
-            return protocol.encode_error(f"ERR wrong number of arguments for '{name}': {exc}"), True
+            reply = protocol.encode_error(
+                f"ERR wrong number of arguments for '{name}': {exc}"
+            )
+            keep_open = True
+        finally:
+            seconds.observe(time.perf_counter() - start)
+        if reply.startswith(b"-"):
+            self.obs.inc("server.errors")
+        return reply, keep_open
+
+    def _handles_for(self, command: str) -> tuple:
+        """Cached (calls counter, latency histogram) pair for *command*."""
+        handles = self._cmd_handles.get(command)
+        if handles is None:
+            with self._cmd_handles_lock:
+                handles = self._cmd_handles.get(command)
+                if handles is None:
+                    prefix = f"server.cmd.{command}"
+                    handles = (
+                        self.obs.counter(prefix + ".calls"),
+                        self.obs.histogram(prefix + ".seconds"),
+                    )
+                    self._cmd_handles[command] = handles
+        return handles
 
     # Each handler returns (encoded_reply, keep_connection).
 
@@ -330,6 +396,60 @@ class CacheServer:
             return protocol.encode_error("ERR no snapshot path configured"), True
         self._save_snapshot()
         return protocol.encode_simple("OK"), True
+
+    # ------------------------------------------------------------------
+    # Server-side observability (the STATS wire command)
+    # ------------------------------------------------------------------
+    def _keyspace_size(self) -> int:
+        """Live key count (overridden by :class:`StoreServer`)."""
+        now = time.monotonic()
+        with self._lock:
+            return sum(1 for e in self._data.values() if not e.expired(now))
+
+    def stats_pairs(self) -> list[tuple[str, str]]:
+        """The ``STATS`` payload as (key, value) string pairs.
+
+        Always present: ``server.uptime_seconds``, ``server.commands_served``,
+        ``server.connections``, ``server.keys``.  With an enabled
+        observability bundle (the default), every dispatched command adds
+        ``cmd.<name>.calls`` plus latency figures (``cmd.<name>.mean_ms`` /
+        ``cmd.<name>.p99_ms``), and the total error-reply count
+        ``server.errors``.
+        """
+        uptime = 0.0 if self._started_at is None else time.monotonic() - self._started_at
+        with self._connections_lock:
+            connections = len(self._connections)
+        pairs: list[tuple[str, str]] = [
+            ("server.uptime_seconds", f"{uptime:.3f}"),
+            ("server.commands_served", str(self.commands_served)),
+            ("server.connections", str(connections)),
+            ("server.keys", str(self._keyspace_size())),
+        ]
+        if self.obs.enabled:
+            snapshot = self.obs.registry.snapshot()
+            pairs.append(
+                ("server.errors", str(snapshot["counters"].get("server.errors", 0)))
+            )
+            for name, value in snapshot["counters"].items():
+                if not (name.startswith("server.cmd.") and name.endswith(".calls")):
+                    continue
+                command = name[len("server.cmd."):-len(".calls")]
+                pairs.append((f"cmd.{command}.calls", str(value)))
+                histogram = self.obs.registry.histogram(f"server.cmd.{command}.seconds")
+                if histogram.count:
+                    pairs.append((f"cmd.{command}.mean_ms", f"{histogram.mean * 1e3:.3f}"))
+                    pairs.append(
+                        (f"cmd.{command}.p99_ms", f"{histogram.percentile(0.99) * 1e3:.3f}")
+                    )
+        return pairs
+
+    def _cmd_stats(self, args: list[bytes]) -> tuple[bytes, bool]:
+        """Live server statistics as a flat array of key/value bulk strings."""
+        frames: list[bytes] = []
+        for key, value in self.stats_pairs():
+            frames.append(protocol.encode_bulk(key.encode("ascii")))
+            frames.append(protocol.encode_bulk(value.encode("ascii")))
+        return protocol.encode_array(frames), True
 
     # ------------------------------------------------------------------
     # Pub/sub (cache-coherence transport)
@@ -472,8 +592,10 @@ class StoreServer(CacheServer):
         store: "KeyValueStore",
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        obs: Observability | None = None,
     ) -> None:
-        super().__init__(host, port)
+        super().__init__(host, port, obs=obs)
         self._store = store
 
     # -- keyspace commands re-routed to the hosted store -----------------
@@ -560,6 +682,9 @@ class StoreServer(CacheServer):
 
     def _cmd_save(self, args: list[bytes]) -> tuple[bytes, bool]:
         return protocol.encode_error("ERR the hosted store owns its durability"), True
+
+    def _keyspace_size(self) -> int:
+        return self._store.size()
 
 
 class _ConnectionContext:
@@ -695,6 +820,10 @@ def main(argv: list[str] | None = None) -> None:
         help="'cache' = in-memory cache keyspace; 'sql' = serve a sqlite store",
     )
     parser.add_argument("--database", default=":memory:", help="sqlite path for --backend sql")
+    parser.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also serve /metrics (Prometheus text) over HTTP on this port (0 = free port)",
+    )
     options = parser.parse_args(argv)
     server: CacheServer
     if options.backend == "sql":
@@ -710,10 +839,19 @@ def main(argv: list[str] | None = None) -> None:
         )
     host, port = server.start()
     print(f"LISTENING {host} {port}", flush=True)
+    exporter = None
+    if options.metrics_port is not None:
+        from ..obs.export import start_http_exporter
+
+        exporter = start_http_exporter(server.obs, host=options.host, port=options.metrics_port)
+        print(f"METRICS {exporter.host} {exporter.port}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         server.stop()
+    finally:
+        if exporter is not None:
+            exporter.stop()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -36,6 +36,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
+from .events import DEFAULT_MAX_BYTES, DEFAULT_MAX_EVENTS, EventLog
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -51,6 +52,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_MAX_BYTES",
+    "EventLog",
     "Span",
     "SpanEvent",
     "Tracer",
@@ -113,16 +117,38 @@ class Observability:
         registry: MetricsRegistry | None = None,
         collector: TraceCollector | None = None,
         max_traces: int = DEFAULT_MAX_TRACES,
+        events: EventLog | None = None,
+        slow_op_threshold: float | None = None,
     ) -> None:
         """Create an enabled observability bundle.
 
         :param registry: share an existing registry (default: a fresh one).
         :param collector: share an existing trace collector (default: a
             fresh one retaining the newest *max_traces* traces).
+        :param events: a structured :class:`~repro.obs.events.EventLog` for
+            notable happenings (reconnects, retry exhaustion, slow
+            operations).  ``None`` disables event recording unless
+            *slow_op_threshold* is set, in which case a default in-memory
+            log is created.
+        :param slow_op_threshold: when set (seconds), any root span whose
+            duration reaches the threshold is journalled to the event log
+            as a ``slow_op`` record carrying the full span tree as its
+            exemplar, and counted in ``obs.slow_ops``.
         """
         self.registry = registry if registry is not None else MetricsRegistry()
         self.collector = collector if collector is not None else TraceCollector(max_traces)
+        registry_ref = self.registry
+        self.collector.bind_dropped_counter(
+            lambda: registry_ref.counter("obs.traces.dropped")
+        )
         self.tracer = Tracer(self.collector)
+        if events is None and slow_op_threshold is not None:
+            events = EventLog()
+        self.events = events
+        self.slow_op_threshold = slow_op_threshold
+        if slow_op_threshold is not None:
+            self._slow_counter = self.registry.counter("obs.slow_ops")
+            self.collector.add_listener(self._on_root_span)
 
     # ------------------------------------------------------------------
     # Tracing
@@ -143,6 +169,29 @@ class Observability:
         span = self.tracer.current()
         if span is not None:
             span.add_event(name, **attributes)
+
+    # ------------------------------------------------------------------
+    # Structured events / slow-operation log
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Journal a structured event (no-op when no event log is set)."""
+        if self.events is not None:
+            self.events.emit(kind, **fields)
+
+    def _on_root_span(self, span: Span) -> None:
+        """Collector listener: journal root spans over the slow threshold."""
+        threshold = self.slow_op_threshold
+        if threshold is None or span.duration < threshold:
+            return
+        self._slow_counter.inc()
+        if self.events is not None:
+            self.events.emit(
+                "slow_op",
+                op=span.name,
+                seconds=round(span.duration, 6),
+                threshold=threshold,
+                trace=span.to_dict(),
+            )
 
     # ------------------------------------------------------------------
     # Metrics
@@ -202,6 +251,8 @@ class _NullObservability(Observability):
         self.registry = None  # type: ignore[assignment]
         self.collector = None  # type: ignore[assignment]
         self.tracer = None  # type: ignore[assignment]
+        self.events = None
+        self.slow_op_threshold = None
 
     def span(self, name: str, **attributes: Any) -> Any:
         return _NULL_CONTEXT
@@ -210,6 +261,9 @@ class _NullObservability(Observability):
         return _NULL_CONTEXT
 
     def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def emit(self, kind: str, **fields: Any) -> None:
         return None
 
     def inc(self, name: str, amount: int = 1) -> None:

@@ -1,0 +1,193 @@
+"""Structured event log: bounded, rotating, thread-safe JSON lines.
+
+Metrics aggregate and spans attribute, but neither answers "what *happened*
+around 14:32?" -- a cache server reconnect, a retry storm, one request that
+took 80x the median.  The event log is the third leg: a bounded in-memory
+ring of structured records, optionally mirrored to a JSON-lines file with
+size-based rotation, safe to write from any thread.
+
+Two kinds of records matter enough to have conventions:
+
+* **events** -- anything notable: ``retry_exhausted``, ``reconnect``,
+  ``snapshot_saved``.  Flat records: ``{"ts": ..., "kind": ..., **fields}``.
+* **slow operations** -- emitted automatically by
+  :class:`~repro.obs.Observability` when a root span finishes over the
+  configured ``slow_op_threshold``.  A slow-op record carries the finished
+  span tree as its ``trace`` field (an *exemplar*, in Prometheus/OpenTelemetry
+  terms): the one concrete request that landed in the histogram's tail,
+  with its per-stage breakdown attached.
+
+The file format is one JSON object per line, append-only.  When the file
+would exceed ``max_bytes`` it is rotated to ``<path>.1`` (one generation is
+kept) and a fresh file is started, so a long-lived process can log forever
+in bounded disk.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigurationError
+
+__all__ = ["EventLog", "DEFAULT_MAX_EVENTS", "DEFAULT_MAX_BYTES"]
+
+DEFAULT_MAX_EVENTS = 512
+
+#: Rotate the JSON-lines file beyond this many bytes (1 MiB).
+DEFAULT_MAX_BYTES = 1_048_576
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion for attribute values of arbitrary type."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+class EventLog:
+    """Bounded ring of structured events, optionally mirrored to a file.
+
+    Thread-safe: :meth:`emit` may be called concurrently from request
+    threads, the cache server's connection threads, and background pools.
+    The in-memory ring keeps the newest ``max_events`` records for the
+    ``/events`` endpoint and ``repro top``; the optional file keeps a
+    rotating on-disk journal for post-mortems.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        path: str | Path | None = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        clock=time.time,
+    ) -> None:
+        """Create a log.
+
+        :param max_events: in-memory ring capacity (oldest fall off).
+        :param path: when set, every record is also appended to this
+            JSON-lines file.
+        :param max_bytes: rotate the file to ``<path>.1`` when an append
+            would push it past this size.
+        :param clock: timestamp source (injectable for tests); records
+            carry ``ts`` = ``clock()`` (wall-clock seconds by default).
+        """
+        if max_events < 1:
+            raise ConfigurationError("max_events must be at least 1")
+        if max_bytes < 1:
+            raise ConfigurationError("max_bytes must be positive")
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=max_events)
+        self._path = Path(path) if path is not None else None
+        self._max_bytes = max_bytes
+        self._clock = clock
+        self._handle = None
+        self._written_bytes = 0
+        self._emitted = 0
+        self._rotations = 0
+        if self._path is not None:
+            self._open_file()
+
+    # ------------------------------------------------------------------
+    def _open_file(self) -> None:
+        """(Re)open the journal for appending; caller holds no lock yet
+        (constructor) or ``self._lock`` (rotation)."""
+        assert self._path is not None
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self._path, "a", encoding="utf-8")
+        self._written_bytes = self._handle.tell()
+
+    def _rotate(self) -> None:
+        """Move the full journal aside and start a fresh one (lock held)."""
+        assert self._path is not None and self._handle is not None
+        self._handle.close()
+        self._path.replace(self._path.with_name(self._path.name + ".1"))
+        self._handle = None
+        self._open_file()
+        self._rotations += 1
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Record one event; returns the record that was stored."""
+        record: dict[str, Any] = {"ts": self._clock(), "kind": kind}
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            self._ring.append(record)
+            self._emitted += 1
+            if self._handle is not None:
+                encoded = len(line) + 1
+                if self._written_bytes and self._written_bytes + encoded > self._max_bytes:
+                    self._rotate()
+                self._handle.write(line + "\n")
+                self._handle.flush()
+                self._written_bytes += encoded
+        return record
+
+    # ------------------------------------------------------------------
+    def tail(self, count: int | None = None, *, kind: str | None = None) -> list[dict[str, Any]]:
+        """Newest-last copy of the retained records, optionally filtered by
+        *kind* and truncated to the last *count*."""
+        with self._lock:
+            records = list(self._ring)
+        if kind is not None:
+            records = [record for record in records if record.get("kind") == kind]
+        if count is not None:
+            records = records[-count:]
+        return records
+
+    def slow_ops(self, count: int | None = None) -> list[dict[str, Any]]:
+        """The retained slow-operation records (see module docstring)."""
+        return self.tail(count, kind="slow_op")
+
+    @property
+    def emitted(self) -> int:
+        """Total records emitted (including ones aged out of the ring)."""
+        with self._lock:
+            return self._emitted
+
+    @property
+    def rotations(self) -> int:
+        """How many times the journal file has been rotated."""
+        with self._lock:
+            return self._rotations
+
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        """Drop the in-memory ring (the file journal is left alone)."""
+        with self._lock:
+            self._ring.clear()
+
+    def close(self) -> None:
+        """Close the journal file (the in-memory ring stays usable)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        where = f", path={str(self._path)!r}" if self._path else ""
+        return f"<EventLog events={len(self)}{where}>"

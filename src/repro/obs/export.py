@@ -1,0 +1,342 @@
+"""Telemetry export plane: Prometheus text rendering and an HTTP exporter.
+
+PR 1 gave the stack an in-process :class:`~repro.obs.metrics.MetricsRegistry`
+and :class:`~repro.obs.tracing.TraceCollector`; this module makes them
+*externally* observable, following the pull-based exposition model
+(a scraper GETs ``/metrics`` whenever it wants a sample):
+
+* :func:`render_prometheus` -- the registry in the Prometheus text
+  exposition format (version 0.0.4): counters, gauges, and cumulative
+  ``le``-bucket histograms.
+* :func:`parse_prometheus` -- the inverse, used by tests to prove the
+  scrape round-trips and by ``repro top`` when pointed at a foreign
+  endpoint.
+* :func:`start_http_exporter` -- a zero-dependency stdlib
+  :mod:`http.server` thread serving ``/metrics`` (Prometheus text),
+  ``/metrics.json`` (exact snapshot, dotted names preserved), ``/traces``
+  (recent span trees), and ``/events.json`` (the structured event log,
+  including slow-op records).
+
+Everything is read-only and safe to leave running: handlers only take
+snapshots, and the server thread is a daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import ConfigurationError
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import Observability
+    from .events import EventLog
+    from .tracing import TraceCollector
+
+__all__ = [
+    "sanitize_metric_name",
+    "render_prometheus",
+    "parse_prometheus",
+    "ExporterHandle",
+    "start_http_exporter",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Registry name -> legal Prometheus metric name.
+
+    Dots (the registry's separator) become underscores; any other illegal
+    character does too, and a leading digit gains an underscore prefix.
+    ``client.cache_hits`` -> ``client_cache_hits``.
+    """
+    sanitized = _NAME_BAD_CHARS.sub("_", name)
+    if not sanitized or not _NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format (version 0.0.4).
+
+    Counters are suffixed ``_total`` (the exposition convention), gauges
+    keep their name, histograms expand to cumulative ``_bucket{le=...}``
+    series plus ``_sum`` and ``_count``.  Series are sorted by name so the
+    output is diff-stable.
+    """
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snapshot["counters"].items():
+        metric = sanitize_metric_name(name) + "_total"
+        lines.append(f"# HELP {metric} Counter {name!r} from the repro metrics registry.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot["gauges"].items():
+        metric = sanitize_metric_name(name)
+        lines.append(f"# HELP {metric} Gauge {name!r} from the repro metrics registry.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, data in snapshot["histograms"].items():
+        metric = sanitize_metric_name(name)
+        lines.append(f"# HELP {metric} Histogram {name!r} from the repro metrics registry.")
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in data["buckets"]:
+            le = "+Inf" if math.isinf(bound) else _format_value(bound)
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(data['sum'])}")
+        lines.append(f"{metric}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Parse Prometheus text format back into plain data.
+
+    Returns ``{"counters": {name: value}, "gauges": {name: value},
+    "histograms": {name: {"count": int, "sum": float,
+    "buckets": [(le, cumulative), ...]}}}`` keyed by the *sanitized*
+    (exposition) family name -- counter names have their ``_total`` suffix
+    stripped.  Only the subset of the format :func:`render_prometheus`
+    emits is understood, which is exactly what the round-trip tests need.
+    """
+    types: dict[str, str] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, Any]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ConfigurationError(f"unparseable metrics line: {raw!r}")
+        name = match.group("name")
+        value = _parse_number(match.group("value"))
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for item in match.group("labels").split(","):
+                key, _sep, val = item.partition("=")
+                labels[key.strip()] = val.strip().strip('"')
+        if types.get(name) == "counter":
+            counters[name.removesuffix("_total")] = value
+            continue
+        if types.get(name) == "gauge":
+            gauges[name] = value
+            continue
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and types.get(name.removesuffix(suffix)) == "histogram":
+                family = histograms.setdefault(
+                    name.removesuffix(suffix), {"count": 0, "sum": 0.0, "buckets": []}
+                )
+                if suffix == "_bucket":
+                    family["buckets"].append((_parse_number(labels.get("le", "+Inf")), int(value)))
+                elif suffix == "_sum":
+                    family["sum"] = value
+                else:
+                    family["count"] = int(value)
+                break
+        else:
+            raise ConfigurationError(f"sample {name!r} has no TYPE declaration")
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+# ----------------------------------------------------------------------
+# HTTP exporter
+# ----------------------------------------------------------------------
+class _ExporterServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the telemetry sources for its handler."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    registry: MetricsRegistry
+    collector: "TraceCollector | None"
+    events: "EventLog | None"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-exporter/1.0"
+
+    # The exporter must never spam stdout/stderr of the host process.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        return None
+
+    def _send(self, body: str, *, content_type: str, status: int = 200) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, data: Any, *, status: int = 200) -> None:
+        self._send(
+            json.dumps(data, indent=2, default=repr),
+            content_type="application/json; charset=utf-8",
+            status=status,
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        server: _ExporterServer = self.server  # type: ignore[assignment]
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        try:
+            if path == "/metrics":
+                self._send(
+                    render_prometheus(server.registry),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/metrics.json":
+                self._send(
+                    server.registry.to_json(indent=2),
+                    content_type="application/json; charset=utf-8",
+                )
+            elif path in ("/traces", "/traces.json"):
+                if server.collector is None:
+                    self._send("no trace collector attached\n",
+                               content_type="text/plain; charset=utf-8", status=404)
+                elif path == "/traces":
+                    self._send(server.collector.render() + "\n",
+                               content_type="text/plain; charset=utf-8")
+                else:
+                    self._send_json(
+                        {
+                            "dropped": server.collector.dropped,
+                            "traces": [root.to_dict() for root in server.collector.roots()],
+                        }
+                    )
+            elif path in ("/events", "/events.json"):
+                if server.events is None:
+                    self._send("no event log attached\n",
+                               content_type="text/plain; charset=utf-8", status=404)
+                else:
+                    kind = query.get("kind", [None])[0]
+                    count_raw = query.get("count", [None])[0]
+                    count = int(count_raw) if count_raw else None
+                    self._send_json(server.events.tail(count, kind=kind))
+            elif path == "/healthz":
+                self._send("ok\n", content_type="text/plain; charset=utf-8")
+            elif path == "/":
+                self._send(
+                    "repro telemetry exporter\n"
+                    "  /metrics       Prometheus text format\n"
+                    "  /metrics.json  registry snapshot (dotted names)\n"
+                    "  /traces        recent span trees (text)\n"
+                    "  /traces.json   recent span trees (JSON)\n"
+                    "  /events.json   structured event log (?kind=slow_op&count=10)\n"
+                    "  /healthz       liveness\n",
+                    content_type="text/plain; charset=utf-8",
+                )
+            else:
+                self._send("not found\n", content_type="text/plain; charset=utf-8", status=404)
+        except BrokenPipeError:  # scraper went away mid-reply
+            pass
+
+
+class ExporterHandle:
+    """A running HTTP exporter; stop it with :meth:`stop` or ``with``."""
+
+    def __init__(self, server: _ExporterServer, thread: threading.Thread) -> None:
+        self._server = server
+        self._thread = thread
+        self.host, self.port = server.server_address[0], server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the exporter down and release the port.  Idempotent."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None  # type: ignore[assignment]
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "ExporterHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return f"<ExporterHandle {self.url}>"
+
+
+def start_http_exporter(
+    source: "Observability | MetricsRegistry",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ExporterHandle:
+    """Serve *source*'s telemetry over HTTP on a daemon thread.
+
+    :param source: an enabled :class:`~repro.obs.Observability` bundle
+        (metrics + traces + events all exposed) or a bare
+        :class:`~repro.obs.metrics.MetricsRegistry` (metrics endpoints
+        only).
+    :param port: TCP port; 0 picks a free one (see the handle's ``port``).
+    :returns: an :class:`ExporterHandle`; the server runs until
+        :meth:`ExporterHandle.stop`.
+    """
+    if isinstance(source, MetricsRegistry):
+        registry, collector, events = source, None, None
+    else:
+        if not getattr(source, "enabled", False) or source.registry is None:
+            raise ConfigurationError(
+                "cannot export a disabled Observability bundle (NULL_OBS)"
+            )
+        registry, collector, events = source.registry, source.collector, source.events
+    server = _ExporterServer((host, port), _Handler)
+    server.registry = registry
+    server.collector = collector
+    server.events = events
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics-exporter", daemon=True
+    )
+    thread.start()
+    return ExporterHandle(server, thread)

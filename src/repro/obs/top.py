@@ -1,0 +1,230 @@
+"""``repro top`` -- a live, curses-free terminal dashboard.
+
+The operator-facing end of the telemetry plane: poll a metrics source
+(either the HTTP exporter's ``/metrics.json`` endpoint or an in-process
+:class:`~repro.obs.metrics.MetricsRegistry`), diff consecutive snapshots
+to get per-operation *rates*, estimate tail latencies from the histogram
+buckets, and redraw one plain-text screen per refresh.  No curses, no
+third-party TUI -- every frame is a string, which makes the dashboard
+trivially testable and usable over the dumbest of terminals
+(``watch``-style redraw via ANSI clear).
+
+What a frame shows:
+
+* **operations** -- every ``*.seconds`` histogram as a row: cumulative
+  count, ops/s since the previous frame, mean / p50 / p99 / max latency;
+* **hit ratios** -- every ``<prefix>.hits`` / ``<prefix>.misses`` counter
+  pair as a ratio (caches, and the enhanced client's ``client.cache_*``);
+* **gauges** -- current levels (live connections, pool occupancy...);
+* **slow operations** -- the tail of the event log's ``slow_op`` records,
+  newest last, with the root span name and duration.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import urllib.request
+from typing import Any, Iterable
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "normalize_buckets",
+    "percentile_from_buckets",
+    "scrape_metrics_json",
+    "scrape_events_json",
+    "Dashboard",
+    "CLEAR_SCREEN",
+]
+
+#: ANSI "clear screen, cursor home" -- the whole redraw machinery.
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+
+def normalize_buckets(buckets: Iterable[Iterable[Any]]) -> list[tuple[float, int]]:
+    """Bucket pairs from either a live snapshot (``math.inf`` bound) or the
+    JSON export (``"+inf"`` label) as uniform ``(float, int)`` tuples."""
+    normalized: list[tuple[float, int]] = []
+    for bound, cumulative in buckets:
+        if isinstance(bound, str):
+            bound = math.inf if bound.lstrip("+") == "inf" else float(bound)
+        normalized.append((float(bound), int(cumulative)))
+    return normalized
+
+
+def percentile_from_buckets(
+    buckets: list[tuple[float, int]], fraction: float, *, maximum: float | None = None
+) -> float:
+    """Bucket-resolution percentile estimate from cumulative ``le`` pairs
+    (the same estimate :meth:`~repro.obs.metrics.Histogram.percentile`
+    computes, but from exported plain data)."""
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if not total:
+        return 0.0
+    rank = max(1, math.ceil(fraction * total))
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            if maximum is not None:
+                return min(bound, maximum)
+            return bound
+    return buckets[-1][0]  # pragma: no cover - cumulative counts reach total
+
+
+# ----------------------------------------------------------------------
+# Scraping
+# ----------------------------------------------------------------------
+def scrape_metrics_json(url: str, *, timeout: float = 5.0) -> dict[str, Any]:
+    """GET ``<url>/metrics.json`` and return the decoded snapshot."""
+    with urllib.request.urlopen(url.rstrip("/") + "/metrics.json", timeout=timeout) as reply:
+        return json.loads(reply.read().decode("utf-8"))
+
+
+def scrape_events_json(
+    url: str, *, kind: str | None = "slow_op", count: int = 8, timeout: float = 5.0
+) -> list[dict[str, Any]]:
+    """GET ``<url>/events.json``; an exporter without an event log (404)
+    simply yields no events rather than an error."""
+    query = f"?count={count}" + (f"&kind={kind}" if kind else "")
+    try:
+        with urllib.request.urlopen(
+            url.rstrip("/") + "/events.json" + query, timeout=timeout
+        ) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404:
+            return []
+        raise
+
+
+def snapshot_registry(registry: MetricsRegistry) -> dict[str, Any]:
+    """An in-process registry in the same shape ``/metrics.json`` serves."""
+    return registry.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _table(rows: list[tuple[str, ...]]) -> list[str]:
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    return [
+        "  " + "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+
+
+class Dashboard:
+    """Stateful frame renderer: diffs consecutive snapshots for rates."""
+
+    def __init__(self, *, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._previous_counts: dict[str, int] = {}
+        self._previous_at: float | None = None
+
+    # ------------------------------------------------------------------
+    def render(
+        self,
+        snapshot: dict[str, Any],
+        slow_ops: list[dict[str, Any]] | None = None,
+        *,
+        title: str = "repro top",
+    ) -> str:
+        """One frame of the dashboard for *snapshot* (a registry snapshot,
+        live or scraped); rates are computed against the previous call."""
+        now = self._clock()
+        interval = None if self._previous_at is None else max(1e-9, now - self._previous_at)
+        lines: list[str] = [title]
+        lines.extend(self._render_operations(snapshot, interval))
+        lines.extend(self._render_hit_ratios(snapshot))
+        lines.extend(self._render_gauges(snapshot))
+        lines.extend(self._render_slow_ops(slow_ops or []))
+        self._previous_at = now
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def _render_operations(
+        self, snapshot: dict[str, Any], interval: float | None
+    ) -> list[str]:
+        histograms = {
+            name: data
+            for name, data in snapshot.get("histograms", {}).items()
+            if name.endswith(".seconds")
+        }
+        if not histograms:
+            return ["", "operations: (none recorded)"]
+        rows = [("operation", "count", "ops/s", "mean ms", "p50 ms", "p99 ms", "max ms")]
+        for name in sorted(histograms):
+            data = histograms[name]
+            count = int(data["count"])
+            previous = self._previous_counts.get(name)
+            self._previous_counts[name] = count
+            if interval is None or previous is None:
+                rate = "-"
+            else:
+                rate = f"{max(0, count - previous) / interval:.1f}"
+            buckets = normalize_buckets(data.get("buckets", []))
+            maximum = float(data.get("max", 0.0))
+            rows.append(
+                (
+                    name[: -len(".seconds")],
+                    str(count),
+                    rate,
+                    f"{float(data['mean']) * 1e3:.3f}",
+                    f"{percentile_from_buckets(buckets, 0.50, maximum=maximum) * 1e3:.3f}",
+                    f"{percentile_from_buckets(buckets, 0.99, maximum=maximum) * 1e3:.3f}",
+                    f"{maximum * 1e3:.3f}",
+                )
+            )
+        return ["", "operations:"] + _table(rows)
+
+    def _render_hit_ratios(self, snapshot: dict[str, Any]) -> list[str]:
+        counters = snapshot.get("counters", {})
+        pairs: list[tuple[str, int, int]] = []
+        for name, hits in counters.items():
+            if name.endswith(".hits"):
+                misses = counters.get(name[: -len(".hits")] + ".misses")
+                if misses is not None:
+                    pairs.append((name[: -len(".hits")], int(hits), int(misses)))
+        if "client.cache_hits" in counters and "client.cache_misses" in counters:
+            pairs.append(
+                ("client.cache", int(counters["client.cache_hits"]),
+                 int(counters["client.cache_misses"]))
+            )
+        if not pairs:
+            return []
+        rows = [("cache", "hits", "misses", "hit ratio")]
+        for name, hits, misses in sorted(pairs):
+            total = hits + misses
+            ratio = f"{hits / total:.1%}" if total else "-"
+            rows.append((name, str(hits), str(misses), ratio))
+        return ["", "hit ratios:"] + _table(rows)
+
+    def _render_gauges(self, snapshot: dict[str, Any]) -> list[str]:
+        gauges = snapshot.get("gauges", {})
+        if not gauges:
+            return []
+        rows = [("gauge", "value")]
+        for name in sorted(gauges):
+            rows.append((name, f"{float(gauges[name]):g}"))
+        return ["", "gauges:"] + _table(rows)
+
+    def _render_slow_ops(self, slow_ops: list[dict[str, Any]]) -> list[str]:
+        if not slow_ops:
+            return []
+        rows = [("slow op", "ms", "threshold ms", "stages")]
+        for record in slow_ops:
+            trace = record.get("trace") or {}
+            children = trace.get("children", []) if isinstance(trace, dict) else []
+            stages = ">".join(child.get("name", "?") for child in children[:4]) or "-"
+            rows.append(
+                (
+                    str(record.get("op", "?")),
+                    f"{float(record.get('seconds', 0.0)) * 1e3:.2f}",
+                    f"{float(record.get('threshold', 0.0)) * 1e3:.2f}",
+                    stages,
+                )
+            )
+        return ["", "slow operations (newest last):"] + _table(rows)

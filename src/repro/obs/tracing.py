@@ -27,10 +27,11 @@ leave on in long-lived processes.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from contextvars import ContextVar
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 __all__ = ["Span", "SpanEvent", "Tracer", "TraceCollector"]
 
@@ -155,6 +156,39 @@ class Span:
         self._render_into(lines, 0)
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        """The whole subtree as JSON-friendly plain data.
+
+        Used by the ``/traces`` HTTP endpoint and as the ``trace`` exemplar
+        attached to slow-operation events; attribute values that are not
+        JSON types are ``repr()``-ed rather than dropped.
+        """
+        def scrub(value: Any) -> Any:
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                return value
+            return repr(value)
+
+        data: dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration * 1e3, 3),
+        }
+        if self.attributes:
+            data["attributes"] = {k: scrub(v) for k, v in self.attributes.items()}
+        if self.error is not None:
+            data["error"] = self.error
+        if self.events:
+            data["events"] = [
+                {
+                    "name": event.name,
+                    "offset_ms": round((event.at - self.start_time) * 1e3, 3),
+                    **{k: scrub(v) for k, v in event.attributes.items()},
+                }
+                for event in self.events
+            ]
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
     def _render_into(self, lines: list[str], depth: int) -> None:
         pad = "  " * depth
         line = f"{pad}{self.name}  {self.duration * 1e3:.3f} ms"
@@ -179,31 +213,103 @@ class Span:
 
 
 class TraceCollector:
-    """Bounded in-memory sink for finished root spans (newest kept)."""
+    """Bounded in-memory sink for finished root spans (newest kept).
+
+    The bound means old traces are *dropped*, which used to be silent; the
+    collector now counts every drop (:attr:`dropped`), can mirror the count
+    into a registry counter (``obs.traces.dropped``, see
+    :meth:`bind_dropped_counter`), and can notify listeners of every
+    finished root span -- the hook the slow-operation log hangs off.
+    """
 
     def __init__(self, max_traces: int = DEFAULT_MAX_TRACES) -> None:
+        self._lock = threading.Lock()
         self._roots: deque[Span] = deque(maxlen=max_traces)
+        self._dropped = 0
+        self._dropped_counter = None
+        self._dropped_counter_factory: Callable[[], Any] | None = None
+        self._listeners: list[Callable[[Span], None]] = []
 
     def add(self, span: Span) -> None:
-        self._roots.append(span)
+        with self._lock:
+            if self._roots.maxlen is not None and len(self._roots) == self._roots.maxlen:
+                self._dropped += 1
+                counter = self._resolve_dropped_counter_locked()
+            else:
+                counter = None
+            self._roots.append(span)
+            listeners = list(self._listeners)
+        if counter is not None:
+            counter.inc()
+        for listener in listeners:
+            listener(span)
 
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Finished traces discarded because the bound was hit."""
+        with self._lock:
+            return self._dropped
+
+    def _resolve_dropped_counter_locked(self):
+        """Materialise the bound counter on first use (caller holds lock)."""
+        if self._dropped_counter is None and self._dropped_counter_factory is not None:
+            self._dropped_counter = self._dropped_counter_factory()
+        return self._dropped_counter
+
+    def bind_dropped_counter(self, factory: "Callable[[], Any]") -> None:
+        """Mirror drops into a registry :class:`~repro.obs.metrics.Counter`
+        such as ``obs.traces.dropped``.
+
+        *factory* is a zero-argument callable returning the counter; it is
+        invoked lazily, on the first actual drop, so binding never touches
+        the registry for collectors that stay within their bound.
+        """
+        with self._lock:
+            self._dropped_counter = None
+            self._dropped_counter_factory = factory
+            backlog = self._dropped
+            counter = self._resolve_dropped_counter_locked() if backlog else None
+        if counter is not None and counter.value < backlog:
+            counter.inc(backlog - counter.value)
+
+    def add_listener(self, listener: Callable[[Span], None]) -> None:
+        """Call *listener(span)* for every finished root span added.
+
+        Listeners run on the thread that finished the span; keep them fast
+        and never let them raise.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
     def roots(self) -> list[Span]:
         """Finished root spans, oldest first."""
-        return list(self._roots)
+        with self._lock:
+            return list(self._roots)
 
     def last(self) -> Span | None:
         """The most recently finished trace, or ``None``."""
-        return self._roots[-1] if self._roots else None
+        with self._lock:
+            return self._roots[-1] if self._roots else None
 
     def clear(self) -> None:
-        self._roots.clear()
+        """Drop retained traces (the ``dropped`` count is preserved: it
+        describes lifetime loss, not current occupancy)."""
+        with self._lock:
+            self._roots.clear()
 
     def render(self) -> str:
         """Every retained trace, rendered as indented trees."""
         roots = self.roots()
         if not roots:
-            return "(no traces recorded)"
-        return "\n\n".join(root.render() for root in roots)
+            text = "(no traces recorded)"
+        else:
+            text = "\n\n".join(root.render() for root in roots)
+        dropped = self.dropped
+        if dropped:
+            text += f"\n\n({dropped} older trace{'s' if dropped != 1 else ''} dropped at the {self._roots.maxlen}-trace bound)"
+        return text
 
     def __len__(self) -> int:
         return len(self._roots)

@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterator
 from ..errors import MonitoringError
 from ..kv.interface import KeyValueStore, NotModified
 from ..kv.wrappers import _DelegatingStore
+from ..obs.events import EventLog
 from ..obs.metrics import Counter, Histogram, MetricsRegistry
 
 __all__ = ["OperationStats", "PerformanceMonitor", "MonitoredStore"]
@@ -192,12 +193,21 @@ class PerformanceMonitor:
         *,
         recent_window: int = DEFAULT_RECENT_WINDOW,
         registry: MetricsRegistry | None = None,
+        events: "EventLog | None" = None,
+        slow_op_threshold: float | None = None,
     ) -> None:
+        """:param events: a structured event log; measurements at or over
+            *slow_op_threshold* seconds are journalled there as ``slow_op``
+            records (monitor-sourced, so no span tree is attached).
+        :param slow_op_threshold: slow-operation latency floor in seconds;
+            ``None`` disables the slow-op journal."""
         self._recent_window = recent_window
         self._stats: dict[tuple[str, str], OperationStats] = {}
         self._lock = threading.Lock()
         self._registry = registry
         self._handles: dict[tuple[str, str], tuple[Histogram, Counter]] = {}
+        self._events = events
+        self._slow_op_threshold = slow_op_threshold
 
     # ------------------------------------------------------------------
     def record(self, store: str, operation: str, latency: float, *, size: int = 0) -> None:
@@ -208,6 +218,18 @@ class PerformanceMonitor:
             histogram.observe(latency)
             if size:
                 bytes_counter.inc(size)
+        if (
+            self._events is not None
+            and self._slow_op_threshold is not None
+            and latency >= self._slow_op_threshold
+        ):
+            self._events.emit(
+                "slow_op",
+                source="monitor",
+                op=f"{store}.{operation}",
+                seconds=round(latency, 6),
+                threshold=self._slow_op_threshold,
+            )
 
     def _handles_for(self, store: str, operation: str) -> tuple[Histogram, Counter]:
         key = (store, operation)
@@ -355,3 +377,9 @@ class MonitoredStore(_DelegatingStore):
 
     def keys(self) -> Iterator[str]:
         return self._timed("keys", lambda: self._inner.keys())
+
+    def keys_with_prefix(self, prefix: str) -> Iterator[str]:
+        return self._timed("keys", lambda: self._inner.keys_with_prefix(prefix))
+
+    def size(self) -> int:
+        return self._timed("size", lambda: self._inner.size())

@@ -224,3 +224,69 @@ class TestTraceCommand:
         out = capsys.readouterr().out
         assert "pipeline.compress" in out and "pipeline.encrypt" in out
         assert "pipeline.decrypt" in out and "pipeline.decompress" in out
+
+
+class TestTopCommand:
+    def test_demo_renders_a_non_empty_frame(self, capsys):
+        code = main(["top", "--demo", "--iterations", "1", "--interval", "0",
+                     "--no-clear", "--demo-ops", "24", "--store", "memory"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "operations:" in out
+        assert "client.get" in out and "p99 ms" in out
+        assert "hit ratios:" in out
+        # --demo defaults the slow threshold to 0, so the tail is populated.
+        assert "slow operations" in out and "dscl.get" in out
+
+    def test_demo_second_frame_has_rates(self, capsys):
+        code = main(["top", "--demo", "--iterations", "2", "--interval", "0",
+                     "--no-clear", "--demo-ops", "16", "--store", "memory"])
+        assert code == 0
+        frames = capsys.readouterr().out.split("repro top")
+        assert len(frames) == 3  # leading split + two frames
+        assert "ops/s" in frames[2]
+
+    def test_requires_url_or_demo(self, capsys):
+        assert main(["top", "--iterations", "1"]) == 2
+        assert "needs --url" in capsys.readouterr().err
+
+
+class TestServeMetricsCommand:
+    def test_serves_prometheus_while_driving_workload(self, capsys):
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        from repro.obs.export import parse_prometheus
+
+        result: dict[str, object] = {}
+
+        def run() -> None:
+            result["code"] = main(
+                ["serve-metrics", "--store", "memory", "--duration", "1.5",
+                 "--op-interval", "0.001", "--slow-ms", "0"]
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            # The METRICS line is printed before the workload loop starts.
+            deadline = time.monotonic() + 5
+            announced = None
+            while time.monotonic() < deadline and announced is None:
+                captured = capsys.readouterr().out
+                announced = re.search(r"METRICS (\S+) (\d+)", captured)
+                if announced is None:
+                    time.sleep(0.05)
+            assert announced is not None, "exporter address never announced"
+            url = f"http://{announced.group(1)}:{announced.group(2)}"
+            time.sleep(0.3)  # let some workload accumulate
+            with urllib.request.urlopen(url + "/metrics", timeout=5) as reply:
+                parsed = parse_prometheus(reply.read().decode())
+            assert parsed["counters"]["client_cache_hits"] >= 1
+            assert parsed["histograms"]["client_get_seconds"]["count"] >= 1
+        finally:
+            thread.join(timeout=10)
+        assert result["code"] == 0

@@ -1,0 +1,212 @@
+"""The structured event log and the slow-operation journal.
+
+Covers the bounded in-memory ring, JSONL persistence with rotation (also
+under concurrent writers), the slow-op threshold wiring on Observability
+(root spans over the threshold are journalled with their span tree as an
+exemplar), the dropped-trace counter, and retry-exhaustion events.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import StoreConnectionError
+from repro.kv import InMemoryStore
+from repro.kv.resilience import RetryingStore
+from repro.obs import EventLog, Observability, TraceCollector
+
+
+class TestEventLogRing:
+    def test_emit_and_tail(self):
+        log = EventLog()
+        log.emit("reconnect", host="a", attempt=1)
+        log.emit("slow_op", op="get", seconds=0.2)
+        assert len(log) == 2
+        tail = log.tail()
+        assert [record["kind"] for record in tail] == ["reconnect", "slow_op"]
+        assert tail[0]["host"] == "a"
+
+    def test_ring_is_bounded(self):
+        log = EventLog(max_events=3)
+        for index in range(10):
+            log.emit("tick", index=index)
+        assert len(log) == 3
+        assert [record["index"] for record in log.tail()] == [7, 8, 9]
+        assert log.emitted == 10  # lifetime count survives eviction
+
+    def test_kind_filter_and_count(self):
+        log = EventLog()
+        for index in range(4):
+            log.emit("a", index=index)
+            log.emit("b", index=index)
+        assert [r["index"] for r in log.tail(2, kind="a")] == [2, 3]
+        assert [r["kind"] for r in log.slow_ops(5)] == []
+        log.emit("slow_op", op="get")
+        assert [r["kind"] for r in log.slow_ops(5)] == ["slow_op"]
+
+    def test_non_json_values_become_repr(self):
+        log = EventLog()
+        log.emit("odd", payload=object(), data=b"bytes")
+        record = log.tail()[0]
+        assert "object object" in record["payload"]
+        json.dumps(record)  # must be JSON-encodable
+
+    def test_timestamps_come_from_clock(self):
+        ticks = iter([10.0, 20.0])
+        log = EventLog(clock=lambda: next(ticks))
+        log.emit("one")
+        log.emit("two")
+        assert [record["ts"] for record in log.tail()] == [10.0, 20.0]
+
+
+class TestEventLogFile:
+    def test_writes_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path=path) as log:
+            log.emit("reconnect", host="x")
+            log.emit("slow_op", op="get", seconds=0.5)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["op"] == "get"
+
+    def test_rotation_keeps_one_generation(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path, max_bytes=400)
+        for index in range(100):
+            log.emit("tick", index=index, padding="x" * 16)
+        log.close()
+        assert log.rotations >= 1
+        rotated = path.with_name(path.name + ".1")
+        assert rotated.exists()
+        # Every line in both generations is valid JSON.
+        for file in (path, rotated):
+            for line in file.read_text().splitlines():
+                json.loads(line)
+
+    def test_concurrent_writers_produce_valid_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path, max_bytes=4096)
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                for index in range(50):
+                    log.emit("tick", worker=worker, index=index, pad="y" * 8)
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        assert not errors
+        assert log.emitted == 400
+        records = []
+        for file in (path.with_name(path.name + ".1"), path):
+            if file.exists():
+                for line in file.read_text().splitlines():
+                    records.append(json.loads(line))  # no interleaved garbage
+        assert records, "no events reached the file"
+        assert all(record["kind"] == "tick" for record in records)
+
+
+class TestSlowOpJournal:
+    def test_slow_root_span_is_journalled_with_exemplar(self):
+        obs = Observability(slow_op_threshold=0.01)
+        with obs.span("dscl.get", key="k"):
+            with obs.span("store.get"):
+                time.sleep(0.02)
+        records = obs.events.slow_ops(5)
+        assert len(records) == 1
+        record = records[0]
+        assert record["op"] == "dscl.get"
+        assert record["seconds"] >= 0.01
+        assert record["threshold"] == 0.01
+        # The exemplar is the full span tree of the offending operation.
+        trace = record["trace"]
+        assert trace["name"] == "dscl.get"
+        assert [child["name"] for child in trace["children"]] == ["store.get"]
+        assert obs.registry.counter("obs.slow_ops").value == 1
+
+    def test_fast_operations_are_not_journalled(self):
+        obs = Observability(slow_op_threshold=0.5)
+        with obs.span("dscl.get"):
+            pass
+        assert obs.events.slow_ops(5) == []
+        assert obs.registry.counter("obs.slow_ops").value == 0
+
+    def test_no_threshold_means_no_event_log(self):
+        obs = Observability()
+        assert obs.events is None
+        obs.emit("anything", detail=1)  # must be a silent no-op
+
+    def test_threshold_zero_journals_every_root_span(self):
+        obs = Observability(slow_op_threshold=0.0)
+        with obs.span("dscl.put"):
+            pass
+        with obs.span("dscl.get"):
+            pass
+        assert [r["op"] for r in obs.events.slow_ops(5)] == ["dscl.put", "dscl.get"]
+
+    def test_stage_spans_feed_the_journal_too(self):
+        obs = Observability(slow_op_threshold=0.0)
+        with obs.stage("dscl.get", metric="client.get"):
+            pass
+        assert [r["op"] for r in obs.events.slow_ops(5)] == ["dscl.get"]
+        assert obs.registry.snapshot()["histograms"]["client.get.seconds"]["count"] == 1
+
+
+class TestDroppedTraces:
+    def test_dropped_counter_tracks_evictions(self):
+        obs = Observability(max_traces=2)
+        for index in range(5):
+            with obs.span(f"op-{index}"):
+                pass
+        assert obs.collector.dropped == 3
+        assert obs.registry.counter("obs.traces.dropped").value == 3
+        assert "3 older traces dropped" in obs.collector.render()
+
+    def test_clear_preserves_the_drop_count(self):
+        obs = Observability(max_traces=1)
+        for index in range(3):
+            with obs.span(f"op-{index}"):
+                pass
+        obs.collector.clear()
+        assert obs.collector.dropped == 2
+        assert obs.collector.roots() == []
+
+    def test_bind_counter_syncs_backlog_once(self):
+        collector = TraceCollector(1)
+        tracer_obs = Observability(collector=collector)
+        for index in range(3):
+            with tracer_obs.span(f"op-{index}"):
+                pass
+        # A second bundle sharing the collector binds a fresh counter:
+        # the pre-existing drop backlog must be carried over, not doubled.
+        other = Observability(collector=collector)
+        assert other.registry.counter("obs.traces.dropped").value == collector.dropped
+
+
+class TestRetryExhaustionEvents:
+    def test_exhausted_retries_reach_the_event_log(self):
+        class FlakyStore(InMemoryStore):
+            def get(self, key):
+                raise StoreConnectionError("down")
+
+        obs = Observability(events=EventLog())
+        store = RetryingStore(
+            FlakyStore(), max_attempts=2, base_delay=0.0, obs=obs,
+            sleep=lambda _t: None,
+        )
+        with pytest.raises(StoreConnectionError):
+            store.get("k")
+        records = [r for r in obs.events.tail() if r["kind"] == "retry_exhausted"]
+        assert len(records) == 1
+        assert records[0]["attempts"] == 2
+        assert records[0]["error"] == "StoreConnectionError"

@@ -1,0 +1,242 @@
+"""The telemetry export plane: Prometheus text and the HTTP exporter.
+
+The central acceptance property is the round trip: a registry rendered to
+Prometheus text, scraped over a real HTTP socket, and parsed back must
+reproduce the same counter and histogram values.  Also covers the JSON /
+traces / events endpoints, error handling, and the ``repro top`` dashboard
+fed from both a live registry and a scraped endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import NULL_OBS, EventLog, Observability
+from repro.obs.export import (
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+    start_http_exporter,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.top import (
+    Dashboard,
+    normalize_buckets,
+    percentile_from_buckets,
+    scrape_events_json,
+    scrape_metrics_json,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("client.cache_hits").inc(7)
+    registry.counter("client.cache_misses").inc(3)
+    registry.gauge("pool.active").set(4)
+    histogram = registry.histogram("client.get.seconds")
+    for value in (0.0001, 0.0005, 0.002, 0.05, 1.5):
+        histogram.observe(value)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("client.get.seconds") == "client_get_seconds"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives").startswith("_")
+
+    def test_legal_names_pass_through(self):
+        assert sanitize_metric_name("already_ok:name") == "already_ok:name"
+
+
+class TestPrometheusRoundTrip:
+    def test_render_parse_preserves_values(self):
+        registry = populated_registry()
+        parsed = parse_prometheus(render_prometheus(registry))
+        snapshot = registry.snapshot()
+        for name, value in snapshot["counters"].items():
+            assert parsed["counters"][sanitize_metric_name(name)] == value
+        for name, value in snapshot["gauges"].items():
+            assert parsed["gauges"][sanitize_metric_name(name)] == value
+        for name, data in snapshot["histograms"].items():
+            family = parsed["histograms"][sanitize_metric_name(name)]
+            assert family["count"] == data["count"]
+            assert family["sum"] == pytest.approx(data["sum"])
+            assert [c for _le, c in family["buckets"]] == [
+                c for _le, c in data["buckets"]
+            ]
+
+    def test_counters_get_total_suffix(self):
+        text = render_prometheus(populated_registry())
+        assert "client_cache_hits_total 7" in text
+        assert "# TYPE client_cache_hits_total counter" in text
+
+    def test_histogram_has_inf_bucket_and_sum(self):
+        text = render_prometheus(populated_registry())
+        assert 'client_get_seconds_bucket{le="+Inf"} 5' in text
+        assert "client_get_seconds_count 5" in text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_prometheus("!!! not metrics !!!")
+
+    def test_parse_rejects_undeclared_samples(self):
+        with pytest.raises(ConfigurationError):
+            parse_prometheus("mystery_sample 4")
+
+
+@pytest.fixture()
+def exporter():
+    obs = Observability(events=EventLog(), slow_op_threshold=0.0)
+    registry = obs.registry
+    registry.counter("client.cache_hits").inc(7)
+    registry.counter("client.cache_misses").inc(3)
+    registry.gauge("pool.active").set(4)
+    for value in (0.0001, 0.002, 0.05):
+        registry.histogram("client.get.seconds").observe(value)
+    with obs.span("dscl.get", key="k"):
+        with obs.span("store.get"):
+            pass
+    handle = start_http_exporter(obs)
+    yield handle, obs
+    handle.stop()
+
+
+def fetch(url: str) -> tuple[int, str]:
+    with urllib.request.urlopen(url, timeout=5) as reply:
+        return reply.status, reply.read().decode("utf-8")
+
+
+class TestHttpExporter:
+    def test_metrics_scrape_round_trips_registry_state(self, exporter):
+        handle, obs = exporter
+        status, body = fetch(handle.url + "/metrics")
+        assert status == 200
+        parsed = parse_prometheus(body)
+        snapshot = obs.registry.snapshot()
+        assert parsed["counters"]["client_cache_hits"] == 7
+        assert parsed["counters"]["client_cache_misses"] == 3
+        assert parsed["gauges"]["pool_active"] == 4
+        family = parsed["histograms"]["client_get_seconds"]
+        expected = snapshot["histograms"]["client.get.seconds"]
+        assert family["count"] == expected["count"]
+        assert family["sum"] == pytest.approx(expected["sum"])
+
+    def test_metrics_json_preserves_dotted_names(self, exporter):
+        handle, obs = exporter
+        _status, body = fetch(handle.url + "/metrics.json")
+        snapshot = json.loads(body)
+        assert snapshot["counters"]["client.cache_hits"] == 7
+        assert snapshot["histograms"]["client.get.seconds"]["count"] == 3
+
+    def test_traces_text_and_json(self, exporter):
+        handle, _obs = exporter
+        _status, text = fetch(handle.url + "/traces")
+        assert "dscl.get" in text and "store.get" in text
+        _status, body = fetch(handle.url + "/traces.json")
+        payload = json.loads(body)
+        assert payload["dropped"] == 0
+        assert payload["traces"][0]["name"] == "dscl.get"
+        assert payload["traces"][0]["children"][0]["name"] == "store.get"
+
+    def test_events_endpoint_filters_by_kind(self, exporter):
+        handle, obs = exporter
+        obs.emit("reconnect", host="x")
+        _status, body = fetch(handle.url + "/events.json?kind=slow_op")
+        records = json.loads(body)
+        assert records and all(r["kind"] == "slow_op" for r in records)
+        # The slow-op exemplar (threshold 0.0 journals everything) is there.
+        assert records[-1]["trace"]["name"] == "dscl.get"
+
+    def test_healthz_and_index(self, exporter):
+        handle, _obs = exporter
+        assert fetch(handle.url + "/healthz")[0] == 200
+        assert "/metrics" in fetch(handle.url + "/")[1]
+
+    def test_unknown_path_is_404(self, exporter):
+        handle, _obs = exporter
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(handle.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_registry_only_source_serves_metrics_but_not_traces(self):
+        registry = populated_registry()
+        with start_http_exporter(registry) as handle:
+            assert parse_prometheus(fetch(handle.url + "/metrics")[1])
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(handle.url + "/traces")
+            assert excinfo.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(handle.url + "/events.json")
+            assert excinfo.value.code == 404
+
+    def test_disabled_bundle_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            start_http_exporter(NULL_OBS)
+
+    def test_stop_is_idempotent(self):
+        handle = start_http_exporter(MetricsRegistry())
+        handle.stop()
+        handle.stop()
+
+
+class TestBucketHelpers:
+    def test_normalize_handles_json_and_live_forms(self):
+        live = [(0.001, 2), (math.inf, 5)]
+        scraped = [["0.001", 2], ["+inf", 5]]
+        assert normalize_buckets(live) == normalize_buckets(scraped)
+
+    def test_percentile_estimate(self):
+        buckets = [(0.001, 2), (0.01, 8), (0.1, 10), (math.inf, 10)]
+        assert percentile_from_buckets(buckets, 0.5) == 0.01
+        assert percentile_from_buckets(buckets, 0.99) == 0.1
+        assert percentile_from_buckets(buckets, 0.99, maximum=0.05) == 0.05
+
+    def test_percentile_of_empty(self):
+        assert percentile_from_buckets([], 0.5) == 0.0
+        assert percentile_from_buckets([(math.inf, 0)], 0.5) == 0.0
+
+
+class TestDashboard:
+    def test_render_from_live_registry(self):
+        registry = populated_registry()
+        frame = Dashboard().render(registry.snapshot())
+        assert "operations:" in frame
+        assert "client.get" in frame
+        assert "hit ratios:" in frame
+        assert "70.0%" in frame  # 7 hits / 10 lookups
+        assert "pool.active" in frame
+
+    def test_second_frame_reports_rates(self):
+        registry = populated_registry()
+        clock_values = iter([0.0, 2.0])
+        dashboard = Dashboard(clock=lambda: next(clock_values))
+        dashboard.render(registry.snapshot())
+        registry.histogram("client.get.seconds").observe(0.001)
+        registry.histogram("client.get.seconds").observe(0.001)
+        frame = dashboard.render(registry.snapshot())
+        assert "1.0" in frame  # 2 new ops / 2 seconds
+
+    def test_render_from_scraped_endpoint(self, exporter):
+        handle, _obs = exporter
+        snapshot = scrape_metrics_json(handle.url)
+        slow_ops = scrape_events_json(handle.url)
+        frame = Dashboard().render(snapshot, slow_ops)
+        assert "client.get" in frame
+        assert "slow operations" in frame
+        assert "dscl.get" in frame
+
+    def test_scrape_events_tolerates_absent_log(self):
+        with start_http_exporter(MetricsRegistry()) as handle:
+            assert scrape_events_json(handle.url) == []
+
+    def test_empty_snapshot_renders_placeholder(self):
+        frame = Dashboard().render({"counters": {}, "gauges": {}, "histograms": {}})
+        assert "(none recorded)" in frame

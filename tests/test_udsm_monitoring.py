@@ -176,3 +176,25 @@ class TestMonitoredStore:
         _, version = store.get_with_version("k")
         store.get_if_modified("k", version)
         assert monitor.stats_for("m", "revalidate").count == 1
+
+    def test_keyspace_scans_are_timed(self):
+        monitor = PerformanceMonitor()
+        store = MonitoredStore(InMemoryStore(), monitor, name="m")
+        store.put("a:1", b"v")
+        list(store.keys_with_prefix("a:"))
+        store.size()
+        assert monitor.stats_for("m", "keys").count == 1
+        assert monitor.stats_for("m", "size").count == 1
+
+    def test_slow_measurements_reach_the_event_log(self):
+        from repro.obs import EventLog
+
+        events = EventLog()
+        monitor = PerformanceMonitor(events=events, slow_op_threshold=0.05)
+        monitor.record("m", "get", 0.001)      # fast: not journalled
+        monitor.record("m", "get", 0.25)       # slow: journalled
+        records = events.slow_ops(5)
+        assert len(records) == 1
+        assert records[0]["op"] == "m.get"
+        assert records[0]["source"] == "monitor"
+        assert records[0]["seconds"] == 0.25
