@@ -1,12 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test unit check-docs check-obs all
+.PHONY: test unit check-docs check-obs check-resilience all
 
 all: test
 
-# The default gate: unit suite + doc snippets + instrumentation coverage.
-test: unit check-docs check-obs
+# The default gate: unit suite + doc snippets + instrumentation coverage
+# + fault-tolerance contract.
+test: unit check-docs check-obs check-resilience
 
 unit:
 	$(PYTHON) -m pytest -x -q
@@ -20,3 +21,8 @@ check-docs:
 # records a metric (see scripts/check_instrumentation.py).
 check-obs:
 	$(PYTHON) scripts/check_instrumentation.py
+
+# Drive the fault-tolerance plane end to end and assert its metric
+# vocabulary and typed errors (see docs/resilience.md).
+check-resilience:
+	$(PYTHON) scripts/check_resilience.py

@@ -25,9 +25,11 @@ mapping.
 
 from .errors import (
     CacheError,
+    CircuitOpenError,
     CompressionError,
     ConfigurationError,
     DataStoreError,
+    DeadlineExceededError,
     DeltaEncodingError,
     EncryptionError,
     KeyNotFoundError,
@@ -45,16 +47,26 @@ from .kv import (
     CLOUD_STORE_1,
     CLOUD_STORE_2,
     NOT_MODIFIED,
+    CircuitBreaker,
+    CircuitBreakerStore,
+    CircuitState,
     CloudStoreProfile,
+    Deadline,
     FileSystemStore,
+    FlakyStore,
     InMemoryStore,
     KeyValueStore,
+    LaggyStore,
     NamespacedStore,
     ReadOnlyStore,
     RemoteKeyValueStore,
+    ReplicatedStore,
+    RetryingStore,
     SimulatedCloudStore,
     SQLStore,
     TransformingStore,
+    current_deadline,
+    deadline_scope,
 )
 from .net import CacheClient, CacheServer, LatencyModel, RealClock, ServerHandle, VirtualClock
 from .caching import (
@@ -66,6 +78,7 @@ from .caching import (
     InProcessCache,
     KeyValueStoreCache,
     RemoteProcessCache,
+    ServeStaleStore,
     TieredCache,
     make_policy,
 )
@@ -104,6 +117,7 @@ from .udsm import (
     ListenableFuture,
     MonitoredStore,
     PerformanceMonitor,
+    StoreHealth,
     ThreadPool,
     UniversalDataStoreManager,
     WorkloadGenerator,
@@ -122,6 +136,8 @@ __all__ = [
     "DeltaEncodingError",
     "CacheError",
     "ConfigurationError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     # serialization
     "Serializer",
     "PickleSerializer",
@@ -142,6 +158,19 @@ __all__ = [
     "ReadOnlyStore",
     "TransformingStore",
     "NOT_MODIFIED",
+    # fault tolerance
+    "FlakyStore",
+    "LaggyStore",
+    "RetryingStore",
+    "ReplicatedStore",
+    "CircuitBreaker",
+    "CircuitBreakerStore",
+    "CircuitState",
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "ServeStaleStore",
+    "StoreHealth",
     # networking
     "LatencyModel",
     "RealClock",

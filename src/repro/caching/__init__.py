@@ -41,6 +41,7 @@ from .warmup import load_cache, save_cache
 from .sharded import HashRing, ShardedCache
 from .profiling import StackDistanceProfiler
 from .bloom import BloomFilter, BloomFrontedCache
+from .stale import ServeStaleStore
 
 __all__ = [
     "Cache",
@@ -69,4 +70,5 @@ __all__ = [
     "StackDistanceProfiler",
     "BloomFilter",
     "BloomFrontedCache",
+    "ServeStaleStore",
 ]

@@ -30,6 +30,10 @@ Commands
     cache hit ratios, gauges, and the slow-operation tail -- either
     scraping a running exporter (``--url``) or self-driving a demo
     workload in-process (``--demo``).
+``chaos``
+    Scripted outage through the fault-tolerance plane (retry, circuit
+    breaker, deadline budget, serve-stale) on a virtual clock, narrating
+    which layer absorbed each failure (see docs/resilience.md).
 
 Examples::
 
@@ -43,6 +47,7 @@ Examples::
     python -m repro serve-metrics --metrics-port 9100 --store cloud1
     python -m repro top --url http://127.0.0.1:9100
     python -m repro top --demo --iterations 3
+    python -m repro chaos --seed 7
 """
 
 from __future__ import annotations
@@ -488,6 +493,108 @@ def cmd_migrate(options: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(options: argparse.Namespace) -> int:
+    """Scripted outage driven through the whole fault-tolerance plane.
+
+    Composes ``serve-stale client -> RetryingStore -> CircuitBreakerStore
+    -> FlakyStore -> store`` (see docs/resilience.md) and walks it through
+    seed, outage, degradation, and recovery on a virtual clock, narrating
+    which layer absorbed each failure.
+    """
+    import time as _time
+
+    from .kv import CircuitBreakerStore, FlakyStore, RetryingStore, deadline_scope
+    from .obs import EventLog, Observability
+
+    obs = Observability(events=EventLog())
+    now = {"t": 0.0}
+
+    def clock() -> float:
+        return now["t"]
+
+    def advance(seconds: float) -> None:
+        now["t"] += seconds
+
+    backend = build_store(options)
+    # 60 ms of virtual latency per backend call: failing attempts consume
+    # wall-clock budget, which is what makes the deadline step meaningful.
+    flaky = FlakyStore(
+        backend, failure_rate=0.0, latency=0.06, sleep=advance, seed=options.seed
+    )
+    breaker = CircuitBreakerStore(
+        flaky,
+        name="chaos",
+        failure_threshold=6,
+        recovery_timeout=30.0,
+        clock=clock,
+        obs=obs,
+    )
+    retry = RetryingStore(
+        breaker, max_attempts=3, base_delay=0.02, sleep=advance,
+        seed=options.seed, obs=obs,
+    )
+    pending: list = []
+    client = EnhancedDataStoreClient(
+        retry,
+        cache=InProcessCache(),
+        obs=obs,
+        default_ttl=0.02,
+        serve_stale=True,
+        max_stale=3600.0,
+        stale_revalidator=pending.append,
+    )
+
+    def degraded_read(key: str, note: str) -> None:
+        value = client.get(key)
+        (record,) = obs.events.tail(1, kind="stale_served")
+        print(f"  get {key!r} -> {value!r}")
+        print(f"      stale serve absorbed {record['error']} ({note})")
+
+    print(f"stack: serve-stale client -> {retry.name}")
+    keys = [f"user-{index}" for index in range(3)]
+    for index, key in enumerate(keys):
+        client.put(key, {"name": key, "revision": index})
+    for key in keys:
+        client.get(key)
+    print(f"seeded {len(keys)} keys; warm reads hit the cache "
+          f"(hits={client.counters.cache_hits})")
+
+    print("\n-- outage: every backend call now fails; cached entries expire --")
+    flaky.fail_next(10_000)
+    _time.sleep(0.03)  # let the 20 ms TTL lapse so reads must revalidate
+    degraded_read("user-0", "retry ladder exhausted")
+    with deadline_scope(0.1, clock=clock):
+        degraded_read("user-1", "100 ms budget spent mid-ladder")
+    degraded_read("user-2", "burst tripped the breaker")
+    print(f"  circuit state: {breaker.breaker.state.value}")
+    degraded_read("user-0", "shed instantly, backend untouched")
+
+    print("\n-- recovery: backend healthy again, 30 virtual seconds pass --")
+    flaky.fail_next(0)
+    advance(30.0)
+    for revalidate in pending:
+        revalidate()
+    print(f"  {len(pending)} queued revalidations drained as recovery probes; "
+          f"circuit state: {breaker.breaker.state.value}")
+    value = client.get("user-0")
+    print(f"  get 'user-0' -> {value!r} (fresh from the refreshed cache)")
+
+    print("\nscoreboard:")
+    for metric in (
+        "kv.retry.retries",
+        "kv.deadline.expired",
+        "kv.circuit.opened",
+        "kv.circuit.rejected",
+        "kv.circuit.closed",
+        "cache.stale_served",
+    ):
+        print(f"  {metric:<22} {obs.registry.counter(metric).value}")
+    kinds = [record["kind"] for record in obs.events.tail()]
+    print("  journal: " + " -> ".join(kinds))
+    client.close()
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -616,6 +723,14 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.add_argument("--verify", action="store_true",
                          help="compare stores after copying")
     migrate.set_defaults(handler=cmd_migrate)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="scripted outage through the fault-tolerance plane",
+    )
+    _add_store_options(chaos)
+    chaos.add_argument("--seed", type=int, default=7, help="chaos RNG seed")
+    chaos.set_defaults(handler=cmd_chaos)
 
     return parser
 

@@ -24,11 +24,14 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
+from ..caching.entry import CacheEntry
 from ..caching.expiration import Freshness
 from ..caching.interface import Cache
+from ..caching.stale import DEFAULT_DEGRADE_ON
 from ..compression.interface import Compressor
 from ..delta.encoder import DEFAULT_WINDOW_SIZE
 from ..errors import KeyNotFoundError
@@ -69,6 +72,8 @@ class ClientCounters:
     revalidated_modified: int = 0
     #: misses satisfied by another thread's in-flight fetch (single-flight)
     coalesced_misses: int = 0
+    #: expired entries served anyway because the origin was unreachable
+    stale_serves: int = 0
 
     @property
     def reads(self) -> int:
@@ -111,6 +116,9 @@ _COUNTER_METRICS = {
         "coalesced_misses",
     )
 }
+#: Stale serves share the documented cache-plane metric name rather than the
+#: ``client.*`` prefix, so every serve-stale layer counts into one series.
+_COUNTER_METRICS["stale_serves"] = "cache.stale_served"
 
 
 class EnhancedDataStoreClient:
@@ -130,6 +138,10 @@ class EnhancedDataStoreClient:
         revalidate_expired: bool = True,
         negative_ttl: float | None = None,
         coalesce_misses: bool = False,
+        serve_stale: bool = False,
+        max_stale: float = 300.0,
+        degrade_on: tuple[type[Exception], ...] = DEFAULT_DEGRADE_ON,
+        stale_revalidator: "Callable[[Callable[[], None]], None] | None" = None,
         serializer: Serializer | None = None,
         compressor: Compressor | None = None,
         encryptor: Encryptor | None = None,
@@ -154,6 +166,19 @@ class EnhancedDataStoreClient:
             expiry or a cold start), only one fetches from the origin; the
             rest wait and reuse its result.  Costs one lock acquisition per
             miss; leave off for single-threaded clients.
+        :param serve_stale: graceful degradation -- when a fetch or
+            revalidation fails with a *degradable* error (circuit open,
+            deadline exhausted, connection lost) and an expired entry is
+            still cached, return that entry's value instead of raising,
+            provided it expired less than ``max_stale`` seconds ago.  Each
+            stale serve counts as ``cache.stale_served`` and schedules a
+            background revalidation of the key.
+        :param max_stale: how long past expiry an entry may still be
+            served under degradation (seconds).
+        :param degrade_on: error types that trigger stale serving.
+        :param stale_revalidator: how background revalidation thunks run
+            (default: one daemon thread per key); tests inject a collector
+            and drain it synchronously.
         :param serializer/compressor/encryptor: value pipeline; when a
             compressor or encryptor is set, everything persisted to the
             origin store is pipeline-encoded bytes.
@@ -178,6 +203,11 @@ class EnhancedDataStoreClient:
         self._revalidate = revalidate_expired
         self._negative_ttl = negative_ttl
         self._coalesce = coalesce_misses
+        self._serve_stale = serve_stale
+        self._max_stale = max_stale
+        self._degrade_on = degrade_on
+        self._stale_revalidator = stale_revalidator
+        self._stale_revalidating: set[str] = set()
         self._inflight: dict[str, threading.Lock] = {}
         self._inflight_lock = threading.Lock()
         self.counters = ClientCounters()
@@ -236,18 +266,85 @@ class EnhancedDataStoreClient:
             self._count("cache_hits")
             return lookup.entry.value
 
+        # An expired entry doubles as the degradation parachute: if the
+        # origin turns out to be unreachable, it may be served stale.
+        stale_entry = lookup.entry if lookup.freshness is Freshness.EXPIRED else None
+
         if (
             lookup.freshness is Freshness.EXPIRED
             and self._revalidate
             and lookup.entry is not None
             and lookup.entry.version is not None
         ):
-            return self._revalidate_entry(key, lookup.entry.value, lookup.entry.version)
+            try:
+                return self._revalidate_entry(
+                    key, lookup.entry.value, lookup.entry.version
+                )
+            except self._degrade_on as exc:
+                return self._maybe_serve_stale(key, stale_entry, exc)
 
         self._count("cache_misses")
-        if self._coalesce:
-            return self._fetch_coalesced(key)
-        return self._fetch_and_cache(key)
+        try:
+            if self._coalesce:
+                return self._fetch_coalesced(key)
+            return self._fetch_and_cache(key)
+        except self._degrade_on as exc:
+            return self._maybe_serve_stale(key, stale_entry, exc)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (serve-stale)
+    # ------------------------------------------------------------------
+    def _maybe_serve_stale(
+        self, key: str, entry: "CacheEntry | None", error: Exception
+    ) -> Any:
+        """Serve the expired *entry* instead of raising, when allowed."""
+        if (
+            not self._serve_stale
+            or entry is None
+            or entry.value is _NEGATIVE
+            or entry.expires_at is None
+        ):
+            raise error
+        age = max(0.0, time.time() - entry.expires_at)
+        if age > self._max_stale:
+            raise error
+        self._count("stale_serves")
+        if self._obs.enabled:
+            self._obs.event(
+                "stale_served", key=key, age=round(age, 6), error=type(error).__name__
+            )
+            self._obs.emit(
+                "stale_served",
+                client=self.name,
+                key=key,
+                age=round(age, 6),
+                error=type(error).__name__,
+            )
+        self._schedule_stale_revalidation(key)
+        return entry.value
+
+    def _schedule_stale_revalidation(self, key: str) -> None:
+        """Refresh a stale-served key in the background (deduplicated)."""
+        with self._counters_lock:
+            if key in self._stale_revalidating:
+                return
+            self._stale_revalidating.add(key)
+
+        def revalidate() -> None:
+            try:
+                self._fetch_and_cache(key)
+            except Exception:  # noqa: BLE001 - origin still down; keep the entry
+                pass
+            finally:
+                with self._counters_lock:
+                    self._stale_revalidating.discard(key)
+
+        if self._stale_revalidator is not None:
+            self._stale_revalidator(revalidate)
+        else:
+            threading.Thread(
+                target=revalidate, name=f"{self.name}-stale-revalidate", daemon=True
+            ).start()
 
     def _fetch_coalesced(self, key: str) -> Any:
         """Single-flight fetch: one origin call per key per stampede."""

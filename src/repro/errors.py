@@ -38,6 +38,29 @@ class ProtocolError(DataStoreError):
     """The remote peer sent data that violates the wire protocol."""
 
 
+class CircuitOpenError(DataStoreError):
+    """An operation was shed because the store's circuit breaker is open.
+
+    Deliberately *not* a :class:`StoreConnectionError` subclass: retry
+    policies treat connection errors as transient and retry them, but an
+    open circuit means "stop asking" -- retrying would defeat the breaker.
+    """
+
+    def __init__(self, store: str, retry_after: float | None = None) -> None:
+        self.store = store
+        self.retry_after = retry_after
+        hint = f" (probe allowed in {retry_after:.3f}s)" if retry_after else ""
+        super().__init__(f"circuit for store {store!r} is open{hint}")
+
+
+class DeadlineExceededError(DataStoreError):
+    """An operation ran out of its caller's time budget.
+
+    Like :class:`CircuitOpenError`, not a connection error: the time is
+    gone no matter how healthy the backend is, so it must never be retried.
+    """
+
+
 class SerializationError(DataStoreError):
     """A value could not be serialized or deserialized."""
 

@@ -16,7 +16,9 @@ from .sqlstore import SQLStore
 from .cloudsim import CLOUD_STORE_1, CLOUD_STORE_2, CloudStoreProfile, SimulatedCloudStore
 from .remote import RemoteKeyValueStore
 from .wrappers import NamespacedStore, ReadOnlyStore, TransformingStore
-from .chaos import FlakyStore
+from .chaos import FlakyStore, LaggyStore
+from .circuit import CircuitBreaker, CircuitBreakerStore, CircuitState
+from .deadline import Deadline, current_deadline, deadline_scope
 from .resilience import ReplicatedStore, RetryingStore
 
 __all__ = [
@@ -35,6 +37,13 @@ __all__ = [
     "ReadOnlyStore",
     "TransformingStore",
     "FlakyStore",
+    "LaggyStore",
     "RetryingStore",
     "ReplicatedStore",
+    "CircuitBreaker",
+    "CircuitBreakerStore",
+    "CircuitState",
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
 ]

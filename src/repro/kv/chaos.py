@@ -2,21 +2,31 @@
 
 Wraps any store and makes a deterministic, seeded fraction of operations
 fail with a configurable error -- the tool the test suite (and downstream
-users) need to exercise retry logic, transaction recovery, and cache
-behaviour under a misbehaving backend without a real flaky network.
+users) need to exercise retry logic, circuit breakers, transaction
+recovery, and cache behaviour under a misbehaving backend without a real
+flaky network.  Three fault modes compose:
+
+* **random failures** -- a seeded per-operation probability, optionally
+  different per operation name (fail only ``get``, say);
+* **error bursts** -- :meth:`FlakyStore.fail_next` forces the next N
+  operations to fail then recover, which is exactly the deterministic
+  fault shape circuit-breaker open/half-open tests need;
+* **injected latency** -- a fixed delay plus seeded jitter before each
+  operation (through an injectable ``sleep``, so tests can count the
+  delays instead of waiting them out).
 """
 
 from __future__ import annotations
 
 import random
 import threading
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 from ..errors import ConfigurationError, StoreConnectionError
 from .interface import KeyValueStore, NotModified
 from .wrappers import _DelegatingStore
 
-__all__ = ["FlakyStore"]
+__all__ = ["FlakyStore", "LaggyStore"]
 
 
 class FlakyStore(_DelegatingStore):
@@ -32,33 +42,99 @@ class FlakyStore(_DelegatingStore):
         inner: KeyValueStore,
         *,
         failure_rate: float = 0.5,
+        failure_rates: "Mapping[str, float] | None" = None,
         seed: int = 0,
         error_factory: Callable[[], Exception] | None = None,
         fail_after: bool = False,
+        latency: float = 0.0,
+        latency_jitter: float = 0.0,
+        sleep: Callable[[float], None] | None = None,
         name: str | None = None,
     ) -> None:
+        """Wrap *inner*.
+
+        :param failure_rate: default injection probability for every
+            operation.
+        :param failure_rates: per-operation overrides by operation name
+            (``get``, ``put``, ``delete``, ``contains``, ``keys``,
+            ``get_with_version``, ``get_if_modified``,
+            ``put_with_version``); operations not named fall back to
+            *failure_rate*.  E.g. ``{"get": 1.0}`` fails only reads.
+        :param latency: seconds of delay injected before every operation.
+        :param latency_jitter: extra uniform ``[0, jitter]`` seconds drawn
+            from the seeded RNG (deterministic across runs).
+        :param sleep: how delays are served (default ``time.sleep``);
+            inject a recorder to test latency behaviour without waiting.
+        """
         super().__init__(inner, name=name if name is not None else f"flaky({inner.name})")
         if not 0.0 <= failure_rate <= 1.0:
             raise ConfigurationError("failure_rate must be within [0, 1]")
+        for operation, rate in (failure_rates or {}).items():
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"failure_rates[{operation!r}] must be within [0, 1]"
+                )
+        if latency < 0 or latency_jitter < 0:
+            raise ConfigurationError("latency and latency_jitter must be non-negative")
         self._failure_rate = failure_rate
+        self._failure_rates = dict(failure_rates or {})
         self._rng = random.Random(seed)
         self._error_factory = error_factory if error_factory is not None else (
             lambda: StoreConnectionError(f"injected failure in {self.name}")
         )
         self._fail_after = fail_after
+        self._latency = latency
+        self._latency_jitter = latency_jitter
+        if sleep is None:
+            import time
+
+            sleep = time.sleep
+        self._sleep = sleep
         self._lock = threading.Lock()
+        self._burst_remaining = 0
         #: operations that were failed by injection
         self.injected_failures = 0
         #: operations that went through
         self.successes = 0
 
     # ------------------------------------------------------------------
-    def _roll(self) -> bool:
-        with self._lock:
-            return self._rng.random() < self._failure_rate
+    def fail_next(self, count: int) -> None:
+        """Force the next *count* operations to fail, then recover.
 
-    def _run(self, thunk: Callable[[], Any]) -> Any:
-        should_fail = self._roll()
+        The deterministic error-burst mode: exactly N consecutive failures
+        regardless of the random rates, which is how breaker tests drive
+        closed -> open and make the recovery probe succeed on schedule.
+        """
+        if count < 0:
+            raise ConfigurationError("burst count must be non-negative")
+        with self._lock:
+            self._burst_remaining = count
+
+    @property
+    def burst_remaining(self) -> int:
+        """Forced failures still pending from :meth:`fail_next`."""
+        with self._lock:
+            return self._burst_remaining
+
+    # ------------------------------------------------------------------
+    def _roll(self, operation: str) -> bool:
+        with self._lock:
+            if self._burst_remaining > 0:
+                self._burst_remaining -= 1
+                return True
+            rate = self._failure_rates.get(operation, self._failure_rate)
+            return self._rng.random() < rate
+
+    def _run(self, operation: str, thunk: Callable[[], Any]) -> Any:
+        if self._latency or self._latency_jitter:
+            with self._lock:
+                delay = self._latency + (
+                    self._rng.uniform(0, self._latency_jitter)
+                    if self._latency_jitter
+                    else 0.0
+                )
+            self._sleep(delay)
+        should_fail = self._roll(operation)
         if should_fail and not self._fail_after:
             with self._lock:
                 self.injected_failures += 1
@@ -74,25 +150,55 @@ class FlakyStore(_DelegatingStore):
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Any:
-        return self._run(lambda: self._inner.get(key))
+        return self._run("get", lambda: self._inner.get(key))
 
     def put(self, key: str, value: Any) -> None:
-        self._run(lambda: self._inner.put(key, value))
+        self._run("put", lambda: self._inner.put(key, value))
 
     def put_with_version(self, key: str, value: Any) -> str | None:
-        return self._run(lambda: self._inner.put_with_version(key, value))
+        return self._run("put_with_version", lambda: self._inner.put_with_version(key, value))
 
     def delete(self, key: str) -> bool:
-        return self._run(lambda: self._inner.delete(key))
+        return self._run("delete", lambda: self._inner.delete(key))
 
     def contains(self, key: str) -> bool:
-        return self._run(lambda: self._inner.contains(key))
+        return self._run("contains", lambda: self._inner.contains(key))
 
     def get_with_version(self, key: str) -> tuple[Any, str]:
-        return self._run(lambda: self._inner.get_with_version(key))
+        return self._run("get_with_version", lambda: self._inner.get_with_version(key))
 
     def get_if_modified(self, key: str, version: str) -> tuple[Any, str] | NotModified:
-        return self._run(lambda: self._inner.get_if_modified(key, version))
+        return self._run("get_if_modified", lambda: self._inner.get_if_modified(key, version))
 
     def keys(self) -> Iterator[str]:
-        return self._run(lambda: self._inner.keys())
+        return self._run("keys", lambda: self._inner.keys())
+
+
+class LaggyStore(FlakyStore):
+    """A store that is merely *slow*: injected latency, no failures.
+
+    The tool for hedged-read and deadline tests -- e.g. a primary replica
+    with ``LaggyStore(inner, latency=0.2)`` reliably exceeds a 10 ms hedge
+    threshold.  Equivalent to ``FlakyStore(failure_rate=0.0, latency=...)``
+    with a clearer name.
+    """
+
+    def __init__(
+        self,
+        inner: KeyValueStore,
+        *,
+        latency: float,
+        latency_jitter: float = 0.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            inner,
+            failure_rate=0.0,
+            seed=seed,
+            latency=latency,
+            latency_jitter=latency_jitter,
+            sleep=sleep,
+            name=name if name is not None else f"laggy({inner.name})",
+        )

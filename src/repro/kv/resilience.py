@@ -11,16 +11,33 @@ Two production-grade behaviours data store clients are expected to have:
   from the primary, failing over to replicas, with version-based
   read-repair pushing stale replicas forward.  This provides availability
   under store outages, with last-writer-wins convergence.
+
+Both wrappers participate in the fault-tolerance plane
+(``docs/resilience.md``): retries respect the ambient
+:class:`~repro.kv.deadline.Deadline` budget (a retry ladder can never
+exceed the caller's allowance), and :class:`ReplicatedStore` optionally
+*hedges* slow reads -- after ``hedge_delay`` seconds without an answer the
+read is also launched on the next replica and the first success wins,
+collapsing tail latency under a slow primary.
 """
 
 from __future__ import annotations
 
+import queue
 import random
+import threading
 import time
 from typing import Any, Callable, Iterator, Sequence
 
-from ..errors import ConfigurationError, DataStoreError, KeyNotFoundError, StoreConnectionError
+from ..errors import (
+    ConfigurationError,
+    DataStoreError,
+    DeadlineExceededError,
+    KeyNotFoundError,
+    StoreConnectionError,
+)
 from ..obs import Observability, resolve_obs
+from .deadline import current_deadline
 from .interface import KeyValueStore, NotModified
 from .wrappers import _DelegatingStore
 
@@ -75,9 +92,22 @@ class RetryingStore(_DelegatingStore):
         self.retries = 0
 
     # ------------------------------------------------------------------
+    def _deadline_exceeded(self, cause: Exception | None) -> DeadlineExceededError:
+        if self._obs.enabled:
+            self._obs.inc("kv.deadline.expired")
+            self._obs.event("deadline_expired", store=self.name)
+        error = DeadlineExceededError(
+            f"deadline exhausted while retrying against {self.name}"
+        )
+        error.__cause__ = cause
+        return error
+
     def _attempt(self, thunk: Callable[[], Any]) -> Any:
         last_error: Exception | None = None
+        deadline = current_deadline()
         for attempt in range(self._max_attempts):
+            if deadline is not None and deadline.expired:
+                raise self._deadline_exceeded(last_error)
             try:
                 return thunk()
             except self._retry_on as exc:
@@ -87,6 +117,13 @@ class RetryingStore(_DelegatingStore):
                 self.retries += 1
                 ceiling = min(self._max_delay, self._base_delay * (2**attempt))
                 delay = self._rng.uniform(0, ceiling)
+                if deadline is not None:
+                    # Never sleep past the budget: cap the backoff at what
+                    # remains, and give up when nothing meaningful is left.
+                    remaining = deadline.remaining()
+                    if remaining <= 0:
+                        raise self._deadline_exceeded(exc)
+                    delay = min(delay, remaining)
                 if self._obs.enabled:
                     self._obs.inc("kv.retry.retries")
                     self._obs.event(
@@ -137,7 +174,11 @@ class RetryingStore(_DelegatingStore):
         return self._attempt(lambda: self._inner.get_if_modified(key, version))
 
     def keys(self) -> Iterator[str]:
-        return self._attempt(lambda: self._inner.keys())
+        # Materialized on purpose: retrying only the *creation* of a lazy
+        # iterator would let a mid-iteration connection error escape the
+        # retry policy entirely.  Listing inside _attempt makes the whole
+        # key scan retryable (at the cost of buffering the key list).
+        return iter(self._attempt(lambda: list(self._inner.keys())))
 
 
 class ReplicatedStore(KeyValueStore):
@@ -168,26 +209,47 @@ class ReplicatedStore(KeyValueStore):
         name: str = "replicated",
         read_repair: bool = True,
         owns_members: bool = True,
+        hedge_delay: float | None = None,
+        obs: Observability | None = None,
     ) -> None:
         """Compose the group.
 
         :param owns_members: when true (default), closing the composite
             closes the member stores; pass false when members are owned
             elsewhere (e.g. individually registered in a UDSM).
+        :param hedge_delay: when set, :meth:`get` becomes a *hedged* read:
+            the primary is asked first, and if it has not answered within
+            this many seconds the read is also launched on the next
+            replica (and so on down the member list); the first success
+            wins.  Pick a value near the primary's p95 read latency so
+            hedges fire only on tail requests.  Hedged reads skip
+            read-repair (the losing request may still be in flight).
+        :param obs: observability bundle; hedge launches count
+            ``kv.hedge.launched``, reads won by a hedge count
+            ``kv.hedge.wins``, and deadline expiries mid-read count
+            ``kv.deadline.expired``.
         """
         if not replicas:
             raise ConfigurationError("ReplicatedStore needs at least one replica")
+        if hedge_delay is not None and hedge_delay < 0:
+            raise ConfigurationError("hedge_delay must be non-negative")
         self.name = name
         self._primary = primary
         self._replicas = list(replicas)
         self._read_repair = read_repair
         self._owns_members = owns_members
+        self._hedge_delay = hedge_delay
+        self._obs = resolve_obs(obs)
         #: replica write failures tolerated so far
         self.replica_write_failures = 0
         #: reads served by a fallback store
         self.failover_reads = 0
         #: repair writes performed
         self.repairs = 0
+        #: hedge requests launched (a slow leader triggered a backup read)
+        self.hedged_reads = 0
+        #: reads won by a hedge rather than the first store asked
+        self.hedge_wins = 0
 
     # ------------------------------------------------------------------
     @property
@@ -203,6 +265,11 @@ class ReplicatedStore(KeyValueStore):
                 self.replica_write_failures += 1
 
     def get(self, key: str) -> Any:
+        if self._hedge_delay is not None:
+            return self._hedged_get(key)
+        return self._sequential_get(key)
+
+    def _sequential_get(self, key: str) -> Any:
         missed: list[KeyValueStore] = []
         last_error: Exception | None = None
         for index, member in enumerate(self.members):
@@ -228,6 +295,85 @@ class ReplicatedStore(KeyValueStore):
         if isinstance(last_error, KeyNotFoundError):
             raise KeyNotFoundError(key, self.name)
         raise last_error if last_error else KeyNotFoundError(key, self.name)
+
+    def _hedged_get(self, key: str) -> Any:
+        """Tail-latency-tolerant read: first success across staggered tries.
+
+        Members are started in order, each after *hedge_delay* seconds of
+        collective silence (or immediately once everything in flight has
+        failed).  Whichever request succeeds first answers the caller;
+        losing requests are left to finish on their daemon threads and
+        their results are discarded.  Respects the ambient deadline budget.
+        """
+        members = self.members
+        results: "queue.Queue[tuple[int, bool, Any]]" = queue.Queue()
+
+        def launch(index: int) -> None:
+            member = members[index]
+
+            def run() -> None:
+                try:
+                    results.put((index, True, member.get(key)))
+                except Exception as exc:  # noqa: BLE001 - relayed to the caller
+                    results.put((index, False, exc))
+
+            threading.Thread(
+                target=run, name=f"{self.name}-hedge-{index}", daemon=True
+            ).start()
+
+        def launch_hedge(index: int) -> None:
+            self.hedged_reads += 1
+            if self._obs.enabled:
+                self._obs.inc("kv.hedge.launched")
+                self._obs.event("hedge", member=members[index].name)
+                self._obs.emit("hedge", store=self.name, member=members[index].name)
+            launch(index)
+
+        deadline = current_deadline()
+        launch(0)
+        launched, pending = 1, 1
+        errors: list[Exception] = []
+        while pending or launched < len(members):
+            if pending == 0:
+                # Everything in flight failed; go to the next member now.
+                launch_hedge(launched)
+                launched += 1
+                pending += 1
+                continue
+            wait = self._hedge_delay if launched < len(members) else None
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    if self._obs.enabled:
+                        self._obs.inc("kv.deadline.expired")
+                        self._obs.event("deadline_expired", store=self.name)
+                    raise DeadlineExceededError(
+                        f"deadline exhausted during hedged read of {key!r} "
+                        f"from {self.name}"
+                    )
+                wait = remaining if wait is None else min(wait, remaining)
+            try:
+                index, ok, payload = results.get(timeout=wait)
+            except queue.Empty:
+                if launched < len(members):
+                    launch_hedge(launched)
+                    launched += 1
+                    pending += 1
+                continue
+            pending -= 1
+            if ok:
+                if index > 0:
+                    self.hedge_wins += 1
+                    if self._obs.enabled:
+                        self._obs.inc("kv.hedge.wins")
+                        self._obs.event("hedge_win", member=members[index].name)
+                return payload
+            errors.append(payload)
+        if all(isinstance(error, KeyNotFoundError) for error in errors):
+            raise KeyNotFoundError(key, self.name)
+        raise next(
+            error for error in errors if not isinstance(error, KeyNotFoundError)
+        )
 
     def get_with_version(self, key: str) -> tuple[Any, str]:
         last_error: Exception | None = None

@@ -18,12 +18,23 @@ import socket
 import threading
 from typing import Any
 
-from ..errors import ProtocolError, StoreConnectionError
+from ..errors import DeadlineExceededError, ProtocolError, StoreConnectionError
 from ..obs import Observability, resolve_obs
 from . import protocol
 from .protocol import NIL, SimpleString, WireError
 
 __all__ = ["CacheClient", "Pipeline", "SubscriberClient"]
+
+
+def _ambient_deadline():
+    """The caller's :class:`~repro.kv.deadline.Deadline`, if any.
+
+    Imported lazily: ``repro.kv`` imports this module (via the remote store
+    adapter), so a top-level import would be circular.
+    """
+    from ..kv.deadline import current_deadline
+
+    return current_deadline()
 
 
 class CacheClient:
@@ -57,10 +68,11 @@ class CacheClient:
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
-    def _connect(self) -> None:
+    def _connect(self, timeout: float | None = None) -> None:
         try:
             sock = socket.create_connection(
-                (self._host, self._port), timeout=self._connect_timeout
+                (self._host, self._port),
+                timeout=self._connect_timeout if timeout is None else timeout,
             )
         except OSError as exc:
             raise StoreConnectionError(
@@ -102,9 +114,31 @@ class CacheClient:
             if self._closed:
                 raise StoreConnectionError("client is closed")
             last_error: Exception | None = None
+            deadline = _ambient_deadline()
             for attempt in range(2):
+                if deadline is not None and deadline.expired:
+                    # The budget ran out (e.g. the first attempt timed out);
+                    # fail typed rather than spending time we don't have.
+                    if self._obs.enabled:
+                        self._obs.inc("kv.deadline.expired")
+                        self._obs.event("deadline_expired", layer="net")
+                    raise DeadlineExceededError(
+                        f"no deadline budget left for cache operation against "
+                        f"{self._host}:{self._port}"
+                    ) from last_error
                 if self._sock is None:
-                    self._connect()
+                    self._connect(
+                        None if deadline is None else deadline.cap(self._connect_timeout)
+                    )
+                assert self._sock is not None
+                # Per-attempt timeout derived from the remaining budget (the
+                # configured timeout when no deadline is in scope -- which
+                # also restores it after a deadline-scoped call).
+                self._sock.settimeout(
+                    self._operation_timeout
+                    if deadline is None
+                    else deadline.cap(self._operation_timeout)
+                )
                 try:
                     assert self._stream is not None and self._reader is not None
                     self._stream.write(protocol.encode_command(args))

@@ -18,7 +18,7 @@ interface, each automatically gaining:
 from .futures import FutureState, ListenableFuture
 from .pool import ThreadPool
 from .async_api import AsyncKeyValue
-from .monitoring import MonitoredStore, OperationStats, PerformanceMonitor
+from .monitoring import MonitoredStore, OperationStats, PerformanceMonitor, StoreHealth
 from .manager import UniversalDataStoreManager
 from .workload import (
     CachedReadSpec,
@@ -39,6 +39,7 @@ __all__ = [
     "PerformanceMonitor",
     "MonitoredStore",
     "OperationStats",
+    "StoreHealth",
     "UniversalDataStoreManager",
     "WorkloadGenerator",
     "SweepPoint",

@@ -25,10 +25,11 @@ from ..caching.interface import Cache
 from ..caching.kvadapter import KeyValueStoreCache
 from ..core.enhanced import EnhancedDataStoreClient, WritePolicy
 from ..errors import ConfigurationError, DataStoreError
+from ..kv.circuit import CircuitBreakerStore
 from ..kv.interface import KeyValueStore
 from ..obs import Observability, resolve_obs
 from .async_api import AsyncKeyValue
-from .monitoring import MonitoredStore, PerformanceMonitor
+from .monitoring import MonitoredStore, PerformanceMonitor, StoreHealth
 from .pool import ThreadPool
 
 __all__ = ["UniversalDataStoreManager"]
@@ -61,6 +62,7 @@ class UniversalDataStoreManager:
             registry=self.obs.registry if self.obs.enabled else None,
         )
         self.pool = ThreadPool(pool_size)
+        self.health = StoreHealth()
         self._raw: dict[str, KeyValueStore] = {}
         self._monitored: dict[str, MonitoredStore] = {}
         self._closed = False
@@ -91,8 +93,64 @@ class UniversalDataStoreManager:
         """Remove *name*; closes the store unless told otherwise."""
         store = self._raw.pop(name, None)
         self._monitored.pop(name, None)
+        self.health.untrack(name)
         if store is not None and close:
             store.close()
+
+    # ------------------------------------------------------------------
+    # Fault tolerance: per-store circuit protection and health routing
+    # ------------------------------------------------------------------
+    def protect(self, name: str, **breaker_options: Any) -> MonitoredStore:
+        """Put the store registered as *name* behind a circuit breaker.
+
+        The registered entry is replaced in place: every subsequent
+        :meth:`store` / :meth:`enhanced_client` / :meth:`async_store` for
+        *name* goes through the breaker, and the store's health (derived
+        from the breaker state) becomes visible to :meth:`healthy_stores`
+        and :meth:`route`.  Keyword options configure the breaker
+        (``failure_threshold``, ``recovery_timeout``, ``clock``...; see
+        :class:`~repro.kv.circuit.CircuitBreaker`).  Idempotent in effect:
+        protecting an already-protected name layers a second breaker, so
+        call it once per store.
+        """
+        self._check_open()
+        inner = self.raw_store(name)
+        if self.obs.enabled:
+            breaker_options.setdefault("obs", self.obs)
+        protected = CircuitBreakerStore(inner, **breaker_options)
+        # Not register(): that would close `inner`, which lives on as the
+        # breaker's backend.
+        self._raw[name] = protected
+        monitored = MonitoredStore(protected, self.monitor, name=name)
+        self._monitored[name] = monitored
+        self.health.track(name, protected.breaker)
+        return monitored
+
+    def healthy_stores(self) -> list[str]:
+        """Registered names currently accepting traffic.
+
+        Stores without a tracked breaker are presumed healthy; stores whose
+        breaker is open are excluded until a recovery probe closes it.
+        """
+        return [name for name in self.store_names() if self.health.is_healthy(name)]
+
+    def route(self, *candidates: str) -> MonitoredStore:
+        """The first healthy store among *candidates* (order = preference).
+
+        With no arguments, considers every registered store in name order.
+        Raises :class:`~repro.errors.DataStoreError` when every candidate
+        is open-circuited -- callers with a cache can then degrade to
+        serving stale instead.
+        """
+        names = list(candidates) if candidates else self.store_names()
+        if not names:
+            raise DataStoreError("no stores registered to route to")
+        for name in names:
+            if self.health.is_healthy(name):
+                return self.store(name)
+        raise DataStoreError(
+            f"all candidate stores are unhealthy (open circuit): {', '.join(names)}"
+        )
 
     def store(self, name: str) -> MonitoredStore:
         """The monitored synchronous interface for *name*."""

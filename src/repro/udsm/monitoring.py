@@ -30,12 +30,13 @@ from collections import deque
 from typing import Any, Callable, Iterator
 
 from ..errors import MonitoringError
+from ..kv.circuit import CircuitBreaker, CircuitState
 from ..kv.interface import KeyValueStore, NotModified
 from ..kv.wrappers import _DelegatingStore
 from ..obs.events import EventLog
 from ..obs.metrics import Counter, Histogram, MetricsRegistry
 
-__all__ = ["OperationStats", "PerformanceMonitor", "MonitoredStore"]
+__all__ = ["OperationStats", "PerformanceMonitor", "MonitoredStore", "StoreHealth"]
 
 DEFAULT_RECENT_WINDOW = 1024
 
@@ -310,6 +311,51 @@ class PerformanceMonitor:
                 self._stats[(name, operation)] = OperationStats.from_dict(
                     data, recent_window=self._recent_window
                 )
+
+
+class StoreHealth:
+    """Per-store health, derived from tracked circuit breakers.
+
+    The monitoring counterpart of the fault-tolerance plane: the UDSM
+    registers the breaker of every store it protects (see
+    :meth:`~repro.udsm.manager.UniversalDataStoreManager.protect`), and
+    routing decisions consult this registry to steer traffic away from
+    open-circuited stores.  A store with no tracked breaker is presumed
+    healthy -- health tracking is opt-in per store.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def track(self, name: str, breaker: CircuitBreaker) -> None:
+        """Derive *name*'s health from *breaker* from now on."""
+        with self._lock:
+            self._breakers[name] = breaker
+
+    def untrack(self, name: str) -> None:
+        with self._lock:
+            self._breakers.pop(name, None)
+
+    def is_healthy(self, name: str) -> bool:
+        """False only while *name*'s breaker is refusing calls (OPEN).
+
+        HALF_OPEN counts as healthy: the breaker is admitting probes, and
+        shunning the store then would prevent it from ever recovering.
+        """
+        with self._lock:
+            breaker = self._breakers.get(name)
+        if breaker is None:
+            return True
+        # Reading .state advances open -> half-open once recovery is due, so
+        # a quiet store never reads as unhealthy forever.
+        return breaker.state is not CircuitState.OPEN
+
+    def snapshot(self) -> dict[str, CircuitState]:
+        """Current breaker state per tracked store."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {name: breaker.state for name, breaker in breakers.items()}
 
 
 class MonitoredStore(_DelegatingStore):

@@ -290,3 +290,23 @@ class TestServeMetricsCommand:
         finally:
             thread.join(timeout=10)
         assert result["code"] == 0
+
+
+class TestChaos:
+    def test_scripted_outage_narrates_every_layer(self, capsys):
+        assert main(["chaos", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        # each degradation layer absorbs exactly the failure scripted for it
+        assert "stale serve absorbed StoreConnectionError" in out
+        assert "stale serve absorbed DeadlineExceededError" in out
+        assert "stale serve absorbed CircuitOpenError" in out
+        assert "circuit state: open" in out
+        assert "circuit state: closed" in out
+        # the journal tells the whole story in order
+        assert "circuit_open" in out and "circuit_closed" in out
+
+    def test_counts_are_seed_independent(self, capsys):
+        assert main(["chaos", "--seed", "12345"]) == 0
+        out = capsys.readouterr().out
+        assert "kv.circuit.opened      1" in out
+        assert "cache.stale_served     4" in out

@@ -1,0 +1,541 @@
+"""Fault-tolerance plane integration tests (see ``docs/resilience.md``).
+
+The chaos soak composes the full recommended stack --
+``RetryingStore(CircuitBreakerStore(FlakyStore(backend)))`` behind a
+write-through cached client with serve-stale degradation -- and drives it
+through failure bursts, breaker recovery, and deadline pressure with an
+injectable clock: no test here performs an unbounded real sleep (the hedge
+tests wait a few milliseconds on a queue by design; everything else is
+zero-sleep).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.caching import InProcessCache, ServeStaleStore
+from repro.core import EnhancedDataStoreClient
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    DataStoreError,
+    DeadlineExceededError,
+    KeyNotFoundError,
+    StoreConnectionError,
+)
+from repro.kv import (
+    CircuitBreakerStore,
+    CircuitState,
+    Deadline,
+    FlakyStore,
+    InMemoryStore,
+    ReplicatedStore,
+    RetryingStore,
+    deadline_scope,
+)
+from repro.obs import Observability
+from repro.obs.events import EventLog
+from repro.udsm import UniversalDataStoreManager
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def expire_cached_entry(client: EnhancedDataStoreClient, key: str) -> None:
+    """Flip a cached entry to just-past-expiry without sleeping."""
+    entry = client.dscl.cache_lookup(key).entry
+    assert entry is not None
+    entry.expires_at = time.time() - 0.001
+
+
+# ----------------------------------------------------------------------
+# ServeStaleStore (the KV-level wrapper)
+# ----------------------------------------------------------------------
+class TestServeStaleStore:
+    def make(self, **options):
+        backend = InMemoryStore()
+        flaky = FlakyStore(backend, failure_rate=0.0)
+        options.setdefault("revalidator", lambda thunk: None)  # collect, don't run
+        store = ServeStaleStore(flaky, **options)
+        return backend, flaky, store
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServeStaleStore(InMemoryStore(), max_stale=-1)
+        with pytest.raises(ConfigurationError):
+            ServeStaleStore(InMemoryStore(), max_entries=0)
+
+    def test_successful_reads_and_writes_feed_the_snapshot(self):
+        _backend, flaky, store = self.make()
+        store.put("k", "v1")
+        flaky.fail_next(1)
+        assert store.get("k") == "v1"  # served from the write snapshot
+        assert store.stale_serves == 1
+
+    def test_degradable_errors_serve_stale(self):
+        clock = FakeClock()
+        _backend, flaky, store = self.make(max_stale=60.0, clock=clock)
+        store.put("k", "v1")
+        clock.advance(30.0)
+        flaky.fail_next(1)
+        assert store.get("k") == "v1"
+        assert store.staleness("k") == pytest.approx(30.0)
+
+    def test_too_stale_reraises_original_error(self):
+        clock = FakeClock()
+        _backend, flaky, store = self.make(max_stale=60.0, clock=clock)
+        store.put("k", "v1")
+        clock.advance(61.0)
+        flaky.fail_next(1)
+        with pytest.raises(StoreConnectionError):
+            store.get("k")
+        assert store.stale_serves == 0
+
+    def test_no_snapshot_reraises(self):
+        _backend, flaky, store = self.make()
+        flaky.fail_next(1)
+        with pytest.raises(StoreConnectionError):
+            store.get("never-seen")
+
+    def test_semantic_errors_propagate(self):
+        _backend, _flaky, store = self.make()
+        with pytest.raises(KeyNotFoundError):
+            store.get("absent")
+
+    def test_delete_forgets_the_snapshot(self):
+        _backend, flaky, store = self.make()
+        store.put("k", "v1")
+        store.delete("k")
+        flaky.fail_next(1)
+        with pytest.raises(StoreConnectionError):
+            store.get("k")
+
+    def test_snapshot_capacity_is_bounded(self):
+        _backend, flaky, store = self.make(max_entries=2)
+        for index in range(3):
+            store.put(f"k{index}", index)
+        flaky.fail_next(1)
+        with pytest.raises(StoreConnectionError):
+            store.get("k0")  # evicted, oldest first
+        flaky.fail_next(1)
+        assert store.get("k2") == 2
+
+    def test_revalidation_refreshes_the_snapshot(self):
+        pending = []
+        backend = InMemoryStore()
+        flaky = FlakyStore(backend, failure_rate=0.0)
+        store = ServeStaleStore(flaky, revalidator=pending.append)
+        store.put("k", "v1")
+        backend.put("k", "v2")  # origin moved on behind our back
+        flaky.fail_next(1)
+        assert store.get("k") == "v1"
+        assert len(pending) == 1
+        pending.pop()()  # backend healthy again: revalidate
+        flaky.fail_next(1)
+        assert store.get("k") == "v2"  # snapshot caught up
+
+    def test_revalidations_are_deduplicated(self):
+        pending = []
+        _backend, flaky, store = self.make(revalidator=pending.append)
+        store.put("k", "v1")
+        flaky.fail_next(2)
+        store.get("k")
+        store.get("k")
+        assert store.revalidations == 1
+        assert len(pending) == 1
+
+    def test_stale_serves_are_observable(self):
+        obs = Observability(events=EventLog())
+        backend = InMemoryStore()
+        flaky = FlakyStore(backend, failure_rate=0.0)
+        store = ServeStaleStore(flaky, obs=obs, revalidator=lambda thunk: None)
+        store.put("k", "v1")
+        flaky.fail_next(1)
+        store.get("k")
+        assert obs.registry.snapshot()["counters"]["cache.stale_served"] == 1
+        (record,) = obs.events.tail(kind="stale_served")
+        assert record["key"] == "k"
+        assert record["error"] == "StoreConnectionError"
+
+    def test_open_circuit_is_degradable(self):
+        flaky = FlakyStore(InMemoryStore(), failure_rate=0.0)
+        guarded = CircuitBreakerStore(flaky, failure_threshold=1)
+        store = ServeStaleStore(guarded, revalidator=lambda thunk: None)
+        store.put("k", "v1")
+        flaky.fail_next(1)
+        assert store.get("k") == "v1"  # the failure that opened the circuit
+        assert guarded.breaker.state is CircuitState.OPEN
+        assert store.get("k") == "v1"  # shed fast, still served
+        assert store.stale_serves == 2
+
+
+# ----------------------------------------------------------------------
+# Hedged reads
+# ----------------------------------------------------------------------
+class _GatedStore(InMemoryStore):
+    """get() blocks until released -- a reliably slow primary."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.gate = threading.Event()
+
+    def get(self, key):
+        self.gate.wait(timeout=5.0)
+        return super().get(key)
+
+
+class TestHedgedReads:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedStore(InMemoryStore(), [InMemoryStore()], hedge_delay=-1)
+
+    def test_hedge_wins_when_primary_is_slow(self):
+        obs = Observability(events=EventLog())
+        primary = _GatedStore()
+        replica = InMemoryStore()
+        primary.put("k", "v")  # bypass the gate: put is not blocked
+        replica.put("k", "v")
+        group = ReplicatedStore(
+            primary, [replica], hedge_delay=0.005, obs=obs, owns_members=True
+        )
+        try:
+            with deadline_scope(5.0):
+                assert group.get("k") == "v"
+            assert group.hedged_reads == 1
+            assert group.hedge_wins == 1
+            counters = obs.registry.snapshot()["counters"]
+            assert counters["kv.hedge.launched"] == 1
+            assert counters["kv.hedge.wins"] == 1
+            (record,) = obs.events.tail(kind="hedge")
+            assert record["member"] == replica.name
+        finally:
+            primary.gate.set()
+
+    def test_fast_primary_needs_no_hedge(self):
+        primary, replica = InMemoryStore(), InMemoryStore()
+        primary.put("k", "primary-value")
+        replica.put("k", "replica-value")
+        group = ReplicatedStore(primary, [replica], hedge_delay=30.0)
+        assert group.get("k") == "primary-value"
+        assert group.hedged_reads == 0
+
+    def test_failed_primary_hedges_immediately(self):
+        primary = FlakyStore(InMemoryStore(), failure_rate=1.0)
+        replica = InMemoryStore()
+        replica.put("k", "v")
+        group = ReplicatedStore(primary, [replica], hedge_delay=30.0)
+        start = time.monotonic()
+        assert group.get("k") == "v"
+        # the in-flight failure triggered the next launch, not the 30 s timer
+        assert time.monotonic() - start < 5.0
+        assert group.hedge_wins == 1
+
+    def test_all_members_missing_key(self):
+        group = ReplicatedStore(
+            InMemoryStore(), [InMemoryStore()], hedge_delay=0.001
+        )
+        with pytest.raises(KeyNotFoundError):
+            group.get("absent")
+
+    def test_all_members_failing(self):
+        group = ReplicatedStore(
+            FlakyStore(InMemoryStore(), failure_rate=1.0),
+            [FlakyStore(InMemoryStore(), failure_rate=1.0)],
+            hedge_delay=0.001,
+        )
+        with pytest.raises(StoreConnectionError):
+            group.get("k")
+
+    def test_expired_deadline_aborts_hedged_read(self):
+        clock = FakeClock()
+        obs = Observability()
+        primary = _GatedStore()
+        primary.put("k", "v")
+        group = ReplicatedStore(
+            primary, [InMemoryStore()], hedge_delay=30.0, obs=obs
+        )
+        try:
+            expired = Deadline(0.0, clock=clock)
+            clock.advance(1.0)
+            with deadline_scope(expired):
+                with pytest.raises(DeadlineExceededError):
+                    group.get("k")
+            assert obs.registry.snapshot()["counters"]["kv.deadline.expired"] == 1
+        finally:
+            primary.gate.set()
+
+
+# ----------------------------------------------------------------------
+# Serve-stale through the enhanced client
+# ----------------------------------------------------------------------
+class TestClientServeStale:
+    def make_client(self, clock, obs=None, **options):
+        backend = InMemoryStore()
+        flaky = FlakyStore(backend, failure_rate=0.0)
+        guarded = CircuitBreakerStore(
+            flaky, failure_threshold=3, recovery_timeout=5.0, clock=clock, obs=obs
+        )
+        resilient = RetryingStore(
+            guarded, max_attempts=3, sleep=clock.advance, seed=11, obs=obs
+        )
+        pending = []
+        options.setdefault("default_ttl", 60.0)
+        options.setdefault("serve_stale", True)
+        options.setdefault("max_stale", 3600.0)
+        client = EnhancedDataStoreClient(
+            resilient,
+            cache=InProcessCache(),
+            stale_revalidator=pending.append,
+            obs=obs,
+            **options,
+        )
+        return backend, flaky, guarded, client, pending
+
+    def test_degraded_read_serves_stale_instead_of_raising(self):
+        """Acceptance: open-circuit read through the cache serves stale."""
+        clock = FakeClock()
+        obs = Observability(events=EventLog())
+        _backend, flaky, guarded, client, pending = self.make_client(clock, obs)
+        client.put("user", {"name": "ada"})
+        assert client.get("user") == {"name": "ada"}  # fresh hit
+
+        expire_cached_entry(client, "user")
+        flaky.fail_next(100)  # hard outage: retries exhaust, breaker opens
+        assert client.get("user") == {"name": "ada"}  # flagged, not raised
+        assert client.counters.stale_serves == 1
+        assert guarded.breaker.state is CircuitState.OPEN
+        assert obs.registry.snapshot()["counters"]["cache.stale_served"] == 1
+        (record,) = obs.events.tail(kind="stale_served")
+        assert record["key"] == "user"
+
+        # While open, sheds serve stale instantly without backend contact.
+        expire_cached_entry(client, "user")
+        before = flaky.injected_failures + flaky.successes
+        assert client.get("user") == {"name": "ada"}
+        assert flaky.injected_failures + flaky.successes == before
+        assert record["error"] in {"StoreConnectionError", "CircuitOpenError"}
+
+    def test_deadline_exhausted_read_serves_stale(self):
+        """Acceptance: a deadline-exhausted read degrades to stale."""
+        clock = FakeClock()
+        _backend, flaky, _guarded, client, _pending = self.make_client(clock)
+        client.put("user", {"name": "ada"})
+        expire_cached_entry(client, "user")
+        flaky.fail_next(100)
+        with deadline_scope(0.05, clock=clock):
+            assert client.get("user") == {"name": "ada"}
+        assert client.counters.stale_serves == 1
+
+    def test_background_revalidation_catches_up_after_recovery(self):
+        clock = FakeClock()
+        backend, flaky, guarded, client, pending = self.make_client(clock)
+        client.put("user", {"name": "ada"})
+        backend.put("user", {"name": "grace"})  # origin changed upstream
+        expire_cached_entry(client, "user")
+        flaky.fail_next(100)
+        assert client.get("user") == {"name": "ada"}  # stale
+        assert len(pending) == 1
+
+        flaky.fail_next(0)  # outage over
+        clock.advance(5.0)  # breaker recovery due; revalidation is the probe
+        pending.pop()()
+        assert guarded.breaker.state is CircuitState.CLOSED
+        assert client.get("user") == {"name": "grace"}  # fresh again
+        assert client.counters.stale_serves == 1
+
+    def test_disabled_serve_stale_raises(self):
+        clock = FakeClock()
+        _backend, flaky, _guarded, client, _pending = self.make_client(
+            clock, serve_stale=False
+        )
+        client.put("user", {"name": "ada"})
+        expire_cached_entry(client, "user")
+        flaky.fail_next(100)
+        with pytest.raises(StoreConnectionError):
+            client.get("user")
+
+    def test_never_serves_stale_negatives(self):
+        clock = FakeClock()
+        _backend, flaky, _guarded, client, _pending = self.make_client(
+            clock, negative_ttl=60.0
+        )
+        with pytest.raises(KeyNotFoundError):
+            client.get("ghost")  # caches a negative entry
+        expire_cached_entry(client, "ghost")
+        flaky.fail_next(100)
+        with pytest.raises(StoreConnectionError):
+            client.get("ghost")
+        assert client.counters.stale_serves == 0
+
+    def test_max_stale_bounds_degradation(self):
+        clock = FakeClock()
+        _backend, flaky, _guarded, client, _pending = self.make_client(
+            clock, max_stale=0.5
+        )
+        client.put("user", {"name": "ada"})
+        entry = client.dscl.cache_lookup("user").entry
+        entry.expires_at = time.time() - 10.0  # ten seconds stale > 0.5 bound
+        flaky.fail_next(100)
+        with pytest.raises(StoreConnectionError):
+            client.get("user")
+        assert client.counters.stale_serves == 0
+
+
+# ----------------------------------------------------------------------
+# The chaos soak (ISSUE acceptance scenario)
+# ----------------------------------------------------------------------
+class TestChaosSoak:
+    def test_burst_open_stale_probe_close_within_deadline(self):
+        """Full lifecycle: burst -> breaker opens -> stale served -> probe
+        closes after recovery -> fresh reads resume.  Injected clock, zero
+        real sleeps, every operation bounded by its deadline budget."""
+        clock = FakeClock()
+        obs = Observability(events=EventLog())
+        backend = InMemoryStore()
+        flaky = FlakyStore(backend, failure_rate=0.0, seed=5)
+        guarded = CircuitBreakerStore(
+            flaky, failure_threshold=3, recovery_timeout=10.0, clock=clock, obs=obs
+        )
+        resilient = RetryingStore(
+            guarded, max_attempts=2, base_delay=0.01, sleep=clock.advance, seed=5, obs=obs
+        )
+        pending = []
+        client = EnhancedDataStoreClient(
+            resilient,
+            cache=InProcessCache(),
+            default_ttl=60.0,
+            serve_stale=True,
+            max_stale=3600.0,
+            stale_revalidator=pending.append,
+            obs=obs,
+        )
+
+        # Healthy phase: writes land, reads hit the cache.
+        for index in range(5):
+            client.put(f"key-{index}", {"n": index})
+        for index in range(5):
+            assert client.get(f"key-{index}") == {"n": index}
+        assert client.counters.cache_hits == 5
+
+        # Outage: every cached entry expires, backend bursts failures.
+        for index in range(5):
+            expire_cached_entry(client, f"key-{index}")
+        flaky.fail_next(1000)
+        for index in range(5):
+            with deadline_scope(1.0, clock=clock) as budget:
+                assert client.get(f"key-{index}") == {"n": index}
+                assert not budget.expired  # no op exceeded its deadline
+        assert client.counters.stale_serves == 5
+        assert guarded.breaker.state is CircuitState.OPEN
+        assert guarded.breaker.opened == 1
+
+        # Recovery: backend heals, the recovery timeout elapses, and the
+        # queued revalidations act as probes that close the circuit.
+        flaky.fail_next(0)
+        clock.advance(10.0)
+        while pending:
+            pending.pop(0)()
+        assert guarded.breaker.state is CircuitState.CLOSED
+
+        # Back to normal: fresh reads, no stale serving.
+        stale_before = client.counters.stale_serves
+        for index in range(5):
+            assert client.get(f"key-{index}") == {"n": index}
+        assert client.counters.stale_serves == stale_before
+
+        counters = obs.registry.snapshot()["counters"]
+        assert counters["kv.circuit.opened"] == 1
+        assert counters["kv.circuit.closed"] == 1
+        assert counters["cache.stale_served"] == 5
+        assert counters["kv.retry.retries"] >= 1
+        kinds = {record["kind"] for record in obs.events.tail()}
+        assert {"circuit_open", "circuit_closed", "stale_served"} <= kinds
+
+
+# ----------------------------------------------------------------------
+# UDSM health routing
+# ----------------------------------------------------------------------
+class TestManagerHealth:
+    def test_protect_and_route_around_open_circuit(self):
+        clock = FakeClock()
+        with UniversalDataStoreManager() as udsm:
+            flaky = FlakyStore(InMemoryStore(), failure_rate=0.0)
+            udsm.register("primary", flaky)
+            udsm.register("backup", InMemoryStore(name="backup"))
+            udsm.protect("primary", failure_threshold=1, recovery_timeout=5.0, clock=clock)
+
+            udsm.store("primary").put("k", "v")
+            udsm.store("backup").put("k", "v")
+            assert udsm.healthy_stores() == ["backup", "primary"]
+            assert udsm.route("primary", "backup").name == "primary"
+
+            flaky.fail_next(1)
+            with pytest.raises(StoreConnectionError):
+                udsm.store("primary").get("k")
+            assert udsm.healthy_stores() == ["backup"]
+            assert udsm.route("primary", "backup").name == "backup"
+            assert udsm.health.snapshot()["primary"] is CircuitState.OPEN
+
+            # Recovery makes the store routable again (half-open admits probes).
+            clock.advance(5.0)
+            assert udsm.route("primary", "backup").name == "primary"
+            assert udsm.store("primary").get("k") == "v"
+            assert udsm.health.snapshot()["primary"] is CircuitState.CLOSED
+
+    def test_route_raises_when_everything_is_open(self):
+        clock = FakeClock()
+        with UniversalDataStoreManager() as udsm:
+            flaky = FlakyStore(InMemoryStore(), failure_rate=0.0)
+            udsm.register("only", flaky)
+            udsm.protect("only", failure_threshold=1, recovery_timeout=60.0, clock=clock)
+            flaky.fail_next(1)
+            with pytest.raises(StoreConnectionError):
+                udsm.store("only").get("k")
+            with pytest.raises(DataStoreError, match="unhealthy"):
+                udsm.route("only")
+
+    def test_route_with_no_stores(self):
+        with UniversalDataStoreManager() as udsm:
+            with pytest.raises(DataStoreError):
+                udsm.route()
+
+    def test_unregister_untracks_health(self):
+        with UniversalDataStoreManager() as udsm:
+            udsm.register("s", InMemoryStore())
+            udsm.protect("s", failure_threshold=1)
+            udsm.unregister("s")
+            assert udsm.health.snapshot() == {}
+
+
+# ----------------------------------------------------------------------
+# Deadline-aware network client
+# ----------------------------------------------------------------------
+class TestNetClientDeadline:
+    def test_expired_deadline_fails_fast(self, cache_client):
+        clock = FakeClock()
+        expired = Deadline(0.0, clock=clock)
+        clock.advance(1.0)
+        with deadline_scope(expired):
+            with pytest.raises(DeadlineExceededError):
+                cache_client.get(b"k")
+
+    def test_generous_deadline_passes_through(self, cache_client):
+        with deadline_scope(30.0):
+            cache_client.set(b"k", b"v")
+            assert cache_client.get(b"k") == b"v"
+
+    def test_socket_timeout_restored_after_deadline_scope(self, cache_client):
+        with deadline_scope(30.0):
+            cache_client.set(b"k", b"v")
+        assert cache_client.get(b"k") == b"v"  # plain call still works
