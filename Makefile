@@ -1,13 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test unit check-docs check-obs check-resilience all
+.PHONY: test unit check-docs check-obs check-resilience check-lsm all
 
 all: test
 
 # The default gate: unit suite + doc snippets + instrumentation coverage
-# + fault-tolerance contract.
-test: unit check-docs check-obs check-resilience
+# + fault-tolerance contract + LSM durability contract.
+test: unit check-docs check-obs check-resilience check-lsm
 
 unit:
 	$(PYTHON) -m pytest -x -q
@@ -26,3 +26,8 @@ check-obs:
 # vocabulary and typed errors (see docs/resilience.md).
 check-resilience:
 	$(PYTHON) scripts/check_resilience.py
+
+# Crash-simulate the LSM engine (torn WAL tails, mixed states, double
+# crashes) and assert no acknowledged write is lost (see docs/lsm.md).
+check-lsm:
+	$(PYTHON) scripts/check_lsm.py

@@ -1,0 +1,116 @@
+"""Backend face-off: the LSM engine against the other embedded durable stores.
+
+The LSM engine exists because :class:`~repro.kv.filesystem.FileSystemStore`
+pays a file create per write and :class:`~repro.kv.sqlstore.SQLStore` pays
+a SQL commit per write.  This figure measures what that buys: per-operation
+write, read, and prefix-scan latency for each embedded durable backend on
+the same 1 KB workload, recorded sample-by-sample so the JSON summary
+(``results/BENCH_backend_lsm.json``) carries real p50/p95/p99 tails and
+derived throughput.
+
+Shape check: LSM writes (one WAL append + one dict update) must beat the
+file-per-key backend at 1 KB.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.kv import FileSystemStore, LSMStore, SQLStore
+
+FIGURE = "backend_lsm"
+OPERATIONS = 1_000
+VALUE_SIZE = 1_024
+BACKENDS = ("lsm", "file", "sql")
+
+NOTE = (
+    f"Embedded durable backends, {OPERATIONS} ops of {VALUE_SIZE} B values; "
+    "per-op samples (x = value bytes), so p50/p95/p99 in the JSON are true "
+    "tail latencies.  Series: <backend>_write / _read / _scan "
+    "(scan = one full keys_with_prefix pass per sample)."
+)
+
+
+def make_store(name, root):
+    if name == "lsm":
+        return LSMStore(root / "kv.lsm")
+    if name == "file":
+        return FileSystemStore(root / "fs")
+    return SQLStore(str(root / "bench.db"))
+
+
+def payload_for(index: int) -> str:
+    return f"{index:08d}" + "x" * (VALUE_SIZE - 8)
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_write_path(benchmark, collector, tmp_path, name):
+    store = make_store(name, tmp_path)
+    benchmark.group = "backend-lsm-write"
+
+    def run() -> None:
+        for i in range(OPERATIONS):
+            value = payload_for(i)
+            start = time.perf_counter()
+            store.put(f"bench-{i:05d}", value)
+            collector.record(FIGURE, f"{name}_write", VALUE_SIZE,
+                             time.perf_counter() - start)
+
+    benchmark.pedantic(run, rounds=1)
+    collector.note(FIGURE, NOTE)
+    store.close()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_read_path(benchmark, collector, tmp_path, name):
+    store = make_store(name, tmp_path)
+    for i in range(OPERATIONS):
+        store.put(f"bench-{i:05d}", payload_for(i))
+    if name == "lsm":
+        store.flush()  # read from SSTables, not a warm memtable
+    order = list(range(OPERATIONS))
+    random.Random(7).shuffle(order)
+    benchmark.group = "backend-lsm-read"
+
+    def run() -> None:
+        for i in order:
+            start = time.perf_counter()
+            value = store.get(f"bench-{i:05d}")
+            collector.record(FIGURE, f"{name}_read", VALUE_SIZE,
+                             time.perf_counter() - start)
+            assert value[:8] == f"{i:08d}"
+
+    benchmark.pedantic(run, rounds=1)
+    store.close()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_scan_path(benchmark, collector, tmp_path, name):
+    store = make_store(name, tmp_path)
+    for i in range(OPERATIONS):
+        store.put(f"bench-{i:05d}", payload_for(i))
+    benchmark.group = "backend-lsm-scan"
+
+    def run() -> None:
+        for _ in range(8):
+            start = time.perf_counter()
+            count = sum(1 for _key in store.keys_with_prefix("bench-"))
+            collector.record(FIGURE, f"{name}_scan", VALUE_SIZE,
+                             time.perf_counter() - start)
+            assert count == OPERATIONS
+
+    benchmark.pedantic(run, rounds=1)
+    store.close()
+
+
+def test_lsm_writes_beat_file_per_key(benchmark, collector):
+    """Shape: sequential-append writes must beat file-per-key writes at 1 KB."""
+    benchmark.group = "backend-lsm-write"
+    benchmark.pedantic(lambda: None, rounds=1)
+    lsm = collector.mean_at(FIGURE, "lsm_write", VALUE_SIZE)
+    file_backend = collector.mean_at(FIGURE, "file_write", VALUE_SIZE)
+    assert lsm is not None and file_backend is not None
+    assert lsm < file_backend

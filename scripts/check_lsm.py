@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""LSM durability contract check (``make check-lsm``).
+
+Guards the promise of ``docs/lsm.md``: **no acknowledged write is ever
+lost**.  Each scenario drives a real :class:`repro.lsm.LSMStore`, then
+simulates a crash the honest way -- copying the live data directory
+without closing the store (the moment of power loss) -- and verifies that
+a fresh store over the copy serves every acknowledged write:
+
+* WAL-only state (nothing flushed) survives a crash;
+* a torn WAL tail (partial frame, bit-flipped record) is truncated back
+  to the last intact record without losing anything acknowledged before it;
+* mixed SSTable + WAL state recovers to the exact acknowledged key set;
+* compaction preserves the exact key/value set while reclaiming
+  overwrites and tombstones;
+* recovery re-persists replayed state immediately (a second crash right
+  after open also loses nothing).
+
+Exit status 0 when every scenario holds; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import KeyNotFoundError  # noqa: E402
+from repro.lsm import LSMStore  # noqa: E402
+
+
+def _expect(errors: list[str], condition: bool, message: str) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def _crash_copy(store: LSMStore, workdir: Path, name: str) -> Path:
+    """Simulate power loss: snapshot the live directory, store still open."""
+    target = workdir / name
+    shutil.copytree(store.native(), target)
+    return target
+
+
+def _verify_exact_contents(
+    errors: list[str], store: LSMStore, expected: dict[str, object], label: str
+) -> None:
+    got = {key: store.get(key) for key in store.keys()}
+    missing = sorted(set(expected) - set(got))
+    extra = sorted(set(got) - set(expected))
+    _expect(errors, not missing, f"{label}: acknowledged keys lost: {missing[:5]}")
+    _expect(errors, not extra, f"{label}: phantom keys appeared: {extra[:5]}")
+    for key in set(expected) & set(got):
+        if got[key] != expected[key]:
+            errors.append(f"{label}: {key!r} == {got[key]!r}, want {expected[key]!r}")
+            break
+
+
+def check_wal_only_crash() -> list[str]:
+    """Writes that never left the WAL must survive a crash."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        store = LSMStore(workdir / "db")
+        expected: dict[str, object] = {}
+        for i in range(100):
+            store.put(f"key-{i:03d}", {"value": i})
+            expected[f"key-{i:03d}"] = {"value": i}
+        store.delete("key-050")
+        del expected["key-050"]
+        crashed = _crash_copy(store, workdir, "crashed")
+        store.close()
+        with LSMStore(crashed) as recovered:
+            _verify_exact_contents(errors, recovered, expected, "wal-only crash")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_torn_tail() -> list[str]:
+    """A partial frame at the WAL tail must be discarded -- and only it."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        store = LSMStore(workdir / "db")
+        for i in range(20):
+            store.put(f"key-{i:02d}", f"value-{i}")
+        crashed = _crash_copy(store, workdir, "crashed")
+        store.close()
+        (wal_path,) = crashed.glob("wal-*.log")
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef\x00")  # power loss mid-append
+        with LSMStore(crashed) as recovered:
+            expected = {f"key-{i:02d}": f"value-{i}" for i in range(20)}
+            _verify_exact_contents(errors, recovered, expected, "torn tail")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_corrupt_record() -> list[str]:
+    """A bit-flipped WAL record must cut replay there, keeping the prefix."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        store = LSMStore(workdir / "db")
+        store.put("before", "intact")
+        prefix_end = store.stats()["wal_bytes"]
+        store.put("after", "doomed")
+        crashed = _crash_copy(store, workdir, "crashed")
+        store.close()
+        (wal_path,) = crashed.glob("wal-*.log")
+        blob = bytearray(wal_path.read_bytes())
+        blob[prefix_end + 10] ^= 0xFF
+        wal_path.write_bytes(bytes(blob))
+        with LSMStore(crashed) as recovered:
+            _expect(errors, recovered.get("before") == "intact",
+                    "corrupt record: intact prefix lost")
+            try:
+                recovered.get("after")
+                errors.append("corrupt record: corrupted write served anyway")
+            except KeyNotFoundError:
+                pass
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_mixed_state_crash() -> list[str]:
+    """SSTables + sealed memtables + active WAL must all recover together."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        # Tiny memtable: the workload spans flushed tables AND a live WAL.
+        store = LSMStore(workdir / "db", memtable_bytes=2_048)
+        expected: dict[str, object] = {}
+        for i in range(300):
+            store.put(f"key-{i:04d}", "x" * (i % 50))
+            expected[f"key-{i:04d}"] = "x" * (i % 50)
+        for i in range(0, 300, 3):
+            store.delete(f"key-{i:04d}")
+            del expected[f"key-{i:04d}"]
+        crashed = _crash_copy(store, workdir, "crashed")
+        store.close()
+        with LSMStore(crashed) as recovered:
+            _verify_exact_contents(errors, recovered, expected, "mixed-state crash")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_compaction_preserves_contents() -> list[str]:
+    """A full merge must keep the exact live key set and shrink the files."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        with LSMStore(workdir / "db", auto_compact=False) as store:
+            expected: dict[str, object] = {}
+            for round_number in range(4):
+                for i in range(50):
+                    store.put(f"key-{i:02d}", {"round": round_number, "i": i})
+                    expected[f"key-{i:02d}"] = {"round": round_number, "i": i}
+                store.flush()
+            for i in range(25):
+                store.delete(f"key-{i:02d}")
+                del expected[f"key-{i:02d}"]
+            before = store.stats()
+            store.compact()
+            after = store.stats()
+            _expect(errors, after["sstables"] == 1,
+                    f"compaction left {after['sstables']} tables, want 1")
+            _expect(errors, after["sstable_records"] == len(expected),
+                    f"compacted run holds {after['sstable_records']} records, "
+                    f"want {len(expected)}")
+            _expect(errors, after["sstable_bytes"] < before["sstable_bytes"],
+                    "compaction did not reclaim any bytes")
+            _verify_exact_contents(errors, store, expected, "compaction")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_recovery_is_durable() -> list[str]:
+    """Recovery must flush replayed state: a second crash loses nothing."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        store = LSMStore(workdir / "db")
+        store.put("survivor", [1, 2, 3])
+        crashed_once = _crash_copy(store, workdir, "crashed-once")
+        store.close()
+        reopened = LSMStore(crashed_once)
+        crashed_twice = _crash_copy(reopened, workdir, "crashed-twice")
+        reopened.close()
+        with LSMStore(crashed_twice) as recovered:
+            _verify_exact_contents(
+                errors, recovered, {"survivor": [1, 2, 3]}, "double crash"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+CHECKS = [
+    ("wal-only crash", check_wal_only_crash),
+    ("torn WAL tail", check_torn_tail),
+    ("corrupt WAL record", check_corrupt_record),
+    ("mixed-state crash", check_mixed_state_crash),
+    ("compaction contents", check_compaction_preserves_contents),
+    ("recovery durability", check_recovery_is_durable),
+]
+
+
+def main() -> int:
+    failed = False
+    for label, check in CHECKS:
+        problems = check()
+        if problems:
+            failed = True
+            print(f"FAIL  {label}")
+            for problem in problems:
+                print(f"      - {problem}")
+        else:
+            print(f"ok    {label}")
+    if failed:
+        print("\nLSM durability contract violated -- see docs/lsm.md")
+        return 1
+    print("\nLSM durability contract holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

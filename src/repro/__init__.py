@@ -57,6 +57,7 @@ from .kv import (
     InMemoryStore,
     KeyValueStore,
     LaggyStore,
+    LSMStore,
     NamespacedStore,
     ReadOnlyStore,
     RemoteKeyValueStore,
@@ -150,6 +151,7 @@ __all__ = [
     "FileSystemStore",
     "SQLStore",
     "SimulatedCloudStore",
+    "LSMStore",
     "CloudStoreProfile",
     "CLOUD_STORE_1",
     "CLOUD_STORE_2",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import struct
 from typing import Any, Iterator
 
 from ..errors import ConfigurationError
@@ -28,9 +29,11 @@ from .interface import MISS, Cache
 
 __all__ = ["BloomFilter", "BloomFrontedCache"]
 
+_BLOOM_HEADER = struct.Struct("<III")  # size_bits, hash_count, items
+
 
 class BloomFilter:
-    """Plain Bloom filter over strings (bit array packed into an int)."""
+    """Plain Bloom filter over strings or bytes (bit array packed into an int)."""
 
     def __init__(self, expected_items: int = 10_000, fp_rate: float = 0.01) -> None:
         """Size the filter for *expected_items* at *fp_rate* false positives.
@@ -47,23 +50,50 @@ class BloomFilter:
         self._bits = 0
         self._items = 0
 
-    def _positions(self, key: str) -> Iterator[int]:
+    def _positions(self, key: "str | bytes") -> Iterator[int]:
         # Double hashing: two independent 64-bit values combine into k
         # positions (Kirsch-Mitzenmacher).
-        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        data = key if isinstance(key, bytes) else key.encode("utf-8")
+        digest = hashlib.sha256(data).digest()
         h1 = int.from_bytes(digest[:8], "big")
         h2 = int.from_bytes(digest[8:16], "big") | 1
         for i in range(self.hash_count):
             yield (h1 + i * h2) % self.size_bits
 
-    def add(self, key: str) -> None:
+    def add(self, key: "str | bytes") -> None:
         for position in self._positions(key):
             self._bits |= 1 << position
         self._items += 1
 
-    def might_contain(self, key: str) -> bool:
+    def might_contain(self, key: "str | bytes") -> bool:
         """False = definitely absent; True = possibly present."""
         return all(self._bits >> position & 1 for position in self._positions(key))
+
+    # ------------------------------------------------------------------
+    # Persistence (used by the LSM engine to embed a filter per SSTable)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize sizing + bit array; inverse of :meth:`from_bytes`."""
+        width = (self.size_bits + 7) // 8
+        return _BLOOM_HEADER.pack(self.size_bits, self.hash_count, self._items) + (
+            self._bits.to_bytes(width, "little")
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BloomFilter":
+        """Rebuild a filter exactly as :meth:`to_bytes` captured it."""
+        if len(payload) < _BLOOM_HEADER.size:
+            raise ConfigurationError("truncated bloom filter payload")
+        size_bits, hash_count, items = _BLOOM_HEADER.unpack_from(payload, 0)
+        width = (size_bits + 7) // 8
+        if len(payload) != _BLOOM_HEADER.size + width:
+            raise ConfigurationError("bloom filter payload length mismatch")
+        instance = cls.__new__(cls)
+        instance.size_bits = size_bits
+        instance.hash_count = hash_count
+        instance._items = items
+        instance._bits = int.from_bytes(payload[_BLOOM_HEADER.size :], "little")
+        return instance
 
     def clear(self) -> None:
         self._bits = 0

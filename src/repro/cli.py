@@ -7,7 +7,7 @@ makes that a shell command, and also starts the bundled servers.
 Commands
 --------
 ``serve``
-    Run a cache server (or serve a sqlite store) in the foreground.
+    Run a cache server (or serve a sqlite / LSM store) in the foreground.
 ``bench``
     Sweep read/write latency over object sizes for one store; prints a
     table and optionally writes gnuplot ``.dat`` files.
@@ -34,6 +34,9 @@ Commands
     Scripted outage through the fault-tolerance plane (retry, circuit
     breaker, deadline budget, serve-stale) on a virtual clock, narrating
     which layer absorbed each failure (see docs/resilience.md).
+``lsm``
+    Inspect (``lsm stats``) or compact (``lsm compact``) an on-disk LSM
+    store directory (see docs/lsm.md).
 
 Examples::
 
@@ -48,6 +51,9 @@ Examples::
     python -m repro top --url http://127.0.0.1:9100
     python -m repro top --demo --iterations 3
     python -m repro chaos --seed 7
+    python -m repro serve --backend lsm --database /var/data/kv.lsm
+    python -m repro lsm stats --path /var/data/kv.lsm
+    python -m repro lsm compact --path /var/data/kv.lsm
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ from .kv import (
     FileSystemStore,
     InMemoryStore,
     KeyValueStore,
+    LSMStore,
     RemoteKeyValueStore,
     SimulatedCloudStore,
     SQLStore,
@@ -94,6 +101,10 @@ def build_store(options: argparse.Namespace) -> KeyValueStore:
         return FileSystemStore(options.path)
     if kind == "sql":
         return SQLStore(options.path or ":memory:")
+    if kind == "lsm":
+        if not options.path:
+            raise DataStoreError("--store lsm requires --path")
+        return LSMStore(options.path)
     if kind in ("cloud1", "cloud2"):
         profile = CLOUD_STORE_1 if kind == "cloud1" else CLOUD_STORE_2
         return SimulatedCloudStore(profile, time_scale=options.time_scale)
@@ -108,7 +119,8 @@ def parse_store_spec(spec: str) -> KeyValueStore:
     """Build a store from a compact spec: ``kind[,option=value...]``.
 
     Examples: ``memory`` -- ``sql,path=app.db`` -- ``file,path=/var/data``
-    -- ``redis,host=127.0.0.1,port=7379`` -- ``cloud1,time_scale=0.1``.
+    -- ``lsm,path=/var/data/kv.lsm`` -- ``redis,host=127.0.0.1,port=7379``
+    -- ``cloud1,time_scale=0.1``.
     """
     kind, _sep, rest = spec.partition(",")
     options: dict[str, str] = {}
@@ -140,11 +152,12 @@ def parse_sizes(text: str) -> tuple[int, ...]:
 def _add_store_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store",
-        choices=("memory", "file", "sql", "cloud1", "cloud2", "redis"),
+        choices=("memory", "file", "sql", "lsm", "cloud1", "cloud2", "redis"),
         default="memory",
         help="data store to benchmark",
     )
-    parser.add_argument("--path", default=None, help="directory (file) / db path (sql)")
+    parser.add_argument("--path", default=None,
+                        help="directory (file/lsm) / db path (sql)")
     parser.add_argument("--host", default="127.0.0.1", help="redis-store host")
     parser.add_argument("--port", type=int, default=0, help="redis-store port")
     parser.add_argument(
@@ -595,6 +608,35 @@ def cmd_chaos(options: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lsm(options: argparse.Namespace) -> int:
+    """Inspect or compact an on-disk LSM store directory."""
+    store = LSMStore(options.path, auto_compact=False, create=False)
+    try:
+        if options.action == "compact":
+            merged = store.compact()
+            print(f"compacted {merged} tables")
+        stats = store.stats()
+        rows = [
+            ("root", stats["root"]),
+            ("memtable entries", stats["memtable_entries"]),
+            ("memtable bytes", stats["memtable_bytes"]),
+            ("wal segment", stats["wal_segment"]),
+            ("wal bytes", stats["wal_bytes"]),
+            ("sstables", stats["sstables"]),
+            ("sstable records", stats["sstable_records"]),
+            ("sstable bytes", stats["sstable_bytes"]),
+        ]
+        print(format_table(("metric", "value"), rows))
+        if stats["tables"]:
+            print(format_table(
+                ("table", "records", "bytes"),
+                [(t["file"], t["records"], t["bytes"]) for t in stats["tables"]],
+            ))
+    finally:
+        store.close()
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -607,8 +649,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--max-entries", type=int, default=None)
     serve.add_argument("--snapshot", default=None)
-    serve.add_argument("--backend", choices=("cache", "sql"), default="cache")
-    serve.add_argument("--database", default=":memory:")
+    serve.add_argument("--backend", choices=("cache", "sql", "lsm"), default="cache")
+    serve.add_argument("--database", default=":memory:",
+                       help="sqlite path (sql) / data directory (lsm)")
     serve.set_defaults(handler=cmd_serve)
 
     bench = commands.add_parser("bench", help="read/write latency sweep")
@@ -731,6 +774,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_options(chaos)
     chaos.add_argument("--seed", type=int, default=7, help="chaos RNG seed")
     chaos.set_defaults(handler=cmd_chaos)
+
+    lsm = commands.add_parser(
+        "lsm", help="inspect or compact an on-disk LSM store"
+    )
+    lsm.add_argument("action", choices=("stats", "compact"))
+    lsm.add_argument("--path", required=True, help="LSM store directory")
+    lsm.set_defaults(handler=cmd_lsm)
 
     return parser
 

@@ -21,7 +21,14 @@ from .circuit import CircuitBreaker, CircuitBreakerStore, CircuitState
 from .deadline import Deadline, current_deadline, deadline_scope
 from .resilience import ReplicatedStore, RetryingStore
 
+# The LSM engine lives in its own package (repro.lsm) but registers here as
+# a first-class backend alongside the other stores.  Imported last: its
+# modules pull in repro.caching (for the Bloom filter), which in turn reads
+# kv submodules defined above.
+from ..lsm.store import LSMStore
+
 __all__ = [
+    "LSMStore",
     "KeyValueStore",
     "NotModified",
     "NOT_MODIFIED",

@@ -1,0 +1,43 @@
+"""``repro.lsm`` -- an embedded log-structured merge storage engine.
+
+The write-optimized durable backend of the store lineup: an append-only
+CRC-framed write-ahead log, an in-memory memtable, immutable sorted
+SSTable runs with sparse indexes and per-table Bloom filters, and
+size-tiered compaction on an injectable scheduler.  The public entry
+point is :class:`~repro.lsm.store.LSMStore`, a full
+:class:`~repro.kv.interface.KeyValueStore`, so everything written against
+the KV contract -- the enhanced client, the UDSM, migration, the workload
+generator, ``StoreServer`` -- works on it unchanged.
+
+Formats and the recovery procedure are documented in ``docs/lsm.md``.
+"""
+
+from .compaction import (
+    BackgroundScheduler,
+    InlineScheduler,
+    ManualScheduler,
+    SizeTieredPolicy,
+    merge_tables,
+)
+from .memtable import TOMBSTONE, Memtable
+from .sstable import MISSING, SSTable, write_sstable
+from .store import LSMStore
+from .wal import OP_DELETE, OP_PUT, WalRecord, WriteAheadLog
+
+__all__ = [
+    "LSMStore",
+    "WriteAheadLog",
+    "WalRecord",
+    "OP_PUT",
+    "OP_DELETE",
+    "Memtable",
+    "TOMBSTONE",
+    "SSTable",
+    "MISSING",
+    "write_sstable",
+    "SizeTieredPolicy",
+    "merge_tables",
+    "InlineScheduler",
+    "ManualScheduler",
+    "BackgroundScheduler",
+]

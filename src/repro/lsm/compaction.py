@@ -1,0 +1,221 @@
+"""Size-tiered compaction: merging runs so reads stay fast.
+
+Every memtable flush adds one SSTable, and every SSTable is one more file
+a read may have to probe.  Compaction merges several tables of similar
+size into one, reclaiming space held by overwritten values and (when safe)
+tombstones, and keeping the table count -- and therefore worst-case read
+amplification -- bounded.
+
+Policy
+------
+:class:`SizeTieredPolicy` is the classic size-tiered scheme: tables are
+bucketed by size (each bucket spans ``bucket_low``..``bucket_high`` times
+the bucket's average), and any bucket holding at least ``min_tables``
+tables is a merge candidate (largest eligible bucket first, at most
+``max_tables`` per merge).  Newly flushed tables are similar in size, so
+they tier up naturally: four small tables merge into one medium, four
+mediums into one large, and so on.
+
+Tombstone reclamation
+---------------------
+A tombstone can only be dropped when no older run might still hold a
+version of its key -- otherwise the delete would "resurrect" the old
+value.  :func:`merge_tables` therefore drops tombstones only when told the
+merge includes the oldest run in the store.
+
+Schedulers
+----------
+Compaction work is submitted to an injectable scheduler, so the policy is
+decoupled from *where* the work runs:
+
+* :class:`InlineScheduler` -- run in the calling thread, immediately (the
+  default: deterministic, no background machinery);
+* :class:`ManualScheduler` -- queue tasks until :meth:`ManualScheduler.run_pending`
+  is called (tests drive compaction step by step, nothing ever sleeps);
+* :class:`BackgroundScheduler` -- one daemon worker thread fed by a
+  blocking queue (true background compaction; no polling, no sleeps).
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+from typing import Callable, Iterator, Sequence
+
+from ..errors import ConfigurationError
+from .memtable import TOMBSTONE, Tombstone
+from .sstable import SSTable
+
+__all__ = [
+    "SizeTieredPolicy",
+    "merge_tables",
+    "InlineScheduler",
+    "ManualScheduler",
+    "BackgroundScheduler",
+]
+
+
+class SizeTieredPolicy:
+    """Pick which SSTables to merge, by size tier."""
+
+    def __init__(
+        self,
+        *,
+        min_tables: int = 4,
+        max_tables: int = 10,
+        bucket_low: float = 0.5,
+        bucket_high: float = 1.5,
+    ) -> None:
+        if min_tables < 2:
+            raise ConfigurationError("min_tables must be at least 2")
+        if max_tables < min_tables:
+            raise ConfigurationError("max_tables must be >= min_tables")
+        self.min_tables = min_tables
+        self.max_tables = max_tables
+        self.bucket_low = bucket_low
+        self.bucket_high = bucket_high
+
+    def select(self, tables: Sequence[SSTable]) -> list[SSTable]:
+        """Tables to merge now, or ``[]`` when no tier is crowded enough.
+
+        *tables* must be in age order (oldest first); the returned subset
+        preserves that order.
+        """
+        buckets: list[tuple[float, list[SSTable]]] = []  # (avg size, members)
+        for table in sorted(tables, key=lambda t: t.size_bytes):
+            for index, (average, members) in enumerate(buckets):
+                if self.bucket_low * average <= table.size_bytes <= self.bucket_high * average:
+                    members.append(table)
+                    total = average * (len(members) - 1) + table.size_bytes
+                    buckets[index] = (total / len(members), members)
+                    break
+            else:
+                buckets.append((float(table.size_bytes), [table]))
+        crowded = [members for _avg, members in buckets if len(members) >= self.min_tables]
+        if not crowded:
+            return []
+        members = max(crowded, key=len)[: self.max_tables]
+        chosen = set(id(table) for table in members)
+        return [table for table in tables if id(table) in chosen]
+
+
+def merge_tables(
+    tables: Sequence[SSTable], *, drop_tombstones: bool
+) -> Iterator[tuple[bytes, "bytes | Tombstone"]]:
+    """K-way merge of *tables* (oldest first) into one sorted entry stream.
+
+    For duplicate keys the entry from the newest table wins.  Tombstones
+    pass through unless *drop_tombstones* is true, which is only safe when
+    the merge includes the store's oldest run (nothing below could still
+    hold a shadowed version).
+    """
+    # Heap entries: (key, -age, generator). Newer tables get a smaller
+    # second element, so for equal keys the newest source pops first and
+    # older duplicates are skipped.
+    iterators = [iter(table.items()) for table in tables]
+    heap: list[tuple[bytes, int, Iterator]] = []
+    for age, iterator in enumerate(iterators):
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(heap, (first[0], -age, first[1], iterator))  # type: ignore[arg-type]
+    previous: bytes | None = None
+    while heap:
+        key, neg_age, value, iterator = heapq.heappop(heap)  # type: ignore[misc]
+        following = next(iterator, None)
+        if following is not None:
+            heapq.heappush(heap, (following[0], neg_age, following[1], iterator))  # type: ignore[arg-type]
+        if key == previous:
+            continue  # an older table's version of a key already emitted
+        previous = key
+        if isinstance(value, Tombstone):
+            if not drop_tombstones:
+                yield key, TOMBSTONE
+            continue
+        yield key, value
+
+
+# ----------------------------------------------------------------------
+# Schedulers
+# ----------------------------------------------------------------------
+class InlineScheduler:
+    """Run submitted work immediately in the calling thread."""
+
+    def submit(self, task: Callable[[], None]) -> None:
+        task()
+
+    def pending(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        return None
+
+
+class ManualScheduler:
+    """Queue submitted work until :meth:`run_pending` is called.
+
+    The test harness's scheduler: flushes and compactions happen exactly
+    when the test says so, and nothing ever sleeps.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: list[Callable[[], None]] = []
+
+    def submit(self, task: Callable[[], None]) -> None:
+        self._tasks.append(task)
+
+    def pending(self) -> int:
+        return len(self._tasks)
+
+    def run_pending(self) -> int:
+        """Run every queued task (tasks queued *by* tasks run too)."""
+        executed = 0
+        while self._tasks:
+            task = self._tasks.pop(0)
+            task()
+            executed += 1
+        return executed
+
+    def close(self) -> None:
+        self._tasks.clear()
+
+
+class BackgroundScheduler:
+    """One daemon worker draining a blocking queue -- no polling, no sleeps."""
+
+    def __init__(self, name: str = "lsm-compaction") -> None:
+        self._queue: "queue.Queue[Callable[[], None] | None]" = queue.Queue()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._worker = threading.Thread(target=self._run, name=name, daemon=True)
+        self._worker.start()
+
+    def _run(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is None:
+                return
+            self._idle.clear()
+            try:
+                task()
+            except Exception:  # noqa: BLE001 - background task; store logs via events
+                pass
+            finally:
+                if self._queue.unfinished_tasks <= 1:
+                    self._idle.set()
+                self._queue.task_done()
+
+    def submit(self, task: Callable[[], None]) -> None:
+        self._idle.clear()
+        self._queue.put(task)
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until queued work is done (True) or *timeout* elapses."""
+        return self._idle.wait(timeout)
+
+    def close(self) -> None:
+        self._queue.put(None)
+        self._worker.join(timeout=5.0)

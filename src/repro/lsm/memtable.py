@@ -1,0 +1,100 @@
+"""The memtable: recent writes, in memory, sorted on demand.
+
+Every mutation lands here (after its WAL append).  Reads consult the
+memtable first because it always holds the newest version of a key.  When
+the table grows past the store's ``memtable_bytes`` budget it is sealed --
+made immutable -- and flushed to an SSTable, after which its WAL segment
+can be deleted.
+
+Deletes are recorded as :data:`TOMBSTONE` markers rather than removals:
+an older version of the key may live in an SSTable below, and only the
+tombstone masks it.  Tombstones survive the flush into SSTables and are
+dropped only by a compaction that can prove no older run remains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["TOMBSTONE", "Tombstone", "Memtable"]
+
+
+class Tombstone:
+    """Singleton marker for a deleted key (distinct from any value bytes)."""
+
+    _instance: "Tombstone | None" = None
+
+    def __new__(cls) -> "Tombstone":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<TOMBSTONE>"
+
+
+#: The one tombstone marker used throughout the engine.
+TOMBSTONE = Tombstone()
+
+#: Fixed per-entry overhead charged against the memtable's byte budget
+#: (dict slot, object headers); keeps tiny-value workloads from growing
+#: the table unboundedly before tripping the flush threshold.
+ENTRY_OVERHEAD = 64
+
+
+class Memtable:
+    """A mutable map of key bytes to value bytes or :data:`TOMBSTONE`.
+
+    Backed by a plain dict (O(1) point ops); :meth:`items` sorts on demand,
+    which is where the "sorted run" the SSTable needs comes from.  The
+    owning store serializes access.
+    """
+
+    __slots__ = ("_entries", "_bytes")
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, bytes | Tombstone] = {}
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        self._account(key, self._entries.get(key))
+        self._entries[key] = value
+        self._bytes += len(key) + len(value) + ENTRY_OVERHEAD
+
+    def delete(self, key: bytes) -> None:
+        """Record a tombstone for *key* (even if the key was never here)."""
+        self._account(key, self._entries.get(key))
+        self._entries[key] = TOMBSTONE
+        self._bytes += len(key) + ENTRY_OVERHEAD
+
+    def _account(self, key: bytes, previous: "bytes | Tombstone | None") -> None:
+        if previous is None:
+            return
+        size = 0 if isinstance(previous, Tombstone) else len(previous)
+        self._bytes -= len(key) + size + ENTRY_OVERHEAD
+
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> "bytes | Tombstone | None":
+        """Value bytes, :data:`TOMBSTONE`, or ``None`` when never seen."""
+        return self._entries.get(key)
+
+    def items(self) -> Iterator[tuple[bytes, "bytes | Tombstone"]]:
+        """Entries in key order (tombstones included) -- the flush feed."""
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
+
+    # ------------------------------------------------------------------
+    @property
+    def approximate_bytes(self) -> int:
+        """Byte budget consumed (keys + values + per-entry overhead)."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<Memtable entries={len(self._entries)} bytes={self._bytes}>"

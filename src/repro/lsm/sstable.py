@@ -1,0 +1,260 @@
+"""Immutable sorted-string tables: the on-disk runs of the LSM engine.
+
+An SSTable is written once (by a memtable flush or a compaction merge),
+read many times, and never modified; deletion is the only mutation.  That
+immutability is what makes the engine's concurrency cheap: readers need no
+locks against writers, only a stable file descriptor.
+
+File layout (little-endian; diagrams in ``docs/lsm.md``)::
+
+    +--------------------------------------------------------------+
+    | magic "LSMSST01"                                             |
+    | data block:  record*                                         |
+    |   record = key_len u32 | value_len u32 | key | value         |
+    |            (value_len == 0xFFFFFFFF marks a tombstone)       |
+    | sparse index: count u32, then every Nth record's             |
+    |   key_len u32 | key | file_offset u64                        |
+    | bloom block: BloomFilter.to_bytes() payload                  |
+    | footer: index_off u64 | bloom_off u64 | record_count u64     |
+    |         | magic "LSMSST01"                                   |
+    +--------------------------------------------------------------+
+
+Records are sorted by key bytes.  The sparse index holds one entry per
+``index_interval`` records (plus always the first), so a point read seeks
+to the greatest indexed key <= target and scans at most ``index_interval``
+records.  The per-table Bloom filter (reused from
+:mod:`repro.caching.bloom`) lets the read path skip tables that definitely
+do not hold the key -- the difference between O(tables) file probes per
+miss and near-zero.
+
+Reads use ``os.pread`` so concurrent readers never contend on a shared
+file position.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+from bisect import bisect_right
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..caching.bloom import BloomFilter
+from ..errors import DataStoreError
+from .memtable import TOMBSTONE, Tombstone
+
+__all__ = ["MISSING", "SSTable", "write_sstable"]
+
+_MAGIC = b"LSMSST01"
+_U32 = struct.Struct("<I")
+_RECORD = struct.Struct("<II")            # key_len, value_len
+_INDEX_ENTRY_TAIL = struct.Struct("<Q")   # file offset
+_FOOTER = struct.Struct("<QQQ8s")         # index_off, bloom_off, records, magic
+_TOMBSTONE_LEN = 0xFFFFFFFF
+
+
+class _Missing:
+    """Singleton: the table holds no entry (live or tombstone) for a key."""
+
+    _instance: "_Missing | None" = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<MISSING>"
+
+
+#: Returned by :meth:`SSTable.get` when the key is not in the table at all.
+MISSING = _Missing()
+
+
+def write_sstable(
+    path: str | os.PathLike[str],
+    entries: Iterable[tuple[bytes, "bytes | Tombstone"]],
+    *,
+    index_interval: int = 16,
+    bloom_fp_rate: float = 0.01,
+    expected_items: int | None = None,
+    fsync: bool = False,
+) -> Path:
+    """Write *entries* (sorted by key, tombstones included) as one SSTable.
+
+    The table is written to a temp file in the same directory and renamed
+    into place, so a crash mid-write never leaves a half table where the
+    engine would look for one.  Returns the final path.
+    """
+    path = Path(path)
+    entries = list(entries)
+    if any(entries[i][0] >= entries[i + 1][0] for i in range(len(entries) - 1)):
+        raise DataStoreError("SSTable entries must be strictly sorted by key")
+    bloom = BloomFilter(
+        expected_items if expected_items is not None else max(1, len(entries)),
+        bloom_fp_rate,
+    )
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".sst.tmp")
+    try:
+        with os.fdopen(fd, "wb") as out:
+            out.write(_MAGIC)
+            offset = len(_MAGIC)
+            index: list[tuple[bytes, int]] = []
+            for position, (key, value) in enumerate(entries):
+                if position % index_interval == 0:
+                    index.append((key, offset))
+                bloom.add(key)
+                if isinstance(value, Tombstone):
+                    frame = _RECORD.pack(len(key), _TOMBSTONE_LEN) + key
+                else:
+                    frame = _RECORD.pack(len(key), len(value)) + key + value
+                out.write(frame)
+                offset += len(frame)
+            index_off = offset
+            out.write(_U32.pack(len(index)))
+            for key, record_offset in index:
+                out.write(_U32.pack(len(key)) + key + _INDEX_ENTRY_TAIL.pack(record_offset))
+            bloom_off = out.tell()
+            out.write(bloom.to_bytes())
+            out.write(_FOOTER.pack(index_off, bloom_off, len(entries), _MAGIC))
+            out.flush()
+            if fsync:
+                os.fsync(out.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+class SSTable:
+    """Read-only view over one on-disk table.
+
+    The sparse index and Bloom filter live in memory; record data is read
+    on demand with ``pread`` (no shared file position, so concurrent reads
+    need no lock).
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self._fd = os.open(self.path, os.O_RDONLY)
+        try:
+            self.size_bytes = os.fstat(self._fd).st_size
+            if self.size_bytes < len(_MAGIC) + _FOOTER.size:
+                raise DataStoreError(f"SSTable {self.path} is truncated")
+            footer = os.pread(self._fd, _FOOTER.size, self.size_bytes - _FOOTER.size)
+            index_off, bloom_off, self.record_count, magic = _FOOTER.unpack(footer)
+            head = os.pread(self._fd, len(_MAGIC), 0)
+            if magic != _MAGIC or head != _MAGIC:
+                raise DataStoreError(f"{self.path} is not an SSTable (bad magic)")
+            index_blob = os.pread(self._fd, bloom_off - index_off, index_off)
+            self._index_keys, self._index_offsets = self._parse_index(index_blob)
+            bloom_blob = os.pread(
+                self._fd, self.size_bytes - _FOOTER.size - bloom_off, bloom_off
+            )
+            self.bloom = BloomFilter.from_bytes(bloom_blob)
+            self._data_end = index_off
+        except BaseException:
+            os.close(self._fd)
+            raise
+
+    @staticmethod
+    def _parse_index(blob: bytes) -> tuple[list[bytes], list[int]]:
+        (count,) = _U32.unpack_from(blob, 0)
+        keys: list[bytes] = []
+        offsets: list[int] = []
+        cursor = _U32.size
+        for _ in range(count):
+            (key_len,) = _U32.unpack_from(blob, cursor)
+            cursor += _U32.size
+            keys.append(blob[cursor : cursor + key_len])
+            cursor += key_len
+            (record_offset,) = _INDEX_ENTRY_TAIL.unpack_from(blob, cursor)
+            cursor += _INDEX_ENTRY_TAIL.size
+            offsets.append(record_offset)
+        return keys, offsets
+
+    # ------------------------------------------------------------------
+    def might_contain(self, key: bytes) -> bool:
+        """Bloom gate: False means the key is definitely not in this table."""
+        return self.bloom.might_contain(key)
+
+    def get(self, key: bytes) -> "bytes | Tombstone | _Missing":
+        """Point lookup: value bytes, :data:`TOMBSTONE`, or :data:`MISSING`."""
+        if not self._index_keys or key < self._index_keys[0]:
+            return MISSING
+        slot = bisect_right(self._index_keys, key) - 1
+        offset = self._index_offsets[slot]
+        stop = (
+            self._index_offsets[slot + 1]
+            if slot + 1 < len(self._index_offsets)
+            else self._data_end
+        )
+        for record_key, value, _next_offset in self._scan(offset, stop):
+            if record_key == key:
+                return value
+            if record_key > key:
+                break
+        return MISSING
+
+    # ------------------------------------------------------------------
+    def _scan(
+        self, offset: int, stop: int
+    ) -> Iterator[tuple[bytes, "bytes | Tombstone", int]]:
+        """Yield ``(key, value, next_offset)`` for records in [offset, stop)."""
+        while offset < stop:
+            header = os.pread(self._fd, _RECORD.size, offset)
+            key_len, value_len = _RECORD.unpack(header)
+            if value_len == _TOMBSTONE_LEN:
+                body = os.pread(self._fd, key_len, offset + _RECORD.size)
+                offset += _RECORD.size + key_len
+                yield body, TOMBSTONE, offset
+            else:
+                body = os.pread(self._fd, key_len + value_len, offset + _RECORD.size)
+                offset += _RECORD.size + key_len + value_len
+                yield body[:key_len], body[key_len:], offset
+
+    def items(self) -> Iterator[tuple[bytes, "bytes | Tombstone"]]:
+        """Every record in key order (tombstones included)."""
+        for key, value, _next in self._scan(len(_MAGIC), self._data_end):
+            yield key, value
+
+    def items_from(self, start: bytes) -> Iterator[tuple[bytes, "bytes | Tombstone"]]:
+        """Records with ``key >= start`` in key order (sparse-index seek)."""
+        if not self._index_keys:
+            return
+        slot = max(0, bisect_right(self._index_keys, start) - 1)
+        for key, value, _next in self._scan(self._index_offsets[slot], self._data_end):
+            if key >= start:
+                yield key, value
+
+    # ------------------------------------------------------------------
+    @property
+    def min_key(self) -> bytes | None:
+        return self._index_keys[0] if self._index_keys else None
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def unlink(self) -> None:
+        """Close and remove the table file (after compaction replaced it)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __len__(self) -> int:
+        return self.record_count
+
+    def __repr__(self) -> str:
+        return (
+            f"<SSTable path={self.path.name!r} records={self.record_count} "
+            f"bytes={self.size_bytes}>"
+        )

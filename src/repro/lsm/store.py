@@ -1,0 +1,571 @@
+r"""`LSMStore`: the log-structured merge engine behind the KV contract.
+
+The backend lineup had a hole: :class:`~repro.kv.memory.InMemoryStore` is
+fast but volatile, :class:`~repro.kv.filesystem.FileSystemStore` and
+:class:`~repro.kv.sqlstore.SQLStore` are durable but pay a file create or
+a SQL commit *per write*.  An LSM engine closes the gap the way real
+write-optimized stores (LevelDB, RocksDB, Cassandra) do: every write is
+one sequential append to a write-ahead log plus one dict update, and the
+expensive work -- sorting, file layout, merging -- happens later, in
+batches.
+
+Write path::
+
+    put(k, v) --> WAL append (durability) --> memtable (visibility)
+                                   \-- memtable full? seal it, flush to an
+                                       SSTable, delete its WAL segment
+
+Read path (newest wins, first hit returns)::
+
+    memtable --> sealed memtables --> SSTables newest-to-oldest
+                                      (per-table Bloom filter gates
+                                       each file probe)
+
+Deletes write tombstones; compaction (size-tiered, see
+:mod:`repro.lsm.compaction`) merges tables and reclaims overwritten
+values and provably-dead tombstones.  Crash recovery replays the WAL --
+including truncating a torn tail back to the last intact record -- so
+every acknowledged write survives; the procedure and the on-disk formats
+are documented in ``docs/lsm.md``.
+
+Observability: `lsm.wal.appends`, `lsm.memtable.flushes`, `lsm.sstables`
+(gauge), `lsm.compactions`, `lsm.read.level_hits.<level>` metrics plus
+`lsm_flush` / `lsm_compact` / `lsm_recovery` journal events (see
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from heapq import heappop, heappush
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from ..errors import ConfigurationError, DataStoreError, KeyNotFoundError, StoreClosedError
+from ..kv.interface import KeyValueStore, content_version
+from ..obs import Observability, resolve_obs
+from ..serialization import Serializer, default_serializer
+from .compaction import InlineScheduler, SizeTieredPolicy, merge_tables
+from .memtable import Memtable, Tombstone
+from .sstable import MISSING, SSTable, write_sstable
+from .wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+__all__ = ["LSMStore"]
+
+_SST_NAME = re.compile(r"^(\d{6})-(\d{3})\.sst$")
+_WAL_NAME = re.compile(r"^wal-(\d{6})\.log$")
+
+
+def _encode_key(key: str) -> bytes:
+    return key.encode("utf-8", errors="surrogateescape")
+
+
+def _decode_key(raw: bytes) -> str:
+    return raw.decode("utf-8", errors="surrogateescape")
+
+
+class LSMStore(KeyValueStore):
+    """Embedded log-structured merge store (WAL + memtable + SSTables)."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        name: str = "lsm",
+        *,
+        serializer: Serializer | None = None,
+        memtable_bytes: int = 4 * 1024 * 1024,
+        index_interval: int = 16,
+        bloom_fp_rate: float = 0.01,
+        policy: SizeTieredPolicy | None = None,
+        scheduler: Any | None = None,
+        auto_compact: bool = True,
+        fsync: bool = False,
+        clock: Callable[[], float] | None = None,
+        create: bool = True,
+        obs: Observability | None = None,
+    ) -> None:
+        """Open (and by default create) an LSM store rooted at *root*.
+
+        :param memtable_bytes: seal and flush the memtable beyond this
+            budget (keys + values + per-entry overhead).
+        :param index_interval: one sparse-index entry per this many SSTable
+            records (lookup scans at most this many records after a seek).
+        :param bloom_fp_rate: per-table Bloom filter false-positive rate.
+        :param policy: size-tiered compaction policy (default: merge when
+            a size tier holds 4 tables).
+        :param scheduler: where flush/compaction work runs -- any object
+            with ``submit(fn)``; defaults to
+            :class:`~repro.lsm.compaction.InlineScheduler` (runs in the
+            writing thread).  Use ``ManualScheduler`` in tests or
+            ``BackgroundScheduler`` for true background work.
+        :param auto_compact: consult the policy after every flush.
+        :param fsync: fsync the WAL on every append (durable against OS
+            crashes, not just process crashes; slower).
+        :param clock: monotonic clock used to time flushes/compactions for
+            the journal (injectable so tests are deterministic).
+        :param obs: observability bundle (metrics + journal events).
+        """
+        if memtable_bytes < 1:
+            raise ConfigurationError("memtable_bytes must be positive")
+        if index_interval < 1:
+            raise ConfigurationError("index_interval must be positive")
+        self.name = name
+        self._root = Path(root)
+        self._serializer = serializer if serializer is not None else default_serializer()
+        self._memtable_bytes = memtable_bytes
+        self._index_interval = index_interval
+        self._bloom_fp_rate = bloom_fp_rate
+        self._policy = policy if policy is not None else SizeTieredPolicy()
+        self._scheduler = scheduler if scheduler is not None else InlineScheduler()
+        self._owns_scheduler = scheduler is None
+        self._auto_compact = auto_compact
+        self._fsync = fsync
+        self._clock = clock if clock is not None else time.monotonic
+        self.obs = resolve_obs(obs)
+        self._lock = threading.RLock()
+        self._closed = False
+        self._compacting = False
+        self._tables: list[SSTable] = []      # oldest first
+        self._retired: list[SSTable] = []     # unlinked, kept open for readers
+        self._immutables: list[tuple[Memtable, WriteAheadLog, int]] = []
+        if create:
+            self._root.mkdir(parents=True, exist_ok=True)
+        elif not self._root.is_dir():
+            raise DataStoreError(f"store root {self._root} does not exist")
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Open / recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Open existing SSTables, replay WAL segments, repair torn tails.
+
+        Replayed mutations are flushed straight to a fresh SSTable (so the
+        recovered state is immediately durable), the old WAL segments are
+        deleted, and a new empty WAL becomes active.
+        """
+        for path in sorted(self._root.iterdir()):
+            match = _SST_NAME.match(path.name)
+            if match is None:
+                continue
+            table = SSTable(path)
+            table.seq = int(match.group(1))  # type: ignore[attr-defined]
+            table.gen = int(match.group(2))  # type: ignore[attr-defined]
+            self._tables.append(table)
+        self._tables.sort(key=lambda t: (t.seq, t.gen))  # type: ignore[attr-defined]
+        next_seq = 1 + max(
+            [t.seq for t in self._tables]  # type: ignore[attr-defined]
+            + [0],
+        )
+
+        wal_paths = sorted(
+            (path for path in self._root.iterdir() if _WAL_NAME.match(path.name)),
+            key=lambda p: int(_WAL_NAME.match(p.name).group(1)),  # type: ignore[union-attr]
+        )
+        replayed = Memtable()
+        records = 0
+        torn = False
+        discarded = 0
+        for path in wal_paths:
+            replay = WriteAheadLog.replay(path)
+            next_seq = max(next_seq, int(_WAL_NAME.match(path.name).group(1)) + 1)  # type: ignore[union-attr]
+            records += len(replay.records)
+            torn = torn or replay.torn
+            discarded += replay.discarded_bytes
+            for record in replay.records:
+                if record.op == OP_PUT:
+                    replayed.put(record.key, record.value)
+                elif record.op == OP_DELETE:
+                    replayed.delete(record.key)
+        if replayed:
+            self._write_table(replayed, next_seq, 0)
+            next_seq += 1
+        for path in wal_paths:
+            path.unlink()
+        if wal_paths and (records or torn):
+            self.obs.emit(
+                "lsm_recovery",
+                store=self.name,
+                records=records,
+                wal_segments=len(wal_paths),
+                torn_tail=torn,
+                discarded_bytes=discarded,
+            )
+
+        self._memtable = Memtable()
+        self._wal_seq = next_seq
+        self._wal = WriteAheadLog(self._wal_path(next_seq), fsync=self._fsync)
+        self._sync_table_gauge()
+
+    def _wal_path(self, seq: int) -> Path:
+        return self._root / f"wal-{seq:06d}.log"
+
+    def _sst_path(self, seq: int, gen: int) -> Path:
+        return self._root / f"{seq:06d}-{gen:03d}.sst"
+
+    def _sync_table_gauge(self) -> None:
+        if self.obs.enabled:
+            self.obs.gauge("lsm.sstables").set(len(self._tables))
+
+    # ------------------------------------------------------------------
+    # KV contract: primitives
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"store {self.name!r} is closed")
+
+    def get(self, key: str) -> Any:
+        return self._serializer.loads(self._read_payload(_encode_key(key), key))
+
+    def get_with_version(self, key: str) -> tuple[Any, str]:
+        payload = self._read_payload(_encode_key(key), key)
+        return self._serializer.loads(payload), content_version(payload)
+
+    def put(self, key: str, value: Any) -> None:
+        self.put_with_version(key, value)
+
+    def put_with_version(self, key: str, value: Any) -> str:
+        payload = self._serializer.dumps(value)
+        raw = _encode_key(key)
+        with self._lock:
+            self._check_open()
+            written = self._wal.append_put(raw, payload)
+            self._memtable.put(raw, payload)
+            if self.obs.enabled:
+                self.obs.inc("lsm.wal.appends")
+                self.obs.inc("lsm.wal.bytes", written)
+            self._maybe_seal()
+        return content_version(payload)
+
+    def delete(self, key: str) -> bool:
+        raw = _encode_key(key)
+        with self._lock:
+            self._check_open()
+            existed = self._probe(raw) is not None
+            written = self._wal.append_delete(raw)
+            self._memtable.delete(raw)
+            if self.obs.enabled:
+                self.obs.inc("lsm.wal.appends")
+                self.obs.inc("lsm.wal.bytes", written)
+            self._maybe_seal()
+        return existed
+
+    def keys(self) -> Iterator[str]:
+        return (
+            _decode_key(raw) for raw, _payload in self._merged_entries()
+        )
+
+    def keys_with_prefix(self, prefix: str) -> Iterator[str]:
+        """Prefix scan by seeking every sorted run to *prefix* (no full scan)."""
+        raw = _encode_key(prefix)
+        return (
+            _decode_key(key) for key, _payload in self._merged_entries(prefix=raw)
+        )
+
+    def contains(self, key: str) -> bool:
+        try:
+            self._read_payload(_encode_key(key), key)
+        except KeyNotFoundError:
+            return False
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._owns_scheduler:
+            self._scheduler.close()
+        with self._lock:
+            self._wal.close()
+            for memtable, wal, _seq in self._immutables:
+                wal.close()
+            self._immutables.clear()
+            for table in self._tables + self._retired:
+                table.close()
+            self._tables.clear()
+            self._retired.clear()
+
+    def native(self) -> Path:
+        """The data directory (WAL segments and SSTable files live here)."""
+        return self._root
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _probe(self, raw: bytes) -> "bytes | None":
+        """Newest-wins lookup; ``None`` means absent (or tombstoned).
+
+        Caller holds no lock: the table list is snapshotted under the lock
+        and every snapshotted structure is immutable or append-only.
+        """
+        with self._lock:
+            self._check_open()
+            found = self._memtable.get(raw)
+            if found is not None:
+                self._count_hit("memtable")
+                return None if isinstance(found, Tombstone) else found
+            for memtable, _wal, _seq in reversed(self._immutables):
+                found = memtable.get(raw)
+                if found is not None:
+                    self._count_hit("immutable")
+                    return None if isinstance(found, Tombstone) else found
+            tables = list(self._tables)
+        for table in reversed(tables):
+            if not table.might_contain(raw):
+                continue
+            found = table.get(raw)
+            if found is not MISSING:
+                self._count_hit("sstable")
+                return None if isinstance(found, Tombstone) else found
+        if self.obs.enabled:
+            self.obs.inc("lsm.read.misses")
+        return None
+
+    def _count_hit(self, level: str) -> None:
+        if self.obs.enabled:
+            self.obs.inc(f"lsm.read.level_hits.{level}")
+
+    def _read_payload(self, raw: bytes, key: str) -> bytes:
+        payload = self._probe(raw)
+        if payload is None:
+            raise KeyNotFoundError(key, self.name)
+        return payload
+
+    def _merged_entries(
+        self, prefix: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Live ``(key, payload)`` pairs in key order across every level.
+
+        K-way heap merge over the sorted runs; for duplicate keys the
+        newest source wins and tombstones suppress everything older.
+        """
+        with self._lock:
+            self._check_open()
+            sources: list[Iterator[tuple[bytes, "bytes | Tombstone"]]] = [
+                table.items() if prefix is None else table.items_from(prefix)
+                for table in self._tables
+            ]
+            for memtable, _wal, _seq in self._immutables:
+                sources.append(iter(list(memtable.items())))
+            sources.append(iter(list(self._memtable.items())))
+        # Heap entries: (key, -source_age, value, iterator); bigger source
+        # index = newer source, so for equal keys the newest pops first.
+        heap: list = []
+        for age, iterator in enumerate(sources):
+            entry = next(iterator, None)
+            if entry is not None:
+                heappush(heap, (entry[0], -age, entry[1], iterator))
+        previous: bytes | None = None
+        while heap:
+            key, neg_age, value, iterator = heappop(heap)
+            entry = next(iterator, None)
+            if entry is not None:
+                heappush(heap, (entry[0], neg_age, entry[1], iterator))
+            if key == previous:
+                continue
+            if prefix is not None and not key.startswith(prefix):
+                if key > prefix:
+                    break  # sorted: nothing after can match the prefix
+                continue
+            previous = key
+            if isinstance(value, Tombstone):
+                continue
+            yield key, value
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+    def _maybe_seal(self) -> None:
+        """Seal the memtable once it outgrows its budget (caller holds lock)."""
+        if self._memtable.approximate_bytes < self._memtable_bytes:
+            return
+        self._seal_and_schedule()
+
+    def _seal_and_schedule(self) -> None:
+        if not self._memtable:
+            return
+        sealed = self._memtable
+        sealed_wal = self._wal
+        sealed_seq = self._wal_seq
+        self._immutables.append((sealed, sealed_wal, sealed_seq))
+        self._memtable = Memtable()
+        self._wal_seq += 1
+        self._wal = WriteAheadLog(self._wal_path(self._wal_seq), fsync=self._fsync)
+        self._scheduler.submit(lambda: self._flush_one(sealed, sealed_wal, sealed_seq))
+
+    def flush(self) -> None:
+        """Seal the current memtable and flush every sealed table now.
+
+        With the default inline scheduler this returns once the data is in
+        SSTables; with a deferred scheduler it queues the work.
+        """
+        with self._lock:
+            self._check_open()
+            self._seal_and_schedule()
+
+    def _flush_one(self, sealed: Memtable, wal: WriteAheadLog, seq: int) -> None:
+        started = self._clock()
+        table = self._write_table(sealed, seq, 0)
+        with self._lock:
+            if self._closed:
+                table.close()
+                return
+            self._immutables = [
+                entry for entry in self._immutables if entry[0] is not sealed
+            ]
+            self._sync_table_gauge()
+        wal.unlink()
+        if self.obs.enabled:
+            self.obs.inc("lsm.memtable.flushes")
+            self.obs.observe("lsm.flush.seconds", self._clock() - started)
+        self.obs.emit(
+            "lsm_flush",
+            store=self.name,
+            entries=len(sealed),
+            bytes=sealed.approximate_bytes,
+            sstable=table.path.name,
+        )
+        if self._auto_compact:
+            self.maybe_compact()
+
+    def _write_table(self, memtable: Memtable, seq: int, gen: int) -> SSTable:
+        """Write a memtable as an SSTable and splice it into the table list."""
+        path = write_sstable(
+            self._sst_path(seq, gen),
+            memtable.items(),
+            index_interval=self._index_interval,
+            bloom_fp_rate=self._bloom_fp_rate,
+            fsync=self._fsync,
+        )
+        table = SSTable(path)
+        table.seq = seq  # type: ignore[attr-defined]
+        table.gen = gen  # type: ignore[attr-defined]
+        with self._lock:
+            self._tables.append(table)
+            self._tables.sort(key=lambda t: (t.seq, t.gen))  # type: ignore[attr-defined]
+        return table
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def maybe_compact(self) -> bool:
+        """Ask the policy for a merge; schedule it if one is due."""
+        with self._lock:
+            self._check_open()
+            if self._compacting:
+                return False
+            selected = self._policy.select(self._tables)
+            if not selected:
+                return False
+            self._compacting = True
+        self._scheduler.submit(lambda: self._compact_tables(selected))
+        return True
+
+    def compact(self) -> int:
+        """Force a full merge of every SSTable (flushing the memtable first).
+
+        Returns the number of tables merged.  The output is a single run
+        with every overwritten value and every tombstone reclaimed.
+        """
+        self.flush()
+        with self._lock:
+            self._check_open()
+            if self._compacting or len(self._tables) < 2:
+                return 0
+            selected = list(self._tables)
+            self._compacting = True
+        self._scheduler.submit(lambda: self._compact_tables(selected))
+        return len(selected)
+
+    def _compact_tables(self, selected: list[SSTable]) -> None:
+        started = self._clock()
+        try:
+            with self._lock:
+                if self._closed:
+                    return
+                # Tombstones can be reclaimed only when nothing older than
+                # the merge output survives below it: the inputs must be a
+                # contiguous prefix of the age order.
+                drop = selected == self._tables[: len(selected)]
+                newest = selected[-1]
+                gen = 1 + max(t.gen for t in selected)  # type: ignore[attr-defined]
+                seq = newest.seq  # type: ignore[attr-defined]
+            entries = list(merge_tables(selected, drop_tombstones=drop))
+            output: SSTable | None = None
+            if entries:
+                path = write_sstable(
+                    self._sst_path(seq, gen),
+                    entries,
+                    index_interval=self._index_interval,
+                    bloom_fp_rate=self._bloom_fp_rate,
+                    fsync=self._fsync,
+                )
+                output = SSTable(path)
+                output.seq = seq  # type: ignore[attr-defined]
+                output.gen = gen  # type: ignore[attr-defined]
+            with self._lock:
+                if self._closed:
+                    if output is not None:
+                        output.close()
+                    return
+                survivors = [t for t in self._tables if t not in selected]
+                if output is not None:
+                    survivors.append(output)
+                    survivors.sort(key=lambda t: (t.seq, t.gen))  # type: ignore[attr-defined]
+                self._tables = survivors
+                for table in selected:
+                    # Unlink now, but keep the descriptor open: a reader
+                    # holding a pre-swap snapshot may still be scanning it.
+                    table.path.unlink(missing_ok=True)
+                    self._retired.append(table)
+                self._sync_table_gauge()
+            if self.obs.enabled:
+                self.obs.inc("lsm.compactions")
+                self.obs.observe("lsm.compaction.seconds", self._clock() - started)
+            self.obs.emit(
+                "lsm_compact",
+                store=self.name,
+                inputs=len(selected),
+                input_bytes=sum(t.size_bytes for t in selected),
+                output=output.path.name if output is not None else None,
+                records=len(entries),
+                tombstones_dropped=drop,
+            )
+        finally:
+            with self._lock:
+                self._compacting = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Engine internals for the CLI and the monitoring plane."""
+        with self._lock:
+            self._check_open()
+            tables = list(self._tables)
+            return {
+                "root": str(self._root),
+                "memtable_entries": len(self._memtable),
+                "memtable_bytes": self._memtable.approximate_bytes,
+                "immutable_memtables": len(self._immutables),
+                "wal_bytes": self._wal.size_bytes,
+                "wal_segment": self._wal.path.name,
+                "sstables": len(tables),
+                "sstable_records": sum(t.record_count for t in tables),
+                "sstable_bytes": sum(t.size_bytes for t in tables),
+                "pending_tasks": self._scheduler.pending(),
+                "tables": [
+                    {
+                        "file": t.path.name,
+                        "records": t.record_count,
+                        "bytes": t.size_bytes,
+                    }
+                    for t in tables
+                ],
+            }
+
+    def __repr__(self) -> str:
+        return f"<LSMStore name={self.name!r} root={str(self._root)!r}>"

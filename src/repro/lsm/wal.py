@@ -1,0 +1,170 @@
+"""Write-ahead log: the durability backbone of the LSM engine.
+
+Every mutation (put or delete) is appended here *before* it is applied to
+the in-memory memtable, so an acknowledged write survives a crash: on the
+next open the log is replayed into a fresh memtable.  The log is the only
+file the engine ever appends to in place; SSTables are immutable once
+written.
+
+Record framing (little-endian, see ``docs/lsm.md``)::
+
+    +----------+----------+--------------------------------------+
+    | crc32 u32| len  u32 | payload (len bytes)                  |
+    +----------+----------+--------------------------------------+
+    payload = op u8 | key_len u32 | key bytes | value bytes
+
+``op`` is 0 for a put and 1 for a delete (deletes carry no value bytes).
+The CRC covers the payload only, so a torn header, a torn payload, and a
+bit-flipped payload are all detected the same way: the record fails its
+frame check and replay stops there.
+
+Torn-tail recovery
+------------------
+A crash mid-append leaves a prefix of a record at the end of the file.
+:func:`WriteAheadLog.replay` reads records until the first frame that is
+incomplete or fails its CRC, returns every record before it plus the byte
+offset of the valid prefix, and flags whether anything was discarded.  The
+store truncates the file back to that offset on open, which is exactly the
+set of writes that were ever acknowledged (an append returns only after
+the full frame is written).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, NamedTuple
+
+from ..errors import StoreClosedError
+
+__all__ = ["OP_PUT", "OP_DELETE", "WalRecord", "WalReplay", "WriteAheadLog"]
+
+#: Operation tags inside a WAL payload.
+OP_PUT = 0
+OP_DELETE = 1
+
+_HEADER = struct.Struct("<II")  # crc32, payload length
+_PREFIX = struct.Struct("<BI")  # op, key length
+
+
+class WalRecord(NamedTuple):
+    """One replayed mutation."""
+
+    op: int
+    key: bytes
+    value: bytes
+
+
+class WalReplay(NamedTuple):
+    """Everything :meth:`WriteAheadLog.replay` learned about a log file."""
+
+    records: list[WalRecord]
+    valid_length: int      # byte offset of the last complete record's end
+    torn: bool             # True when trailing bytes had to be discarded
+    discarded_bytes: int   # how many trailing bytes were invalid
+
+
+def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
+    """Frame one mutation as an append-ready byte string."""
+    payload = _PREFIX.pack(op, len(key)) + key + value
+    return _HEADER.pack(zlib.crc32(payload), len(payload)) + payload
+
+
+class WriteAheadLog:
+    """Append-only CRC-framed log over one file.
+
+    Not thread-safe on its own; the owning store serializes appends.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], *, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._file = open(self.path, "ab")
+        self._size = self._file.tell()
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Bytes currently in the log (header overhead included)."""
+        return self._size
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    # ------------------------------------------------------------------
+    def append(self, op: int, key: bytes, value: bytes = b"") -> int:
+        """Durably append one mutation; returns the bytes written.
+
+        The write is acknowledged only after the frame reaches the OS
+        (and, with ``fsync=True``, the disk).
+        """
+        if self._file.closed:
+            raise StoreClosedError(f"WAL {self.path} is closed")
+        frame = encode_record(op, key, value)
+        self._file.write(frame)
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        self._size += len(frame)
+        return len(frame)
+
+    def append_put(self, key: bytes, value: bytes) -> int:
+        return self.append(OP_PUT, key, value)
+
+    def append_delete(self, key: bytes) -> int:
+        return self.append(OP_DELETE, key)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def unlink(self) -> None:
+        """Close and delete the log file (its memtable has been flushed)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(path: str | os.PathLike[str]) -> WalReplay:
+        """Read every intact record from *path*, stopping at a torn tail."""
+        records: list[WalRecord] = []
+        data = Path(path).read_bytes()
+        offset = 0
+        total = len(data)
+        while offset + _HEADER.size <= total:
+            crc, length = _HEADER.unpack_from(data, offset)
+            end = offset + _HEADER.size + length
+            if end > total:
+                break  # torn payload
+            payload = data[offset + _HEADER.size : end]
+            if zlib.crc32(payload) != crc or length < _PREFIX.size:
+                break  # corrupt record: treat the rest as a torn tail
+            op, key_len = _PREFIX.unpack_from(payload, 0)
+            if op not in (OP_PUT, OP_DELETE) or _PREFIX.size + key_len > length:
+                break
+            key = payload[_PREFIX.size : _PREFIX.size + key_len]
+            value = payload[_PREFIX.size + key_len :]
+            records.append(WalRecord(op, key, value))
+            offset = end
+        return WalReplay(records, offset, offset != total, total - offset)
+
+    @staticmethod
+    def repair(path: str | os.PathLike[str], replay: WalReplay) -> None:
+        """Truncate *path* back to its valid prefix after a torn replay."""
+        if not replay.torn:
+            return
+        with open(path, "rb+") as handle:
+            handle.truncate(replay.valid_length)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[WalRecord]:  # pragma: no cover - convenience
+        return iter(self.replay(self.path).records)
+
+    def __repr__(self) -> str:
+        return f"<WriteAheadLog path={str(self.path)!r} size={self._size}>"

@@ -756,10 +756,11 @@ class ServerHandle:
         The child prints ``LISTENING <host> <port>`` on stdout once bound;
         we wait for that line before returning.
 
-        :param backend: ``"cache"`` (default, in-memory cache keyspace) or
+        :param backend: ``"cache"`` (default, in-memory cache keyspace),
             ``"sql"`` (a :class:`StoreServer` over a sqlite store at
             *database* -- the client-server SQL configuration used by the
-            benchmarks to mimic MySQL).
+            benchmarks to mimic MySQL), or ``"lsm"`` (a :class:`StoreServer`
+            over an :class:`~repro.lsm.LSMStore` rooted at *database*).
         """
         cmd = [sys.executable, "-m", "repro.net.server", "--port", str(port)]
         if max_entries is not None:
@@ -816,10 +817,14 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--max-entries", type=int, default=None)
     parser.add_argument("--snapshot", default=None, help="snapshot file for SAVE/warm start")
     parser.add_argument(
-        "--backend", choices=("cache", "sql"), default="cache",
-        help="'cache' = in-memory cache keyspace; 'sql' = serve a sqlite store",
+        "--backend", choices=("cache", "sql", "lsm"), default="cache",
+        help="'cache' = in-memory cache keyspace; 'sql' = serve a sqlite "
+             "store; 'lsm' = serve an LSM store directory",
     )
-    parser.add_argument("--database", default=":memory:", help="sqlite path for --backend sql")
+    parser.add_argument(
+        "--database", default=":memory:",
+        help="sqlite path (--backend sql) / data directory (--backend lsm)",
+    )
     parser.add_argument(
         "--metrics-port", type=int, default=None,
         help="also serve /metrics (Prometheus text) over HTTP on this port (0 = free port)",
@@ -830,6 +835,10 @@ def main(argv: list[str] | None = None) -> None:
         from ..kv.sqlstore import SQLStore
 
         server = StoreServer(SQLStore(options.database), options.host, options.port)
+    elif options.backend == "lsm":
+        from ..lsm.store import LSMStore
+
+        server = StoreServer(LSMStore(options.database), options.host, options.port)
     else:
         server = CacheServer(
             options.host,

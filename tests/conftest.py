@@ -15,6 +15,7 @@ from repro.kv import (
     CLOUD_STORE_2,
     FileSystemStore,
     InMemoryStore,
+    LSMStore,
     RemoteKeyValueStore,
     SimulatedCloudStore,
     SQLStore,
@@ -82,6 +83,14 @@ def cloud1_store(virtual_clock):
 
 
 @pytest.fixture()
+def lsm_store(tmp_path):
+    # Tiny memtable so contract-suite workloads exercise flush + compaction,
+    # not just the in-memory path.
+    with LSMStore(tmp_path / "kv.lsm", memtable_bytes=2048) as store:
+        yield store
+
+
+@pytest.fixture()
 def remote_store(cache_server):
     store = RemoteKeyValueStore(cache_server.host, cache_server.port)
     yield store
@@ -89,7 +98,7 @@ def remote_store(cache_server):
     store.close()
 
 
-@pytest.fixture(params=["memory", "file", "sql", "cloud", "remote"])
+@pytest.fixture(params=["memory", "file", "sql", "lsm", "cloud", "remote"])
 def any_store(request):
     """Every backend, one at a time -- drives the KV contract suite."""
     return request.getfixturevalue(f"{request.param}_store")

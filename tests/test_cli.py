@@ -54,6 +54,15 @@ class TestBuildStore:
         with pytest.raises(DataStoreError):
             build_store(self.parse("--store", "redis"))
 
+    def test_lsm_requires_path(self, tmp_path):
+        from repro.kv import LSMStore
+
+        store = build_store(self.parse("--store", "lsm", "--path", str(tmp_path / "kv")))
+        assert isinstance(store, LSMStore)
+        store.close()
+        with pytest.raises(DataStoreError):
+            build_store(self.parse("--store", "lsm"))
+
 
 class TestBenchCommand:
     def test_bench_memory_prints_table(self, capsys):
@@ -149,6 +158,50 @@ class TestServeCommand:
         options = build_parser().parse_args(["serve"])
         assert options.backend == "cache"
         assert options.port == 0
+
+    def test_serve_lsm_backend_round_trip(self, tmp_path):
+        from repro.kv import LSMStore, RemoteKeyValueStore
+        from repro.net.server import ServerHandle
+
+        lsm_dir = tmp_path / "served.lsm"
+        with ServerHandle.spawn_process(backend="lsm", database=str(lsm_dir)) as handle:
+            remote = RemoteKeyValueStore(handle.host, handle.port)
+            remote.put("durable", {"backend": "lsm"})
+            assert remote.get("durable") == {"backend": "lsm"}
+            remote.close()
+        # the server process is gone; the data is not
+        with LSMStore(lsm_dir) as store:
+            assert store.contains("durable")
+
+
+class TestLSMCommand:
+    def seed(self, tmp_path, values=30):
+        from repro.kv import LSMStore
+
+        root = tmp_path / "kv.lsm"
+        with LSMStore(root, auto_compact=False) as store:
+            for i in range(values):
+                store.put(f"k{i:02d}", i)
+                if i % 10 == 9:
+                    store.flush()
+        return root
+
+    def test_stats_prints_engine_figures(self, tmp_path, capsys):
+        root = self.seed(tmp_path)
+        assert main(["lsm", "stats", "--path", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "sstables" in out
+        assert ".sst" in out
+
+    def test_compact_merges_tables(self, tmp_path, capsys):
+        root = self.seed(tmp_path)
+        assert main(["lsm", "compact", "--path", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 3 tables" in out
+
+    def test_missing_directory_is_an_error(self, tmp_path, capsys):
+        assert main(["lsm", "stats", "--path", str(tmp_path / "absent")]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestMixedBenchCommand:

@@ -7,7 +7,7 @@ import pytest
 from repro.kv import InMemoryStore, NamespacedStore, SQLStore
 
 
-@pytest.fixture(params=["memory", "file", "sql", "cloud", "remote"])
+@pytest.fixture(params=["memory", "file", "sql", "lsm", "cloud", "remote"])
 def scan_store(request):
     return request.getfixturevalue(f"{request.param}_store")
 

@@ -1,0 +1,617 @@
+"""The LSM engine: WAL, memtable, SSTables, compaction, recovery, wiring.
+
+The crash-recovery tests simulate crashes the honest way: copy a live
+store's directory mid-flight (the moment of "power loss") and open a new
+store over the copy.  Nothing here ever sleeps -- background work is
+driven by :class:`~repro.lsm.ManualScheduler`.
+"""
+
+from __future__ import annotations
+
+import shutil
+import struct
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DataStoreError,
+    KeyNotFoundError,
+    StoreClosedError,
+)
+from repro.kv import FileSystemStore, LSMStore
+from repro.lsm import (
+    MISSING,
+    OP_DELETE,
+    OP_PUT,
+    TOMBSTONE,
+    BackgroundScheduler,
+    ManualScheduler,
+    Memtable,
+    SizeTieredPolicy,
+    SSTable,
+    WriteAheadLog,
+    merge_tables,
+    write_sstable,
+)
+from repro.lsm.memtable import Tombstone
+from repro.obs import EventLog, Observability
+
+
+# ----------------------------------------------------------------------
+# WAL
+# ----------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_append_and_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append_put(b"a", b"1")
+        wal.append_put(b"b", b"two")
+        wal.append_delete(b"a")
+        wal.close()
+        replay = WriteAheadLog.replay(wal.path)
+        assert not replay.torn
+        assert replay.discarded_bytes == 0
+        assert [(r.op, r.key, r.value) for r in replay.records] == [
+            (OP_PUT, b"a", b"1"),
+            (OP_PUT, b"b", b"two"),
+            (OP_DELETE, b"a", b""),
+        ]
+
+    def test_append_reports_bytes_and_size(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        written = wal.append_put(b"key", b"value")
+        assert written == wal.size_bytes
+        assert written == wal.path.stat().st_size
+        wal.close()
+
+    def test_torn_tail_stops_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append_put(b"safe", b"payload")
+        wal.close()
+        with open(wal.path, "ab") as f:
+            f.write(b"\x01\x02\x03")  # a torn partial header
+        replay = WriteAheadLog.replay(wal.path)
+        assert replay.torn
+        assert replay.discarded_bytes == 3
+        assert [r.key for r in replay.records] == [b"safe"]
+
+    def test_corrupt_crc_stops_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append_put(b"one", b"1")
+        end_of_first = wal.size_bytes
+        wal.append_put(b"two", b"2")
+        wal.close()
+        data = bytearray(wal.path.read_bytes())
+        data[-1] ^= 0xFF  # flip a bit inside the second record's payload
+        wal.path.write_bytes(bytes(data))
+        replay = WriteAheadLog.replay(wal.path)
+        assert replay.torn
+        assert replay.valid_length == end_of_first
+        assert [r.key for r in replay.records] == [b"one"]
+
+    def test_repair_truncates_to_valid_prefix(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append_put(b"keep", b"me")
+        valid = wal.size_bytes
+        wal.close()
+        with open(wal.path, "ab") as f:
+            f.write(b"garbage-tail")
+        replay = WriteAheadLog.replay(wal.path)
+        WriteAheadLog.repair(wal.path, replay)
+        assert wal.path.stat().st_size == valid
+        assert not WriteAheadLog.replay(wal.path).torn
+
+    def test_bogus_op_code_treated_as_torn(self, tmp_path):
+        import zlib
+
+        payload = struct.pack("<BI", 7, 1) + b"k"  # op 7 does not exist
+        frame = struct.pack("<II", zlib.crc32(payload), len(payload)) + payload
+        path = tmp_path / "wal.log"
+        path.write_bytes(frame)
+        replay = WriteAheadLog.replay(path)
+        assert replay.torn
+        assert replay.records == []
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        with pytest.raises(StoreClosedError):
+            wal.append_put(b"k", b"v")
+
+
+# ----------------------------------------------------------------------
+# Memtable
+# ----------------------------------------------------------------------
+class TestMemtable:
+    def test_put_get_delete(self):
+        table = Memtable()
+        table.put(b"k", b"v")
+        assert table.get(b"k") == b"v"
+        table.delete(b"k")
+        assert isinstance(table.get(b"k"), Tombstone)
+        assert table.get(b"absent") is None
+
+    def test_items_sorted_with_tombstones(self):
+        table = Memtable()
+        table.put(b"b", b"2")
+        table.put(b"a", b"1")
+        table.delete(b"c")
+        assert list(table.items()) == [(b"a", b"1"), (b"b", b"2"), (b"c", TOMBSTONE)]
+
+    def test_byte_accounting_tracks_overwrites(self):
+        table = Memtable()
+        table.put(b"k", b"x" * 100)
+        first = table.approximate_bytes
+        table.put(b"k", b"x")  # overwrite with a smaller value
+        assert table.approximate_bytes < first
+        assert len(table) == 1
+
+
+# ----------------------------------------------------------------------
+# SSTable
+# ----------------------------------------------------------------------
+class TestSSTable:
+    def entries(self, count=100):
+        return [(b"key-%04d" % i, b"value-%d" % i) for i in range(count)]
+
+    def test_roundtrip_and_point_reads(self, tmp_path):
+        path = write_sstable(tmp_path / "t.sst", self.entries(), index_interval=8)
+        table = SSTable(path)
+        assert len(table) == 100
+        assert table.get(b"key-0000") == b"value-0"
+        assert table.get(b"key-0057") == b"value-57"
+        assert table.get(b"key-0099") == b"value-99"
+        assert table.get(b"key-0100") is MISSING
+        assert table.get(b"aaa") is MISSING  # before the first key
+        table.close()
+
+    def test_tombstones_survive_roundtrip(self, tmp_path):
+        entries = [(b"a", b"1"), (b"b", TOMBSTONE), (b"c", b"3")]
+        table = SSTable(write_sstable(tmp_path / "t.sst", entries))
+        assert isinstance(table.get(b"b"), Tombstone)
+        assert list(table.items()) == entries
+        table.close()
+
+    def test_items_from_seeks(self, tmp_path):
+        table = SSTable(write_sstable(tmp_path / "t.sst", self.entries(), index_interval=4))
+        got = list(table.items_from(b"key-0090"))
+        assert got[0][0] == b"key-0090"
+        assert len(got) == 10
+        table.close()
+
+    def test_bloom_filter_excludes_absent_keys(self, tmp_path):
+        table = SSTable(write_sstable(tmp_path / "t.sst", self.entries()))
+        assert all(table.might_contain(key) for key, _ in self.entries())
+        absent = sum(table.might_contain(b"nope-%04d" % i) for i in range(1000))
+        assert absent < 100  # ~1% configured fp rate, generous margin
+        table.close()
+
+    def test_unsorted_entries_rejected(self, tmp_path):
+        with pytest.raises(DataStoreError):
+            write_sstable(tmp_path / "t.sst", [(b"b", b"2"), (b"a", b"1")])
+        with pytest.raises(DataStoreError):
+            write_sstable(tmp_path / "t.sst", [(b"a", b"1"), (b"a", b"2")])
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = write_sstable(tmp_path / "t.sst", self.entries(4))
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(DataStoreError):
+            SSTable(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = write_sstable(tmp_path / "t.sst", self.entries(4))
+        data = bytearray(path.read_bytes())
+        data[:8] = b"NOTASSTB"
+        path.write_bytes(bytes(data))
+        with pytest.raises(DataStoreError):
+            SSTable(path)
+
+
+# ----------------------------------------------------------------------
+# Merge + policy
+# ----------------------------------------------------------------------
+class TestMerge:
+    def table(self, tmp_path, name, entries):
+        return SSTable(write_sstable(tmp_path / name, entries))
+
+    def test_newest_wins_and_tombstones_pass(self, tmp_path):
+        old = self.table(tmp_path, "old.sst", [(b"a", b"old"), (b"b", b"old"), (b"c", b"old")])
+        new = self.table(tmp_path, "new.sst", [(b"a", b"new"), (b"b", TOMBSTONE)])
+        merged = list(merge_tables([old, new], drop_tombstones=False))
+        assert merged == [(b"a", b"new"), (b"b", TOMBSTONE), (b"c", b"old")]
+
+    def test_drop_tombstones(self, tmp_path):
+        old = self.table(tmp_path, "old.sst", [(b"a", b"1"), (b"b", b"2")])
+        new = self.table(tmp_path, "new.sst", [(b"b", TOMBSTONE)])
+        merged = list(merge_tables([old, new], drop_tombstones=True))
+        assert merged == [(b"a", b"1")]
+
+    def test_policy_merges_similar_sizes_only(self, tmp_path):
+        small = [
+            self.table(tmp_path, f"s{i}.sst", [(b"k%d" % i, b"x" * 10)]) for i in range(4)
+        ]
+        big = self.table(
+            tmp_path, "big.sst", [(b"big-%04d" % i, b"y" * 100) for i in range(200)]
+        )
+        policy = SizeTieredPolicy(min_tables=4)
+        tables = [big] + small  # age order: big is oldest
+        selected = policy.select(tables)
+        assert selected == small  # the lone big table is not in the tier
+
+    def test_policy_below_threshold_selects_nothing(self, tmp_path):
+        tables = [self.table(tmp_path, f"s{i}.sst", [(b"k", b"v")]) for i in range(3)]
+        assert SizeTieredPolicy(min_tables=4).select(tables) == []
+
+    def test_policy_validates_config(self):
+        with pytest.raises(ConfigurationError):
+            SizeTieredPolicy(min_tables=1)
+        with pytest.raises(ConfigurationError):
+            SizeTieredPolicy(min_tables=4, max_tables=2)
+
+
+# ----------------------------------------------------------------------
+# The store: flush / compaction lifecycle (ManualScheduler, no sleeps)
+# ----------------------------------------------------------------------
+class TestLSMStoreLifecycle:
+    def test_writes_flush_to_sstables_beyond_budget(self, tmp_path):
+        scheduler = ManualScheduler()
+        with LSMStore(tmp_path / "db", memtable_bytes=600, scheduler=scheduler) as store:
+            for i in range(50):
+                store.put(f"key-{i:03d}", {"i": i})
+            assert scheduler.pending() > 0  # flushes queued, not yet run
+            scheduler.run_pending()
+            stats = store.stats()
+            assert stats["sstables"] >= 1
+            assert stats["immutable_memtables"] == 0
+            # everything readable across levels
+            assert store.get("key-000") == {"i": 0}
+            assert store.get("key-049") == {"i": 49}
+            assert store.size() == 50
+
+    def test_sealed_memtables_remain_readable_before_flush(self, tmp_path):
+        scheduler = ManualScheduler()
+        with LSMStore(tmp_path / "db", memtable_bytes=400, scheduler=scheduler) as store:
+            for i in range(20):
+                store.put(f"k{i}", "v" * 50)
+            # flushes are queued but have NOT run: reads must hit the
+            # sealed (immutable) memtables.
+            assert store.stats()["immutable_memtables"] > 0
+            assert store.get("k0") == "v" * 50
+            assert store.size() == 20
+
+    def test_flush_deletes_wal_segment(self, tmp_path):
+        with LSMStore(tmp_path / "db") as store:
+            store.put("a", 1)
+            store.flush()
+            wals = list((tmp_path / "db").glob("wal-*.log"))
+            assert len(wals) == 1  # only the fresh active segment
+            assert wals[0].stat().st_size == 0
+
+    def test_auto_compaction_bounds_table_count(self, tmp_path):
+        policy = SizeTieredPolicy(min_tables=4)
+        with LSMStore(
+            tmp_path / "db", memtable_bytes=512, policy=policy
+        ) as store:
+            for i in range(300):
+                store.put(f"key-{i:04d}", "x" * 32)
+            stats = store.stats()
+            assert stats["sstables"] < 8  # tiering keeps the count bounded
+            assert store.obs is not None
+
+    def test_forced_compact_merges_to_one_table(self, tmp_path):
+        with LSMStore(tmp_path / "db", auto_compact=False) as store:
+            for batch in range(5):
+                for i in range(10):
+                    store.put(f"key-{batch}-{i}", batch * 100 + i)
+                store.flush()
+            assert store.stats()["sstables"] == 5
+            merged = store.compact()
+            assert merged == 5
+            stats = store.stats()
+            assert stats["sstables"] == 1
+            assert stats["sstable_records"] == 50  # overwrites/tombstones gone
+            assert store.size() == 50
+
+    def test_compaction_reclaims_overwrites_and_tombstones(self, tmp_path):
+        with LSMStore(tmp_path / "db", auto_compact=False) as store:
+            for i in range(20):
+                store.put(f"k{i:02d}", "first")
+            store.flush()
+            for i in range(20):
+                store.put(f"k{i:02d}", "second")
+            store.flush()
+            for i in range(10):
+                store.delete(f"k{i:02d}")
+            store.flush()
+            store.compact()
+            stats = store.stats()
+            assert stats["sstables"] == 1
+            assert stats["sstable_records"] == 10  # only live keys remain
+            assert sorted(store.keys()) == [f"k{i:02d}" for i in range(10, 20)]
+
+    def test_partial_compaction_keeps_tombstones(self, tmp_path):
+        # Merging a non-prefix subset must NOT drop tombstones: an older
+        # table still holds the shadowed value.
+        with LSMStore(tmp_path / "db", auto_compact=False) as store:
+            store.put("victim", "old")
+            store.flush()  # table 1 (oldest) holds the value
+            store.delete("victim")
+            store.flush()  # table 2 holds the tombstone
+            store.put("other", 1)
+            store.flush()  # table 3
+            tables = store._tables
+            store._compacting = True
+            store._compacting = False
+            # merge tables 2+3 only (not a prefix: excludes the oldest)
+            store._compact_tables(tables[1:])
+            assert "victim" not in set(store.keys())
+            with pytest.raises(KeyNotFoundError):
+                store.get("victim")
+
+    def test_empty_compaction_output_drops_tables(self, tmp_path):
+        with LSMStore(tmp_path / "db", auto_compact=False) as store:
+            store.put("a", 1)
+            store.flush()
+            store.delete("a")
+            store.flush()
+            store.compact()
+            # value + tombstone annihilate: no output table at all
+            assert store.stats()["sstables"] == 0
+            assert store.size() == 0
+
+    def test_background_scheduler_drains(self, tmp_path):
+        scheduler = BackgroundScheduler()
+        try:
+            with LSMStore(
+                tmp_path / "db", memtable_bytes=512, scheduler=scheduler
+            ) as store:
+                for i in range(100):
+                    store.put(f"key-{i:03d}", "x" * 32)
+                assert scheduler.drain(timeout=10.0)
+                assert store.stats()["immutable_memtables"] == 0
+                assert store.size() == 100
+        finally:
+            scheduler.close()
+
+    def test_closed_store_raises(self, tmp_path):
+        store = LSMStore(tmp_path / "db")
+        store.put("a", 1)
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(StoreClosedError):
+            store.get("a")
+        with pytest.raises(StoreClosedError):
+            store.put("b", 2)
+
+    def test_missing_root_without_create(self, tmp_path):
+        with pytest.raises(DataStoreError):
+            LSMStore(tmp_path / "absent", create=False)
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            LSMStore(tmp_path / "db", memtable_bytes=0)
+        with pytest.raises(ConfigurationError):
+            LSMStore(tmp_path / "db", index_interval=0)
+
+    def test_native_exposes_data_directory(self, tmp_path):
+        with LSMStore(tmp_path / "db") as store:
+            assert store.native() == tmp_path / "db"
+
+    def test_non_utf8_safe_keys(self, tmp_path):
+        # StoreServer decodes wire keys with surrogateescape; the encoding
+        # must roundtrip them without collision.
+        weird = "k-\udcff\udcfe"
+        with LSMStore(tmp_path / "db") as store:
+            store.put(weird, "value")
+            store.flush()
+            assert store.get(weird) == "value"
+            assert weird in set(store.keys())
+
+
+# ----------------------------------------------------------------------
+# Durability and crash recovery
+# ----------------------------------------------------------------------
+def crash_copy(store, tmp_path, name="crashed"):
+    """Simulate power loss: copy the live directory without closing."""
+    target = tmp_path / name
+    shutil.copytree(store.native(), target)
+    return target
+
+
+class TestRecovery:
+    def test_reopen_after_clean_close(self, tmp_path):
+        root = tmp_path / "db"
+        with LSMStore(root) as store:
+            store.put("a", {"n": 1})
+            store.put("b", [1, 2, 3])
+            store.delete("a")
+        with LSMStore(root) as store:
+            assert store.get("b") == [1, 2, 3]
+            with pytest.raises(KeyNotFoundError):
+                store.get("a")
+            assert store.size() == 1
+
+    def test_unflushed_writes_survive_crash(self, tmp_path):
+        store = LSMStore(tmp_path / "db")
+        for i in range(25):
+            store.put(f"key-{i}", i)
+        store.delete("key-3")
+        crashed = crash_copy(store, tmp_path)  # no close(): WAL only
+        store.close()
+
+        events = EventLog()
+        with LSMStore(crashed, obs=Observability(events=events)) as recovered:
+            assert recovered.size() == 24
+            assert recovered.get("key-7") == 7
+            with pytest.raises(KeyNotFoundError):
+                recovered.get("key-3")
+        (record,) = events.tail(kind="lsm_recovery")
+        assert record["records"] == 26
+        assert record["torn_tail"] is False
+
+    def test_torn_wal_tail_loses_nothing_acknowledged(self, tmp_path):
+        store = LSMStore(tmp_path / "db")
+        for i in range(10):
+            store.put(f"key-{i}", f"value-{i}")
+        crashed = crash_copy(store, tmp_path)
+        store.close()
+        # power loss mid-append: a partial frame at the WAL tail
+        (wal_path,) = crashed.glob("wal-*.log")
+        with open(wal_path, "ab") as f:
+            f.write(b"\x99" * 7)
+
+        events = EventLog()
+        with LSMStore(crashed, obs=Observability(events=events)) as recovered:
+            for i in range(10):
+                assert recovered.get(f"key-{i}") == f"value-{i}"
+        (record,) = events.tail(kind="lsm_recovery")
+        assert record["torn_tail"] is True
+        assert record["discarded_bytes"] == 7
+
+    def test_corrupt_mid_wal_keeps_prefix(self, tmp_path):
+        store = LSMStore(tmp_path / "db")
+        store.put("first", 1)
+        first_end = store.stats()["wal_bytes"]
+        store.put("second", 2)
+        crashed = crash_copy(store, tmp_path)
+        store.close()
+        (wal_path,) = crashed.glob("wal-*.log")
+        data = bytearray(wal_path.read_bytes())
+        data[first_end + 9] ^= 0xFF  # corrupt the second record
+        wal_path.write_bytes(bytes(data))
+
+        with LSMStore(crashed) as recovered:
+            assert recovered.get("first") == 1
+            with pytest.raises(KeyNotFoundError):
+                recovered.get("second")
+
+    def test_crash_with_sstables_and_wal(self, tmp_path):
+        store = LSMStore(tmp_path / "db", auto_compact=False)
+        for i in range(30):
+            store.put(f"key-{i:02d}", i)
+        store.flush()
+        for i in range(30, 40):
+            store.put(f"key-{i:02d}", i)  # these live only in the WAL
+        crashed = crash_copy(store, tmp_path)
+        store.close()
+        with LSMStore(crashed) as recovered:
+            assert recovered.size() == 40
+            assert recovered.get("key-05") == 5
+            assert recovered.get("key-35") == 35
+
+    def test_recovered_state_is_immediately_durable(self, tmp_path):
+        # Recovery flushes the replayed memtable to an SSTable and deletes
+        # the old WALs, so a second crash right after open loses nothing.
+        store = LSMStore(tmp_path / "db")
+        store.put("a", 1)
+        crashed = crash_copy(store, tmp_path)
+        store.close()
+        once = LSMStore(crashed)
+        twice_dir = crash_copy(once, tmp_path, "crashed-twice")
+        once.close()
+        with LSMStore(twice_dir) as twice:
+            assert twice.get("a") == 1
+
+    def test_versioned_ops_roundtrip(self, tmp_path):
+        with LSMStore(tmp_path / "db") as store:
+            token = store.put_with_version("k", {"v": 1})
+            value, seen = store.get_with_version("k")
+            assert value == {"v": 1}
+            assert seen == token
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestLSMObservability:
+    def test_metrics_and_events(self, tmp_path):
+        events = EventLog()
+        obs = Observability(events=events)
+        with LSMStore(tmp_path / "db", auto_compact=False, obs=obs) as store:
+            for i in range(10):
+                store.put(f"k{i}", i)
+            store.get("k0")             # memtable hit
+            store.flush()
+            store.get("k1")             # sstable hit
+            store.flush()               # no-op: empty memtable
+            for i in range(10):
+                store.put(f"k{i}", i + 1)
+            store.flush()
+            store.compact()
+            with pytest.raises(KeyNotFoundError):
+                store.get("absent")
+
+            registry = obs.registry
+            assert registry.counter("lsm.wal.appends").value == 20
+            assert registry.counter("lsm.memtable.flushes").value == 2
+            assert registry.counter("lsm.compactions").value == 1
+            assert registry.counter("lsm.read.level_hits.memtable").value >= 1
+            assert registry.counter("lsm.read.level_hits.sstable").value >= 1
+            assert registry.counter("lsm.read.misses").value == 1
+            assert registry.gauge("lsm.sstables").value == 1
+
+        flushes = events.tail(kind="lsm_flush")
+        assert len(flushes) == 2
+        assert flushes[0]["entries"] == 10
+        (compaction,) = events.tail(kind="lsm_compact")
+        assert compaction["inputs"] == 2
+        assert compaction["records"] == 10
+        assert compaction["tombstones_dropped"] is True
+
+    def test_null_obs_by_default(self, tmp_path):
+        with LSMStore(tmp_path / "db") as store:
+            store.put("a", 1)
+            assert not store.obs.enabled
+
+
+# ----------------------------------------------------------------------
+# Integration: server, UDSM, workload generator
+# ----------------------------------------------------------------------
+class TestLSMIntegration:
+    def test_store_server_over_lsm(self, tmp_path):
+        from repro.kv import RemoteKeyValueStore
+        from repro.lsm.store import LSMStore as LSM
+        from repro.net.server import ServerHandle, StoreServer
+
+        backing = LSM(tmp_path / "served")
+        server = StoreServer(backing)
+        host, port = server.start()
+        try:
+            with ServerHandle(host, port, server=server):
+                remote = RemoteKeyValueStore(host, port)
+                remote.put("wire-key", {"over": "tcp"})
+                assert remote.get("wire-key") == {"over": "tcp"}
+                assert remote.delete("wire-key") is True
+                remote.close()
+        finally:
+            backing.close()
+
+    def test_udsm_registration_and_monitoring(self, tmp_path):
+        from repro.udsm import UniversalDataStoreManager
+
+        with UniversalDataStoreManager() as udsm:
+            udsm.register("lsm", LSMStore(tmp_path / "db"))
+            store = udsm.store("lsm")
+            store.put("k", "v")
+            assert store.get("k") == "v"
+            future = udsm.async_store("lsm").get("k")
+            assert future.result() == "v"
+
+    def test_workload_generator_runs_on_lsm(self, tmp_path):
+        from repro.udsm.workload import WorkloadGenerator
+
+        with LSMStore(tmp_path / "db") as store:
+            generator = WorkloadGenerator(sizes=(64,), repeats=2)
+            results = generator.compare_stores([store])
+            assert store.name in results
+
+    def test_enhanced_client_over_lsm(self, tmp_path):
+        from repro.caching import InProcessCache
+        from repro.core import EnhancedDataStoreClient
+
+        with LSMStore(tmp_path / "db") as store:
+            client = EnhancedDataStoreClient(store, cache=InProcessCache())
+            client.put("k", {"cached": True})
+            assert client.get("k") == {"cached": True}
+            assert client.get("k") == {"cached": True}  # cache hit
+            assert client.counters.cache_hits >= 1

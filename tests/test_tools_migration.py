@@ -146,3 +146,54 @@ class TestMigrateCLI:
 
         assert main(["migrate", "--source", "sql,oops", "--dest", "memory"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_migrate_filesystem_to_lsm_and_back(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.kv import LSMStore
+
+        source = FileSystemStore(tmp_path / "fs-src")
+        for i in range(12):
+            source.put(f"k{i}", {"index": i})
+        source.close()
+
+        lsm_dir = tmp_path / "kv.lsm"
+        code = main(
+            [
+                "migrate",
+                "--source", f"file,path={tmp_path / 'fs-src'}",
+                "--dest", f"lsm,path={lsm_dir}",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        assert "stores agree" in capsys.readouterr().out
+        with LSMStore(lsm_dir) as check:
+            assert check.size() == 12
+            assert check.get("k7") == {"index": 7}
+
+        code = main(
+            [
+                "migrate",
+                "--source", f"lsm,path={lsm_dir}",
+                "--dest", f"file,path={tmp_path / 'fs-back'}",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        assert "stores agree" in capsys.readouterr().out
+        with FileSystemStore(tmp_path / "fs-back") as back:
+            assert back.get("k11") == {"index": 11}
+
+
+class TestMigrateLSMTools:
+    def test_copy_store_into_and_out_of_lsm(self, tmp_path):
+        from repro.kv import LSMStore
+
+        source = populated(40)
+        with LSMStore(tmp_path / "kv.lsm", memtable_bytes=1024) as lsm:
+            report = copy_store(source, lsm)
+            assert report.copied == 40
+            assert verify_stores(source, lsm) == []
+            round_trip = InMemoryStore()
+            copy_store(lsm, round_trip)
+            assert verify_stores(source, round_trip) == []
