@@ -80,7 +80,12 @@ class SizeTieredPolicy:
         """Tables to merge now, or ``[]`` when no tier is crowded enough.
 
         *tables* must be in age order (oldest first); the returned subset
-        preserves that order.
+        is an **age-contiguous run** of that order.  Contiguity is a
+        correctness requirement, not a preference: the merged output takes
+        the newest input's place in the age order, so merging a set that
+        skips over a middle table would lift the older inputs' versions of
+        a key above the skipped table's newer version (resurrecting
+        overwritten values and deleted keys).
         """
         buckets: list[tuple[float, list[SSTable]]] = []  # (avg size, members)
         for table in sorted(tables, key=lambda t: t.size_bytes):
@@ -92,12 +97,29 @@ class SizeTieredPolicy:
                     break
             else:
                 buckets.append((float(table.size_bytes), [table]))
-        crowded = [members for _avg, members in buckets if len(members) >= self.min_tables]
-        if not crowded:
+        position = {id(table): index for index, table in enumerate(tables)}
+        runs: list[list[SSTable]] = []
+        for _avg, members in buckets:
+            if len(members) < self.min_tables:
+                continue
+            # Split the size bucket into maximal runs that are contiguous
+            # in the store's age order; only such a run is safe to merge.
+            ordered = sorted(members, key=lambda t: position[id(t)])
+            run = [ordered[0]]
+            for table in ordered[1:]:
+                if position[id(table)] == position[id(run[-1])] + 1:
+                    run.append(table)
+                else:
+                    runs.append(run)
+                    run = [table]
+            runs.append(run)
+        eligible = [run for run in runs if len(run) >= self.min_tables]
+        if not eligible:
             return []
-        members = max(crowded, key=len)[: self.max_tables]
-        chosen = set(id(table) for table in members)
-        return [table for table in tables if id(table) in chosen]
+        # Trim from the newest end so the run stays contiguous (and keeps
+        # its chance of being an oldest-first prefix, which is what lets
+        # the merge drop tombstones).
+        return max(eligible, key=len)[: self.max_tables]
 
 
 def merge_tables(

@@ -39,6 +39,11 @@ from __future__ import annotations
 import re
 import threading
 import time
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 from heapq import heappop, heappush
 from pathlib import Path
 from typing import Any, Callable, Iterator
@@ -134,11 +139,45 @@ class LSMStore(KeyValueStore):
             self._root.mkdir(parents=True, exist_ok=True)
         elif not self._root.is_dir():
             raise DataStoreError(f"store root {self._root} does not exist")
-        self._recover()
+        self._lock_handle = None
+        self._acquire_dir_lock()
+        try:
+            self._recover()
+        except BaseException:
+            self._release_dir_lock()
+            raise
 
     # ------------------------------------------------------------------
     # Open / recovery
     # ------------------------------------------------------------------
+    def _acquire_dir_lock(self) -> None:
+        """Take an exclusive advisory lock on ``root/LOCK``.
+
+        Opening a store runs recovery, which deletes the WAL segments it
+        replays -- so a second opener on the same directory (say,
+        ``repro lsm stats`` pointed at a live server's data dir) would
+        destroy the first opener's active WAL.  One opener per directory,
+        everyone else fails fast.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return
+        handle = open(self._root / "LOCK", "a+b")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise DataStoreError(
+                f"store root {self._root} is already open elsewhere "
+                "(an LSM directory admits one store at a time; close the "
+                "other opener or work on a copy)"
+            ) from None
+        self._lock_handle = handle
+
+    def _release_dir_lock(self) -> None:
+        if self._lock_handle is not None:
+            self._lock_handle.close()  # closing the fd drops the flock
+            self._lock_handle = None
+
     def _recover(self) -> None:
         """Open existing SSTables, replay WAL segments, repair torn tails.
 
@@ -241,16 +280,37 @@ class LSMStore(KeyValueStore):
 
     def delete(self, key: str) -> bool:
         raw = _encode_key(key)
+        tables: list[SSTable] = []
         with self._lock:
             self._check_open()
-            existed = self._probe(raw) is not None
+            # The "existed" return value needs a pre-delete lookup.  The
+            # memory levels are O(1) dict hits, checked under the lock;
+            # the SSTable probes (Bloom gate + pread per table) run after
+            # the lock is dropped, against a snapshot taken before the
+            # tombstone landed, so slow disk probes never stall writers.
+            found = self._memtable.get(raw)
+            if found is None:
+                for memtable, _wal, _seq in reversed(self._immutables):
+                    found = memtable.get(raw)
+                    if found is not None:
+                        break
+            if found is None:
+                tables = list(self._tables)
             written = self._wal.append_delete(raw)
             self._memtable.delete(raw)
             if self.obs.enabled:
                 self.obs.inc("lsm.wal.appends")
                 self.obs.inc("lsm.wal.bytes", written)
             self._maybe_seal()
-        return existed
+        if found is not None:
+            return not isinstance(found, Tombstone)
+        for table in reversed(tables):
+            if not table.might_contain(raw):
+                continue
+            hit = table.get(raw)
+            if hit is not MISSING:
+                return not isinstance(hit, Tombstone)
+        return False
 
     def keys(self) -> Iterator[str]:
         return (
@@ -287,6 +347,7 @@ class LSMStore(KeyValueStore):
                 table.close()
             self._tables.clear()
             self._retired.clear()
+            self._release_dir_lock()
 
     def native(self) -> Path:
         """The data directory (WAL segments and SSTable files live here)."""
@@ -408,11 +469,13 @@ class LSMStore(KeyValueStore):
 
     def _flush_one(self, sealed: Memtable, wal: WriteAheadLog, seq: int) -> None:
         started = self._clock()
-        table = self._write_table(sealed, seq, 0)
         with self._lock:
             if self._closed:
-                table.close()
-                return
+                return  # sealed WAL segment stays; the next open replays it
+        table = self._write_table(sealed, seq, 0)
+        if table is None:
+            return  # store closed mid-write; ditto
+        with self._lock:
             self._immutables = [
                 entry for entry in self._immutables if entry[0] is not sealed
             ]
@@ -431,8 +494,14 @@ class LSMStore(KeyValueStore):
         if self._auto_compact:
             self.maybe_compact()
 
-    def _write_table(self, memtable: Memtable, seq: int, gen: int) -> SSTable:
-        """Write a memtable as an SSTable and splice it into the table list."""
+    def _write_table(self, memtable: Memtable, seq: int, gen: int) -> "SSTable | None":
+        """Write a memtable as an SSTable and splice it into the table list.
+
+        Returns ``None`` -- and removes the just-written file -- when the
+        store closed while the table was being written: the caller's WAL
+        segment is still on disk, so the data is replayed on the next open
+        instead of being spliced into a closed store.
+        """
         path = write_sstable(
             self._sst_path(seq, gen),
             memtable.items(),
@@ -444,6 +513,10 @@ class LSMStore(KeyValueStore):
         table.seq = seq  # type: ignore[attr-defined]
         table.gen = gen  # type: ignore[attr-defined]
         with self._lock:
+            if self._closed:
+                table.close()
+                path.unlink(missing_ok=True)
+                return None
             self._tables.append(table)
             self._tables.sort(key=lambda t: (t.seq, t.gen))  # type: ignore[attr-defined]
         return table
@@ -467,17 +540,40 @@ class LSMStore(KeyValueStore):
     def compact(self) -> int:
         """Force a full merge of every SSTable (flushing the memtable first).
 
-        Returns the number of tables merged.  The output is a single run
-        with every overwritten value and every tombstone reclaimed.
+        The output is a single run with every overwritten value and every
+        tombstone reclaimed.  Returns the number of tables merged: with the
+        default inline scheduler the merge has completed by the time this
+        returns; with a deferred scheduler (``ManualScheduler``,
+        ``BackgroundScheduler``) the flush and the merge are queued -- the
+        tables to merge are selected only once the queued flush has run --
+        and the method returns 0 because no work has happened yet.
         """
         self.flush()
         with self._lock:
             self._check_open()
-            if self._compacting or len(self._tables) < 2:
+            if self._compacting:
                 return 0
-            selected = list(self._tables)
             self._compacting = True
-        self._scheduler.submit(lambda: self._compact_tables(selected))
+        merged = [0]
+
+        def task() -> None:
+            merged[0] = self._compact_all()
+
+        self._scheduler.submit(task)
+        return merged[0]
+
+    def _compact_all(self) -> int:
+        """Merge every table on disk *now* (any queued flush has run)."""
+        with self._lock:
+            if self._closed or len(self._tables) < 2:
+                selected: list[SSTable] = []
+            else:
+                selected = list(self._tables)
+        if not selected:
+            with self._lock:
+                self._compacting = False
+            return 0
+        self._compact_tables(selected)
         return len(selected)
 
     def _compact_tables(self, selected: list[SSTable]) -> None:
@@ -486,10 +582,24 @@ class LSMStore(KeyValueStore):
             with self._lock:
                 if self._closed:
                     return
+                # The merged output takes the newest input's place in the
+                # age order, so the inputs MUST be an age-contiguous run of
+                # the current table list: merging around a skipped middle
+                # table would rank the older inputs' values above that
+                # table's newer versions.  The policy only hands out
+                # contiguous runs; this guard also catches selections gone
+                # stale between scheduling and execution.
+                position = {id(t): i for i, t in enumerate(self._tables)}
+                first = position.get(id(selected[0]))
+                if first is None or any(
+                    position.get(id(table)) != first + offset
+                    for offset, table in enumerate(selected)
+                ):
+                    return
                 # Tombstones can be reclaimed only when nothing older than
                 # the merge output survives below it: the inputs must be a
                 # contiguous prefix of the age order.
-                drop = selected == self._tables[: len(selected)]
+                drop = first == 0
                 newest = selected[-1]
                 gen = 1 + max(t.gen for t in selected)  # type: ignore[attr-defined]
                 seq = newest.seq  # type: ignore[attr-defined]

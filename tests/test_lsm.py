@@ -242,6 +242,27 @@ class TestMerge:
         tables = [self.table(tmp_path, f"s{i}.sst", [(b"k", b"v")]) for i in range(3)]
         assert SizeTieredPolicy(min_tables=4).select(tables) == []
 
+    def test_policy_rejects_non_contiguous_size_tier(self, tmp_path):
+        # Four similar-sized tables SURROUNDING a big one: merging them
+        # would lift the oldest small table's versions above the big
+        # table's newer ones (the merged output ranks at the newest
+        # input's position), so the policy must not select them.
+        small = [
+            self.table(tmp_path, f"s{i}.sst", [(b"k%d" % i, b"x" * 10)]) for i in range(4)
+        ]
+        big = self.table(
+            tmp_path, "big.sst", [(b"big-%04d" % i, b"y" * 100) for i in range(200)]
+        )
+        tables = [small[0], big, small[1], small[2], small[3]]  # big mid-age
+        assert SizeTieredPolicy(min_tables=4).select(tables) == []
+
+    def test_policy_selection_is_age_contiguous_run(self, tmp_path):
+        small = [
+            self.table(tmp_path, f"s{i}.sst", [(b"k%d" % i, b"x" * 10)]) for i in range(5)
+        ]
+        selected = SizeTieredPolicy(min_tables=2, max_tables=3).select(small)
+        assert selected == small[:3]  # trimmed, still an oldest-first run
+
     def test_policy_validates_config(self):
         with pytest.raises(ConfigurationError):
             SizeTieredPolicy(min_tables=1)
@@ -348,6 +369,57 @@ class TestLSMStoreLifecycle:
             with pytest.raises(KeyNotFoundError):
                 store.get("victim")
 
+    def test_compaction_never_merges_around_a_newer_table(self, tmp_path):
+        # Regression: with size-only bucketing, four small tables that
+        # surround a big one merged into an output ranked at the newest
+        # input's position, resurrecting the big table's overwritten
+        # values and deleted keys.
+        with LSMStore(
+            tmp_path / "db", policy=SizeTieredPolicy(min_tables=4)
+        ) as store:
+            store.put("k", "OLD")
+            store.put("dead", "live")
+            store.flush()  # small table (oldest)
+            store.put("k", "NEW")
+            store.delete("dead")
+            for i in range(200):
+                store.put(f"filler-{i:04d}", "y" * 100)
+            store.flush()  # big table holding the newest versions
+            for i in range(3):
+                store.put(f"other-{i}", i)
+                store.flush()  # three more small tables
+            store.maybe_compact()
+            assert store.get("k") == "NEW"
+            with pytest.raises(KeyNotFoundError):
+                store.get("dead")
+
+    def test_compact_tables_refuses_non_contiguous_selection(self, tmp_path):
+        with LSMStore(tmp_path / "db", auto_compact=False) as store:
+            for batch in range(3):
+                store.put(f"k{batch}", batch)
+                store.flush()
+            tables = list(store._tables)
+            store._compact_tables([tables[0], tables[2]])  # skips the middle
+            assert store._tables == tables  # refused: nothing merged
+
+    def test_compact_with_deferred_scheduler_merges_pending_flush(self, tmp_path):
+        # compact() selects its inputs only after the queued flush has run,
+        # so the just-sealed memtable's table joins the merge.
+        scheduler = ManualScheduler()
+        with LSMStore(
+            tmp_path / "db", scheduler=scheduler, auto_compact=False
+        ) as store:
+            for i in range(10):
+                store.put(f"a{i}", i)
+            store.flush()
+            for i in range(10):
+                store.put(f"b{i}", i)
+            assert store.compact() == 0  # queued: no work has happened yet
+            scheduler.run_pending()
+            stats = store.stats()
+            assert stats["sstables"] == 1
+            assert stats["sstable_records"] == 20
+
     def test_empty_compaction_output_drops_tables(self, tmp_path):
         with LSMStore(tmp_path / "db", auto_compact=False) as store:
             store.put("a", 1)
@@ -372,6 +444,29 @@ class TestLSMStoreLifecycle:
                 assert store.size() == 100
         finally:
             scheduler.close()
+
+    def test_close_with_pending_flush_keeps_wal_for_recovery(self, tmp_path):
+        # A flush that runs after close() must not splice an SSTable into
+        # the closed store; its WAL segment stays and replays on reopen.
+        scheduler = ManualScheduler()
+        store = LSMStore(tmp_path / "db", scheduler=scheduler)
+        store.put("k", "v")
+        store.flush()
+        store.close()
+        scheduler.run_pending()  # the flush observes the closed store
+        assert not list((tmp_path / "db").glob("*.sst"))
+        with LSMStore(tmp_path / "db") as recovered:
+            assert recovered.get("k") == "v"
+
+    def test_directory_admits_one_opener(self, tmp_path):
+        # Opening runs recovery, which deletes replayed WAL segments -- a
+        # second opener would destroy the first one's live WAL.
+        with LSMStore(tmp_path / "db") as store:
+            store.put("k", 1)
+            with pytest.raises(DataStoreError):
+                LSMStore(tmp_path / "db")
+        with LSMStore(tmp_path / "db") as reopened:  # lock released on close
+            assert reopened.get("k") == 1
 
     def test_closed_store_raises(self, tmp_path):
         store = LSMStore(tmp_path / "db")
