@@ -15,11 +15,13 @@ file-per-key backend at 1 KB.
 from __future__ import annotations
 
 import random
+import statistics
 import time
 
 import pytest
 
 from repro.kv import FileSystemStore, LSMStore, SQLStore
+from repro.obs import EventLog, Observability
 
 FIGURE = "backend_lsm"
 OPERATIONS = 1_000
@@ -30,7 +32,10 @@ NOTE = (
     f"Embedded durable backends, {OPERATIONS} ops of {VALUE_SIZE} B values; "
     "per-op samples (x = value bytes), so p50/p95/p99 in the JSON are true "
     "tail latencies.  Series: <backend>_write / _read / _scan "
-    "(scan = one full keys_with_prefix pass per sample)."
+    "(scan = one full keys_with_prefix pass per sample).  "
+    "lsm_read_cache_on / lsm_read_cache_off isolate the block cache: same "
+    "flushed working set, warmed, read with the default 8 MiB budget vs "
+    "block_cache_bytes=0."
 )
 
 
@@ -104,6 +109,52 @@ def test_scan_path(benchmark, collector, tmp_path, name):
 
     benchmark.pedantic(run, rounds=1)
     store.close()
+
+
+def test_read_path_block_cache(benchmark, collector, tmp_path):
+    """Block cache on vs off: point reads over the same flushed working set.
+
+    Shape: with the working set (~1 MB) inside the default 8 MiB budget
+    and the cache warmed by one prior pass, the cache-on p50 must be
+    strictly below cache-off, and the run must actually hit the cache
+    (``lsm.block_cache.hits > 0``).
+    """
+    obs = Observability(events=EventLog())
+    stores = {
+        "cache_on": LSMStore(tmp_path / "on.lsm", obs=obs),
+        "cache_off": LSMStore(tmp_path / "off.lsm", block_cache_bytes=0),
+    }
+    for store in stores.values():
+        for i in range(OPERATIONS):
+            store.put(f"bench-{i:05d}", payload_for(i))
+        store.flush()  # read from SSTables, not a warm memtable
+    order = list(range(OPERATIONS))
+    random.Random(11).shuffle(order)
+    samples: dict[str, list[float]] = {mode: [] for mode in stores}
+    benchmark.group = "backend-lsm-read"
+
+    def run() -> None:
+        for mode, store in stores.items():
+            for i in order:  # warm pass: faults blocks in (no-op when off)
+                store.get(f"bench-{i:05d}")
+            for i in order:
+                start = time.perf_counter()
+                value = store.get(f"bench-{i:05d}")
+                elapsed = time.perf_counter() - start
+                samples[mode].append(elapsed)
+                collector.record(FIGURE, f"lsm_read_{mode}", VALUE_SIZE, elapsed)
+                assert value[:8] == f"{i:08d}"
+
+    benchmark.pedantic(run, rounds=1)
+
+    assert obs.registry.counter("lsm.block_cache.hits").value > 0
+    assert stores["cache_on"].stats()["block_cache"]["hits"] > 0
+    assert stores["cache_off"].stats()["block_cache"] is None
+    assert statistics.median(samples["cache_on"]) < statistics.median(
+        samples["cache_off"]
+    )
+    for store in stores.values():
+        store.close()
 
 
 def test_lsm_writes_beat_file_per_key(benchmark, collector):

@@ -14,7 +14,14 @@ a fresh store over the copy serves every acknowledged write:
 * compaction preserves the exact key/value set while reclaiming
   overwrites and tombstones;
 * recovery re-persists replayed state immediately (a second crash right
-  after open also loses nothing).
+  after open also loses nothing);
+* a torn MANIFEST tail is repaired on open without losing committed tables;
+* a crash between the flush commit and the compaction commit leaves the
+  old tables in charge (the uncommitted output is swept, nothing is
+  resurrected or lost), and the mirror crash -- swap committed, inputs
+  not yet unlinked -- sweeps the inputs and keeps the output;
+* orphaned ``*.sst.tmp`` files from a crashed table write are swept;
+* a PR-4-era directory (no MANIFEST) opens cleanly and writes one.
 
 Exit status 0 when every scenario holds; 1 otherwise.
 """
@@ -29,7 +36,14 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.errors import KeyNotFoundError  # noqa: E402
-from repro.lsm import LSMStore  # noqa: E402
+from repro.lsm import (  # noqa: E402
+    MANIFEST_NAME,
+    LSMStore,
+    Manifest,
+    SSTable,
+    merge_tables,
+    write_sstable,
+)
 
 
 def _expect(errors: list[str], condition: bool, message: str) -> None:
@@ -203,6 +217,136 @@ def check_recovery_is_durable() -> list[str]:
     return errors
 
 
+def check_torn_manifest_tail() -> list[str]:
+    """A torn MANIFEST tail must repair on open, keeping committed tables."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        expected: dict[str, object] = {}
+        with LSMStore(workdir / "db", auto_compact=False) as store:
+            for i in range(40):
+                store.put(f"key-{i:02d}", i)
+                expected[f"key-{i:02d}"] = i
+            store.flush()
+        with open(workdir / "db" / MANIFEST_NAME, "ab") as tail:
+            tail.write(b"\xba\xad\xf0\x0d")  # power loss mid-append
+        with LSMStore(workdir / "db") as recovered:
+            _verify_exact_contents(errors, recovered, expected, "torn manifest")
+        replay = Manifest.replay(workdir / "db" / MANIFEST_NAME)
+        _expect(errors, not replay.torn, "torn manifest: not rewritten clean")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_crash_between_swap_commits() -> list[str]:
+    """Crash after a compaction wrote its output but before the manifest
+    committed the swap: the old tables must win (no resurrected values,
+    no lost keys), and the uncommitted output must be swept."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        expected: dict[str, object] = {}
+        store = LSMStore(workdir / "db", auto_compact=False)
+        for batch in range(2):
+            for i in range(30):
+                store.put(f"key-{i:02d}", {"batch": batch})
+                expected[f"key-{i:02d}"] = {"batch": batch}
+            store.flush()
+        crashed = _crash_copy(store, workdir, "crashed")
+        store.close()
+        # The dead compaction's uncommitted output: stale data under the
+        # name a real merge would have used.  Loading it would resurrect
+        # batch-0 values; the manifest must refuse it.
+        stray = crashed / "000002-001.sst"
+        write_sstable(stray, [(b"key-00", b"stale")])
+        with LSMStore(crashed) as recovered:
+            _verify_exact_contents(errors, recovered, expected, "pre-commit crash")
+        _expect(errors, not stray.exists(), "pre-commit crash: stray .sst kept")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_crash_after_swap_commit() -> list[str]:
+    """Crash after the manifest committed a compaction swap but before the
+    input tables were unlinked: the output must win, the inputs be swept."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        expected: dict[str, object] = {}
+        root = workdir / "db"
+        with LSMStore(root, auto_compact=False) as store:
+            for batch in range(2):
+                for i in range(30):
+                    store.put(f"key-{i:02d}", {"batch": batch})
+                    expected[f"key-{i:02d}"] = {"batch": batch}
+                store.flush()
+        inputs = sorted(p.name for p in root.glob("*.sst"))
+        tables = [SSTable(root / name) for name in inputs]
+        entries = list(merge_tables(tables, drop_tombstones=True))
+        for table in tables:
+            table.close()
+        write_sstable(root / "000002-001.sst", entries)
+        manifest = Manifest(root / MANIFEST_NAME)
+        manifest.append(add=["000002-001.sst"], remove=inputs)
+        manifest.close()  # ... and the crash hits before the unlinks
+        with LSMStore(root) as recovered:
+            _verify_exact_contents(errors, recovered, expected, "post-commit crash")
+            _expect(errors, recovered.stats()["sstables"] == 1,
+                    "post-commit crash: inputs resurrected alongside output")
+        for name in inputs:
+            _expect(errors, not (root / name).exists(),
+                    f"post-commit crash: input {name} not swept")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_orphan_tmp_sweep() -> list[str]:
+    """Orphaned *.sst.tmp files from a crashed table write must be swept."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        root = workdir / "db"
+        with LSMStore(root) as store:
+            store.put("live", "data")
+        (root / "tmpdeadbeef.sst.tmp").write_bytes(b"half-written table")
+        with LSMStore(root) as recovered:
+            _verify_exact_contents(errors, recovered, {"live": "data"}, "orphan tmp")
+        _expect(errors, not list(root.glob("*.sst.tmp")),
+                "orphan tmp: *.sst.tmp survived recovery")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_manifest_migration() -> list[str]:
+    """A PR-4-era directory (no MANIFEST) must open cleanly and write one."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        expected: dict[str, object] = {}
+        root = workdir / "db"
+        with LSMStore(root, auto_compact=False) as store:
+            for i in range(50):
+                store.put(f"key-{i:02d}", i)
+                expected[f"key-{i:02d}"] = i
+            store.flush()
+            store.put("wal-only", "tail")
+            expected["wal-only"] = "tail"
+        (root / MANIFEST_NAME).unlink()  # what PR 4 left behind
+        with LSMStore(root) as migrated:
+            _verify_exact_contents(errors, migrated, expected, "manifest migration")
+        _expect(errors, (root / MANIFEST_NAME).is_file(),
+                "manifest migration: no MANIFEST written")
+        with LSMStore(root) as again:  # second open trusts the manifest
+            _verify_exact_contents(errors, again, expected, "post-migration open")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
 CHECKS = [
     ("wal-only crash", check_wal_only_crash),
     ("torn WAL tail", check_torn_tail),
@@ -210,6 +354,11 @@ CHECKS = [
     ("mixed-state crash", check_mixed_state_crash),
     ("compaction contents", check_compaction_preserves_contents),
     ("recovery durability", check_recovery_is_durable),
+    ("torn MANIFEST tail", check_torn_manifest_tail),
+    ("crash before swap commit", check_crash_between_swap_commits),
+    ("crash after swap commit", check_crash_after_swap_commit),
+    ("orphan tmp sweep", check_orphan_tmp_sweep),
+    ("manifest migration", check_manifest_migration),
 ]
 
 

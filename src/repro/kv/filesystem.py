@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ..errors import DataStoreError, KeyNotFoundError, StoreClosedError
+from ..fsutil import fsync_dir
 from ..serialization import Serializer, default_serializer
 from .interface import KeyValueStore, content_version
 
@@ -142,6 +143,11 @@ class FileSystemStore(KeyValueStore):
                     handle.flush()
                     os.fsync(handle.fileno())
             os.replace(tmp_name, path)
+            if self._fsync:
+                # The file fsync above makes the *contents* durable; the
+                # rename itself is durable only once the directory entry
+                # is synced too (POSIX), else power loss can forget it.
+                fsync_dir(self._root)
         except BaseException:
             try:
                 os.unlink(tmp_name)

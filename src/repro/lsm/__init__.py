@@ -12,6 +12,7 @@ generator, ``StoreServer`` -- works on it unchanged.
 Formats and the recovery procedure are documented in ``docs/lsm.md``.
 """
 
+from .blockcache import BlockCache
 from .compaction import (
     BackgroundScheduler,
     InlineScheduler,
@@ -19,6 +20,7 @@ from .compaction import (
     SizeTieredPolicy,
     merge_tables,
 )
+from .manifest import MANIFEST_NAME, Manifest
 from .memtable import TOMBSTONE, Memtable
 from .sstable import MISSING, SSTable, write_sstable
 from .store import LSMStore
@@ -35,6 +37,9 @@ __all__ = [
     "SSTable",
     "MISSING",
     "write_sstable",
+    "BlockCache",
+    "Manifest",
+    "MANIFEST_NAME",
     "SizeTieredPolicy",
     "merge_tables",
     "InlineScheduler",

@@ -135,7 +135,12 @@ def merge_tables(
     # Heap entries: (key, -age, generator). Newer tables get a smaller
     # second element, so for equal keys the newest source pops first and
     # older duplicates are skipped.
-    iterators = [iter(table.items()) for table in tables]
+    #
+    # fill_cache=False: a merge sweeps every block of its inputs exactly
+    # once, and the inputs are about to be retired -- letting that sweep
+    # populate the block cache would evict the hot read working set for
+    # blocks nobody will ever look up again.
+    iterators = [iter(table.items(fill_cache=False)) for table in tables]
     heap: list[tuple[bytes, int, Iterator]] = []
     for age, iterator in enumerate(iterators):
         first = next(iterator, None)

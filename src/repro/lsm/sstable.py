@@ -27,8 +27,13 @@ records.  The per-table Bloom filter (reused from
 do not hold the key -- the difference between O(tables) file probes per
 miss and near-zero.
 
-Reads use ``os.pread`` so concurrent readers never contend on a shared
-file position.
+The run of records between two adjacent index entries is the table's
+**block**: the unit of disk I/O (one ``pread`` per block) and the unit of
+caching.  With a :class:`~repro.lsm.blockcache.BlockCache` attached,
+``get`` and the scan iterators read through the cache, so a hot working
+set is served without touching the file at all; without one, reads fall
+back to ``pread`` (no shared file position, so concurrent readers never
+contend).
 """
 
 from __future__ import annotations
@@ -42,6 +47,8 @@ from typing import Iterable, Iterator
 
 from ..caching.bloom import BloomFilter
 from ..errors import DataStoreError
+from ..fsutil import fsync_dir
+from .blockcache import RECORD_OVERHEAD, BlockCache, next_table_id
 from .memtable import TOMBSTONE, Tombstone
 
 __all__ = ["MISSING", "SSTable", "write_sstable"]
@@ -122,6 +129,11 @@ def write_sstable(
             if fsync:
                 os.fsync(out.fileno())
         os.replace(tmp_name, path)
+        if fsync:
+            # fsyncing the file makes its *contents* durable; only fsyncing
+            # the parent directory makes the rename itself survive power
+            # loss (POSIX durability contract for directory entries).
+            fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -134,13 +146,22 @@ def write_sstable(
 class SSTable:
     """Read-only view over one on-disk table.
 
-    The sparse index and Bloom filter live in memory; record data is read
-    on demand with ``pread`` (no shared file position, so concurrent reads
-    need no lock).
+    The sparse index and Bloom filter live in memory; record data is
+    fetched block-at-a-time -- through the shared :class:`BlockCache`
+    when one is attached, with ``pread`` otherwise (no shared file
+    position, so concurrent reads need no lock).
     """
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+    def __init__(
+        self, path: str | os.PathLike[str], *, cache: BlockCache | None = None
+    ) -> None:
         self.path = Path(path)
+        self.table_id = next_table_id()
+        self._cache = cache
+        #: Set by the store when compaction retires this table; stops the
+        #: table from re-filling the cache it was just invalidated from
+        #: (in-flight snapshot readers may still scan it).
+        self.defunct = False
         self._fd = os.open(self.path, os.O_RDONLY)
         try:
             self.size_bytes = os.fstat(self._fd).st_size
@@ -188,13 +209,7 @@ class SSTable:
         if not self._index_keys or key < self._index_keys[0]:
             return MISSING
         slot = bisect_right(self._index_keys, key) - 1
-        offset = self._index_offsets[slot]
-        stop = (
-            self._index_offsets[slot + 1]
-            if slot + 1 < len(self._index_offsets)
-            else self._data_end
-        )
-        for record_key, value, _next_offset in self._scan(offset, stop):
+        for record_key, value in self._load_block(slot):
             if record_key == key:
                 return value
             if record_key > key:
@@ -202,35 +217,76 @@ class SSTable:
         return MISSING
 
     # ------------------------------------------------------------------
-    def _scan(
-        self, offset: int, stop: int
-    ) -> Iterator[tuple[bytes, "bytes | Tombstone", int]]:
-        """Yield ``(key, value, next_offset)`` for records in [offset, stop)."""
-        while offset < stop:
-            header = os.pread(self._fd, _RECORD.size, offset)
-            key_len, value_len = _RECORD.unpack(header)
+    @property
+    def block_count(self) -> int:
+        """Number of blocks (= sparse-index entries) in the table."""
+        return len(self._index_offsets)
+
+    def _load_block(
+        self, slot: int, *, fill_cache: bool = True
+    ) -> "tuple[tuple[bytes, bytes | Tombstone], ...]":
+        """Decoded records of block *slot*, via the cache when attached.
+
+        One ``pread`` fetches the whole block on a miss (the old
+        record-at-a-time path issued two syscalls per record); the
+        decoded tuple is immutable, so cached blocks are shared between
+        readers without copying.
+        """
+        if self._cache is not None:
+            cached = self._cache.get(self.table_id, slot)
+            if cached is not None:
+                return cached
+        start = self._index_offsets[slot]
+        stop = (
+            self._index_offsets[slot + 1]
+            if slot + 1 < len(self._index_offsets)
+            else self._data_end
+        )
+        blob = os.pread(self._fd, stop - start, start)
+        records: list[tuple[bytes, "bytes | Tombstone"]] = []
+        nbytes = 0
+        offset = 0
+        limit = stop - start
+        while offset < limit:
+            key_len, value_len = _RECORD.unpack_from(blob, offset)
+            offset += _RECORD.size
+            key = blob[offset : offset + key_len]
+            offset += key_len
             if value_len == _TOMBSTONE_LEN:
-                body = os.pread(self._fd, key_len, offset + _RECORD.size)
-                offset += _RECORD.size + key_len
-                yield body, TOMBSTONE, offset
+                records.append((key, TOMBSTONE))
+                nbytes += key_len + RECORD_OVERHEAD
             else:
-                body = os.pread(self._fd, key_len + value_len, offset + _RECORD.size)
-                offset += _RECORD.size + key_len + value_len
-                yield body[:key_len], body[key_len:], offset
+                records.append((key, blob[offset : offset + value_len]))
+                offset += value_len
+                nbytes += key_len + value_len + RECORD_OVERHEAD
+        block = tuple(records)
+        if self._cache is not None and fill_cache and not self.defunct:
+            self._cache.put(self.table_id, slot, block, nbytes)
+        return block
 
-    def items(self) -> Iterator[tuple[bytes, "bytes | Tombstone"]]:
-        """Every record in key order (tombstones included)."""
-        for key, value, _next in self._scan(len(_MAGIC), self._data_end):
-            yield key, value
+    def items(
+        self, *, fill_cache: bool = True
+    ) -> Iterator[tuple[bytes, "bytes | Tombstone"]]:
+        """Every record in key order (tombstones included).
 
-    def items_from(self, start: bytes) -> Iterator[tuple[bytes, "bytes | Tombstone"]]:
+        Pass ``fill_cache=False`` for one-shot bulk readers (compaction):
+        a full-table sweep would otherwise evict the hot working set to
+        cache blocks it will never read again.
+        """
+        for slot in range(len(self._index_offsets)):
+            yield from self._load_block(slot, fill_cache=fill_cache)
+
+    def items_from(
+        self, start: bytes, *, fill_cache: bool = True
+    ) -> Iterator[tuple[bytes, "bytes | Tombstone"]]:
         """Records with ``key >= start`` in key order (sparse-index seek)."""
         if not self._index_keys:
             return
-        slot = max(0, bisect_right(self._index_keys, start) - 1)
-        for key, value, _next in self._scan(self._index_offsets[slot], self._data_end):
-            if key >= start:
-                yield key, value
+        first = max(0, bisect_right(self._index_keys, start) - 1)
+        for slot in range(first, len(self._index_offsets)):
+            for key, value in self._load_block(slot, fill_cache=fill_cache):
+                if key >= start:
+                    yield key, value
 
     # ------------------------------------------------------------------
     @property

@@ -19,17 +19,24 @@ Read path (newest wins, first hit returns)::
 
     memtable --> sealed memtables --> SSTables newest-to-oldest
                                       (per-table Bloom filter gates
-                                       each file probe)
+                                       each probe; a shared block cache
+                                       serves hot blocks without I/O)
 
 Deletes write tombstones; compaction (size-tiered, see
 :mod:`repro.lsm.compaction`) merges tables and reclaims overwritten
-values and provably-dead tombstones.  Crash recovery replays the WAL --
-including truncating a torn tail back to the last intact record -- so
-every acknowledged write survives; the procedure and the on-disk formats
-are documented in ``docs/lsm.md``.
+values and provably-dead tombstones.  The live table set is recorded in
+a CRC-framed ``MANIFEST`` (:mod:`repro.lsm.manifest`): flushes and the
+flush->compact table swap commit as single atomic edit frames, and
+recovery trusts the manifest -- never a directory scan -- so a crash
+mid-swap can neither resurrect retired tables nor load uncommitted
+ones.  Crash recovery replays the WAL -- including truncating a torn
+tail back to the last intact record -- so every acknowledged write
+survives; the procedure and the on-disk formats are documented in
+``docs/lsm.md``.
 
 Observability: `lsm.wal.appends`, `lsm.memtable.flushes`, `lsm.sstables`
-(gauge), `lsm.compactions`, `lsm.read.level_hits.<level>` metrics plus
+(gauge), `lsm.compactions`, `lsm.read.level_hits.<level>`,
+`lsm.block_cache.{hits,misses,evictions,bytes}` metrics plus
 `lsm_flush` / `lsm_compact` / `lsm_recovery` journal events (see
 ``docs/observability.md``).
 """
@@ -52,7 +59,9 @@ from ..errors import ConfigurationError, DataStoreError, KeyNotFoundError, Store
 from ..kv.interface import KeyValueStore, content_version
 from ..obs import Observability, resolve_obs
 from ..serialization import Serializer, default_serializer
+from .blockcache import BlockCache
 from .compaction import InlineScheduler, SizeTieredPolicy, merge_tables
+from .manifest import MANIFEST_NAME, Manifest, require_tables_on_disk
 from .memtable import Memtable, Tombstone
 from .sstable import MISSING, SSTable, write_sstable
 from .wal import OP_DELETE, OP_PUT, WriteAheadLog
@@ -86,6 +95,7 @@ class LSMStore(KeyValueStore):
         policy: SizeTieredPolicy | None = None,
         scheduler: Any | None = None,
         auto_compact: bool = True,
+        block_cache_bytes: int = 8 * 1024 * 1024,
         fsync: bool = False,
         clock: Callable[[], float] | None = None,
         create: bool = True,
@@ -106,8 +116,14 @@ class LSMStore(KeyValueStore):
             writing thread).  Use ``ManualScheduler`` in tests or
             ``BackgroundScheduler`` for true background work.
         :param auto_compact: consult the policy after every flush.
+        :param block_cache_bytes: byte budget for the shared LRU cache of
+            decoded SSTable blocks (default 8 MiB); hot point reads and
+            prefix scans are served from memory instead of ``pread``.
+            ``0`` disables the cache.
         :param fsync: fsync the WAL on every append (durable against OS
-            crashes, not just process crashes; slower).
+            crashes, not just process crashes; slower).  Also makes
+            SSTable/MANIFEST renames durable (file + parent directory
+            fsync).
         :param clock: monotonic clock used to time flushes/compactions for
             the journal (injectable so tests are deterministic).
         :param obs: observability bundle (metrics + journal events).
@@ -116,6 +132,8 @@ class LSMStore(KeyValueStore):
             raise ConfigurationError("memtable_bytes must be positive")
         if index_interval < 1:
             raise ConfigurationError("index_interval must be positive")
+        if block_cache_bytes < 0:
+            raise ConfigurationError("block_cache_bytes must be >= 0 (0 disables)")
         self.name = name
         self._root = Path(root)
         self._serializer = serializer if serializer is not None else default_serializer()
@@ -132,6 +150,10 @@ class LSMStore(KeyValueStore):
         self._lock = threading.RLock()
         self._closed = False
         self._compacting = False
+        self._block_cache = (
+            BlockCache(block_cache_bytes, obs=self.obs) if block_cache_bytes else None
+        )
+        self._manifest: Manifest | None = None
         self._tables: list[SSTable] = []      # oldest first
         self._retired: list[SSTable] = []     # unlinked, kept open for readers
         self._immutables: list[tuple[Memtable, WriteAheadLog, int]] = []
@@ -144,6 +166,10 @@ class LSMStore(KeyValueStore):
         try:
             self._recover()
         except BaseException:
+            if self._manifest is not None:
+                self._manifest.close()
+            for table in self._tables:
+                table.close()
             self._release_dir_lock()
             raise
 
@@ -179,17 +205,59 @@ class LSMStore(KeyValueStore):
             self._lock_handle = None
 
     def _recover(self) -> None:
-        """Open existing SSTables, replay WAL segments, repair torn tails.
+        """Rebuild the table set from the MANIFEST, then replay the WAL.
 
-        Replayed mutations are flushed straight to a fresh SSTable (so the
-        recovered state is immediately durable), the old WAL segments are
-        deleted, and a new empty WAL becomes active.
+        The manifest is the authority on which ``*.sst`` files are part
+        of the store: files it does not name are uncommitted leftovers of
+        a crashed flush or compaction and are deleted (their data is
+        either still in a WAL segment or still in the old tables), and
+        files it names but the directory lacks are an error.  A PR-4-era
+        directory with no MANIFEST is migrated once: the directory scan
+        seeds the live set and a manifest is synthesized.  Either way the
+        manifest is rewritten as one clean snapshot frame (which also
+        repairs a torn tail), ``*.sst.tmp`` orphans from crashed table
+        writes are swept, WAL segments are replayed (streaming, torn
+        tails truncated) and flushed straight to a fresh SSTable so the
+        recovered state is immediately durable.
         """
+        # --- sweep temp-file orphans (crash mid-write leaves mkstemp files)
+        orphan_tmps = 0
         for path in sorted(self._root.iterdir()):
-            match = _SST_NAME.match(path.name)
+            if path.name.endswith((".sst.tmp", ".manifest.tmp")):
+                path.unlink()
+                orphan_tmps += 1
+
+        # --- determine the committed table set
+        manifest_path = self._root / MANIFEST_NAME
+        on_disk = {
+            path.name for path in self._root.iterdir() if _SST_NAME.match(path.name)
+        }
+        manifest_missing = not manifest_path.exists()
+        manifest_torn = False
+        manifest_discarded = 0
+        stray_ssts = 0
+        if manifest_missing:
+            # Migration path: a PR-4-era directory scan, trusted exactly once.
+            live = sorted(on_disk)
+        else:
+            replay = Manifest.replay(manifest_path)
+            manifest_torn = replay.torn
+            manifest_discarded = replay.discarded_bytes
+            require_tables_on_disk(self._root, replay.tables)
+            live = replay.tables
+            for name in sorted(on_disk - set(live)):
+                # Uncommitted flush/compaction output (or an input that a
+                # committed compaction already removed): never load it.
+                (self._root / name).unlink()
+                stray_ssts += 1
+
+        for name in live:
+            match = _SST_NAME.match(name)
             if match is None:
-                continue
-            table = SSTable(path)
+                raise DataStoreError(
+                    f"MANIFEST in {self._root} lists malformed table name {name!r}"
+                )
+            table = SSTable(self._root / name, cache=self._block_cache)
             table.seq = int(match.group(1))  # type: ignore[attr-defined]
             table.gen = int(match.group(2))  # type: ignore[attr-defined]
             self._tables.append(table)
@@ -197,6 +265,14 @@ class LSMStore(KeyValueStore):
         next_seq = 1 + max(
             [t.seq for t in self._tables]  # type: ignore[attr-defined]
             + [0],
+        )
+
+        # One clean snapshot frame: repairs any torn tail, compacts the
+        # edit history, and (on migration) persists the synthesized set.
+        self._manifest = Manifest.create(
+            manifest_path,
+            [t.path.name for t in self._tables],
+            fsync=self._fsync,
         )
 
         wal_paths = sorted(
@@ -223,7 +299,13 @@ class LSMStore(KeyValueStore):
             next_seq += 1
         for path in wal_paths:
             path.unlink()
-        if wal_paths and (records or torn):
+        if (
+            (wal_paths and (records or torn))
+            or stray_ssts
+            or orphan_tmps
+            or manifest_torn
+            or (manifest_missing and on_disk)
+        ):
             self.obs.emit(
                 "lsm_recovery",
                 store=self.name,
@@ -231,6 +313,11 @@ class LSMStore(KeyValueStore):
                 wal_segments=len(wal_paths),
                 torn_tail=torn,
                 discarded_bytes=discarded,
+                stray_ssts=stray_ssts,
+                orphan_tmps=orphan_tmps,
+                manifest_created=manifest_missing,
+                manifest_torn=manifest_torn,
+                manifest_discarded_bytes=manifest_discarded,
             )
 
         self._memtable = Memtable()
@@ -347,6 +434,10 @@ class LSMStore(KeyValueStore):
                 table.close()
             self._tables.clear()
             self._retired.clear()
+            if self._manifest is not None:
+                self._manifest.close()
+            if self._block_cache is not None:
+                self._block_cache.clear()
             self._release_dir_lock()
 
     def native(self) -> Path:
@@ -509,7 +600,7 @@ class LSMStore(KeyValueStore):
             bloom_fp_rate=self._bloom_fp_rate,
             fsync=self._fsync,
         )
-        table = SSTable(path)
+        table = SSTable(path, cache=self._block_cache)
         table.seq = seq  # type: ignore[attr-defined]
         table.gen = gen  # type: ignore[attr-defined]
         with self._lock:
@@ -517,6 +608,11 @@ class LSMStore(KeyValueStore):
                 table.close()
                 path.unlink(missing_ok=True)
                 return None
+            # Commit point: the table joins the store only once the
+            # manifest says so.  A crash before this append leaves a
+            # stray .sst (swept on the next open) and the WAL segment
+            # still on disk -- nothing acknowledged is lost either way.
+            self._manifest.append(add=[path.name])
             self._tables.append(table)
             self._tables.sort(key=lambda t: (t.seq, t.gen))  # type: ignore[attr-defined]
         return table
@@ -613,7 +709,7 @@ class LSMStore(KeyValueStore):
                     bloom_fp_rate=self._bloom_fp_rate,
                     fsync=self._fsync,
                 )
-                output = SSTable(path)
+                output = SSTable(path, cache=self._block_cache)
                 output.seq = seq  # type: ignore[attr-defined]
                 output.gen = gen  # type: ignore[attr-defined]
             with self._lock:
@@ -621,6 +717,15 @@ class LSMStore(KeyValueStore):
                     if output is not None:
                         output.close()
                     return
+                # Commit point: one manifest frame swaps the output in
+                # and the inputs out atomically.  Crash before it: the
+                # output is a stray (swept on open) and the old tables
+                # win.  Crash after it: the inputs are strays and the
+                # output wins.  Recovery never sees the swap half-done.
+                self._manifest.append(
+                    add=[output.path.name] if output is not None else [],
+                    remove=[t.path.name for t in selected],
+                )
                 survivors = [t for t in self._tables if t not in selected]
                 if output is not None:
                     survivors.append(output)
@@ -629,9 +734,13 @@ class LSMStore(KeyValueStore):
                 for table in selected:
                     # Unlink now, but keep the descriptor open: a reader
                     # holding a pre-swap snapshot may still be scanning it.
+                    table.defunct = True
                     table.path.unlink(missing_ok=True)
                     self._retired.append(table)
                 self._sync_table_gauge()
+                if self._block_cache is not None:
+                    for table in selected:
+                        self._block_cache.invalidate(table.table_id)
             if self.obs.enabled:
                 self.obs.inc("lsm.compactions")
                 self.obs.observe("lsm.compaction.seconds", self._clock() - started)
@@ -663,10 +772,14 @@ class LSMStore(KeyValueStore):
                 "immutable_memtables": len(self._immutables),
                 "wal_bytes": self._wal.size_bytes,
                 "wal_segment": self._wal.path.name,
+                "manifest_bytes": self._manifest.size_bytes,
                 "sstables": len(tables),
                 "sstable_records": sum(t.record_count for t in tables),
                 "sstable_bytes": sum(t.size_bytes for t in tables),
                 "pending_tasks": self._scheduler.pending(),
+                "block_cache": (
+                    self._block_cache.stats() if self._block_cache is not None else None
+                ),
                 "tables": [
                     {
                         "file": t.path.name,

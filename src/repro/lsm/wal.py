@@ -48,6 +48,15 @@ OP_DELETE = 1
 _HEADER = struct.Struct("<II")  # crc32, payload length
 _PREFIX = struct.Struct("<BI")  # op, key length
 
+#: Replay reads the log through a bounded buffer in chunks of this many
+#: bytes, so recovering a multi-gigabyte WAL uses constant memory instead
+#: of slurping the whole file (peak buffer = one chunk + one frame).
+REPLAY_CHUNK_BYTES = 64 * 1024
+
+# Indirection so tests can observe replay's read pattern (chunked, never
+# whole-file) by swapping in a recording opener.
+_open = open
+
 
 class WalRecord(NamedTuple):
     """One replayed mutation."""
@@ -131,27 +140,57 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def replay(path: str | os.PathLike[str]) -> WalReplay:
-        """Read every intact record from *path*, stopping at a torn tail."""
+    def replay(
+        path: str | os.PathLike[str], *, chunk_size: int = REPLAY_CHUNK_BYTES
+    ) -> WalReplay:
+        """Read every intact record from *path*, stopping at a torn tail.
+
+        Streams the file through a bounded buffer (*chunk_size* bytes per
+        read), so replay memory is O(chunk + largest frame), never O(log
+        size) -- a recovery that slurped a multi-GB WAL whole was itself
+        a crash risk.
+        """
         records: list[WalRecord] = []
-        data = Path(path).read_bytes()
-        offset = 0
-        total = len(data)
-        while offset + _HEADER.size <= total:
-            crc, length = _HEADER.unpack_from(data, offset)
-            end = offset + _HEADER.size + length
-            if end > total:
-                break  # torn payload
-            payload = data[offset + _HEADER.size : end]
-            if zlib.crc32(payload) != crc or length < _PREFIX.size:
-                break  # corrupt record: treat the rest as a torn tail
-            op, key_len = _PREFIX.unpack_from(payload, 0)
-            if op not in (OP_PUT, OP_DELETE) or _PREFIX.size + key_len > length:
-                break
-            key = payload[_PREFIX.size : _PREFIX.size + key_len]
-            value = payload[_PREFIX.size + key_len :]
-            records.append(WalRecord(op, key, value))
-            offset = end
+        path = Path(path)
+        total = os.stat(path).st_size
+        buffer = bytearray()
+        offset = 0  # file offset of the end of the last intact frame
+        with _open(path, "rb") as handle:
+
+            def fill(needed: int) -> bool:
+                """Grow the buffer to *needed* bytes; False at early EOF.
+
+                Always reads whole chunks, so the buffer high-water mark
+                is ``needed + chunk_size`` and the syscall count is
+                O(file size / chunk), not O(records).
+                """
+                while len(buffer) < needed:
+                    chunk = handle.read(chunk_size)
+                    if not chunk:
+                        return False
+                    buffer.extend(chunk)
+                return True
+
+            while True:
+                if not fill(_HEADER.size):
+                    break  # torn header (or clean EOF)
+                crc, length = _HEADER.unpack_from(buffer, 0)
+                frame_size = _HEADER.size + length
+                if offset + frame_size > total:
+                    break  # frame claims more bytes than the file holds
+                if not fill(frame_size):
+                    break  # torn payload
+                payload = bytes(buffer[_HEADER.size : frame_size])
+                if zlib.crc32(payload) != crc or length < _PREFIX.size:
+                    break  # corrupt record: treat the rest as a torn tail
+                op, key_len = _PREFIX.unpack_from(payload, 0)
+                if op not in (OP_PUT, OP_DELETE) or _PREFIX.size + key_len > length:
+                    break
+                key = payload[_PREFIX.size : _PREFIX.size + key_len]
+                value = payload[_PREFIX.size + key_len :]
+                records.append(WalRecord(op, key, value))
+                del buffer[:frame_size]
+                offset += frame_size
         return WalReplay(records, offset, offset != total, total - offset)
 
     @staticmethod

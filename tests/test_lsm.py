@@ -8,7 +8,9 @@ driven by :class:`~repro.lsm.ManualScheduler`.
 
 from __future__ import annotations
 
+import os
 import shutil
+import stat
 import struct
 
 import pytest
@@ -21,11 +23,14 @@ from repro.errors import (
 )
 from repro.kv import FileSystemStore, LSMStore
 from repro.lsm import (
+    MANIFEST_NAME,
     MISSING,
     OP_DELETE,
     OP_PUT,
     TOMBSTONE,
     BackgroundScheduler,
+    BlockCache,
+    Manifest,
     ManualScheduler,
     Memtable,
     SizeTieredPolicy,
@@ -34,6 +39,7 @@ from repro.lsm import (
     merge_tables,
     write_sstable,
 )
+from repro.lsm import wal as wal_module
 from repro.lsm.memtable import Tombstone
 from repro.obs import EventLog, Observability
 
@@ -710,3 +716,524 @@ class TestLSMIntegration:
             assert client.get("k") == {"cached": True}
             assert client.get("k") == {"cached": True}  # cache hit
             assert client.counters.cache_hits >= 1
+
+
+# ----------------------------------------------------------------------
+# Block cache
+# ----------------------------------------------------------------------
+class TestBlockCache:
+    def test_lru_eviction_by_bytes(self):
+        cache = BlockCache(100)
+        cache.put(1, 0, "a", 40)
+        cache.put(1, 1, "b", 40)
+        assert cache.get(1, 0) == "a"      # touch: slot 0 becomes MRU
+        cache.put(1, 2, "c", 40)           # evicts slot 1, the LRU entry
+        assert cache.get(1, 1) is None
+        assert cache.get(1, 0) == "a"
+        assert cache.get(1, 2) == "c"
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["bytes"] == 80
+        assert stats["blocks"] == 2
+
+    def test_oversized_block_not_admitted(self):
+        cache = BlockCache(100)
+        cache.put(1, 0, "too-big", 500)
+        assert cache.get(1, 0) is None
+        assert cache.bytes_used == 0
+
+    def test_replacing_a_block_reaccounts_bytes(self):
+        cache = BlockCache(100)
+        cache.put(1, 0, "a", 60)
+        cache.put(1, 0, "a2", 20)
+        assert cache.bytes_used == 20
+        assert cache.get(1, 0) == "a2"
+
+    def test_invalidate_drops_only_that_table(self):
+        cache = BlockCache(1000)
+        cache.put(1, 0, "a", 10)
+        cache.put(1, 1, "b", 10)
+        cache.put(2, 0, "c", 10)
+        assert cache.invalidate(1) == 2
+        assert cache.invalidate(1) == 0    # idempotent
+        assert cache.get(1, 0) is None
+        assert cache.get(2, 0) == "c"
+        assert cache.bytes_used == 10
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockCache(0)
+
+    def test_metrics_flow_through_obs(self):
+        obs = Observability()
+        cache = BlockCache(100, obs=obs)
+        cache.put(1, 0, "a", 90)
+        cache.get(1, 0)
+        cache.get(1, 1)
+        cache.put(1, 2, "b", 90)           # evicts slot 0
+        registry = obs.registry
+        assert registry.counter("lsm.block_cache.hits").value == 1
+        assert registry.counter("lsm.block_cache.misses").value == 1
+        assert registry.counter("lsm.block_cache.evictions").value == 1
+        assert registry.gauge("lsm.block_cache.bytes").value == 90
+
+
+class TestSSTableBlockCache:
+    def entries(self, count=100):
+        return [(b"key-%04d" % i, b"value-%d" % i) for i in range(count)]
+
+    def table(self, tmp_path, cache, **kwargs):
+        path = write_sstable(tmp_path / "t.sst", self.entries(),
+                             index_interval=8, **kwargs)
+        return SSTable(path, cache=cache)
+
+    def test_point_reads_read_through_cache(self, tmp_path, monkeypatch):
+        cache = BlockCache(1 << 20)
+        table = self.table(tmp_path, cache)
+        assert table.get(b"key-0042") == b"value-42"   # miss populates block
+        real_pread = os.pread
+        preads = []
+        monkeypatch.setattr(
+            os, "pread", lambda *a: (preads.append(a), real_pread(*a))[1]
+        )
+        assert table.get(b"key-0042") == b"value-42"   # cache hit
+        assert table.get(b"key-0040") == b"value-40"   # same block, still hot
+        assert preads == []                             # zero disk reads
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] >= 1
+        table.close()
+
+    def test_scans_read_through_cache(self, tmp_path, monkeypatch):
+        cache = BlockCache(1 << 20)
+        table = self.table(tmp_path, cache)
+        assert list(table.items()) == self.entries()    # populates every block
+
+        def boom(*_a):
+            raise AssertionError("scan touched the disk despite a warm cache")
+
+        monkeypatch.setattr(os, "pread", boom)
+        assert list(table.items()) == self.entries()
+        tail = list(table.items_from(b"key-0090"))
+        assert tail[0][0] == b"key-0090" and len(tail) == 10
+        table.close()
+
+    def test_fill_cache_false_skips_population(self, tmp_path):
+        cache = BlockCache(1 << 20)
+        table = self.table(tmp_path, cache)
+        assert list(table.items(fill_cache=False)) == self.entries()
+        assert len(cache) == 0                          # compaction-style sweep
+        table.close()
+
+    def test_defunct_table_stops_refilling(self, tmp_path):
+        cache = BlockCache(1 << 20)
+        table = self.table(tmp_path, cache)
+        table.defunct = True
+        assert table.get(b"key-0001") == b"value-1"     # still readable
+        assert len(cache) == 0                          # but never cached again
+        table.close()
+
+    def test_uncached_table_still_reads(self, tmp_path):
+        table = self.table(tmp_path, cache=None)
+        assert table.get(b"key-0007") == b"value-7"
+        assert list(table.items()) == self.entries()
+        table.close()
+
+
+class TestStoreBlockCache:
+    def test_hot_reads_skip_disk_entirely(self, tmp_path, monkeypatch):
+        obs = Observability()
+        store = LSMStore(tmp_path / "db", auto_compact=False, obs=obs)
+        for i in range(50):
+            store.put(f"k{i:02d}", i)
+        store.flush()
+        assert store.get("k07") == 7                    # SSTable read, fills cache
+
+        def boom(*_a):
+            raise AssertionError("hot read touched the disk")
+
+        monkeypatch.setattr(os, "pread", boom)
+        assert store.get("k07") == 7                    # served from the cache
+        assert obs.registry.counter("lsm.block_cache.hits").value >= 1
+        monkeypatch.undo()
+        cache = store.stats()["block_cache"]
+        assert cache is not None and cache["hits"] >= 1
+        store.close()
+
+    def test_compaction_invalidates_retired_tables(self, tmp_path):
+        store = LSMStore(tmp_path / "db", auto_compact=False)
+        for batch in range(2):
+            for i in range(20):
+                store.put(f"k{i:02d}", batch)
+            store.flush()
+        for i in range(20):
+            assert store.get(f"k{i:02d}") == 1          # warm the cache
+        populated = store.stats()["block_cache"]["blocks"]
+        assert populated > 0
+        store.compact()
+        # Retired tables' blocks are gone; the output repopulates on read.
+        for i in range(20):
+            assert store.get(f"k{i:02d}") == 1
+        store.close()
+
+    def test_block_cache_disabled_with_zero_budget(self, tmp_path):
+        with LSMStore(tmp_path / "db", block_cache_bytes=0) as store:
+            store.put("a", 1)
+            store.flush()
+            assert store.get("a") == 1
+            assert store.stats()["block_cache"] is None
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            LSMStore(tmp_path / "db", block_cache_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_append_replay_roundtrip(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        manifest = Manifest(path)
+        manifest.append(add=["000001-000.sst"])
+        manifest.append(add=["000002-000.sst"])
+        manifest.append(
+            add=["000002-001.sst"],
+            remove=["000001-000.sst", "000002-000.sst"],
+        )
+        manifest.close()
+        replay = Manifest.replay(path)
+        assert replay.tables == ["000002-001.sst"]
+        assert replay.edits == 3
+        assert replay.torn is False and replay.discarded_bytes == 0
+
+    def test_add_order_is_preserved(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        manifest = Manifest(path)
+        manifest.append(add=["b.sst", "c.sst"])
+        manifest.append(add=["a.sst"])
+        manifest.close()
+        assert Manifest.replay(path).tables == ["b.sst", "c.sst", "a.sst"]
+
+    def test_torn_tail_stops_replay_and_repairs(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        manifest = Manifest(path)
+        manifest.append(add=["a.sst"])
+        valid = manifest.size_bytes
+        manifest.append(add=["b.sst"])
+        manifest.close()
+        blob = path.read_bytes()
+        path.write_bytes(blob[: valid + 5])             # power loss mid-frame
+        replay = Manifest.replay(path)
+        assert replay.tables == ["a.sst"]
+        assert replay.torn is True and replay.discarded_bytes == 5
+        Manifest.repair(path, replay)
+        again = Manifest.replay(path)
+        assert again.torn is False and again.tables == ["a.sst"]
+
+    def test_corrupt_frame_treated_as_torn(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        manifest = Manifest(path)
+        manifest.append(add=["a.sst"])
+        valid = manifest.size_bytes
+        manifest.append(remove=["a.sst"])
+        manifest.close()
+        blob = bytearray(path.read_bytes())
+        blob[valid + 10] ^= 0xFF                        # bit-flip the 2nd frame
+        path.write_bytes(bytes(blob))
+        replay = Manifest.replay(path)
+        assert replay.tables == ["a.sst"]               # corrupt edit not applied
+        assert replay.torn is True
+
+    def test_create_rewrites_snapshot_atomically(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        stale = Manifest(path)
+        stale.append(add=["dead.sst"])
+        stale.close()
+        manifest = Manifest.create(path, ["x.sst", "y.sst"])
+        manifest.append(remove=["x.sst"])
+        manifest.close()
+        assert Manifest.replay(path).tables == ["y.sst"]
+        assert not list(tmp_path.glob("*.manifest.tmp"))
+
+
+class TestManifestRecovery:
+    def test_manifest_tracks_flushes(self, tmp_path):
+        root = tmp_path / "db"
+        with LSMStore(root, auto_compact=False) as store:
+            assert (root / MANIFEST_NAME).is_file()     # written on open
+            store.put("a", 1)
+            store.flush()
+        (name,) = Manifest.replay(root / MANIFEST_NAME).tables
+        assert (root / name).is_file()
+
+    def test_compaction_swap_is_one_manifest_edit(self, tmp_path):
+        root = tmp_path / "db"
+        with LSMStore(root, auto_compact=False) as store:
+            for batch in range(3):
+                for i in range(10):
+                    store.put(f"k{i}", batch)
+                store.flush()
+            store.compact()
+            live = {t["file"] for t in store.stats()["tables"]}
+        replay = Manifest.replay(root / MANIFEST_NAME)
+        assert set(replay.tables) == live
+
+    def test_stray_sst_rejected_on_open(self, tmp_path):
+        """Crash window: flush/compaction output written, commit frame never
+        appended -- the stray table must not be loaded (old state wins)."""
+        root = tmp_path / "db"
+        with LSMStore(root, auto_compact=False) as store:
+            store.put("k", "committed")
+            store.flush()
+        # The stray holds raw bytes that would fail deserialization if the
+        # store ever trusted it -- proof it is rejected, not just shadowed.
+        write_sstable(root / "000001-001.sst", [(b"k", b"uncommitted")])
+        events = EventLog()
+        with LSMStore(root, obs=Observability(events=events)) as store:
+            assert store.get("k") == "committed"
+        assert not (root / "000001-001.sst").exists()
+        (record,) = events.tail(kind="lsm_recovery")
+        assert record["stray_ssts"] == 1
+
+    def test_missing_committed_table_fails_open(self, tmp_path):
+        root = tmp_path / "db"
+        with LSMStore(root) as store:
+            store.put("a", 1)
+            store.flush()
+        (sst,) = root.glob("*.sst")
+        sst.unlink()
+        with pytest.raises(DataStoreError, match="missing"):
+            LSMStore(root)
+
+    def test_pr4_directory_without_manifest_migrates(self, tmp_path):
+        root = tmp_path / "db"
+        with LSMStore(root, auto_compact=False) as store:
+            for i in range(10):
+                store.put(f"k{i}", i)
+            store.flush()
+            store.put("tail", "wal-only")
+        (root / MANIFEST_NAME).unlink()                 # a PR-4-era directory
+        events = EventLog()
+        with LSMStore(root, obs=Observability(events=events)) as store:
+            assert store.get("k3") == 3
+            assert store.get("tail") == "wal-only"
+        assert (root / MANIFEST_NAME).is_file()         # synthesized once
+        record = events.tail(kind="lsm_recovery")[0]
+        assert record["manifest_created"] is True
+        # The next open trusts the manifest, no migration event.
+        with LSMStore(root) as store:
+            assert store.get("tail") == "wal-only"
+
+    def test_torn_manifest_tail_repaired_on_open(self, tmp_path):
+        root = tmp_path / "db"
+        with LSMStore(root, auto_compact=False) as store:
+            for i in range(10):
+                store.put(f"k{i}", i)
+            store.flush()
+        with open(root / MANIFEST_NAME, "ab") as tail:
+            tail.write(b"\xde\xad\xbe\xef")             # power loss mid-append
+        events = EventLog()
+        with LSMStore(root, obs=Observability(events=events)) as store:
+            assert store.get("k7") == 7
+        record = events.tail(kind="lsm_recovery")[0]
+        assert record["manifest_torn"] is True
+        assert record["manifest_discarded_bytes"] == 4
+        replay = Manifest.replay(root / MANIFEST_NAME)  # rewritten clean
+        assert replay.torn is False and len(replay.tables) == 1
+
+    def test_crash_between_flush_commit_and_compaction_commit(self, tmp_path):
+        """The PR-4 crash window the manifest closes: a compaction wrote its
+        output but crashed before committing the swap.  The old tables must
+        win -- no resurrected values, no lost keys."""
+        root = tmp_path / "db"
+        store = LSMStore(root, auto_compact=False)
+        for batch in range(2):
+            for i in range(20):
+                store.put(f"k{i:02d}", batch)
+            store.flush()
+        snapshot = crash_copy(store, tmp_path)
+        store.close()
+        # Simulate the dead compaction's uncommitted output in the copy:
+        # stale data under the name a real merge would have used.
+        write_sstable(snapshot / "000002-001.sst", [(b"k00", b"stale-garbage")])
+        with LSMStore(snapshot) as recovered:
+            for i in range(20):
+                assert recovered.get(f"k{i:02d}") == 1  # newest batch wins
+        assert not (snapshot / "000002-001.sst").exists()
+
+    def test_crash_after_compaction_commit_inputs_swept(self, tmp_path):
+        """The mirror window: the swap frame is durable but the crash hit
+        before the inputs were unlinked -- the output must win and the
+        inputs must be swept, not resurrected."""
+        root = tmp_path / "db"
+        with LSMStore(root, auto_compact=False) as store:
+            for batch in range(2):
+                for i in range(20):
+                    store.put(f"k{i:02d}", batch)
+                store.flush()
+        inputs = sorted(p.name for p in root.glob("*.sst"))
+        assert len(inputs) == 2
+        # Merge the inputs exactly as compaction would, commit the swap in
+        # the manifest, but "crash" before unlinking the input files.
+        tables = [SSTable(root / name) for name in inputs]
+        entries = list(merge_tables(tables, drop_tombstones=True))
+        for table in tables:
+            table.close()
+        write_sstable(root / "000002-001.sst", entries)
+        manifest = Manifest(root / MANIFEST_NAME)
+        manifest.append(add=["000002-001.sst"], remove=inputs)
+        manifest.close()
+        events = EventLog()
+        with LSMStore(root, obs=Observability(events=events)) as recovered:
+            for i in range(20):
+                assert recovered.get(f"k{i:02d}") == 1
+            assert recovered.stats()["sstables"] == 1
+        for name in inputs:
+            assert not (root / name).exists()
+        record = events.tail(kind="lsm_recovery")[0]
+        assert record["stray_ssts"] == 2
+
+
+# ----------------------------------------------------------------------
+# Durability satellites: directory fsync, orphan sweep, streaming replay
+# ----------------------------------------------------------------------
+def _recording_fsync(monkeypatch):
+    """Monkeypatch ``os.fsync`` to record whether each fd is a directory."""
+    real_fsync = os.fsync
+    synced: list[bool] = []
+
+    def recording(fd):
+        synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+        real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", recording)
+    return synced
+
+
+class TestDirectoryFsync:
+    def test_write_sstable_fsyncs_parent_directory(self, tmp_path, monkeypatch):
+        synced = _recording_fsync(monkeypatch)
+        write_sstable(tmp_path / "t.sst", [(b"a", b"1")], fsync=True)
+        assert True in synced           # the rename itself was made durable
+        assert synced.index(False) < synced.index(True)  # file first, then dir
+
+    def test_write_sstable_without_fsync_skips_all_syncs(self, tmp_path, monkeypatch):
+        synced = _recording_fsync(monkeypatch)
+        write_sstable(tmp_path / "t.sst", [(b"a", b"1")])
+        assert synced == []
+
+    def test_filesystem_store_fsyncs_directory_on_put(self, tmp_path, monkeypatch):
+        synced = _recording_fsync(monkeypatch)
+        store = FileSystemStore(tmp_path / "fs", fsync=True)
+        store.put("k", "v")
+        assert True in synced
+        store.close()
+
+    def test_filesystem_store_without_fsync_skips_all_syncs(self, tmp_path, monkeypatch):
+        synced = _recording_fsync(monkeypatch)
+        store = FileSystemStore(tmp_path / "fs")
+        store.put("k", "v")
+        assert synced == []
+        store.close()
+
+
+class TestOrphanTmpSweep:
+    def test_orphan_tmp_removed_on_open(self, tmp_path):
+        root = tmp_path / "db"
+        with LSMStore(root) as store:
+            store.put("a", 1)
+        # A crash mid-write_sstable strands the mkstemp file forever.
+        (root / "tmp1a2b3c.sst.tmp").write_bytes(b"half a table")
+        (root / "tmp9z8y7x.manifest.tmp").write_bytes(b"half a manifest")
+        events = EventLog()
+        with LSMStore(root, obs=Observability(events=events)) as store:
+            assert store.get("a") == 1
+        assert not list(root.glob("*.sst.tmp"))
+        assert not list(root.glob("*.manifest.tmp"))
+        record = events.tail(kind="lsm_recovery")[0]
+        assert record["orphan_tmps"] == 2
+
+
+class TestStreamingReplay:
+    def test_replay_streams_in_bounded_chunks(self, tmp_path, monkeypatch):
+        path = tmp_path / "big.log"
+        wal = WriteAheadLog(path)
+        for i in range(500):
+            wal.append_put(b"key-%03d" % i, b"v" * 100)
+        wal.close()
+        file_size = path.stat().st_size
+        chunk = 4096
+        assert file_size > 10 * chunk   # big enough that slurping would show
+
+        reads: list[int] = []
+        real_open = wal_module._open
+
+        class RecordingFile:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def read(self, n=-1):
+                reads.append(n if n >= 0 else file_size)
+                return self._inner.read(n)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._inner.close()
+                return False
+
+        monkeypatch.setattr(
+            wal_module, "_open", lambda p, mode: RecordingFile(real_open(p, mode))
+        )
+        replay = WriteAheadLog.replay(path, chunk_size=chunk)
+        assert len(replay.records) == 500
+        assert replay.torn is False
+        assert max(reads) <= chunk                       # never slurps the file
+        assert len(reads) >= file_size // chunk          # genuinely chunked
+
+    def test_replay_stops_at_header_claiming_more_than_the_file(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append_put(b"k", b"v")
+        wal.close()
+        with open(path, "ab") as handle:
+            # A torn header whose length field claims 2 GB: replay must not
+            # try to buffer it, just stop at the valid prefix.
+            handle.write(struct.pack("<II", 0, 0x7FFF_FFFF))
+        replay = WriteAheadLog.replay(path, chunk_size=1024)
+        assert [record.key for record in replay.records] == [b"k"]
+        assert replay.torn is True
+        assert replay.discarded_bytes == 8
+
+    def test_store_recovery_uses_streaming_replay(self, tmp_path, monkeypatch):
+        store = LSMStore(tmp_path / "db")
+        for i in range(200):
+            store.put(f"key-{i:03d}", "x" * 200)
+        crashed = crash_copy(store, tmp_path)
+        store.close()
+
+        reads: list[int] = []
+        real_open = wal_module._open
+
+        class RecordingFile:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def read(self, n=-1):
+                reads.append(n)
+                return self._inner.read(n)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._inner.close()
+                return False
+
+        monkeypatch.setattr(
+            wal_module, "_open", lambda p, mode: RecordingFile(real_open(p, mode))
+        )
+        with LSMStore(crashed) as recovered:
+            assert recovered.get("key-199") == "x" * 200
+        assert reads and max(reads) <= wal_module.REPLAY_CHUNK_BYTES
