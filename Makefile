@@ -1,13 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test unit check-docs check-obs check-resilience check-lsm all
+.PHONY: test unit check-docs check-obs check-resilience check-lsm check-serving all
 
 all: test
 
 # The default gate: unit suite + doc snippets + instrumentation coverage
-# + fault-tolerance contract + LSM durability contract.
-test: unit check-docs check-obs check-resilience check-lsm
+# + fault-tolerance contract + LSM durability contract + serving-plane
+# smoke gate.
+test: unit check-docs check-obs check-resilience check-lsm check-serving
 
 unit:
 	$(PYTHON) -m pytest -x -q
@@ -31,3 +32,9 @@ check-resilience:
 # crashes) and assert no acknowledged write is lost (see docs/lsm.md).
 check-lsm:
 	$(PYTHON) scripts/check_lsm.py
+
+# Boot the async serving engine, drive a pipelined open-loop burst, and
+# assert STATS move plus the 2x concurrent-connection headroom over the
+# threaded engine (see docs/serving.md and scripts/check_serving.py).
+check-serving:
+	$(PYTHON) scripts/check_serving.py

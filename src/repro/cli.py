@@ -182,6 +182,10 @@ def cmd_serve(options: argparse.Namespace) -> int:
         argv += ["--snapshot", options.snapshot]
     if options.backend != "cache":
         argv += ["--backend", options.backend, "--database", options.database]
+    if options.engine != "threaded":
+        argv += ["--engine", options.engine]
+    if options.max_clients is not None:
+        argv += ["--max-clients", str(options.max_clients)]
     server_module.main(argv)
     return 0
 
@@ -662,6 +666,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", choices=("cache", "sql", "lsm"), default="cache")
     serve.add_argument("--database", default=":memory:",
                        help="sqlite path (sql) / data directory (lsm)")
+    serve.add_argument("--engine", choices=("threaded", "async"), default="threaded",
+                       help="thread-per-connection or event-loop serving engine")
+    serve.add_argument("--max-clients", type=int, default=None,
+                       help="concurrent-connection bound (default: per-engine)")
     serve.set_defaults(handler=cmd_serve)
 
     bench = commands.add_parser("bench", help="read/write latency sweep")

@@ -8,12 +8,21 @@ Two things live here:
 * a from-scratch remote-process cache server and client
   (:mod:`repro.net.server`, :mod:`repro.net.client`) speaking a small
   RESP-like protocol over real TCP sockets -- the stand-in for the Redis
-  instance used in the paper's evaluation.
+  instance used in the paper's evaluation -- available behind two serving
+  engines: thread-per-connection (:mod:`repro.net.server`) and a
+  single-threaded event-loop reactor (:mod:`repro.net.aio`) that
+  multiplexes thousands of pipelined connections (see ``docs/serving.md``).
 """
 
 from .latency import Clock, LatencyModel, RealClock, VirtualClock
 from .client import CacheClient
-from .server import CacheServer, ServerHandle, StoreServer
+from .server import CacheServer, ServerHandle, StoreServer, THREADED_MAX_CLIENTS
+from .aio import (
+    ASYNC_MAX_CLIENTS,
+    AsyncCacheServer,
+    AsyncServerEngine,
+    AsyncStoreServer,
+)
 
 __all__ = [
     "Clock",
@@ -24,4 +33,9 @@ __all__ = [
     "CacheServer",
     "StoreServer",
     "ServerHandle",
+    "AsyncServerEngine",
+    "AsyncCacheServer",
+    "AsyncStoreServer",
+    "THREADED_MAX_CLIENTS",
+    "ASYNC_MAX_CLIENTS",
 ]

@@ -39,10 +39,12 @@ __all__ = [
     "encode_nil",
     "encode_array",
     "FrameReader",
+    "try_parse_command",
 ]
 
 _CRLF = b"\r\n"
 _MAX_BULK = 512 * 1024 * 1024  # sanity bound: 512 MiB per frame
+_MAX_HEADER = 64  # sanity bound: digits in a length header line
 
 
 class _Nil:
@@ -199,3 +201,59 @@ class FrameReader:
                 raise ProtocolError("request array members must be bulk strings")
             args.append(member)
         return args
+
+
+def _parse_length(line: bytes, what: str) -> int:
+    try:
+        return int(line)
+    except ValueError:
+        raise ProtocolError(f"invalid {what}: {line[:40]!r}") from None
+
+
+def try_parse_command(buffer: "bytes | bytearray", pos: int = 0):
+    """Try to parse one request starting at *pos* of *buffer*.
+
+    The non-blocking counterpart of :meth:`FrameReader.read_command`, used
+    by the event-loop server (:mod:`repro.net.aio`): a reactor cannot block
+    mid-frame, so it accumulates socket reads into a buffer and repeatedly
+    asks this function for the next complete request.
+
+    Returns ``(args, next_pos)`` when a whole request (an array of bulk
+    strings) lies in ``buffer[pos:]``, or ``None`` when the data so far is
+    a valid *prefix* of a request (read more and retry).  Malformed input
+    raises :class:`~repro.errors.ProtocolError` immediately -- a bad prefix
+    can never become a good request.
+    """
+    end = buffer.find(b"\r\n", pos)
+    if end < 0:
+        if len(buffer) - pos > _MAX_HEADER:
+            raise ProtocolError("request header line too long")
+        return None
+    line = bytes(buffer[pos:end])
+    if not line.startswith(b"*"):
+        raise ProtocolError(f"request must be an array, got {line[:40]!r}")
+    argc = _parse_length(line[1:], "array length")
+    if argc <= 0 or argc > 1_000_000:
+        raise ProtocolError(f"unreasonable request array length {argc}")
+    cursor = end + 2
+    args: list[bytes] = []
+    for _ in range(argc):
+        end = buffer.find(b"\r\n", cursor)
+        if end < 0:
+            if len(buffer) - cursor > _MAX_HEADER:
+                raise ProtocolError("bulk length line too long")
+            return None
+        line = bytes(buffer[cursor:end])
+        if not line.startswith(b"$"):
+            raise ProtocolError("request array members must be bulk strings")
+        length = _parse_length(line[1:], "bulk length")
+        if length < 0 or length > _MAX_BULK:
+            raise ProtocolError(f"unreasonable bulk length {length}")
+        start = end + 2
+        if len(buffer) < start + length + 2:
+            return None
+        if bytes(buffer[start + length:start + length + 2]) != _CRLF:
+            raise ProtocolError("bulk string not CRLF-terminated")
+        args.append(bytes(buffer[start:start + length]))
+        cursor = start + length + 2
+    return args, cursor

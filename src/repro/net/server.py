@@ -47,9 +47,19 @@ from ..obs import Observability
 from . import protocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Callable
+
     from ..kv.interface import KeyValueStore
 
-__all__ = ["CacheServer", "StoreServer", "ServerHandle"]
+__all__ = ["CacheServer", "StoreServer", "ServerHandle", "THREADED_MAX_CLIENTS"]
+
+#: Default concurrent-connection bound for the threaded engine.  Every
+#: connection costs one OS thread (stack reservation, scheduler load), so a
+#: thread-per-connection server must cap clients the way Redis's
+#: ``maxclients`` does.  The event-loop engine (:mod:`repro.net.aio`) holds
+#: a connection for the price of a socket and a read buffer and therefore
+#: defaults ~32x higher.
+THREADED_MAX_CLIENTS = 128
 
 
 class _Entry:
@@ -68,6 +78,10 @@ class _Entry:
 class CacheServer:
     """Threaded TCP cache server with LRU eviction and snapshotting."""
 
+    #: Engine label reported by ``STATS`` (``server.engine``).  The async
+    #: engine reuses this class as its command core and overwrites it.
+    engine = "threaded"
+
     def __init__(
         self,
         host: str = "127.0.0.1",
@@ -75,6 +89,7 @@ class CacheServer:
         *,
         max_entries: int | None = None,
         snapshot_path: str | Path | None = None,
+        max_clients: int | None = THREADED_MAX_CLIENTS,
         obs: Observability | None = None,
     ) -> None:
         """Create a server (not yet listening; call :meth:`start`).
@@ -84,6 +99,11 @@ class CacheServer:
             unbounded, like a default Redis instance).
         :param snapshot_path: if set, ``SAVE`` persists the keyspace here
             and :meth:`start` warm-loads from it when it exists.
+        :param max_clients: concurrent-connection bound; connections beyond
+            it are refused with ``-ERR max number of clients reached`` and
+            closed (``None`` = unbounded).  Defaults to
+            :data:`THREADED_MAX_CLIENTS` -- each threaded connection costs
+            an OS thread.
         :param obs: observability bundle for per-command counters and
             latency histograms.  Unlike client-side constructors the server
             defaults to a *fresh enabled* bundle (it is the thing being
@@ -92,6 +112,8 @@ class CacheServer:
         """
         if max_entries is not None and max_entries <= 0:
             raise ConfigurationError("max_entries must be positive")
+        if max_clients is not None and max_clients <= 0:
+            raise ConfigurationError("max_clients must be positive")
         self.obs = obs if obs is not None else Observability()
         self._cmd_handles: dict[str, tuple] = {}
         self._cmd_handles_lock = threading.Lock()
@@ -99,6 +121,7 @@ class CacheServer:
         self._host = host
         self._requested_port = port
         self._max_entries = max_entries
+        self._max_clients = max_clients
         self._snapshot_path = Path(snapshot_path) if snapshot_path else None
         self._data: OrderedDict[bytes, _Entry] = OrderedDict()
         self._lock = threading.Lock()
@@ -116,15 +139,25 @@ class CacheServer:
         self.address: tuple[str, int] | None = None
         #: total commands served (diagnostics)
         self.commands_served = 0
+        #: connections refused because ``max_clients`` was reached
+        self.rejected_clients = 0
+        #: optional override for the live-connection count reported by
+        #: ``STATS`` -- the async engine owns its own connection set and
+        #: plugs its counter in here.
+        self.connection_counter: "Callable[[], int] | None" = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> tuple[str, int]:
-        """Bind, warm-load any snapshot, and begin accepting connections."""
+    def _prepare(self) -> None:
+        """Shared start-up work (both engines): clock + snapshot warm load."""
         self._started_at = time.monotonic()
         if self._snapshot_path and self._snapshot_path.exists():
             self._load_snapshot()
+
+    def start(self) -> tuple[str, int]:
+        """Bind, warm-load any snapshot, and begin accepting connections."""
+        self._prepare()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self._host, self._requested_port))
@@ -171,10 +204,30 @@ class CacheServer:
                 conn, _peer = self._listener.accept()
             except OSError:
                 break  # listener closed
+            if self._max_clients is not None:
+                with self._connections_lock:
+                    at_capacity = len(self._connections) >= self._max_clients
+                if at_capacity:
+                    self._reject_connection(conn)
+                    continue
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
             thread.start()
+
+    def _reject_connection(self, conn: socket.socket) -> None:
+        """Refuse a connection beyond ``max_clients`` (error frame, close)."""
+        self.rejected_clients += 1
+        if self.obs.enabled:
+            self.obs.inc("server.rejected_clients")
+        try:
+            conn.sendall(protocol.encode_error("ERR max number of clients reached"))
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # Per-connection protocol loop
@@ -406,24 +459,34 @@ class CacheServer:
         with self._lock:
             return sum(1 for e in self._data.values() if not e.expired(now))
 
+    def _connection_count(self) -> int:
+        """Live connections, whichever engine is carrying them."""
+        if self.connection_counter is not None:
+            return self.connection_counter()
+        with self._connections_lock:
+            return len(self._connections)
+
     def stats_pairs(self) -> list[tuple[str, str]]:
         """The ``STATS`` payload as (key, value) string pairs.
 
         Always present: ``server.uptime_seconds``, ``server.commands_served``,
-        ``server.connections``, ``server.keys``.  With an enabled
+        ``server.connections``, ``server.keys``, ``server.engine``
+        (``threaded`` or ``async``), ``server.max_clients`` (``0`` =
+        unbounded), and ``server.rejected_clients``.  With an enabled
         observability bundle (the default), every dispatched command adds
         ``cmd.<name>.calls`` plus latency figures (``cmd.<name>.mean_ms`` /
         ``cmd.<name>.p99_ms``), and the total error-reply count
         ``server.errors``.
         """
         uptime = 0.0 if self._started_at is None else time.monotonic() - self._started_at
-        with self._connections_lock:
-            connections = len(self._connections)
         pairs: list[tuple[str, str]] = [
             ("server.uptime_seconds", f"{uptime:.3f}"),
             ("server.commands_served", str(self.commands_served)),
-            ("server.connections", str(connections)),
+            ("server.connections", str(self._connection_count())),
             ("server.keys", str(self._keyspace_size())),
+            ("server.engine", self.engine),
+            ("server.max_clients", str(self._max_clients or 0)),
+            ("server.rejected_clients", str(self.rejected_clients)),
         ]
         if self.obs.enabled:
             snapshot = self.obs.registry.snapshot()
@@ -593,9 +656,10 @@ class StoreServer(CacheServer):
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        max_clients: int | None = THREADED_MAX_CLIENTS,
         obs: Observability | None = None,
     ) -> None:
-        super().__init__(host, port, obs=obs)
+        super().__init__(host, port, max_clients=max_clients, obs=obs)
         self._store = store
 
     # -- keyspace commands re-routed to the hosted store -----------------
@@ -719,7 +783,7 @@ class ServerHandle:
         host: str,
         port: int,
         *,
-        server: CacheServer | None = None,
+        server: "CacheServer | object | None" = None,
         process: "subprocess.Popen[bytes] | None" = None,
     ) -> None:
         self.host = host
@@ -734,9 +798,36 @@ class ServerHandle:
         *,
         max_entries: int | None = None,
         snapshot_path: str | Path | None = None,
+        max_clients: int | None = None,
+        engine: str = "threaded",
     ) -> "ServerHandle":
-        """Run a server on a daemon thread in this process (tests)."""
-        server = CacheServer(max_entries=max_entries, snapshot_path=snapshot_path)
+        """Run a server on a daemon thread in this process (tests).
+
+        :param engine: ``"threaded"`` (one thread per connection) or
+            ``"async"`` (one event loop multiplexing every connection --
+            :mod:`repro.net.aio`).  Both speak the same wire protocol, so
+            any client works against either.
+        :param max_clients: concurrent-connection bound; ``None`` keeps the
+            engine's default (:data:`THREADED_MAX_CLIENTS` /
+            :data:`repro.net.aio.ASYNC_MAX_CLIENTS`).
+        """
+        server: "CacheServer | object"
+        if engine == "async":
+            from .aio import ASYNC_MAX_CLIENTS, AsyncCacheServer
+
+            server = AsyncCacheServer(
+                max_entries=max_entries,
+                snapshot_path=snapshot_path,
+                max_clients=max_clients if max_clients is not None else ASYNC_MAX_CLIENTS,
+            )
+        elif engine == "threaded":
+            server = CacheServer(
+                max_entries=max_entries,
+                snapshot_path=snapshot_path,
+                max_clients=max_clients if max_clients is not None else THREADED_MAX_CLIENTS,
+            )
+        else:
+            raise ConfigurationError(f"unknown server engine {engine!r}")
         host, port = server.start()
         return cls(host, port, server=server)
 
@@ -749,6 +840,7 @@ class ServerHandle:
         snapshot_path: str | Path | None = None,
         backend: str = "cache",
         database: str | None = None,
+        engine: str = "threaded",
         startup_timeout: float = 10.0,
     ) -> "ServerHandle":
         """Run a server in a separate OS process (true remote-process cache).
@@ -761,12 +853,16 @@ class ServerHandle:
             *database* -- the client-server SQL configuration used by the
             benchmarks to mimic MySQL), or ``"lsm"`` (a :class:`StoreServer`
             over an :class:`~repro.lsm.LSMStore` rooted at *database*).
+        :param engine: ``"threaded"`` or ``"async"`` (see
+            :meth:`start_in_thread`).
         """
         cmd = [sys.executable, "-m", "repro.net.server", "--port", str(port)]
         if max_entries is not None:
             cmd += ["--max-entries", str(max_entries)]
         if snapshot_path is not None:
             cmd += ["--snapshot", str(snapshot_path)]
+        if engine != "threaded":
+            cmd += ["--engine", engine]
         if backend != "cache":
             cmd += ["--backend", backend]
             if database is not None:
@@ -826,26 +922,58 @@ def main(argv: list[str] | None = None) -> None:
         help="sqlite path (--backend sql) / data directory (--backend lsm)",
     )
     parser.add_argument(
+        "--engine", choices=("threaded", "async"), default="threaded",
+        help="'threaded' = one thread per connection; 'async' = one event "
+             "loop multiplexing all connections (see docs/serving.md)",
+    )
+    parser.add_argument(
+        "--max-clients", type=int, default=None,
+        help="concurrent-connection bound (default: per-engine)",
+    )
+    parser.add_argument(
         "--metrics-port", type=int, default=None,
         help="also serve /metrics (Prometheus text) over HTTP on this port (0 = free port)",
     )
     options = parser.parse_args(argv)
-    server: CacheServer
+    store = None
     if options.backend == "sql":
         from ..kv.sqlstore import SQLStore
 
-        server = StoreServer(SQLStore(options.database), options.host, options.port)
+        store = SQLStore(options.database)
     elif options.backend == "lsm":
         from ..lsm.store import LSMStore
 
-        server = StoreServer(LSMStore(options.database), options.host, options.port)
+        store = LSMStore(options.database)
+    if options.engine == "async":
+        from .aio import ASYNC_MAX_CLIENTS, AsyncCacheServer, AsyncStoreServer
+
+        max_clients = options.max_clients or ASYNC_MAX_CLIENTS
+        if store is not None:
+            server = AsyncStoreServer(
+                store, options.host, options.port, max_clients=max_clients
+            )
+        else:
+            server = AsyncCacheServer(
+                options.host,
+                options.port,
+                max_entries=options.max_entries,
+                snapshot_path=options.snapshot,
+                max_clients=max_clients,
+            )
     else:
-        server = CacheServer(
-            options.host,
-            options.port,
-            max_entries=options.max_entries,
-            snapshot_path=options.snapshot,
-        )
+        max_clients = options.max_clients or THREADED_MAX_CLIENTS
+        if store is not None:
+            server = StoreServer(
+                store, options.host, options.port, max_clients=max_clients
+            )
+        else:
+            server = CacheServer(
+                options.host,
+                options.port,
+                max_entries=options.max_entries,
+                snapshot_path=options.snapshot,
+                max_clients=max_clients,
+            )
     host, port = server.start()
     print(f"LISTENING {host} {port}", flush=True)
     exporter = None

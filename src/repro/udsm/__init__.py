@@ -12,7 +12,10 @@ interface, each automatically gaining:
   plus a bounded window of recent detailed measurements, persistable to any
   registered store;
 * the **workload generator** -- size sweeps, hit-rate extrapolation, and
-  codec overhead measurement for comparing stores (Section V's tooling).
+  codec overhead measurement for comparing stores (Section V's tooling);
+* the **open-loop load generator** (:mod:`repro.udsm.loadgen`) -- traffic
+  modeled as a Poisson/normal population of active users with Zipf key
+  popularity, for throughput-vs-latency curves against the serving plane.
 """
 
 from .futures import FutureState, ListenableFuture
@@ -30,8 +33,20 @@ from .workload import (
     compressible_payload,
     random_payload,
 )
+from .loadgen import (
+    LoadResult,
+    OpenLoopLoadGenerator,
+    OpenLoopSpec,
+    Request,
+    RVConfig,
+)
 
 __all__ = [
+    "RVConfig",
+    "Request",
+    "OpenLoopSpec",
+    "OpenLoopLoadGenerator",
+    "LoadResult",
     "ListenableFuture",
     "FutureState",
     "ThreadPool",

@@ -1,0 +1,388 @@
+"""The serving engines behind one contract: every wire-visible behaviour
+tested here runs against BOTH the threaded server and the asyncio engine,
+parametrized over ``engine`` -- the compatibility matrix docs/serving.md
+promises is enforced, not asserted.  Async-only lifecycle behaviour
+(idempotent stop, loop teardown, SHUTDOWN-from-the-wire, max_clients) has
+its own classes below."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import StoreConnectionError
+from repro.kv.memory import InMemoryStore
+from repro.net import (
+    AsyncCacheServer,
+    AsyncStoreServer,
+    CacheClient,
+    CacheServer,
+    ServerHandle,
+    StoreServer,
+)
+from repro.net import protocol
+from repro.net.client import SubscriberClient
+from repro.net.protocol import WireError
+
+ENGINES = ("threaded", "async")
+
+
+def make_cache_server(engine: str, **kwargs):
+    if engine == "async":
+        return AsyncCacheServer(**kwargs)
+    return CacheServer(**kwargs)
+
+
+def make_store_server(engine: str, store, **kwargs):
+    if engine == "async":
+        return AsyncStoreServer(store, **kwargs)
+    return StoreServer(store, **kwargs)
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return request.param
+
+
+@pytest.fixture()
+def server(engine):
+    srv = make_cache_server(engine)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    c = CacheClient(*server.address)
+    yield c
+    c.close()
+
+
+class TestEngineContract:
+    """The same client, the same commands, either engine."""
+
+    def test_ping_set_get(self, client):
+        assert client.ping()
+        client.set(b"k", b"value")
+        assert client.get(b"k") == b"value"
+        assert client.get(b"absent") is None
+
+    def test_binary_safety(self, client):
+        key = bytes(range(256))
+        value = b"\r\n$*+-:" * 50 + bytes(range(256))
+        client.set(key, value)
+        assert client.get(key) == value
+
+    def test_multi_key_commands(self, client):
+        client.mset({b"a": b"1", b"b": b"2"})
+        assert client.mget([b"a", b"b", b"c"]) == [b"1", b"2", None]
+        assert client.delete(b"a", b"b", b"zz") == 2
+
+    def test_ttl_round_trip(self, client):
+        client.set(b"t", b"v", ttl=100)
+        assert 0 < client.ttl(b"t") <= 100
+        assert client.ttl(b"absent") == -2
+
+    def test_errors_are_wire_errors(self, client):
+        assert isinstance(client._roundtrip(["NOSUCH"]), WireError)  # noqa: SLF001
+        assert isinstance(client._roundtrip(["GET"]), WireError)  # noqa: SLF001
+
+    def test_stats_reports_engine(self, server, client, engine):
+        client.set(b"k", b"v")
+        stats = client.stats()
+        assert stats["server.engine"] == engine
+        assert int(stats["server.connections"]) >= 1
+        assert int(stats["cmd.set.calls"]) >= 1
+        assert float(stats["server.uptime_seconds"]) >= 0.0
+
+    def test_quit_closes_connection(self, server):
+        c = CacheClient(*server.address)
+        reply = c._roundtrip(["QUIT"])  # noqa: SLF001
+        assert reply == protocol.SimpleString("OK")
+        c.close()
+
+    def test_concurrent_clients(self, server):
+        errors: list[Exception] = []
+
+        def hammer(index: int) -> None:
+            try:
+                c = CacheClient(*server.address)
+                for op in range(20):
+                    key = f"c{index}:{op}".encode()
+                    c.set(key, str(op).encode())
+                    assert c.get(key) == str(op).encode()
+                c.close()
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_pubsub_fanout(self, server, client):
+        received: list[tuple[bytes, bytes]] = []
+        sub = SubscriberClient(*server.address)
+        sub.subscribe(b"chan", lambda ch, p: received.append((ch, p)))
+        assert client.publish(b"chan", b"payload") == 1
+        deadline = time.monotonic() + 2
+        while not received and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert received == [(b"chan", b"payload")]
+        sub.close()
+        # after close, publishes stop reaching the subscriber -- the server
+        # drops it once a push hits the dead socket, so poll briefly
+        deadline = time.monotonic() + 2
+        while time.monotonic() < deadline:
+            if client.publish(b"chan", b"again") == 0:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("closed subscriber was never dropped")
+
+
+class TestPipelining:
+    """Pipelined requests over a real socket, both engines."""
+
+    def test_client_pipeline_round_trips(self, client):
+        pipe = client.pipeline()
+        for i in range(50):
+            pipe.set(f"p{i}".encode(), str(i).encode())
+        for i in range(50):
+            pipe.get(f"p{i}".encode())
+        replies = pipe.execute()
+        assert len(replies) == 100
+        assert replies[50 + 7] == b"7"
+
+    def test_raw_socket_burst_replies_in_order(self, server):
+        """Many requests in ONE send; replies must come back in order."""
+        sock = socket.create_connection(server.address, timeout=5)
+        burst = b"".join(
+            protocol.encode_command(["SET", f"k{i}".encode(), f"v{i}".encode()])
+            for i in range(30)
+        ) + b"".join(protocol.encode_command(["GET", f"k{i}".encode()]) for i in range(30))
+        sock.sendall(burst)
+        reader = protocol.FrameReader(sock.makefile("rb"))
+        for _ in range(30):
+            assert reader.read_frame() == protocol.SimpleString("OK")
+        for i in range(30):
+            assert reader.read_frame() == f"v{i}".encode()
+        sock.close()
+
+    def test_split_frame_across_packets(self, server):
+        """A request torn across TCP segments must still parse."""
+        sock = socket.create_connection(server.address, timeout=5)
+        payload = protocol.encode_command(["SET", b"torn", b"x" * 1000])
+        middle = len(payload) // 2
+        sock.sendall(payload[:middle])
+        time.sleep(0.05)
+        sock.sendall(payload[middle:])
+        sock.sendall(protocol.encode_command(["GET", b"torn"]))
+        reader = protocol.FrameReader(sock.makefile("rb"))
+        assert reader.read_frame() == protocol.SimpleString("OK")
+        assert reader.read_frame() == b"x" * 1000
+        sock.close()
+
+    def test_pipeline_error_does_not_poison_batch(self, client):
+        replies = client.execute_pipeline(
+            [["SET", b"a", b"1"], ["NOSUCH"], ["GET", b"a"]]
+        )
+        assert replies[0] == protocol.SimpleString("OK")
+        assert isinstance(replies[1], WireError)
+        assert replies[2] == b"1"
+
+    def test_malformed_frame_gets_error_then_drop(self, server):
+        sock = socket.create_connection(server.address, timeout=5)
+        sock.sendall(b"!!!not a frame\r\n")
+        data = sock.recv(1024)
+        assert data.startswith(b"-ERR protocol error")
+        # server closes after the error report
+        assert sock.recv(1024) == b""
+        sock.close()
+
+
+class TestStoreServerEngines:
+    """StoreServer semantics hold on either engine."""
+
+    @pytest.fixture(params=ENGINES)
+    def store_server(self, request):
+        store = InMemoryStore()
+        srv = make_store_server(request.param, store)
+        srv.start()
+        yield srv, store
+        srv.stop()
+
+    def test_writes_reach_the_store(self, store_server):
+        srv, store = store_server
+        c = CacheClient(*srv.address)
+        c.set(b"k", b"payload")
+        assert store.get("k") == b"payload"
+        assert c.get(b"k") == b"payload"
+        c.close()
+
+    def test_ttl_rejected(self, store_server):
+        srv, _store = store_server
+        c = CacheClient(*srv.address)
+        reply = c._roundtrip(["SETEX", b"k", b"5", b"v"])  # noqa: SLF001
+        assert isinstance(reply, WireError)
+        c.close()
+
+
+class TestAsyncLifecycle:
+    """Async-engine specifics: shutdown, teardown, connection drops."""
+
+    def test_stop_is_idempotent_and_releases_port(self):
+        srv = AsyncCacheServer()
+        host, port = srv.start()
+        before = threading.active_count()
+        srv.stop()
+        srv.stop()  # second stop must be a no-op
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5).close()
+        # the loop thread is joined, not leaked
+        deadline = time.monotonic() + 2
+        while threading.active_count() > before and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not any(
+            t.name == "aio-server-loop" and t.is_alive() for t in threading.enumerate()
+        )
+
+    def test_start_twice_returns_same_address(self):
+        srv = AsyncCacheServer()
+        first = srv.start()
+        assert srv.start() == first
+        srv.stop()
+
+    def test_stop_drops_live_connections(self):
+        srv = AsyncCacheServer()
+        srv.start()
+        c = CacheClient(*srv.address)
+        assert c.ping()
+        srv.stop()
+        with pytest.raises(StoreConnectionError):
+            c.ping()
+        c.close()
+
+    def test_shutdown_command_stops_engine(self):
+        srv = AsyncCacheServer()
+        host, port = srv.start()
+        c = CacheClient(host, port)
+        c.shutdown_server()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection((host, port), timeout=0.2).close()
+            except OSError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("port still accepting after SHUTDOWN")
+        c.close()
+        srv.stop()  # idempotent with the wire-initiated stop
+
+    def test_client_disconnect_mid_pipeline_is_survived(self):
+        """A peer vanishing mid-burst must not take the engine down."""
+        srv = AsyncCacheServer()
+        srv.start()
+        sock = socket.create_connection(srv.address, timeout=5)
+        sock.sendall(
+            b"".join(
+                protocol.encode_command(["SET", f"d{i}".encode(), b"v" * 512])
+                for i in range(100)
+            )
+        )
+        sock.close()  # never read the replies
+        c = CacheClient(*srv.address)
+        assert c.ping()  # engine is still serving
+        c.close()
+        srv.stop()
+
+    def test_server_handle_stop_idempotent(self):
+        handle = ServerHandle.start_in_thread(engine="async")
+        c = CacheClient(handle.host, handle.port)
+        assert c.ping()
+        c.close()
+        handle.stop()
+        handle.stop()  # regression: second stop must not raise or hang
+
+    def test_obs_metrics_move(self):
+        srv = AsyncCacheServer()
+        srv.start()
+        c = CacheClient(*srv.address)
+        pipe = c.pipeline()
+        for i in range(10):
+            pipe.set(f"m{i}".encode(), b"v")
+        pipe.execute()
+        snapshot = srv.obs.registry.snapshot()
+        assert snapshot["counters"]["server.connections_total"] >= 1
+        assert snapshot["counters"]["net.aio.pipelined"] >= 1
+        assert snapshot["counters"]["server.cmd.set.calls"] >= 10
+        c.close()
+        srv.stop()
+
+
+class TestMaxClients:
+    def test_async_rejects_beyond_bound(self):
+        srv = AsyncCacheServer(max_clients=2)
+        srv.start()
+        keep = [CacheClient(*srv.address) for _ in range(2)]
+        for c in keep:
+            assert c.ping()
+        extra = socket.create_connection(srv.address, timeout=5)
+        data = extra.recv(1024)
+        assert data.startswith(b"-ERR max number of clients")
+        extra.close()
+        stats = keep[0].stats()
+        assert stats["server.rejected_clients"] == "1"
+        assert stats["server.max_clients"] == "2"
+        for c in keep:
+            c.close()
+        srv.stop()
+
+    def test_threaded_rejects_beyond_bound(self):
+        srv = CacheServer(max_clients=2)
+        srv.start()
+        keep = [CacheClient(*srv.address) for _ in range(2)]
+        for c in keep:
+            assert c.ping()
+        # rejection happens on accept; retry briefly while threads settle
+        deadline = time.monotonic() + 2
+        rejected = False
+        while time.monotonic() < deadline and not rejected:
+            extra = socket.create_connection(srv.address, timeout=5)
+            data = extra.recv(1024)
+            extra.close()
+            rejected = data.startswith(b"-ERR max number of clients")
+            if not rejected:
+                time.sleep(0.05)
+        assert rejected
+        for c in keep:
+            c.close()
+        srv.stop()
+
+    def test_slot_freed_after_disconnect(self):
+        srv = AsyncCacheServer(max_clients=1)
+        srv.start()
+        first = CacheClient(*srv.address)
+        assert first.ping()
+        first.close()
+        deadline = time.monotonic() + 2
+        while time.monotonic() < deadline:
+            second = CacheClient(*srv.address)
+            try:
+                if second.ping():
+                    second.close()
+                    break
+            except (StoreConnectionError, WireError):
+                time.sleep(0.02)
+            finally:
+                second.close()
+        else:
+            pytest.fail("slot was not released after disconnect")
+        srv.stop()

@@ -1,0 +1,338 @@
+"""Open-loop load generator tests -- zero real sleeps.
+
+``schedule()`` is pure, so the distribution tests just look at the
+numbers; ``run()`` takes injectable ``clock``/``sleep``, so the replay
+tests drive a virtual clock instead of waiting.  Every test here is
+deterministic under its seed.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.udsm.loadgen import (
+    LoadResult,
+    OpenLoopLoadGenerator,
+    OpenLoopSpec,
+    Request,
+    RVConfig,
+    _poisson,
+)
+
+
+class VirtualClock:
+    """A clock that only moves when someone sleeps on it."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class RecordingStore:
+    """In-memory target that can charge virtual time per operation."""
+
+    def __init__(self, clock: VirtualClock | None = None, op_cost: float = 0.0) -> None:
+        self._data: dict[str, bytes] = {}
+        self._clock = clock
+        self._op_cost = op_cost
+        self.ops: list[tuple[str, str]] = []
+
+    def _charge(self) -> None:
+        if self._clock is not None and self._op_cost:
+            self._clock.now += self._op_cost
+
+    def get(self, key: str) -> bytes:
+        self.ops.append(("get", key))
+        self._charge()
+        return self._data[key]
+
+    def put(self, key: str, value: bytes) -> None:
+        self.ops.append(("put", key))
+        self._charge()
+        self._data[key] = value
+
+
+class TestRVConfig:
+    def test_constant_is_exact(self):
+        rng = random.Random(1)
+        rv = RVConfig(mean=7.5, distribution="constant")
+        assert all(rv.sample(rng) == 7.5 for _ in range(10))
+
+    def test_poisson_mean_tracks(self):
+        rng = random.Random(2)
+        rv = RVConfig(mean=10.0)
+        samples = [rv.sample(rng) for _ in range(3000)]
+        assert statistics.fmean(samples) == pytest.approx(10.0, rel=0.05)
+        # Poisson variance equals its mean
+        assert statistics.pvariance(samples) == pytest.approx(10.0, rel=0.15)
+
+    def test_poisson_large_mean_uses_normal_approximation(self):
+        rng = random.Random(3)
+        samples = [_poisson(rng, 1_000_000.0) for _ in range(200)]
+        assert statistics.fmean(samples) == pytest.approx(1_000_000.0, rel=0.01)
+        assert all(isinstance(s, int) and s >= 0 for s in samples)
+
+    def test_normal_defaults_stdev_to_tenth_of_mean(self):
+        rng = random.Random(4)
+        rv = RVConfig(mean=100.0, distribution="normal")
+        samples = [rv.sample(rng) for _ in range(3000)]
+        assert statistics.fmean(samples) == pytest.approx(100.0, rel=0.02)
+        assert statistics.pstdev(samples) == pytest.approx(10.0, rel=0.15)
+
+    def test_samples_clamped_non_negative(self):
+        rng = random.Random(5)
+        rv = RVConfig(mean=0.5, distribution="normal", stdev=10.0)
+        assert all(rv.sample(rng) >= 0.0 for _ in range(500))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RVConfig(mean=-1.0)
+        with pytest.raises(WorkloadError):
+            RVConfig(mean=1.0, distribution="pareto")
+        with pytest.raises(WorkloadError):
+            RVConfig(mean=1.0, distribution="normal", stdev=-0.1)
+
+    def test_poisson_zero_mean(self):
+        rng = random.Random(6)
+        assert _poisson(rng, 0.0) == 0
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"user_sampling_window": 0.0},
+            {"key_space": 0},
+            {"read_fraction": 1.5},
+            {"value_size": -1},
+            {"zipf_s": -0.5},
+        ],
+    )
+    def test_bad_specs_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            OpenLoopSpec(**kwargs)
+
+
+class TestSchedule:
+    def test_deterministic_per_seed(self):
+        gen_a = OpenLoopLoadGenerator(seed=42)
+        gen_b = OpenLoopLoadGenerator(seed=42)
+        assert gen_a.schedule(3.0) == gen_b.schedule(3.0)
+
+    def test_seed_changes_schedule(self):
+        base = OpenLoopLoadGenerator(seed=1).schedule(3.0)
+        other = OpenLoopLoadGenerator(seed=2).schedule(3.0)
+        assert base != other
+
+    def test_arrivals_monotone_and_bounded(self):
+        plan = OpenLoopLoadGenerator(seed=7).schedule(5.0)
+        assert plan, "default spec must generate traffic"
+        times = [request.at for request in plan]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+        assert times[-1] < 5.0
+
+    def test_aggregate_rate_matches_spec(self):
+        spec = OpenLoopSpec(
+            active_users=RVConfig(mean=200.0, distribution="constant"),
+            requests_per_user_per_s=RVConfig(mean=0.5, distribution="constant"),
+        )
+        gen = OpenLoopLoadGenerator(spec, seed=11)
+        # constant 200 users * 0.5 req/s = 100 req/s offered
+        assert gen.offered_rate(20.0) == pytest.approx(100.0, rel=0.1)
+
+    def test_windows_resample_population(self):
+        spec = OpenLoopSpec(
+            active_users=RVConfig(mean=50.0, distribution="normal", stdev=25.0),
+            user_sampling_window=1.0,
+        )
+        plan = OpenLoopLoadGenerator(spec, seed=13).schedule(10.0)
+        per_window = Counter(int(request.at) for request in plan)
+        counts = [per_window.get(w, 0) for w in range(10)]
+        # re-sampled user counts must actually vary across windows
+        assert len(set(counts)) > 3
+
+    def test_zipf_head_dominates(self):
+        spec = OpenLoopSpec(key_space=100, zipf_s=1.2)
+        plan = OpenLoopLoadGenerator(spec, seed=17).schedule(30.0)
+        counts = Counter(request.key for request in plan)
+        hottest = counts["load:000000"]
+        assert hottest == max(counts.values())
+        assert hottest > counts.get("load:000050", 0) * 5
+
+    def test_zipf_zero_is_uniform(self):
+        spec = OpenLoopSpec(key_space=10, zipf_s=0.0)
+        plan = OpenLoopLoadGenerator(spec, seed=19).schedule(30.0)
+        counts = Counter(request.key for request in plan)
+        share = counts["load:000000"] / len(plan)
+        assert share == pytest.approx(0.1, abs=0.03)
+
+    def test_read_fraction_respected(self):
+        spec = OpenLoopSpec(read_fraction=0.7)
+        plan = OpenLoopLoadGenerator(spec, seed=23).schedule(20.0)
+        reads = sum(1 for request in plan if request.op == "get")
+        assert reads / len(plan) == pytest.approx(0.7, abs=0.03)
+
+    def test_zero_rate_schedule_is_empty(self):
+        spec = OpenLoopSpec(active_users=RVConfig(mean=0.0, distribution="constant"))
+        assert OpenLoopLoadGenerator(spec, seed=29).schedule(2.0) == []
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            OpenLoopLoadGenerator().schedule(0.0)
+
+
+class TestRun:
+    def test_inline_run_on_virtual_clock(self):
+        vclock = VirtualClock()
+        store = RecordingStore()
+        spec = OpenLoopSpec(key_space=50)
+        gen = OpenLoopLoadGenerator(spec, seed=31)
+        result = gen.run(
+            store, duration=3.0, clock=vclock.clock, sleep=vclock.sleep
+        )
+        assert result.offered == len(gen.schedule(3.0))
+        assert result.completed == result.offered
+        assert result.errors == 0
+        assert result.reads + result.writes == result.offered
+        assert len(result.latencies) == result.completed
+        # fast target + virtual clock: every request lands exactly on time
+        assert all(lat == pytest.approx(0.0, abs=1e-9) for lat in result.latencies)
+        # prepopulate wrote the whole keyspace before the measured phase
+        prepop = store.ops[: spec.key_space]
+        assert all(op == "put" for op, _key in prepop)
+
+    def test_latency_includes_queueing_behind_slow_target(self):
+        vclock = VirtualClock()
+        store = RecordingStore(clock=vclock, op_cost=0.05)
+        spec = OpenLoopSpec(
+            active_users=RVConfig(mean=100.0, distribution="constant"),
+            key_space=20,
+        )
+        gen = OpenLoopLoadGenerator(spec, seed=37)
+        result = gen.run(
+            store,
+            duration=1.0,
+            clock=vclock.clock,
+            sleep=vclock.sleep,
+            prepopulate=False,
+        )
+        # offered ~100/s but the target does at most 20/s: the open-loop
+        # latency must surface the growing queue, not hide it
+        assert result.p99 > result.p50
+        assert result.p99 > 0.5
+        assert max(result.latencies) >= result.p99
+
+    def test_errors_counted_not_raised(self):
+        vclock = VirtualClock()
+        store = RecordingStore()  # cold store: reads KeyError
+        gen = OpenLoopLoadGenerator(OpenLoopSpec(key_space=10), seed=41)
+        result = gen.run(
+            store,
+            duration=2.0,
+            clock=vclock.clock,
+            sleep=vclock.sleep,
+            prepopulate=False,
+        )
+        assert result.errors > 0
+        assert result.completed + result.errors == result.offered
+        # every write completes; reads only once something wrote their key
+        assert result.completed >= result.writes
+
+    def test_shared_schedule_replay(self):
+        vclock = VirtualClock()
+        gen = OpenLoopLoadGenerator(OpenLoopSpec(key_space=10), seed=43)
+        plan = gen.schedule(2.0)
+        result = gen.run(
+            RecordingStore(),
+            duration=2.0,
+            clock=vclock.clock,
+            sleep=vclock.sleep,
+            schedule=plan,
+        )
+        assert result.offered == len(plan)
+
+    def test_pooled_run_completes_everything(self):
+        store = RecordingStore()
+        gen = OpenLoopLoadGenerator(OpenLoopSpec(key_space=10), seed=47)
+        plan = gen.schedule(1.0)
+        # real threads, but zero real sleeping: no-op sleep + zero clock
+        result = gen.run(
+            store,
+            duration=1.0,
+            workers=3,
+            clock=lambda: 0.0,
+            sleep=lambda _s: None,
+            schedule=plan,
+        )
+        assert result.completed == len(plan)
+        assert result.errors == 0
+
+    def test_per_worker_targets(self):
+        stores = [RecordingStore() for _ in range(3)]
+        # share one dict so reads work no matter which worker prepopulated
+        for s in stores[1:]:
+            s._data = stores[0]._data  # noqa: SLF001
+        gen = OpenLoopLoadGenerator(OpenLoopSpec(key_space=10), seed=53)
+        result = gen.run(
+            targets=stores,
+            duration=1.0,
+            clock=lambda: 0.0,
+            sleep=lambda _s: None,
+        )
+        assert result.completed == result.offered
+        assert sum(len(s.ops) for s in stores) >= result.offered
+
+    def test_target_xor_targets(self):
+        gen = OpenLoopLoadGenerator()
+        with pytest.raises(WorkloadError):
+            gen.run(duration=1.0)
+        with pytest.raises(WorkloadError):
+            gen.run(RecordingStore(), duration=1.0, targets=[RecordingStore()])
+        with pytest.raises(WorkloadError):
+            gen.run(targets=[], duration=1.0)
+
+
+class TestLoadResult:
+    def test_rates_and_percentiles(self):
+        result = LoadResult(
+            duration=2.0,
+            offered=10,
+            completed=8,
+            errors=2,
+            latencies=[0.01 * i for i in range(1, 9)],
+            reads=6,
+            writes=4,
+        )
+        assert result.offered_rate == pytest.approx(5.0)
+        assert result.throughput == pytest.approx(4.0)
+        assert result.p50 == pytest.approx(0.04)
+        assert result.p99 == pytest.approx(0.08)
+        assert result.mean_latency == pytest.approx(0.045)
+
+    def test_empty_result_is_safe(self):
+        result = LoadResult(
+            duration=0.0, offered=0, completed=0, errors=0,
+            latencies=[], reads=0, writes=0,
+        )
+        assert result.offered_rate == 0.0
+        assert result.throughput == 0.0
+        assert result.p99 == 0.0
+        assert result.mean_latency == 0.0
+
+    def test_request_is_frozen(self):
+        request = Request(at=0.0, key="k", op="get", size=0)
+        with pytest.raises(AttributeError):
+            request.at = 1.0  # type: ignore[misc]
