@@ -1,14 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test unit check-docs check-obs check-resilience check-lsm check-serving all
+.PHONY: test unit check-docs check-obs check-resilience check-lsm check-serving check-anomaly all
 
 all: test
 
 # The default gate: unit suite + doc snippets + instrumentation coverage
 # + fault-tolerance contract + LSM durability contract + serving-plane
-# smoke gate.
-test: unit check-docs check-obs check-resilience check-lsm check-serving
+# smoke gate + anomaly-detection contract.
+test: unit check-docs check-obs check-resilience check-lsm check-serving check-anomaly
 
 unit:
 	$(PYTHON) -m pytest -x -q
@@ -38,3 +38,9 @@ check-lsm:
 # threaded engine (see docs/serving.md and scripts/check_serving.py).
 check-serving:
 	$(PYTHON) scripts/check_serving.py
+
+# Inject a latency step, an error burst, and a slow leak through the chaos
+# plane on a virtual clock and assert the anomaly engine detects and clears
+# all three with zero false positives (see docs/anomaly.md).
+check-anomaly:
+	$(PYTHON) scripts/check_anomaly.py

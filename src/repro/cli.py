@@ -406,14 +406,20 @@ def _drive_workload_step(client: EnhancedDataStoreClient, step: int, *, keys: in
 def cmd_serve_metrics(options: argparse.Namespace) -> int:
     import time as time_module
 
+    from .obs.anomaly import AnomalyEngine, default_rules
     from .obs.export import start_http_exporter
 
     store, client = _build_observed_client(options)
     obs = client.obs
-    handle = start_http_exporter(obs, host=options.metrics_host, port=options.metrics_port)
+    engine = AnomalyEngine(obs, rules=default_rules())
+    engine.start()
+    handle = start_http_exporter(
+        obs, host=options.metrics_host, port=options.metrics_port, anomaly=engine
+    )
     print(f"METRICS {handle.host} {handle.port}", flush=True)
     print(f"serving telemetry at {handle.url} "
-          f"(/metrics /metrics.json /traces /events.json); ctrl-c to stop", flush=True)
+          f"(/metrics /metrics.json /traces /events.json /anomalies.json); "
+          f"ctrl-c to stop", flush=True)
     deadline = None if options.duration is None else time_module.monotonic() + options.duration
     step = 0
     try:
@@ -426,6 +432,7 @@ def cmd_serve_metrics(options: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
     finally:
+        engine.stop()
         handle.stop()
         client.close()
     return 0
@@ -434,18 +441,28 @@ def cmd_serve_metrics(options: argparse.Namespace) -> int:
 def cmd_top(options: argparse.Namespace) -> int:
     import time as time_module
 
-    from .obs.top import CLEAR_SCREEN, Dashboard, scrape_events_json, scrape_metrics_json
+    from .obs.top import (
+        CLEAR_SCREEN,
+        Dashboard,
+        scrape_anomalies_json,
+        scrape_events_json,
+        scrape_metrics_json,
+    )
 
     if not options.url and not options.demo:
         raise ConfigurationError("repro top needs --url <exporter> or --demo")
 
     client = None
     obs = None
+    engine = None
     if options.demo:
+        from .obs.anomaly import AnomalyEngine, default_rules
+
         if options.slow_ms is None:
             options.slow_ms = 0.0  # demo: journal every op as an exemplar source
         _store, client = _build_observed_client(options)
         obs = client.obs
+        engine = AnomalyEngine(obs, rules=default_rules())
 
     dashboard = Dashboard()
     iteration = 0
@@ -460,10 +477,13 @@ def cmd_top(options: argparse.Namespace) -> int:
             if options.url:
                 snapshot = scrape_metrics_json(options.url)
                 slow_ops = scrape_events_json(options.url, count=options.slow_tail)
+                anomalies = scrape_anomalies_json(options.url)
             else:
+                engine.poll()
                 snapshot = obs.registry.snapshot()
                 slow_ops = obs.events.slow_ops(options.slow_tail) if obs.events else []
-            frame = dashboard.render(snapshot, slow_ops)
+                anomalies = engine.status()
+            frame = dashboard.render(snapshot, slow_ops, anomalies=anomalies)
             if options.no_clear:
                 print(frame, flush=True)
             else:  # pragma: no cover - interactive only
@@ -609,6 +629,144 @@ def cmd_chaos(options: argparse.Namespace) -> int:
     kinds = [record["kind"] for record in obs.events.tail()]
     print("  journal: " + " -> ".join(kinds))
     client.close()
+    return 0
+
+
+def cmd_anomaly(options: argparse.Namespace) -> int:
+    """Anomaly-detection plane: inspect a live engine or run the demo.
+
+    ``list`` and ``rules`` read a running exporter (``--url``); ``rules``
+    without a URL prints the default rule template.  ``demo`` runs the
+    whole loop -- latency step, error burst, slow leak, preemptive circuit
+    trip and revert -- on a virtual clock with zero real sleeps.
+    """
+    if options.action == "list":
+        import json as json_module
+        import urllib.request
+
+        if not options.url:
+            raise ConfigurationError("repro anomaly list needs --url <exporter>")
+        query = f"?kind=anomaly_*&limit={options.limit}"
+        with urllib.request.urlopen(
+            options.url.rstrip("/") + "/events.json" + query, timeout=5.0
+        ) as reply:
+            records = json_module.loads(reply.read().decode("utf-8"))
+        if not records:
+            print("(no anomaly events)")
+            return 0
+        for record in records:
+            kind = record.get("kind", "?")
+            rule = record.get("rule", record.get("action", "?"))
+            series = record.get("series", "")
+            value = record.get("value", "")
+            print(f"{record.get('ts', 0):>14.3f}  {kind:<16}  {rule:<14}  "
+                  f"{series}  {value}")
+        return 0
+
+    if options.action == "rules":
+        from .obs.anomaly import default_rules
+
+        if options.url:
+            import json as json_module
+            import urllib.request
+
+            with urllib.request.urlopen(
+                options.url.rstrip("/") + "/anomalies.json", timeout=5.0
+            ) as reply:
+                status = json_module.loads(reply.read().decode("utf-8"))
+            described = status.get("rules", [])
+            print(f"engine: polls={status.get('polls')} "
+                  f"detected={status.get('detected')} cleared={status.get('cleared')}")
+        else:
+            described = [rule.describe() for rule in default_rules()]
+            print("default rule template (no --url given):")
+        for info in described:
+            state = "ACTIVE" if info.get("active") else "quiet"
+            extras = {
+                key: value for key, value in info.items()
+                if key not in ("rule", "kind", "series", "active")
+            }
+            print(f"  {info['rule']:<14} {info['kind']:<16} on {info['series']}"
+                  f"  [{state}]  {extras}")
+        return 0
+
+    # demo: the full loop on a virtual clock.
+    from .kv.circuit import CircuitBreaker
+    from .obs import EventLog, Observability
+    from .obs.anomaly import (
+        AnomalyEngine,
+        ErrorRatioRule,
+        RateOfChangeRule,
+        TripCircuitAction,
+        ZScoreRule,
+    )
+
+    now = {"t": 0.0}
+    obs = Observability(events=EventLog(clock=lambda: now["t"]))
+    engine = AnomalyEngine(obs, clock=lambda: now["t"])
+    latency = obs.registry.histogram("store.get.seconds")
+    requests = obs.registry.counter("requests")
+    errors = obs.registry.counter("errors")
+    leak = obs.registry.gauge("demo.leak.bytes")
+    breaker = CircuitBreaker(name="demo", obs=obs, clock=lambda: now["t"])
+    engine.add_rule(
+        ZScoreRule("latency_p99", "store.get.seconds.p99", zmax=4.0,
+                   min_observations=5, trigger_after=2, clear_after=2),
+        actions=[TripCircuitAction(breaker)],
+    )
+    engine.add_rule(
+        ErrorRatioRule("error_burst", "errors.delta", "requests.delta",
+                       ratio=0.5, trigger_after=1, clear_after=2)
+    )
+    engine.add_rule(
+        RateOfChangeRule("slow_leak", "demo.leak.bytes", per_second=100.0,
+                         trigger_after=3, clear_after=3)
+    )
+
+    def tick(*, latency_s: float = 0.001, ops: int = 50, error_ops: int = 0,
+             leak_step: float = 0.0) -> None:
+        now["t"] += 1.0
+        requests.inc(ops)
+        errors.inc(error_ops)
+        if leak_step:
+            leak.inc(leak_step)
+        for _ in range(ops):
+            latency.observe(latency_s)
+        for event in engine.poll(now["t"]):
+            arrow = "!!" if event.kind.value == "detected" else "ok"
+            print(f"  t={now['t']:>5.1f}s  {arrow} {event.kind.value:<8} "
+                  f"{event.rule:<12} {event.series} "
+                  f"(value {event.value:.6g}, threshold {event.threshold:g}, "
+                  f"circuit {breaker.state.value})")
+
+    print("phase 1: clean baseline (12 virtual seconds of 1 ms reads)")
+    for _ in range(12):
+        tick()
+    print(f"  no transitions; circuit {breaker.state.value}")
+
+    print("phase 2: latency step to 50 ms -> z-score detects, circuit trips")
+    for _ in range(4):
+        tick(latency_s=0.05)
+    print("phase 3: latency recovers -> anomaly clears, circuit reverts")
+    for _ in range(6):
+        tick()
+    print("phase 4: error burst (60% of ops fail) -> error-ratio detects")
+    for _ in range(2):
+        tick(error_ops=30)
+    for _ in range(4):
+        tick()
+    print("phase 5: slow leak (+500 bytes/s gauge drift) -> rate rule detects")
+    for _ in range(5):
+        tick(leak_step=500.0)
+    for _ in range(5):
+        tick()
+
+    print("\nscoreboard:")
+    for metric in ("obs.anomaly.polls", "obs.anomaly.detected",
+                   "obs.anomaly.cleared", "obs.anomaly.actions"):
+        print(f"  {metric:<22} {obs.registry.counter(metric).value}")
+    kinds = [record["kind"] for record in obs.events.tail(kind="anomaly_*")]
+    print("  journal: " + " -> ".join(kinds))
     return 0
 
 
@@ -792,6 +950,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_options(chaos)
     chaos.add_argument("--seed", type=int, default=7, help="chaos RNG seed")
     chaos.set_defaults(handler=cmd_chaos)
+
+    anomaly = commands.add_parser(
+        "anomaly",
+        help="streaming anomaly detection: recent events, rules, scripted demo",
+    )
+    anomaly.add_argument("action", choices=("list", "rules", "demo"))
+    anomaly.add_argument("--url", default=None,
+                         help="a running exporter (e.g. http://127.0.0.1:9100)")
+    anomaly.add_argument("--limit", type=int, default=20,
+                         help="events to list (list action)")
+    anomaly.set_defaults(handler=cmd_anomaly)
 
     lsm = commands.add_parser(
         "lsm", help="inspect or compact an on-disk LSM store"

@@ -34,7 +34,7 @@ from ..caching.interface import Cache
 from ..caching.stale import DEFAULT_DEGRADE_ON
 from ..compression.interface import Compressor
 from ..delta.encoder import DEFAULT_WINDOW_SIZE
-from ..errors import KeyNotFoundError
+from ..errors import ConfigurationError, KeyNotFoundError
 from ..kv.interface import NOT_MODIFIED, KeyValueStore
 from ..obs import Observability
 from ..security.interface import Encryptor
@@ -233,6 +233,32 @@ class EnhancedDataStoreClient:
     def cache(self) -> Cache:
         """The integrated cache (for stats or direct manipulation)."""
         return self.dscl.cache
+
+    @property
+    def serve_stale(self) -> bool:
+        """Whether degradable fetch errors may be answered from expired
+        cache entries.  Writable at runtime (next :meth:`get` onward),
+        which is how :class:`repro.obs.anomaly.ServeStaleAction` switches a
+        client into degradation while an anomaly is active and restores the
+        prior policy when it clears.  The safety rules are unaffected:
+        negatives are never served stale, and entries older than
+        :attr:`max_stale` stay misses."""
+        return self._serve_stale
+
+    @serve_stale.setter
+    def serve_stale(self, value: bool) -> None:
+        self._serve_stale = bool(value)
+
+    @property
+    def max_stale(self) -> float:
+        """How long past expiry an entry may still be served (seconds)."""
+        return self._max_stale
+
+    @max_stale.setter
+    def max_stale(self, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError("max_stale must be non-negative")
+        self._max_stale = value
 
     @property
     def obs(self) -> "Observability":

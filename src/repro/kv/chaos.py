@@ -116,6 +116,27 @@ class FlakyStore(_DelegatingStore):
         with self._lock:
             return self._burst_remaining
 
+    def set_latency(self, latency: float, *, jitter: float | None = None) -> None:
+        """Change the injected delay mid-run (takes effect next operation).
+
+        The latency-step mode: anomaly-detection tests start a workload at
+        baseline speed, then ``set_latency(0.05)`` to inject a step the
+        latency rules must catch, then ``set_latency(0.0)`` to recover.
+        *jitter* is left unchanged unless given.
+        """
+        if latency < 0 or (jitter is not None and jitter < 0):
+            raise ConfigurationError("latency and jitter must be non-negative")
+        with self._lock:
+            self._latency = latency
+            if jitter is not None:
+                self._latency_jitter = jitter
+
+    @property
+    def latency(self) -> float:
+        """Currently injected fixed delay (seconds)."""
+        with self._lock:
+            return self._latency
+
     # ------------------------------------------------------------------
     def _roll(self, operation: str) -> bool:
         with self._lock:

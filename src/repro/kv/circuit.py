@@ -217,6 +217,40 @@ class CircuitBreaker:
             self._emit_transition(transition, error=error)
 
     # ------------------------------------------------------------------
+    # Manual overrides (the anomaly engine's preemptive hooks)
+    # ------------------------------------------------------------------
+    def trip(self, *, reason: str = "manual") -> None:
+        """Force the circuit open now, regardless of failure accounting.
+
+        The preemptive hook: :class:`repro.obs.anomaly` trips a breaker the
+        moment the metrics plane sees trouble, before callers have eaten
+        ``failure_threshold`` real failures.  The recovery clock restarts,
+        so the breaker probes its way back to closed exactly as if it had
+        opened organically.  Idempotent while already open.
+        """
+        with self._lock:
+            if self._state is CircuitState.OPEN:
+                return
+            self._transition(CircuitState.OPEN)
+        self._emit_transition(CircuitState.OPEN, reason=reason)
+
+    def reset(self, *, reason: str = "manual") -> None:
+        """Force the circuit closed and clear failure accounting.
+
+        The revert half of :meth:`trip`: the anomaly engine calls this on
+        ``anomaly_cleared``.  If the backend is still sick, the breaker's
+        own thresholds will re-open it from real traffic -- reset restores
+        the *policy*, not the backend.  Idempotent while already closed.
+        """
+        with self._lock:
+            if self._state is CircuitState.CLOSED:
+                self._consecutive_failures = 0
+                self._outcomes.clear()
+                return
+            self._transition(CircuitState.CLOSED)
+        self._emit_transition(CircuitState.CLOSED, reason=reason)
+
+    # ------------------------------------------------------------------
     # Internals (callers hold self._lock)
     # ------------------------------------------------------------------
     def _tripped(self) -> bool:
@@ -253,7 +287,11 @@ class CircuitBreaker:
             self._probe_successes = 0
 
     def _emit_transition(
-        self, state: CircuitState, *, error: Exception | None = None
+        self,
+        state: CircuitState,
+        *,
+        error: Exception | None = None,
+        reason: str | None = None,
     ) -> None:
         if not self._obs.enabled:
             return
@@ -267,6 +305,8 @@ class CircuitBreaker:
         fields: dict[str, Any] = {"breaker": self.name}
         if error is not None:
             fields["error"] = type(error).__name__
+        if reason is not None:
+            fields["reason"] = reason
         self._obs.event(f"circuit_{state.name.lower()}", **fields)
         self._obs.emit(f"circuit_{state.name.lower()}", **fields)
 

@@ -256,6 +256,23 @@ class ReplicatedStore(KeyValueStore):
     def members(self) -> list[KeyValueStore]:
         return [self._primary, *self._replicas]
 
+    @property
+    def hedge_delay(self) -> float | None:
+        """Seconds before a backup read is launched; ``None`` = no hedging.
+
+        Writable at runtime (takes effect on the next :meth:`get`), which is
+        how :class:`repro.obs.anomaly.EnableHedgingAction` turns hedging on
+        while a latency anomaly is active and restores the prior value when
+        it clears.
+        """
+        return self._hedge_delay
+
+    @hedge_delay.setter
+    def hedge_delay(self, value: float | None) -> None:
+        if value is not None and value < 0:
+            raise ConfigurationError("hedge_delay must be non-negative")
+        self._hedge_delay = value
+
     def put(self, key: str, value: Any) -> None:
         self._primary.put(key, value)
         for replica in self._replicas:

@@ -137,11 +137,24 @@ class EventLog:
     # ------------------------------------------------------------------
     def tail(self, count: int | None = None, *, kind: str | None = None) -> list[dict[str, Any]]:
         """Newest-last copy of the retained records, optionally filtered by
-        *kind* and truncated to the last *count*."""
+        *kind* and truncated to the last *count*.
+
+        *kind* matches exactly, unless it ends with ``*`` -- then it is a
+        prefix filter: ``kind="anomaly_*"`` selects ``anomaly_detected``,
+        ``anomaly_cleared``, and ``anomaly_action`` records together.
+        """
         with self._lock:
             records = list(self._ring)
         if kind is not None:
-            records = [record for record in records if record.get("kind") == kind]
+            if kind.endswith("*"):
+                prefix = kind[:-1]
+                records = [
+                    record
+                    for record in records
+                    if str(record.get("kind", "")).startswith(prefix)
+                ]
+            else:
+                records = [record for record in records if record.get("kind") == kind]
         if count is not None:
             records = records[-count:]
         return records

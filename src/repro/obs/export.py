@@ -14,8 +14,10 @@ and :class:`~repro.obs.tracing.TraceCollector`; this module makes them
 * :func:`start_http_exporter` -- a zero-dependency stdlib
   :mod:`http.server` thread serving ``/metrics`` (Prometheus text),
   ``/metrics.json`` (exact snapshot, dotted names preserved), ``/traces``
-  (recent span trees), and ``/events.json`` (the structured event log,
-  including slow-op records).
+  (recent span trees), ``/events.json`` (the structured event log,
+  including slow-op records; filter with ``?kind=`` -- trailing ``*`` for
+  a prefix -- and ``?limit=N``), and ``/anomalies.json`` (the attached
+  :class:`~repro.obs.anomaly.AnomalyEngine`'s status, when one is wired).
 
 Everything is read-only and safe to leave running: handlers only take
 snapshots, and the server thread is a daemon.
@@ -193,6 +195,7 @@ class _ExporterServer(ThreadingHTTPServer):
     registry: MetricsRegistry
     collector: "TraceCollector | None"
     events: "EventLog | None"
+    anomaly: Any  # AnomalyEngine | None (duck-typed: .status())
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -253,9 +256,17 @@ class _Handler(BaseHTTPRequestHandler):
                                content_type="text/plain; charset=utf-8", status=404)
                 else:
                     kind = query.get("kind", [None])[0]
-                    count_raw = query.get("count", [None])[0]
+                    # ?limit=N is the documented spelling; ?count=N stays
+                    # accepted for PR-2 compatibility.
+                    count_raw = query.get("limit", query.get("count", [None]))[0]
                     count = int(count_raw) if count_raw else None
                     self._send_json(server.events.tail(count, kind=kind))
+            elif path in ("/anomalies", "/anomalies.json"):
+                if getattr(server, "anomaly", None) is None:
+                    self._send("no anomaly engine attached\n",
+                               content_type="text/plain; charset=utf-8", status=404)
+                else:
+                    self._send_json(server.anomaly.status())
             elif path == "/healthz":
                 self._send("ok\n", content_type="text/plain; charset=utf-8")
             elif path == "/":
@@ -265,7 +276,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "  /metrics.json  registry snapshot (dotted names)\n"
                     "  /traces        recent span trees (text)\n"
                     "  /traces.json   recent span trees (JSON)\n"
-                    "  /events.json   structured event log (?kind=slow_op&count=10)\n"
+                    "  /events.json   structured event log (?kind=anomaly_*&limit=10)\n"
+                    "  /anomalies.json  anomaly engine status (active, rules, actions)\n"
                     "  /healthz       liveness\n",
                     content_type="text/plain; charset=utf-8",
                 )
@@ -312,6 +324,7 @@ def start_http_exporter(
     *,
     host: str = "127.0.0.1",
     port: int = 0,
+    anomaly: Any = None,
 ) -> ExporterHandle:
     """Serve *source*'s telemetry over HTTP on a daemon thread.
 
@@ -320,6 +333,9 @@ def start_http_exporter(
         :class:`~repro.obs.metrics.MetricsRegistry` (metrics endpoints
         only).
     :param port: TCP port; 0 picks a free one (see the handle's ``port``).
+    :param anomaly: an :class:`~repro.obs.anomaly.AnomalyEngine` (anything
+        with a ``status()`` method) to serve at ``/anomalies.json``;
+        omitted, that endpoint answers 404 like the other absent sources.
     :returns: an :class:`ExporterHandle`; the server runs until
         :meth:`ExporterHandle.stop`.
     """
@@ -335,6 +351,7 @@ def start_http_exporter(
     server.registry = registry
     server.collector = collector
     server.events = events
+    server.anomaly = anomaly
     thread = threading.Thread(
         target=server.serve_forever, name="repro-metrics-exporter", daemon=True
     )

@@ -40,6 +40,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "snapshot_delta",
+    "bucket_percentile",
 ]
 
 #: Default histogram bucket upper bounds, in seconds: 1 microsecond to 10
@@ -380,3 +382,120 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:
         return f"<MetricsRegistry metrics={len(self.names())}>"
+
+    def delta(self, previous: dict[str, Any] | None, *, current: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Per-series increments since *previous* (a prior :meth:`snapshot`).
+
+        Convenience wrapper over :func:`snapshot_delta`.  When *current* is
+        omitted a fresh snapshot is taken internally; callers that need the
+        current snapshot for the *next* round (rate dashboards, the anomaly
+        engine) should snapshot once themselves and pass it in, so the
+        delta and the retained snapshot agree exactly::
+
+            current = registry.snapshot()
+            delta = registry.delta(previous, current=current)
+            previous = current
+        """
+        if current is None:
+            current = self.snapshot()
+        return snapshot_delta(previous, current)
+
+
+# ----------------------------------------------------------------------
+# Snapshot arithmetic (plain data -- works on live snapshots and on
+# ``/metrics.json`` scrapes alike, where the overflow bound is "+inf").
+# ----------------------------------------------------------------------
+
+def _bound_key(bound: Any) -> float:
+    """Normalize a bucket bound: floats pass through, the JSON overflow
+    label ``"+inf"`` (and friends) becomes ``math.inf``."""
+    if isinstance(bound, str):
+        text = bound.lstrip("+")
+        return math.inf if text.lower() == "inf" else float(text)
+    return float(bound)
+
+
+def snapshot_delta(previous: dict[str, Any] | None, current: dict[str, Any]) -> dict[str, Any]:
+    """Per-series increments between two registry snapshots.
+
+    Returns the same ``{"counters", "gauges", "histograms"}`` shape as
+    :meth:`MetricsRegistry.snapshot`, but with interval semantics:
+
+    * **counters** -- increment since *previous*.  A series absent from
+      *previous* contributes its full value; a negative difference (the
+      counter was reset in between) clamps to the current value, so a
+      restart never yields negative rates.
+    * **gauges** -- change in level (``current - previous``; new series
+      contribute their level).  The absolute level lives in *current*,
+      which the caller already holds.
+    * **histograms** -- interval ``count``/``sum``/``mean`` plus
+      ``buckets`` as cumulative ``(bound, interval_count)`` pairs (the
+      same cumulative-``le`` convention as :meth:`Histogram.bucket_counts`,
+      restricted to the interval).  A count that went backwards is treated
+      as a reset: the whole current histogram is the interval.
+
+    *previous* may be ``None`` (first poll): everything is new.  Buckets
+    are matched by bound value, so snapshots from a live registry and from
+    a ``/metrics.json`` scrape (string ``"+inf"`` bound) mix freely.
+    """
+    previous = previous or {}
+    prev_counters = previous.get("counters", {})
+    counters = {}
+    for name, value in current.get("counters", {}).items():
+        diff = value - prev_counters.get(name, 0)
+        counters[name] = value if diff < 0 else diff
+    prev_gauges = previous.get("gauges", {})
+    gauges = {
+        name: value - prev_gauges.get(name, 0.0)
+        for name, value in current.get("gauges", {}).items()
+    }
+    prev_hists = previous.get("histograms", {})
+    histograms = {}
+    for name, cur in current.get("histograms", {}).items():
+        prev = prev_hists.get(name)
+        count = cur.get("count", 0) - (prev.get("count", 0) if prev else 0)
+        total = cur.get("sum", 0.0) - (prev.get("sum", 0.0) if prev else 0.0)
+        if count < 0:  # reset between snapshots
+            prev = None
+            count = cur.get("count", 0)
+            total = cur.get("sum", 0.0)
+        prev_buckets: dict[float, int] = {}
+        if prev:
+            for bound, cumulative in prev.get("buckets", []):
+                prev_buckets[_bound_key(bound)] = cumulative
+        buckets = [
+            (bound, cumulative - prev_buckets.get(_bound_key(bound), 0))
+            for bound, cumulative in cur.get("buckets", [])
+        ]
+        histograms[name] = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "buckets": buckets,
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def bucket_percentile(buckets: Iterable[tuple[Any, int]], fraction: float) -> float:
+    """Nearest-rank percentile from cumulative ``(bound, count)`` pairs.
+
+    The plain-data sibling of :meth:`Histogram.percentile`, usable on
+    snapshot/delta bucket lists (including scraped ones with a ``"+inf"``
+    overflow label).  Returns the upper bound of the bucket holding the
+    rank; when the rank lands in the overflow bucket, returns the last
+    finite bound (the histogram cannot resolve beyond it).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("percentile fraction must be within [0, 1]")
+    pairs = [(_bound_key(bound), count) for bound, count in buckets]
+    if not pairs or pairs[-1][1] <= 0:
+        return 0.0
+    total = pairs[-1][1]
+    rank = max(1, math.ceil(fraction * total))
+    last_finite = 0.0
+    for bound, cumulative in pairs:
+        if math.isfinite(bound):
+            last_finite = bound
+        if cumulative >= rank:
+            return bound if math.isfinite(bound) else last_finite
+    return last_finite  # pragma: no cover - cumulative covers total

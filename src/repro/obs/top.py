@@ -16,6 +16,10 @@ What a frame shows:
 * **hit ratios** -- every ``<prefix>.hits`` / ``<prefix>.misses`` counter
   pair as a ratio (caches, and the enhanced client's ``client.cache_*``);
 * **gauges** -- current levels (live connections, pool occupancy...);
+* **anomalies** -- the anomaly engine's active detections (rule, series,
+  value vs threshold, engaged actions), when the exporter serves
+  ``/anomalies.json``; older exporters without the endpoint simply have
+  no panel;
 * **slow operations** -- the tail of the event log's ``slow_op`` records,
   newest last, with the root span name and duration.
 """
@@ -28,13 +32,14 @@ import time
 import urllib.request
 from typing import Any, Iterable
 
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, snapshot_delta
 
 __all__ = [
     "normalize_buckets",
     "percentile_from_buckets",
     "scrape_metrics_json",
     "scrape_events_json",
+    "scrape_anomalies_json",
     "Dashboard",
     "CLEAR_SCREEN",
 ]
@@ -100,6 +105,23 @@ def scrape_events_json(
         raise
 
 
+def scrape_anomalies_json(
+    url: str, *, timeout: float = 5.0
+) -> dict[str, Any] | None:
+    """GET ``<url>/anomalies.json``; ``None`` when the exporter has no
+    anomaly engine attached (404) or predates the endpoint entirely --
+    the dashboard simply omits the panel instead of erroring."""
+    try:
+        with urllib.request.urlopen(
+            url.rstrip("/") + "/anomalies.json", timeout=timeout
+        ) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404:
+            return None
+        raise
+
+
 def snapshot_registry(registry: MetricsRegistry) -> dict[str, Any]:
     """An in-process registry in the same shape ``/metrics.json`` serves."""
     return registry.snapshot()
@@ -121,7 +143,7 @@ class Dashboard:
 
     def __init__(self, *, clock=time.monotonic) -> None:
         self._clock = clock
-        self._previous_counts: dict[str, int] = {}
+        self._previous_snapshot: dict[str, Any] | None = None
         self._previous_at: float | None = None
 
     # ------------------------------------------------------------------
@@ -131,22 +153,31 @@ class Dashboard:
         slow_ops: list[dict[str, Any]] | None = None,
         *,
         title: str = "repro top",
+        anomalies: dict[str, Any] | None = None,
     ) -> str:
         """One frame of the dashboard for *snapshot* (a registry snapshot,
-        live or scraped); rates are computed against the previous call."""
+        live or scraped); rates are computed against the previous call.
+        *anomalies* is an engine status dict (``/anomalies.json``); ``None``
+        -- an exporter without the endpoint -- omits the panel."""
         now = self._clock()
         interval = None if self._previous_at is None else max(1e-9, now - self._previous_at)
+        delta = snapshot_delta(self._previous_snapshot, snapshot)
         lines: list[str] = [title]
-        lines.extend(self._render_operations(snapshot, interval))
+        lines.extend(self._render_operations(snapshot, delta, interval))
         lines.extend(self._render_hit_ratios(snapshot))
         lines.extend(self._render_gauges(snapshot))
+        lines.extend(self._render_anomalies(anomalies))
         lines.extend(self._render_slow_ops(slow_ops or []))
         self._previous_at = now
+        self._previous_snapshot = snapshot
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
     def _render_operations(
-        self, snapshot: dict[str, Any], interval: float | None
+        self,
+        snapshot: dict[str, Any],
+        delta: dict[str, Any],
+        interval: float | None,
     ) -> list[str]:
         histograms = {
             name: data
@@ -155,16 +186,17 @@ class Dashboard:
         }
         if not histograms:
             return ["", "operations: (none recorded)"]
+        first_frame = self._previous_snapshot is None
+        delta_histograms = delta.get("histograms", {})
         rows = [("operation", "count", "ops/s", "mean ms", "p50 ms", "p99 ms", "max ms")]
         for name in sorted(histograms):
             data = histograms[name]
             count = int(data["count"])
-            previous = self._previous_counts.get(name)
-            self._previous_counts[name] = count
-            if interval is None or previous is None:
+            if interval is None or first_frame:
                 rate = "-"
             else:
-                rate = f"{max(0, count - previous) / interval:.1f}"
+                increment = delta_histograms.get(name, {}).get("count", 0)
+                rate = f"{max(0, increment) / interval:.1f}"
             buckets = normalize_buckets(data.get("buckets", []))
             maximum = float(data.get("max", 0.0))
             rows.append(
@@ -210,6 +242,29 @@ class Dashboard:
         for name in sorted(gauges):
             rows.append((name, f"{float(gauges[name]):g}"))
         return ["", "gauges:"] + _table(rows)
+
+    def _render_anomalies(self, anomalies: dict[str, Any] | None) -> list[str]:
+        if anomalies is None:
+            return []
+        detected = int(anomalies.get("detected", 0))
+        cleared = int(anomalies.get("cleared", 0))
+        active = anomalies.get("active", [])
+        header = f"anomalies (detected {detected}, cleared {cleared}):"
+        if not active:
+            return ["", header + " none active"]
+        rows = [("rule", "series", "value", "threshold", "actions")]
+        for record in active:
+            actions = ",".join(record.get("actions", [])) or "-"
+            rows.append(
+                (
+                    str(record.get("rule", "?")),
+                    str(record.get("series", "?")),
+                    f"{float(record.get('value', 0.0)):.6g}",
+                    f"{float(record.get('threshold', 0.0)):.6g}",
+                    actions,
+                )
+            )
+        return ["", header] + _table(rows)
 
     def _render_slow_ops(self, slow_ops: list[dict[str, Any]]) -> list[str]:
         if not slow_ops:

@@ -363,3 +363,55 @@ class TestChaos:
         out = capsys.readouterr().out
         assert "kv.circuit.opened      1" in out
         assert "cache.stale_served     4" in out
+
+
+class TestAnomalyCommand:
+    def test_demo_runs_whole_loop_without_sleeping(self, capsys):
+        assert main(["anomaly", "demo"]) == 0
+        out = capsys.readouterr().out
+        # all three anomaly classes detect AND clear on the virtual clock
+        for rule in ("latency_p99", "error_burst", "slow_leak"):
+            assert f"detected {rule}" in out
+            assert f"cleared  {rule}" in out
+        assert "obs.anomaly.detected   3" in out
+        assert "obs.anomaly.cleared    3" in out
+        assert "circuit" in out.lower()
+
+    def test_rules_without_url_prints_default_template(self, capsys):
+        assert main(["anomaly", "rules"]) == 0
+        out = capsys.readouterr().out
+        assert "default rule template" in out
+        assert "latency_p99" in out and "slow_leak" in out
+
+    def test_list_requires_url(self, capsys):
+        assert main(["anomaly", "list"]) == 2
+        assert "--url" in capsys.readouterr().err
+
+    def test_list_and_rules_against_live_exporter(self, capsys):
+        from repro.obs import EventLog, Observability
+        from repro.obs.anomaly import AnomalyEngine, ThresholdRule
+        from repro.obs.export import start_http_exporter
+
+        obs = Observability(events=EventLog())
+        clock = iter(float(step) for step in range(100))
+        engine = AnomalyEngine(obs, clock=lambda: next(clock))
+        engine.add_rule(ThresholdRule("deep", "q", limit=5.0, trigger_after=1))
+        engine.poll()
+        obs.registry.gauge("q").set(50.0)
+        engine.poll()
+        with start_http_exporter(obs, anomaly=engine) as handle:
+            assert main(["anomaly", "list", "--url", handle.url]) == 0
+            out = capsys.readouterr().out
+            assert "anomaly_detected" in out and "deep" in out
+            assert main(["anomaly", "rules", "--url", handle.url]) == 0
+            out = capsys.readouterr().out
+            assert "deep" in out
+
+    def test_list_with_no_events(self, capsys):
+        from repro.obs import EventLog, Observability
+        from repro.obs.export import start_http_exporter
+
+        obs = Observability(events=EventLog())
+        with start_http_exporter(obs) as handle:
+            assert main(["anomaly", "list", "--url", handle.url]) == 0
+        assert "(no anomaly events)" in capsys.readouterr().out

@@ -210,3 +210,23 @@ class TestRetryExhaustionEvents:
         assert len(records) == 1
         assert records[0]["attempts"] == 2
         assert records[0]["error"] == "StoreConnectionError"
+
+
+class TestTailPrefixFilter:
+    def test_star_suffix_matches_prefix(self):
+        log = EventLog()
+        log.emit("anomaly_detected", rule="r")
+        log.emit("slow_op", op="get")
+        log.emit("anomaly_action", action="a")
+        log.emit("anomaly_cleared", rule="r")
+        kinds = [r["kind"] for r in log.tail(kind="anomaly_*")]
+        assert kinds == ["anomaly_detected", "anomaly_action", "anomaly_cleared"]
+        assert [r["kind"] for r in log.tail(2, kind="anomaly_*")] == [
+            "anomaly_action", "anomaly_cleared",
+        ]
+
+    def test_exact_match_still_exact(self):
+        log = EventLog()
+        log.emit("anomaly_detected", rule="r")
+        log.emit("anomaly", rule="r")
+        assert [r["kind"] for r in log.tail(kind="anomaly")] == ["anomaly"]

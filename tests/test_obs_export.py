@@ -240,3 +240,57 @@ class TestDashboard:
     def test_empty_snapshot_renders_placeholder(self):
         frame = Dashboard().render({"counters": {}, "gauges": {}, "histograms": {}})
         assert "(none recorded)" in frame
+
+
+class TestEventsQueryParams:
+    def test_limit_truncates_tail(self, exporter):
+        handle, obs = exporter
+        for index in range(5):
+            obs.emit("tick", index=index)
+        _status, body = fetch(handle.url + "/events.json?kind=tick&limit=2")
+        records = json.loads(body)
+        assert [r["index"] for r in records] == [3, 4]
+
+    def test_count_is_a_legacy_alias_for_limit(self, exporter):
+        handle, obs = exporter
+        for index in range(5):
+            obs.emit("tick", index=index)
+        _status, body = fetch(handle.url + "/events.json?kind=tick&count=3")
+        assert len(json.loads(body)) == 3
+
+    def test_kind_prefix_filter(self, exporter):
+        handle, obs = exporter
+        obs.emit("anomaly_detected", rule="r")
+        obs.emit("anomaly_cleared", rule="r")
+        obs.emit("reconnect", host="x")
+        _status, body = fetch(handle.url + "/events.json?kind=anomaly_*")
+        kinds = [r["kind"] for r in json.loads(body)]
+        assert kinds == ["anomaly_detected", "anomaly_cleared"]
+
+
+class TestAnomaliesEndpoint:
+    def test_404_without_engine(self, exporter):
+        handle, _obs = exporter
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(handle.url + "/anomalies.json")
+        assert excinfo.value.code == 404
+
+    def test_serves_engine_status(self):
+        from repro.obs.anomaly import AnomalyEngine, ThresholdRule
+
+        obs = Observability(events=EventLog())
+        clock = iter(float(step) for step in range(100))
+        engine = AnomalyEngine(obs, clock=lambda: next(clock))
+        engine.add_rule(ThresholdRule("deep", "q", limit=5.0, trigger_after=1))
+        gauge = obs.registry.gauge("q")
+        engine.poll()
+        gauge.set(50.0)
+        engine.poll()
+        with start_http_exporter(obs, anomaly=engine) as handle:
+            _status, body = fetch(handle.url + "/anomalies.json")
+            payload = json.loads(body)
+            assert payload["detected"] == 1
+            assert payload["active"][0]["rule"] == "deep"
+            assert payload["rules"][0]["active"] is True
+            # the index page advertises the endpoint
+            assert "/anomalies" in fetch(handle.url + "/")[1]

@@ -310,3 +310,90 @@ class TestMonitorRegistryForwarding:
         monitor = PerformanceMonitor()
         monitor.record("mem", "put", 0.001)
         assert monitor.stats_for("mem", "put").count == 1
+
+
+class TestSnapshotDelta:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(10)
+        registry.gauge("depth").set(5.0)
+        registry.histogram("op.seconds").observe(0.002)
+        return registry
+
+    def test_no_previous_returns_current_as_interval(self):
+        from repro.obs.metrics import snapshot_delta
+
+        registry = self.make_registry()
+        delta = snapshot_delta(None, registry.snapshot())
+        assert delta["counters"]["hits"] == 10
+        assert delta["histograms"]["op.seconds"]["count"] == 1
+
+    def test_interval_increments(self):
+        from repro.obs.metrics import snapshot_delta
+
+        registry = self.make_registry()
+        previous = registry.snapshot()
+        registry.counter("hits").inc(7)
+        registry.gauge("depth").set(3.0)
+        registry.histogram("op.seconds").observe(0.05)
+        registry.histogram("op.seconds").observe(0.05)
+        delta = snapshot_delta(previous, registry.snapshot())
+        assert delta["counters"]["hits"] == 7
+        assert delta["gauges"]["depth"] == -2.0
+        interval_hist = delta["histograms"]["op.seconds"]
+        assert interval_hist["count"] == 2
+        assert interval_hist["sum"] == pytest.approx(0.1)
+        assert interval_hist["mean"] == pytest.approx(0.05)
+        # interval buckets are cumulative over the interval only
+        total = interval_hist["buckets"][-1][1]
+        assert total == 2
+
+    def test_counter_reset_clamps_to_current(self):
+        from repro.obs.metrics import snapshot_delta
+
+        previous = {"counters": {"hits": 1000}, "gauges": {}, "histograms": {}}
+        current = {"counters": {"hits": 3}, "gauges": {}, "histograms": {}}
+        delta = snapshot_delta(previous, current)
+        assert delta["counters"]["hits"] == 3  # restart, not -997
+
+    def test_accepts_scraped_json_bucket_bounds(self):
+        from repro.obs.metrics import snapshot_delta
+
+        registry = self.make_registry()
+        scraped_previous = json.loads(json.dumps(registry.snapshot()))
+        registry.histogram("op.seconds").observe(0.002)
+        scraped_current = json.loads(json.dumps(registry.snapshot()))
+        delta = snapshot_delta(scraped_previous, scraped_current)
+        assert delta["histograms"]["op.seconds"]["count"] == 1
+
+    def test_registry_delta_method_chains(self):
+        registry = self.make_registry()
+        previous = registry.snapshot()
+        registry.counter("hits").inc(1)
+        delta = registry.delta(previous)
+        assert delta["counters"]["hits"] == 1
+        delta_again = registry.delta(previous, current=registry.snapshot())
+        assert delta_again["counters"]["hits"] == 1
+
+
+class TestBucketPercentile:
+    def test_nearest_rank_over_interval_buckets(self):
+        from repro.obs.metrics import bucket_percentile
+
+        buckets = [(0.001, 2), (0.01, 8), (0.1, 10), (math.inf, 10)]
+        assert bucket_percentile(buckets, 0.5) == 0.01
+        assert bucket_percentile(buckets, 0.99) == 0.1
+
+    def test_overflow_lands_on_last_finite_bound(self):
+        from repro.obs.metrics import bucket_percentile
+
+        buckets = [(0.001, 0), (0.01, 0), (math.inf, 4)]
+        assert bucket_percentile(buckets, 0.99) == 0.01
+
+    def test_empty_and_validation(self):
+        from repro.obs.metrics import bucket_percentile
+
+        assert bucket_percentile([], 0.5) == 0.0
+        assert bucket_percentile([(math.inf, 0)], 0.5) == 0.0
+        with pytest.raises(ConfigurationError):
+            bucket_percentile([(1.0, 1)], 1.5)

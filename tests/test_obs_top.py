@@ -1,0 +1,120 @@
+"""``repro top`` frame rendering -- snapshot-based, no TTY required.
+
+Each frame is a plain string, so the dashboard is tested by rendering
+frames from synthetic registry snapshots and asserting on the text,
+including the anomalies panel and its graceful absence against servers
+that predate ``/anomalies.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.anomaly import AnomalyEngine, ThresholdRule
+from repro.obs.export import start_http_exporter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.top import Dashboard, scrape_anomalies_json
+
+
+def registry_with_ops() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    histogram = registry.histogram("client.get.seconds")
+    for value in (0.001, 0.002, 0.004):
+        histogram.observe(value)
+    return registry
+
+
+class TestOperationsPanel:
+    def test_first_frame_has_no_rate(self):
+        frame = Dashboard().render(registry_with_ops().snapshot())
+        row = next(line for line in frame.splitlines() if "client.get" in line)
+        assert "-" in row.split()
+
+    def test_rates_come_from_snapshot_delta(self):
+        registry = registry_with_ops()
+        clock_values = iter([0.0, 4.0])
+        dashboard = Dashboard(clock=lambda: next(clock_values))
+        dashboard.render(registry.snapshot())
+        for _ in range(6):
+            registry.histogram("client.get.seconds").observe(0.001)
+        frame = dashboard.render(registry.snapshot())
+        row = next(line for line in frame.splitlines() if "client.get" in line)
+        assert "1.5" in row  # 6 new ops / 4 seconds
+
+    def test_counter_reset_does_not_go_negative(self):
+        registry = registry_with_ops()
+        clock_values = iter([0.0, 1.0])
+        dashboard = Dashboard(clock=lambda: next(clock_values))
+        dashboard.render(registry.snapshot())
+        # a "restarted" process: fresh registry with fewer observations
+        fresh = MetricsRegistry()
+        fresh.histogram("client.get.seconds").observe(0.001)
+        frame = dashboard.render(fresh.snapshot())
+        row = next(line for line in frame.splitlines() if "client.get" in line)
+        rate_cell = row.split()[2]
+        assert float(rate_cell) >= 0.0
+
+
+class TestAnomaliesPanel:
+    def test_none_means_no_panel(self):
+        frame = Dashboard().render(registry_with_ops().snapshot(), anomalies=None)
+        assert "anomalies" not in frame
+
+    def test_quiet_engine_renders_summary_line(self):
+        frame = Dashboard().render(
+            registry_with_ops().snapshot(),
+            anomalies={"detected": 0, "cleared": 0, "active": []},
+        )
+        assert "anomalies (detected 0, cleared 0): none active" in frame
+
+    def test_active_anomalies_render_as_table(self):
+        anomalies = {
+            "detected": 2,
+            "cleared": 1,
+            "active": [
+                {
+                    "rule": "latency_p99",
+                    "series": "client.get.seconds.p99",
+                    "value": 0.08,
+                    "threshold": 4.0,
+                    "actions": ["trip_circuit", "serve_stale"],
+                },
+                {"rule": "leak", "series": "heap.bytes", "value": 1e6,
+                 "threshold": 100.0},
+            ],
+        }
+        frame = Dashboard().render(registry_with_ops().snapshot(), anomalies=anomalies)
+        assert "anomalies (detected 2, cleared 1):" in frame
+        assert "latency_p99" in frame
+        assert "trip_circuit,serve_stale" in frame
+        leak_row = next(line for line in frame.splitlines() if "leak" in line)
+        assert leak_row.rstrip().endswith("-")  # no actions bound
+
+    def test_live_engine_status_feeds_the_panel(self):
+        obs = Observability()
+        clock = iter(range(100))
+        engine = AnomalyEngine(obs, clock=lambda: float(next(clock)))
+        engine.add_rule(ThresholdRule("deep", "q", limit=5.0, trigger_after=1))
+        gauge = obs.registry.gauge("q")
+        engine.poll()
+        gauge.set(50.0)
+        engine.poll()
+        frame = Dashboard().render(obs.registry.snapshot(), anomalies=engine.status())
+        assert "anomalies (detected 1, cleared 0):" in frame
+        assert "deep" in frame and "q" in frame
+
+
+class TestScrapeAnomalies:
+    def test_older_server_without_endpoint_yields_none(self):
+        # a registry-only exporter predates /anomalies.json: 404 -> None
+        with start_http_exporter(MetricsRegistry()) as handle:
+            assert scrape_anomalies_json(handle.url) is None
+
+    def test_attached_engine_round_trips(self):
+        obs = Observability()
+        engine = AnomalyEngine(obs)
+        with start_http_exporter(obs, anomaly=engine) as handle:
+            status = scrape_anomalies_json(handle.url)
+        assert status == engine.status()
+        assert status["active"] == []
