@@ -1,14 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test unit check-docs check-obs check-resilience check-lsm check-serving check-anomaly all
+.PHONY: test unit check-docs check-obs check-resilience check-quorum check-lsm check-serving check-anomaly all
 
 all: test
 
 # The default gate: unit suite + doc snippets + instrumentation coverage
 # + fault-tolerance contract + LSM durability contract + serving-plane
 # smoke gate + anomaly-detection contract.
-test: unit check-docs check-obs check-resilience check-lsm check-serving check-anomaly
+test: unit check-docs check-obs check-resilience check-quorum check-lsm check-serving check-anomaly
 
 unit:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,13 @@ check-obs:
 # vocabulary and typed errors (see docs/resilience.md).
 check-resilience:
 	$(PYTHON) scripts/check_resilience.py
+
+# Partition a quorum member through the chaos plane, write through the
+# partition, heal, and assert Merkle anti-entropy convergence without a
+# full-keyspace scan, fail-fast below W, and reads surviving one member
+# down -- all with zero real sleeps (see docs/resilience.md).
+check-quorum:
+	$(PYTHON) scripts/check_quorum.py
 
 # Crash-simulate the LSM engine (torn WAL tails, mixed states, double
 # crashes) and assert no acknowledged write is lost (see docs/lsm.md).

@@ -31,9 +31,16 @@ Commands
     scraping a running exporter (``--url``) or self-driving a demo
     workload in-process (``--demo``).
 ``chaos``
-    Scripted outage through the fault-tolerance plane (retry, circuit
-    breaker, deadline budget, serve-stale) on a virtual clock, narrating
-    which layer absorbed each failure (see docs/resilience.md).
+    Scripted failure scenarios on a virtual clock (see docs/resilience.md):
+    ``--scenario outage`` (default) walks retry, circuit breaker, deadline
+    budget, and serve-stale through a backend outage; ``--scenario
+    partition`` demos ``PartitionedStore`` -- symmetric unreachability,
+    manual heal, and a seeded flap schedule.
+``quorum``
+    Quorum-replication plane: ``quorum status`` / ``quorum repair``
+    compose an R+W>N group from repeated ``--member`` specs (status exits
+    1 on divergence; repair runs a Merkle anti-entropy round), and
+    ``quorum demo`` runs the scripted partition-heal walkthrough.
 ``lsm``
     Inspect (``lsm stats``) or compact (``lsm compact``) an on-disk LSM
     store directory (see docs/lsm.md).
@@ -51,6 +58,10 @@ Examples::
     python -m repro top --url http://127.0.0.1:9100
     python -m repro top --demo --iterations 3
     python -m repro chaos --seed 7
+    python -m repro chaos --scenario partition
+    python -m repro quorum demo
+    python -m repro quorum status --member sql,path=a.db --member sql,path=b.db
+    python -m repro quorum repair --member memory --member memory --r 1 --w 2
     python -m repro serve --backend lsm --database /var/data/kv.lsm
     python -m repro lsm stats --path /var/data/kv.lsm
     python -m repro lsm compact --path /var/data/kv.lsm
@@ -531,13 +542,18 @@ def cmd_migrate(options: argparse.Namespace) -> int:
 
 
 def cmd_chaos(options: argparse.Namespace) -> int:
-    """Scripted outage driven through the whole fault-tolerance plane.
+    """Scripted failure scenario driven through the fault-tolerance plane.
 
-    Composes ``serve-stale client -> RetryingStore -> CircuitBreakerStore
-    -> FlakyStore -> store`` (see docs/resilience.md) and walks it through
-    seed, outage, degradation, and recovery on a virtual clock, narrating
-    which layer absorbed each failure.
+    ``--scenario outage`` (default) composes ``serve-stale client ->
+    RetryingStore -> CircuitBreakerStore -> FlakyStore -> store`` (see
+    docs/resilience.md) and walks it through seed, outage, degradation,
+    and recovery on a virtual clock, narrating which layer absorbed each
+    failure.  ``--scenario partition`` demos :class:`PartitionedStore`:
+    symmetric unreachability (reads *and* writes refused), manual heal,
+    and a seeded flap schedule evaluated on the virtual clock.
     """
+    if options.scenario == "partition":
+        return _chaos_partition(options)
     import time as _time
 
     from .kv import CircuitBreakerStore, FlakyStore, RetryingStore, deadline_scope
@@ -629,6 +645,192 @@ def cmd_chaos(options: argparse.Namespace) -> int:
     kinds = [record["kind"] for record in obs.events.tail()]
     print("  journal: " + " -> ".join(kinds))
     client.close()
+    return 0
+
+
+def _chaos_partition(options: argparse.Namespace) -> int:
+    """Network-partition scenario: sever, refuse symmetrically, flap, heal."""
+    from .errors import StoreUnavailableError
+    from .kv import PartitionedStore, RetryingStore
+    from .obs import EventLog, Observability
+
+    obs = Observability(events=EventLog())
+    now = {"t": 0.0}
+
+    def clock() -> float:
+        return now["t"]
+
+    def advance(seconds: float) -> None:
+        now["t"] += seconds
+
+    backend = build_store(options)
+    part = PartitionedStore(backend, clock=clock, obs=obs)
+    retry = RetryingStore(
+        part, max_attempts=3, base_delay=0.02, sleep=advance,
+        seed=options.seed, obs=obs,
+    )
+
+    retry.put("user-0", {"name": "user-0"})
+    print(f"stack: {retry.name}")
+    print(f"healthy: get 'user-0' -> {retry.get('user-0')!r}")
+
+    print("\n-- manual partition: reads AND writes are refused symmetrically --")
+    part.partition()
+    for label, op in (
+        ("get 'user-0'", lambda: retry.get("user-0")),
+        ("put 'user-1'", lambda: retry.put("user-1", {"name": "user-1"})),
+    ):
+        try:
+            op()
+        except StoreUnavailableError as exc:
+            print(f"  {label} -> {type(exc).__name__} "
+                  f"(retry ladder exhausted: {exc})")
+    part.heal()
+    print(f"healed: get 'user-0' -> {retry.get('user-0')!r}")
+
+    print("\n-- seeded flap schedule on the virtual clock (zero real sleeps) --")
+    windows = part.schedule_flaps(
+        seed=options.seed, flaps=3, mean_healthy=10.0, mean_partitioned=4.0,
+    )
+    for start, end in windows:
+        print(f"  partition window {start:8.2f}s .. {end:8.2f}s")
+    probes = served = refused = 0
+    while now["t"] < windows[-1][1] + 1.0:
+        probes += 1
+        try:
+            part.get("user-0")
+            served += 1
+        except StoreUnavailableError:
+            refused += 1
+        advance(0.5)
+    print(f"  {probes} probes over {now['t']:.1f} virtual seconds: "
+          f"{served} served, {refused} refused")
+
+    print("\nscoreboard:")
+    for metric in (
+        "kv.chaos.partitions",
+        "kv.chaos.heals",
+        "kv.chaos.unavailable",
+        "kv.retry.retries",
+        "kv.retry.exhausted",
+    ):
+        print(f"  {metric:<22} {obs.registry.counter(metric).value}")
+    backend.close()
+    return 0
+
+
+def cmd_quorum(options: argparse.Namespace) -> int:
+    """Quorum-replication plane: group status, Merkle repair, or the demo.
+
+    ``status`` and ``repair`` compose a group from repeated ``--member``
+    specs (attaching to whatever the members already hold via a one-time
+    tree rebuild); ``demo`` runs the scripted partition-heal walkthrough
+    over in-memory members.  ``status`` exits 1 when the members have
+    diverged, which makes it usable as a health probe.
+    """
+    from .kv.quorum import QuorumReplicatedStore
+
+    if options.action == "demo":
+        return _quorum_demo(options)
+    specs = options.member or []
+    if len(specs) < 2:
+        raise DataStoreError(
+            f"quorum {options.action} needs at least two --member specs"
+        )
+    members = [parse_store_spec(spec) for spec in specs]
+    group = QuorumReplicatedStore(
+        members,
+        read_quorum=options.r,
+        write_quorum=options.w,
+        node_id=options.node_id,
+        merkle_depth=options.depth,
+    )
+    try:
+        # Attaching to pre-existing stores: one full scan seeds the trees,
+        # then every comparison below is incremental.
+        group.rebuild_trees()
+        if options.action == "repair":
+            report = group.anti_entropy_round()
+            print(report)
+        status = group.status()
+        rows = [
+            (entry["name"], str(entry["tracked_keys"]), entry["merkle_root"][:16])
+            for entry in status["members"]
+        ]
+        print(format_table(("member", "tracked keys", "merkle root (prefix)"), rows))
+        verdict = "in sync" if status["in_sync"] else "DIVERGED"
+        print(f"group: N={status['n']} R={status['r']} W={status['w']} -- {verdict}")
+        return 0 if status["in_sync"] else 1
+    finally:
+        group.close()
+
+
+def _quorum_demo(options: argparse.Namespace) -> int:
+    """Scripted quorum walkthrough: degrade, fail fast, heal, converge."""
+    from .errors import QuorumWriteError
+    from .kv import InMemoryStore, PartitionedStore
+    from .kv.quorum import QuorumReplicatedStore
+    from .obs import EventLog, Observability
+
+    obs = Observability(events=EventLog())
+    members = [
+        PartitionedStore(InMemoryStore(), name=f"member-{index}", obs=obs)
+        for index in range(3)
+    ]
+    group = QuorumReplicatedStore(
+        members, read_quorum=2, write_quorum=2, name="demo",
+        node_id="demo-node", obs=obs,
+    )
+    print("group: N=3 R=2 W=2 over in-memory members")
+    for index in range(3):
+        group.put(f"user-{index}", {"revision": 0})
+    group.drain()
+    print(f"seeded 3 keys; members in sync: {group.status()['in_sync']}")
+
+    print("\n-- partition member-2; quorum holds at W=2, writes run degraded --")
+    members[2].partition()
+    for index in range(3):
+        group.put(f"user-{index}", {"revision": 1})
+    group.drain()
+    print(f"  3 writes acknowledged with one member down "
+          f"(degraded_ops={group.degraded_ops}, "
+          f"sloppy failures={group.write_partial_failures})")
+    value = group.get("user-0")
+    group.drain()
+    print(f"  get 'user-0' -> {value!r} (reads survive at R=2)")
+
+    print("\n-- partition member-1 too: below W, writes fail fast --")
+    members[1].partition()
+    try:
+        group.put("user-0", {"revision": 2})
+    except QuorumWriteError as exc:
+        print(f"  put -> {type(exc).__name__}: {exc}")
+    group.drain()
+
+    print("\n-- heal both members, run one Merkle anti-entropy round --")
+    members[1].heal()
+    members[2].heal()
+    report = group.anti_entropy_round()
+    print(f"  {report}")
+    status = group.status()
+    print(f"  members in sync: {status['in_sync']}; "
+          f"get 'user-0' -> {group.get('user-0')!r}")
+    print("  (the failed-fast write landed on one member before the quorum "
+          "was lost; anti-entropy propagates that surviving copy -- partial "
+          "writes are sloppy, never rolled back)")
+    group.drain()
+
+    print("\nscoreboard:")
+    for metric in (
+        "kv.quorum.writes",
+        "kv.quorum.degraded",
+        "kv.quorum.failed_fast",
+        "kv.quorum.read_repairs",
+        "kv.antientropy.rounds",
+        "kv.antientropy.keys_repaired",
+    ):
+        print(f"  {metric:<28} {obs.registry.counter(metric).value}")
+    group.close()
     return 0
 
 
@@ -949,7 +1151,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_options(chaos)
     chaos.add_argument("--seed", type=int, default=7, help="chaos RNG seed")
+    chaos.add_argument(
+        "--scenario",
+        choices=("outage", "partition"),
+        default="outage",
+        help="outage: retry/breaker/serve-stale walkthrough; "
+             "partition: PartitionedStore symmetric unreachability + flaps",
+    )
     chaos.set_defaults(handler=cmd_chaos)
+
+    quorum = commands.add_parser(
+        "quorum",
+        help="quorum-replication group: status, Merkle repair, scripted demo",
+    )
+    quorum.add_argument("action", choices=("status", "repair", "demo"))
+    quorum.add_argument(
+        "--member", action="append", default=None, metavar="SPEC",
+        help="member store spec kind[,option=value...]; repeat for each "
+             "member (status/repair need at least two)",
+    )
+    quorum.add_argument("--r", type=int, default=2, help="read quorum R")
+    quorum.add_argument("--w", type=int, default=2, help="write quorum W")
+    quorum.add_argument(
+        "--depth", type=int, default=6,
+        help="Merkle tree depth (2**depth anti-entropy buckets)",
+    )
+    quorum.add_argument("--node-id", default="cli", help="coordinator writer id")
+    quorum.set_defaults(handler=cmd_quorum)
 
     anomaly = commands.add_parser(
         "anomaly",

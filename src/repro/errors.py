@@ -38,6 +38,44 @@ class ProtocolError(DataStoreError):
     """The remote peer sent data that violates the wire protocol."""
 
 
+class StoreUnavailableError(StoreConnectionError):
+    """The store is unreachable -- e.g. severed by a network partition.
+
+    A :class:`StoreConnectionError` subclass on purpose: unavailability is
+    transient, so retry policies treat it like any other connection
+    failure, and quorum groups count it as a missing ack rather than a
+    semantic error.  Raised by the chaos plane's
+    :class:`~repro.kv.chaos.PartitionedStore` while a partition is active.
+    """
+
+
+class QuorumError(StoreConnectionError):
+    """A quorum group could not gather enough member responses.
+
+    Transient by design (members come back, partitions heal), so like
+    :class:`StoreUnavailableError` it is retryable -- a retry ladder with
+    backoff is the standard response to a temporarily lost quorum.
+    """
+
+    def __init__(self, store: str, *, needed: int, got: int, failures: int) -> None:
+        self.store = store
+        self.needed = needed
+        self.got = got
+        self.failures = failures
+        super().__init__(
+            f"quorum lost in {store!r}: needed {needed} member responses, "
+            f"got {got} ({failures} member failures)"
+        )
+
+
+class QuorumWriteError(QuorumError):
+    """Fewer than W members acknowledged a quorum write."""
+
+
+class QuorumReadError(QuorumError):
+    """Fewer than R members answered a quorum read."""
+
+
 class CircuitOpenError(DataStoreError):
     """An operation was shed because the store's circuit breaker is open.
 

@@ -16,10 +16,16 @@ from .sqlstore import SQLStore
 from .cloudsim import CLOUD_STORE_1, CLOUD_STORE_2, CloudStoreProfile, SimulatedCloudStore
 from .remote import RemoteKeyValueStore
 from .wrappers import NamespacedStore, ReadOnlyStore, TransformingStore
-from .chaos import FlakyStore, LaggyStore
+from .chaos import FlakyStore, LaggyStore, PartitionedStore
 from .circuit import CircuitBreaker, CircuitBreakerStore, CircuitState
 from .deadline import Deadline, current_deadline, deadline_scope
 from .resilience import ReplicatedStore, RetryingStore
+from .quorum import (
+    AntiEntropyReport,
+    MerkleTree,
+    QuorumReplicatedStore,
+    VersionStamp,
+)
 
 # The LSM engine lives in its own package (repro.lsm) but registers here as
 # a first-class backend alongside the other stores.  Imported last: its
@@ -45,8 +51,13 @@ __all__ = [
     "TransformingStore",
     "FlakyStore",
     "LaggyStore",
+    "PartitionedStore",
     "RetryingStore",
     "ReplicatedStore",
+    "QuorumReplicatedStore",
+    "MerkleTree",
+    "VersionStamp",
+    "AntiEntropyReport",
     "CircuitBreaker",
     "CircuitBreakerStore",
     "CircuitState",

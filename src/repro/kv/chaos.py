@@ -14,19 +14,31 @@ flaky network.  Three fault modes compose:
 * **injected latency** -- a fixed delay plus seeded jitter before each
   operation (through an injectable ``sleep``, so tests can count the
   delays instead of waiting them out).
+
+A fourth failure shape has its own wrapper: :class:`PartitionedStore`
+models a **network partition** -- *symmetric* unreachability where reads
+*and* writes raise :class:`~repro.errors.StoreUnavailableError` until the
+partition heals, either on command (``partition()`` / ``heal()``) or on a
+seeded flap schedule evaluated against an injectable clock, so partition
+tests advance virtual time instead of sleeping.  It is the tool the
+quorum-replication tests use to sever a member, write through the
+partition, heal it, and assert anti-entropy convergence
+(``scripts/check_quorum.py``).
 """
 
 from __future__ import annotations
 
 import random
 import threading
+import time
 from typing import Any, Callable, Iterator, Mapping
 
-from ..errors import ConfigurationError, StoreConnectionError
+from ..errors import ConfigurationError, StoreConnectionError, StoreUnavailableError
+from ..obs import Observability, resolve_obs
 from .interface import KeyValueStore, NotModified
 from .wrappers import _DelegatingStore
 
-__all__ = ["FlakyStore", "LaggyStore"]
+__all__ = ["FlakyStore", "LaggyStore", "PartitionedStore"]
 
 
 class FlakyStore(_DelegatingStore):
@@ -193,6 +205,180 @@ class FlakyStore(_DelegatingStore):
 
     def keys(self) -> Iterator[str]:
         return self._run("keys", lambda: self._inner.keys())
+
+
+class PartitionedStore(_DelegatingStore):
+    """A store severed from the network on command or on a flap schedule.
+
+    While partitioned, **every** operation -- reads and writes alike --
+    raises :class:`~repro.errors.StoreUnavailableError` without touching
+    the inner store (the symmetric unreachability of a real network
+    partition, unlike :class:`FlakyStore`'s per-operation coin flips).
+    Partitions come from two composable sources:
+
+    * **manual**: :meth:`partition` severs the store until :meth:`heal`;
+    * **scheduled**: :meth:`schedule_flaps` lays out seeded
+      healthy/partitioned windows evaluated against the injectable
+      *clock*, so a test advances virtual time to move through flaps
+      deterministically -- zero real sleeps.
+
+    :meth:`heal` also truncates a scheduled window that is currently
+    active (an operator fixing the link early); future windows remain
+    until :meth:`clear_schedule`.
+    """
+
+    def __init__(
+        self,
+        inner: KeyValueStore,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        name: str | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        super().__init__(
+            inner, name=name if name is not None else f"partitioned({inner.name})"
+        )
+        self._clock = clock
+        self._obs = resolve_obs(obs)
+        self._lock = threading.Lock()
+        self._manual = False
+        self._windows: list[tuple[float, float]] = []
+        #: operations rejected while partitioned
+        self.unavailable_ops = 0
+        #: manual partition() calls
+        self.partitions = 0
+        #: manual heal() calls
+        self.heals = 0
+
+    # ------------------------------------------------------------------
+    def partition(self) -> None:
+        """Sever the store now (until :meth:`heal`)."""
+        with self._lock:
+            self._manual = True
+            self.partitions += 1
+        if self._obs.enabled:
+            self._obs.inc("kv.chaos.partitions")
+            self._obs.emit("partition", store=self.name)
+
+    def heal(self) -> None:
+        """Reconnect: clears the manual partition and ends any scheduled
+        window that is active right now (future windows still apply)."""
+        now = self._clock()
+        with self._lock:
+            self._manual = False
+            self.heals += 1
+            self._windows = [
+                (start, min(end, now)) if start <= now < end else (start, end)
+                for start, end in self._windows
+            ]
+        if self._obs.enabled:
+            self._obs.inc("kv.chaos.heals")
+            self._obs.emit("heal", store=self.name)
+
+    def schedule_flaps(
+        self,
+        *,
+        seed: int,
+        flaps: int,
+        mean_healthy: float,
+        mean_partitioned: float,
+        start: float | None = None,
+    ) -> list[tuple[float, float]]:
+        """Append *flaps* seeded partition windows starting after *start*.
+
+        Durations are exponentially distributed around the two means
+        (the classic link-flap model), drawn from ``random.Random(seed)``
+        so a test run is reproducible.  Returns the windows added.
+        """
+        if flaps < 0:
+            raise ConfigurationError("flaps must be non-negative")
+        if mean_healthy <= 0 or mean_partitioned <= 0:
+            raise ConfigurationError("flap durations must be positive")
+        rng = random.Random(seed)
+        cursor = self._clock() if start is None else start
+        windows: list[tuple[float, float]] = []
+        for _ in range(flaps):
+            cursor += rng.expovariate(1.0 / mean_healthy)
+            down = rng.expovariate(1.0 / mean_partitioned)
+            windows.append((cursor, cursor + down))
+            cursor += down
+        with self._lock:
+            self._windows.extend(windows)
+        return windows
+
+    def clear_schedule(self) -> None:
+        """Drop every scheduled flap window (manual state unchanged)."""
+        with self._lock:
+            self._windows.clear()
+
+    @property
+    def windows(self) -> list[tuple[float, float]]:
+        """The scheduled ``(start, end)`` partition windows."""
+        with self._lock:
+            return list(self._windows)
+
+    def is_partitioned(self) -> bool:
+        """Whether an operation issued right now would be rejected."""
+        now = self._clock()
+        with self._lock:
+            if self._manual:
+                return True
+            return any(start <= now < end for start, end in self._windows)
+
+    # ------------------------------------------------------------------
+    def _guard(self) -> None:
+        if not self.is_partitioned():
+            return
+        with self._lock:
+            self.unavailable_ops += 1
+        if self._obs.enabled:
+            self._obs.inc("kv.chaos.unavailable")
+        raise StoreUnavailableError(
+            f"store {self.name!r} is unreachable (network partition)"
+        )
+
+    def get(self, key: str) -> Any:
+        self._guard()
+        return self._inner.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self._guard()
+        self._inner.put(key, value)
+
+    def put_with_version(self, key: str, value: Any) -> str | None:
+        self._guard()
+        return self._inner.put_with_version(key, value)
+
+    def delete(self, key: str) -> bool:
+        self._guard()
+        return self._inner.delete(key)
+
+    def contains(self, key: str) -> bool:
+        self._guard()
+        return self._inner.contains(key)
+
+    def get_with_version(self, key: str) -> tuple[Any, str]:
+        self._guard()
+        return self._inner.get_with_version(key)
+
+    def get_if_modified(self, key: str, version: str) -> tuple[Any, str] | NotModified:
+        self._guard()
+        return self._inner.get_if_modified(key, version)
+
+    def keys(self) -> Iterator[str]:
+        self._guard()
+        return self._inner.keys()
+
+    def keys_with_prefix(self, prefix: str) -> Iterator[str]:
+        self._guard()
+        return self._inner.keys_with_prefix(prefix)
+
+    def size(self) -> int:
+        self._guard()
+        return self._inner.size()
+
+    # close() deliberately passes through un-guarded: releasing local
+    # resources must work even while the network is down.
 
 
 class LaggyStore(FlakyStore):

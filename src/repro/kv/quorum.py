@@ -1,0 +1,970 @@
+"""Quorum replication with read-repair and Merkle-tree anti-entropy.
+
+:class:`~repro.kv.resilience.ReplicatedStore` is availability-oriented
+primary/replica replication: writes are best-effort on the replicas, reads
+prefer the primary, and convergence after a partition needs the
+O(keyspace) ``repair_all()`` scan.  This module is the next step the
+ROADMAP names -- Dynamo-style **R+W > N quorum replication** where every
+member is a peer:
+
+* **writes** stamp each key with a per-key versioned timestamp (a Lamport
+  counter plus a writer id, carried inside the stored *envelope* so it
+  survives any backend and any restart), fan out to all N members in
+  parallel, and succeed once **W** members acknowledge.  Member failures
+  beyond that are *sloppy*: tolerated, counted
+  (``kv.quorum.write_partial``), and left for read-repair / anti-entropy
+  to reconcile.  When more than ``N - W`` members are unreachable the
+  write **fails fast** with a typed
+  :class:`~repro.errors.QuorumWriteError` instead of hanging.
+* **reads** fan out to all members in parallel and resolve as soon as
+  **R** responses (values *or* confirmed misses) arrive.  Divergent
+  answers are resolved by version stamp -- last writer wins, with the
+  writer id as a deterministic tiebreak -- and members that answered with
+  a stale or missing value are **synchronously read-repaired** before the
+  call returns.  Because R+W > N, a read quorum always intersects the
+  last successful write quorum: a read that succeeds sees every
+  acknowledged write.
+* **deletes** are tombstone writes through the same quorum path, so they
+  propagate and converge exactly like updates.
+
+Anti-entropy
+------------
+Read-repair only fixes keys that get read.  Background **anti-entropy**
+converges everything else without the full-keyspace scan: the group
+maintains one incremental :class:`MerkleTree` per member (a fixed array of
+hash buckets over the key space, one digest per tracked key -- bounded
+memory, O(1) update per acknowledged write), compares trees pairwise from
+the root down, and re-scans **only the divergent buckets**.  After a
+partition heals, a round touches roughly ``keyspace / buckets`` keys per
+divergent bucket instead of every key; the scan accounting
+(``kv.antientropy.keys_scanned`` vs ``kv.antientropy.full_scans``) makes
+that claim checkable, and ``scripts/check_quorum.py`` checks it.
+
+Rounds run wherever you point the injectable *scheduler* (the LSM plane's
+``InlineScheduler`` / ``ManualScheduler`` / ``BackgroundScheduler`` all
+fit); ``anti_entropy_every=k`` schedules a round automatically every *k*
+quorum writes, which gives deterministic "background" repair with zero
+real sleeps under a :class:`~repro.lsm.compaction.ManualScheduler`.
+
+The fault-tolerance plane applies throughout: ambient
+:class:`~repro.kv.deadline.Deadline` budgets bound every quorum wait,
+``kv.quorum.*`` / ``kv.antientropy.*`` metrics and journal events feed the
+anomaly engine (a ``quorum_degraded`` detection can preemptively enable
+hedging on a companion group -- see ``docs/resilience.md``), and the chaos
+plane's :class:`~repro.kv.chaos.PartitionedStore` severs members on
+command so all of this is testable without a real network.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, NamedTuple, Sequence
+
+from ..errors import (
+    ConfigurationError,
+    DataStoreError,
+    DeadlineExceededError,
+    KeyNotFoundError,
+    QuorumReadError,
+    QuorumWriteError,
+)
+from ..obs import Observability, resolve_obs
+from .deadline import current_deadline
+from .interface import KeyValueStore
+
+__all__ = [
+    "VersionStamp",
+    "MerkleTree",
+    "AntiEntropyReport",
+    "QuorumReplicatedStore",
+]
+
+#: Marker key identifying a quorum envelope inside a member store.
+_ENVELOPE_MARK = "__quorum_envelope__"
+
+#: unique "absent" sentinel (None is a legal stored value)
+_ABSENT = object()
+
+
+class VersionStamp(NamedTuple):
+    """A per-key versioned timestamp: ``(counter, writer)``.
+
+    *counter* is a Lamport counter (merged upward from every stamp the
+    group observes, so writes through a rejoining or second coordinator
+    still order after everything it has read); *writer* is the
+    coordinator's ``node_id``, the deterministic tiebreak when two
+    coordinators use the same counter.  Tuple comparison gives the
+    last-writer-wins order directly.
+    """
+
+    counter: int
+    writer: str
+
+    def token(self) -> str:
+        """Opaque version-token form (what ``get_with_version`` returns)."""
+        return f"q{self.counter}.{self.writer}"
+
+    @classmethod
+    def parse(cls, token: str) -> "VersionStamp":
+        if not token.startswith("q") or "." not in token:
+            raise ConfigurationError(f"not a quorum version token: {token!r}")
+        counter, _, writer = token[1:].partition(".")
+        return cls(int(counter), writer)
+
+
+def _wrap(stamp: VersionStamp, value: Any, *, tombstone: bool = False) -> dict:
+    """Build the envelope stored in member stores."""
+    envelope: dict[str, Any] = {
+        _ENVELOPE_MARK: 1,
+        "c": stamp.counter,
+        "w": stamp.writer,
+    }
+    if tombstone:
+        envelope["t"] = 1
+    else:
+        envelope["v"] = value
+    return envelope
+
+
+def _unwrap(raw: Any) -> tuple[VersionStamp, Any, bool]:
+    """``(stamp, value, tombstone)`` from a stored envelope.
+
+    Values written outside the quorum path (pre-existing data in a member)
+    are treated as *legacy*: counter 0 with a content-derived writer id,
+    so any quorum write orders after them and two members holding
+    different legacy values still hash differently in the Merkle trees.
+    """
+    if isinstance(raw, dict) and raw.get(_ENVELOPE_MARK) == 1:
+        stamp = VersionStamp(raw["c"], raw["w"])
+        if raw.get("t"):
+            return stamp, None, True
+        return stamp, raw.get("v"), False
+    digest = hashlib.sha1(repr(raw).encode("utf-8", "backslashreplace")).hexdigest()
+    return VersionStamp(0, "legacy-" + digest[:12]), raw, False
+
+
+# ----------------------------------------------------------------------
+# Merkle trees over key ranges
+# ----------------------------------------------------------------------
+def _bucket_of(key: str, buckets: int) -> int:
+    """Stable key -> bucket mapping (must agree across all members)."""
+    digest = hashlib.sha1(key.encode("utf-8", "surrogateescape")).digest()
+    return int.from_bytes(digest[:8], "big") % buckets
+
+
+def _entry_digest(key: str, stamp: VersionStamp, tombstone: bool) -> int:
+    """128-bit digest of one tracked ``(key, stamp)`` entry.
+
+    The stamp uniquely identifies a write, so hashing the stamp (not the
+    value) is enough: two members agree on a key's digest iff they hold
+    the same write.  XOR-combining entry digests makes the bucket digest
+    incrementally updatable in O(1) without rescanning the bucket.
+    """
+    payload = f"{key}\x00{stamp.counter}\x00{stamp.writer}\x00{int(tombstone)}"
+    digest = hashlib.sha1(payload.encode("utf-8", "surrogateescape")).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+class MerkleTree:
+    """Incremental hash tree over hashed key ranges for one member.
+
+    ``2**depth`` leaf buckets; each bucket keeps ``key -> (stamp,
+    tombstone)`` for the keys hashing into it plus the XOR of their entry
+    digests, so an update is O(1) and memory is one small tuple per
+    tracked key plus a fixed bucket array -- never the values.  Internal
+    nodes are derived on demand; :meth:`diff` descends from the root and
+    returns only the divergent leaf buckets, which is what lets
+    anti-entropy skip the synchronized bulk of the key space.
+
+    Not thread-safe on its own; :class:`QuorumReplicatedStore` guards its
+    trees with the group lock.
+    """
+
+    def __init__(self, *, depth: int = 6) -> None:
+        if depth < 1 or depth > 16:
+            raise ConfigurationError("merkle depth must be within [1, 16]")
+        self.depth = depth
+        self.buckets = 1 << depth
+        self._entries: list[dict[str, tuple[VersionStamp, bool]]] = [
+            {} for _ in range(self.buckets)
+        ]
+        self._digests = [0] * self.buckets
+
+    # ------------------------------------------------------------------
+    def update(self, key: str, stamp: VersionStamp, *, tombstone: bool = False) -> None:
+        """Record that this member now holds *key* at *stamp*."""
+        bucket = _bucket_of(key, self.buckets)
+        entries = self._entries[bucket]
+        previous = entries.get(key)
+        if previous is not None:
+            self._digests[bucket] ^= _entry_digest(key, previous[0], previous[1])
+        entries[key] = (stamp, tombstone)
+        self._digests[bucket] ^= _entry_digest(key, stamp, tombstone)
+
+    def discard(self, key: str) -> None:
+        """Forget *key* entirely (member lost it out of band)."""
+        bucket = _bucket_of(key, self.buckets)
+        previous = self._entries[bucket].pop(key, None)
+        if previous is not None:
+            self._digests[bucket] ^= _entry_digest(key, previous[0], previous[1])
+
+    def entry(self, key: str) -> tuple[VersionStamp, bool] | None:
+        """``(stamp, tombstone)`` tracked for *key*, or ``None``."""
+        return self._entries[_bucket_of(key, self.buckets)].get(key)
+
+    def bucket_entries(self, bucket: int) -> dict[str, tuple[VersionStamp, bool]]:
+        """The tracked entries of one leaf bucket (a live view)."""
+        return self._entries[bucket]
+
+    def clear(self) -> None:
+        for entries in self._entries:
+            entries.clear()
+        self._digests = [0] * self.buckets
+
+    @property
+    def tracked(self) -> int:
+        """Number of keys currently tracked (tombstones included)."""
+        return sum(len(entries) for entries in self._entries)
+
+    def items(self) -> Iterator[tuple[str, tuple[VersionStamp, bool]]]:
+        for entries in self._entries:
+            yield from entries.items()
+
+    # ------------------------------------------------------------------
+    def _levels(self) -> list[list[int]]:
+        """Leaf digests hashed pairwise up to the root (root level last)."""
+        levels = [list(self._digests)]
+        while len(levels[-1]) > 1:
+            below = levels[-1]
+            above = []
+            for index in range(0, len(below), 2):
+                pair = below[index].to_bytes(16, "big") + below[index + 1].to_bytes(16, "big")
+                above.append(int.from_bytes(hashlib.sha1(pair).digest()[:16], "big"))
+            levels.append(above)
+        return levels
+
+    def root(self) -> str:
+        """Hex root digest; equal roots mean identical tracked state."""
+        return format(self._levels()[-1][0], "032x")
+
+    def diff(self, other: "MerkleTree") -> tuple[list[int], int]:
+        """``(divergent leaf buckets, nodes compared)`` against *other*.
+
+        Descends from the root, so when the trees agree the answer costs
+        one comparison, and a handful of divergent keys cost O(depth)
+        comparisons per divergent bucket -- never a key-space scan.
+        """
+        if other.depth != self.depth:
+            raise ConfigurationError("cannot diff Merkle trees of different depth")
+        mine, theirs = self._levels(), other._levels()
+        compared = 1
+        if mine[-1][0] == theirs[-1][0]:
+            return [], compared
+        # Walk down from the root: at each level expand only the nodes
+        # whose digests disagreed one level up.
+        suspects = [0]
+        for level in range(len(mine) - 2, -1, -1):
+            children = []
+            for node in suspects:
+                for child in (2 * node, 2 * node + 1):
+                    compared += 1
+                    if mine[level][child] != theirs[level][child]:
+                        children.append(child)
+            suspects = children
+        return suspects, compared
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class AntiEntropyReport:
+    """What one anti-entropy round did (cumulative counters live on the
+    store and in the ``kv.antientropy.*`` metrics)."""
+
+    pairs_compared: int = 0
+    nodes_compared: int = 0
+    buckets_divergent: int = 0
+    keys_scanned: int = 0
+    keys_repaired: int = 0
+    member_failures: int = 0
+    converged: bool = True
+    #: members repaired, by name
+    repaired_members: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        state = "converged" if self.converged else "divergence remains"
+        return (
+            f"anti-entropy: {self.pairs_compared} pairs, "
+            f"{self.nodes_compared} tree nodes, "
+            f"{self.buckets_divergent} divergent buckets, "
+            f"{self.keys_scanned} keys scanned, "
+            f"{self.keys_repaired} repaired ({state})"
+        )
+
+
+class QuorumReplicatedStore(KeyValueStore):
+    """R+W>N quorum reads/writes over N peer member stores.
+
+    See the module docstring for semantics.  Members are peers (no
+    primary); the store is thread-safe and every fan-out respects the
+    ambient :class:`~repro.kv.deadline.Deadline`.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[KeyValueStore],
+        *,
+        read_quorum: int,
+        write_quorum: int,
+        name: str = "quorum",
+        node_id: str = "node-0",
+        read_repair: bool = True,
+        owns_members: bool = True,
+        merkle_depth: int = 6,
+        scheduler: Any | None = None,
+        anti_entropy_every: int | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        """Compose the group.
+
+        :param members: the N peer stores (at least 2).
+        :param read_quorum: R -- member responses required per read.
+        :param write_quorum: W -- member acks required per write.
+            ``R + W > N`` is enforced: it is what makes a read quorum
+            intersect every write quorum.
+        :param node_id: this coordinator's writer id, the tiebreak between
+            concurrent coordinators; give each client a distinct id.
+        :param merkle_depth: ``2**depth`` anti-entropy buckets per member
+            (more buckets = finer repair granularity, slightly more
+            memory).
+        :param scheduler: where scheduled anti-entropy rounds run -- any
+            object with ``submit(callable)`` (the LSM plane's
+            ``InlineScheduler`` / ``ManualScheduler`` /
+            ``BackgroundScheduler`` all fit).  ``None`` runs rounds
+            inline.
+        :param anti_entropy_every: schedule a round automatically every
+            this many quorum writes (``None`` = only explicit rounds).
+        :param obs: observability bundle; emits the ``kv.quorum.*`` and
+            ``kv.antientropy.*`` vocabulary of ``docs/observability.md``.
+        """
+        if len(members) < 2:
+            raise ConfigurationError("a quorum group needs at least 2 members")
+        n = len(members)
+        if not 1 <= read_quorum <= n:
+            raise ConfigurationError(f"read_quorum must be within [1, {n}]")
+        if not 1 <= write_quorum <= n:
+            raise ConfigurationError(f"write_quorum must be within [1, {n}]")
+        if read_quorum + write_quorum <= n:
+            raise ConfigurationError(
+                f"R + W must exceed N for quorum intersection "
+                f"(got R={read_quorum}, W={write_quorum}, N={n})"
+            )
+        if anti_entropy_every is not None and anti_entropy_every < 1:
+            raise ConfigurationError("anti_entropy_every must be at least 1")
+        self.name = name
+        self.node_id = node_id
+        self._members = list(members)
+        self._read_quorum = read_quorum
+        self._write_quorum = write_quorum
+        self._read_repair = read_repair
+        self._owns_members = owns_members
+        self._scheduler = scheduler
+        self._anti_entropy_every = anti_entropy_every
+        self._obs = resolve_obs(obs)
+        self._lock = threading.Lock()
+        self._lamport = 0
+        self._writes_since_round = 0
+        self._inflight: list[threading.Thread] = []
+        self._trees = [MerkleTree(depth=merkle_depth) for _ in members]
+        #: quorum writes acknowledged (W+ acks)
+        self.writes = 0
+        #: quorum reads resolved (R+ responses)
+        self.reads = 0
+        #: stale/missing members fixed synchronously during reads
+        self.read_repairs = 0
+        #: member write failures tolerated inside successful writes
+        self.write_partial_failures = 0
+        #: operations that succeeded with at least one member failure
+        self.degraded_ops = 0
+        #: operations failed fast on a lost quorum
+        self.failed_fast = 0
+        #: anti-entropy rounds completed
+        self.antientropy_rounds = 0
+        #: keys compared at key level during anti-entropy (divergent buckets only)
+        self.antientropy_keys_scanned = 0
+        #: member copies fixed by anti-entropy
+        self.antientropy_keys_repaired = 0
+        #: full member scans performed (tree rebuilds -- the expensive path)
+        self.full_scans = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> list[KeyValueStore]:
+        return list(self._members)
+
+    @property
+    def read_quorum(self) -> int:
+        return self._read_quorum
+
+    @property
+    def write_quorum(self) -> int:
+        return self._write_quorum
+
+    def tree(self, index: int) -> MerkleTree:
+        """The anti-entropy tree tracking member *index* (inspection)."""
+        return self._trees[index]
+
+    # ------------------------------------------------------------------
+    # Version stamps
+    # ------------------------------------------------------------------
+    def _next_stamp(self) -> VersionStamp:
+        with self._lock:
+            self._lamport += 1
+            return VersionStamp(self._lamport, self.node_id)
+
+    def _observe_stamp(self, stamp: VersionStamp) -> None:
+        """Lamport merge: never issue a counter <= one we have seen."""
+        with self._lock:
+            if stamp.counter > self._lamport:
+                self._lamport = stamp.counter
+
+    # ------------------------------------------------------------------
+    # Fan-out plumbing
+    # ------------------------------------------------------------------
+    # Each operation shares one state dict across its member threads; all
+    # transitions happen under the group lock, so the op outcome (quorum
+    # reached / quorum lost) is decided exactly once no matter how member
+    # responses interleave, and the *last* member thread to finish settles
+    # the op-level degraded accounting deterministically.
+
+    def _spawn(self, label: str, worker: Callable[[int], None], count: int) -> None:
+        threads = []
+        for index in range(count):
+            thread = threading.Thread(
+                target=worker, args=(index,),
+                name=f"{self.name}-{label}-{index}", daemon=True,
+            )
+            threads.append(thread)
+        with self._lock:
+            self._inflight = [t for t in self._inflight if t.is_alive()]
+            self._inflight.extend(threads)
+        for thread in threads:
+            thread.start()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for straggler member requests from past operations.
+
+        An operation returns as soon as its quorum is satisfied; the
+        remaining member requests finish on their own threads (updating
+        trees and sloppy-failure counters as they land).  ``drain()``
+        joins them -- tests and shutdown paths call it to make counter
+        assertions deterministic.  Returns ``True`` when nothing is left
+        in flight.
+        """
+        with self._lock:
+            threads = list(self._inflight)
+        for thread in threads:
+            thread.join(timeout)
+        with self._lock:
+            self._inflight = [t for t in self._inflight if t.is_alive()]
+            return not self._inflight
+
+    def _deadline_wait(self, results: "queue.Queue", what: str) -> Any:
+        """One result off the queue, bounded by the ambient deadline."""
+        deadline = current_deadline()
+        wait = None
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                self._expire_deadline(what)
+            wait = remaining
+        try:
+            return results.get(timeout=wait)
+        except queue.Empty:
+            self._expire_deadline(what)
+
+    def _expire_deadline(self, what: str) -> None:
+        if self._obs.enabled:
+            self._obs.inc("kv.deadline.expired")
+            self._obs.event("deadline_expired", store=self.name)
+        raise DeadlineExceededError(
+            f"deadline exhausted during {what} on {self.name}"
+        )
+
+    def _finalize_op(self, state: dict, operation: str) -> None:
+        """Op-level accounting, run by the last member thread to finish."""
+        if state["outcome"] == "ok" and state["failures"]:
+            self.degraded_ops += 1
+            if self._obs.enabled:
+                self._obs.inc("kv.quorum.degraded")
+                self._obs.emit(
+                    "quorum_degraded",
+                    store=self.name,
+                    op=operation,
+                    member_failures=len(state["failures"]),
+                )
+
+    def _fail_fast(self, state: dict, operation: str) -> None:
+        """Mark the op lost (caller raises); runs under the group lock."""
+        state["outcome"] = "lost"
+        self.failed_fast += 1
+        if self._obs.enabled:
+            self._obs.inc("kv.quorum.failed_fast")
+            self._obs.emit(
+                "quorum_failed_fast",
+                store=self.name,
+                op=operation,
+                acks=state["acks"],
+                failures=len(state["failures"]),
+            )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        self.put_with_version(key, value)
+
+    def put_with_version(self, key: str, value: Any) -> str:
+        stamp = self._next_stamp()
+        self._quorum_write(key, _wrap(stamp, value), stamp, tombstone=False)
+        return stamp.token()
+
+    def _quorum_write(
+        self, key: str, envelope: dict, stamp: VersionStamp, *, tombstone: bool
+    ) -> None:
+        members = self._members
+        n, w = len(members), self._write_quorum
+        resolution: "queue.Queue[tuple[str, Exception | None]]" = queue.Queue()
+        state: dict[str, Any] = {
+            "acks": 0, "failures": [], "pending": n, "outcome": None,
+        }
+
+        def writer(index: int) -> None:
+            error: Exception | None = None
+            try:
+                members[index].put(key, envelope)
+            except DataStoreError as exc:
+                error = exc
+            with self._lock:
+                state["pending"] -= 1
+                if error is None:
+                    self._trees[index].update(key, stamp, tombstone=tombstone)
+                    state["acks"] += 1
+                    if state["outcome"] is None and state["acks"] >= w:
+                        state["outcome"] = "ok"
+                        resolution.put(("ok", None))
+                else:
+                    state["failures"].append(error)
+                    self.write_partial_failures += 1
+                    if self._obs.enabled:
+                        self._obs.inc("kv.quorum.write_partial")
+                    if state["outcome"] is None and len(state["failures"]) > n - w:
+                        self._fail_fast(state, "write")
+                        resolution.put(("lost", error))
+                if state["pending"] == 0:
+                    self._finalize_op(state, "write")
+
+        self._spawn("put", writer, n)
+        outcome, cause = self._deadline_wait(resolution, f"quorum write of {key!r}")
+        if outcome == "lost":
+            with self._lock:
+                acks, failures = state["acks"], len(state["failures"])
+            error = QuorumWriteError(self.name, needed=w, got=acks, failures=failures)
+            error.__cause__ = cause
+            raise error
+        with self._lock:
+            self.writes += 1
+            self._writes_since_round += 1
+            due = (
+                self._anti_entropy_every is not None
+                and self._writes_since_round >= self._anti_entropy_every
+            )
+            if due:
+                self._writes_since_round = 0
+        if self._obs.enabled:
+            self._obs.inc("kv.quorum.writes")
+        if due:
+            self.schedule_anti_entropy()
+
+    def delete(self, key: str) -> bool:
+        try:
+            self.get_with_version(key)
+            existed = True
+        except KeyNotFoundError:
+            existed = False
+        stamp = self._next_stamp()
+        self._quorum_write(
+            key, _wrap(stamp, None, tombstone=True), stamp, tombstone=True
+        )
+        return existed
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        value, _stamp = self._quorum_read(key)
+        return value
+
+    def get_with_version(self, key: str) -> tuple[Any, str]:
+        value, stamp = self._quorum_read(key)
+        return value, stamp.token()
+
+    def _quorum_read(self, key: str) -> tuple[Any, VersionStamp]:
+        """Resolve *key* from an R-member quorum; read-repair stale answers.
+
+        Raises :class:`KeyNotFoundError` when the winning state is absent
+        or a tombstone, :class:`QuorumReadError` when fewer than R members
+        can answer at all.
+        """
+        members = self._members
+        n, r = len(members), self._read_quorum
+        resolution: "queue.Queue[tuple[str, Exception | None]]" = queue.Queue()
+        state: dict[str, Any] = {
+            "acks": 0, "failures": [], "pending": n, "outcome": None,
+            "responses": [],  # (member index, raw envelope | _ABSENT)
+        }
+
+        def reader(index: int) -> None:
+            error: Exception | None = None
+            raw: Any = _ABSENT
+            try:
+                raw = members[index].get(key)
+            except KeyNotFoundError:
+                pass  # a confirmed miss is a response, not a failure
+            except DataStoreError as exc:
+                error = exc
+            with self._lock:
+                state["pending"] -= 1
+                if error is None:
+                    state["acks"] += 1
+                    state["responses"].append((index, raw))
+                    if state["outcome"] is None and state["acks"] >= r:
+                        state["outcome"] = "ok"
+                        resolution.put(("ok", None))
+                else:
+                    state["failures"].append(error)
+                    if self._obs.enabled:
+                        self._obs.inc("kv.quorum.read_partial")
+                    if state["outcome"] is None and len(state["failures"]) > n - r:
+                        self._fail_fast(state, "read")
+                        resolution.put(("lost", error))
+                if state["pending"] == 0:
+                    self._finalize_op(state, "read")
+
+        self._spawn("get", reader, n)
+        outcome, cause = self._deadline_wait(resolution, f"quorum read of {key!r}")
+        if outcome == "lost":
+            with self._lock:
+                acks, failures = state["acks"], len(state["failures"])
+            quorum_error = QuorumReadError(
+                self.name, needed=r, got=acks, failures=failures
+            )
+            quorum_error.__cause__ = cause
+            raise quorum_error
+        with self._lock:
+            self.reads += 1
+            # Snapshot at resolution time: includes any straggler that
+            # answered between quorum satisfaction and this line -- it
+            # answered, so it is eligible for read-repair too.
+            responses = list(state["responses"])
+        if self._obs.enabled:
+            self._obs.inc("kv.quorum.reads")
+
+        # Resolve: the highest stamp among the members that answered.
+        winner_stamp: VersionStamp | None = None
+        winner_raw: Any = _ABSENT
+        unwrapped: dict[int, tuple[VersionStamp, Any, bool] | None] = {}
+        for index, raw in responses:
+            if raw is _ABSENT:
+                unwrapped[index] = None
+                continue
+            stamp, value, tombstone = _unwrap(raw)
+            unwrapped[index] = (stamp, value, tombstone)
+            if winner_stamp is None or stamp > winner_stamp:
+                winner_stamp, winner_raw = stamp, raw
+        if winner_stamp is not None:
+            self._observe_stamp(winner_stamp)
+            if self._read_repair:
+                self._repair_answered(key, winner_stamp, winner_raw, unwrapped)
+        if winner_stamp is None:
+            raise KeyNotFoundError(key, self.name)
+        stamp, value, tombstone = _unwrap(winner_raw)
+        if tombstone:
+            raise KeyNotFoundError(key, self.name)
+        return value, stamp
+
+    def _repair_answered(
+        self,
+        key: str,
+        winner_stamp: VersionStamp,
+        winner_raw: Any,
+        unwrapped: dict[int, tuple[VersionStamp, Any, bool] | None],
+    ) -> None:
+        """Push the winning envelope onto stale members that answered.
+
+        Only the members consulted by this read are touched (the others
+        are anti-entropy's job); repair failures are tolerated -- the
+        member just stays stale until the next read or round.
+        """
+        _stamp, _value, winner_tombstone = _unwrap(winner_raw)
+        for index, entry in unwrapped.items():
+            if entry is not None and entry[0] >= winner_stamp:
+                continue
+            member = self._members[index]
+            try:
+                member.put(key, winner_raw)
+            except DataStoreError:
+                continue
+            with self._lock:
+                self._trees[index].update(
+                    key, winner_stamp, tombstone=winner_tombstone
+                )
+                self.read_repairs += 1
+            if self._obs.enabled:
+                self._obs.inc("kv.quorum.read_repairs")
+                self._obs.emit(
+                    "quorum_read_repair",
+                    store=self.name,
+                    member=member.name,
+                    key=key,
+                    version=winner_stamp.token(),
+                )
+
+    # ------------------------------------------------------------------
+    # Key iteration
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Keys whose group-resolved state is live (tombstones excluded).
+
+        Quorum-tracked keys resolve from the in-memory trees without
+        touching any member; keys only a member knows about (pre-existing
+        data) are resolved by best-effort member reads.
+        """
+        with self._lock:
+            merged: dict[str, tuple[VersionStamp, bool]] = {}
+            for tree in self._trees:
+                for key, (stamp, tombstone) in tree.items():
+                    current = merged.get(key)
+                    if current is None or stamp > current[0]:
+                        merged[key] = (stamp, tombstone)
+        emitted: set[str] = set()
+        for key, (_stamp, tombstone) in merged.items():
+            emitted.add(key)
+            if not tombstone:
+                yield key
+        # Legacy pass: anything a member holds that the trees never saw.
+        for member in self._members:
+            try:
+                member_keys = list(member.keys())
+            except DataStoreError:
+                continue
+            for key in member_keys:
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                stamp, _value, tombstone = self._resolve_untracked(key)
+                if stamp is not None and not tombstone:
+                    yield key
+
+    def _resolve_untracked(
+        self, key: str
+    ) -> tuple[VersionStamp | None, Any, bool]:
+        winner: tuple[VersionStamp, Any, bool] | None = None
+        for member in self._members:
+            try:
+                raw = member.get(key)
+            except DataStoreError:
+                continue
+            entry = _unwrap(raw)
+            if winner is None or entry[0] > winner[0]:
+                winner = entry
+        if winner is None:
+            return None, None, False
+        return winner
+
+    # ------------------------------------------------------------------
+    # Anti-entropy
+    # ------------------------------------------------------------------
+    def schedule_anti_entropy(self) -> None:
+        """Submit one round to the scheduler (inline when none is set)."""
+        if self._scheduler is not None:
+            self._scheduler.submit(self._scheduled_round)
+        else:
+            self._scheduled_round()
+
+    def _scheduled_round(self) -> None:
+        try:
+            self.anti_entropy_round()
+        except DataStoreError:
+            # Background rounds must never kill the scheduler; the next
+            # round retries whatever this one could not reach.
+            pass
+
+    def anti_entropy_round(self) -> AntiEntropyReport:
+        """Compare member trees pairwise and repair divergent ranges.
+
+        Tree comparison is pure in-memory work; only keys inside divergent
+        buckets are compared at key level, and only genuinely differing
+        copies cost member reads/writes.  Member failures are tolerated
+        (the round reports ``converged=False`` and the next round
+        retries).
+        """
+        report = AntiEntropyReport()
+        n = len(self._members)
+        for left in range(n):
+            for right in range(left + 1, n):
+                self._reconcile_pair(left, right, report)
+        report.converged = report.member_failures == 0 and self._in_sync()
+        with self._lock:
+            self.antientropy_rounds += 1
+            self.antientropy_keys_scanned += report.keys_scanned
+            self.antientropy_keys_repaired += report.keys_repaired
+        if self._obs.enabled:
+            self._obs.inc("kv.antientropy.rounds")
+            self._obs.inc("kv.antientropy.buckets_divergent", report.buckets_divergent)
+            self._obs.inc("kv.antientropy.keys_scanned", report.keys_scanned)
+            self._obs.inc("kv.antientropy.keys_repaired", report.keys_repaired)
+            self._obs.emit(
+                "antientropy_round",
+                store=self.name,
+                pairs=report.pairs_compared,
+                buckets_divergent=report.buckets_divergent,
+                keys_scanned=report.keys_scanned,
+                keys_repaired=report.keys_repaired,
+                converged=report.converged,
+            )
+        return report
+
+    def _in_sync(self) -> bool:
+        with self._lock:
+            roots = {tree.root() for tree in self._trees}
+        return len(roots) == 1
+
+    def _reconcile_pair(self, left: int, right: int, report: AntiEntropyReport) -> None:
+        with self._lock:
+            divergent, compared = self._trees[left].diff(self._trees[right])
+        report.pairs_compared += 1
+        report.nodes_compared += compared
+        report.buckets_divergent += len(divergent)
+        for bucket in divergent:
+            with self._lock:
+                left_entries = dict(self._trees[left].bucket_entries(bucket))
+                right_entries = dict(self._trees[right].bucket_entries(bucket))
+            for key in set(left_entries) | set(right_entries):
+                mine = left_entries.get(key)
+                theirs = right_entries.get(key)
+                if mine == theirs:
+                    continue
+                report.keys_scanned += 1
+                if theirs is None or (mine is not None and mine[0] > theirs[0]):
+                    source, target = left, right
+                else:
+                    source, target = right, left
+                if self._copy_entry(key, source, target):
+                    report.keys_repaired += 1
+                    if self._members[target].name not in report.repaired_members:
+                        report.repaired_members.append(self._members[target].name)
+                else:
+                    report.member_failures += 1
+
+    def _copy_entry(self, key: str, source: int, target: int) -> bool:
+        """Copy the authoritative copy of *key* from one member to another."""
+        try:
+            raw = self._members[source].get(key)
+        except KeyNotFoundError:
+            # The tree is ahead of the member (lost out of band): trust the
+            # member and forget the entry so the other side wins next round.
+            with self._lock:
+                self._trees[source].discard(key)
+            return False
+        except DataStoreError:
+            return False
+        stamp, _value, tombstone = _unwrap(raw)
+        try:
+            self._members[target].put(key, raw)
+        except DataStoreError:
+            return False
+        with self._lock:
+            self._trees[target].update(key, stamp, tombstone=tombstone)
+        return True
+
+    def rebuild_trees(self) -> int:
+        """Full-scan fallback: rebuild every reachable member's tree.
+
+        The expensive path tree maintenance exists to avoid -- needed only
+        when members changed out of band (or the group was just attached
+        to pre-existing stores, e.g. by ``repro quorum``).  Returns keys
+        scanned; counted in ``kv.antientropy.full_scans``.
+        """
+        scanned = 0
+        for index, member in enumerate(self._members):
+            try:
+                member_keys = list(member.keys())
+                entries = []
+                for key in member_keys:
+                    stamp, _value, tombstone = _unwrap(member.get(key))
+                    entries.append((key, stamp, tombstone))
+            except DataStoreError:
+                continue  # unreachable: keep the old tree
+            scanned += len(entries)
+            with self._lock:
+                tree = self._trees[index]
+                tree.clear()
+                for key, stamp, tombstone in entries:
+                    tree.update(key, stamp, tombstone=tombstone)
+                self.full_scans += 1
+        if self._obs.enabled:
+            self._obs.inc("kv.antientropy.full_scans")
+        return scanned
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """Group configuration, member tree roots, and counters."""
+        with self._lock:
+            members = [
+                {
+                    "name": member.name,
+                    "tracked_keys": tree.tracked,
+                    "merkle_root": tree.root(),
+                }
+                for member, tree in zip(self._members, self._trees)
+            ]
+            lamport = self._lamport
+            counters = {
+                "writes": self.writes,
+                "reads": self.reads,
+                "read_repairs": self.read_repairs,
+                "write_partial_failures": self.write_partial_failures,
+                "degraded_ops": self.degraded_ops,
+                "failed_fast": self.failed_fast,
+                "antientropy_rounds": self.antientropy_rounds,
+                "antientropy_keys_scanned": self.antientropy_keys_scanned,
+                "antientropy_keys_repaired": self.antientropy_keys_repaired,
+                "full_scans": self.full_scans,
+            }
+        roots = {entry["merkle_root"] for entry in members}
+        return {
+            "name": self.name,
+            "n": len(self._members),
+            "r": self._read_quorum,
+            "w": self._write_quorum,
+            "node_id": self.node_id,
+            "lamport": lamport,
+            "in_sync": len(roots) == 1,
+            "members": members,
+            "counters": counters,
+        }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.drain(timeout=5.0)
+        if self._owns_members:
+            for member in self._members:
+                member.close()
+
+    def native(self) -> Any:
+        return None

@@ -227,7 +227,11 @@ class ReplicatedStore(KeyValueStore):
         :param obs: observability bundle; hedge launches count
             ``kv.hedge.launched``, reads won by a hedge count
             ``kv.hedge.wins``, and deadline expiries mid-read count
-            ``kv.deadline.expired``.
+            ``kv.deadline.expired``.  Every public stats counter is also
+            mirrored as a ``kv.replica.*`` counter (``write_failures``,
+            ``failover_reads``, ``repairs``, ``hedged_reads``,
+            ``hedge_wins``) so dashboards see replica health without
+            polling the object.
         """
         if not replicas:
             raise ConfigurationError("ReplicatedStore needs at least one replica")
@@ -240,6 +244,11 @@ class ReplicatedStore(KeyValueStore):
         self._owns_members = owns_members
         self._hedge_delay = hedge_delay
         self._obs = resolve_obs(obs)
+        # All five public counters below are touched from hedge worker
+        # threads as well as the caller's thread, so every increment goes
+        # through _count() under this lock -- a plain ``+=`` on an int is
+        # a read-modify-write that loses updates under contention.
+        self._stats_lock = threading.Lock()
         #: replica write failures tolerated so far
         self.replica_write_failures = 0
         #: reads served by a fallback store
@@ -250,6 +259,16 @@ class ReplicatedStore(KeyValueStore):
         self.hedged_reads = 0
         #: reads won by a hedge rather than the first store asked
         self.hedge_wins = 0
+
+    # ------------------------------------------------------------------
+    def _count(self, attr: str, metric: str, n: int = 1) -> None:
+        """Bump a public stats counter (lock-guarded) and its obs mirror."""
+        if n == 0:
+            return
+        with self._stats_lock:
+            setattr(self, attr, getattr(self, attr) + n)
+        if self._obs.enabled:
+            self._obs.inc(metric, n)
 
     # ------------------------------------------------------------------
     @property
@@ -279,7 +298,7 @@ class ReplicatedStore(KeyValueStore):
             try:
                 replica.put(key, value)
             except DataStoreError:
-                self.replica_write_failures += 1
+                self._count("replica_write_failures", "kv.replica.write_failures")
 
     def get(self, key: str) -> Any:
         if self._hedge_delay is not None:
@@ -300,12 +319,12 @@ class ReplicatedStore(KeyValueStore):
                 last_error = exc
                 continue
             if index > 0:
-                self.failover_reads += 1
+                self._count("failover_reads", "kv.replica.failover_reads")
             if self._read_repair and missed:
                 for stale in missed:
                     try:
                         stale.put(key, value)
-                        self.repairs += 1
+                        self._count("repairs", "kv.replica.repairs")
                     except DataStoreError:
                         pass
             return value
@@ -339,7 +358,7 @@ class ReplicatedStore(KeyValueStore):
             ).start()
 
         def launch_hedge(index: int) -> None:
-            self.hedged_reads += 1
+            self._count("hedged_reads", "kv.replica.hedged_reads")
             if self._obs.enabled:
                 self._obs.inc("kv.hedge.launched")
                 self._obs.event("hedge", member=members[index].name)
@@ -380,7 +399,7 @@ class ReplicatedStore(KeyValueStore):
             pending -= 1
             if ok:
                 if index > 0:
-                    self.hedge_wins += 1
+                    self._count("hedge_wins", "kv.replica.hedge_wins")
                     if self._obs.enabled:
                         self._obs.inc("kv.hedge.wins")
                         self._obs.event("hedge_win", member=members[index].name)
@@ -428,8 +447,20 @@ class ReplicatedStore(KeyValueStore):
         Read-repair only fixes members consulted *before* the one that
         served a read; this explicit form syncs everyone (e.g. after a
         replica rejoins).
+
+        Robust to members dying mid-repair: a key that cannot be read from
+        *any* member repairs zero members instead of raising, and a member
+        that fails while being written simply isn't counted -- so a
+        :meth:`repair_all` pass always visits every key, and ``repairs``
+        reflects only writes that actually landed.
         """
-        value = self.get(key)  # primary-preferred, with read repair
+        try:
+            value = self.get(key)  # primary-preferred, with read repair
+        except DataStoreError:
+            # Every member is unreachable (or lost the key mid-pass):
+            # nothing to copy from, so nothing repaired -- but the caller's
+            # sweep over the remaining keys must go on.
+            return 0
         fixed = 0
         for member in self.members:
             try:
@@ -438,11 +469,16 @@ class ReplicatedStore(KeyValueStore):
                     fixed += 1
             except DataStoreError:
                 continue
-        self.repairs += fixed
+        self._count("repairs", "kv.replica.repairs", fixed)
         return fixed
 
     def repair_all(self) -> int:
-        """Run :meth:`repair` for every key any member knows."""
+        """Run :meth:`repair` for every key any member knows.
+
+        Member failures mid-pass are absorbed by :meth:`repair` (and by
+        :meth:`keys`, which skips unreachable members), so a replica dying
+        during the sweep cannot abort it.
+        """
         return sum(self.repair(key) for key in list(self.keys()))
 
     def keys(self) -> Iterator[str]:

@@ -249,6 +249,40 @@ class UniversalDataStoreManager:
         )
         return self.register(name, composite)
 
+    def quorum(
+        self,
+        members: "list[str]",
+        *,
+        read_quorum: int,
+        write_quorum: int,
+        name: str = "quorum",
+        node_id: str = "node-0",
+        read_repair: bool = True,
+        anti_entropy_every: int | None = None,
+    ) -> "MonitoredStore":
+        """Compose registered stores into an R+W>N quorum group and
+        register the composite under *name* (monitored like any store).
+
+        The group inherits the UDSM's observability bundle, so
+        ``kv.quorum.*`` / ``kv.antientropy.*`` metrics land in the shared
+        registry; set ``anti_entropy_every=k`` to run a Merkle
+        anti-entropy round inline after every *k* quorum writes.
+        """
+        from ..kv.quorum import QuorumReplicatedStore
+
+        composite = QuorumReplicatedStore(
+            [self.raw_store(member) for member in members],
+            read_quorum=read_quorum,
+            write_quorum=write_quorum,
+            name=name,
+            node_id=node_id,
+            read_repair=read_repair,
+            anti_entropy_every=anti_entropy_every,
+            owns_members=False,  # the registry owns (and closes) the members
+            obs=self.obs if self.obs.enabled else None,
+        )
+        return self.register(name, composite)
+
     def migrate(self, source: str, destination: str, **options: Any) -> Any:
         """Copy every key from one registered store to another.
 

@@ -364,6 +364,74 @@ class TestChaos:
         assert "kv.circuit.opened      1" in out
         assert "cache.stale_served     4" in out
 
+    def test_partition_scenario_severs_flaps_and_heals(self, capsys):
+        assert main(["chaos", "--scenario", "partition", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        # symmetric refusal: both the read and the write hit the same error
+        assert out.count("StoreUnavailableError") >= 2
+        assert "reads AND writes are refused symmetrically" in out
+        assert "healed: get 'user-0'" in out
+        # three seeded windows, probed on the virtual clock
+        assert out.count("partition window") == 3
+        assert "refused" in out
+        assert "kv.chaos.partitions" in out and "kv.chaos.heals" in out
+
+    def test_partition_scenario_is_seed_deterministic(self, capsys):
+        assert main(["chaos", "--scenario", "partition", "--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["chaos", "--scenario", "partition", "--seed", "9"]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestQuorumCommand:
+    def test_demo_degrades_fails_fast_and_converges(self, capsys):
+        assert main(["quorum", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "group: N=3 R=2 W=2" in out
+        assert "degraded_ops=3" in out
+        assert "QuorumWriteError" in out
+        assert "members in sync: True" in out
+        assert "kv.quorum.failed_fast" in out
+        assert "kv.antientropy.rounds" in out
+
+    def test_status_flags_diverged_members(self, tmp_path, capsys):
+        from repro.kv import SQLStore
+
+        for name, revision in (("a.db", 1), ("b.db", 2)):
+            store = SQLStore(str(tmp_path / name))
+            store.put("k", {"revision": revision})
+            store.close()
+        argv = [
+            "quorum", "status",
+            "--member", f"sql,path={tmp_path / 'a.db'}",
+            "--member", f"sql,path={tmp_path / 'b.db'}",
+            "--r", "1", "--w", "2",
+        ]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "merkle root (prefix)" in out
+
+    def test_repair_converges_then_status_passes(self, tmp_path, capsys):
+        from repro.kv import SQLStore
+
+        for name, revision in (("a.db", 1), ("b.db", 2)):
+            store = SQLStore(str(tmp_path / name))
+            store.put("k", {"revision": revision})
+            store.close()
+        members = [
+            "--member", f"sql,path={tmp_path / 'a.db'}",
+            "--member", f"sql,path={tmp_path / 'b.db'}",
+        ]
+        assert main(["quorum", "repair", *members, "--r", "1", "--w", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "in sync" in out
+        assert main(["quorum", "status", *members, "--r", "1", "--w", "2"]) == 0
+
+    def test_status_requires_two_members(self, capsys):
+        assert main(["quorum", "status", "--member", "memory"]) == 2
+        assert "at least two --member" in capsys.readouterr().err
+
 
 class TestAnomalyCommand:
     def test_demo_runs_whole_loop_without_sleeping(self, capsys):

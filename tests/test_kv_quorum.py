@@ -1,0 +1,578 @@
+"""Quorum replication: stamps, Merkle trees, R+W>N semantics, anti-entropy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    KeyNotFoundError,
+    QuorumReadError,
+    QuorumWriteError,
+    StoreConnectionError,
+)
+from repro.kv import (
+    InMemoryStore,
+    MerkleTree,
+    PartitionedStore,
+    QuorumReplicatedStore,
+    VersionStamp,
+    deadline_scope,
+)
+from repro.kv.quorum import _unwrap
+from repro.lsm.compaction import ManualScheduler
+from repro.obs import EventLog, Observability
+
+
+def make_group(n=3, *, r=2, w=2, **kwargs):
+    members = [
+        PartitionedStore(InMemoryStore(), name=f"member-{i}") for i in range(n)
+    ]
+    group = QuorumReplicatedStore(
+        members, read_quorum=r, write_quorum=w, name="grp", **kwargs
+    )
+    return group, members
+
+
+class TestVersionStamp:
+    def test_ordering_is_counter_then_writer(self):
+        assert VersionStamp(2, "a") > VersionStamp(1, "z")
+        assert VersionStamp(1, "b") > VersionStamp(1, "a")
+
+    def test_token_roundtrip(self):
+        stamp = VersionStamp(42, "node-7")
+        assert VersionStamp.parse(stamp.token()) == stamp
+
+    def test_parse_rejects_foreign_tokens(self):
+        with pytest.raises(ConfigurationError):
+            VersionStamp.parse("sha1:abcdef")
+
+
+class TestMerkleTree:
+    def test_empty_trees_agree(self):
+        a, b = MerkleTree(), MerkleTree()
+        assert a.root() == b.root()
+        divergent, compared = a.diff(b)
+        assert divergent == [] and compared == 1
+
+    def test_same_updates_same_root(self):
+        a, b = MerkleTree(), MerkleTree()
+        for tree in (a, b):
+            tree.update("k1", VersionStamp(1, "n"))
+            tree.update("k2", VersionStamp(2, "n"), tombstone=True)
+        assert a.root() == b.root()
+
+    def test_update_changes_root_and_discard_restores_it(self):
+        tree = MerkleTree()
+        empty = tree.root()
+        tree.update("k", VersionStamp(1, "n"))
+        assert tree.root() != empty
+        tree.discard("k")
+        assert tree.root() == empty
+        assert tree.tracked == 0
+
+    def test_restamping_is_incremental_not_additive(self):
+        a, b = MerkleTree(), MerkleTree()
+        a.update("k", VersionStamp(1, "n"))
+        a.update("k", VersionStamp(2, "n"))  # replaces, not accumulates
+        b.update("k", VersionStamp(2, "n"))
+        assert a.root() == b.root()
+
+    def test_diff_pinpoints_divergent_buckets(self):
+        a, b = MerkleTree(depth=4), MerkleTree(depth=4)
+        for index in range(50):
+            stamp = VersionStamp(1, "n")
+            a.update(f"key-{index}", stamp)
+            b.update(f"key-{index}", stamp)
+        b.update("key-7", VersionStamp(2, "n"))
+        divergent, compared = a.diff(b)
+        assert len(divergent) == 1
+        assert "key-7" in a.bucket_entries(divergent[0])
+        # Root-down descent: far fewer comparisons than the 16 leaves + tree.
+        assert compared <= 1 + 2 * a.depth
+
+    def test_tombstones_hash_differently_from_values(self):
+        a, b = MerkleTree(), MerkleTree()
+        a.update("k", VersionStamp(1, "n"))
+        b.update("k", VersionStamp(1, "n"), tombstone=True)
+        assert a.root() != b.root()
+
+    def test_depth_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MerkleTree(depth=0)
+        with pytest.raises(ConfigurationError):
+            MerkleTree(depth=17)
+
+    def test_diff_requires_equal_depth(self):
+        with pytest.raises(ConfigurationError):
+            MerkleTree(depth=4).diff(MerkleTree(depth=5))
+
+
+class TestConfiguration:
+    def test_needs_two_members(self):
+        with pytest.raises(ConfigurationError):
+            QuorumReplicatedStore([InMemoryStore()], read_quorum=1, write_quorum=1)
+
+    def test_quorums_bounded_by_n(self):
+        members = [InMemoryStore(), InMemoryStore(), InMemoryStore()]
+        with pytest.raises(ConfigurationError):
+            QuorumReplicatedStore(members, read_quorum=0, write_quorum=3)
+        with pytest.raises(ConfigurationError):
+            QuorumReplicatedStore(members, read_quorum=2, write_quorum=4)
+
+    def test_r_plus_w_must_exceed_n(self):
+        members = [InMemoryStore(), InMemoryStore(), InMemoryStore()]
+        with pytest.raises(ConfigurationError):
+            QuorumReplicatedStore(members, read_quorum=1, write_quorum=2)
+
+    def test_anti_entropy_every_must_be_positive(self):
+        members = [InMemoryStore(), InMemoryStore()]
+        with pytest.raises(ConfigurationError):
+            QuorumReplicatedStore(
+                members, read_quorum=1, write_quorum=2, anti_entropy_every=0
+            )
+
+
+class TestQuorumBasics:
+    def test_roundtrip(self):
+        group, _ = make_group()
+        group.put("k", {"a": 1})
+        assert group.get("k") == {"a": 1}
+        group.close()
+
+    def test_none_is_a_legal_value(self):
+        group, _ = make_group()
+        group.put("k", None)
+        assert group.get("k") is None
+        group.close()
+
+    def test_put_with_version_returns_stamp_token(self):
+        group, _ = make_group()
+        token = group.put_with_version("k", "v")
+        stamp = VersionStamp.parse(token)
+        assert stamp.writer == group.node_id
+        value, read_token = group.get_with_version("k")
+        assert value == "v" and read_token == token
+        group.close()
+
+    def test_versions_advance_per_write(self):
+        group, _ = make_group()
+        first = VersionStamp.parse(group.put_with_version("k", 1))
+        second = VersionStamp.parse(group.put_with_version("k", 2))
+        assert second > first
+        group.close()
+
+    def test_members_store_envelopes_not_raw_values(self):
+        group, members = make_group()
+        group.put("k", "v")
+        group.drain()
+        stamp, value, tombstone = _unwrap(members[0].get("k"))
+        assert value == "v" and not tombstone and stamp.counter >= 1
+        group.close()
+
+    def test_delete_reports_existence_and_tombstones(self):
+        group, members = make_group()
+        group.put("k", "v")
+        assert group.delete("k") is True
+        assert group.delete("k") is False
+        with pytest.raises(KeyNotFoundError):
+            group.get("k")
+        group.drain()
+        # The tombstone is still physically present on members (for
+        # convergence), just invisible through the group.
+        _stamp, _value, tombstone = _unwrap(members[0].get("k"))
+        assert tombstone
+        group.close()
+
+    def test_keys_excludes_tombstones(self):
+        group, _ = make_group()
+        group.put("a", 1)
+        group.put("b", 2)
+        group.delete("a")
+        group.drain()
+        assert set(group.keys()) == {"b"}
+        group.close()
+
+    def test_keys_includes_legacy_member_data(self):
+        group, members = make_group()
+        members[0].put("legacy", "raw")  # written outside the quorum path
+        group.put("quorum", 1)
+        group.drain()
+        assert set(group.keys()) == {"legacy", "quorum"}
+        group.close()
+
+    def test_quorum_write_beats_legacy_value(self):
+        group, members = make_group()
+        for member in members:
+            member.put("k", "old-raw")
+        group.put("k", "new")
+        group.drain()
+        assert group.get("k") == "new"
+        group.close()
+
+    def test_missing_key_raises_key_not_found(self):
+        group, _ = make_group()
+        with pytest.raises(KeyNotFoundError):
+            group.get("ghost")
+        group.close()
+
+    def test_close_owns_members_by_default(self):
+        group, members = make_group()
+        group.put("k", "v")
+        group.drain()
+        group.close()
+        with pytest.raises(Exception):
+            members[0].get("k")
+
+    def test_close_leaves_borrowed_members_open(self):
+        members = [InMemoryStore(), InMemoryStore()]
+        group = QuorumReplicatedStore(
+            members, read_quorum=1, write_quorum=2, owns_members=False
+        )
+        group.put("k", "v")
+        group.drain()
+        group.close()
+        assert _unwrap(members[0].get("k"))[1] == "v"
+
+
+class TestDivergenceResolution:
+    def seed_divergence(self, **kwargs):
+        """Member 2 misses an update: members 0/1 at rev 1, member 2 at rev 0."""
+        group, members = make_group(**kwargs)
+        group.put("k", {"rev": 0})
+        group.drain()
+        members[2].partition()
+        group.put("k", {"rev": 1})
+        group.drain()
+        members[2].heal()
+        return group, members
+
+    def test_read_resolves_to_newest_version(self):
+        group, _ = self.seed_divergence()
+        for _ in range(8):  # whichever R members answer, the winner is rev 1
+            assert group.get("k") == {"rev": 1}
+        group.close()
+
+    def test_read_repairs_stale_member_that_answered(self):
+        group, members = self.seed_divergence(r=3, w=1)  # all members answer
+        assert group.get("k") == {"rev": 1}
+        group.drain()
+        assert group.read_repairs == 1
+        assert _unwrap(members[2].get("k"))[1] == {"rev": 1}
+        group.close()
+
+    def test_read_repair_can_be_disabled(self):
+        group, members = self.seed_divergence(r=3, w=1, read_repair=False)
+        assert group.get("k") == {"rev": 1}
+        group.drain()
+        assert group.read_repairs == 0
+        assert _unwrap(members[2].get("k"))[1] == {"rev": 0}
+        group.close()
+
+    def test_read_repair_fills_members_missing_the_key(self):
+        group, members = make_group(r=3, w=1)
+        members[2].partition()
+        group.put("k", "v")
+        group.drain()
+        members[2].heal()
+        assert group.get("k") == "v"
+        group.drain()
+        assert _unwrap(members[2].get("k"))[1] == "v"
+        group.close()
+
+    def test_tombstone_wins_read_repair(self):
+        group, members = self.seed_divergence(r=3, w=1)
+        group.delete("k")
+        group.drain()
+        with pytest.raises(KeyNotFoundError):
+            group.get("k")
+        group.drain()
+        assert _unwrap(members[2].get("k"))[2] is True  # tombstoned
+        group.close()
+
+    def test_lamport_merges_across_coordinators(self):
+        """A second coordinator over the same members orders its writes
+        after everything it has read, despite a fresh local counter."""
+        members = [InMemoryStore() for _ in range(3)]
+        first = QuorumReplicatedStore(
+            members, read_quorum=2, write_quorum=2,
+            node_id="a", owns_members=False,
+        )
+        for index in range(5):
+            first.put("k", {"from": "a", "rev": index})
+        first.drain()
+        second = QuorumReplicatedStore(
+            members, read_quorum=2, write_quorum=2,
+            node_id="b", owns_members=False,
+        )
+        assert second.get("k") == {"from": "a", "rev": 4}  # observes stamp 5
+        token = second.put_with_version("k", {"from": "b"})
+        assert VersionStamp.parse(token).counter > 5 - 1
+        second.drain()
+        first.drain()
+        assert first.get("k") == {"from": "b"}
+        first.close()
+        second.close()
+
+
+class TestFailureModes:
+    def test_write_succeeds_degraded_with_one_member_down(self):
+        group, members = make_group()
+        members[2].partition()
+        group.put("k", "v")
+        group.drain()
+        assert group.writes == 1
+        assert group.degraded_ops == 1
+        assert group.write_partial_failures == 1
+        assert group.get("k") == "v"
+        group.close()
+
+    def test_write_fails_fast_below_w(self):
+        group, members = make_group()
+        members[1].partition()
+        members[2].partition()
+        with pytest.raises(QuorumWriteError) as excinfo:
+            group.put("k", "v")
+        group.drain()
+        assert excinfo.value.needed == 2
+        assert excinfo.value.failures == 2
+        assert group.failed_fast == 1
+        assert group.writes == 0
+        group.close()
+
+    def test_quorum_errors_are_retryable_connection_errors(self):
+        assert issubclass(QuorumWriteError, StoreConnectionError)
+        assert issubclass(QuorumReadError, StoreConnectionError)
+
+    def test_read_fails_fast_below_r(self):
+        group, members = make_group()
+        group.put("k", "v")
+        group.drain()
+        members[0].partition()
+        members[1].partition()
+        with pytest.raises(QuorumReadError):
+            group.get("k")
+        group.drain()
+        assert group.failed_fast == 1
+        group.close()
+
+    def test_read_survives_one_member_down(self):
+        group, members = make_group()
+        for index in range(10):
+            group.put(f"key-{index}", index)
+        group.drain()
+        members[1].partition()
+        for index in range(10):
+            assert group.get(f"key-{index}") == index
+        group.drain()
+        assert group.failed_fast == 0
+        group.close()
+
+    def test_confirmed_miss_is_not_a_member_failure(self):
+        group, members = make_group()
+        members[0].partition()  # one failure tolerated at R=2/N=3
+        with pytest.raises(KeyNotFoundError):
+            group.get("ghost")
+        group.drain()
+        group.close()
+
+    def test_expired_deadline_aborts_quorum_wait(self):
+        clock = {"now": 0.0}
+        group, members = make_group()
+        group.put("k", "v")
+        group.drain()
+        members[1].partition()
+        members[2].partition()
+        with deadline_scope(0.05, clock=lambda: clock["now"]):
+            clock["now"] = 0.2
+            with pytest.raises(DeadlineExceededError):
+                group.get("k")
+            with pytest.raises(DeadlineExceededError):
+                group.put("k", "v2")
+        group.drain()
+        group.close()
+
+
+class TestAntiEntropy:
+    def diverge(self, keyspace=40, divergent=5, **kwargs):
+        group, members = make_group(**kwargs)
+        for index in range(keyspace):
+            group.put(f"key-{index:02d}", {"rev": 0})
+        group.drain()
+        members[2].partition()
+        for index in range(divergent):
+            group.put(f"key-{index:02d}", {"rev": 1})
+        group.drain()
+        members[2].heal()
+        return group, members
+
+    def test_round_converges_after_partition(self):
+        group, members = self.diverge()
+        assert not group.status()["in_sync"]
+        report = group.anti_entropy_round()
+        assert report.converged
+        assert group.status()["in_sync"]
+        assert _unwrap(members[2].get("key-00"))[1] == {"rev": 1}
+        assert members[2].name in report.repaired_members
+        group.close()
+
+    def test_scan_accounting_proves_no_full_scan(self):
+        keyspace, divergent = 40, 5
+        group, _ = self.diverge(keyspace=keyspace, divergent=divergent)
+        report = group.anti_entropy_round()
+        assert divergent <= report.keys_scanned < keyspace
+        assert report.keys_repaired == divergent
+        assert group.full_scans == 0
+        group.close()
+
+    def test_second_round_is_a_noop(self):
+        group, _ = self.diverge()
+        group.anti_entropy_round()
+        second = group.anti_entropy_round()
+        assert second.converged
+        assert second.buckets_divergent == 0
+        assert second.keys_scanned == 0
+        # In-sync trees cost exactly one root comparison per pair.
+        assert second.nodes_compared == second.pairs_compared
+        group.close()
+
+    def test_tombstones_propagate_through_anti_entropy(self):
+        group, members = make_group()
+        group.put("k", "v")
+        group.drain()
+        members[2].partition()
+        group.delete("k")
+        group.drain()
+        members[2].heal()
+        group.anti_entropy_round()
+        assert _unwrap(members[2].get("k"))[2] is True
+        with pytest.raises(KeyNotFoundError):
+            group.get("k")
+        group.close()
+
+    def test_unreachable_member_defers_convergence(self):
+        group, members = self.diverge()
+        members[2].partition()  # still down when the round runs
+        report = group.anti_entropy_round()
+        assert not report.converged
+        assert report.member_failures > 0
+        members[2].heal()
+        assert group.anti_entropy_round().converged
+        group.close()
+
+    def test_anti_entropy_every_schedules_on_manual_scheduler(self):
+        scheduler = ManualScheduler()
+        members = [InMemoryStore() for _ in range(3)]
+        group = QuorumReplicatedStore(
+            members, read_quorum=2, write_quorum=2,
+            scheduler=scheduler, anti_entropy_every=3, owns_members=False,
+        )
+        for index in range(3):
+            group.put(f"key-{index}", index)
+        group.drain()
+        assert scheduler.pending() == 1
+        scheduler.run_pending()
+        assert group.antientropy_rounds == 1
+        group.put("key-3", 3)
+        group.drain()
+        assert scheduler.pending() == 0  # cadence counter reset
+        group.close()
+
+    def test_rebuild_trees_attaches_to_preexisting_data(self):
+        members = [InMemoryStore() for _ in range(2)]
+        members[0].put("a", "raw-a")
+        members[1].put("a", "raw-b")  # differing legacy values
+        group = QuorumReplicatedStore(
+            members, read_quorum=1, write_quorum=2, owns_members=False
+        )
+        scanned = group.rebuild_trees()
+        assert scanned == 2
+        assert group.full_scans == 2
+        assert not group.status()["in_sync"]
+        report = group.anti_entropy_round()
+        assert report.converged
+        # Deterministic winner: both members now hold the same raw value.
+        assert members[0].get("a") == members[1].get("a")
+        group.close()
+
+
+class TestObservabilityAndStatus:
+    def test_metrics_and_events_emitted(self):
+        obs = Observability(events=EventLog())
+        group, members = make_group(obs=obs)
+        members[2].partition()
+        group.put("k", "v")
+        group.drain()
+        members[1].partition()
+        with pytest.raises(QuorumWriteError):
+            group.put("k", "v2")
+        group.drain()
+        members[1].heal()
+        members[2].heal()
+        group.anti_entropy_round()
+        counters = obs.registry
+        assert counters.counter("kv.quorum.writes").value == 1
+        assert counters.counter("kv.quorum.write_partial").value >= 1
+        assert counters.counter("kv.quorum.degraded").value == 1
+        assert counters.counter("kv.quorum.failed_fast").value == 1
+        assert counters.counter("kv.antientropy.rounds").value == 1
+        kinds = {record["kind"] for record in obs.events.tail(50)}
+        assert {"quorum_degraded", "quorum_failed_fast", "antientropy_round"} <= kinds
+        group.close()
+
+    def test_read_repair_metric_and_event(self):
+        obs = Observability(events=EventLog())
+        group, members = make_group(r=3, w=1, obs=obs)
+        group.put("k", {"rev": 0})
+        group.drain()
+        members[2].partition()
+        group.put("k", {"rev": 1})
+        group.drain()
+        members[2].heal()
+        group.get("k")
+        group.drain()
+        assert obs.registry.counter("kv.quorum.read_repairs").value == 1
+        (record,) = obs.events.tail(50, kind="quorum_read_repair")
+        assert record["member"] == "member-2" and record["key"] == "k"
+        group.close()
+
+    def test_status_shape(self):
+        group, _ = make_group()
+        group.put("k", "v")
+        group.drain()
+        status = group.status()
+        assert status["n"] == 3 and status["r"] == 2 and status["w"] == 2
+        assert status["in_sync"] is True
+        assert len(status["members"]) == 3
+        assert all("merkle_root" in entry for entry in status["members"])
+        assert status["counters"]["writes"] == 1
+        group.close()
+
+
+class TestUDSMIntegration:
+    def test_quorum_factory_registers_monitored_group(self):
+        from repro.udsm.manager import UniversalDataStoreManager
+
+        with UniversalDataStoreManager() as udsm:
+            for name in ("a", "b", "c"):
+                udsm.register(name, InMemoryStore())
+            group = udsm.quorum(["a", "b", "c"], read_quorum=2, write_quorum=2)
+            group.put("k", "v")
+            assert group.get("k") == "v"
+            assert udsm.store("quorum") is group
+            # Members hold envelopes: the quorum wrote through them.
+            assert _unwrap(udsm.raw_store("a").get("k"))[1] == "v"
+
+    def test_quorum_factory_inherits_udsm_observability(self):
+        from repro.obs import Observability
+        from repro.udsm.manager import UniversalDataStoreManager
+
+        obs = Observability()
+        with UniversalDataStoreManager(obs=obs) as udsm:
+            for name in ("a", "b"):
+                udsm.register(name, InMemoryStore())
+            group = udsm.quorum(["a", "b"], read_quorum=1, write_quorum=2)
+            group.put("k", "v")
+            group.native()  # composite has no native handle
+            assert obs.registry.counter("kv.quorum.writes").value == 1

@@ -9,10 +9,19 @@ import pytest
 
 from repro.errors import (
     ConfigurationError,
+    DataStoreError,
     KeyNotFoundError,
     StoreConnectionError,
+    StoreUnavailableError,
 )
-from repro.kv import FlakyStore, InMemoryStore, ReplicatedStore, RetryingStore
+from repro.kv import (
+    FlakyStore,
+    InMemoryStore,
+    PartitionedStore,
+    ReplicatedStore,
+    RetryingStore,
+)
+from repro.obs import Observability
 
 
 class TestFlakyStore:
@@ -248,6 +257,207 @@ class TestReplicatedStore:
         replicas[0].close()
         with pytest.raises(Exception):
             store.get("k")
+
+    def test_stats_counters_survive_concurrent_hammering(self):
+        """The five public counters are bumped from hedge worker threads;
+        a bare += would lose updates under contention."""
+        store, _primary, _replicas = self.make()
+        per_thread, threads_n = 500, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                store._count("repairs", "kv.replica.repairs")  # noqa: SLF001
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.repairs == per_thread * threads_n
+
+    def test_counters_mirrored_to_obs_registry(self):
+        obs = Observability()
+        primary = InMemoryStore("primary")
+        dead = InMemoryStore("dead")
+        dead.close()
+        good = InMemoryStore("good")
+        store = ReplicatedStore(primary, [dead, good], obs=obs)
+        store.put("k", "v")                 # dead replica -> 1 write failure
+        primary.close()
+        assert store.get("k") == "v"        # served by `good` -> failover
+        counters = obs.registry
+        assert counters.counter("kv.replica.write_failures").value == 1
+        assert counters.counter("kv.replica.failover_reads").value == 1
+        assert (
+            counters.counter("kv.replica.write_failures").value
+            == store.replica_write_failures
+        )
+
+    def test_repair_metric_mirrored(self):
+        obs = Observability()
+        primary = InMemoryStore("primary")
+        replica = InMemoryStore("replica")
+        store = ReplicatedStore(primary, [replica], obs=obs)
+        primary.put("k", "v")               # replica missed this write
+        assert store.repair("k") == 1
+        assert obs.registry.counter("kv.replica.repairs").value == store.repairs == 1
+
+    def test_repair_survives_key_unreadable_everywhere(self):
+        store, _primary, _replicas = self.make()
+        assert store.repair("ghost") == 0   # no raise, nothing counted
+        assert store.repairs == 0
+
+    def test_repair_all_survives_member_dying_mid_pass(self):
+        """A member that starts failing partway through the sweep neither
+        aborts it nor inflates `repairs`."""
+
+        class DiesAfter(InMemoryStore):
+            def __init__(self, name, budget):
+                super().__init__(name)
+                self.budget = budget
+
+            def _spend(self):
+                self.budget -= 1
+                if self.budget < 0:
+                    raise StoreConnectionError("crashed mid-pass")
+
+            def get(self, key):
+                self._spend()
+                return super().get(key)
+
+            def get_or_default(self, key, default=None):
+                self._spend()
+                return super().get_or_default(key, default)
+
+            def put(self, key, value):
+                self._spend()
+                super().put(key, value)
+
+            def keys(self):
+                self._spend()
+                return super().keys()
+
+        primary = InMemoryStore("primary")
+        dying = DiesAfter("dying", budget=3)
+        healthy = InMemoryStore("healthy")
+        store = ReplicatedStore(primary, [dying, healthy])
+        for index in range(6):
+            primary.put(f"key-{index}", index)   # replicas missed every write
+        fixed = store.repair_all()               # must not raise
+        # The healthy replica is fully synced regardless of the crash.
+        for index in range(6):
+            assert healthy.get(f"key-{index}") == index
+        # Only writes that actually landed were counted.
+        landed = sum(1 for index in range(6) if dying.contains(f"key-{index}"))
+        assert store.repairs == fixed == 6 + landed
+
+    def test_hedged_reads_skip_read_repair(self):
+        """Regression: a hedged read must not repair the losing member --
+        its request may still be in flight (documented on hedge_delay)."""
+        primary = InMemoryStore("primary")
+        replica = InMemoryStore("replica")
+        replica.put("k", "v")                # the primary missed this write
+        store = ReplicatedStore(primary, [replica], hedge_delay=0.0)
+        assert store.get("k") == "v"
+        assert store.repairs == 0
+        assert not primary.contains("k")     # NOT repaired
+        # The sequential path (hedging off) does repair it.
+        store.hedge_delay = None
+        assert store.get("k") == "v"
+        assert store.repairs == 1
+        assert primary.get("k") == "v"
+
+
+class TestPartitionedStore:
+    def test_partition_is_symmetric(self):
+        """Reads AND writes are refused -- unlike FlakyStore's coin flips."""
+        inner = InMemoryStore()
+        inner.put("k", "v")
+        store = PartitionedStore(inner)
+        store.partition()
+        with pytest.raises(StoreUnavailableError):
+            store.get("k")
+        with pytest.raises(StoreUnavailableError):
+            store.put("k", "v2")
+        with pytest.raises(StoreUnavailableError):
+            store.delete("k")
+        with pytest.raises(StoreUnavailableError):
+            list(store.keys())
+        assert inner.get("k") == "v"  # inner store never touched
+        assert store.unavailable_ops == 4
+
+    def test_unavailable_is_a_retryable_connection_error(self):
+        assert issubclass(StoreUnavailableError, StoreConnectionError)
+
+    def test_heal_restores_service(self):
+        store = PartitionedStore(InMemoryStore())
+        store.partition()
+        store.heal()
+        store.put("k", "v")
+        assert store.get("k") == "v"
+        assert store.partitions == 1 and store.heals == 1
+
+    def test_flap_schedule_is_deterministic_on_virtual_clock(self):
+        clock = {"now": 0.0}
+
+        def make():
+            store = PartitionedStore(InMemoryStore(), clock=lambda: clock["now"])
+            return store, store.schedule_flaps(
+                seed=7, flaps=3, mean_healthy=10.0, mean_partitioned=2.0, start=0.0
+            )
+
+        clock["now"] = 0.0
+        first_store, first = make()
+        second_store, second = make()
+        assert first == second            # seeded: identical windows
+        assert len(first) == 3
+        store, windows = first_store, first
+        store.put("k", "v")               # healthy before the first window
+        for start, end in windows:
+            clock["now"] = (start + end) / 2
+            assert store.is_partitioned()
+            with pytest.raises(StoreUnavailableError):
+                store.get("k")
+            clock["now"] = end
+            assert not store.is_partitioned()
+            assert store.get("k") == "v"
+
+    def test_heal_truncates_active_window_only(self):
+        clock = {"now": 0.0}
+        store = PartitionedStore(InMemoryStore(), clock=lambda: clock["now"])
+        store._windows = [(1.0, 5.0), (10.0, 12.0)]  # noqa: SLF001 - exact windows
+        clock["now"] = 2.0
+        assert store.is_partitioned()
+        store.heal()                      # operator fixes the link early
+        assert not store.is_partitioned()
+        clock["now"] = 11.0               # future window still applies
+        assert store.is_partitioned()
+        store.clear_schedule()
+        assert not store.is_partitioned()
+
+    def test_close_passes_through_unguarded(self):
+        inner = InMemoryStore()
+        store = PartitionedStore(inner)
+        store.partition()
+        store.close()                     # no raise: local resources release
+        with pytest.raises(DataStoreError):
+            inner.put("k", "v")           # really closed
+
+    def test_obs_counters_and_events(self):
+        from repro.obs import EventLog
+
+        obs = Observability(events=EventLog())
+        store = PartitionedStore(InMemoryStore(), name="p0", obs=obs)
+        store.partition()
+        with pytest.raises(StoreUnavailableError):
+            store.get("k")
+        store.heal()
+        counters = obs.registry
+        assert counters.counter("kv.chaos.partitions").value == 1
+        assert counters.counter("kv.chaos.heals").value == 1
+        assert counters.counter("kv.chaos.unavailable").value == 1
+        kinds = [record["kind"] for record in obs.events.tail(10)]
+        assert kinds == ["partition", "heal"]
 
 
 class TestSingleFlight:
