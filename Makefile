@@ -1,14 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test unit check-docs check-obs check-resilience check-quorum check-lsm check-serving check-anomaly all
+.PHONY: test unit check-docs check-obs check-resilience check-quorum check-lsm check-serving check-anomaly check-cluster all
 
 all: test
 
 # The default gate: unit suite + doc snippets + instrumentation coverage
 # + fault-tolerance contract + LSM durability contract + serving-plane
-# smoke gate + anomaly-detection contract.
-test: unit check-docs check-obs check-resilience check-quorum check-lsm check-serving check-anomaly
+# smoke gate + anomaly-detection contract + cluster serving contract.
+test: unit check-docs check-obs check-resilience check-quorum check-lsm check-serving check-anomaly check-cluster
 
 unit:
 	$(PYTHON) -m pytest -x -q
@@ -51,3 +51,10 @@ check-serving:
 # all three with zero false positives (see docs/anomaly.md).
 check-anomaly:
 	$(PYTHON) scripts/check_anomaly.py
+
+# Boot a three-shard cluster over real sockets, write through an L1
+# client, hash-route through an L3 client, add and remove shards
+# mid-traffic, and assert zero lost keys, bounded key movement, and epoch
+# convergence without a single client reconnect (see docs/cluster.md).
+check-cluster:
+	$(PYTHON) scripts/check_cluster.py

@@ -41,6 +41,11 @@ Commands
     compose an R+W>N group from repeated ``--member`` specs (status exits
     1 on divergence; repair runs a Merkle anti-entropy round), and
     ``quorum demo`` runs the scripted partition-heal walkthrough.
+``cluster``
+    Sharded-cluster plane (see docs/cluster.md): ``cluster status`` asks a
+    live shard for its topology over the wire; ``cluster add-shard`` /
+    ``cluster remove-shard`` run a live membership change over real
+    sockets and verify zero lost keys and bounded key movement.
 ``lsm``
     Inspect (``lsm stats``) or compact (``lsm compact``) an on-disk LSM
     store directory (see docs/lsm.md).
@@ -62,6 +67,9 @@ Examples::
     python -m repro quorum demo
     python -m repro quorum status --member sql,path=a.db --member sql,path=b.db
     python -m repro quorum repair --member memory --member memory --r 1 --w 2
+    python -m repro cluster status --seed 127.0.0.1:7400
+    python -m repro cluster add-shard --keys 200
+    python -m repro cluster remove-shard --member memory --member memory --member memory
     python -m repro serve --backend lsm --database /var/data/kv.lsm
     python -m repro lsm stats --path /var/data/kv.lsm
     python -m repro lsm compact --path /var/data/kv.lsm
@@ -834,6 +842,125 @@ def _quorum_demo(options: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(options: argparse.Namespace) -> int:
+    """Sharded-cluster plane: remote topology status or a live membership change.
+
+    ``status`` asks any shard (``--seed host:port``) for its topology over
+    the wire (the ``TOPOLOGY`` command) and prints the shard map with per-
+    shard key counts.  ``add-shard`` / ``remove-shard`` boot an in-process
+    cluster from ``--member`` specs (in-memory by default), seed it, then
+    perform the membership change while an L3 client keeps reading --
+    printing the rebalance economics (~K/N keys moved) and verifying zero
+    lost keys.
+    """
+    if options.action == "status":
+        return _cluster_status(options)
+    return _cluster_membership_demo(options)
+
+
+def _cluster_status(options: argparse.Namespace) -> int:
+    """Fetch the topology from a live shard and print the shard map."""
+    from .cluster import ClusterTopology
+    from .net.client import CacheClient
+    from .net.protocol import WireError
+
+    seeds = options.seed or []
+    if not seeds:
+        raise DataStoreError("cluster status needs at least one --seed host:port")
+    payload = None
+    last_error: Exception | None = None
+    for seed in seeds:
+        host, _sep, port = seed.rpartition(":")
+        if not _sep:
+            raise DataStoreError(f"bad --seed {seed!r} (expected host:port)")
+        client = CacheClient(host, int(port))
+        try:
+            reply = client.call(["TOPOLOGY"])
+        except DataStoreError as exc:
+            last_error = exc
+            continue
+        finally:
+            client.close()
+        if isinstance(reply, WireError):
+            print(f"error: {seed} is not in a cluster ({reply})",
+                  file=sys.stderr)
+            return 1
+        payload = reply
+        break
+    if payload is None:
+        print(f"error: no seed reachable ({last_error})", file=sys.stderr)
+        return 1
+    topology = ClusterTopology.decode(payload)
+    rows = []
+    total = 0
+    for name in topology.members:
+        host, port = topology.address(name)
+        keys = "?"
+        member = CacheClient(host, port)
+        try:
+            keys = str(member.dbsize())
+            total += int(keys)
+        except DataStoreError:
+            keys = "unreachable"
+        finally:
+            member.close()
+        rows.append((name, f"{host}:{port}", keys))
+    print(format_table(("shard", "address", "keys"), rows))
+    print(f"cluster: epoch={topology.epoch} shards={len(topology)} "
+          f"replicas={topology.replicas} total_keys={total}")
+    return 0
+
+
+def _cluster_membership_demo(options: argparse.Namespace) -> int:
+    """Scripted membership change over real sockets: seed, change, verify."""
+    from .cluster import ClusterCoordinator
+
+    specs = options.member or ["memory", "memory", "memory"]
+    if len(specs) < 2:
+        raise DataStoreError(
+            f"cluster {options.action} needs at least two --member specs"
+        )
+    count = options.keys
+    coordinator = ClusterCoordinator(engine=options.engine)
+    try:
+        for index, spec in enumerate(specs):
+            coordinator.add_shard(f"shard-{index}", parse_store_spec(spec))
+        with coordinator.client(level=3) as client:
+            expected = {f"key-{i}": {"n": i} for i in range(count)}
+            client.put_many(expected)
+            print(f"cluster: epoch={coordinator.epoch} "
+                  f"shards={len(coordinator.shards)}; seeded {count} keys")
+            for entry in coordinator.status()["shards"]:
+                print(f"  {entry['name']:<10} {entry['host']}:{entry['port']}"
+                      f"  {entry['keys']} keys")
+
+            if options.action == "add-shard":
+                name = f"shard-{len(specs)}"
+                print(f"\n-- add {name} (live; traffic keeps flowing) --")
+                report = coordinator.add_shard(name, parse_store_spec(options.add))
+            else:
+                name = "shard-0"
+                print(f"\n-- remove {name} (its keys drain to survivors) --")
+                report = coordinator.remove_shard(name)
+            print(f"  {report}")
+            for label, moved in sorted(report.pairs.items()):
+                print(f"  {label:<24} {moved} keys")
+
+            # The L3 client converges via piggybacked epochs -- no reconnect.
+            found = client.get_many(list(expected))
+            lost = sum(1 for key, value in expected.items()
+                       if found.get(key) != value)
+            print(f"\nclient: epoch={client.epoch} redirects={client.redirects} "
+                  f"refreshes={client.refreshes} "
+                  f"reconnects={client.connection_reconnects()}")
+            print(f"verified: {count - lost}/{count} keys intact after the move")
+            for entry in coordinator.status()["shards"]:
+                print(f"  {entry['name']:<10} {entry['keys']} keys")
+            return 0 if lost == 0 else 1
+    finally:
+        coordinator.stop()
+
+
 def cmd_anomaly(options: argparse.Namespace) -> int:
     """Anomaly-detection plane: inspect a live engine or run the demo.
 
@@ -1178,6 +1305,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     quorum.add_argument("--node-id", default="cli", help="coordinator writer id")
     quorum.set_defaults(handler=cmd_quorum)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="sharded cluster: remote topology status, live add/remove-shard",
+    )
+    cluster.add_argument("action", choices=("status", "add-shard", "remove-shard"))
+    cluster.add_argument(
+        "--seed", action="append", default=None, metavar="HOST:PORT",
+        help="any cluster member to ask for the topology (status action; "
+             "repeat for fallbacks)",
+    )
+    cluster.add_argument(
+        "--member", action="append", default=None, metavar="SPEC",
+        help="founding member store spec kind[,option=value...]; repeat per "
+             "member (add/remove-shard actions; default: three in-memory)",
+    )
+    cluster.add_argument("--add", default="memory", metavar="SPEC",
+                         help="store spec for the shard being added")
+    cluster.add_argument("--keys", type=int, default=120,
+                         help="keys to seed before the membership change")
+    cluster.add_argument("--engine", choices=("threaded", "async"),
+                         default="threaded", help="serving engine per shard")
+    cluster.set_defaults(handler=cmd_cluster)
 
     anomaly = commands.add_parser(
         "anomaly",

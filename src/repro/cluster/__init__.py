@@ -1,0 +1,37 @@
+"""Topology-aware sharded store serving with smart clients.
+
+One key-value namespace spanning many shard servers, with the routing
+intelligence pushed into the *client* -- the paper's thesis (enhance the
+data store from the client side) applied to horizontal scale:
+
+* :class:`ClusterTopology` / :class:`ShardInfo` -- the versioned shard map
+  (consistent-hash ring + monotonic epoch) every participant shares;
+* :class:`ClusterCoordinator` -- boots shard servers, adds/removes shards,
+  and live-rebalances only the moved key ranges;
+* :class:`ClusterStoreClient` -- a :class:`~repro.kv.interface.KeyValueStore`
+  with Hot Rod-style intelligence levels: L1 proxies through any node,
+  L2 subscribes to the topology, L3 hash-routes every operation to the
+  owning shard and converges on membership changes via piggybacked epochs
+  and ``-MOVED`` redirects, without reconnecting;
+* :mod:`~repro.cluster.rebalancer` -- the no-downtime key-movement passes
+  built on the ``repro migrate`` machinery.
+
+Start at ``docs/cluster.md``; the wire grammar is in ``docs/protocol.md``.
+"""
+
+from .client import ClusterStoreClient
+from .coordinator import ClusterCoordinator
+from .rebalancer import RebalanceReport, copy_moved_keys, moved_pairs, purge_stale_keys, rebalance
+from .topology import ClusterTopology, ShardInfo
+
+__all__ = [
+    "ClusterTopology",
+    "ShardInfo",
+    "ClusterCoordinator",
+    "ClusterStoreClient",
+    "RebalanceReport",
+    "rebalance",
+    "moved_pairs",
+    "copy_moved_keys",
+    "purge_stale_keys",
+]

@@ -1,0 +1,484 @@
+"""Topology-aware cluster client with graded intelligence levels.
+
+:class:`ClusterStoreClient` is a :class:`~repro.kv.interface.KeyValueStore`
+whose namespace spans every shard of a cluster (see
+:class:`~repro.cluster.topology.ClusterTopology`).  Following the way
+Infinispan's Hot Rod protocol grades client smartness, it supports three
+**intelligence levels**:
+
+* **L1 -- proxy through any node.**  The client knows only its seed
+  addresses and round-robins plain connections across them; the *server*
+  forwards misrouted keys to their owners.  Every cross-shard key costs an
+  extra server-to-server hop.
+* **L2 -- topology-subscribed.**  The client bootstraps the shard map with
+  one ``TOPOLOGY`` round trip and spreads load across *all* members, and
+  its connections declare themselves (``CEPOCH``) so servers piggyback the
+  current epoch whenever the client's view goes stale -- membership changes
+  propagate without polling.  Keys are still server-routed.
+* **L3 -- hash-routing.**  The client places every key exactly where the
+  server would (same hash ring) and talks straight to the owner: zero
+  forwarding hops on the hot path.  A stale routing table surfaces as a
+  ``-MOVED`` redirect; the client follows it, refreshes the topology, and
+  re-declares its epoch on existing connections -- **no reconnect, no
+  restart** (the check gate asserts exactly this).
+
+Wire-level mechanics (epoch headers, MOVED grammar) are specified in
+``docs/protocol.md``; operational guidance lives in ``docs/cluster.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..errors import ConfigurationError, ProtocolError, StoreConnectionError
+from ..kv.interface import KeyValueStore, NotModified
+from ..kv.remote import RemoteKeyValueStore
+from ..net.client import CacheClient, ClusterAwareClient, parse_moved
+from ..net.protocol import WireError
+from ..obs import Observability, resolve_obs
+from ..serialization import Serializer
+from .topology import ClusterTopology
+
+__all__ = ["ClusterStoreClient"]
+
+Address = tuple[str, int]
+
+
+class ClusterStoreClient(KeyValueStore):
+    """One key-value namespace over many shards, routed client-side.
+
+    :param seeds: ``(host, port)`` addresses of known cluster members; any
+        one reachable seed suffices to bootstrap (levels 2/3 fetch the full
+        shard map from it).
+    :param level: client intelligence, 1..3 (see module docstring).
+    :param topology: optionally skip the bootstrap fetch by supplying the
+        topology directly (tests, benchmarks).
+    :param max_redirects: how many ``-MOVED`` hops one operation may follow
+        before giving up (each hop also refreshes the topology).
+    :param coordinator: optional owning
+        :class:`~repro.cluster.coordinator.ClusterCoordinator`; if given,
+        :meth:`close` also stops it (used by ``udsm.cluster(...)``).
+    """
+
+    def __init__(
+        self,
+        seeds: Iterable[Address],
+        *,
+        level: int = 3,
+        name: str = "cluster",
+        serializer: Serializer | None = None,
+        topology: ClusterTopology | None = None,
+        connect_timeout: float = 5.0,
+        operation_timeout: float = 30.0,
+        max_redirects: int = 3,
+        obs: Observability | None = None,
+        coordinator=None,
+    ) -> None:
+        self._seeds = [(str(host), int(port)) for host, port in seeds]
+        if not self._seeds:
+            raise ConfigurationError("a cluster client needs at least one seed address")
+        if level not in (1, 2, 3):
+            raise ConfigurationError(f"cluster intelligence level must be 1..3, got {level}")
+        if max_redirects < 1:
+            raise ConfigurationError("max_redirects must be at least 1")
+        self.name = name
+        self._level = level
+        self._serializer = serializer
+        self._connect_timeout = connect_timeout
+        self._operation_timeout = operation_timeout
+        self._max_redirects = max_redirects
+        self._obs = resolve_obs(obs)
+        self._coordinator = coordinator
+        self._lock = threading.Lock()
+        self._conns: dict[Address, CacheClient] = {}
+        self._stores: dict[Address, RemoteKeyValueStore] = {}
+        self._rr = 0
+        self._closed = False
+        #: MOVED redirects followed (stale routing table moments).
+        self.redirects = 0
+        #: Topology refreshes performed (bootstrap included).
+        self.refreshes = 0
+        self._topology: ClusterTopology | None = topology
+        if topology is not None:
+            self._note_epoch(topology.epoch)
+        elif self._level >= 2:
+            self._refresh_topology()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        return self._level
+
+    @property
+    def topology(self) -> ClusterTopology | None:
+        return self._topology
+
+    @property
+    def epoch(self) -> int | None:
+        topology = self._topology
+        return None if topology is None else topology.epoch
+
+    def connection_reconnects(self) -> int:
+        """Total transparent reconnects across every member connection.
+
+        The check gate asserts this stays zero across a live topology
+        change: L3 convergence must not cost a single reconnect.
+        """
+        with self._lock:
+            return sum(conn.reconnects for conn in self._conns.values())
+
+    # ------------------------------------------------------------------
+    # Connections and routing
+    # ------------------------------------------------------------------
+    def _current_epoch(self) -> int:
+        topology = self._topology
+        return 0 if topology is None else topology.epoch
+
+    def _connection(self, address: Address) -> CacheClient:
+        with self._lock:
+            if self._closed:
+                raise StoreConnectionError("cluster client is closed")
+            conn = self._conns.get(address)
+            if conn is None:
+                if self._level >= 2:
+                    conn = ClusterAwareClient(
+                        address[0],
+                        address[1],
+                        level=self._level,
+                        epoch_source=self._current_epoch,
+                        connect_timeout=self._connect_timeout,
+                        operation_timeout=self._operation_timeout,
+                    )
+                else:
+                    conn = CacheClient(
+                        address[0],
+                        address[1],
+                        connect_timeout=self._connect_timeout,
+                        operation_timeout=self._operation_timeout,
+                    )
+                self._conns[address] = conn
+                self._stores[address] = RemoteKeyValueStore(
+                    address[0],
+                    address[1],
+                    name=f"{self.name}@{address[0]}:{address[1]}",
+                    serializer=self._serializer,
+                    client=conn,
+                )
+            return conn
+
+    def _store_at(self, address: Address) -> RemoteKeyValueStore:
+        self._connection(address)
+        with self._lock:
+            return self._stores[address]
+
+    def _drop_connection(self, address: Address) -> None:
+        """Forget a dead member's connection so nothing retries through it."""
+        with self._lock:
+            conn = self._conns.pop(address, None)
+            self._stores.pop(address, None)
+        if conn is not None:
+            conn.close()
+
+    def _spread_addresses(self) -> list[Address]:
+        """The address pool for non-hash-routed traffic."""
+        topology = self._topology
+        if topology is not None and self._level >= 2:
+            return [topology.address(name) for name in topology.members]
+        return list(self._seeds)
+
+    def _any_address(self) -> Address:
+        pool = self._spread_addresses()
+        with self._lock:
+            self._rr = (self._rr + 1) % len(pool)
+            return pool[self._rr]
+
+    def _address_for(self, key: str) -> Address:
+        """Where one keyed operation goes, per the client's intelligence."""
+        topology = self._topology
+        if self._level >= 3 and topology is not None:
+            if self._obs.enabled:
+                self._obs.inc("cluster.client.routed")
+            return topology.address(topology.owner(key))
+        return self._any_address()
+
+    # ------------------------------------------------------------------
+    # Topology maintenance
+    # ------------------------------------------------------------------
+    def _refresh_topology(self, prefer: Address | None = None) -> ClusterTopology:
+        """Fetch the shard map (TOPOLOGY) from the first member that answers."""
+        candidates: list[Address] = []
+        if prefer is not None:
+            candidates.append(prefer)
+        with self._lock:
+            known = list(self._conns)
+        for address in known + self._seeds:
+            if address not in candidates:
+                candidates.append(address)
+        last_error: Exception | None = None
+        for address in candidates:
+            try:
+                frame = self._connection(address).call(["TOPOLOGY"])
+            except (StoreConnectionError, ProtocolError) as exc:
+                last_error = exc
+                self._drop_connection(address)
+                continue
+            if isinstance(frame, WireError):
+                last_error = frame
+                continue
+            if not isinstance(frame, (bytes, bytearray)):
+                last_error = ProtocolError("TOPOLOGY returned a non-bulk frame")
+                continue
+            return self._adopt(ClusterTopology.decode(bytes(frame)))
+        raise StoreConnectionError(
+            f"could not fetch the cluster topology from any member: {last_error}"
+        ) from last_error
+
+    def _adopt(self, topology: ClusterTopology) -> ClusterTopology:
+        with self._lock:
+            current = self._topology
+            if current is not None and topology.epoch < current.epoch:
+                return current  # a concurrent refresh already learned more
+            self._topology = topology
+            members = {topology.address(name) for name in topology.members}
+            departed = [addr for addr in self._conns if addr not in members]
+            conns = [conn for addr, conn in self._conns.items() if addr in members]
+        for address in departed:
+            self._drop_connection(address)
+        self.refreshes += 1
+        self._note_epoch(topology.epoch)
+        # Re-declare the adopted epoch on live connections so servers stop
+        # flagging them stale -- connections stay up, nothing reconnects.
+        for conn in conns:
+            if isinstance(conn, ClusterAwareClient):
+                try:
+                    conn.declare(topology.epoch)
+                except (StoreConnectionError, WireError):
+                    pass  # member gone or leaving; routing will route around it
+        return topology
+
+    def _note_epoch(self, epoch: int) -> None:
+        if self._obs.enabled:
+            self._obs.inc("cluster.client.refreshes")
+            self._obs.gauge("cluster.client.epoch").set(epoch)
+            self._obs.emit("topology_refreshed", name=self.name, epoch=epoch)
+
+    def _observe_reply_epoch(self, address: Address) -> None:
+        """React to a piggybacked epoch: newer than ours -> refresh now."""
+        if self._level < 2:
+            return
+        with self._lock:
+            conn = self._conns.get(address)
+        topology = self._topology
+        if conn is None or topology is None:
+            return
+        seen = conn.last_epoch
+        if seen is not None and seen > topology.epoch:
+            self._refresh_topology(prefer=address)
+
+    def _note_redirect(self) -> None:
+        self.redirects += 1
+        if self._obs.enabled:
+            self._obs.inc("cluster.client.redirects")
+
+    # ------------------------------------------------------------------
+    # The routed-operation engine
+    # ------------------------------------------------------------------
+    def _execute(self, key: str, op):
+        """Run *op* against the store the routing table points at, following
+        MOVED redirects (each one refreshes the topology) up to the bound.
+        A dead member (shard removed, server gone) drops its connection and
+        refreshes the topology instead of failing the operation."""
+        address: Address | None = None
+        last_error: Exception | None = None
+        for _attempt in range(self._max_redirects + 1):
+            target = self._address_for(key) if address is None else address
+            address = None
+            store = self._store_at(target)
+            try:
+                result = op(store)
+            except WireError as err:
+                moved = parse_moved(str(err))
+                if moved is None:
+                    raise
+                self._note_redirect()
+                last_error = err
+                try:
+                    self._refresh_topology(prefer=moved.address)
+                except StoreConnectionError:
+                    pass  # the redirect target itself is authoritative
+                address = moved.address
+                continue
+            except StoreConnectionError as err:
+                last_error = err
+                self._drop_connection(target)
+                if self._level >= 2:
+                    self._refresh_topology()  # the member is likely gone
+                continue
+            self._observe_reply_epoch(target)
+            return result
+        raise StoreConnectionError(
+            f"cluster routing for key {key!r} did not converge after "
+            f"{self._max_redirects} redirects"
+        ) from last_error
+
+    def _grouped(self, keys: Iterable[str]) -> dict[Address, list[str]]:
+        topology = self._topology
+        assert topology is not None
+        groups: dict[Address, list[str]] = {}
+        for key in keys:
+            groups.setdefault(topology.address(topology.owner(key)), []).append(key)
+        return groups
+
+    def _execute_grouped(self, keys: list[str], op):
+        """Scatter a batched op by owner (L3), retrying the whole batch once
+        per MOVED hop or dead member.  Batched ops here are idempotent
+        (get/put/delete), so re-running already-succeeded groups is safe."""
+        last_error: Exception | None = None
+        for _attempt in range(self._max_redirects + 1):
+            groups = self._grouped(keys)
+            results: list[tuple[Address, Any]] = []
+            try:
+                for address, group in groups.items():
+                    results.append((address, op(self._store_at(address), group)))
+            except WireError as err:
+                moved = parse_moved(str(err))
+                if moved is None:
+                    raise
+                self._note_redirect()
+                last_error = err
+                self._refresh_topology(prefer=moved.address)
+                continue
+            except StoreConnectionError as err:
+                last_error = err
+                self._drop_connection(address)
+                self._refresh_topology()  # the member is likely gone
+                continue
+            for address, _result in results:
+                self._observe_reply_epoch(address)
+            return [result for _address, result in results]
+        raise StoreConnectionError(
+            f"cluster routing for a {len(keys)}-key batch did not converge "
+            f"after {self._max_redirects} redirects"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    # KeyValueStore: single-key operations
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        return self._execute(key, lambda store: store.get(key))
+
+    def get_with_version(self, key: str) -> tuple[Any, str]:
+        return self._execute(key, lambda store: store.get_with_version(key))
+
+    def get_if_modified(self, key: str, version: str) -> "tuple[Any, str] | NotModified":
+        return self._execute(key, lambda store: store.get_if_modified(key, version))
+
+    def put(self, key: str, value: Any) -> None:
+        self._execute(key, lambda store: store.put(key, value))
+
+    def put_with_version(self, key: str, value: Any) -> str:
+        return self._execute(key, lambda store: store.put_with_version(key, value))
+
+    def delete(self, key: str) -> bool:
+        return self._execute(key, lambda store: store.delete(key))
+
+    def contains(self, key: str) -> bool:
+        return self._execute(key, lambda store: store.contains(key))
+
+    # ------------------------------------------------------------------
+    # KeyValueStore: batched operations
+    # ------------------------------------------------------------------
+    def get_many(self, keys: "Iterable[str]") -> dict[str, Any]:
+        key_list = list(keys)
+        if not key_list:
+            return {}
+        if self._level >= 3 and self._topology is not None:
+            out: dict[str, Any] = {}
+            for found in self._execute_grouped(
+                key_list, lambda store, group: store.get_many(group)
+            ):
+                out.update(found)
+            return out
+        # L1/L2: one node takes the batch; the server scatter-gathers.
+        return self._store_at(self._any_address()).get_many(key_list)
+
+    def put_many(self, items: "Mapping[str, Any]") -> None:
+        if not items:
+            return
+        if self._level >= 3 and self._topology is not None:
+            self._execute_grouped(
+                list(items),
+                lambda store, group: store.put_many({key: items[key] for key in group}),
+            )
+            return
+        self._store_at(self._any_address()).put_many(dict(items))
+
+    def delete_many(self, keys: "Iterable[str]") -> int:
+        key_list = list(keys)
+        if not key_list:
+            return 0
+        if self._level >= 3 and self._topology is not None:
+            return sum(
+                self._execute_grouped(
+                    key_list, lambda store, group: store.delete_many(group)
+                )
+            )
+        return self._store_at(self._any_address()).delete_many(key_list)
+
+    # ------------------------------------------------------------------
+    # KeyValueStore: whole-namespace operations (aggregate across shards)
+    # ------------------------------------------------------------------
+    def _aggregate_addresses(self) -> list[Address]:
+        """Every member address; fetches the topology on demand so even an
+        L1 client aggregates the *whole* namespace, not one node's slice."""
+        topology = self._topology
+        if topology is None:
+            topology = self._refresh_topology()
+        return [topology.address(name) for name in topology.members]
+
+    def keys(self) -> Iterator[str]:
+        seen: set[str] = set()
+        for address in self._aggregate_addresses():
+            try:
+                member_keys = list(self._store_at(address).keys())
+            except StoreConnectionError:
+                continue  # member mid-removal; its keys have moved
+            for key in member_keys:
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def size(self) -> int:
+        # Mid-rebalance a moved key may momentarily live on two shards, so
+        # this can transiently over-count; it converges with the topology.
+        return sum(
+            self._store_at(address).size() for address in self._aggregate_addresses()
+        )
+
+    def clear(self) -> int:
+        return sum(
+            self._store_at(address).clear() for address in self._aggregate_addresses()
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns.values())
+            self._conns.clear()
+            self._stores.clear()
+        for conn in conns:
+            conn.close()
+        if self._coordinator is not None:
+            self._coordinator.stop()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterStoreClient name={self.name!r} level={self._level} "
+            f"epoch={self.epoch}>"
+        )

@@ -1,0 +1,160 @@
+"""Key-range rebalancing between two topology versions.
+
+When a shard joins or leaves, consistent hashing guarantees only ~K/N of
+the K keys change owner -- the job here is to move exactly those keys,
+without stopping traffic, reusing the UDSM migration machinery
+(:func:`repro.tools.migration.copy_store`, the same batched copy loop
+behind ``repro migrate``).
+
+The live-rebalance choreography (driven by
+:class:`~repro.cluster.coordinator.ClusterCoordinator`) is:
+
+1. **First copy pass** -- with the *old* topology still serving, copy every
+   moved key to its new owner (``overwrite=True``; the destination is not
+   yet authoritative for them, so nothing can be clobbered).
+2. **Install** -- flip every server to the new topology (the *install*
+   callback).  From this instant new traffic routes to the new owners.
+3. **Catch-up pass** -- copy keys that landed on the old owners during
+   pass 1, with ``overwrite=False``: a key the destination already has was
+   either copied in pass 1 or *written there post-install* -- and the
+   post-install write is the newer one, so it must win.
+4. **Purge** -- delete from surviving shards the keys they no longer own.
+
+Consistency note (documented, not hidden): writes are never blocked, so a
+key **overwritten on its old owner during pass 1** can keep its pre-pass-1
+value after the move -- the same non-atomic resharding window Redis
+Cluster accepts.  Keys written once (the common ingest shape) are never
+lost, which is what the ``make check-cluster`` gate asserts under live
+mid-rebalance traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Mapping
+
+from ..kv.interface import KeyValueStore
+from ..tools.migration import copy_store
+from .topology import ClusterTopology
+
+__all__ = ["RebalanceReport", "moved_pairs", "copy_moved_keys", "purge_stale_keys", "rebalance"]
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of one live rebalance between two topology epochs."""
+
+    epoch_from: int
+    epoch_to: int
+    #: Keys copied by the first pass (the bulk move).
+    moved: int = 0
+    #: Keys copied by the catch-up pass (written mid-move).
+    catch_up: int = 0
+    #: Stale copies deleted from the shards that lost the ranges.
+    purged: int = 0
+    elapsed_seconds: float = 0.0
+    #: Per-direction copy counts, ``"src->dst" -> keys`` (both passes).
+    pairs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_copied(self) -> int:
+        return self.moved + self.catch_up
+
+    def __str__(self) -> str:
+        return (
+            f"epoch {self.epoch_from}->{self.epoch_to}: moved {self.moved} keys "
+            f"(+{self.catch_up} catch-up), purged {self.purged} stale copies "
+            f"in {self.elapsed_seconds:.2f}s"
+        )
+
+
+def moved_pairs(old: ClusterTopology, new: ClusterTopology) -> list[tuple[str, str]]:
+    """The (source, destination) shard pairs keys can move along.
+
+    Consistent hashing bounds the traffic matrix: adding members pulls keys
+    only *toward* the added members, and removing members pushes the
+    removed members' keys only *toward* survivors -- so instead of scanning
+    all |old| x |new| combinations, only these pairs need a copy pass.
+    """
+    added = [name for name in new.members if name not in old]
+    removed = [name for name in old.members if name not in new]
+    survivors = [name for name in old.members if name in new]
+    pairs = [(src, dst) for src in survivors for dst in added]
+    pairs += [(src, dst) for src in removed for dst in new.members]
+    return pairs
+
+
+def copy_moved_keys(
+    stores: Mapping[str, KeyValueStore],
+    old: ClusterTopology,
+    new: ClusterTopology,
+    *,
+    batch_size: int = 100,
+    overwrite: bool = True,
+) -> dict[tuple[str, str], int]:
+    """One copy pass: stream every moved key from its old owner to its new one.
+
+    Returns copied counts per (source, destination) pair.
+    """
+    copied: dict[tuple[str, str], int] = {}
+    for src, dst in moved_pairs(old, new):
+        source, destination = stores.get(src), stores.get(dst)
+        if source is None or destination is None:
+            continue
+        report = copy_store(
+            source,
+            destination,
+            batch_size=batch_size,
+            key_filter=lambda key, dst=dst: new.owner(key) == dst,
+            overwrite=overwrite,
+        )
+        if report.copied:
+            copied[(src, dst)] = report.copied
+    return copied
+
+
+def purge_stale_keys(
+    stores: Mapping[str, KeyValueStore], topology: ClusterTopology
+) -> int:
+    """Delete from each surviving member the keys it no longer owns."""
+    purged = 0
+    for name in topology.members:
+        store = stores.get(name)
+        if store is None:
+            continue
+        stale = [key for key in list(store.keys()) if topology.owner(key) != name]
+        if stale:
+            purged += store.delete_many(stale)
+    return purged
+
+
+def rebalance(
+    stores: Mapping[str, KeyValueStore],
+    old: ClusterTopology,
+    new: ClusterTopology,
+    install: Callable[[], None],
+    *,
+    batch_size: int = 100,
+) -> RebalanceReport:
+    """Move the changed key ranges from *old* to *new* without stopping traffic.
+
+    *install* is called between the bulk pass and the catch-up pass; it must
+    flip every server (and the coordinator's own view) to *new*.  See the
+    module docstring for the choreography and its consistency window.
+    """
+    report = RebalanceReport(epoch_from=old.epoch, epoch_to=new.epoch)
+    start = perf_counter()
+    first = copy_moved_keys(stores, old, new, batch_size=batch_size, overwrite=True)
+    install()
+    catch_up = copy_moved_keys(stores, old, new, batch_size=batch_size, overwrite=False)
+    survivors = {name: stores[name] for name in new.members if name in stores}
+    report.purged = purge_stale_keys(survivors, new)
+    report.moved = sum(first.values())
+    report.catch_up = sum(catch_up.values())
+    for pairs in (first, catch_up):
+        for (src, dst), count in pairs.items():
+            label = f"{src}->{dst}"
+            report.pairs[label] = report.pairs.get(label, 0) + count
+    report.elapsed_seconds = perf_counter() - start
+    return report

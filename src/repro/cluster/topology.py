@@ -1,0 +1,206 @@
+"""Versioned cluster topology: a shard map plus a monotonic epoch.
+
+A :class:`ClusterTopology` is the single piece of shared state that makes
+"smart clients" possible: it names every shard, gives each a TCP address,
+and places them on a consistent-hash ring (reusing
+:class:`~repro.caching.sharded.HashRing`, so cache sharding and store
+sharding agree on placement math).  The **epoch** is a monotonically
+increasing version number: every membership change produces a *new*
+topology with ``epoch + 1``, and servers piggyback their current epoch on
+responses so clients can detect staleness without polling (see
+``docs/cluster.md`` and the ``TOPOLOGY``/``CEPOCH`` commands in
+``docs/protocol.md``).
+
+Topologies are immutable value objects: :meth:`with_shard` and
+:meth:`without_shard` return new instances.  They serialize to compact
+JSON for the ``TOPOLOGY`` wire command (:meth:`encode` /
+:meth:`decode`), so any client can bootstrap its routing table from any
+member with one round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..caching.sharded import HashRing
+from ..errors import ConfigurationError, ProtocolError
+
+__all__ = ["ShardInfo", "ClusterTopology"]
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard's identity and address."""
+
+    name: str
+    host: str
+    port: int
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}@{self.host}:{self.port}"
+
+
+class ClusterTopology:
+    """Immutable shard map + epoch over a consistent-hash ring."""
+
+    def __init__(
+        self,
+        shards: Iterable[ShardInfo],
+        *,
+        epoch: int = 1,
+        replicas: int = 64,
+    ) -> None:
+        """Build a topology from *shards*.
+
+        :param epoch: the topology version; successors must be strictly
+            greater (``with_shard``/``without_shard`` bump it for you).
+        :param replicas: virtual nodes per shard on the hash ring.  Every
+            participant (servers and clients) must use the same value or
+            they will disagree on placement.
+        """
+        shard_list = list(shards)
+        if epoch < 1:
+            raise ConfigurationError("topology epoch must be >= 1")
+        names = [shard.name for shard in shard_list]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate shard names in topology: {names}")
+        self._shards: dict[str, ShardInfo] = {s.name: s for s in shard_list}
+        self._epoch = epoch
+        self._replicas = replicas
+        self._ring = HashRing(replicas=replicas)
+        for name in self._shards:
+            self._ring.add(name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def replicas(self) -> int:
+        return self._replicas
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        """Shard names, sorted (stable for display and iteration)."""
+        return tuple(sorted(self._shards))
+
+    @property
+    def shards(self) -> tuple[ShardInfo, ...]:
+        return tuple(self._shards[name] for name in sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shards
+
+    def shard(self, name: str) -> ShardInfo:
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise ConfigurationError(f"no shard named {name!r} in topology") from None
+
+    def address(self, name: str) -> tuple[str, int]:
+        return self.shard(name).address
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The shard name owning *key* under this topology."""
+        return self._ring.locate(key)
+
+    def owner_shard(self, key: str) -> ShardInfo:
+        return self._shards[self._ring.locate(key)]
+
+    # ------------------------------------------------------------------
+    # Evolution (always returns a NEW topology with epoch + 1)
+    # ------------------------------------------------------------------
+    def with_shard(self, name: str, host: str, port: int) -> "ClusterTopology":
+        """Scale out: a successor topology containing a new shard."""
+        if name in self._shards:
+            raise ConfigurationError(f"shard {name!r} already in topology")
+        return ClusterTopology(
+            list(self._shards.values()) + [ShardInfo(name, host, port)],
+            epoch=self._epoch + 1,
+            replicas=self._replicas,
+        )
+
+    def without_shard(self, name: str) -> "ClusterTopology":
+        """Scale in: a successor topology without *name*."""
+        if name not in self._shards:
+            raise ConfigurationError(f"no shard named {name!r} in topology")
+        if len(self._shards) == 1:
+            raise ConfigurationError("cannot remove the last shard of a topology")
+        return ClusterTopology(
+            [s for s in self._shards.values() if s.name != name],
+            epoch=self._epoch + 1,
+            replicas=self._replicas,
+        )
+
+    # ------------------------------------------------------------------
+    # Wire codec (the TOPOLOGY command payload)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data rendering (JSON-safe; also used by status surfaces)."""
+        return {
+            "epoch": self._epoch,
+            "replicas": self._replicas,
+            "shards": [
+                {"name": s.name, "host": s.host, "port": s.port}
+                for s in self.shards
+            ],
+        }
+
+    def encode(self) -> bytes:
+        """Compact JSON bytes for the ``TOPOLOGY`` reply."""
+        return json.dumps(self.to_dict(), separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "ClusterTopology":
+        try:
+            shards = [
+                ShardInfo(str(s["name"]), str(s["host"]), int(s["port"]))
+                for s in document["shards"]
+            ]
+            return cls(
+                shards,
+                epoch=int(document["epoch"]),
+                replicas=int(document.get("replicas", 64)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed topology document: {exc}") from exc
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ClusterTopology":
+        """Parse a ``TOPOLOGY`` reply; raises ProtocolError when malformed."""
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"malformed topology payload: {exc}") from exc
+        if not isinstance(document, dict):
+            raise ProtocolError("topology payload must be a JSON object")
+        return cls.from_dict(document)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClusterTopology):
+            return NotImplemented
+        return (
+            self._epoch == other._epoch
+            and self._replicas == other._replicas
+            and self._shards == other._shards
+        )
+
+    def __repr__(self) -> str:
+        members = ", ".join(str(s) for s in self.shards)
+        return f"<ClusterTopology epoch={self._epoch} [{members}]>"

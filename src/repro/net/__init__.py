@@ -15,13 +15,14 @@ Two things live here:
 """
 
 from .latency import Clock, LatencyModel, RealClock, VirtualClock
-from .client import CacheClient
+from .client import CacheClient, ClusterAwareClient, MovedRedirect, parse_moved
 from .server import CacheServer, ServerHandle, StoreServer, THREADED_MAX_CLIENTS
 from .aio import (
     ASYNC_MAX_CLIENTS,
     AsyncCacheServer,
     AsyncServerEngine,
     AsyncStoreServer,
+    probe_fd_budget,
 )
 
 __all__ = [
@@ -30,6 +31,9 @@ __all__ = [
     "VirtualClock",
     "LatencyModel",
     "CacheClient",
+    "ClusterAwareClient",
+    "MovedRedirect",
+    "parse_moved",
     "CacheServer",
     "StoreServer",
     "ServerHandle",
@@ -38,4 +42,5 @@ __all__ = [
     "AsyncStoreServer",
     "THREADED_MAX_CLIENTS",
     "ASYNC_MAX_CLIENTS",
+    "probe_fd_budget",
 ]

@@ -60,13 +60,50 @@ __all__ = [
     "AsyncServerEngine",
     "AsyncCacheServer",
     "AsyncStoreServer",
+    "probe_fd_budget",
 ]
+
+#: File descriptors held back from the connection budget: the listener,
+#: snapshot/store files, metrics exporter sockets, stdio, and whatever the
+#: embedding process needs.
+FD_HEADROOM = 64
+#: Floor for the probed bound -- never go below the threaded engine's reach.
+_FD_BUDGET_FLOOR = 128
+#: Ceiling for the probed bound -- beyond this, accept-queue and memory
+#: limits dominate before fd count does.
+_FD_BUDGET_CEILING = 1 << 20
+#: Fallback when the platform offers no RLIMIT_NOFILE (the old hardcoded bound).
+_FD_BUDGET_DEFAULT = 4096
+
+
+def probe_fd_budget(headroom: int = FD_HEADROOM) -> int:
+    """Concurrent-connection bound derived from the process fd limit.
+
+    An async connection costs one file descriptor, so the honest bound is
+    ``RLIMIT_NOFILE`` minus a headroom for everything else the process has
+    open -- not a hardcoded constant.  Clamped to
+    [``_FD_BUDGET_FLOOR``, ``_FD_BUDGET_CEILING``]; platforms without the
+    ``resource`` module (or with an unlimited soft limit beyond the
+    ceiling) fall back to sensible constants.
+    """
+    try:
+        import resource
+
+        soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    except (ImportError, OSError, ValueError):  # pragma: no cover - platform
+        return _FD_BUDGET_DEFAULT
+    if soft == getattr(resource, "RLIM_INFINITY", -1) or soft < 0:
+        return _FD_BUDGET_CEILING
+    return max(_FD_BUDGET_FLOOR, min(soft - headroom, _FD_BUDGET_CEILING))
+
 
 #: Default concurrent-connection bound for the event-loop engine.  A
 #: connection here is a file descriptor and a buffer, not a thread, so the
-#: default sits ~32x above the threaded engine's
+#: bound is probed from the process fd budget (:func:`probe_fd_budget`)
+#: rather than hardcoded -- on a typical 20k-fd container that lands well
+#: above the old 4096 constant and ~150x above the threaded engine's
 #: :data:`~repro.net.server.THREADED_MAX_CLIENTS`.
-ASYNC_MAX_CLIENTS = 4096
+ASYNC_MAX_CLIENTS = probe_fd_budget()
 
 #: Bytes pulled per socket read; one read may carry many pipelined requests.
 READ_CHUNK = 64 * 1024
@@ -79,12 +116,17 @@ class _AsyncConnection:
     pub/sub fan-out calls :meth:`send` to push a frame at a subscriber.
     All sends happen on the loop thread (fan-out runs inside a dispatch),
     so no lock is needed -- the transport buffers the write.
+
+    Carries the connection's declared cluster intelligence exactly like the
+    threaded ``_ConnectionContext`` (set by the ``CEPOCH`` command).
     """
 
-    __slots__ = ("_writer",)
+    __slots__ = ("_writer", "cluster_epoch", "cluster_level")
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self._writer = writer
+        self.cluster_epoch: int | None = None
+        self.cluster_level = 1
 
     def send(self, frame: bytes) -> None:
         if self._writer.is_closing():
@@ -150,6 +192,15 @@ class AsyncServerEngine:
     def stats_pairs(self) -> list[tuple[str, str]]:
         return self._core.stats_pairs()
 
+    def install_topology(self, topology, self_name: str) -> None:
+        """Join a cluster (delegates to the command core; see
+        :meth:`repro.net.server.CacheServer.install_topology`)."""
+        self._core.install_topology(topology, self_name)
+
+    @property
+    def cluster_topology(self):
+        return self._core.cluster_topology
+
     def _connection_count(self) -> int:
         return len(self._connections)
 
@@ -181,7 +232,12 @@ class AsyncServerEngine:
             raise
         self._core.address = self.address
         if self.obs.enabled:
-            self.obs.event("aio_server_started", host=self.address[0], port=self.address[1])
+            self.obs.emit(
+                "aio_server_started",
+                host=self.address[0],
+                port=self.address[1],
+                max_clients=self._max_clients,
+            )
         return self.address
 
     def stop(self) -> None:
@@ -203,7 +259,7 @@ class AsyncServerEngine:
                 pass
         self._teardown_loop()
         if self.obs.enabled:
-            self.obs.event("aio_server_stopped")
+            self.obs.emit("aio_server_stopped")
 
     def serve_forever(self) -> None:
         """Block until the engine is shut down (CLI entry point)."""

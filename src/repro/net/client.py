@@ -16,14 +16,53 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Any
+from typing import Any, NamedTuple
 
 from ..errors import DeadlineExceededError, ProtocolError, StoreConnectionError
 from ..obs import Observability, resolve_obs
 from . import protocol
 from .protocol import NIL, SimpleString, WireError
 
-__all__ = ["CacheClient", "Pipeline", "SubscriberClient"]
+__all__ = [
+    "CacheClient",
+    "ClusterAwareClient",
+    "MovedRedirect",
+    "Pipeline",
+    "SubscriberClient",
+    "parse_moved",
+]
+
+
+class MovedRedirect(NamedTuple):
+    """Parsed form of a ``-MOVED <epoch> <shard> <host>:<port>`` redirect.
+
+    A cluster server sends MOVED to a level-3 (hash-routing) client whose
+    routing table is stale: the named shard at ``host:port`` owns the key
+    under topology version *epoch* (see ``docs/cluster.md``).
+    """
+
+    epoch: int
+    shard: str
+    host: str
+    port: int
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+def parse_moved(message: str) -> MovedRedirect | None:
+    """Parse a MOVED redirect out of an error message; ``None`` if it isn't one."""
+    parts = str(message).split()
+    if len(parts) != 4 or parts[0] != "MOVED":
+        return None
+    host, _, port = parts[3].rpartition(":")
+    if not host:
+        return None
+    try:
+        return MovedRedirect(int(parts[1]), parts[2], host, int(port))
+    except ValueError:
+        return None
 
 
 def _ambient_deadline():
@@ -64,6 +103,9 @@ class CacheClient:
         self._stream: Any = None
         self._reader: protocol.FrameReader | None = None
         self._closed = False
+        #: Transparent reconnects performed so far (diagnostics; the cluster
+        #: gate uses it to prove an L3 client converged *without* reconnecting).
+        self.reconnects = 0
 
     # ------------------------------------------------------------------
     # Connection management
@@ -152,6 +194,7 @@ class CacheClient:
                     self._drop_connection()
                     if attempt == 1:
                         break
+                    self.reconnects += 1
                     if self._obs.enabled:
                         self._obs.inc("net.client.reconnects")
                         self._obs.event("reconnect", error=type(exc).__name__)
@@ -164,6 +207,23 @@ class CacheClient:
         if isinstance(frame, WireError):
             raise frame
         return frame
+
+    @property
+    def last_epoch(self) -> int | None:
+        """Most recent topology epoch the server piggybacked on a reply
+        (``None`` until one is seen; resets on reconnect)."""
+        reader = self._reader
+        return None if reader is None else reader.last_epoch
+
+    def call(self, args: "list[bytes | str]") -> protocol.Frame:
+        """Send one raw command and return the decoded reply frame.
+
+        Unlike the typed command methods, error replies come back as
+        :class:`~repro.net.protocol.WireError` *values* rather than being
+        raised -- callers relaying frames verbatim (cluster forwarding)
+        need the error as data.
+        """
+        return self._roundtrip(args)
 
     # ------------------------------------------------------------------
     # Commands
@@ -337,6 +397,81 @@ class CacheClient:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class ClusterAwareClient(CacheClient):
+    """A :class:`CacheClient` that declares cluster intelligence on connect.
+
+    Immediately after every (re)connect it sends ``CEPOCH <epoch> <level>``,
+    telling the server which topology version it routes by and how smart it
+    is (level 2 = topology-subscribed, level 3 = hash-routing; see
+    ``docs/cluster.md``).  The server then piggybacks its epoch on replies
+    whenever the declared epoch is stale, and -- for level 3 -- answers
+    misrouted keys with a ``-MOVED`` redirect instead of proxying.
+
+    Against a pre-cluster server the declaration is rejected with an
+    unknown-command error; the client tolerates that and behaves exactly
+    like a plain :class:`CacheClient`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        level: int = 3,
+        epoch_source=None,
+        connect_timeout: float = 5.0,
+        operation_timeout: float = 30.0,
+        obs: Observability | None = None,
+    ) -> None:
+        if level not in (2, 3):
+            raise ProtocolError(f"cluster intelligence level must be 2 or 3, got {level}")
+        super().__init__(
+            host,
+            port,
+            connect_timeout=connect_timeout,
+            operation_timeout=operation_timeout,
+            obs=obs,
+        )
+        self._level = level
+        #: Zero-arg callable returning the epoch this client routes by; the
+        #: owning smart client supplies its topology's epoch.
+        self._epoch_source = epoch_source if epoch_source is not None else (lambda: 0)
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def _connect(self, timeout: float | None = None) -> None:
+        super()._connect(timeout)
+        # Declare intelligence on the fresh connection.  We are inside the
+        # client lock (callers hold it around _connect), so writing directly
+        # to the stream cannot interleave with another command.
+        try:
+            assert self._stream is not None and self._reader is not None
+            self._stream.write(
+                protocol.encode_command(
+                    ["CEPOCH", str(int(self._epoch_source())), str(self._level)]
+                )
+            )
+            self._stream.flush()
+            self._reader.read_frame(allow_eof=False)
+        except (OSError, ProtocolError) as exc:
+            self._drop_connection()
+            raise StoreConnectionError(
+                f"cluster declaration failed against {self._host}:{self._port}: {exc}"
+            ) from exc
+        # An error reply means a pre-cluster server: keep the connection and
+        # degrade to plain-client behaviour.
+
+    def declare(self, epoch: int) -> None:
+        """Re-declare the routed-by epoch on the live connection.
+
+        Called by the smart client after a topology refresh so the server
+        stops flagging this connection as stale -- no reconnect needed.
+        """
+        self._roundtrip(["CEPOCH", str(int(epoch)), str(self._level)])
 
 
 class Pipeline:

@@ -16,6 +16,14 @@ trivially parseable, self-delimiting, and binary-safe:
   - nil bulk       ``$-1\\r\\n``
   - array          ``*<n>\\r\\n`` followed by *n* responses
 
+* A response may be prefixed by a **topology-epoch header** ``^<epoch>\\r\\n``
+  (cluster serving, see :mod:`repro.cluster`): the server's current
+  topology epoch, piggybacked so a stale client learns of membership
+  changes without polling.  :class:`FrameReader` consumes the header
+  transparently -- it records the value in :attr:`FrameReader.last_epoch`
+  and returns the frame that follows -- so epoch-unaware callers keep
+  working unchanged.
+
 Both the server and the client use :class:`FrameReader` to parse frames off
 a buffered socket file, and the ``encode_*`` helpers to produce them.
 Violations raise :class:`~repro.errors.ProtocolError`.
@@ -38,6 +46,8 @@ __all__ = [
     "encode_bulk",
     "encode_nil",
     "encode_array",
+    "encode_epoch",
+    "encode_frame",
     "FrameReader",
     "try_parse_command",
 ]
@@ -121,6 +131,37 @@ def encode_array(frames: Sequence[bytes]) -> bytes:
     return b"*%d\r\n" % len(frames) + b"".join(frames)
 
 
+def encode_epoch(epoch: int) -> bytes:
+    """Encode a topology-epoch header; prepend it to an encoded reply."""
+    if epoch < 0:
+        raise ProtocolError(f"topology epoch must be non-negative, got {epoch}")
+    return b"^%d\r\n" % epoch
+
+
+def encode_frame(frame: "Frame") -> bytes:
+    """Re-encode a decoded frame (the inverse of ``FrameReader.read_frame``).
+
+    Used when relaying a reply verbatim -- e.g. a cluster shard forwarding
+    a command to the owning peer and splicing the peer's answer into its
+    own response stream.
+    """
+    if isinstance(frame, SimpleString):
+        return encode_simple(str(frame))
+    if isinstance(frame, WireError):
+        return encode_error(str(frame))
+    if isinstance(frame, bool):
+        raise ProtocolError("booleans are not a wire frame type")
+    if isinstance(frame, int):
+        return encode_integer(frame)
+    if isinstance(frame, (bytes, bytearray)):
+        return encode_bulk(bytes(frame))
+    if isinstance(frame, _Nil):
+        return encode_nil()
+    if isinstance(frame, list):
+        return encode_array([encode_frame(member) for member in frame])
+    raise ProtocolError(f"cannot encode frame of type {type(frame).__name__}")
+
+
 class FrameReader:
     """Parses protocol frames from a binary file-like object.
 
@@ -131,6 +172,12 @@ class FrameReader:
 
     def __init__(self, stream: BinaryIO) -> None:
         self._stream = stream
+        #: Most recent topology epoch piggybacked by the server on a reply
+        #: (``^<epoch>\r\n`` header), or ``None`` if none seen yet.  Updated
+        #: as a side effect of :meth:`read_frame`; cluster-aware clients
+        #: compare it against their routing table's epoch to detect
+        #: staleness (see :mod:`repro.cluster`).
+        self.last_epoch: int | None = None
 
     # ------------------------------------------------------------------
     def _read_line(self, *, allow_eof: bool) -> bytes | None:
@@ -186,6 +233,14 @@ class FrameReader:
             if count < 0 or count > 1_000_000:
                 raise ProtocolError(f"unreasonable array length {count}")
             return [self.read_frame(allow_eof=False) for _ in range(count)]
+        if marker == b"^":
+            # Topology-epoch header: record it and return the reply frame
+            # that follows (the header never stands alone).
+            epoch = self._parse_int(body, "topology epoch")
+            if epoch < 0:
+                raise ProtocolError(f"negative topology epoch {epoch}")
+            self.last_epoch = epoch
+            return self.read_frame(allow_eof=False)
         raise ProtocolError(f"unknown frame marker {marker!r}")
 
     def read_command(self) -> list[bytes] | None:

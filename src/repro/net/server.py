@@ -42,9 +42,10 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from ..errors import ConfigurationError, StoreConnectionError
+from ..errors import ConfigurationError, ProtocolError, StoreConnectionError
 from ..obs import Observability
 from . import protocol
+from .client import ClusterAwareClient, parse_moved
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from typing import Callable
@@ -52,6 +53,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..kv.interface import KeyValueStore
 
 __all__ = ["CacheServer", "StoreServer", "ServerHandle", "THREADED_MAX_CLIENTS"]
+
+#: Commands whose first argument is the routing key (cluster serving).
+_SINGLE_KEY_COMMANDS = frozenset({"GET", "SET", "SETEX", "EXISTS", "TTL", "GETVER"})
+#: Commands whose arguments are all routing keys.
+_MULTI_KEY_COMMANDS = frozenset({"DEL", "MGET"})
 
 #: Default concurrent-connection bound for the threaded engine.  Every
 #: connection costs one OS thread (stack reservation, scheduler load), so a
@@ -136,6 +142,13 @@ class CacheServer:
         self._subscribers_lock = threading.Lock()
         self._conn_local = threading.local()
         self._shutdown = threading.Event()
+        # Cluster membership (see repro.cluster): a duck-typed topology
+        # object (epoch / owner(key) / address(name) / encode()) plus this
+        # server's shard name.  ``None`` = standalone server, zero overhead.
+        self.cluster_topology = None
+        self.cluster_self: str | None = None
+        self._peers: dict[tuple[str, int], ClusterAwareClient] = {}
+        self._peers_lock = threading.Lock()
         self.address: tuple[str, int] | None = None
         #: total commands served (diagnostics)
         self.commands_served = 0
@@ -191,6 +204,13 @@ class CacheServer:
             try:
                 conn.close()
             except OSError:
+                pass
+        with self._peers_lock:
+            peers, self._peers = list(self._peers.values()), {}
+        for peer in peers:
+            try:
+                peer.close()
+            except OSError:  # pragma: no cover - defensive
                 pass
 
     def serve_forever(self) -> None:
@@ -284,6 +304,35 @@ class CacheServer:
     def _dispatch(self, command: list[bytes]) -> tuple[bytes, bool]:
         """Execute one command; returns ``(encoded_reply, keep_connection)``.
 
+        When the server is part of a cluster (:meth:`install_topology`),
+        keyed commands are first routed: keys this shard does not own are
+        answered with a ``-MOVED`` redirect (level-3 connections) or proxied
+        to the owning peer (everyone else), and replies to connections that
+        declared a stale epoch get the current epoch piggybacked as a
+        ``^<epoch>`` header.  Standalone servers skip all of it.
+        """
+        topology = self.cluster_topology
+        if topology is None:
+            return self._dispatch_local(command)
+        name = command[0].upper().decode("ascii", errors="replace")
+        routed = self._cluster_route(name, command[1:])
+        if routed is not None:
+            self.commands_served += 1
+            reply, keep_open = routed, True
+        else:
+            reply, keep_open = self._dispatch_local(command)
+        context = getattr(self._conn_local, "context", None)
+        if (
+            context is not None
+            and getattr(context, "cluster_level", 1) >= 2
+            and context.cluster_epoch != topology.epoch
+        ):
+            reply = protocol.encode_epoch(topology.epoch) + reply
+        return reply, keep_open
+
+    def _dispatch_local(self, command: list[bytes]) -> tuple[bytes, bool]:
+        """Execute one command against this server's own keyspace.
+
         Every dispatch is counted and timed into the server's registry
         (``server.cmd.<name>.calls`` / ``.seconds``; error replies also
         count ``server.errors``), which is what ``STATS`` and the HTTP
@@ -335,6 +384,206 @@ class CacheServer:
                     )
                     self._cmd_handles[command] = handles
         return handles
+
+    # ------------------------------------------------------------------
+    # Cluster serving (see repro.cluster and docs/cluster.md)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cluster_key(raw: bytes) -> str:
+        """Wire key -> routing key (must agree with StoreServer._store_key)."""
+        return raw.decode("utf-8", errors="surrogateescape")
+
+    def install_topology(self, topology, self_name: str) -> None:
+        """Join a cluster or adopt a newer topology version.
+
+        *topology* is duck-typed (``repro.cluster.ClusterTopology``: it must
+        offer ``epoch``, ``members``, ``owner(key)``, ``address(name)`` and
+        ``encode()``) so this module never imports :mod:`repro.cluster`.
+        Epochs are monotonic: installing an older version than the current
+        one is a coordination bug and is refused.
+        """
+        current = self.cluster_topology
+        if current is not None and topology.epoch < current.epoch:
+            raise ConfigurationError(
+                f"refusing to install topology epoch {topology.epoch} over "
+                f"newer epoch {current.epoch}"
+            )
+        self.cluster_topology = topology
+        self.cluster_self = self_name
+        if self.obs.enabled:
+            self.obs.gauge("cluster.epoch").set(topology.epoch)
+            self.obs.inc("cluster.topology_installs")
+            self.obs.emit(
+                "topology_changed",
+                epoch=topology.epoch,
+                shard=self_name,
+                members=list(topology.members),
+            )
+
+    def _cmd_topology(self, args: list[bytes]) -> tuple[bytes, bool]:
+        """The cluster's shard map + epoch as a JSON bulk string."""
+        topology = self.cluster_topology
+        if topology is None:
+            return protocol.encode_error("ERR this server is not part of a cluster"), True
+        return protocol.encode_bulk(topology.encode()), True
+
+    def _cmd_cepoch(self, args: list[bytes]) -> tuple[bytes, bool]:
+        """Declare this connection's cluster intelligence: CEPOCH <epoch> [<level>]."""
+        if len(args) not in (1, 2):
+            raise _Arity("expected 1 or 2")
+        try:
+            epoch = int(args[0])
+            level = int(args[1]) if len(args) == 2 else 3
+        except ValueError:
+            return protocol.encode_error("ERR invalid CEPOCH arguments"), True
+        if epoch < 0 or not 1 <= level <= 3:
+            return protocol.encode_error(
+                "ERR CEPOCH wants epoch >= 0 and level 1..3"
+            ), True
+        context = getattr(self._conn_local, "context", None)
+        if context is not None:
+            context.cluster_epoch = epoch
+            context.cluster_level = level
+        return protocol.encode_simple("OK"), True
+
+    def _cluster_route(self, name: str, args: list[bytes]) -> bytes | None:
+        """Cluster routing for one keyed command.
+
+        Returns ``None`` when every key is owned locally (or the command is
+        not keyed) -- execute normally.  Otherwise returns the encoded
+        reply: a ``-MOVED`` redirect for level-3 connections, or the merged
+        result of proxying the misrouted keys to their owners.
+        """
+        topology = self.cluster_topology
+        if topology is None or self.cluster_self is None:
+            return None
+        if name in _SINGLE_KEY_COMMANDS:
+            if not args:
+                return None  # let the handler raise the arity error
+            keys = args[:1]
+        elif name in _MULTI_KEY_COMMANDS:
+            keys = list(args)
+        elif name == "MSET":
+            keys = [args[index] for index in range(0, len(args) - 1, 2)]
+        else:
+            return None
+        owners = {key: topology.owner(self._cluster_key(key)) for key in keys}
+        if all(owner == self.cluster_self for owner in owners.values()):
+            return None
+        context = getattr(self._conn_local, "context", None)
+        if context is not None and getattr(context, "cluster_level", 1) >= 3:
+            # A hash-routing client got here with a stale table: redirect it
+            # to the first misrouted key's owner instead of masking the miss.
+            for key in keys:
+                owner = owners[key]
+                if owner != self.cluster_self:
+                    host, port = topology.address(owner)
+                    if self.obs.enabled:
+                        self.obs.inc("cluster.moved_replies")
+                    return protocol.encode_error(
+                        f"MOVED {topology.epoch} {owner} {host}:{port}"
+                    )
+        try:
+            return self._cluster_forward(name, args, owners, topology)
+        except (OSError, ProtocolError, StoreConnectionError, ConfigurationError) as exc:
+            if self.obs.enabled:
+                self.obs.inc("server.errors")
+            return protocol.encode_error(f"ERR cluster forward failed: {exc}")
+
+    def _cluster_forward(self, name, args, owners, topology) -> bytes:
+        """Proxy misrouted keys to their owners and merge the replies.
+
+        This is the level-1 service: any shard accepts any command and the
+        cluster looks like one big server.  Multi-key commands scatter to
+        every involved owner and gather in argument order.
+        """
+        if self.obs.enabled:
+            self.obs.inc("cluster.forwarded")
+        name_b = name.encode("ascii")
+        if name in _SINGLE_KEY_COMMANDS:
+            frame = self._peer_call(topology, owners[args[0]], [name_b, *args])
+            return protocol.encode_frame(frame)
+        if name == "MGET":
+            frames: list[bytes | None] = [None] * len(args)
+            remote: dict[str, list[int]] = {}
+            for index, key in enumerate(args):
+                owner = owners[key]
+                if owner == self.cluster_self:
+                    frames[index] = self._cmd_get([key])[0]
+                else:
+                    remote.setdefault(owner, []).append(index)
+            for owner, indexes in remote.items():
+                reply = self._peer_call(
+                    topology, owner, [b"MGET", *[args[i] for i in indexes]]
+                )
+                if not isinstance(reply, list) or len(reply) != len(indexes):
+                    raise ProtocolError("peer MGET returned a malformed array")
+                for index, member in zip(indexes, reply):
+                    frames[index] = protocol.encode_frame(member)
+            return protocol.encode_array([frame for frame in frames if frame is not None])
+        if name == "DEL":
+            local = [key for key in args if owners[key] == self.cluster_self]
+            remote = {}
+            for key in args:
+                if owners[key] != self.cluster_self:
+                    remote.setdefault(owners[key], []).append(key)
+            removed = 0
+            if local:
+                removed += int(self._cmd_del(local)[0][1:-2])
+            for owner, keys in remote.items():
+                reply = self._peer_call(topology, owner, [b"DEL", *keys])
+                if isinstance(reply, protocol.WireError):
+                    raise ProtocolError(f"peer DEL failed: {reply}")
+                removed += int(reply)
+            return protocol.encode_integer(removed)
+        if name == "MSET":
+            local: list[bytes] = []
+            remote = {}
+            for index in range(0, len(args) - 1, 2):
+                key, value = args[index], args[index + 1]
+                if owners[key] == self.cluster_self:
+                    local.extend((key, value))
+                else:
+                    remote.setdefault(owners[key], []).extend((key, value))
+            if local:
+                self._cmd_mset(local)
+            for owner, flat in remote.items():
+                reply = self._peer_call(topology, owner, [b"MSET", *flat])
+                if isinstance(reply, protocol.WireError):
+                    raise ProtocolError(f"peer MSET failed: {reply}")
+            return protocol.encode_simple("OK")
+        raise ProtocolError(f"command {name} is not forwardable")  # pragma: no cover
+
+    def _peer_call(self, topology, owner: str, command: list[bytes]):
+        """One round trip to the peer shard *owner*, following one MOVED hop.
+
+        Peer connections declare level 3, so a peer with a newer topology
+        answers MOVED rather than forwarding onward -- forwarding chains
+        (and cycles, during a topology install) are impossible by
+        construction.
+        """
+        address = topology.address(owner)
+        frame = self._peer(address).call(command)
+        if isinstance(frame, protocol.WireError):
+            moved = parse_moved(str(frame))
+            if moved is not None:
+                frame = self._peer(moved.address).call(command)
+        return frame
+
+    def _peer(self, address: tuple[str, int]) -> ClusterAwareClient:
+        with self._peers_lock:
+            peer = self._peers.get(address)
+            if peer is None:
+                peer = ClusterAwareClient(
+                    address[0],
+                    address[1],
+                    level=3,
+                    epoch_source=lambda: (
+                        self.cluster_topology.epoch if self.cluster_topology else 0
+                    ),
+                )
+                self._peers[address] = peer
+            return peer
 
     # Each handler returns (encoded_reply, keep_connection).
 
@@ -488,6 +737,11 @@ class CacheServer:
             ("server.max_clients", str(self._max_clients or 0)),
             ("server.rejected_clients", str(self.rejected_clients)),
         ]
+        topology = self.cluster_topology
+        if topology is not None:
+            pairs.append(("cluster.epoch", str(topology.epoch)))
+            pairs.append(("cluster.self", self.cluster_self or ""))
+            pairs.append(("cluster.shards", str(len(topology.members))))
         if self.obs.enabled:
             snapshot = self.obs.registry.snapshot()
             pairs.append(
@@ -752,13 +1006,21 @@ class StoreServer(CacheServer):
 
 
 class _ConnectionContext:
-    """A connection's write side, guarded against concurrent pushers."""
+    """A connection's write side, guarded against concurrent pushers.
 
-    __slots__ = ("_stream", "_lock")
+    Also carries the connection's declared cluster intelligence (set by the
+    ``CEPOCH`` command): the topology epoch the peer routes by and its
+    level (1 = proxy-through-any-node, 2 = topology-subscribed, 3 =
+    hash-routing; see ``docs/cluster.md``).
+    """
+
+    __slots__ = ("_stream", "_lock", "cluster_epoch", "cluster_level")
 
     def __init__(self, stream) -> None:
         self._stream = stream
         self._lock = threading.Lock()
+        self.cluster_epoch: int | None = None
+        self.cluster_level = 1
 
     def send(self, frame: bytes) -> None:
         with self._lock:

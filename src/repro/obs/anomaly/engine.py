@@ -285,6 +285,26 @@ class AnomalyEngine:
         if self.events is not None:
             self.events.emit(kind, **fields)
 
+    def _correlation_hint(self, series: str) -> dict[str, Any] | None:
+        """Root-cause hint from the frequent-directions sketch.
+
+        The sketch's top direction names the series that have been moving
+        *together*; the ones co-moving with the firing series are the first
+        places to look for a cause (``docs/anomaly.md``).
+        """
+        if self._fd is None or not self._fd.appended:
+            return None
+        directions = self._fd.directions()
+        if not directions:
+            return None
+        weight, _direction = directions[0]
+        correlated = [self._correlate[i] for i in self._fd.correlates()]
+        return {
+            "weight": round(weight, 6),
+            "correlated": correlated,
+            "co_moving": [name for name in correlated if name != series],
+        }
+
     def _on_detected(self, rule: DetectorRule, event: RuleEvent, now: float) -> None:
         self._detected.inc()
         record = {
@@ -296,6 +316,9 @@ class AnomalyEngine:
             "detail": dict(event.detail),
             "actions": [],
         }
+        hint = self._correlation_hint(event.series)
+        if hint is not None:
+            record["correlation"] = hint
         self._active[rule.name] = record
         action_names: list[str] = []
         for action in self._actions.get(rule.name, ()):
@@ -318,6 +341,7 @@ class AnomalyEngine:
             threshold=event.threshold,
             exemplar=self._exemplar(event.series),
             actions=action_names,
+            co_moving=None if hint is None else hint["co_moving"],
             **event.detail,
         )
 

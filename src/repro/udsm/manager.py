@@ -283,6 +283,49 @@ class UniversalDataStoreManager:
         )
         return self.register(name, composite)
 
+    def cluster(
+        self,
+        members: "list[str]",
+        *,
+        name: str = "cluster",
+        level: int = 3,
+        engine: str = "threaded",
+        replicas: int = 64,
+    ) -> "MonitoredStore":
+        """Serve registered stores as shards of one topology-aware cluster
+        and register the smart client under *name* (monitored like any store).
+
+        Each member store gets its own in-process shard server (real TCP,
+        engine selectable); the registered composite is a
+        :class:`~repro.cluster.ClusterStoreClient` at the requested
+        intelligence *level* (1 = proxy through any node, 2 =
+        topology-subscribed, 3 = hash-routing -- see ``docs/cluster.md``).
+        Closing the composite (e.g. via :meth:`close`) also stops the shard
+        servers; the member stores themselves stay owned by the registry.
+        ``cluster.*`` metrics and ``topology_changed``/``rebalance`` events
+        land in the shared registry.
+        """
+        from ..cluster import ClusterCoordinator, ClusterStoreClient
+
+        if not members:
+            raise ConfigurationError("a cluster needs at least one member store")
+        shared_obs = self.obs if self.obs.enabled else None
+        coordinator = ClusterCoordinator(engine=engine, replicas=replicas, obs=shared_obs)
+        try:
+            for member in members:
+                coordinator.add_shard(member, self.raw_store(member))
+            composite = ClusterStoreClient(
+                coordinator.seeds,
+                level=level,
+                name=name,
+                obs=shared_obs,
+                coordinator=coordinator,  # client.close() stops the servers
+            )
+        except BaseException:
+            coordinator.stop()
+            raise
+        return self.register(name, composite)
+
     def migrate(self, source: str, destination: str, **options: Any) -> Any:
         """Copy every key from one registered store to another.
 

@@ -386,3 +386,42 @@ class TestMaxClients:
         else:
             pytest.fail("slot was not released after disconnect")
         srv.stop()
+
+
+class TestFdBudgetProbe:
+    """ASYNC_MAX_CLIENTS follows the process fd budget, not a magic 4096."""
+
+    def test_probe_matches_rlimit(self):
+        resource = pytest.importorskip("resource")
+        from repro.net.aio import FD_HEADROOM, probe_fd_budget
+
+        soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        expected = max(128, min(soft - FD_HEADROOM, 1 << 20))
+        assert probe_fd_budget() == expected
+
+    def test_floor_and_headroom(self):
+        from repro.net.aio import probe_fd_budget
+
+        resource = pytest.importorskip("resource")
+        soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        # A headroom larger than the soft limit cannot drive the bound to
+        # zero: the floor keeps the server able to accept at all.
+        assert probe_fd_budget(headroom=soft + 10_000) == 128
+
+    def test_module_default_uses_probe(self):
+        from repro.net import aio
+
+        assert aio.ASYNC_MAX_CLIENTS == aio.probe_fd_budget()
+        assert aio.ASYNC_MAX_CLIENTS >= 128
+
+    def test_started_event_reports_bound(self):
+        from repro.obs import EventLog, Observability
+
+        obs = Observability(events=EventLog())
+        srv = AsyncCacheServer(max_clients=77, obs=obs)
+        srv.start()
+        try:
+            [event] = obs.events.tail(kind="aio_server_started")
+            assert event["max_clients"] == 77
+        finally:
+            srv.stop()

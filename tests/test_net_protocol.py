@@ -64,6 +64,99 @@ class TestEncodingRoundtrips:
         assert read_one(protocol.encode_bulk(data)) == data
 
 
+class TestEpochHeader:
+    """The ``^<epoch>`` cluster header piggybacked ahead of a reply."""
+
+    def test_epoch_prefix_is_transparent(self):
+        reader = FrameReader(
+            io.BytesIO(protocol.encode_epoch(7) + protocol.encode_simple("OK"))
+        )
+        assert reader.read_frame() == SimpleString("OK")
+        assert reader.last_epoch == 7
+
+    def test_no_epoch_leaves_last_epoch_none(self):
+        reader = FrameReader(io.BytesIO(protocol.encode_simple("OK")))
+        reader.read_frame()
+        assert reader.last_epoch is None
+
+    def test_last_epoch_persists_across_unstamped_frames(self):
+        stream = (
+            protocol.encode_epoch(3)
+            + protocol.encode_integer(1)
+            + protocol.encode_integer(2)
+        )
+        reader = FrameReader(io.BytesIO(stream))
+        assert reader.read_frame() == 1
+        assert reader.read_frame() == 2
+        assert reader.last_epoch == 3
+
+    def test_newer_epoch_overwrites(self):
+        stream = (
+            protocol.encode_epoch(3)
+            + protocol.encode_integer(1)
+            + protocol.encode_epoch(9)
+            + protocol.encode_integer(2)
+        )
+        reader = FrameReader(io.BytesIO(stream))
+        reader.read_frame()
+        reader.read_frame()
+        assert reader.last_epoch == 9
+
+    def test_epoch_without_frame_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(protocol.encode_epoch(4))
+
+    def test_negative_epoch_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_epoch(-1)
+
+    def test_negative_epoch_rejected_on_read(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"^-2\r\n:1\r\n")
+
+    def test_malformed_epoch_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"^abc\r\n:1\r\n")
+
+    @given(st.integers(0, 10**12))
+    @settings(max_examples=50)
+    def test_any_epoch_roundtrips(self, epoch):
+        reader = FrameReader(
+            io.BytesIO(protocol.encode_epoch(epoch) + protocol.encode_nil())
+        )
+        assert reader.read_frame() is NIL
+        assert reader.last_epoch == epoch
+
+
+class TestEncodeFrame:
+    """Re-encoding decoded frames (the server's forwarding path)."""
+
+    @pytest.mark.parametrize(
+        "frame",
+        [SimpleString("OK"), 42, -7, b"", b"payload", NIL, [b"a", 1, NIL, [b"b"]]],
+    )
+    def test_roundtrip(self, frame):
+        assert read_one(protocol.encode_frame(frame)) == frame
+
+    def test_wire_error_roundtrips(self):
+        frame = read_one(protocol.encode_frame(WireError("ERR nope")))
+        assert isinstance(frame, WireError)
+        assert "nope" in str(frame)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame(True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame(object())
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=50)
+    def test_any_bulk_reencodes(self, data):
+        assert read_one(protocol.encode_frame(data)) == data
+
+
 class TestMalformedInput:
     def test_clean_eof_returns_none(self):
         assert read_one(b"") is None

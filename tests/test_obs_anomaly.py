@@ -739,6 +739,40 @@ class TestEnginePolling:
         assert correlation["series"] == ["a", "b"]
         assert set(correlation["correlated"]) == {"a", "b"}
 
+    def test_detection_carries_correlation_hint(self, stack):
+        """A firing rule names the co-moving series (root-cause hint)."""
+        clock, obs, _default = stack
+        engine = AnomalyEngine(obs, clock=clock, correlate=("a", "b", "quiet"))
+        engine.add_rule(ThresholdRule("hot", "a", limit=100.0, trigger_after=1))
+        a, b = obs.registry.gauge("a"), obs.registry.gauge("b")
+        for step in range(12):
+            a.set(float(step))
+            b.set(float(step))
+            tick(clock, engine)
+        a.set(500.0)
+        b.set(500.0)
+        [event] = tick(clock, engine)
+        record = engine.active()[0]
+        hint = record["correlation"]
+        assert "a" in hint["correlated"]
+        assert hint["co_moving"] == ["b"]  # the firing series itself excluded
+        assert "quiet" not in hint["co_moving"]
+        assert hint["weight"] > 0
+        [detected] = obs.events.tail(kind="anomaly_detected")
+        assert detected["co_moving"] == ["b"]
+        assert record["correlation"] == engine.status()["active"][0]["correlation"]
+
+    def test_detection_without_sketch_has_no_hint(self, stack):
+        clock, obs, engine = stack  # default engine: no correlate series
+        engine.add_rule(ThresholdRule("r", "g", limit=5.0, trigger_after=1))
+        gauge = obs.registry.gauge("g")
+        tick(clock, engine)
+        gauge.set(10.0)
+        tick(clock, engine)
+        assert "correlation" not in engine.active()[0]
+        [detected] = obs.events.tail(kind="anomaly_detected")
+        assert detected["co_moving"] is None
+
     def test_background_thread_lifecycle(self, stack):
         _clock, _obs, engine = stack
         engine.poll_interval = 60.0  # never actually fires during the test
