@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import random
 import statistics
+import threading
 import time
 
 import pytest
@@ -28,6 +29,12 @@ OPERATIONS = 1_000
 VALUE_SIZE = 1_024
 BACKENDS = ("lsm", "file", "sql")
 
+FSYNC_WRITERS = 8
+FSYNC_ROUNDS = 7
+FSYNC_PER_OP_OPS = 200       # per round (25 per writer, one sync each)
+FSYNC_GROUP_OPS = 400        # per round (50 per writer, batched syncs)
+FSYNC_VALUE_SIZE = 128       # durability-bound workloads are small records
+
 NOTE = (
     f"Embedded durable backends, {OPERATIONS} ops of {VALUE_SIZE} B values; "
     "per-op samples (x = value bytes), so p50/p95/p99 in the JSON are true "
@@ -35,8 +42,21 @@ NOTE = (
     "(scan = one full keys_with_prefix pass per sample).  "
     "lsm_read_cache_on / lsm_read_cache_off isolate the block cache: same "
     "flushed working set, warmed, read with the default 8 MiB budget vs "
-    "block_cache_bytes=0."
+    "block_cache_bytes=0.  "
+    f"lsm_fsync_* measure durable writes ({FSYNC_VALUE_SIZE} B records, "
+    f"x = record bytes, {FSYNC_ROUNDS} interleaved rounds of "
+    f"{FSYNC_WRITERS} concurrent writers each): _per_op_write = the "
+    "pre-group-commit engine (wal_batch_records=1, one disk sync per "
+    "put); _group_write = the same workload through the commit "
+    "pipeline.  *_amortized = wall-clock/ops per round, the honest "
+    "aggregate per-op cost whose derived throughput is the multi-writer "
+    "number (shape: group median >= 3x cheaper than per-op)."
 )
+
+# Written by test_fsync_write_path, asserted by the shape test below --
+# medians over interleaved rounds, so a load spike mid-bench hits both
+# sides instead of one.
+_fsync_results: dict[str, list[float]] = {"per_op": [], "group": []}
 
 
 def make_store(name, root):
@@ -49,6 +69,104 @@ def make_store(name, root):
 
 def payload_for(index: int) -> str:
     return f"{index:08d}" + "x" * (VALUE_SIZE - 8)
+
+
+def _run_fsync_round(store, series, collector, ops, tag):
+    """Drive ``ops`` durable puts through 8 concurrent writers.
+
+    Returns wall-clock/ops.  Per-waiter latencies are buffered locally
+    in each worker and recorded only after the join, so the collector's
+    bookkeeping never competes for the GIL inside the timed window.
+    """
+    value = "v" * FSYNC_VALUE_SIZE
+    per_writer = ops // FSYNC_WRITERS
+    barrier = threading.Barrier(FSYNC_WRITERS + 1)
+    samples: list[list[float]] = [[] for _ in range(FSYNC_WRITERS)]
+
+    def worker(w: int) -> None:
+        mine = samples[w]
+        barrier.wait(timeout=60.0)
+        for i in range(per_writer):
+            start = time.perf_counter()
+            store.put(f"bench-{tag}-w{w}-{i:05d}", value)
+            mine.append(time.perf_counter() - start)
+
+    threads = [
+        threading.Thread(target=worker, args=(w,))
+        for w in range(FSYNC_WRITERS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60.0)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    wall = time.perf_counter() - wall_start
+    for mine in samples:
+        for elapsed in mine:
+            collector.record(FIGURE, series, FSYNC_VALUE_SIZE, elapsed)
+    return wall / ops
+
+
+def test_fsync_write_path(benchmark, collector, tmp_path):
+    """Durable (``fsync=True``) writes: per-op sync vs group commit.
+
+    Both sides run the same 8-writer workload.  The baseline store sets
+    ``wal_batch_records=1`` -- the pre-group-commit engine, one disk
+    sync per put -- while the group store batches frames behind shared
+    syncs.  ``lsm_fsync_per_op_write`` / ``lsm_fsync_group_write``
+    record what each waiter experiences; ``*_amortized`` record
+    wall-clock/ops per round, the honest aggregate per-op cost whose
+    derived throughput is the multi-writer number.  Rounds interleave
+    so disk-latency drift lands on both series alike.
+    """
+    benchmark.group = "backend-lsm-write"
+    obs = Observability()
+    per_op_store = LSMStore(tmp_path / "per_op.lsm", fsync=True,
+                            wal_batch_records=1, wal_gather_window_s=0.0)
+    group = LSMStore(tmp_path / "group.lsm", fsync=True, obs=obs)
+
+    def run() -> None:
+        for round_number in range(FSYNC_ROUNDS):
+            _fsync_results["per_op"].append(_run_fsync_round(
+                per_op_store, "lsm_fsync_per_op_write", collector,
+                FSYNC_PER_OP_OPS, f"p{round_number}"))
+            _fsync_results["group"].append(_run_fsync_round(
+                group, "lsm_fsync_group_write", collector,
+                FSYNC_GROUP_OPS, f"g{round_number}"))
+
+    benchmark.pedantic(run, rounds=1)
+
+    for name, rounds in _fsync_results.items():
+        for amortized in rounds:
+            collector.record(FIGURE, f"lsm_fsync_{name}_amortized",
+                             FSYNC_VALUE_SIZE, amortized)
+    # Group commit must actually have batched: far fewer syncs than appends.
+    appends = obs.registry.counter("lsm.wal.appends").value
+    commits = obs.registry.counter("lsm.wal.group_commits").value
+    assert appends == FSYNC_GROUP_OPS * FSYNC_ROUNDS
+    assert 0 < commits < appends
+    per_op_store.close()
+    group.close()
+
+
+def test_fsync_group_commit_beats_per_op_sync(benchmark, collector):
+    """Shape: with 8 concurrent writers, group commit must amortize to
+    >= 3x cheaper per op than the one-sync-per-op engine (the acceptance
+    bar for the whole group-commit layer).  Medians over interleaved
+    rounds keep a one-off disk-latency spike from deciding the verdict."""
+    benchmark.group = "backend-lsm-write"
+    benchmark.pedantic(lambda: None, rounds=1)
+    assert len(_fsync_results["per_op"]) == FSYNC_ROUNDS
+    assert len(_fsync_results["group"]) == FSYNC_ROUNDS
+    per_op = statistics.median(_fsync_results["per_op"])
+    amortized = statistics.median(_fsync_results["group"])
+    assert per_op / amortized >= 3.0
+    # The JSON carries the same verdict for readers of the figure.
+    assert collector.mean_at(FIGURE, "lsm_fsync_per_op_amortized",
+                             FSYNC_VALUE_SIZE) is not None
+    assert collector.mean_at(FIGURE, "lsm_fsync_group_amortized",
+                             FSYNC_VALUE_SIZE) is not None
 
 
 @pytest.mark.parametrize("name", BACKENDS)

@@ -21,21 +21,29 @@ a fresh store over the copy serves every acknowledged write:
   resurrected or lost), and the mirror crash -- swap committed, inputs
   not yet unlinked -- sweeps the inputs and keeps the output;
 * orphaned ``*.sst.tmp`` files from a crashed table write are swept;
-* a PR-4-era directory (no MANIFEST) opens cleanly and writes one.
+* a PR-4-era directory (no MANIFEST) opens cleanly and writes one;
+* power loss in the middle of a group-commit sync (concurrent
+  ``fsync=True`` writers) loses no write acknowledged before the crash
+  point, including when the snapshot's WAL tail is additionally torn;
+* a failed sync poisons the WAL segment (fsyncgate: never retried), the
+  store rejects further mutations, the failed write is NOT resurrected
+  by recovery, and a reopened store accepts writes again.
 
 Exit status 0 when every scenario holds; 1 otherwise.
 """
 
 from __future__ import annotations
 
+import os
 import shutil
 import sys
 import tempfile
+import threading
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.errors import KeyNotFoundError  # noqa: E402
+from repro.errors import KeyNotFoundError, WalPoisonedError  # noqa: E402
 from repro.lsm import (  # noqa: E402
     MANIFEST_NAME,
     LSMStore,
@@ -44,6 +52,7 @@ from repro.lsm import (  # noqa: E402
     merge_tables,
     write_sstable,
 )
+from repro.lsm import wal as wal_module  # noqa: E402
 
 
 def _expect(errors: list[str], condition: bool, message: str) -> None:
@@ -347,6 +356,162 @@ def check_manifest_migration() -> list[str]:
     return errors
 
 
+def check_group_commit_mid_batch_crash() -> list[str]:
+    """Power loss mid-sync under concurrent durable writers: every write
+    acknowledged before the crash point must survive recovery.
+
+    Six ``fsync=True`` threads hammer overlapping keys while a wrapped
+    ``fsync`` snapshots the live directory at the start of sync #5 --
+    the acknowledged set at that instant is exactly what a previous,
+    completed sync has made durable.  Each key is written by one thread
+    with increasing sequence numbers, so recovery must serve either the
+    acknowledged value or a later one (the in-flight batch was written,
+    just not yet acknowledged), and never an earlier or phantom value.
+    A second recovery additionally tears the snapshot's WAL tail
+    mid-frame, which may only cost unacknowledged in-flight frames.
+    """
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        store = LSMStore(workdir / "db", fsync=True)
+        lock = threading.Lock()
+        acked: dict[str, int] = {}
+        state: dict[str, object] = {"calls": 0, "snapshot": None, "acked": None}
+
+        def snapping_fsync(fd: int) -> None:
+            with lock:
+                state["calls"] += 1
+                if state["calls"] == 5 and state["snapshot"] is None:
+                    state["acked"] = dict(acked)
+                    target = workdir / "crashed"
+                    shutil.copytree(store.native(), target)
+                    state["snapshot"] = target
+            os.fsync(fd)
+
+        wal_module._fsync = snapping_fsync
+        failures: list[BaseException] = []
+        try:
+            barrier = threading.Barrier(6)
+
+            def worker(t: int) -> None:
+                barrier.wait(timeout=10.0)
+                try:
+                    for i in range(25):
+                        key = f"t{t}-k{i % 5}"
+                        store.put(key, i)
+                        with lock:
+                            acked[key] = i
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(t,)) for t in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+        finally:
+            wal_module._fsync = os.fsync
+        store.close()
+        _expect(errors, not failures, f"mid-batch crash: writer failed: {failures[:1]}")
+        snapshot = state["snapshot"]
+        _expect(errors, snapshot is not None, "mid-batch crash: sync #5 never ran")
+        if snapshot is None:
+            return errors
+        acked_at_crash: dict[str, int] = state["acked"]  # type: ignore[assignment]
+
+        def verify(root: Path, label: str) -> None:
+            with LSMStore(root) as recovered:
+                got = {key: recovered.get(key) for key in recovered.keys()}
+            for key, seq in acked_at_crash.items():
+                if key not in got:
+                    errors.append(f"{label}: acknowledged {key!r} lost")
+                    return
+                if got[key] < seq:
+                    errors.append(
+                        f"{label}: {key!r} rolled back to {got[key]} "
+                        f"(acknowledged {seq})"
+                    )
+                    return
+            phantom = [key for key in got if key not in acked]
+            _expect(errors, not phantom, f"{label}: phantom keys {phantom[:5]}")
+
+        verify(snapshot, "mid-batch crash")
+        # Same power loss, plus a torn final frame on the copied WAL.
+        torn = workdir / "crashed-torn"
+        shutil.copytree(snapshot, torn)
+        (wal_path,) = torn.glob("wal-*.log")
+        size = wal_path.stat().st_size
+        if size > 3:
+            with open(wal_path, "rb+") as handle:
+                handle.truncate(size - 3)
+        verify(torn, "mid-batch crash, torn tail")
+    finally:
+        wal_module._fsync = os.fsync
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
+def check_poisoned_sync() -> list[str]:
+    """A failed sync must poison the WAL: the store stops accepting
+    mutations (never retries -- fsyncgate), the failed write is not
+    resurrected by recovery, and a reopen restores a writable store."""
+    errors: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="check-lsm-"))
+    try:
+        store = LSMStore(workdir / "db", fsync=True)
+        expected: dict[str, object] = {}
+        for i in range(20):
+            store.put(f"key-{i:02d}", i)
+            expected[f"key-{i:02d}"] = i
+
+        armed = {"live": True}
+
+        def failing_fsync(fd: int) -> None:
+            if armed["live"]:
+                armed["live"] = False
+                raise OSError(5, "Input/output error")
+            os.fsync(fd)
+
+        wal_module._fsync = failing_fsync
+        try:
+            try:
+                store.put("doomed", "never acknowledged")
+                errors.append("poisoned sync: failed write acknowledged anyway")
+            except WalPoisonedError:
+                pass
+            # Retrying would falsely succeed (the kernel cleared the
+            # error); the store must refuse instead.
+            for attempt in (lambda: store.put("retry", 1),
+                            lambda: store.delete("key-00")):
+                try:
+                    attempt()
+                    errors.append("poisoned sync: mutation accepted after poison")
+                except WalPoisonedError:
+                    pass
+            _expect(errors, store.get("key-07") == 7,
+                    "poisoned sync: acknowledged read broken on live store")
+            _expect(errors, store.stats()["wal_poisoned"] is True,
+                    "poisoned sync: stats() hides the poisoning")
+            crashed = _crash_copy(store, workdir, "crashed")
+            store.close()
+        finally:
+            wal_module._fsync = os.fsync
+        with LSMStore(crashed, fsync=True) as recovered:
+            _verify_exact_contents(errors, recovered, expected, "poisoned sync")
+            try:
+                recovered.get("doomed")
+                errors.append("poisoned sync: failed write resurrected by recovery")
+            except KeyNotFoundError:
+                pass
+            recovered.put("fresh", "writable again")
+            _expect(errors, recovered.get("fresh") == "writable again",
+                    "poisoned sync: reopened store not writable")
+    finally:
+        wal_module._fsync = os.fsync
+        shutil.rmtree(workdir, ignore_errors=True)
+    return errors
+
+
 CHECKS = [
     ("wal-only crash", check_wal_only_crash),
     ("torn WAL tail", check_torn_tail),
@@ -359,6 +524,8 @@ CHECKS = [
     ("crash after swap commit", check_crash_after_swap_commit),
     ("orphan tmp sweep", check_orphan_tmp_sweep),
     ("manifest migration", check_manifest_migration),
+    ("group-commit mid-batch crash", check_group_commit_mid_batch_crash),
+    ("poisoned sync", check_poisoned_sync),
 ]
 
 

@@ -35,6 +35,7 @@ from .errors import (
     KeyNotFoundError,
     SerializationError,
     StoreConnectionError,
+    WalPoisonedError,
 )
 from .serialization import (
     BytesSerializer,
@@ -139,6 +140,7 @@ __all__ = [
     "ConfigurationError",
     "CircuitOpenError",
     "DeadlineExceededError",
+    "WalPoisonedError",
     # serialization
     "Serializer",
     "PickleSerializer",

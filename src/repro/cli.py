@@ -1113,6 +1113,13 @@ def cmd_lsm(options: argparse.Namespace) -> int:
             ("memtable bytes", stats["memtable_bytes"]),
             ("wal segment", stats["wal_segment"]),
             ("wal bytes", stats["wal_bytes"]),
+            ("wal poisoned", "yes" if stats["wal_poisoned"] else "no"),
+            (
+                "group commit",
+                f"{stats['group_commit']['committed']} records in "
+                f"{stats['group_commit']['batches']} batches "
+                f"(largest {stats['group_commit']['largest_batch']})",
+            ),
             ("manifest bytes", stats["manifest_bytes"]),
             ("sstables", stats["sstables"]),
             ("sstable records", stats["sstable_records"]),

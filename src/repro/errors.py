@@ -34,6 +34,21 @@ class StoreConnectionError(DataStoreError):
     """The client could not reach, or lost its connection to, a server."""
 
 
+class WalPoisonedError(DataStoreError):
+    """A write-ahead log segment failed a durability sync and is poisoned.
+
+    After a failed ``flush``/``fsync`` the on-disk state of the segment is
+    unknowable -- the frame may or may not be durable, and on Linux a
+    *retried* fsync can falsely succeed because the kernel clears the
+    dirty-page error state on report (the "fsyncgate" failure mode).  The
+    engine therefore never retries: the segment refuses further appends,
+    the un-acknowledged suffix is truncated away best-effort, and the
+    owning store fails new mutations until it is reopened (reopening
+    replays exactly the acknowledged prefix).  Reads of already
+    acknowledged data remain correct and keep working.
+    """
+
+
 class ProtocolError(DataStoreError):
     """The remote peer sent data that violates the wire protocol."""
 

@@ -24,11 +24,12 @@ from .manifest import MANIFEST_NAME, Manifest
 from .memtable import TOMBSTONE, Memtable
 from .sstable import MISSING, SSTable, write_sstable
 from .store import LSMStore
-from .wal import OP_DELETE, OP_PUT, WalRecord, WriteAheadLog
+from .wal import OP_DELETE, OP_PUT, CommitPipeline, WalRecord, WriteAheadLog
 
 __all__ = [
     "LSMStore",
     "WriteAheadLog",
+    "CommitPipeline",
     "WalRecord",
     "OP_PUT",
     "OP_DELETE",

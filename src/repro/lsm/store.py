@@ -9,11 +9,20 @@ one sequential append to a write-ahead log plus one dict update, and the
 expensive work -- sorting, file layout, merging -- happens later, in
 batches.
 
-Write path::
+Write path (group commit, see :class:`repro.lsm.wal.CommitPipeline`)::
 
-    put(k, v) --> WAL append (durability) --> memtable (visibility)
+    put(k, v) --> encode frame --> commit pipeline (batch write + one
+                  fsync per batch, leader/waiter) --> memtable
+                  (visibility, applied in batch order by the leader)
                                    \-- memtable full? seal it, flush to an
                                        SSTable, delete its WAL segment
+
+Concurrent writers share one durability sync per batch instead of one
+each, and an acknowledgement still means the same thing: the record is
+in the WAL (on disk with ``fsync=True``) *and* visible, in WAL order.
+A failed sync poisons the WAL segment and fails the store for further
+mutations -- the un-acked suffix is truncated away so recovery cannot
+resurrect a write whose caller saw an error (see ``docs/lsm.md``).
 
 Read path (newest wins, first hit returns)::
 
@@ -55,7 +64,13 @@ from heapq import heappop, heappush
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
-from ..errors import ConfigurationError, DataStoreError, KeyNotFoundError, StoreClosedError
+from ..errors import (
+    ConfigurationError,
+    DataStoreError,
+    KeyNotFoundError,
+    StoreClosedError,
+    WalPoisonedError,
+)
 from ..kv.interface import KeyValueStore, content_version
 from ..obs import Observability, resolve_obs
 from ..serialization import Serializer, default_serializer
@@ -64,7 +79,7 @@ from .compaction import InlineScheduler, SizeTieredPolicy, merge_tables
 from .manifest import MANIFEST_NAME, Manifest, require_tables_on_disk
 from .memtable import Memtable, Tombstone
 from .sstable import MISSING, SSTable, write_sstable
-from .wal import OP_DELETE, OP_PUT, WriteAheadLog
+from .wal import OP_DELETE, OP_PUT, CommitPipeline, WriteAheadLog, encode_record
 
 __all__ = ["LSMStore"]
 
@@ -97,6 +112,9 @@ class LSMStore(KeyValueStore):
         auto_compact: bool = True,
         block_cache_bytes: int = 8 * 1024 * 1024,
         fsync: bool = False,
+        wal_batch_records: int = 128,
+        wal_batch_bytes: int = 1 << 20,
+        wal_gather_window_s: float = 0.0003,
         clock: Callable[[], float] | None = None,
         create: bool = True,
         obs: Observability | None = None,
@@ -120,10 +138,19 @@ class LSMStore(KeyValueStore):
             decoded SSTable blocks (default 8 MiB); hot point reads and
             prefix scans are served from memory instead of ``pread``.
             ``0`` disables the cache.
-        :param fsync: fsync the WAL on every append (durable against OS
-            crashes, not just process crashes; slower).  Also makes
-            SSTable/MANIFEST renames durable (file + parent directory
-            fsync).
+        :param fsync: fsync the WAL on every commit batch (durable
+            against OS crashes, not just process crashes; slower).  Also
+            makes SSTable/MANIFEST renames durable (file + parent
+            directory fsync).  Group commit amortizes the sync across
+            concurrent writers: N writers in flight pay ~one sync per
+            batch, not one each.
+        :param wal_batch_records: most records one commit batch may
+            carry (bounds how long any single waiter can be held).
+        :param wal_batch_bytes: byte bound per commit batch.
+        :param wal_gather_window_s: how long a commit leader may wait
+            for more concurrent writers before syncing a batch.  Only
+            paid when the previous batch actually had company, so a
+            single writer keeps per-op latency; ``0`` disables it.
         :param clock: monotonic clock used to time flushes/compactions for
             the journal (injectable so tests are deterministic).
         :param obs: observability bundle (metrics + journal events).
@@ -134,6 +161,10 @@ class LSMStore(KeyValueStore):
             raise ConfigurationError("index_interval must be positive")
         if block_cache_bytes < 0:
             raise ConfigurationError("block_cache_bytes must be >= 0 (0 disables)")
+        if wal_batch_records < 1:
+            raise ConfigurationError("wal_batch_records must be positive")
+        if wal_batch_bytes < 1:
+            raise ConfigurationError("wal_batch_bytes must be positive")
         self.name = name
         self._root = Path(root)
         self._serializer = serializer if serializer is not None else default_serializer()
@@ -149,7 +180,9 @@ class LSMStore(KeyValueStore):
         self.obs = resolve_obs(obs)
         self._lock = threading.RLock()
         self._closed = False
+        self._closing = False
         self._compacting = False
+        self._wal_failed = False
         self._block_cache = (
             BlockCache(block_cache_bytes, obs=self.obs) if block_cache_bytes else None
         )
@@ -172,6 +205,16 @@ class LSMStore(KeyValueStore):
                 table.close()
             self._release_dir_lock()
             raise
+        # Group commit: every mutation's frame rides this pipeline, and
+        # only its apply stream (the current leader) ever swaps the
+        # active WAL -- the invariant that makes the leader's unlocked
+        # read of ``self._wal`` in ``_commit_frames`` safe.
+        self._pipeline = CommitPipeline(
+            self._commit_frames,
+            max_batch_records=wal_batch_records,
+            max_batch_bytes=wal_batch_bytes,
+            gather_window_s=wal_gather_window_s,
+        )
 
     # ------------------------------------------------------------------
     # Open / recovery
@@ -342,6 +385,15 @@ class LSMStore(KeyValueStore):
         if self._closed:
             raise StoreClosedError(f"store {self.name!r} is closed")
 
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self._wal_failed:
+            raise WalPoisonedError(
+                f"store {self.name!r} refuses writes: its WAL segment is "
+                "poisoned by an earlier sync failure (acknowledged writes "
+                "are intact; reopen the store to resume)"
+            )
+
     def get(self, key: str) -> Any:
         return self._serializer.loads(self._read_payload(_encode_key(key), key))
 
@@ -350,54 +402,114 @@ class LSMStore(KeyValueStore):
         return self._serializer.loads(payload), content_version(payload)
 
     def put(self, key: str, value: Any) -> None:
-        self.put_with_version(key, value)
+        # Same write path as put_with_version, minus the version-token
+        # hash nobody asked for.
+        self._submit_put(_encode_key(key), self._serializer.dumps(value))
 
     def put_with_version(self, key: str, value: Any) -> str:
         payload = self._serializer.dumps(value)
-        raw = _encode_key(key)
-        with self._lock:
-            self._check_open()
-            written = self._wal.append_put(raw, payload)
-            self._memtable.put(raw, payload)
-            if self.obs.enabled:
-                self.obs.inc("lsm.wal.appends")
-                self.obs.inc("lsm.wal.bytes", written)
-            self._maybe_seal()
+        self._submit_put(_encode_key(key), payload)
         return content_version(payload)
+
+    def _submit_put(self, raw: bytes, payload: bytes) -> None:
+        frame = encode_record(OP_PUT, raw, payload)
+        self._check_writable()
+        # The caller thread holds no lock while waiting: the commit
+        # pipeline's leader batches this frame with its neighbours (one
+        # WAL write + one fsync for the whole batch) and then applies the
+        # memtable insert in batch order, so visibility order always
+        # matches WAL replay order.
+        self._pipeline.submit(
+            frame, lambda: self._apply_record(OP_PUT, raw, payload)
+        )
 
     def delete(self, key: str) -> bool:
         raw = _encode_key(key)
-        tables: list[SSTable] = []
-        with self._lock:
-            self._check_open()
-            # The "existed" return value needs a pre-delete lookup.  The
-            # memory levels are O(1) dict hits, checked under the lock;
-            # the SSTable probes (Bloom gate + pread per table) run after
-            # the lock is dropped, against a snapshot taken before the
-            # tombstone landed, so slow disk probes never stall writers.
-            found = self._memtable.get(raw)
-            if found is None:
-                for memtable, _wal, _seq in reversed(self._immutables):
-                    found = memtable.get(raw)
-                    if found is not None:
-                        break
-            if found is None:
-                tables = list(self._tables)
-            written = self._wal.append_delete(raw)
-            self._memtable.delete(raw)
-            if self.obs.enabled:
-                self.obs.inc("lsm.wal.appends")
-                self.obs.inc("lsm.wal.bytes", written)
-            self._maybe_seal()
+        frame = encode_record(OP_DELETE, raw)
+        self._check_writable()
+        outcome: dict[str, Any] = {}
+
+        def apply() -> None:
+            # The "existed" return value needs a pre-tombstone lookup.
+            # The memory levels are O(1) dict hits, checked under the
+            # lock in the apply stream (so the check-and-tombstone pair
+            # stays atomic under concurrency); the SSTable probes (Bloom
+            # gate + pread per table) run later in the caller's thread,
+            # off the lock, against a snapshot taken before the tombstone
+            # landed, so slow disk probes never stall writers.
+            with self._lock:
+                found = self._memtable.get(raw)
+                if found is None:
+                    for memtable, _wal, _seq in reversed(self._immutables):
+                        found = memtable.get(raw)
+                        if found is not None:
+                            break
+                outcome["found"] = found
+                outcome["tables"] = [] if found is not None else list(self._tables)
+                self._memtable.delete(raw)
+                self._maybe_seal()
+
+        self._pipeline.submit(frame, apply)
+        found = outcome["found"]
         if found is not None:
             return not isinstance(found, Tombstone)
-        for table in reversed(tables):
+        for table in reversed(outcome["tables"]):
             if not table.might_contain(raw):
                 continue
             hit = table.get(raw)
             if hit is not MISSING:
                 return not isinstance(hit, Tombstone)
         return False
+
+    # ------------------------------------------------------------------
+    # Group commit internals (leader-thread code)
+    # ------------------------------------------------------------------
+    def _commit_frames(self, frames: list[bytes]) -> None:
+        """Persist one batch: a single WAL write + (if configured) fsync.
+
+        Runs in the pipeline leader's thread with no store lock held --
+        an fsync never stalls readers, and waiting writers are queued in
+        the pipeline, not on the lock.  Reading ``self._wal`` unlocked is
+        safe because only the apply stream (this same leader, running
+        seal barriers) ever swaps it.
+        """
+        wal = self._wal
+        try:
+            written = wal.write_batch(frames)
+        except WalPoisonedError:
+            if not self._wal_failed:
+                # First failure on this segment: record it once.  Later
+                # rejections of queued writers reuse the poisoned state
+                # but are not new sync failures.
+                self._wal_failed = True
+                if self.obs.enabled:
+                    self.obs.inc("lsm.wal.sync_failures")
+                self.obs.emit(
+                    "lsm_wal_poisoned",
+                    store=self.name,
+                    segment=wal.path.name,
+                    batch_records=len(frames),
+                )
+            raise
+        if self.obs.enabled:
+            # Batch-granular accounting: counter totals are identical to
+            # per-record increments but cost two lock acquisitions per
+            # sync instead of two per write -- measurable on the group
+            # write path, where python-side work bounds throughput.
+            self.obs.inc("lsm.wal.appends", len(frames))
+            self.obs.inc("lsm.wal.bytes", written)
+            self.obs.inc("lsm.wal.group_commits")
+            self.obs.observe("lsm.wal.batch_records", float(len(frames)))
+            self.obs.observe("lsm.wal.batch_bytes", float(written))
+
+    def _apply_record(self, op: int, raw: bytes, payload: bytes) -> None:
+        """Make one committed record visible (leader thread, batch order)."""
+        with self._lock:
+            if op == OP_PUT:
+                self._memtable.put(raw, payload)
+            else:
+                self._memtable.delete(raw)
+            self._maybe_seal()
 
     def keys(self) -> Iterator[str]:
         return (
@@ -420,8 +532,15 @@ class LSMStore(KeyValueStore):
 
     def close(self) -> None:
         with self._lock:
-            if self._closed:
+            if self._closed or self._closing:
                 return
+            self._closing = True
+        # Drain-or-reject: every write already queued in the commit
+        # pipeline is committed and acknowledged (or failed with its real
+        # error), later submits raise StoreClosedError -- a queued-but-
+        # uncommitted batch is never silently dropped at close time.
+        self._pipeline.close()
+        with self._lock:
             self._closed = True
         if self._owns_scheduler:
             self._scheduler.close()
@@ -553,10 +672,22 @@ class LSMStore(KeyValueStore):
 
         With the default inline scheduler this returns once the data is in
         SSTables; with a deferred scheduler it queues the work.
+
+        The seal rides the commit pipeline as a barrier (an empty frame):
+        it is ordered strictly after every batch already queued, so a
+        write acknowledged before ``flush()`` returns is always in the
+        sealed memtable, never split from its WAL segment.  Only this
+        apply stream ever swaps the active WAL.
         """
-        with self._lock:
-            self._check_open()
-            self._seal_and_schedule()
+        self._check_writable()
+
+        def seal() -> None:
+            with self._lock:
+                if self._closed:
+                    return
+                self._seal_and_schedule()
+
+        self._pipeline.submit(b"", seal)
 
     def _flush_one(self, sealed: Memtable, wal: WriteAheadLog, seq: int) -> None:
         started = self._clock()
@@ -772,6 +903,8 @@ class LSMStore(KeyValueStore):
                 "immutable_memtables": len(self._immutables),
                 "wal_bytes": self._wal.size_bytes,
                 "wal_segment": self._wal.path.name,
+                "wal_poisoned": self._wal_failed,
+                "group_commit": self._pipeline.stats(),
                 "manifest_bytes": self._manifest.size_bytes,
                 "sstables": len(tables),
                 "sstable_records": sum(t.record_count for t in tables),

@@ -27,19 +27,54 @@ offset of the valid prefix, and flags whether anything was discarded.  The
 store truncates the file back to that offset on open, which is exactly the
 set of writes that were ever acknowledged (an append returns only after
 the full frame is written).
+
+Group commit
+------------
+:class:`CommitPipeline` amortizes the per-append ``write``/``fsync`` cost
+across concurrent writers, LevelDB/RocksDB-style: writers enqueue their
+framed record and block; the first writer to find no leader *becomes* the
+leader (no dedicated thread), drains the queue up to the batch bounds,
+performs **one** batched write and **one** sync for every frame, runs each
+waiter's apply callback in enqueue order, and wakes everyone.  N
+concurrent ``fsync=True`` writers pay ~one disk sync per batch instead of
+one each.
+
+Sync-failure poisoning
+----------------------
+A failed ``fsync`` leaves the on-disk state unknowable: the frame may
+already be durable even though the caller observes an error, and on Linux
+a *retried* fsync can falsely succeed because the kernel clears the
+dirty-page error when it is first reported ("fsyncgate").  The log
+therefore never retries a sync: after any write/sync error the segment is
+**poisoned** -- the un-acknowledged suffix is truncated away best-effort
+so recovery cannot resurrect a write whose caller saw a failure, and
+every subsequent append raises :class:`~repro.errors.WalPoisonedError`.
+Under group commit this is load-bearing: one fsync covers many writers,
+so a swallowed sync error would corrupt many acknowledgements at once.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import sys
+import threading
+import time
 import zlib
+from collections import deque
 from pathlib import Path
-from typing import Iterator, NamedTuple
+from typing import Callable, Iterator, NamedTuple
 
-from ..errors import StoreClosedError
+from ..errors import ConfigurationError, StoreClosedError, WalPoisonedError
 
-__all__ = ["OP_PUT", "OP_DELETE", "WalRecord", "WalReplay", "WriteAheadLog"]
+__all__ = [
+    "OP_PUT",
+    "OP_DELETE",
+    "WalRecord",
+    "WalReplay",
+    "WriteAheadLog",
+    "CommitPipeline",
+]
 
 #: Operation tags inside a WAL payload.
 OP_PUT = 0
@@ -56,6 +91,13 @@ REPLAY_CHUNK_BYTES = 64 * 1024
 # Indirection so tests can observe replay's read pattern (chunked, never
 # whole-file) by swapping in a recording opener.
 _open = open
+
+# Indirection so tests and the crash-sim gate can inject storage faults --
+# a failing fsync, a power-loss snapshot taken mid-sync -- without
+# patching the real ``os`` module for everyone.  Group commit makes one
+# sync cover many writers, so the sims need to fail or freeze exactly
+# this call.
+_fsync = os.fsync
 
 
 class WalRecord(NamedTuple):
@@ -84,14 +126,20 @@ def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
 class WriteAheadLog:
     """Append-only CRC-framed log over one file.
 
-    Not thread-safe on its own; the owning store serializes appends.
+    Not thread-safe on its own; the owning store serializes appends
+    (under group commit, through a single :class:`CommitPipeline`
+    leader at a time).  The file is opened unbuffered: a batch is one
+    ``write`` syscall, and a sync failure cannot leave stale bytes in a
+    user-space buffer that a later flush would silently replay past the
+    poisoning truncation.
     """
 
     def __init__(self, path: str | os.PathLike[str], *, fsync: bool = False) -> None:
         self.path = Path(path)
         self._fsync = fsync
-        self._file = open(self.path, "ab")
-        self._size = self._file.tell()
+        self._file = open(self.path, "ab", buffering=0)
+        self._size = os.fstat(self._file.fileno()).st_size
+        self._poison_cause: BaseException | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -103,28 +151,85 @@ class WriteAheadLog:
     def closed(self) -> bool:
         return self._file.closed
 
+    @property
+    def poisoned(self) -> bool:
+        """True once a write/sync failure has disabled this segment."""
+        return self._poison_cause is not None
+
     # ------------------------------------------------------------------
+    def write_batch(self, frames: list[bytes]) -> int:
+        """Append *frames* with one write and (if configured) one fsync.
+
+        Returns the bytes appended.  The whole batch is acknowledged
+        together: nothing is acknowledged until every frame has reached
+        the OS (and, with ``fsync=True``, the disk).  On any error the
+        segment is poisoned -- the failed suffix is truncated away
+        best-effort and this call plus every later append raises
+        :class:`WalPoisonedError`.
+        """
+        self._check_appendable()
+        blob = frames[0] if len(frames) == 1 else b"".join(frames)
+        acked = self._size
+        try:
+            written = self._file.write(blob)
+            if written < len(blob):  # partial write: push the rest through
+                view = memoryview(blob)
+                while written < len(blob):
+                    written += self._file.write(view[written:])
+            if self._fsync:
+                _fsync(self._file.fileno())
+        except Exception as exc:
+            self._poison(exc, acked)
+            raise WalPoisonedError(
+                f"WAL {self.path} failed to persist a batch of "
+                f"{len(frames)} frame(s) ({exc!r}); segment poisoned"
+            ) from exc
+        self._size = acked + len(blob)
+        return len(blob)
+
     def append(self, op: int, key: bytes, value: bytes = b"") -> int:
         """Durably append one mutation; returns the bytes written.
 
         The write is acknowledged only after the frame reaches the OS
         (and, with ``fsync=True``, the disk).
         """
-        if self._file.closed:
-            raise StoreClosedError(f"WAL {self.path} is closed")
-        frame = encode_record(op, key, value)
-        self._file.write(frame)
-        self._file.flush()
-        if self._fsync:
-            os.fsync(self._file.fileno())
-        self._size += len(frame)
-        return len(frame)
+        return self.write_batch([encode_record(op, key, value)])
 
     def append_put(self, key: bytes, value: bytes) -> int:
         return self.append(OP_PUT, key, value)
 
     def append_delete(self, key: bytes) -> int:
         return self.append(OP_DELETE, key)
+
+    # ------------------------------------------------------------------
+    def _check_appendable(self) -> None:
+        if self._file.closed:
+            raise StoreClosedError(f"WAL {self.path} is closed")
+        if self._poison_cause is not None:
+            raise WalPoisonedError(
+                f"WAL {self.path} is poisoned by an earlier sync failure "
+                f"({self._poison_cause!r}); no further appends are accepted"
+            )
+
+    def _poison(self, cause: BaseException, acked_size: int) -> None:
+        """Disable the segment and cut the un-acknowledged suffix.
+
+        The truncation is best-effort: it stops recovery from replaying a
+        frame whose writer was told it failed.  When even the truncate
+        fails, accounting falls back to the file's real size so seal
+        thresholds and ``stats()`` stay honest (the suffix then survives
+        on disk, which is why the store must be failed rather than
+        resumed -- only a reopen re-establishes a trustworthy state).
+        """
+        self._poison_cause = cause
+        try:
+            os.ftruncate(self._file.fileno(), acked_size)
+            self._size = acked_size
+        except OSError:
+            try:
+                self._size = os.fstat(self._file.fileno()).st_size
+            except OSError:
+                pass  # keep the last known count; reopen re-stats anyway
 
     def close(self) -> None:
         if not self._file.closed:
@@ -207,3 +312,250 @@ class WriteAheadLog:
 
     def __repr__(self) -> str:
         return f"<WriteAheadLog path={str(self.path)!r} size={self._size}>"
+
+
+class _Ticket:
+    """One queued commit: a framed record, its visibility callback, and
+    the gate its writer is parked on.
+
+    The gate is a raw pre-acquired lock, not a ``threading.Event``: a
+    follower blocks on ``gate.acquire()`` and the leader ``release``\\ s
+    it -- one C-level lock instead of a Condition object per write,
+    which matters on a path where python-side work bounds throughput.
+    The leader's own ticket has no gate at all: ``_lead`` drains the
+    queue before returning, so the leader never waits on itself.
+    """
+
+    __slots__ = ("frame", "apply", "gate", "error")
+
+    def __init__(self, frame: bytes, apply: "Callable[[], None] | None") -> None:
+        self.frame = frame
+        self.apply = apply
+        self.gate: threading.Lock | None = None
+        self.error: BaseException | None = None
+
+
+class CommitPipeline:
+    """Group commit: concurrent writers share one durable sync per batch.
+
+    Writers call :meth:`submit` with an encoded frame; the first writer
+    to find no leader becomes the leader (Rocks/LevelDB-style -- no
+    dedicated commit thread), drains the queue up to
+    ``max_batch_records``/``max_batch_bytes``, hands every frame of the
+    batch to *commit* (one write + one sync), then runs each waiter's
+    ``apply`` callback **in enqueue order** and wakes them.  That order
+    guarantee is what lets a store equate WAL order with visibility
+    order: replaying the log after a crash reconstructs exactly the
+    state the appliers built.
+
+    Error propagation is per waiter: a failed *commit* fails every
+    waiter whose frame was in that batch (and, because a poisoned WAL
+    rejects the next batch too, everyone queued behind it), while a
+    failed ``apply`` fails only its own waiter -- the rest of the batch
+    is durable and acknowledged normally.
+
+    A frame of ``b""`` is a **barrier**: it costs no I/O but its apply
+    runs in queue order, strictly after every batch submitted before it.
+    The owning store seals memtables through barriers, which is why only
+    the apply stream ever swaps the store's active WAL.
+
+    Batches fill through an adaptive **gather window** (see
+    ``gather_window_s``): the leader briefly waits for the queue to
+    reach the highest depth any writer has recently observed before
+    paying the next sync, which is what keeps batches full instead of
+    committing whatever trickled in during the previous ``fsync``.  The
+    wait quiesces as soon as arrivals stop for one grain, and a lone
+    writer never triggers it.
+    """
+
+    def __init__(
+        self,
+        commit: Callable[[list[bytes]], None],
+        *,
+        max_batch_records: int = 128,
+        max_batch_bytes: int = 1 << 20,
+        gather_window_s: float = 0.0003,
+    ) -> None:
+        """:param commit: called by the leader with every non-empty frame
+            of one batch, in enqueue order; must persist all of them (or
+            raise) before returning.
+        :param max_batch_records: most frames a single batch may carry.
+        :param max_batch_bytes: byte bound per batch (a single oversized
+            frame still commits, alone).
+        :param gather_window_s: how long the leader may wait for more
+            writers before committing a batch (the Postgres
+            ``commit_delay`` idea, made adaptive).  The wait targets the
+            highest queue depth any writer has recently observed -- a
+            lone writer never pays it -- and ends early the moment the
+            target is reached or no new writer arrives for one grain
+            (<=50 us).  ``0`` disables gathering.
+        """
+        if max_batch_records < 1:
+            raise ConfigurationError("max_batch_records must be positive")
+        if max_batch_bytes < 1:
+            raise ConfigurationError("max_batch_bytes must be positive")
+        if gather_window_s < 0:
+            raise ConfigurationError("gather_window_s cannot be negative")
+        self._commit = commit
+        self._max_records = max_batch_records
+        self._max_bytes = max_batch_bytes
+        self._window = gather_window_s
+        # One quiescence grain: long enough for a woken writer to reach
+        # submit() under the GIL, short enough that an expired grain is
+        # cheap next to a disk sync.
+        self._grain = min(gather_window_s, 0.00005) if gather_window_s else 0.0
+        self._mutex = threading.Lock()
+        self._drained = threading.Condition(self._mutex)
+        self._grew = threading.Condition(self._mutex)
+        self._queue: deque[_Ticket] = deque()
+        self._leading = False
+        self._shutdown = False
+        self._batches = 0
+        self._committed = 0
+        self._largest_batch = 0
+        # Gather target: the highest queue depth any follower has seen
+        # -- a live estimate of writer concurrency.  Decays whenever a
+        # gather times out short, so departed writers stop being waited
+        # for.
+        self._peak = 0
+        # Wake threshold for a gathering leader: submitters only notify
+        # ``_grew`` once the queue reaches it, so the leader sleeps in
+        # whole grains instead of waking (and contending for the mutex)
+        # on every arrival.  ``maxsize`` means nobody is gathering.
+        self._goal = sys.maxsize
+        # Test seam: called in the submitting thread right after its
+        # ticket is enqueued (before it blocks), so tests can build
+        # multi-frame batches deterministically with zero sleeps.
+        self._enqueue_hook: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------
+    def submit(self, frame: bytes, apply: "Callable[[], None] | None" = None) -> None:
+        """Enqueue one frame and block until it is durable and applied.
+
+        Raises whatever the batch commit raised (every waiter of the
+        batch sees it), or whatever this waiter's own *apply* raised, or
+        :class:`~repro.errors.StoreClosedError` after :meth:`close`.
+        """
+        ticket = _Ticket(frame, apply)
+        with self._mutex:
+            if self._shutdown:
+                raise StoreClosedError("commit pipeline is closed")
+            self._queue.append(ticket)
+            lead = not self._leading
+            if lead:
+                self._leading = True
+            else:
+                # The gate must exist before the mutex drops: the leader
+                # pops tickets under this mutex, so once we release it a
+                # resolved ticket with no gate would strand us.
+                gate = threading.Lock()
+                gate.acquire()
+                ticket.gate = gate
+                if len(self._queue) > self._peak:
+                    self._peak = len(self._queue)
+                if len(self._queue) >= self._goal:
+                    self._grew.notify()
+        if self._enqueue_hook is not None:
+            self._enqueue_hook()
+        if lead:
+            # _lead drains the queue before returning, so this ticket is
+            # guaranteed resolved -- no gate, no wait.
+            self._lead()
+        else:
+            ticket.gate.acquire()  # parked until the leader releases us
+        if ticket.error is not None:
+            raise ticket.error
+
+    def _lead(self) -> None:
+        """Drain the queue batch by batch until it is empty, then abdicate."""
+        while True:
+            with self._mutex:
+                if not self._queue:
+                    self._leading = False
+                    if self._shutdown:  # only close() ever waits on this
+                        self._drained.notify_all()
+                    return
+                # Gather: wait (bounded by the window) for the queue to
+                # reach the observed writer concurrency before paying a
+                # sync, so batches fill up instead of committing
+                # whatever trickled in during the previous fsync.  A
+                # lone writer has peak 0 and never waits, and the wait
+                # quiesces early: one grain with no new arrival means the
+                # stragglers are not coming, so burn a grain, not the
+                # whole window.
+                goal = min(self._peak, self._max_records)
+                if self._window and not self._shutdown and goal > len(self._queue):
+                    self._goal = goal
+                    deadline = time.monotonic() + self._window
+                    while len(self._queue) < goal and not self._shutdown:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        before = len(self._queue)
+                        self._grew.wait(min(remaining, self._grain))
+                        if len(self._queue) == before:
+                            break
+                    self._goal = sys.maxsize
+                batch = [self._queue.popleft()]
+                size = len(batch[0].frame)
+                while (
+                    self._queue
+                    and len(batch) < self._max_records
+                    and size + len(self._queue[0].frame) <= self._max_bytes
+                ):
+                    ticket = self._queue.popleft()
+                    batch.append(ticket)
+                    size += len(ticket.frame)
+                self._batches += 1
+                self._committed += len(batch)
+                self._largest_batch = max(self._largest_batch, len(batch))
+                if len(batch) < goal:
+                    self._peak = len(batch)  # writers left: stop waiting for them
+            frames = [ticket.frame for ticket in batch if ticket.frame]
+            error: BaseException | None = None
+            if frames:
+                try:
+                    self._commit(frames)
+                except BaseException as exc:  # noqa: BLE001 - fanned out per waiter
+                    error = exc
+            for ticket in batch:
+                if error is not None:
+                    ticket.error = error
+                elif ticket.apply is not None:
+                    try:
+                        ticket.apply()
+                    except BaseException as exc:  # noqa: BLE001
+                        ticket.error = exc
+                if ticket.gate is not None:
+                    ticket.gate.release()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain-or-reject shutdown; nothing queued is silently dropped.
+
+        Everything already enqueued is committed (its waiter gets a real
+        acknowledgement, or the real commit error -- e.g. a poisoned
+        WAL's rejection), any later :meth:`submit` raises
+        :class:`~repro.errors.StoreClosedError`, and this call returns
+        only once the last in-flight batch has resolved.
+        """
+        with self._mutex:
+            self._shutdown = True
+            self._grew.notify_all()  # cut short a leader's gather wait
+            while self._leading or self._queue:
+                self._drained.wait()
+
+    def stats(self) -> dict[str, int]:
+        """Batch accounting (barriers included) for ``store.stats()``."""
+        with self._mutex:
+            return {
+                "batches": self._batches,
+                "committed": self._committed,
+                "largest_batch": self._largest_batch,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<CommitPipeline batches={self._batches} "
+            f"committed={self._committed} queued={len(self._queue)}>"
+        )
