@@ -181,6 +181,7 @@ class LSMStore(KeyValueStore):
         self._lock = threading.RLock()
         self._closed = False
         self._closing = False
+        self._close_done = threading.Event()
         self._compacting = False
         self._wal_failed = False
         self._block_cache = (
@@ -206,14 +207,17 @@ class LSMStore(KeyValueStore):
             self._release_dir_lock()
             raise
         # Group commit: every mutation's frame rides this pipeline, and
-        # only its apply stream (the current leader) ever swaps the
-        # active WAL -- the invariant that makes the leader's unlocked
-        # read of ``self._wal`` in ``_commit_frames`` safe.
+        # only the leader thread ever swaps the active WAL -- through a
+        # barrier's apply (flush()) or the end-of-batch seal hook, both
+        # at batch boundaries -- the invariant that makes the leader's
+        # unlocked read of ``self._wal`` in ``_commit_frames`` safe and
+        # guarantees a committed batch is never split across segments.
         self._pipeline = CommitPipeline(
             self._commit_frames,
             max_batch_records=wal_batch_records,
             max_batch_bytes=wal_batch_bytes,
             gather_window_s=wal_gather_window_s,
+            on_batch_applied=self._seal_after_batch,
         )
 
     # ------------------------------------------------------------------
@@ -447,7 +451,6 @@ class LSMStore(KeyValueStore):
                 outcome["found"] = found
                 outcome["tables"] = [] if found is not None else list(self._tables)
                 self._memtable.delete(raw)
-                self._maybe_seal()
 
         self._pipeline.submit(frame, apply)
         found = outcome["found"]
@@ -503,13 +506,35 @@ class LSMStore(KeyValueStore):
             self.obs.observe("lsm.wal.batch_bytes", float(written))
 
     def _apply_record(self, op: int, raw: bytes, payload: bytes) -> None:
-        """Make one committed record visible (leader thread, batch order)."""
+        """Make one committed record visible (leader thread, batch order).
+
+        Never seals: a seal here could land between two applies of the
+        same committed batch, splitting the batch across WAL segments
+        (the pre-seal segment holds the frames, the post-seal memtable
+        the applies -- and flushing the sealed memtable unlinks the only
+        durable copy of the rest of the batch).  Size-triggered seals
+        run in :meth:`_seal_after_batch` instead.
+        """
         with self._lock:
             if op == OP_PUT:
                 self._memtable.put(raw, payload)
             else:
                 self._memtable.delete(raw)
-            self._maybe_seal()
+
+    def _seal_after_batch(self) -> None:
+        """Pipeline end-of-batch hook: seal at a batch boundary only.
+
+        Runs in the leader thread after the last apply of each committed
+        batch, so the memtable it seals contains *every* record of every
+        batch committed to the active WAL segment -- a seal can never
+        strand part of an acknowledged batch in a segment that the
+        sealed memtable's flush is about to unlink.  The memtable may
+        overshoot its budget by up to one batch; that slack is bounded
+        by ``wal_batch_bytes``.
+        """
+        with self._lock:
+            if not self._closed:
+                self._maybe_seal()
 
     def keys(self) -> Iterator[str]:
         return (
@@ -533,31 +558,42 @@ class LSMStore(KeyValueStore):
     def close(self) -> None:
         with self._lock:
             if self._closed or self._closing:
-                return
-            self._closing = True
-        # Drain-or-reject: every write already queued in the commit
-        # pipeline is committed and acknowledged (or failed with its real
-        # error), later submits raise StoreClosedError -- a queued-but-
-        # uncommitted batch is never silently dropped at close time.
-        self._pipeline.close()
-        with self._lock:
-            self._closed = True
-        if self._owns_scheduler:
-            self._scheduler.close()
-        with self._lock:
-            self._wal.close()
-            for memtable, wal, _seq in self._immutables:
-                wal.close()
-            self._immutables.clear()
-            for table in self._tables + self._retired:
-                table.close()
-            self._tables.clear()
-            self._retired.clear()
-            if self._manifest is not None:
-                self._manifest.close()
-            if self._block_cache is not None:
-                self._block_cache.clear()
-            self._release_dir_lock()
+                follower = True
+            else:
+                self._closing = True
+                follower = False
+        if follower:
+            # A concurrent close() must not return while the first one
+            # is still draining the pipeline and flushing: wait for it.
+            self._close_done.wait()
+            return
+        try:
+            # Drain-or-reject: every write already queued in the commit
+            # pipeline is committed and acknowledged (or failed with its
+            # real error), later submits raise StoreClosedError -- a
+            # queued-but-uncommitted batch is never silently dropped at
+            # close time.
+            self._pipeline.close()
+            with self._lock:
+                self._closed = True
+            if self._owns_scheduler:
+                self._scheduler.close()
+            with self._lock:
+                self._wal.close()
+                for memtable, wal, _seq in self._immutables:
+                    wal.close()
+                self._immutables.clear()
+                for table in self._tables + self._retired:
+                    table.close()
+                self._tables.clear()
+                self._retired.clear()
+                if self._manifest is not None:
+                    self._manifest.close()
+                if self._block_cache is not None:
+                    self._block_cache.clear()
+                self._release_dir_lock()
+        finally:
+            self._close_done.set()
 
     def native(self) -> Path:
         """The data directory (WAL segments and SSTable files live here)."""
@@ -674,10 +710,13 @@ class LSMStore(KeyValueStore):
         SSTables; with a deferred scheduler it queues the work.
 
         The seal rides the commit pipeline as a barrier (an empty frame):
-        it is ordered strictly after every batch already queued, so a
-        write acknowledged before ``flush()`` returns is always in the
-        sealed memtable, never split from its WAL segment.  Only this
-        apply stream ever swaps the active WAL.
+        it is ordered strictly after every batch already queued and
+        commits **alone** -- the pipeline never batches data frames
+        across a barrier -- so a write acknowledged before ``flush()``
+        returns is always in the sealed memtable, never split from its
+        WAL segment, and a write queued behind the barrier is committed
+        to the fresh post-seal segment.  Only the leader thread ever
+        swaps the active WAL.
         """
         self._check_writable()
 

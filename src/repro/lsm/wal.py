@@ -356,8 +356,16 @@ class CommitPipeline:
 
     A frame of ``b""`` is a **barrier**: it costs no I/O but its apply
     runs in queue order, strictly after every batch submitted before it.
-    The owning store seals memtables through barriers, which is why only
-    the apply stream ever swaps the store's active WAL.
+    A barrier always commits **alone** -- batch collection cuts at a
+    barrier instead of spanning it -- because the owning store seals
+    memtables (swapping the active memtable *and* WAL segment) inside a
+    barrier's apply: were data frames batched behind a barrier, they
+    would be durable only in the pre-seal WAL segment while their
+    applies landed in the post-seal memtable, and flushing the sealed
+    memtable would unlink the only durable copy of acknowledged writes.
+    For the same reason size-triggered seals are deferred to batch
+    boundaries: *on_batch_applied* runs after a batch's last apply, so a
+    seal can never split a committed batch across two WAL segments.
 
     Batches fill through an adaptive **gather window** (see
     ``gather_window_s``): the leader briefly waits for the queue to
@@ -375,6 +383,7 @@ class CommitPipeline:
         max_batch_records: int = 128,
         max_batch_bytes: int = 1 << 20,
         gather_window_s: float = 0.0003,
+        on_batch_applied: "Callable[[], None] | None" = None,
     ) -> None:
         """:param commit: called by the leader with every non-empty frame
             of one batch, in enqueue order; must persist all of them (or
@@ -382,6 +391,13 @@ class CommitPipeline:
         :param max_batch_records: most frames a single batch may carry.
         :param max_batch_bytes: byte bound per batch (a single oversized
             frame still commits, alone).
+        :param on_batch_applied: called by the leader after the last
+            apply of each successfully committed batch -- the one point
+            where the owning store may seal (swap memtable + WAL)
+            without splitting a committed batch across segments.  An
+            exception here is re-raised from the leader's own
+            :meth:`submit` once the queue is drained and leadership
+            released, so it can never strand queued waiters.
         :param gather_window_s: how long the leader may wait for more
             writers before committing a batch (the Postgres
             ``commit_delay`` idea, made adaptive).  The wait targets the
@@ -397,6 +413,7 @@ class CommitPipeline:
         if gather_window_s < 0:
             raise ConfigurationError("gather_window_s cannot be negative")
         self._commit = commit
+        self._on_batch_applied = on_batch_applied
         self._max_records = max_batch_records
         self._max_bytes = max_batch_bytes
         self._window = gather_window_s
@@ -468,13 +485,14 @@ class CommitPipeline:
 
     def _lead(self) -> None:
         """Drain the queue batch by batch until it is empty, then abdicate."""
+        deferred: BaseException | None = None
         while True:
             with self._mutex:
                 if not self._queue:
                     self._leading = False
                     if self._shutdown:  # only close() ever waits on this
                         self._drained.notify_all()
-                    return
+                    break
                 # Gather: wait (bounded by the window) for the queue to
                 # reach the observed writer concurrency before paying a
                 # sync, so batches fill up instead of committing
@@ -498,19 +516,32 @@ class CommitPipeline:
                     self._goal = sys.maxsize
                 batch = [self._queue.popleft()]
                 size = len(batch[0].frame)
-                while (
-                    self._queue
-                    and len(batch) < self._max_records
-                    and size + len(self._queue[0].frame) <= self._max_bytes
-                ):
-                    ticket = self._queue.popleft()
-                    batch.append(ticket)
-                    size += len(ticket.frame)
+                # A barrier (empty frame) commits alone: its apply may
+                # seal -- swap the memtable *and* the active WAL -- and a
+                # data frame batched behind it would be durable only in
+                # the pre-seal segment while its apply landed in the
+                # post-seal memtable (flushing the sealed memtable then
+                # unlinks the acknowledged write's only durable copy).
+                if batch[0].frame:
+                    while (
+                        self._queue
+                        and self._queue[0].frame  # never batch across a barrier
+                        and len(batch) < self._max_records
+                        and size + len(self._queue[0].frame) <= self._max_bytes
+                    ):
+                        ticket = self._queue.popleft()
+                        batch.append(ticket)
+                        size += len(ticket.frame)
                 self._batches += 1
                 self._committed += len(batch)
                 self._largest_batch = max(self._largest_batch, len(batch))
-                if len(batch) < goal:
-                    self._peak = len(batch)  # writers left: stop waiting for them
+                cut_short = batch[0].frame and not (
+                    self._queue and not self._queue[0].frame
+                )
+                if len(batch) < goal and cut_short:
+                    # Writers left (not a barrier cut): stop waiting for
+                    # them.
+                    self._peak = len(batch)
             frames = [ticket.frame for ticket in batch if ticket.frame]
             error: BaseException | None = None
             if frames:
@@ -528,6 +559,19 @@ class CommitPipeline:
                         ticket.error = exc
                 if ticket.gate is not None:
                     ticket.gate.release()
+            if error is None and self._on_batch_applied is not None:
+                # End-of-batch hook: the store's size-triggered seal runs
+                # here, at a batch boundary, never between a batch's
+                # applies.  Failures are raised from the leader's submit
+                # only after the queue drains, so waiters are never
+                # stranded.
+                try:
+                    self._on_batch_applied()
+                except BaseException as exc:  # noqa: BLE001
+                    if deferred is None:
+                        deferred = exc
+        if deferred is not None:
+            raise deferred
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -219,6 +219,66 @@ class TestCommitPipeline:
         assert applied == ["barrier"]
         assert pipeline.stats()["committed"] == 1
 
+    def test_barrier_never_shares_a_batch_with_data_frames(self):
+        """Batch collection cuts at a barrier: a barrier's apply may seal
+        (swap memtable + WAL), so data frames queued behind it must land
+        in their own, post-barrier batch."""
+        batches = []
+        applied = []
+        commit, gate = make_commit_gate(batches, followers=3)
+        pipeline = CommitPipeline(commit)
+        errors = run_batched(
+            pipeline,
+            b"frame-0",
+            [b"frame-1", b"", b"frame-2"],
+            commit_gate=gate,
+            applied=applied,
+        )
+        assert errors == {}
+        # The queued group [frame-1, barrier, frame-2] split into three
+        # batches; the barrier one never reached the commit callback.
+        assert batches == [[b"frame-0"], [b"frame-1"], [b"frame-2"]]
+        assert applied == [0, 1, 2, 3]  # order still intact across the cut
+        assert pipeline.stats() == {
+            "batches": 4,
+            "committed": 4,
+            "largest_batch": 1,
+        }
+
+    def test_on_batch_applied_runs_at_batch_boundaries(self):
+        """The end-of-batch hook runs after a batch's last apply, never
+        between two applies of the same batch."""
+        batches = []
+        applied = []
+        commit, gate = make_commit_gate(batches, followers=3)
+        pipeline = CommitPipeline(
+            commit, on_batch_applied=lambda: applied.append("boundary")
+        )
+        frames = [b"frame-%d" % i for i in range(1, 4)]
+        errors = run_batched(
+            pipeline, b"frame-0", frames, commit_gate=gate, applied=applied
+        )
+        assert errors == {}
+        assert applied == [0, "boundary", 1, 2, 3, "boundary"]
+
+    def test_on_batch_applied_error_defers_to_the_leader(self):
+        """A hook failure surfaces from the leader's submit after the
+        queue drains -- it never wedges leadership or strands waiters."""
+        boom = OSError(5, "flush blew up")
+        calls = []
+
+        def hook():
+            calls.append(1)
+            if len(calls) == 1:
+                raise boom
+
+        pipeline = CommitPipeline(lambda frames: None, on_batch_applied=hook)
+        with pytest.raises(OSError):
+            pipeline.submit(b"frame")
+        # Leadership was released: the next writer leads a fresh batch.
+        pipeline.submit(b"after")
+        assert len(calls) == 2
+
     def test_close_rejects_new_submits(self):
         pipeline = CommitPipeline(lambda frames: None)
         pipeline.close()
@@ -609,6 +669,138 @@ class TestGroupCommitStore:
             recovered_state = {key: recovered.get(key) for key in recovered.keys()}
         assert recovered_state == live
 
+    def test_size_triggered_seal_waits_for_the_batch_boundary(
+        self, tmp_path, monkeypatch
+    ):
+        """A batch whose applies cross the memtable budget must seal at
+        the batch boundary, not mid-batch: with a mid-batch seal the
+        batch's tail lands in the new memtable while its only durable
+        copy sits in the old WAL segment, which the inline flush of the
+        sealed memtable unlinks -- a crash then loses acked writes."""
+        value = "x" * 300  # ~370 bytes per memtable entry with overhead
+        store = LSMStore(
+            tmp_path / "db",
+            fsync=True,
+            memtable_bytes=800,  # one write fits; a 4-write batch does not
+        )
+
+        entered = threading.Event()
+        release = threading.Semaphore(0)
+        real_fsync = os.fsync
+        calls = {"n": 0}
+
+        def gated_fsync(fd):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                entered.set()
+                for _ in range(3):
+                    assert release.acquire(timeout=5.0)
+            real_fsync(fd)
+
+        monkeypatch.setattr(wal_module, "_fsync", gated_fsync)
+
+        failures: list[BaseException] = []
+
+        def write(index):
+            try:
+                store.put(f"w{index}", value)
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        leader = threading.Thread(target=write, args=(0,))
+        leader.start()
+        entered.wait(timeout=5.0)
+        store._pipeline._enqueue_hook = release.release
+        followers = [threading.Thread(target=write, args=(i,)) for i in (1, 2, 3)]
+        for thread in followers:
+            thread.start()
+        for thread in followers + [leader]:
+            thread.join(timeout=5.0)
+        store._pipeline._enqueue_hook = None
+        assert failures == []
+
+        # The w1..w3 batch crossed the budget: the boundary seal flushed
+        # every record of the batch (inline scheduler) and unlinked the
+        # sealed WAL segment.
+        stats = store.stats()
+        assert stats["sstables"] == 1
+        assert stats["memtable_entries"] == 0
+
+        crashed = crash_copy(store, tmp_path)
+        store.close()
+        with LSMStore(crashed) as recovered:
+            for index in range(4):
+                assert recovered.get(f"w{index}") == value, f"w{index}"
+
+    def test_write_queued_behind_a_flush_barrier_survives_crash(
+        self, tmp_path, monkeypatch
+    ):
+        """A write enqueued behind a flush() barrier must commit to the
+        post-seal WAL segment: were it batched with the barrier, its
+        frame would be written to the pre-seal segment that the
+        barrier's flush immediately unlinks, losing the acked write on
+        crash."""
+        store = LSMStore(tmp_path / "db", fsync=True)
+
+        entered = threading.Event()
+        release = threading.Event()
+        real_fsync = os.fsync
+        calls = {"n": 0}
+
+        def gated_fsync(fd):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                entered.set()
+                assert release.wait(timeout=5.0)
+            real_fsync(fd)
+
+        monkeypatch.setattr(wal_module, "_fsync", gated_fsync)
+
+        enqueued = threading.Semaphore(0)
+        results: dict[str, BaseException | None] = {}
+
+        def run(name, fn):
+            def target():
+                try:
+                    fn()
+                    results[name] = None
+                except BaseException as exc:  # noqa: BLE001
+                    results[name] = exc
+
+            thread = threading.Thread(target=target)
+            thread.start()
+            return thread
+
+        leader = run("lead", lambda: store.put("lead", 0))
+        entered.wait(timeout=5.0)
+        store._pipeline._enqueue_hook = enqueued.release
+        # Deterministic queue order behind the stalled leader:
+        # put(a), flush() barrier, put(b).
+        threads = [run("a", lambda: store.put("a", 1))]
+        assert enqueued.acquire(timeout=5.0)
+        threads.append(run("flush", store.flush))
+        assert enqueued.acquire(timeout=5.0)
+        threads.append(run("b", lambda: store.put("b", 2)))
+        assert enqueued.acquire(timeout=5.0)
+        release.set()
+        for thread in threads + [leader]:
+            thread.join(timeout=5.0)
+        store._pipeline._enqueue_hook = None
+        assert results == {"lead": None, "a": None, "flush": None, "b": None}
+
+        # The barrier sealed {lead, a} into an SSTable (inline scheduler)
+        # and unlinked the pre-seal WAL; "b" landed in the fresh segment.
+        stats = store.stats()
+        assert stats["sstables"] == 1
+        assert stats["memtable_entries"] == 1
+
+        crashed = crash_copy(store, tmp_path)
+        store.close()
+        with LSMStore(crashed) as recovered:
+            assert recovered.get("lead") == 0
+            assert recovered.get("a") == 1
+            assert recovered.get("b") == 2
+
     def test_flush_barrier_orders_after_queued_writes(self, tmp_path):
         scheduler = ManualScheduler()
         store = LSMStore(tmp_path / "db", scheduler=scheduler)
@@ -667,6 +859,52 @@ class TestGroupCommitStore:
             store.put("late", 1)
         with LSMStore(tmp_path / "db") as reopened:
             assert reopened.get("inflight") == 42
+
+    def test_concurrent_close_waits_for_the_first_close(
+        self, tmp_path, monkeypatch
+    ):
+        """A second close() racing the first must not return until the
+        store is actually closed (pipeline drained, flushes done)."""
+        store = LSMStore(tmp_path / "db", fsync=True)
+
+        in_sync = threading.Event()
+        release = threading.Event()
+        real_fsync = os.fsync
+
+        def gated_fsync(fd):
+            if not in_sync.is_set():
+                in_sync.set()
+                assert release.wait(timeout=5.0)
+            real_fsync(fd)
+
+        monkeypatch.setattr(wal_module, "_fsync", gated_fsync)
+
+        writer = threading.Thread(target=lambda: store.put("inflight", 1))
+        writer.start()
+        in_sync.wait(timeout=5.0)
+
+        # Two concurrent closers; the in-flight durable write keeps the
+        # winning closer blocked in the pipeline drain until released,
+        # so the losing closer must wait for it -- whichever close()
+        # returns, the store must be fully closed at that point.
+        closed_at_return: dict[int, bool] = {}
+
+        def close(index):
+            store.close()
+            closed_at_return[index] = store._closed
+
+        closers = [threading.Thread(target=close, args=(i,)) for i in (0, 1)]
+        for thread in closers:
+            thread.start()
+        release.set()
+        for thread in closers + [writer]:
+            thread.join(timeout=5.0)
+        assert not any(t.is_alive() for t in closers)
+        assert closed_at_return == {0: True, 1: True}
+        with pytest.raises(StoreClosedError):
+            store.put("late", 1)
+        with LSMStore(tmp_path / "db") as reopened:
+            assert reopened.get("inflight") == 1
 
     def test_serial_writer_gets_one_batch_per_op(self, tmp_path):
         obs = Observability()
